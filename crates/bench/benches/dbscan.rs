@@ -1,0 +1,46 @@
+//! Criterion: DBSCAN and refinement over precomputed matrices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cluster::dbscan::dbscan;
+use cluster::refine::{merge_clusters, split_clusters, RefineParams};
+use dissim::CondensedMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn blobs(n: usize) -> CondensedMatrix {
+    let mut rng = StdRng::seed_from_u64(7);
+    let pts: Vec<f64> = (0..n)
+        .map(|i| (i % 8) as f64 * 5.0 + rng.gen_range(-0.2..0.2))
+        .collect();
+    CondensedMatrix::build(n, |i, j| (pts[i] - pts[j]).abs())
+}
+
+fn bench_dbscan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dbscan");
+    for n in [100usize, 400, 1000] {
+        let m = blobs(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &m, |b, m| {
+            b.iter(|| dbscan(m, 0.5, 5))
+        });
+    }
+    group.finish();
+}
+
+fn bench_refine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("refine");
+    for n in [100usize, 400] {
+        let m = blobs(n);
+        let clustering = dbscan(&m, 0.5, 5);
+        let occurrences: Vec<usize> = (0..n).map(|i| 1 + i % 7).collect();
+        group.bench_with_input(BenchmarkId::new("merge", n), &m, |b, m| {
+            b.iter(|| merge_clusters(&clustering, m, &RefineParams::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("split", n), &clustering, |b, cl| {
+            b.iter(|| split_clusters(cl, &occurrences, &RefineParams::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dbscan, bench_refine);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion: the end-to-end pipeline (segment → dissimilarity →
+//! auto-configure → cluster → refine) per protocol.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fieldclust::truth::truth_segmentation;
+use fieldclust::FieldTypeClusterer;
+use protocols::{corpus, Protocol};
+use segment::nemesys::Nemesys;
+use segment::Segmenter;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    for protocol in [Protocol::Ntp, Protocol::Dns, Protocol::Au] {
+        // AU messages carry hundreds of measurement segments; keep its
+        // trace tiny so one iteration stays in the tens of milliseconds.
+        let n = if protocol == Protocol::Au { 10 } else { 50 };
+        let trace = corpus::build_trace(protocol, n, 9);
+        let gt = corpus::ground_truth(protocol, &trace);
+        let truth_seg = truth_segmentation(&trace, &gt);
+        let heur_seg = Nemesys::default().segment_trace(&trace).unwrap();
+        let clusterer = FieldTypeClusterer::default();
+        group.bench_with_input(
+            BenchmarkId::new("truth", protocol),
+            &(&trace, &truth_seg),
+            |b, (t, s)| b.iter(|| clusterer.cluster_trace(t, s).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("nemesys", protocol),
+            &(&trace, &heur_seg),
+            |b, (t, s)| b.iter(|| clusterer.cluster_trace(t, s).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

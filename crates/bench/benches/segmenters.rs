@@ -1,0 +1,39 @@
+//! Criterion: the three heuristic segmenters across protocols.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use protocols::{corpus, Protocol};
+use segment::csp::Csp;
+use segment::nemesys::Nemesys;
+use segment::netzob::Netzob;
+use segment::Segmenter;
+
+fn bench_segmenters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("segmenters");
+    group.sample_size(10);
+    for protocol in [Protocol::Ntp, Protocol::Dns, Protocol::Dhcp] {
+        let trace = corpus::build_trace(protocol, 50, 3);
+        group.bench_with_input(
+            BenchmarkId::new("nemesys", protocol),
+            &trace,
+            |b, t| b.iter(|| Nemesys::default().segment_trace(t).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("csp", protocol),
+            &trace,
+            |b, t| b.iter(|| Csp::default().segment_trace(t).unwrap()),
+        );
+    }
+    // Netzob is quadratic; bench on small traces only.
+    for protocol in [Protocol::Ntp, Protocol::Dns] {
+        let trace = corpus::build_trace(protocol, 25, 3);
+        group.bench_with_input(
+            BenchmarkId::new("netzob", protocol),
+            &trace,
+            |b, t| b.iter(|| Netzob::default().segment_trace(t).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_segmenters);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Extension experiment: message type identification (NEMETYL-style,
+//! the paper's reference \[10\]) over the same corpus, from ground-truth
+//! segments and from NEMESYS segments.
+//!
+//! Not a table in the DSN-W 2022 paper — the paper defers message-type
+//! clustering to prior work — but the companion analysis completes the
+//! inference stack and exercises the same dissimilarity machinery.
+//!
+//! Run with: `cargo run --release -p bench --bin msgtype`
+
+use evalkit::{pair_counts, ClusterMetrics};
+use fieldclust::msgtype::{identify_message_types, MessageTypeConfig};
+use fieldclust::truth::truth_segmentation;
+use protocols::{corpus, ProtocolSpec};
+use segment::nemesys::Nemesys;
+use segment::Segmenter;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct MsgTypeRow {
+    protocol: String,
+    messages: usize,
+    segmentation: String,
+    true_types: usize,
+    found_clusters: u32,
+    precision: f64,
+    recall: f64,
+    f_score: f64,
+}
+
+fn main() {
+    let mut rows: Vec<MsgTypeRow> = Vec::new();
+    println!("MESSAGE TYPE IDENTIFICATION (extension; cf. NEMETYL [10])");
+    println!("proto  msgs  segm     types found   P     R     F1/4");
+    for spec in corpus::small_specs() {
+        // AU's huge reports make the segment matrix heavy; the small set
+        // is ample for message-type identification.
+        let trace = spec.build();
+        let gt = corpus::ground_truth(spec.protocol, &trace);
+        let types: Vec<&'static str> = trace
+            .iter()
+            .map(|m| spec.protocol.message_type(m.payload()).expect("corpus parses"))
+            .collect();
+        let n_types = types.iter().collect::<std::collections::HashSet<_>>().len();
+
+        let truth_seg = truth_segmentation(&trace, &gt);
+        let nem_seg = Nemesys::default().segment_trace(&trace).expect("nemesys never fails");
+        for (name, seg) in [("truth", &truth_seg), ("nemesys", &nem_seg)] {
+            let result = match identify_message_types(&trace, seg, &MessageTypeConfig::default()) {
+                Ok(r) => r,
+                Err(e) => {
+                    println!("{:6} {:5} {:8} failed: {e}", spec.protocol, spec.messages, name);
+                    continue;
+                }
+            };
+            let clusters: Vec<Vec<&str>> = result
+                .clustering
+                .clusters()
+                .iter()
+                .map(|members| members.iter().map(|&m| types[m]).collect())
+                .collect();
+            let noise: Vec<&str> = result.clustering.noise().iter().map(|&m| types[m]).collect();
+            let m = ClusterMetrics::from_counts(&pair_counts(&clusters, &noise));
+            println!(
+                "{:6} {:5} {:8} {:4} {:6} {:5.2} {:5.2} {:5.2}",
+                spec.protocol,
+                spec.messages,
+                name,
+                n_types,
+                result.clustering.n_clusters(),
+                m.precision,
+                m.recall,
+                m.f_score
+            );
+            rows.push(MsgTypeRow {
+                protocol: spec.protocol.to_string(),
+                messages: spec.messages,
+                segmentation: name.to_string(),
+                true_types: n_types,
+                found_clusters: result.clustering.n_clusters(),
+                precision: m.precision,
+                recall: m.recall,
+                f_score: m.f_score,
+            });
+        }
+    }
+    bench::dump_json("target/msgtype.json", &rows);
+}

@@ -1,0 +1,96 @@
+//! Visual analytics (paper §V): a 2-D map of the segment space.
+//!
+//! Embeds the unique segments of a trace with classical MDS over their
+//! Canberra dissimilarities and renders an SVG scatter, one color per
+//! pseudo data type — the "islands" an analyst would explore.
+//!
+//! Usage: `cargo run --release -p bench --bin segmap -- [protocol] [messages]`
+
+use bench::plot::{Plot, Series};
+use cluster::dbscan::Label;
+use dissim::{dissimilarity, CondensedMatrix, DissimParams};
+use fieldclust::truth::truth_segmentation;
+use fieldclust::FieldTypeClusterer;
+use mathkit::mds::classical_mds;
+use protocols::{corpus, Protocol};
+
+const COLORS: [&str; 10] = [
+    "steelblue",
+    "darkorange",
+    "seagreen",
+    "crimson",
+    "mediumpurple",
+    "sienna",
+    "hotpink",
+    "teal",
+    "olive",
+    "navy",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let protocol = Protocol::from_name(args.get(1).map(|s| s.as_str()).unwrap_or("ntp"))
+        .expect("unknown protocol");
+    let n: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(100);
+
+    let trace = corpus::build_trace(protocol, n, corpus::DEFAULT_SEED);
+    let gt = corpus::ground_truth(protocol, &trace);
+    let segmentation = truth_segmentation(&trace, &gt);
+    let result = FieldTypeClusterer::default()
+        .cluster_trace(&trace, &segmentation)
+        .expect("pipeline");
+
+    let values: Vec<&[u8]> = result.store.segments.iter().map(|s| &s.value[..]).collect();
+    let params = DissimParams::default();
+    let matrix = CondensedMatrix::build_parallel(values.len(), 8, |i, j| {
+        dissimilarity(values[i], values[j], &params)
+    });
+    eprintln!("embedding {} unique segments…", values.len());
+    let embedding = classical_mds(values.len(), 2, |i, j| matrix.get(i, j)).expect("embedding");
+
+    // One scatter series per cluster, plus noise in gray.
+    let mut series: Vec<Series> = Vec::new();
+    for (id, members) in result.clustering.clusters().iter().enumerate() {
+        series.push(Series {
+            label: format!("type {id} ({} segs)", members.len()),
+            points: members
+                .iter()
+                .map(|&m| (embedding.coords[m][0], embedding.coords[m][1]))
+                .collect(),
+            color: COLORS[id % COLORS.len()].to_string(),
+            scatter: true,
+        });
+    }
+    let noise: Vec<(f64, f64)> = result
+        .clustering
+        .labels()
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| **l == Label::Noise)
+        .map(|(i, _)| (embedding.coords[i][0], embedding.coords[i][1]))
+        .collect();
+    if !noise.is_empty() {
+        series.push(Series {
+            label: format!("noise ({})", noise.len()),
+            points: noise,
+            color: "silver".to_string(),
+            scatter: true,
+        });
+    }
+
+    let plot = Plot {
+        title: format!("Segment map: {protocol} ({n} messages) — MDS of Canberra dissimilarities"),
+        x_label: "MDS axis 1".to_string(),
+        y_label: "MDS axis 2".to_string(),
+        series,
+        v_lines: Vec::new(),
+    };
+    let path = format!("target/segmap-{protocol}.svg");
+    std::fs::write(&path, plot.to_svg()).expect("write svg");
+    println!(
+        "segment map written to {path} ({} pseudo data types, eigenvalues {:.2}/{:.2})",
+        result.clustering.n_clusters(),
+        embedding.eigenvalues[0],
+        embedding.eigenvalues[1]
+    );
+}

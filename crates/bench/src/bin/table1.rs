@@ -1,0 +1,25 @@
+//! Regenerates **Table I**: clustering statistics for data type
+//! clustering from ground-truth segmentation.
+//!
+//! Paper columns: protocol, messages, unique fields, auto-configured ε,
+//! precision, recall, F¼. Run with:
+//! `cargo run --release -p bench --bin table1`
+
+use bench::{dump_json, render_row, run_truth, RunRecord, ROW_HEADER};
+use fieldclust::FieldTypeClusterer;
+use protocols::corpus;
+
+fn main() {
+    let clusterer = FieldTypeClusterer::default();
+    let mut records: Vec<RunRecord> = Vec::new();
+
+    println!("TABLE I — clustering from ground-truth segments");
+    println!("{ROW_HEADER}");
+    for spec in corpus::large_specs().into_iter().chain(corpus::small_specs()) {
+        let start = std::time::Instant::now();
+        let record = run_truth(&spec, &clusterer);
+        println!("{}   [{:.1?}]", render_row(&record), start.elapsed());
+        records.push(record);
+    }
+    dump_json("target/table1.json", &records);
+}

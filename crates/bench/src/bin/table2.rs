@@ -1,0 +1,64 @@
+//! Regenerates **Table II**: combinatorial clustering statistics and
+//! coverage for pseudo data types of heuristic segments, for the three
+//! segmenters Netzob, NEMESYS and CSP — including the paper's "fails"
+//! cells, reproduced via the segmenters' work budgets.
+//!
+//! Run with: `cargo run --release -p bench --bin table2`
+
+use bench::{dump_json, render_row, run_segmenter, RunOutcome};
+use fieldclust::FieldTypeClusterer;
+use protocols::corpus;
+use segment::csp::Csp;
+use segment::nemesys::Nemesys;
+use segment::netzob::Netzob;
+use segment::Segmenter;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Table2Cell {
+    segmenter: String,
+    outcome: Option<bench::RunRecord>,
+    fails: bool,
+}
+
+fn main() {
+    let clusterer = FieldTypeClusterer::default();
+    let segmenters: Vec<Box<dyn Segmenter>> = vec![
+        Box::new(Netzob::default()),
+        Box::new(Nemesys::default()),
+        Box::new(Csp::default()),
+    ];
+    let mut cells: Vec<Table2Cell> = Vec::new();
+
+    println!("TABLE II — clustering from heuristic segments");
+    for spec in corpus::large_specs().into_iter().chain(corpus::small_specs()) {
+        println!("--- {} ({} msgs) ---", spec.protocol, spec.messages);
+        for segmenter in &segmenters {
+            let start = std::time::Instant::now();
+            match run_segmenter(&spec, segmenter.as_ref(), &clusterer) {
+                RunOutcome::Done(record) => {
+                    println!(
+                        "  {:8} {}   [{:.1?}]",
+                        segmenter.name(),
+                        render_row(&record),
+                        start.elapsed()
+                    );
+                    cells.push(Table2Cell {
+                        segmenter: segmenter.name().to_string(),
+                        outcome: Some(*record),
+                        fails: false,
+                    });
+                }
+                RunOutcome::Fails(e) => {
+                    println!("  {:8} fails ({e})", segmenter.name());
+                    cells.push(Table2Cell {
+                        segmenter: segmenter.name().to_string(),
+                        outcome: None,
+                        fails: true,
+                    });
+                }
+            }
+        }
+    }
+    dump_json("target/table2.json", &cells);
+}

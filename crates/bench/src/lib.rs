@@ -1,0 +1,153 @@
+//! Shared harness code for the paper-reproduction binaries.
+//!
+//! Each binary regenerates one table or figure of the evaluation
+//! (DESIGN.md §3): `table1`, `table2`, `fig2`, `fig3`, `coverage`. The
+//! helpers here run the pipeline for a corpus spec and render rows.
+
+pub mod plot;
+
+use fieldclust::{evaluate, truth, Evaluation, FieldTypeClusterer};
+use protocols::corpus::CorpusSpec;
+use protocols::{corpus, Protocol};
+use segment::{SegmentError, Segmenter, TraceSegmentation};
+use serde::Serialize;
+use trace::Trace;
+
+/// One rendered cell of Table I/II.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunRecord {
+    /// Protocol name.
+    pub protocol: String,
+    /// Messages in the trace.
+    pub messages: usize,
+    /// Unique clusterable segments ("fields" column of Table I).
+    pub segments: usize,
+    /// Auto-configured ε.
+    pub epsilon: f64,
+    /// Pairwise precision.
+    pub precision: f64,
+    /// Pairwise recall.
+    pub recall: f64,
+    /// F¼ score.
+    pub f_score: f64,
+    /// Byte coverage.
+    pub coverage: f64,
+    /// Number of clusters.
+    pub clusters: u32,
+    /// Unique segments labelled noise.
+    pub noise: usize,
+}
+
+impl RunRecord {
+    /// Builds a record from an evaluation.
+    pub fn from_eval(spec: &CorpusSpec, eval: &Evaluation) -> Self {
+        Self {
+            protocol: spec.protocol.to_string(),
+            messages: spec.messages,
+            segments: eval.n_segments,
+            epsilon: eval.epsilon,
+            precision: eval.metrics.precision,
+            recall: eval.metrics.recall,
+            f_score: eval.metrics.f_score,
+            coverage: eval.coverage.ratio(),
+            clusters: eval.n_clusters,
+            noise: eval.n_noise,
+        }
+    }
+}
+
+/// Outcome of one (segmenter, trace) run.
+#[derive(Debug)]
+pub enum RunOutcome {
+    /// The pipeline completed.
+    Done(Box<RunRecord>),
+    /// The segmenter exceeded its work budget (a "fails" table cell).
+    Fails(SegmentError),
+}
+
+/// Builds the corpus trace and ground truth for a spec.
+pub fn prepare(spec: &CorpusSpec) -> (Trace, Vec<Vec<protocols::TrueField>>) {
+    let trace = spec.build();
+    let gt = corpus::ground_truth(spec.protocol, &trace);
+    (trace, gt)
+}
+
+/// Runs the pipeline on the ground-truth segmentation (Table I).
+pub fn run_truth(spec: &CorpusSpec, clusterer: &FieldTypeClusterer) -> RunRecord {
+    let (trace, gt) = prepare(spec);
+    let segmentation = truth::truth_segmentation(&trace, &gt);
+    run_on(spec, clusterer, &trace, &gt, &segmentation)
+}
+
+/// Runs the pipeline on a heuristic segmentation (Table II).
+pub fn run_segmenter(
+    spec: &CorpusSpec,
+    segmenter: &dyn Segmenter,
+    clusterer: &FieldTypeClusterer,
+) -> RunOutcome {
+    let (trace, gt) = prepare(spec);
+    match segmenter.segment_trace(&trace) {
+        Err(e) => RunOutcome::Fails(e),
+        Ok(segmentation) => {
+            RunOutcome::Done(Box::new(run_on(spec, clusterer, &trace, &gt, &segmentation)))
+        }
+    }
+}
+
+fn run_on(
+    spec: &CorpusSpec,
+    clusterer: &FieldTypeClusterer,
+    trace: &Trace,
+    gt: &[Vec<protocols::TrueField>],
+    segmentation: &TraceSegmentation,
+) -> RunRecord {
+    let result = clusterer
+        .cluster_trace(trace, segmentation)
+        .unwrap_or_else(|e| panic!("{} ({} msgs): {e}", spec.protocol, spec.messages));
+    let eval: Evaluation = evaluate(&result, trace, gt);
+    RunRecord::from_eval(spec, &eval)
+}
+
+/// Formats a table row like the paper prints them.
+pub fn render_row(r: &RunRecord) -> String {
+    format!(
+        "{:6} {:5} {:6} {:7.3} {:5.2} {:5.2} {:5.2} {:5.0}%  ({} clusters, {} noise)",
+        r.protocol,
+        r.messages,
+        r.segments,
+        r.epsilon,
+        r.precision,
+        r.recall,
+        r.f_score,
+        r.coverage * 100.0,
+        r.clusters,
+        r.noise
+    )
+}
+
+/// Header matching [`render_row`].
+pub const ROW_HEADER: &str = "proto  msgs  fields  eps     P     R     F1/4  cov";
+
+/// Writes records as JSON next to the printed table so EXPERIMENTS.md
+/// entries can be regenerated.
+pub fn dump_json<T: Serialize>(path: &str, records: &T) {
+    match serde_json::to_string_pretty(records) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(path, json) {
+                eprintln!("warning: could not write {path}: {e}");
+            } else {
+                eprintln!("(records written to {path})");
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize records: {e}"),
+    }
+}
+
+/// All protocols that have IP context (FieldHunter-able).
+pub const CONTEXT_PROTOCOLS: [Protocol; 5] = [
+    Protocol::Dhcp,
+    Protocol::Dns,
+    Protocol::Nbns,
+    Protocol::Ntp,
+    Protocol::Smb,
+];

@@ -1,0 +1,259 @@
+//! Minimal self-contained SVG line plots for the figure-reproduction
+//! binaries (no plotting dependencies; an SVG is just a string).
+
+/// One series of a plot.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Data points.
+    pub points: Vec<(f64, f64)>,
+    /// Stroke color (any SVG color string).
+    pub color: String,
+    /// Draw markers instead of a connected line.
+    pub scatter: bool,
+}
+
+/// A simple 2-D plot rendered to SVG.
+#[derive(Debug, Clone)]
+pub struct Plot {
+    /// Plot title.
+    pub title: String,
+    /// x axis label.
+    pub x_label: String,
+    /// y axis label.
+    pub y_label: String,
+    /// Series to draw.
+    pub series: Vec<Series>,
+    /// Vertical marker lines (e.g. a detected knee), as (x, label).
+    pub v_lines: Vec<(f64, String)>,
+}
+
+const W: f64 = 640.0;
+const H: f64 = 420.0;
+const MARGIN_L: f64 = 60.0;
+const MARGIN_R: f64 = 20.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 50.0;
+
+impl Plot {
+    /// Renders the plot as a standalone SVG document.
+    ///
+    /// Returns a minimal empty plot when no finite data exists.
+    pub fn to_svg(&self) -> String {
+        let all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        let (x0, x1) = bounds(all.iter().map(|p| p.0));
+        let (y0, y1) = bounds(all.iter().map(|p| p.1));
+        let sx = |x: f64| MARGIN_L + (x - x0) / (x1 - x0).max(1e-12) * (W - MARGIN_L - MARGIN_R);
+        let sy = |y: f64| H - MARGIN_B - (y - y0) / (y1 - y0).max(1e-12) * (H - MARGIN_T - MARGIN_B);
+
+        let mut svg = String::with_capacity(8192);
+        svg.push_str(&format!(
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}">"#
+        ));
+        svg.push_str(r#"<rect width="100%" height="100%" fill="white"/>"#);
+        svg.push_str(&format!(
+            r#"<text x="{}" y="24" font-family="sans-serif" font-size="16" text-anchor="middle">{}</text>"#,
+            W / 2.0,
+            escape(&self.title)
+        ));
+        // Axes.
+        svg.push_str(&format!(
+            r#"<line x1="{MARGIN_L}" y1="{}" x2="{}" y2="{}" stroke="black"/>"#,
+            H - MARGIN_B,
+            W - MARGIN_R,
+            H - MARGIN_B
+        ));
+        svg.push_str(&format!(
+            r#"<line x1="{MARGIN_L}" y1="{MARGIN_T}" x2="{MARGIN_L}" y2="{}" stroke="black"/>"#,
+            H - MARGIN_B
+        ));
+        // Ticks.
+        for i in 0..=5 {
+            let fx = x0 + (x1 - x0) * i as f64 / 5.0;
+            let fy = y0 + (y1 - y0) * i as f64 / 5.0;
+            svg.push_str(&format!(
+                r#"<text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="11" text-anchor="middle">{:.3}</text>"#,
+                sx(fx),
+                H - MARGIN_B + 18.0,
+                fx
+            ));
+            svg.push_str(&format!(
+                r#"<text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="11" text-anchor="end">{:.2}</text>"#,
+                MARGIN_L - 6.0,
+                sy(fy) + 4.0,
+                fy
+            ));
+        }
+        svg.push_str(&format!(
+            r#"<text x="{}" y="{}" font-family="sans-serif" font-size="13" text-anchor="middle">{}</text>"#,
+            (MARGIN_L + W - MARGIN_R) / 2.0,
+            H - 12.0,
+            escape(&self.x_label)
+        ));
+        svg.push_str(&format!(
+            r#"<text x="16" y="{}" font-family="sans-serif" font-size="13" text-anchor="middle" transform="rotate(-90 16 {})">{}</text>"#,
+            (MARGIN_T + H - MARGIN_B) / 2.0,
+            (MARGIN_T + H - MARGIN_B) / 2.0,
+            escape(&self.y_label)
+        ));
+
+        // Series.
+        for (si, s) in self.series.iter().enumerate() {
+            if s.scatter {
+                for &(x, y) in &s.points {
+                    svg.push_str(&format!(
+                        r#"<circle cx="{:.1}" cy="{:.1}" r="2" fill="{}"/>"#,
+                        sx(x),
+                        sy(y),
+                        s.color
+                    ));
+                }
+            } else {
+                let path: Vec<String> = s
+                    .points
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(x, y))| {
+                        format!("{}{:.1},{:.1}", if i == 0 { "M" } else { "L" }, sx(x), sy(y))
+                    })
+                    .collect();
+                svg.push_str(&format!(
+                    r#"<path d="{}" fill="none" stroke="{}" stroke-width="1.6"/>"#,
+                    path.join(" "),
+                    s.color
+                ));
+            }
+            // Legend.
+            svg.push_str(&format!(
+                r#"<rect x="{:.1}" y="{:.1}" width="12" height="4" fill="{}"/>"#,
+                MARGIN_L + 10.0,
+                MARGIN_T + 8.0 + 16.0 * si as f64,
+                s.color
+            ));
+            svg.push_str(&format!(
+                r#"<text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="12">{}</text>"#,
+                MARGIN_L + 28.0,
+                MARGIN_T + 14.0 + 16.0 * si as f64,
+                escape(&s.label)
+            ));
+        }
+
+        // Vertical markers.
+        for (x, label) in &self.v_lines {
+            svg.push_str(&format!(
+                r#"<line x1="{:.1}" y1="{MARGIN_T}" x2="{:.1}" y2="{:.1}" stroke="red" stroke-dasharray="4 3"/>"#,
+                sx(*x),
+                sx(*x),
+                H - MARGIN_B
+            ));
+            svg.push_str(&format!(
+                r#"<text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="12" fill="red">{}</text>"#,
+                sx(*x) + 4.0,
+                MARGIN_T + 12.0,
+                escape(label)
+            ));
+        }
+        svg.push_str("</svg>");
+        svg
+    }
+}
+
+fn bounds(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        (0.0, 1.0)
+    } else if lo == hi {
+        (lo - 0.5, hi + 0.5)
+    } else {
+        (lo, hi)
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_plot() -> Plot {
+        Plot {
+            title: "demo".to_string(),
+            x_label: "x".to_string(),
+            y_label: "y".to_string(),
+            series: vec![
+                Series {
+                    label: "line".to_string(),
+                    points: vec![(0.0, 0.0), (1.0, 0.5), (2.0, 1.0)],
+                    color: "steelblue".to_string(),
+                    scatter: false,
+                },
+                Series {
+                    label: "dots".to_string(),
+                    points: vec![(0.5, 0.1), (1.5, 0.9)],
+                    color: "darkorange".to_string(),
+                    scatter: true,
+                },
+            ],
+            v_lines: vec![(1.0, "knee".to_string())],
+        }
+    }
+
+    #[test]
+    fn renders_valid_svg_skeleton() {
+        let svg = demo_plot().to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("demo"));
+        assert!(svg.contains("knee"));
+        assert!(svg.contains("<path"));
+        assert!(svg.contains("<circle"));
+    }
+
+    #[test]
+    fn handles_empty_and_degenerate_data() {
+        let empty = Plot {
+            title: "empty".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![],
+            v_lines: vec![],
+        };
+        assert!(empty.to_svg().contains("</svg>"));
+
+        let flat = Plot {
+            title: "flat".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![Series {
+                label: "flat".into(),
+                points: vec![(1.0, 2.0), (1.0, 2.0)],
+                color: "black".into(),
+                scatter: false,
+            }],
+            v_lines: vec![],
+        };
+        assert!(flat.to_svg().contains("</svg>"));
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let mut p = demo_plot();
+        p.title = "a < b & c".to_string();
+        let svg = p.to_svg();
+        assert!(svg.contains("a &lt; b &amp; c"));
+        assert!(!svg.contains("a < b & c"));
+    }
+}

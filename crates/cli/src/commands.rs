@@ -1,0 +1,366 @@
+//! The CLI subcommands.
+
+use crate::opts::{hex_preview, CommonOpts};
+use fieldclust::fuzzgen::ValueModel;
+use fieldclust::report::{render_markdown, ReportOptions};
+use fieldclust::semantics::{interpret, SemanticsConfig};
+use fieldclust::FieldTypeClusterer;
+use protocols::{Protocol, ProtocolSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use trace::reassembly::{reassemble, NbssFramer};
+use trace::{pcap, Preprocessor, Trace};
+
+fn load_trace(opts: &CommonOpts) -> Result<Trace, String> {
+    let path = opts
+        .positional
+        .first()
+        .ok_or("missing <capture.pcap> argument")?;
+    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    // Sniffs classic pcap vs pcapng by magic.
+    let mut raw = trace::pcapng::read_any(&bytes, "capture").map_err(|e| format!("parsing {path}: {e}"))?;
+    if opts.reassemble {
+        let (rebuilt, stats) = reassemble(&raw, &NbssFramer);
+        eprintln!(
+            "reassembled {} TCP segments into {} messages ({} resync, {} trailing bytes)",
+            stats.segments_in, stats.messages_out, stats.resync_bytes, stats.trailing_bytes
+        );
+        raw = rebuilt;
+    }
+    let mut pre = Preprocessor::new().deduplicate(true);
+    if let Some(p) = opts.port {
+        pre = pre.filter_port(p);
+    }
+    if let Some(n) = opts.max {
+        pre = pre.truncate(n);
+    }
+    let trace = pre.apply(&raw);
+    if trace.is_empty() {
+        return Err("no messages left after preprocessing".to_string());
+    }
+    Ok(trace)
+}
+
+/// `fieldclust analyze <pcap>`: cluster, interpret, report.
+pub fn analyze(args: &[String]) -> Result<(), String> {
+    let opts = CommonOpts::parse(args)?;
+    let trace = load_trace(&opts)?;
+    let segmenter = opts.build_segmenter()?;
+    let segmentation = segmenter
+        .segment_trace(&trace)
+        .map_err(|e| format!("segmentation failed: {e}"))?;
+    let result = FieldTypeClusterer::default()
+        .cluster_trace(&trace, &segmentation)
+        .map_err(|e| format!("clustering failed: {e}"))?;
+    let semantics = interpret(&result, &trace, &SemanticsConfig::default());
+    let coverage = result.coverage(&trace);
+
+    if let Some(path) = &opts.report {
+        let message_types = fieldclust::msgtype::identify_message_types(
+            &trace,
+            &segmentation,
+            &fieldclust::msgtype::MessageTypeConfig::default(),
+        )
+        .ok();
+        let md = render_markdown(
+            &trace,
+            &result,
+            &semantics,
+            message_types.as_ref(),
+            &ReportOptions { examples_per_cluster: 3, include_value_models: true },
+        );
+        std::fs::write(path, md).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("report written to {path}");
+        return Ok(());
+    }
+
+    if opts.json {
+        #[derive(serde::Serialize)]
+        struct JsonCluster {
+            id: usize,
+            distinct_values: usize,
+            occurrences: usize,
+            hypothesis: String,
+            confidence: f64,
+            evidence: String,
+            sample_values: Vec<String>,
+        }
+        #[derive(serde::Serialize)]
+        struct JsonReport {
+            messages: usize,
+            unique_segments: usize,
+            noise_segments: usize,
+            epsilon: f64,
+            coverage: f64,
+            clusters: Vec<JsonCluster>,
+        }
+        let clusters = result
+            .clustering
+            .clusters()
+            .iter()
+            .zip(&semantics)
+            .enumerate()
+            .map(|(id, (members, sem))| JsonCluster {
+                id,
+                distinct_values: members.len(),
+                occurrences: members
+                    .iter()
+                    .map(|&m| result.store.segments[m].occurrences())
+                    .sum(),
+                hypothesis: sem.hypothesis.to_string(),
+                confidence: sem.confidence,
+                evidence: sem.evidence.clone(),
+                sample_values: members
+                    .iter()
+                    .take(3)
+                    .map(|&m| hex_preview(&result.store.segments[m].value, 16))
+                    .collect(),
+            })
+            .collect();
+        let report = JsonReport {
+            messages: trace.len(),
+            unique_segments: result.store.segments.len(),
+            noise_segments: result.clustering.noise().len(),
+            epsilon: result.params.epsilon,
+            coverage: coverage.ratio(),
+            clusters,
+        };
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+
+    println!(
+        "{} messages, {} unique segments, eps = {:.3} ({:?}), coverage {:.0}%",
+        trace.len(),
+        result.store.segments.len(),
+        result.params.epsilon,
+        result.epsilon_source,
+        coverage.ratio() * 100.0
+    );
+    println!("{} pseudo data types ({} noise segments):\n", result.clustering.n_clusters(), result.clustering.noise().len());
+    for ((id, members), sem) in result.clustering.clusters().iter().enumerate().zip(&semantics) {
+        let occurrences: usize = members
+            .iter()
+            .map(|&m| result.store.segments[m].occurrences())
+            .sum();
+        println!(
+            "  type {id:2}: {:10} ({:4.0}% conf) — {:4} values / {:5} occurrences — {}",
+            sem.hypothesis.to_string(),
+            sem.confidence * 100.0,
+            members.len(),
+            occurrences,
+            sem.evidence
+        );
+        if id < opts.limit {
+            let samples: Vec<String> = members
+                .iter()
+                .take(3)
+                .map(|&m| hex_preview(&result.store.segments[m].value, 12))
+                .collect();
+            println!("           e.g. [{}]", samples.join(", "));
+        }
+    }
+    Ok(())
+}
+
+/// `fieldclust msgtype <pcap>`: cluster messages into message types.
+pub fn msgtype(args: &[String]) -> Result<(), String> {
+    let opts = CommonOpts::parse(args)?;
+    let trace = load_trace(&opts)?;
+    let segmenter = opts.build_segmenter()?;
+    let segmentation = segmenter
+        .segment_trace(&trace)
+        .map_err(|e| format!("segmentation failed: {e}"))?;
+    let result = fieldclust::msgtype::identify_message_types(
+        &trace,
+        &segmentation,
+        &fieldclust::msgtype::MessageTypeConfig::default(),
+    )
+    .map_err(|e| format!("message type identification failed: {e}"))?;
+    println!(
+        "{} messages -> {} message types ({} noise), eps = {:.3}",
+        trace.len(),
+        result.clustering.n_clusters(),
+        result.clustering.noise().len(),
+        result.epsilon
+    );
+    for (id, members) in result.clustering.clusters().iter().enumerate() {
+        let sample = &trace.messages()[members[0]];
+        println!(
+            "  type {id:2}: {:4} messages, e.g. [{}] ({} bytes)",
+            members.len(),
+            hex_preview(sample.payload(), 12),
+            sample.payload().len()
+        );
+    }
+    Ok(())
+}
+
+/// `fieldclust segment <pcap>`: print inferred boundaries per message.
+pub fn segment(args: &[String]) -> Result<(), String> {
+    let opts = CommonOpts::parse(args)?;
+    let trace = load_trace(&opts)?;
+    let segmenter = opts.build_segmenter()?;
+    let segmentation = segmenter
+        .segment_trace(&trace)
+        .map_err(|e| format!("segmentation failed: {e}"))?;
+    println!(
+        "{} messages, {} segments ({} segmenter)",
+        trace.len(),
+        segmentation.total_segments(),
+        segmenter.name()
+    );
+    for (i, (msg, segs)) in trace.iter().zip(&segmentation.messages).enumerate().take(opts.limit) {
+        let rendered: Vec<String> = segs
+            .ranges()
+            .iter()
+            .map(|r| hex_preview(&msg.payload()[r.clone()], 8))
+            .collect();
+        println!("msg {i:4}: {}", rendered.join(" | "));
+    }
+    Ok(())
+}
+
+/// `fieldclust fuzz <pcap>`: sample fuzzing candidates per cluster.
+pub fn fuzz(args: &[String]) -> Result<(), String> {
+    let opts = CommonOpts::parse(args)?;
+    let trace = load_trace(&opts)?;
+    let segmenter = opts.build_segmenter()?;
+    let segmentation = segmenter
+        .segment_trace(&trace)
+        .map_err(|e| format!("segmentation failed: {e}"))?;
+    let result = FieldTypeClusterer::default()
+        .cluster_trace(&trace, &segmentation)
+        .map_err(|e| format!("clustering failed: {e}"))?;
+    let models = ValueModel::per_cluster(&result);
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    println!("fuzzing candidates per pseudo data type (seed {}):", opts.seed);
+    for (id, model) in models.iter().enumerate().take(opts.limit) {
+        let candidates: Vec<String> = (0..opts.count)
+            .map(|_| hex_preview(&model.sample(&mut rng), 16))
+            .collect();
+        println!("  type {id:2} (trained on {:5} values): {}", model.training_weight(), candidates.join(", "));
+    }
+    Ok(())
+}
+
+/// `fieldclust compare <a.pcap> <b.pcap>`: protocol drift between two
+/// captures.
+pub fn compare(args: &[String]) -> Result<(), String> {
+    let opts = CommonOpts::parse(args)?;
+    if opts.positional.len() != 2 {
+        return Err("usage: fieldclust compare <a.pcap> <b.pcap>".to_string());
+    }
+    let segmenter = opts.build_segmenter()?;
+    let mut results = Vec::new();
+    for path in &opts.positional {
+        let single = CommonOpts { positional: vec![path.clone()], ..CommonOpts::parse(&[])? };
+        let single = CommonOpts {
+            port: opts.port,
+            max: opts.max,
+            reassemble: opts.reassemble,
+            ..single
+        };
+        let trace = load_trace(&single)?;
+        let segmentation = segmenter
+            .segment_trace(&trace)
+            .map_err(|e| format!("{path}: segmentation failed: {e}"))?;
+        let result = FieldTypeClusterer::default()
+            .cluster_trace(&trace, &segmentation)
+            .map_err(|e| format!("{path}: clustering failed: {e}"))?;
+        results.push(result);
+    }
+    let diff = fieldclust::compare_clusterings(
+        &results[0],
+        &results[1],
+        fieldclust::compare::DEFAULT_MATCH_THRESHOLD,
+    );
+    println!(
+        "{} vs {}: {} matched types, {} only in A, {} only in B",
+        opts.positional[0],
+        opts.positional[1],
+        diff.matches.len(),
+        diff.only_left.len(),
+        diff.only_right.len()
+    );
+    println!("value retention A->B: {:.0}%", diff.left_value_retention * 100.0);
+    for m in diff.matches.iter().take(opts.limit) {
+        println!(
+            "  A:{:<3} <-> B:{:<3}  jaccard {:.2} ({} shared values)",
+            m.left, m.right, m.jaccard, m.shared_values
+        );
+    }
+    if !diff.only_left.is_empty() {
+        println!("  vanished types (A only): {:?}", diff.only_left);
+    }
+    if !diff.only_right.is_empty() {
+        println!("  new types (B only): {:?}", diff.only_right);
+    }
+    Ok(())
+}
+
+/// `fieldclust stats <pcap>`: first-look summary of a capture.
+pub fn stats(args: &[String]) -> Result<(), String> {
+    let opts = CommonOpts::parse(args)?;
+    let trace = load_trace(&opts)?;
+    let s = trace::stats::trace_stats(&trace, 48);
+    println!(
+        "{} messages, {} bytes, {} flows, uniqueness {:.2}",
+        s.messages, s.total_bytes, s.flows, s.uniqueness
+    );
+    println!(
+        "payload lengths: min {} / median {} / max {} ({} distinct)",
+        s.len_min,
+        s.len_median,
+        s.len_max,
+        s.length_histogram.len()
+    );
+    println!("mean payload entropy: {:.2} bits/byte", s.mean_entropy);
+    for (t, c) in &s.transports {
+        println!("  transport {t:?}: {c} messages");
+    }
+    println!("per-offset entropy (first {} bytes; low = fixed header):", s.offset_profile.len());
+    let bar = |e: f64| "#".repeat((e * 4.0).round() as usize);
+    for (off, e) in s.offset_profile.iter().enumerate() {
+        println!("  byte {off:3}: {e:4.2} {}", bar(*e));
+    }
+    Ok(())
+}
+
+/// `fieldclust generate <protocol> <n> <out.pcap>`: write a synthetic
+/// trace.
+pub fn generate(args: &[String]) -> Result<(), String> {
+    let opts = CommonOpts::parse(args)?;
+    let [protocol, n, out] = &opts.positional[..] else {
+        return Err("usage: fieldclust generate <protocol> <messages> <out.pcap>".to_string());
+    };
+    let protocol = Protocol::from_name(protocol)
+        .ok_or_else(|| format!("unknown protocol `{protocol}` (see `fieldclust protocols`)"))?;
+    let n: usize = n.parse().map_err(|_| "<messages> must be a number".to_string())?;
+    let trace = protocol.generate(n, opts.seed);
+    pcap::write_to_file(&trace, out).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "wrote {} {} messages ({} bytes of payload) to {out}",
+        trace.len(),
+        protocol,
+        trace.total_payload_bytes()
+    );
+    Ok(())
+}
+
+/// `fieldclust protocols`: list the built-in generators.
+pub fn protocols(_args: &[String]) -> Result<(), String> {
+    println!("built-in protocol generators:");
+    for p in Protocol::ALL {
+        let sample = p.generate(2, 1);
+        println!(
+            "  {:5} — e.g. {} byte messages",
+            p.name(),
+            sample.messages()[0].payload().len()
+        );
+    }
+    Ok(())
+}

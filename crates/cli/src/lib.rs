@@ -1,0 +1,6 @@
+//! Library surface of the `fieldclust` CLI: exposed for integration
+//! tests; the binary in `main.rs` is a thin dispatcher over
+//! [`commands`].
+
+pub mod commands;
+pub mod opts;

@@ -1,0 +1,42 @@
+//! `fieldclust` — command-line field data type clustering.
+//!
+//! ```text
+//! fieldclust analyze  <capture.pcap> [--segmenter S] [--port P] [--max N] [--json]
+//! fieldclust segment  <capture.pcap> [--segmenter S] [--max N] [--limit M]
+//! fieldclust fuzz     <capture.pcap> [--segmenter S] [--count N] [--seed X]
+//! fieldclust generate <protocol> <messages> <out.pcap> [--seed X]
+//! fieldclust protocols
+//! ```
+
+use cli::{commands, opts};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{}", opts::USAGE);
+        return ExitCode::from(2);
+    };
+    let result = match command.as_str() {
+        "analyze" => commands::analyze(rest),
+        "msgtype" => commands::msgtype(rest),
+        "stats" => commands::stats(rest),
+        "compare" => commands::compare(rest),
+        "segment" => commands::segment(rest),
+        "fuzz" => commands::fuzz(rest),
+        "generate" => commands::generate(rest),
+        "protocols" => commands::protocols(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", opts::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", opts::USAGE)),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

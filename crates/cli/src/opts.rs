@@ -1,0 +1,192 @@
+//! Hand-rolled option parsing (the workspace deliberately avoids
+//! additional dependencies).
+
+use segment::csp::Csp;
+use segment::fixed::FixedChunks;
+use segment::nemesys::Nemesys;
+use segment::netzob::Netzob;
+use segment::Segmenter;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+fieldclust — field data type clustering for unknown binary protocols
+
+USAGE:
+  fieldclust analyze  <capture.pcap> [--segmenter S] [--port P] [--max N] [--json | --report out.md]
+  fieldclust msgtype  <capture.pcap> [--segmenter S] [--port P] [--max N]
+  fieldclust stats    <capture.pcap> [--port P] [--max N]
+  fieldclust compare  <a.pcap> <b.pcap> [--segmenter S]
+  fieldclust segment  <capture.pcap> [--segmenter S] [--max N] [--limit M]
+  fieldclust fuzz     <capture.pcap> [--segmenter S] [--count N] [--seed X]
+  fieldclust generate <protocol> <messages> <out.pcap> [--seed X]
+  fieldclust protocols
+
+OPTIONS:
+  --segmenter S   nemesys (default) | netzob | csp | fixed
+  --port P        keep only messages with source or destination port P
+  --max N         truncate the trace to N messages after preprocessing
+  --reassemble    reassemble TCP streams with NBSS framing before analysis
+  --limit M       print at most M items
+  --count N       number of fuzzing candidates per cluster (default 3)
+  --seed X        generation / sampling seed (default 1)
+  --json          machine-readable output
+  --report F      write a full Markdown analysis report to F";
+
+/// Parsed common options.
+#[derive(Debug)]
+pub struct CommonOpts {
+    /// Positional arguments in order.
+    pub positional: Vec<String>,
+    /// `--segmenter`.
+    pub segmenter: String,
+    /// `--port`.
+    pub port: Option<u16>,
+    /// `--max`.
+    pub max: Option<usize>,
+    /// `--limit`.
+    pub limit: usize,
+    /// `--count`.
+    pub count: usize,
+    /// `--seed`.
+    pub seed: u64,
+    /// `--json`.
+    pub json: bool,
+    /// `--reassemble`.
+    pub reassemble: bool,
+    /// `--report`.
+    pub report: Option<String>,
+}
+
+impl CommonOpts {
+    /// Parses `args`; unknown flags are an error.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut opts = CommonOpts {
+            positional: Vec::new(),
+            segmenter: "nemesys".to_string(),
+            port: None,
+            max: None,
+            limit: 16,
+            count: 3,
+            seed: 1,
+            json: false,
+            reassemble: false,
+            report: None,
+        };
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut value_for = |flag: &str| -> Result<String, String> {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{flag} needs a value"))
+            };
+            match arg.as_str() {
+                "--segmenter" => opts.segmenter = value_for("--segmenter")?,
+                "--port" => {
+                    opts.port = Some(
+                        value_for("--port")?
+                            .parse()
+                            .map_err(|_| "--port needs a number".to_string())?,
+                    )
+                }
+                "--max" => {
+                    opts.max = Some(
+                        value_for("--max")?
+                            .parse()
+                            .map_err(|_| "--max needs a number".to_string())?,
+                    )
+                }
+                "--limit" => {
+                    opts.limit = value_for("--limit")?
+                        .parse()
+                        .map_err(|_| "--limit needs a number".to_string())?
+                }
+                "--count" => {
+                    opts.count = value_for("--count")?
+                        .parse()
+                        .map_err(|_| "--count needs a number".to_string())?
+                }
+                "--seed" => {
+                    opts.seed = value_for("--seed")?
+                        .parse()
+                        .map_err(|_| "--seed needs a number".to_string())?
+                }
+                "--json" => opts.json = true,
+                "--reassemble" => opts.reassemble = true,
+                "--report" => opts.report = Some(value_for("--report")?),
+                flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+                positional => opts.positional.push(positional.to_string()),
+            }
+        }
+        Ok(opts)
+    }
+
+    /// Instantiates the selected segmenter.
+    pub fn build_segmenter(&self) -> Result<Box<dyn Segmenter>, String> {
+        match self.segmenter.as_str() {
+            "nemesys" => Ok(Box::new(Nemesys::default())),
+            "netzob" => Ok(Box::new(Netzob::default())),
+            "csp" => Ok(Box::new(Csp::default())),
+            "fixed" => Ok(Box::new(FixedChunks::default())),
+            other => Err(format!("unknown segmenter `{other}` (nemesys|netzob|csp|fixed)")),
+        }
+    }
+}
+
+/// Renders bytes as a short hex preview.
+pub fn hex_preview(bytes: &[u8], max: usize) -> String {
+    let mut s: String = bytes.iter().take(max).map(|b| format!("{b:02x}")).collect();
+    if bytes.len() > max {
+        s.push('…');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<CommonOpts, String> {
+        let args: Vec<String> = words.iter().map(|s| s.to_string()).collect();
+        CommonOpts::parse(&args)
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&["file.pcap"]).unwrap();
+        assert_eq!(o.positional, vec!["file.pcap"]);
+        assert_eq!(o.segmenter, "nemesys");
+        assert_eq!(o.port, None);
+        assert!(!o.json);
+    }
+
+    #[test]
+    fn flags_and_values() {
+        let o = parse(&["a.pcap", "--segmenter", "csp", "--port", "53", "--max", "100", "--json"]).unwrap();
+        assert_eq!(o.segmenter, "csp");
+        assert_eq!(o.port, Some(53));
+        assert_eq!(o.max, Some(100));
+        assert!(o.json);
+    }
+
+    #[test]
+    fn rejects_unknown_flag_and_missing_value() {
+        assert!(parse(&["--frobnicate"]).is_err());
+        assert!(parse(&["--port"]).is_err());
+        assert!(parse(&["--port", "x"]).is_err());
+    }
+
+    #[test]
+    fn segmenter_construction() {
+        for name in ["nemesys", "netzob", "csp", "fixed"] {
+            let o = parse(&["--segmenter", name]).unwrap();
+            assert_eq!(o.build_segmenter().unwrap().name(), name);
+        }
+        assert!(parse(&["--segmenter", "magic"]).unwrap().build_segmenter().is_err());
+    }
+
+    #[test]
+    fn hex_preview_truncates() {
+        assert_eq!(hex_preview(&[0xAB, 0xCD], 4), "abcd");
+        assert_eq!(hex_preview(&[1, 2, 3, 4, 5], 3), "010203…");
+    }
+}

@@ -1,0 +1,61 @@
+//! End-to-end CLI flows: generate a capture, then run every read
+//! command against it.
+
+use cli::commands;
+
+fn tmp(name: &str) -> String {
+    let dir = std::env::temp_dir().join("fieldclust-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name).to_string_lossy().into_owned()
+}
+
+fn args(words: &[&str]) -> Vec<String> {
+    words.iter().map(|s| s.to_string()).collect()
+}
+
+#[test]
+fn generate_then_analyze_segment_fuzz() {
+    let pcap = tmp("roundtrip.pcap");
+    commands::generate(&args(&["ntp", "60", &pcap, "--seed", "3"])).unwrap();
+    assert!(std::path::Path::new(&pcap).exists());
+
+    commands::analyze(&args(&[&pcap])).unwrap();
+    commands::analyze(&args(&[&pcap, "--json", "--max", "40"])).unwrap();
+    commands::segment(&args(&[&pcap, "--limit", "2"])).unwrap();
+    commands::fuzz(&args(&[&pcap, "--count", "2", "--seed", "7"])).unwrap();
+    std::fs::remove_file(&pcap).ok();
+}
+
+#[test]
+fn generate_rejects_bad_protocol_and_counts() {
+    let pcap = tmp("never-written.pcap");
+    assert!(commands::generate(&args(&["quic", "10", &pcap])).is_err());
+    assert!(commands::generate(&args(&["ntp", "ten", &pcap])).is_err());
+    assert!(commands::generate(&args(&["ntp"])).is_err());
+    assert!(!std::path::Path::new(&pcap).exists());
+}
+
+#[test]
+fn analyze_rejects_missing_file_and_empty_trace() {
+    assert!(commands::analyze(&args(&["/nonexistent/x.pcap"])).is_err());
+    // Filter that matches nothing -> empty trace error.
+    let pcap = tmp("filtered.pcap");
+    commands::generate(&args(&["dns", "20", &pcap])).unwrap();
+    let err = commands::analyze(&args(&[&pcap, "--port", "9"])).unwrap_err();
+    assert!(err.contains("no messages"), "{err}");
+    std::fs::remove_file(&pcap).ok();
+}
+
+#[test]
+fn protocols_lists_without_error() {
+    commands::protocols(&[]).unwrap();
+}
+
+#[test]
+fn segmenter_flag_is_honored() {
+    let pcap = tmp("segmenter.pcap");
+    commands::generate(&args(&["dns", "30", &pcap])).unwrap();
+    commands::segment(&args(&[&pcap, "--segmenter", "csp", "--limit", "1"])).unwrap();
+    assert!(commands::segment(&args(&[&pcap, "--segmenter", "bogus"])).is_err());
+    std::fs::remove_file(&pcap).ok();
+}

@@ -1,0 +1,300 @@
+//! DBSCAN (Ester et al., KDD 1996) over a precomputed dissimilarity
+//! matrix.
+//!
+//! DBSCAN suits the field-type clustering problem because it needs no
+//! target cluster count, makes no shape assumptions, and treats sparse
+//! segments as noise (paper §III-E). This implementation follows the
+//! classic region-growing formulation with scikit-learn's convention that
+//! `min_samples` counts the point itself.
+
+use dissim::CondensedMatrix;
+
+/// Cluster assignment of one item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Label {
+    /// Member of the cluster with the given id (ids are dense, from 0).
+    Cluster(u32),
+    /// Not density-reachable from any core point.
+    Noise,
+}
+
+/// The result of a clustering run: one [`Label`] per item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    labels: Vec<Label>,
+    n_clusters: u32,
+}
+
+impl Clustering {
+    /// Builds a clustering from explicit labels.
+    ///
+    /// Cluster ids need not be dense; they are compacted.
+    pub fn from_labels(labels: Vec<Label>) -> Self {
+        let mut c = Self { labels, n_clusters: 0 };
+        c.compact();
+        c
+    }
+
+    /// Per-item labels.
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the clustering covers zero items.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of clusters (noise excluded).
+    pub fn n_clusters(&self) -> u32 {
+        self.n_clusters
+    }
+
+    /// Item indices per cluster, indexed by cluster id.
+    pub fn clusters(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.n_clusters as usize];
+        for (i, l) in self.labels.iter().enumerate() {
+            if let Label::Cluster(c) = l {
+                out[*c as usize].push(i);
+            }
+        }
+        out
+    }
+
+    /// Indices labelled as noise.
+    pub fn noise(&self) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| **l == Label::Noise)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Renumbers cluster ids densely (0..n_clusters) preserving first-
+    /// appearance order and recomputes the cluster count.
+    fn compact(&mut self) {
+        let mut map = std::collections::HashMap::new();
+        let mut next = 0u32;
+        for l in &mut self.labels {
+            if let Label::Cluster(c) = l {
+                let id = *map.entry(*c).or_insert_with(|| {
+                    let id = next;
+                    next += 1;
+                    id
+                });
+                *l = Label::Cluster(id);
+            }
+        }
+        self.n_clusters = next;
+    }
+}
+
+/// Runs DBSCAN with radius `eps` and density threshold `min_samples`
+/// (which counts the point itself).
+///
+/// Deterministic: items are visited in index order, so cluster ids are
+/// stable for a given input.
+pub fn dbscan(matrix: &CondensedMatrix, eps: f64, min_samples: usize) -> Clustering {
+    let weights = vec![1usize; matrix.len()];
+    dbscan_weighted(matrix, eps, min_samples, &weights)
+}
+
+/// Runs DBSCAN over *weighted* items: item `i` stands for `weights[i]`
+/// identical samples at the same position.
+///
+/// This makes clustering deduplicated segments equivalent to clustering
+/// the full segment multiset (the paper de-duplicates segment values for
+/// the dissimilarity matrix but sizes `min_samples` by the trace's
+/// segment count): an item is a core point when the weights within its
+/// ε-neighborhood — its own included — reach `min_samples`, so frequent
+/// values (padding, magic numbers, flag constants) are cores by
+/// themselves.
+///
+/// # Panics
+///
+/// Panics if `weights` is shorter than the matrix.
+pub fn dbscan_weighted(
+    matrix: &CondensedMatrix,
+    eps: f64,
+    min_samples: usize,
+    weights: &[usize],
+) -> Clustering {
+    let n = matrix.len();
+    assert!(weights.len() >= n, "need a weight per item");
+    const UNVISITED: u32 = u32::MAX;
+    const NOISE: u32 = u32::MAX - 1;
+    let mut labels = vec![UNVISITED; n];
+    let mut cluster_id = 0u32;
+
+    let neighbors = |i: usize| -> Vec<usize> {
+        (0..n).filter(|&j| j != i && matrix.get(i, j) <= eps).collect()
+    };
+    let neighborhood_weight =
+        |i: usize, nb: &[usize]| -> usize { weights[i] + nb.iter().map(|&j| weights[j]).sum::<usize>() };
+
+    for i in 0..n {
+        if labels[i] != UNVISITED {
+            continue;
+        }
+        let seed = neighbors(i);
+        if neighborhood_weight(i, &seed) < min_samples {
+            labels[i] = NOISE;
+            continue;
+        }
+        // Start a new cluster and grow it breadth-first.
+        labels[i] = cluster_id;
+        let mut queue: std::collections::VecDeque<usize> = seed.into();
+        while let Some(q) = queue.pop_front() {
+            if labels[q] == NOISE {
+                labels[q] = cluster_id; // border point adopted by the cluster
+            }
+            if labels[q] != UNVISITED {
+                continue;
+            }
+            labels[q] = cluster_id;
+            let q_neighbors = neighbors(q);
+            if neighborhood_weight(q, &q_neighbors) >= min_samples {
+                queue.extend(q_neighbors);
+            }
+        }
+        cluster_id += 1;
+    }
+
+    let labels = labels
+        .into_iter()
+        .map(|l| if l == NOISE { Label::Noise } else { Label::Cluster(l) })
+        .collect();
+    Clustering::from_labels(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_matrix(points: &[f64]) -> CondensedMatrix {
+        CondensedMatrix::build(points.len(), |i, j| (points[i] - points[j]).abs())
+    }
+
+    #[test]
+    fn two_blobs_and_noise() {
+        let pts = [0.0, 0.1, 0.2, 10.0, 10.1, 10.2, 100.0];
+        let c = dbscan(&line_matrix(&pts), 0.5, 3);
+        assert_eq!(c.n_clusters(), 2);
+        assert_eq!(c.labels()[0], c.labels()[2]);
+        assert_eq!(c.labels()[3], c.labels()[5]);
+        assert_ne!(c.labels()[0], c.labels()[3]);
+        assert_eq!(c.labels()[6], Label::Noise);
+        assert_eq!(c.noise(), vec![6]);
+    }
+
+    #[test]
+    fn chain_is_density_connected() {
+        // Points spaced 1 apart form one cluster with eps = 1.
+        let pts: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let c = dbscan(&line_matrix(&pts), 1.0, 3);
+        assert_eq!(c.n_clusters(), 1);
+        assert!(c.noise().is_empty());
+    }
+
+    #[test]
+    fn everything_noise_when_sparse() {
+        let pts = [0.0, 10.0, 20.0, 30.0];
+        let c = dbscan(&line_matrix(&pts), 1.0, 2);
+        assert_eq!(c.n_clusters(), 0);
+        assert_eq!(c.noise().len(), 4);
+    }
+
+    #[test]
+    fn min_samples_one_clusters_everything() {
+        let pts = [0.0, 10.0, 20.0];
+        let c = dbscan(&line_matrix(&pts), 1.0, 1);
+        assert_eq!(c.n_clusters(), 3);
+        assert!(c.noise().is_empty());
+    }
+
+    #[test]
+    fn border_points_join_first_claiming_cluster() {
+        // Point 2 is within eps of both blobs' cores but is not core
+        // itself (eps = 1.0): it must end in exactly one cluster.
+        let pts = [0.0, 0.5, 1.5, 2.5, 3.0];
+        let c = dbscan(&line_matrix(&pts), 1.0, 3);
+        assert!(matches!(c.labels()[2], Label::Cluster(_)));
+    }
+
+    #[test]
+    fn empty_input() {
+        let m = CondensedMatrix::build(0, |_, _| 0.0);
+        let c = dbscan(&m, 1.0, 2);
+        assert!(c.is_empty());
+        assert_eq!(c.n_clusters(), 0);
+    }
+
+    #[test]
+    fn clusters_listing_matches_labels() {
+        let pts = [0.0, 0.1, 5.0, 5.1, 9.9];
+        let c = dbscan(&line_matrix(&pts), 0.5, 2);
+        let clusters = c.clusters();
+        assert_eq!(clusters.len(), c.n_clusters() as usize);
+        let total: usize = clusters.iter().map(Vec::len).sum();
+        assert_eq!(total + c.noise().len(), pts.len());
+    }
+
+    #[test]
+    fn weighted_high_occurrence_singleton_is_core() {
+        // One isolated value with weight 100 and two sparse outliers:
+        // unweighted DBSCAN calls everything noise, weighted makes the
+        // heavy value its own cluster.
+        let pts = [0.0, 50.0, 90.0];
+        let m = line_matrix(&pts);
+        let unweighted = dbscan(&m, 1.0, 5);
+        assert_eq!(unweighted.n_clusters(), 0);
+        let weighted = dbscan_weighted(&m, 1.0, 5, &[100, 1, 1]);
+        assert_eq!(weighted.n_clusters(), 1);
+        assert_eq!(weighted.labels()[0], Label::Cluster(0));
+        assert_eq!(weighted.labels()[1], Label::Noise);
+    }
+
+    #[test]
+    fn weighted_matches_unweighted_for_unit_weights() {
+        let pts = [0.0, 0.1, 0.2, 10.0, 10.1, 10.2, 100.0];
+        let m = line_matrix(&pts);
+        let w = vec![1usize; pts.len()];
+        assert_eq!(dbscan(&m, 0.5, 3), dbscan_weighted(&m, 0.5, 3, &w));
+    }
+
+    #[test]
+    fn weighted_neighbor_pulls_sparse_points_in() {
+        // A heavy core at 0.0 makes its light neighbor at 0.5 clustered.
+        let pts = [0.0, 0.5, 9.0];
+        let m = line_matrix(&pts);
+        let c = dbscan_weighted(&m, 1.0, 10, &[20, 1, 1]);
+        assert_eq!(c.labels()[0], c.labels()[1]);
+        assert_eq!(c.labels()[2], Label::Noise);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight per item")]
+    fn weighted_rejects_short_weights() {
+        let m = line_matrix(&[0.0, 1.0]);
+        dbscan_weighted(&m, 0.5, 2, &[1]);
+    }
+
+    #[test]
+    fn from_labels_compacts_ids() {
+        let c = Clustering::from_labels(vec![
+            Label::Cluster(7),
+            Label::Noise,
+            Label::Cluster(3),
+            Label::Cluster(7),
+        ]);
+        assert_eq!(c.n_clusters(), 2);
+        assert_eq!(c.labels()[0], Label::Cluster(0));
+        assert_eq!(c.labels()[2], Label::Cluster(1));
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+//! Density-based clustering with automatic parameter selection and
+//! refinement, as used for field data type clustering (paper §III-D/E/F).
+//!
+//! * [`dbscan`](mod@crate::dbscan) — DBSCAN over a precomputed dissimilarity matrix,
+//! * [`autoconf`] — the ε auto-configuration of Algorithm 1: pick the
+//!   k-NN ECDF with the sharpest knee, smooth it with a spline, detect
+//!   the rightmost knee with Kneedle, set `min_samples = round(ln n)`,
+//! * [`refine`] — merging of over-classified clusters (Conditions 1–2)
+//!   and splitting of clusters with polarized value occurrences.
+//!
+//! # Examples
+//!
+//! ```
+//! use dissim::CondensedMatrix;
+//! use cluster::dbscan::{dbscan, Label};
+//!
+//! // Two tight groups and one outlier.
+//! let points = [0.0_f64, 0.1, 0.2, 5.0, 5.1, 5.2, 50.0];
+//! let m = CondensedMatrix::build(points.len(), |i, j| (points[i] - points[j]).abs());
+//! let c = dbscan(&m, 0.5, 2);
+//! assert_eq!(c.n_clusters(), 2);
+//! assert_eq!(c.labels()[6], Label::Noise);
+//! ```
+
+pub mod autoconf;
+pub mod dbscan;
+pub mod hdbscan;
+pub mod optics;
+pub mod refine;
+
+pub use autoconf::{auto_configure, AutoConfError, AutoConfig, SelectedParams};
+pub use dbscan::{dbscan, dbscan_weighted, Clustering, Label};
+pub use hdbscan::{hdbscan, HdbscanParams};
+pub use optics::{optics, OpticsOrdering};
+pub use refine::{merge_clusters, split_clusters, RefineParams};

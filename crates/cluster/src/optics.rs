@@ -1,0 +1,211 @@
+//! OPTICS (Ankerst et al., SIGMOD 1999) over a precomputed
+//! dissimilarity matrix.
+//!
+//! The paper's §III-F notes that over-classification "is not only a
+//! limitation of DBSCAN and we noticed that similar alternatives, e.g.,
+//! HDBSCAN and OPTICS, suffer from the same effect". This module
+//! implements OPTICS so that claim can be checked experimentally (see
+//! the `ablation` bench binary): the reachability ordering is computed
+//! once, and an ε-cut extracts DBSCAN-equivalent clusters at any radius.
+
+use crate::dbscan::{Clustering, Label};
+use dissim::CondensedMatrix;
+
+/// The OPTICS ordering: reachability and core distances per visit rank.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpticsOrdering {
+    /// Item indices in visit order.
+    pub order: Vec<usize>,
+    /// Reachability distance of each visited item (`INFINITY` for the
+    /// first item of each connected component).
+    pub reachability: Vec<f64>,
+    /// Core distance of each visited item (`INFINITY` for non-core).
+    pub core_distance: Vec<f64>,
+}
+
+/// Runs OPTICS with generating distance `max_eps` and density threshold
+/// `min_samples` (counting the point itself).
+///
+/// Deterministic: seeds are taken in index order and ties in the
+/// priority queue resolve to the smaller index.
+pub fn optics(matrix: &CondensedMatrix, max_eps: f64, min_samples: usize) -> OpticsOrdering {
+    let n = matrix.len();
+    let mut processed = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut reach_out = Vec::with_capacity(n);
+    let mut core_out = Vec::with_capacity(n);
+
+    let neighbors = |i: usize| -> Vec<(usize, f64)> {
+        (0..n)
+            .filter(|&j| j != i)
+            .map(|j| (j, matrix.get(i, j)))
+            .filter(|&(_, d)| d <= max_eps)
+            .collect()
+    };
+    let core_distance = |nb: &[(usize, f64)]| -> f64 {
+        if nb.len() + 1 < min_samples {
+            return f64::INFINITY;
+        }
+        if min_samples <= 1 {
+            return 0.0;
+        }
+        let mut ds: Vec<f64> = nb.iter().map(|&(_, d)| d).collect();
+        ds.sort_by(|a, b| a.partial_cmp(b).expect("distances are not NaN"));
+        ds[min_samples - 2] // the (min_samples-1)-th neighbor distance
+    };
+
+    for seed in 0..n {
+        if processed[seed] {
+            continue;
+        }
+        // Expand one connected component starting at `seed`.
+        processed[seed] = true;
+        let nb = neighbors(seed);
+        let seed_core = core_distance(&nb);
+        order.push(seed);
+        reach_out.push(f64::INFINITY);
+        core_out.push(seed_core);
+
+        // Priority "queue" of tentative reachabilities.
+        let mut reach = vec![f64::INFINITY; n];
+        if seed_core.is_finite() {
+            for &(j, d) in &nb {
+                reach[j] = d.max(seed_core);
+            }
+        }
+        loop {
+            // Smallest tentative reachability among unprocessed items.
+            let mut best: Option<(usize, f64)> = None;
+            for (j, &r) in reach.iter().enumerate() {
+                if !processed[j] && r.is_finite() {
+                    if best.map_or(true, |(_, br)| r < br) {
+                        best = Some((j, r));
+                    }
+                }
+            }
+            let Some((current, r)) = best else { break };
+            processed[current] = true;
+            let nb = neighbors(current);
+            let core = core_distance(&nb);
+            order.push(current);
+            reach_out.push(r);
+            core_out.push(core);
+            if core.is_finite() {
+                for &(j, d) in &nb {
+                    if !processed[j] {
+                        let new_reach = d.max(core);
+                        if new_reach < reach[j] {
+                            reach[j] = new_reach;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    OpticsOrdering { order, reachability: reach_out, core_distance: core_out }
+}
+
+impl OpticsOrdering {
+    /// Extracts DBSCAN-equivalent clusters by cutting the reachability
+    /// plot at `eps`: a new cluster starts wherever reachability exceeds
+    /// `eps` and the item is core at `eps`; items that are neither are
+    /// noise.
+    pub fn extract_dbscan(&self, eps: f64) -> Clustering {
+        let n = self.order.len();
+        let mut labels = vec![Label::Noise; n];
+        let mut cluster: Option<u32> = None;
+        let mut next_id = 0u32;
+        for (rank, &item) in self.order.iter().enumerate() {
+            if self.reachability[rank] > eps {
+                if self.core_distance[rank] <= eps {
+                    cluster = Some(next_id);
+                    next_id += 1;
+                    labels[item] = Label::Cluster(cluster.expect("just set"));
+                } else {
+                    cluster = None;
+                }
+            } else if let Some(c) = cluster {
+                labels[item] = Label::Cluster(c);
+            }
+        }
+        Clustering::from_labels(labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbscan::dbscan;
+
+    fn line_matrix(points: &[f64]) -> CondensedMatrix {
+        CondensedMatrix::build(points.len(), |i, j| (points[i] - points[j]).abs())
+    }
+
+    #[test]
+    fn ordering_covers_all_items_once() {
+        let pts = [0.0, 0.1, 0.2, 5.0, 5.1, 9.0];
+        let o = optics(&line_matrix(&pts), 10.0, 2);
+        let mut sorted = o.order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..pts.len()).collect::<Vec<_>>());
+        assert_eq!(o.reachability.len(), pts.len());
+        assert_eq!(o.core_distance.len(), pts.len());
+    }
+
+    #[test]
+    fn reachability_valley_matches_blobs() {
+        // Two tight blobs: within-blob reachability small, the jump to
+        // the second blob large.
+        let pts = [0.0, 0.05, 0.1, 10.0, 10.05, 10.1];
+        let o = optics(&line_matrix(&pts), 100.0, 2);
+        let max_within = o
+            .reachability
+            .iter()
+            .filter(|r| r.is_finite() && **r < 1.0)
+            .count();
+        assert_eq!(max_within, 4, "four small steps inside blobs");
+        assert_eq!(
+            o.reachability.iter().filter(|r| **r > 1.0 && r.is_finite()).count(),
+            1,
+            "one big jump between blobs"
+        );
+    }
+
+    #[test]
+    fn eps_cut_matches_dbscan_clusters() {
+        // OPTICS ε-cut and DBSCAN must agree on cluster membership for
+        // the same parameters (cluster ids may differ; compare partitions).
+        let pts = [0.0, 0.1, 0.2, 5.0, 5.1, 5.2, 20.0];
+        let m = line_matrix(&pts);
+        for (eps, min_samples) in [(0.5, 2), (0.5, 3), (6.0, 2)] {
+            let d = dbscan(&m, eps, min_samples);
+            let o = optics(&m, 100.0, min_samples).extract_dbscan(eps);
+            assert_eq!(d.n_clusters(), o.n_clusters(), "eps={eps} ms={min_samples}");
+            assert_eq!(d.noise(), o.noise(), "eps={eps} ms={min_samples}");
+            for i in 0..pts.len() {
+                for j in 0..pts.len() {
+                    let same_d = d.labels()[i] == d.labels()[j];
+                    let same_o = o.labels()[i] == o.labels()[j];
+                    assert_eq!(same_d, same_o, "pair ({i},{j}) eps={eps}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_points_are_noise_after_cut() {
+        let pts = [0.0, 0.1, 0.2, 50.0];
+        let o = optics(&line_matrix(&pts), 100.0, 3).extract_dbscan(0.5);
+        assert_eq!(o.labels()[3], Label::Noise);
+        assert_eq!(o.n_clusters(), 1);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let o = optics(&line_matrix(&[]), 1.0, 2);
+        assert!(o.order.is_empty());
+        let o1 = optics(&line_matrix(&[3.0]), 1.0, 1);
+        assert_eq!(o1.order, vec![0]);
+        assert_eq!(o1.extract_dbscan(1.0).n_clusters(), 1);
+    }
+}

@@ -1,0 +1,370 @@
+//! Cluster refinement (paper §III-F): merging over-classified clusters
+//! and splitting clusters with polarized value occurrences.
+//!
+//! DBSCAN over-classifies when field-value variability is not uniformly
+//! distributed: one data type falls apart into several nearby clusters
+//! linked by sparse regions. Two heuristics repair this: Condition 1
+//! merges clusters that are *very* close with similar local ε-density at
+//! their link segments, Condition 2 merges clusters that are *somewhat*
+//! close with similar overall neighbor density. The inverse error —
+//! under-classification, e.g. an enumeration value absorbed into a value
+//! cluster — is repaired by splitting clusters whose value occurrence
+//! counts are extremely polarized.
+
+use crate::dbscan::{Clustering, Label};
+use dissim::CondensedMatrix;
+use mathkit::stats;
+
+/// Thresholds of the refinement heuristics. Defaults are the paper's
+/// empirically chosen constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefineParams {
+    /// Condition 1: maximum allowed difference of the ε-densities around
+    /// the two link segments (`ερThreshold`).
+    pub eps_rho_threshold: f64,
+    /// Condition 2: maximum allowed difference of the clusters' `minmed`
+    /// neighbor densities (`neighborDensityThreshold`).
+    pub neighbor_density_threshold: f64,
+    /// Split: required percent rank of the occurrence frequency pivot.
+    pub split_percent_rank: f64,
+    /// Safety bound on merge fix-point iterations.
+    pub max_merge_rounds: usize,
+}
+
+impl Default for RefineParams {
+    fn default() -> Self {
+        Self {
+            eps_rho_threshold: 0.01,
+            neighbor_density_threshold: 0.002,
+            split_percent_rank: 95.0,
+            max_merge_rounds: 16,
+        }
+    }
+}
+
+/// Merges nearby clusters of similar density until a fix point (or the
+/// round bound) is reached; noise labels are preserved.
+pub fn merge_clusters(
+    clustering: &Clustering,
+    matrix: &CondensedMatrix,
+    params: &RefineParams,
+) -> Clustering {
+    let mut labels = clustering.labels().to_vec();
+    for _ in 0..params.max_merge_rounds {
+        let current = Clustering::from_labels(labels.clone());
+        // Work on the compacted labels so cluster ids match the dense
+        // indices of `clusters` below.
+        labels = current.labels().to_vec();
+        let clusters = current.clusters();
+        if clusters.len() < 2 {
+            return current;
+        }
+        let stats: Vec<ClusterStats> = clusters.iter().map(|c| ClusterStats::compute(c, matrix)).collect();
+
+        let mut merged_into: Vec<usize> = (0..clusters.len()).collect();
+        let mut any = false;
+        for i in 0..clusters.len() {
+            for j in (i + 1)..clusters.len() {
+                if find(&mut merged_into, i) == find(&mut merged_into, j) {
+                    continue;
+                }
+                if should_merge(&clusters[i], &clusters[j], &stats[i], &stats[j], matrix, params) {
+                    union(&mut merged_into, i, j);
+                    any = true;
+                }
+            }
+        }
+        if !any {
+            return current;
+        }
+        for l in &mut labels {
+            if let Label::Cluster(c) = l {
+                *l = Label::Cluster(find(&mut merged_into, *c as usize) as u32);
+            }
+        }
+    }
+    Clustering::from_labels(labels)
+}
+
+/// Splits clusters whose value occurrence counts are extremely polarized
+/// (paper §III-F): with pivot `F = ln |c'|`, a cluster is split when
+/// `PR(counts, F) > split_percent_rank` and `σ(counts) > F`. Members with
+/// occurrence count above `F` move to a new cluster.
+///
+/// `occurrences[i]` is the number of duplicate segments the unique
+/// segment `i` stands for.
+///
+/// # Panics
+///
+/// Panics if `occurrences` is shorter than the clustering.
+pub fn split_clusters(
+    clustering: &Clustering,
+    occurrences: &[usize],
+    params: &RefineParams,
+) -> Clustering {
+    assert!(
+        occurrences.len() >= clustering.len(),
+        "need an occurrence count per clustered item"
+    );
+    let mut labels = clustering.labels().to_vec();
+    let mut next_id = clustering.n_clusters();
+    for members in clustering.clusters() {
+        let counts: Vec<f64> = members.iter().map(|&i| occurrences[i] as f64).collect();
+        let total: f64 = counts.iter().sum();
+        if total < 1.0 || members.len() < 2 {
+            continue;
+        }
+        let pivot = total.ln();
+        let Some(pr) = stats::percent_rank(&counts, pivot) else { continue };
+        let Some(sigma) = stats::std_dev(&counts) else { continue };
+        if pr > params.split_percent_rank && sigma > pivot {
+            for (&idx, &count) in members.iter().zip(&counts) {
+                if count > pivot {
+                    labels[idx] = Label::Cluster(next_id);
+                }
+            }
+            next_id += 1;
+        }
+    }
+    Clustering::from_labels(labels)
+}
+
+/// Per-cluster statistics shared by both merge conditions.
+#[derive(Debug)]
+struct ClusterStats {
+    /// Arithmetic mean of all intra-cluster pairwise dissimilarities.
+    mean_dissim: Option<f64>,
+    /// Maximum intra-cluster pairwise dissimilarity (cluster extent).
+    max_dissim: f64,
+    /// Median over members of the distance to their nearest neighbor
+    /// within the cluster (`minmed`).
+    minmed: Option<f64>,
+}
+
+impl ClusterStats {
+    fn compute(members: &[usize], matrix: &CondensedMatrix) -> Self {
+        if members.len() < 2 {
+            return Self { mean_dissim: None, max_dissim: 0.0, minmed: None };
+        }
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        let mut max = 0.0f64;
+        let mut nearest = vec![f64::INFINITY; members.len()];
+        for (ai, &a) in members.iter().enumerate() {
+            for (bi, &b) in members.iter().enumerate().skip(ai + 1) {
+                let d = matrix.get(a, b);
+                sum += d;
+                count += 1;
+                max = max.max(d);
+                nearest[ai] = nearest[ai].min(d);
+                nearest[bi] = nearest[bi].min(d);
+            }
+        }
+        Self {
+            mean_dissim: Some(sum / count as f64),
+            max_dissim: max,
+            minmed: stats::median(&nearest),
+        }
+    }
+}
+
+fn should_merge(
+    ci: &[usize],
+    cj: &[usize],
+    si: &ClusterStats,
+    sj: &ClusterStats,
+    matrix: &CondensedMatrix,
+    params: &RefineParams,
+) -> bool {
+    let (Some(mean_i), Some(mean_j)) = (si.mean_dissim, sj.mean_dissim) else {
+        return false;
+    };
+    // Link segments: the closest pair across the two clusters.
+    let mut link = (ci[0], cj[0], f64::INFINITY);
+    for &a in ci {
+        for &b in cj {
+            let d = matrix.get(a, b);
+            if d < link.2 {
+                link = (a, b, d);
+            }
+        }
+    }
+    let (link_i, link_j, d_link) = link;
+
+    // Condition 1: very close by, similar local ε-density at the links.
+    if d_link < mean_i.max(mean_j) {
+        let smaller_extent = if ci.len() <= cj.len() { si.max_dissim } else { sj.max_dissim };
+        let eps_local = smaller_extent / 2.0;
+        let rho_i = local_density(link_i, ci, matrix, eps_local);
+        let rho_j = local_density(link_j, cj, matrix, eps_local);
+        if (rho_i - rho_j).abs() < params.eps_rho_threshold {
+            return true;
+        }
+    }
+
+    // Condition 2: somewhat close by, similar overall neighbor density.
+    if let (Some(mm_i), Some(mm_j)) = (si.minmed, sj.minmed) {
+        if mean_i > 0.0 && mean_j > 0.0 {
+            let closeness_bound = (mm_i / mean_i + mm_j / mean_j) / 2.0;
+            if d_link < closeness_bound && (mm_i - mm_j).abs() < params.neighbor_density_threshold {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Median dissimilarity from the link segment to its cluster-mates within
+/// `eps` (`ρ_ε`); zero when no mate lies that close.
+fn local_density(link: usize, members: &[usize], matrix: &CondensedMatrix, eps: f64) -> f64 {
+    let within: Vec<f64> = members
+        .iter()
+        .filter(|&&s| s != link)
+        .map(|&s| matrix.get(link, s))
+        .filter(|&d| d <= eps)
+        .collect();
+    stats::median(&within).unwrap_or(0.0)
+}
+
+/// Tiny union-find over cluster indices.
+fn find(parent: &mut [usize], mut x: usize) -> usize {
+    while parent[x] != x {
+        parent[x] = parent[parent[x]];
+        x = parent[x];
+    }
+    x
+}
+
+fn union(parent: &mut [usize], a: usize, b: usize) {
+    let ra = find(parent, a);
+    let rb = find(parent, b);
+    if ra != rb {
+        let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        parent[hi] = lo;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbscan::dbscan;
+
+    fn line_matrix(points: &[f64]) -> CondensedMatrix {
+        CondensedMatrix::build(points.len(), |i, j| (points[i] - points[j]).abs())
+    }
+
+    /// Two sub-clusters of the same "type" separated by a small gap, plus
+    /// one genuinely distant cluster.
+    fn overclassified() -> (CondensedMatrix, Clustering) {
+        let mut pts: Vec<f64> = (0..12).map(|i| i as f64 * 0.1).collect(); // 0.0..1.1
+        pts.extend((0..12).map(|i| 1.35 + i as f64 * 0.1)); // 1.35..2.45 (gap 0.25)
+        pts.extend((0..12).map(|i| 50.0 + i as f64 * 0.1)); // far away
+        let m = line_matrix(&pts);
+        let c = dbscan(&m, 0.15, 3);
+        assert_eq!(c.n_clusters(), 3, "precondition: DBSCAN over-classifies");
+        (m, c)
+    }
+
+    #[test]
+    fn merge_joins_linked_equal_density_clusters() {
+        let (m, c) = overclassified();
+        let merged = merge_clusters(&c, &m, &RefineParams::default());
+        // The two near sub-clusters merge; the distant one stays apart.
+        assert_eq!(merged.n_clusters(), 2);
+    }
+
+    #[test]
+    fn merge_keeps_distant_clusters_apart() {
+        let pts: Vec<f64> = (0..10)
+            .map(|i| i as f64 * 0.1)
+            .chain((0..10).map(|i| 100.0 + i as f64 * 0.1))
+            .collect();
+        let m = line_matrix(&pts);
+        let c = dbscan(&m, 0.15, 3);
+        assert_eq!(c.n_clusters(), 2);
+        let merged = merge_clusters(&c, &m, &RefineParams::default());
+        assert_eq!(merged.n_clusters(), 2);
+    }
+
+    #[test]
+    fn merge_respects_density_mismatch() {
+        // A tight cluster (spacing 0.01) right next to a loose one
+        // (spacing 0.5): link condition may hold but densities differ by
+        // more than both thresholds.
+        let mut pts: Vec<f64> = (0..10).map(|i| i as f64 * 0.01).collect();
+        pts.extend((0..10).map(|i| 0.3 + i as f64 * 0.5));
+        let m = line_matrix(&pts);
+        let c = dbscan(&m, 0.09, 3);
+        let before = c.n_clusters();
+        let merged = merge_clusters(
+            &c,
+            &m,
+            &RefineParams {
+                eps_rho_threshold: 0.001,
+                neighbor_density_threshold: 0.001,
+                ..RefineParams::default()
+            },
+        );
+        assert_eq!(merged.n_clusters(), before);
+    }
+
+    #[test]
+    fn merge_preserves_noise() {
+        let (m, c) = overclassified();
+        let noise_before = c.noise();
+        let merged = merge_clusters(&c, &m, &RefineParams::default());
+        assert_eq!(merged.noise(), noise_before);
+    }
+
+    #[test]
+    fn split_separates_polarized_occurrences() {
+        // One cluster of 40 members: 39 unique-ish values (count 1) and a
+        // single enumeration-like value occurring 500 times.
+        let labels = vec![Label::Cluster(0); 40];
+        let c = Clustering::from_labels(labels);
+        let mut occ = vec![1usize; 40];
+        occ[7] = 500;
+        let split = split_clusters(&c, &occ, &RefineParams::default());
+        assert_eq!(split.n_clusters(), 2);
+        assert_ne!(split.labels()[7], split.labels()[0]);
+        assert_eq!(split.labels()[0], split.labels()[39]);
+    }
+
+    #[test]
+    fn split_leaves_uniform_clusters_alone() {
+        let labels = vec![Label::Cluster(0); 30];
+        let c = Clustering::from_labels(labels);
+        let occ = vec![5usize; 30];
+        let split = split_clusters(&c, &occ, &RefineParams::default());
+        assert_eq!(split.n_clusters(), 1);
+    }
+
+    #[test]
+    fn split_ignores_noise_and_small_clusters() {
+        let labels = vec![Label::Noise, Label::Cluster(0), Label::Cluster(0)];
+        let c = Clustering::from_labels(labels);
+        let occ = vec![1000, 1, 1000];
+        let split = split_clusters(&c, &occ, &RefineParams::default());
+        assert_eq!(split.labels()[0], Label::Noise);
+    }
+
+    #[test]
+    #[should_panic(expected = "occurrence count")]
+    fn split_panics_on_short_occurrences() {
+        let c = Clustering::from_labels(vec![Label::Cluster(0); 3]);
+        split_clusters(&c, &[1], &RefineParams::default());
+    }
+
+    #[test]
+    fn merge_handles_empty_and_single_cluster() {
+        let m = line_matrix(&[0.0, 0.1, 0.2]);
+        let single = dbscan(&m, 0.5, 2);
+        assert_eq!(single.n_clusters(), 1);
+        let merged = merge_clusters(&single, &m, &RefineParams::default());
+        assert_eq!(merged.n_clusters(), 1);
+
+        let empty = Clustering::from_labels(vec![]);
+        let m0 = CondensedMatrix::build(0, |_, _| 0.0);
+        assert!(merge_clusters(&empty, &m0, &RefineParams::default()).is_empty());
+    }
+}

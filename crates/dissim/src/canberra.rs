@@ -1,0 +1,195 @@
+//! The Canberra distance and its mixed-length dissimilarity extension.
+
+/// Parameters of the mixed-length Canberra dissimilarity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DissimParams {
+    /// Per-byte penalty charged for the non-overlapping part when
+    /// comparing segments of different lengths.
+    ///
+    /// NEMETYL \[10\] does not print this constant; `0.59` was chosen
+    /// empirically so that same-type variable-length segments stay closer
+    /// than cross-type pairs on the evaluation corpus (documented
+    /// substitution, DESIGN.md §4.3). Must lie in `[0, 1]`.
+    pub length_penalty: f64,
+}
+
+impl Default for DissimParams {
+    fn default() -> Self {
+        Self { length_penalty: 0.59 }
+    }
+}
+
+/// The Canberra distance between two equal-length byte vectors,
+/// normalized to `[0, 1]` by the vector length.
+///
+/// Each component contributes `|x - y| / (x + y)`, with `0/0` defined as
+/// `0` (both bytes zero means perfect agreement).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths; use [`dissimilarity`]
+/// for the general case.
+///
+/// ```
+/// assert_eq!(dissim::canberra_distance(b"ab", b"ab"), 0.0);
+/// assert_eq!(dissim::canberra_distance(b"\x00", b"\xff"), 1.0);
+/// ```
+pub fn canberra_distance(a: &[u8], b: &[u8]) -> f64 {
+    assert_eq!(a.len(), b.len(), "canberra distance needs equal lengths");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let num = (f64::from(x) - f64::from(y)).abs();
+            let den = f64::from(x) + f64::from(y);
+            if den == 0.0 {
+                0.0
+            } else {
+                num / den
+            }
+        })
+        .sum();
+    sum / a.len() as f64
+}
+
+/// The Canberra dissimilarity between two byte segments of arbitrary
+/// lengths, in `[0, 1]`.
+///
+/// For equal lengths this is the normalized Canberra distance. For
+/// different lengths the shorter segment slides over the longer one; the
+/// best (minimum) window distance is combined with a penalty of
+/// [`DissimParams::length_penalty`] per non-overlapping byte:
+///
+/// ```text
+/// D(s, t) = (|s| · min_o d̄_C(s, t[o..o+|s|]) + (|t| − |s|) · p) / |t|
+/// ```
+///
+/// Empty segments are maximally dissimilar to non-empty ones and
+/// identical to each other.
+pub fn dissimilarity(a: &[u8], b: &[u8], params: &DissimParams) -> f64 {
+    debug_assert!(
+        (0.0..=1.0).contains(&params.length_penalty),
+        "length penalty must be within [0, 1]"
+    );
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if long.is_empty() {
+        return 0.0;
+    }
+    if short.is_empty() {
+        return 1.0;
+    }
+    if short.len() == long.len() {
+        return canberra_distance(short, long);
+    }
+    let mut best = f64::INFINITY;
+    for offset in 0..=(long.len() - short.len()) {
+        let d = canberra_distance(short, &long[offset..offset + short.len()]);
+        if d < best {
+            best = d;
+            if best == 0.0 {
+                break;
+            }
+        }
+    }
+    let overlap = short.len() as f64;
+    let excess = (long.len() - short.len()) as f64;
+    (overlap * best + excess * params.length_penalty) / long.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: DissimParams = DissimParams { length_penalty: 0.59 };
+
+    #[test]
+    fn identical_is_zero() {
+        assert_eq!(dissimilarity(b"\x01\x02\x03", b"\x01\x02\x03", &P), 0.0);
+        assert_eq!(dissimilarity(b"", b"", &P), 0.0);
+    }
+
+    #[test]
+    fn empty_vs_nonempty_is_one() {
+        assert_eq!(dissimilarity(b"", b"abc", &P), 1.0);
+        assert_eq!(dissimilarity(b"abc", b"", &P), 1.0);
+    }
+
+    #[test]
+    fn canberra_component_math() {
+        // |1-3|/(1+3) = 0.5, |2-2|/4 = 0 -> mean = 0.25
+        let d = canberra_distance(&[1, 2], &[3, 2]);
+        assert!((d - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_pair_contributes_zero() {
+        assert_eq!(canberra_distance(&[0, 0], &[0, 0]), 0.0);
+        // |0-4|/(0+4) = 1 for the second byte -> mean 0.5
+        assert_eq!(canberra_distance(&[0, 0], &[0, 4]), 0.5);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = b"\x12\x34\x56\x78";
+        let b = b"\x9a\xbc";
+        assert_eq!(dissimilarity(a, b, &P), dissimilarity(b, a, &P));
+    }
+
+    #[test]
+    fn bounded_by_unit_interval() {
+        let cases: [(&[u8], &[u8]); 4] = [
+            (b"\x00\x00", b"\xff\xff"),
+            (b"\x01", b"\x01\x02\x03\x04\x05"),
+            (b"\xff", b"\x00"),
+            (b"abcdef", b"abc"),
+        ];
+        for (a, b) in cases {
+            let d = dissimilarity(a, b, &P);
+            assert!((0.0..=1.0).contains(&d), "d({a:?},{b:?}) = {d}");
+        }
+    }
+
+    #[test]
+    fn sliding_finds_embedded_match() {
+        // `needle` appears inside `haystack`: the window distance is 0 and
+        // only the length penalty remains.
+        let needle = b"\x10\x20\x30";
+        let haystack = b"\xff\x10\x20\x30\xff";
+        let d = dissimilarity(needle, haystack, &P);
+        let expected = (3.0 * 0.0 + 2.0 * 0.59) / 5.0;
+        assert!((d - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn penalty_grows_with_length_difference() {
+        let base = b"\x11\x22";
+        let d1 = dissimilarity(base, b"\x11\x22\x33", &P);
+        let d2 = dissimilarity(base, b"\x11\x22\x33\x44\x55\x66", &P);
+        assert!(d2 > d1);
+    }
+
+    #[test]
+    fn same_type_values_are_close() {
+        // Two NTP-style timestamps captured close together (four shared
+        // high bytes) are closer than a timestamp and a printable string,
+        // and two printable strings are closer still.
+        let ts_a = [0xD2, 0x3D, 0x19, 0x03, 0xB3, 0xFC, 0xDA, 0xB1];
+        let ts_b = [0xD2, 0x3D, 0x19, 0x03, 0x01, 0x58, 0x10, 0x62];
+        let chars_a = *b"hostname";
+        let chars_b = *b"hostmate";
+        let d_same_ts = dissimilarity(&ts_a, &ts_b, &P);
+        let d_cross = dissimilarity(&ts_a, &chars_a, &P);
+        let d_same_chars = dissimilarity(&chars_a, &chars_b, &P);
+        assert!(d_same_ts < d_cross, "{d_same_ts} !< {d_cross}");
+        assert!(d_same_chars < d_cross, "{d_same_chars} !< {d_cross}");
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn canberra_panics_on_length_mismatch() {
+        canberra_distance(&[1], &[1, 2]);
+    }
+}

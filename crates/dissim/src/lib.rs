@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+//! Canberra dissimilarity for byte segments and condensed pairwise
+//! matrices.
+//!
+//! The clustering pipeline interprets every message segment as a vector
+//! of byte values and compares segments with the *Canberra dissimilarity*
+//! (Kleber et al., INFOCOM 2020), which extends the classic Canberra
+//! distance (Lance & Williams, 1966) to vectors of different dimensions
+//! by sliding the shorter vector over the longer one and penalizing the
+//! non-overlap (paper §III-C).
+//!
+//! # Examples
+//!
+//! ```
+//! use dissim::{dissimilarity, DissimParams};
+//!
+//! let params = DissimParams::default();
+//! // Identical segments have dissimilarity 0.
+//! assert_eq!(dissimilarity(b"\x10\x20\x30", b"\x10\x20\x30", &params), 0.0);
+//! // Same-prefix values of different length are closer than unrelated ones.
+//! let near = dissimilarity(b"\x10\x20\x30\x01", b"\x10\x20\x30", &params);
+//! let far = dissimilarity(b"\xff\x01\x80\x55", b"\x10\x20\x30", &params);
+//! assert!(near < far);
+//! ```
+
+pub mod canberra;
+pub mod matrix;
+
+pub use canberra::{canberra_distance, dissimilarity, DissimParams};
+pub use matrix::CondensedMatrix;

@@ -1,0 +1,261 @@
+//! Condensed pairwise dissimilarity matrices.
+//!
+//! The pipeline stores all pairwise segment dissimilarities in a matrix
+//! `D` (paper §III-C). For `n` segments only the strict upper triangle is
+//! kept (`n·(n−1)/2` entries); the build is parallelized with scoped
+//! threads since it is the pipeline's dominant cost (O(n²) sliding-window
+//! Canberra evaluations).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A symmetric zero-diagonal dissimilarity matrix in condensed form.
+///
+/// # Examples
+///
+/// ```
+/// use dissim::CondensedMatrix;
+///
+/// let items = ["aa", "ab", "zz"];
+/// let m = CondensedMatrix::build(items.len(), |i, j| {
+///     if items[i] == items[j] { 0.0 } else { 1.0 }
+/// });
+/// assert_eq!(m.get(0, 1), 1.0);
+/// assert_eq!(m.get(1, 1), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CondensedMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl CondensedMatrix {
+    /// Builds the matrix by evaluating `f(i, j)` for every pair `i < j`
+    /// on the current thread.
+    pub fn build(n: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(n * (n.saturating_sub(1)) / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                data.push(f(i, j));
+            }
+        }
+        Self { n, data }
+    }
+
+    /// Builds the matrix in parallel over all rows using scoped threads.
+    ///
+    /// `f` must be pure; rows are handed out dynamically so irregular row
+    /// costs (long segments) balance across cores.
+    pub fn build_parallel(n: usize, threads: usize, f: impl Fn(usize, usize) -> f64 + Sync) -> Self {
+        let threads = threads.max(1);
+        if n < 2 || threads == 1 {
+            return Self::build(n, f);
+        }
+        let total = n * (n - 1) / 2;
+        let mut data = vec![0.0f64; total];
+        // Hand out whole rows; each row i owns the contiguous condensed
+        // range for pairs (i, i+1..n).
+        let next_row = AtomicUsize::new(0);
+        let data_ptr = SendPtr(data.as_mut_ptr());
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| {
+                    let data_ptr = &data_ptr;
+                    loop {
+                        let i = next_row.fetch_add(1, Ordering::Relaxed);
+                        if i >= n - 1 {
+                            // The last row has no pairs (j > i required).
+                            break;
+                        }
+                        let row_start = condensed_index(n, i, i + 1);
+                        for j in (i + 1)..n {
+                            let v = f(i, j);
+                            // SAFETY: each (i, j) pair maps to a unique
+                            // condensed index and each row is owned by
+                            // exactly one thread, so writes never alias.
+                            unsafe {
+                                *data_ptr.0.add(row_start + (j - i - 1)) = v;
+                            }
+                        }
+                    }
+                });
+            }
+        })
+        .expect("matrix worker thread panicked");
+        Self { n, data }
+    }
+
+    /// Number of items (rows/columns).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix covers zero items.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The dissimilarity between items `i` and `j` (0 on the diagonal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of bounds.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index out of bounds");
+        if i == j {
+            return 0.0;
+        }
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        self.data[condensed_index(self.n, a, b)]
+    }
+
+    /// All dissimilarities from item `i` to every other item, in index
+    /// order (excluding `i` itself).
+    pub fn row(&self, i: usize) -> Vec<f64> {
+        (0..self.n).filter(|&j| j != i).map(|j| self.get(i, j)).collect()
+    }
+
+    /// The dissimilarity of each item to its `k`-th nearest neighbor
+    /// (`k >= 1`).
+    ///
+    /// This is the input of the ε auto-configuration: the paper builds
+    /// the ECDF over exactly these values (§III-D).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is 0 or `k >= n`.
+    pub fn knn_dissimilarities(&self, k: usize) -> Vec<f64> {
+        assert!(k >= 1, "k must be at least 1");
+        assert!(k < self.n, "k must be smaller than the item count");
+        (0..self.n)
+            .map(|i| {
+                let mut row = self.row(i);
+                let (_, kth, _) = row.select_nth_unstable_by(k - 1, |a, b| {
+                    a.partial_cmp(b).expect("dissimilarities are not NaN")
+                });
+                *kth
+            })
+            .collect()
+    }
+
+    /// All condensed (upper-triangle) values.
+    pub fn values(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mean of all pairwise dissimilarities; `None` for fewer than two
+    /// items.
+    pub fn mean(&self) -> Option<f64> {
+        if self.data.is_empty() {
+            None
+        } else {
+            Some(self.data.iter().sum::<f64>() / self.data.len() as f64)
+        }
+    }
+
+    /// Maximum pairwise dissimilarity; `None` for fewer than two items.
+    pub fn max(&self) -> Option<f64> {
+        self.data.iter().copied().fold(None, |acc, v| match acc {
+            None => Some(v),
+            Some(a) => Some(a.max(v)),
+        })
+    }
+}
+
+/// Index of pair `(i, j)` with `i < j` in the condensed upper triangle.
+fn condensed_index(n: usize, i: usize, j: usize) -> usize {
+    debug_assert!(i < j && j < n);
+    i * (2 * n - i - 1) / 2 + (j - i - 1)
+}
+
+/// A raw pointer wrapper that asserts cross-thread transferability for
+/// the disjoint-write pattern in [`CondensedMatrix::build_parallel`].
+struct SendPtr(*mut f64);
+unsafe impl Sync for SendPtr {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> CondensedMatrix {
+        // d(i, j) = |i - j| as a simple metric.
+        CondensedMatrix::build(n, |i, j| (i as f64 - j as f64).abs())
+    }
+
+    #[test]
+    fn condensed_indexing_is_bijective() {
+        let n = 7;
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                assert!(seen.insert(condensed_index(n, i, j)));
+            }
+        }
+        assert_eq!(seen.len(), n * (n - 1) / 2);
+        assert_eq!(*seen.iter().max().unwrap(), n * (n - 1) / 2 - 1);
+    }
+
+    #[test]
+    fn get_is_symmetric_with_zero_diagonal() {
+        let m = toy(5);
+        for i in 0..5 {
+            assert_eq!(m.get(i, i), 0.0);
+            for j in 0..5 {
+                assert_eq!(m.get(i, j), m.get(j, i));
+            }
+        }
+        assert_eq!(m.get(1, 4), 3.0);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let f = |i: usize, j: usize| ((i * 31 + j * 17) % 100) as f64 / 100.0;
+        let serial = CondensedMatrix::build(40, f);
+        for threads in [2, 3, 8] {
+            let par = CondensedMatrix::build_parallel(40, threads, f);
+            assert_eq!(serial, par, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_handles_tiny_inputs() {
+        let m = CondensedMatrix::build_parallel(1, 4, |_, _| 1.0);
+        assert_eq!(m.len(), 1);
+        assert!(m.values().is_empty());
+        let empty = CondensedMatrix::build_parallel(0, 4, |_, _| 1.0);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn knn_returns_kth_smallest() {
+        let m = toy(6);
+        // For item 0, distances are 1,2,3,4,5 -> 2nd NN = 2.
+        let knn2 = m.knn_dissimilarities(2);
+        assert_eq!(knn2[0], 2.0);
+        // For item 3 (middle), distances are 3,2,1,1,2 -> sorted 1,1,2,2,3.
+        assert_eq!(knn2[3], 1.0);
+        let knn1 = m.knn_dissimilarities(1);
+        assert!(knn1.iter().all(|&d| d == 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be smaller")]
+    fn knn_rejects_excessive_k() {
+        toy(3).knn_dissimilarities(3);
+    }
+
+    #[test]
+    fn row_excludes_self() {
+        let m = toy(4);
+        assert_eq!(m.row(2), vec![2.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn mean_and_max() {
+        let m = toy(3); // pairs: 1, 2, 1
+        assert!((m.mean().unwrap() - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.max().unwrap(), 2.0);
+        let empty = toy(1);
+        assert_eq!(empty.mean(), None);
+        assert_eq!(empty.max(), None);
+    }
+}

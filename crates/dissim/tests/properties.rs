@@ -1,0 +1,94 @@
+//! Property-based tests for the Canberra dissimilarity and matrices.
+
+use dissim::{canberra_distance, dissimilarity, CondensedMatrix, DissimParams};
+use proptest::prelude::*;
+
+fn seg() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(any::<u8>(), 0..40)
+}
+
+proptest! {
+    #[test]
+    fn dissimilarity_is_symmetric(a in seg(), b in seg()) {
+        let p = DissimParams::default();
+        prop_assert_eq!(dissimilarity(&a, &b, &p), dissimilarity(&b, &a, &p));
+    }
+
+    #[test]
+    fn dissimilarity_is_bounded(a in seg(), b in seg()) {
+        let p = DissimParams::default();
+        let d = dissimilarity(&a, &b, &p);
+        prop_assert!((0.0..=1.0).contains(&d), "d = {}", d);
+    }
+
+    #[test]
+    fn self_dissimilarity_is_zero(a in seg()) {
+        let p = DissimParams::default();
+        prop_assert_eq!(dissimilarity(&a, &a, &p), 0.0);
+    }
+
+    #[test]
+    fn equal_length_matches_canberra(a in prop::collection::vec(any::<u8>(), 1..30)) {
+        let mut b = a.clone();
+        b.reverse();
+        let p = DissimParams::default();
+        prop_assert_eq!(dissimilarity(&a, &b, &p), canberra_distance(&a, &b));
+    }
+
+    #[test]
+    fn substring_beats_random_window(
+        needle in prop::collection::vec(any::<u8>(), 2..10),
+        pad in prop::collection::vec(any::<u8>(), 1..10),
+    ) {
+        // A segment embedded in a longer one can never be more dissimilar
+        // than the pure penalty bound.
+        let mut hay = pad.clone();
+        hay.extend_from_slice(&needle);
+        let p = DissimParams::default();
+        let d = dissimilarity(&needle, &hay, &p);
+        let bound = (pad.len() as f64 * p.length_penalty) / hay.len() as f64;
+        prop_assert!(d <= bound + 1e-12, "d = {} > bound {}", d, bound);
+    }
+
+    #[test]
+    fn zero_penalty_ignores_length_for_embedded(
+        needle in prop::collection::vec(any::<u8>(), 2..8),
+        pad in prop::collection::vec(any::<u8>(), 1..8),
+    ) {
+        let mut hay = pad.clone();
+        hay.extend_from_slice(&needle);
+        let p = DissimParams { length_penalty: 0.0 };
+        prop_assert_eq!(dissimilarity(&needle, &hay, &p), 0.0);
+    }
+
+    #[test]
+    fn matrix_is_consistent_with_function(
+        segs in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..12), 2..20),
+    ) {
+        let p = DissimParams::default();
+        let m = CondensedMatrix::build_parallel(segs.len(), 4, |i, j| {
+            dissimilarity(&segs[i], &segs[j], &p)
+        });
+        for i in 0..segs.len() {
+            for j in 0..segs.len() {
+                let expect = if i == j { 0.0 } else { dissimilarity(&segs[i], &segs[j], &p) };
+                prop_assert_eq!(m.get(i, j), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn knn_is_monotone_in_k(
+        segs in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..10), 4..16),
+    ) {
+        let p = DissimParams::default();
+        let m = CondensedMatrix::build(segs.len(), |i, j| dissimilarity(&segs[i], &segs[j], &p));
+        let k1 = m.knn_dissimilarities(1);
+        let k2 = m.knn_dissimilarities(2);
+        let k3 = m.knn_dissimilarities(3);
+        for i in 0..segs.len() {
+            prop_assert!(k1[i] <= k2[i]);
+            prop_assert!(k2[i] <= k3[i]);
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Additional clustering quality indices: the Adjusted Rand Index and
+//! the entropy-based homogeneity / completeness / V-measure family.
+//!
+//! The paper reports pairwise precision/recall/F¼ (see the crate root);
+//! these standard indices complement them in the benchmark output so
+//! results can be compared against other clustering literature.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A contingency table between predicted clusters and true classes.
+#[derive(Debug, Clone)]
+pub struct Contingency {
+    /// `counts[cluster][class]` occurrence counts.
+    counts: Vec<HashMap<usize, u64>>,
+    /// Total items per cluster.
+    cluster_totals: Vec<u64>,
+    /// Total items per class (indexed densely).
+    class_totals: Vec<u64>,
+    /// Overall item count.
+    n: u64,
+}
+
+impl Contingency {
+    /// Builds the table from clusters of labels. Noise can be modelled
+    /// as singleton clusters by the caller (or excluded).
+    pub fn from_clusters<L: Eq + Hash + Clone>(clusters: &[Vec<L>]) -> Self {
+        let mut class_ids: HashMap<L, usize> = HashMap::new();
+        let mut counts: Vec<HashMap<usize, u64>> = Vec::with_capacity(clusters.len());
+        let mut cluster_totals = Vec::with_capacity(clusters.len());
+        let mut class_totals: Vec<u64> = Vec::new();
+        let mut n = 0u64;
+        for members in clusters {
+            let mut row: HashMap<usize, u64> = HashMap::new();
+            for l in members {
+                let next_id = class_ids.len();
+                let id = *class_ids.entry(l.clone()).or_insert(next_id);
+                if id == class_totals.len() {
+                    class_totals.push(0);
+                }
+                *row.entry(id).or_insert(0) += 1;
+                class_totals[id] += 1;
+                n += 1;
+            }
+            cluster_totals.push(members.len() as u64);
+            counts.push(row);
+        }
+        Self { counts, cluster_totals, class_totals, n }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The Adjusted Rand Index in `[-1, 1]`; 1 for a perfect match,
+    /// ~0 for random assignments. Returns 1.0 for degenerate inputs
+    /// (fewer than two items).
+    pub fn adjusted_rand_index(&self) -> f64 {
+        if self.n < 2 {
+            return 1.0;
+        }
+        let choose2 = |x: u64| (x * x.saturating_sub(1) / 2) as f64;
+        let sum_ij: f64 = self
+            .counts
+            .iter()
+            .flat_map(|row| row.values())
+            .map(|&c| choose2(c))
+            .sum();
+        let sum_a: f64 = self.cluster_totals.iter().map(|&c| choose2(c)).sum();
+        let sum_b: f64 = self.class_totals.iter().map(|&c| choose2(c)).sum();
+        let total = choose2(self.n);
+        let expected = sum_a * sum_b / total;
+        let max_index = (sum_a + sum_b) / 2.0;
+        if (max_index - expected).abs() < 1e-12 {
+            1.0
+        } else {
+            (sum_ij - expected) / (max_index - expected)
+        }
+    }
+
+    /// Homogeneity in `[0, 1]`: each cluster contains only members of a
+    /// single class. 1.0 for degenerate inputs.
+    pub fn homogeneity(&self) -> f64 {
+        let h_c_given_k = self.conditional_entropy_class_given_cluster();
+        let h_c = entropy(&self.class_totals, self.n);
+        if h_c == 0.0 {
+            1.0
+        } else {
+            // Clamp away float error (H(C|K) <= H(C) mathematically).
+            (1.0 - h_c_given_k / h_c).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Completeness in `[0, 1]`: all members of a class are assigned to
+    /// the same cluster. 1.0 for degenerate inputs.
+    pub fn completeness(&self) -> f64 {
+        // Symmetric to homogeneity with clusters and classes swapped.
+        let mut h_k_given_c = 0.0;
+        let n = self.n as f64;
+        // Build class -> cluster counts.
+        let mut per_class: HashMap<usize, Vec<u64>> = HashMap::new();
+        for (cluster, row) in self.counts.iter().enumerate() {
+            for (&class, &c) in row {
+                let v = per_class.entry(class).or_default();
+                if v.len() <= cluster {
+                    v.resize(cluster + 1, 0);
+                }
+                v[cluster] += c;
+            }
+        }
+        for (class, cluster_counts) in &per_class {
+            let class_total = self.class_totals[*class] as f64;
+            for &c in cluster_counts {
+                if c > 0 {
+                    let c = c as f64;
+                    h_k_given_c -= c / n * (c / class_total).log2();
+                }
+            }
+        }
+        let h_k = entropy(&self.cluster_totals, self.n);
+        if h_k == 0.0 {
+            1.0
+        } else {
+            (1.0 - h_k_given_c / h_k).clamp(0.0, 1.0)
+        }
+    }
+
+    /// The V-measure: harmonic mean of homogeneity and completeness.
+    pub fn v_measure(&self) -> f64 {
+        let h = self.homogeneity();
+        let c = self.completeness();
+        if h + c == 0.0 {
+            0.0
+        } else {
+            2.0 * h * c / (h + c)
+        }
+    }
+
+    fn conditional_entropy_class_given_cluster(&self) -> f64 {
+        let n = self.n as f64;
+        let mut h = 0.0;
+        for (cluster, row) in self.counts.iter().enumerate() {
+            let cluster_total = self.cluster_totals[cluster] as f64;
+            for &c in row.values() {
+                if c > 0 {
+                    let c = c as f64;
+                    h -= c / n * (c / cluster_total).log2();
+                }
+            }
+        }
+        h
+    }
+}
+
+fn entropy(totals: &[u64], n: u64) -> f64 {
+    let n = n as f64;
+    totals
+        .iter()
+        .filter(|&&t| t > 0)
+        .map(|&t| {
+            let p = t as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_clustering_scores_one() {
+        let clusters = vec![vec!["a"; 4], vec!["b"; 6]];
+        let t = Contingency::from_clusters(&clusters);
+        assert!((t.adjusted_rand_index() - 1.0).abs() < 1e-12);
+        assert!((t.homogeneity() - 1.0).abs() < 1e-12);
+        assert!((t.completeness() - 1.0).abs() < 1e-12);
+        assert!((t.v_measure() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_big_cluster_is_complete_but_not_homogeneous() {
+        let clusters = vec![vec!["a", "a", "b", "b"]];
+        let t = Contingency::from_clusters(&clusters);
+        assert!((t.completeness() - 1.0).abs() < 1e-12);
+        assert!(t.homogeneity() < 0.5);
+        assert!(t.adjusted_rand_index() < 0.5);
+    }
+
+    #[test]
+    fn singletons_are_homogeneous_but_incomplete() {
+        let clusters = vec![vec!["a"], vec!["a"], vec!["b"], vec!["b"]];
+        let t = Contingency::from_clusters(&clusters);
+        assert!((t.homogeneity() - 1.0).abs() < 1e-12);
+        // H(K|C) = 1 bit, H(K) = 2 bits -> completeness = 0.5 exactly.
+        assert!((t.completeness() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ari_matches_hand_computed_example() {
+        // Classic example: clusters {a,a,b} and {a,b,b}.
+        let clusters = vec![vec!["a", "a", "b"], vec!["a", "b", "b"]];
+        let t = Contingency::from_clusters(&clusters);
+        // sum_ij = C(2,2)+C(1,2)+C(1,2)+C(2,2) = 1+0+0+1 = 2
+        // sum_a = 2*C(3,2) = 6, sum_b = 2*C(3,2) = 6, total = C(6,2) = 15
+        // expected = 36/15 = 2.4, max = 6 -> ARI = (2-2.4)/(6-2.4) = -1/9
+        assert!((t.adjusted_rand_index() - (-1.0 / 9.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty: Vec<Vec<&str>> = vec![];
+        let t = Contingency::from_clusters(&empty);
+        assert!(t.is_empty());
+        assert_eq!(t.adjusted_rand_index(), 1.0);
+        assert_eq!(t.v_measure(), 1.0);
+
+        let single = Contingency::from_clusters(&[vec!["x"]]);
+        assert_eq!(single.len(), 1);
+        assert_eq!(single.adjusted_rand_index(), 1.0);
+    }
+
+    #[test]
+    fn v_measure_between_h_and_c() {
+        let clusters = vec![vec!["a", "a", "b"], vec!["b", "b"], vec!["c", "c", "a"]];
+        let t = Contingency::from_clusters(&clusters);
+        let (h, c, v) = (t.homogeneity(), t.completeness(), t.v_measure());
+        assert!(v >= h.min(c) - 1e-12 && v <= h.max(c) + 1e-12);
+        assert!((0.0..=1.0).contains(&v));
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the pairwise clustering metrics.
+
+use evalkit::{f_beta, pair_counts, ClusterMetrics, PairCounts};
+use proptest::prelude::*;
+
+fn labels() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..5, 0..15)
+}
+
+/// Brute-force pair enumeration used as the oracle.
+fn brute_force(clusters: &[Vec<u8>], noise: &[u8]) -> PairCounts {
+    let mut items: Vec<(u8, Option<usize>)> = Vec::new();
+    for (ci, c) in clusters.iter().enumerate() {
+        for &l in c {
+            items.push((l, Some(ci)));
+        }
+    }
+    for &l in noise {
+        items.push((l, None));
+    }
+    let mut out = PairCounts::default();
+    for i in 0..items.len() {
+        for j in (i + 1)..items.len() {
+            let same_type = items[i].0 == items[j].0;
+            let same_cluster = items[i].1.is_some() && items[i].1 == items[j].1;
+            match (same_type, same_cluster) {
+                (true, true) => out.tp += 1,
+                (false, true) => out.fp += 1,
+                (true, false) => out.fn_ += 1,
+                (false, false) => out.tn += 1,
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn closed_form_matches_brute_force(
+        clusters in prop::collection::vec(labels(), 0..5),
+        noise in labels(),
+    ) {
+        prop_assert_eq!(pair_counts(&clusters, &noise), brute_force(&clusters, &noise));
+    }
+
+    #[test]
+    fn counts_partition_all_pairs(
+        clusters in prop::collection::vec(labels(), 0..5),
+        noise in labels(),
+    ) {
+        let counts = pair_counts(&clusters, &noise);
+        let n: u64 = clusters.iter().map(|c| c.len() as u64).sum::<u64>() + noise.len() as u64;
+        prop_assert_eq!(counts.tp + counts.fp + counts.fn_ + counts.tn, n * n.saturating_sub(1) / 2);
+    }
+
+    #[test]
+    fn metrics_are_bounded(
+        clusters in prop::collection::vec(labels(), 0..5),
+        noise in labels(),
+    ) {
+        let m = ClusterMetrics::from_counts(&pair_counts(&clusters, &noise));
+        prop_assert!((0.0..=1.0).contains(&m.precision));
+        prop_assert!((0.0..=1.0).contains(&m.recall));
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&m.f_score));
+    }
+
+    #[test]
+    fn f_beta_between_p_and_r(p in 0.01f64..1.0, r in 0.01f64..1.0, beta in 0.1f64..4.0) {
+        let f = f_beta(p, r, beta);
+        let lo = p.min(r) - 1e-12;
+        let hi = p.max(r) + 1e-12;
+        prop_assert!(f >= lo && f <= hi, "f = {} outside [{}, {}]", f, lo, hi);
+    }
+}
+
+mod indices_properties {
+    use evalkit::Contingency;
+    use proptest::prelude::*;
+
+    fn labelled_clusters() -> impl Strategy<Value = Vec<Vec<u8>>> {
+        prop::collection::vec(prop::collection::vec(0u8..4, 1..10), 1..6)
+    }
+
+    proptest! {
+        #[test]
+        fn indices_are_bounded(clusters in labelled_clusters()) {
+            let t = Contingency::from_clusters(&clusters);
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&t.adjusted_rand_index()));
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&t.homogeneity()));
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&t.completeness()));
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&t.v_measure()));
+        }
+
+        #[test]
+        fn perfect_match_scores_one(sizes in prop::collection::vec(1usize..8, 1..5)) {
+            // Each cluster holds exactly one distinct class.
+            let clusters: Vec<Vec<usize>> = sizes
+                .iter()
+                .enumerate()
+                .map(|(class, &n)| vec![class; n])
+                .collect();
+            let t = Contingency::from_clusters(&clusters);
+            prop_assert!((t.homogeneity() - 1.0).abs() < 1e-9);
+            prop_assert!((t.completeness() - 1.0).abs() < 1e-9);
+            prop_assert!((t.adjusted_rand_index() - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn merging_all_clusters_keeps_completeness(clusters in labelled_clusters()) {
+            let merged: Vec<Vec<u8>> = vec![clusters.concat()];
+            let t = Contingency::from_clusters(&merged);
+            prop_assert!((t.completeness() - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Comparing two pseudo-data-type clusterings: protocol drift detection.
+//!
+//! Analysts rarely look at one capture in isolation: a firmware update,
+//! a new client version or an attack changes the traffic. Comparing the
+//! pseudo data types of two captures shows what stayed, what vanished
+//! and what is new — without ever knowing the protocol. Clusters are
+//! matched greedily by Jaccard overlap of their unique segment values.
+
+use crate::pipeline::PseudoTypeClustering;
+use std::collections::HashSet;
+
+/// A matched pair of clusters across two clusterings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterMatch {
+    /// Cluster id in the first clustering.
+    pub left: usize,
+    /// Cluster id in the second clustering.
+    pub right: usize,
+    /// Jaccard similarity of the two clusters' value sets.
+    pub jaccard: f64,
+    /// Values present on both sides.
+    pub shared_values: usize,
+}
+
+/// The comparison result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusteringDiff {
+    /// Matched cluster pairs, best matches first.
+    pub matches: Vec<ClusterMatch>,
+    /// Cluster ids of the first clustering with no counterpart.
+    pub only_left: Vec<usize>,
+    /// Cluster ids of the second clustering with no counterpart.
+    pub only_right: Vec<usize>,
+    /// Fraction of the first clustering's values found anywhere in the
+    /// second (drift indicator: 1.0 = nothing vanished).
+    pub left_value_retention: f64,
+}
+
+/// Minimum Jaccard similarity for two clusters to count as matched.
+pub const DEFAULT_MATCH_THRESHOLD: f64 = 0.1;
+
+/// Compares two clusterings by value overlap.
+///
+/// `threshold` is the minimum Jaccard similarity for a match (see
+/// [`DEFAULT_MATCH_THRESHOLD`]).
+pub fn compare_clusterings(
+    left: &PseudoTypeClustering,
+    right: &PseudoTypeClustering,
+    threshold: f64,
+) -> ClusteringDiff {
+    let value_sets = |c: &PseudoTypeClustering| -> Vec<HashSet<Vec<u8>>> {
+        c.clustering
+            .clusters()
+            .iter()
+            .map(|members| {
+                members
+                    .iter()
+                    .map(|&m| c.store.segments[m].value.clone())
+                    .collect()
+            })
+            .collect()
+    };
+    let left_sets = value_sets(left);
+    let right_sets = value_sets(right);
+
+    // All candidate pairs with their Jaccard similarity, best first.
+    let mut candidates: Vec<ClusterMatch> = Vec::new();
+    for (i, ls) in left_sets.iter().enumerate() {
+        for (j, rs) in right_sets.iter().enumerate() {
+            let shared = ls.intersection(rs).count();
+            if shared == 0 {
+                continue;
+            }
+            let union = ls.len() + rs.len() - shared;
+            let jaccard = shared as f64 / union as f64;
+            if jaccard >= threshold {
+                candidates.push(ClusterMatch { left: i, right: j, jaccard, shared_values: shared });
+            }
+        }
+    }
+    candidates.sort_by(|a, b| b.jaccard.partial_cmp(&a.jaccard).expect("jaccard is finite"));
+
+    // Greedy one-to-one matching.
+    let mut left_used = vec![false; left_sets.len()];
+    let mut right_used = vec![false; right_sets.len()];
+    let mut matches = Vec::new();
+    for c in candidates {
+        if !left_used[c.left] && !right_used[c.right] {
+            left_used[c.left] = true;
+            right_used[c.right] = true;
+            matches.push(c);
+        }
+    }
+    let only_left = (0..left_sets.len()).filter(|&i| !left_used[i]).collect();
+    let only_right = (0..right_sets.len()).filter(|&j| !right_used[j]).collect();
+
+    // Value retention: of all left values, how many exist anywhere right?
+    let all_right: HashSet<&Vec<u8>> = right.store.segments.iter().map(|s| &s.value).collect();
+    let left_total = left.store.segments.len();
+    let retained = left
+        .store
+        .segments
+        .iter()
+        .filter(|s| all_right.contains(&s.value))
+        .count();
+    let left_value_retention = if left_total == 0 {
+        1.0
+    } else {
+        retained as f64 / left_total as f64
+    };
+
+    ClusteringDiff { matches, only_left, only_right, left_value_retention }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::truth::truth_segmentation;
+    use crate::FieldTypeClusterer;
+    use protocols::{corpus, Protocol};
+
+    fn run(protocol: Protocol, n: usize, seed: u64) -> PseudoTypeClustering {
+        let trace = corpus::build_trace(protocol, n, seed);
+        let gt = corpus::ground_truth(protocol, &trace);
+        let seg = truth_segmentation(&trace, &gt);
+        FieldTypeClusterer::default().cluster_trace(&trace, &seg).unwrap()
+    }
+
+    #[test]
+    fn identical_captures_match_fully() {
+        let a = run(Protocol::Ntp, 50, 1);
+        let b = run(Protocol::Ntp, 50, 1);
+        let diff = compare_clusterings(&a, &b, DEFAULT_MATCH_THRESHOLD);
+        assert_eq!(diff.matches.len(), a.clustering.n_clusters() as usize);
+        assert!(diff.only_left.is_empty());
+        assert!(diff.only_right.is_empty());
+        assert_eq!(diff.left_value_retention, 1.0);
+        assert!(diff.matches.iter().all(|m| (m.jaccard - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn same_protocol_different_seeds_mostly_match() {
+        let a = run(Protocol::Dns, 60, 2);
+        let b = run(Protocol::Dns, 60, 3);
+        let diff = compare_clusterings(&a, &b, DEFAULT_MATCH_THRESHOLD);
+        // Shared constants/enums guarantee several matched types.
+        assert!(
+            diff.matches.len() * 2 >= a.clustering.n_clusters() as usize,
+            "{} of {} matched",
+            diff.matches.len(),
+            a.clustering.n_clusters()
+        );
+    }
+
+    #[test]
+    fn different_protocols_barely_match() {
+        let a = run(Protocol::Ntp, 50, 4);
+        let b = run(Protocol::Dns, 50, 4);
+        let diff = compare_clusterings(&a, &b, DEFAULT_MATCH_THRESHOLD);
+        assert!(
+            diff.matches.len() <= 2,
+            "unexpected matches across protocols: {:?}",
+            diff.matches
+        );
+        assert!(diff.left_value_retention < 0.5);
+    }
+
+    #[test]
+    fn matching_is_one_to_one() {
+        let a = run(Protocol::Smb, 48, 5);
+        let b = run(Protocol::Smb, 48, 6);
+        let diff = compare_clusterings(&a, &b, 0.01);
+        let lefts: HashSet<usize> = diff.matches.iter().map(|m| m.left).collect();
+        let rights: HashSet<usize> = diff.matches.iter().map(|m| m.right).collect();
+        assert_eq!(lefts.len(), diff.matches.len());
+        assert_eq!(rights.len(), diff.matches.len());
+    }
+}

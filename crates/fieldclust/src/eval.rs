@@ -1,0 +1,128 @@
+//! Evaluation of a pseudo-data-type clustering against ground truth
+//! (paper §IV).
+
+use crate::pipeline::PseudoTypeClustering;
+use crate::truth::label_store;
+use cluster::dbscan::Label;
+use evalkit::{pair_counts, ClusterMetrics, Contingency, Coverage, PairCounts};
+use protocols::{FieldKind, TrueField};
+use trace::Trace;
+
+/// Re-export: labels every clustered unique segment with its dominant
+/// true kind (see [`crate::truth::label_store`]).
+pub use crate::truth::label_store as label_segments;
+
+/// The full evaluation record for one clustering run — one cell of the
+/// paper's Tables I/II.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    /// Pairwise precision/recall/F¼.
+    pub metrics: ClusterMetrics,
+    /// The raw pair counts behind the metrics.
+    pub counts: PairCounts,
+    /// Byte coverage over the trace.
+    pub coverage: Coverage,
+    /// Number of clusters after refinement.
+    pub n_clusters: u32,
+    /// Number of unique segments labelled noise.
+    pub n_noise: usize,
+    /// Number of unique segments that were clustered (the paper's
+    /// "fields" column counts unique fields similarly).
+    pub n_segments: usize,
+    /// The auto-configured ε.
+    pub epsilon: f64,
+    /// Adjusted Rand Index (noise items counted as singleton clusters).
+    pub ari: f64,
+    /// V-measure (harmonic mean of homogeneity and completeness).
+    pub v_measure: f64,
+}
+
+/// Evaluates a clustering against the trace's ground truth.
+///
+/// Every unique segment is labelled with its dominant true
+/// [`FieldKind`]; clusters are then scored with the combinatorial
+/// pairwise metrics of §IV-A.
+pub fn evaluate(
+    result: &PseudoTypeClustering,
+    trace: &Trace,
+    ground_truth: &[Vec<TrueField>],
+) -> Evaluation {
+    let labels: Vec<FieldKind> = label_store(&result.store, ground_truth);
+
+    let clusters_members = result.clustering.clusters();
+    let clusters: Vec<Vec<FieldKind>> = clusters_members
+        .iter()
+        .map(|members| members.iter().map(|&i| labels[i]).collect())
+        .collect();
+    let noise: Vec<FieldKind> = result
+        .clustering
+        .labels()
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| **l == Label::Noise)
+        .map(|(i, _)| labels[i])
+        .collect();
+
+    let counts = pair_counts(&clusters, &noise);
+
+    // ARI / V-measure treat each noise item as its own singleton cluster
+    // (the usual convention when scoring DBSCAN against labels).
+    let mut with_noise = clusters.clone();
+    with_noise.extend(noise.iter().map(|&l| vec![l]));
+    let contingency = Contingency::from_clusters(&with_noise);
+
+    Evaluation {
+        metrics: ClusterMetrics::from_counts(&counts),
+        counts,
+        coverage: result.coverage(trace),
+        n_clusters: result.clustering.n_clusters(),
+        n_noise: noise.len(),
+        n_segments: result.store.segments.len(),
+        epsilon: result.params.epsilon,
+        ari: contingency.adjusted_rand_index(),
+        v_measure: contingency.v_measure(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::FieldTypeClusterer;
+    use crate::truth::truth_segmentation;
+    use protocols::{corpus, Protocol};
+
+    #[test]
+    fn evaluation_fields_are_consistent() {
+        let trace = corpus::build_trace(Protocol::Ntp, 60, 9);
+        let gt = corpus::ground_truth(Protocol::Ntp, &trace);
+        let seg = truth_segmentation(&trace, &gt);
+        let result = FieldTypeClusterer::default().cluster_trace(&trace, &seg).unwrap();
+        let eval = evaluate(&result, &trace, &gt);
+
+        assert_eq!(eval.n_segments, result.store.segments.len());
+        assert_eq!(eval.n_clusters, result.clustering.n_clusters());
+        assert!(eval.metrics.precision > 0.0);
+        assert!((0.0..=1.0).contains(&eval.coverage.ratio()));
+        assert_eq!(eval.epsilon, result.params.epsilon);
+        assert!((-1.0..=1.0).contains(&eval.ari));
+        assert!((0.0..=1.0).contains(&eval.v_measure));
+    }
+
+    #[test]
+    fn ground_truth_clustering_scores_reasonably() {
+        // From true NTP fields, the method should score well (Table I
+        // reports F ≈ 1.0 for NTP).
+        let trace = corpus::build_trace(Protocol::Ntp, 100, 10);
+        let gt = corpus::ground_truth(Protocol::Ntp, &trace);
+        let seg = truth_segmentation(&trace, &gt);
+        let result = FieldTypeClusterer::default().cluster_trace(&trace, &seg).unwrap();
+        let eval = evaluate(&result, &trace, &gt);
+        assert!(
+            eval.metrics.precision > 0.5,
+            "precision = {} (clusters = {}, noise = {})",
+            eval.metrics.precision,
+            eval.n_clusters,
+            eval.n_noise
+        );
+    }
+}

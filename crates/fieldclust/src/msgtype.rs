@@ -1,0 +1,244 @@
+//! Message type identification via continuous segment similarity.
+//!
+//! The paper deliberately does *not* cluster whole messages — prior work
+//! covers that, in particular the authors' own NEMETYL (Kleber et al.,
+//! INFOCOM 2020, the paper's reference \[10\], which also introduced the
+//! Canberra dissimilarity reused here). This module implements that
+//! companion analysis on top of the same machinery: messages are
+//! sequences of segments; two messages are compared by aligning their
+//! segment sequences with dynamic programming, using the precomputed
+//! segment dissimilarity matrix as substitution cost; the resulting
+//! message dissimilarity matrix is clustered with the same
+//! auto-configured DBSCAN. Together with the field type clustering this
+//! completes the inference stack: message types × field types.
+
+use crate::segments::SegmentStore;
+use cluster::autoconf::{auto_configure, AutoConfig};
+use cluster::dbscan::{dbscan, Clustering};
+use dissim::{dissimilarity, CondensedMatrix, DissimParams};
+use segment::TraceSegmentation;
+use trace::Trace;
+
+/// Configuration of the message type identifier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MessageTypeConfig {
+    /// Segment dissimilarity parameters.
+    pub dissim: DissimParams,
+    /// ε auto-configuration for the message-level DBSCAN.
+    pub autoconf: AutoConfig,
+    /// Alignment gap penalty (cost of leaving a segment unmatched),
+    /// in dissimilarity units.
+    pub gap_penalty: f64,
+    /// Threads for the segment dissimilarity matrix.
+    pub threads: usize,
+}
+
+impl Default for MessageTypeConfig {
+    fn default() -> Self {
+        Self {
+            dissim: DissimParams::default(),
+            autoconf: AutoConfig::default(),
+            gap_penalty: 0.8,
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        }
+    }
+}
+
+/// The result: one cluster id (or noise) per message of the trace.
+#[derive(Debug, Clone)]
+pub struct MessageTypes {
+    /// Clustering over the trace's messages.
+    pub clustering: Clustering,
+    /// The auto-configured ε for the message matrix.
+    pub epsilon: f64,
+    /// `min_samples` used.
+    pub min_samples: usize,
+}
+
+/// Error from [`identify_message_types`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MessageTypeError {
+    /// Fewer than four messages.
+    TooFewMessages {
+        /// Messages available.
+        n: usize,
+    },
+}
+
+impl std::fmt::Display for MessageTypeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MessageTypeError::TooFewMessages { n } => {
+                write!(f, "too few messages for type identification ({n} < 4)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MessageTypeError {}
+
+/// Clusters the trace's messages into message types.
+///
+/// # Errors
+///
+/// Returns [`MessageTypeError::TooFewMessages`] for traces with fewer
+/// than four messages.
+pub fn identify_message_types(
+    trace: &Trace,
+    segmentation: &TraceSegmentation,
+    config: &MessageTypeConfig,
+) -> Result<MessageTypes, MessageTypeError> {
+    let n = trace.len();
+    if n < 4 {
+        return Err(MessageTypeError::TooFewMessages { n });
+    }
+    // Unique segments with at least one byte: message type identification
+    // keeps even 1-byte segments — sequence context disambiguates them.
+    let store = SegmentStore::collect(trace, segmentation, 1);
+    let values: Vec<&[u8]> = store.segments.iter().map(|s| &s.value[..]).collect();
+    let params = &config.dissim;
+    let seg_matrix = CondensedMatrix::build_parallel(values.len(), config.threads, |i, j| {
+        dissimilarity(values[i], values[j], params)
+    });
+
+    // Each message as a sequence of unique-segment ids. Instances are
+    // recorded per segment, so sort them back into per-message offset
+    // order.
+    let sequences: Vec<Vec<usize>> = {
+        let mut with_offsets: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+        for (id, seg) in store.segments.iter().enumerate() {
+            for inst in &seg.instances {
+                with_offsets[inst.message].push((inst.range.start, id));
+            }
+        }
+        with_offsets
+            .into_iter()
+            .map(|mut v| {
+                v.sort_unstable();
+                v.into_iter().map(|(_, id)| id).collect()
+            })
+            .collect()
+    };
+
+    let gap = config.gap_penalty;
+    let msg_matrix = CondensedMatrix::build_parallel(n, config.threads, |a, b| {
+        align_cost(&sequences[a], &sequences[b], &seg_matrix, gap)
+    });
+
+    let min_samples = ((n as f64).ln().round() as usize).max(2);
+    let (epsilon, min_samples) = match auto_configure(&msg_matrix, &config.autoconf) {
+        Ok(p) => (p.epsilon, min_samples),
+        Err(_) => (msg_matrix.mean().unwrap_or(0.5) / 2.0, min_samples),
+    };
+    let clustering = dbscan(&msg_matrix, epsilon, min_samples);
+    Ok(MessageTypes { clustering, epsilon, min_samples })
+}
+
+/// Normalized global alignment cost of two segment-id sequences:
+/// substitution costs come from the segment dissimilarity matrix, gaps
+/// cost `gap`; the total is normalized by the longer sequence length so
+/// results live in `[0, ~1]`.
+fn align_cost(a: &[usize], b: &[usize], seg_matrix: &CondensedMatrix, gap: f64) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 1.0;
+    }
+    let (rows, cols) = (a.len() + 1, b.len() + 1);
+    let mut dp = vec![0.0f64; rows * cols];
+    for i in 1..rows {
+        dp[i * cols] = i as f64 * gap;
+    }
+    for j in 1..cols {
+        dp[j] = j as f64 * gap;
+    }
+    for i in 1..rows {
+        for j in 1..cols {
+            let sub = dp[(i - 1) * cols + (j - 1)] + seg_matrix.get(a[i - 1], b[j - 1]);
+            let del = dp[(i - 1) * cols + j] + gap;
+            let ins = dp[i * cols + (j - 1)] + gap;
+            dp[i * cols + j] = sub.min(del).min(ins);
+        }
+    }
+    dp[rows * cols - 1] / a.len().max(b.len()) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::truth::truth_segmentation;
+    use evalkit::{pair_counts, ClusterMetrics};
+    use protocols::{corpus, Protocol, ProtocolSpec};
+
+    fn run(protocol: Protocol, n: usize) -> (Vec<&'static str>, MessageTypes) {
+        let trace = corpus::build_trace(protocol, n, 3);
+        let gt = corpus::ground_truth(protocol, &trace);
+        let seg = truth_segmentation(&trace, &gt);
+        let types: Vec<&'static str> = trace
+            .iter()
+            .map(|m| protocol.message_type(m.payload()).expect("corpus messages parse"))
+            .collect();
+        let result =
+            identify_message_types(&trace, &seg, &MessageTypeConfig::default()).expect("enough messages");
+        (types, result)
+    }
+
+    fn metrics(types: &[&'static str], result: &MessageTypes) -> ClusterMetrics {
+        let clusters: Vec<Vec<&str>> = result
+            .clustering
+            .clusters()
+            .iter()
+            .map(|members| members.iter().map(|&m| types[m]).collect())
+            .collect();
+        let noise: Vec<&str> = result.clustering.noise().iter().map(|&m| types[m]).collect();
+        ClusterMetrics::from_counts(&pair_counts(&clusters, &noise))
+    }
+
+    #[test]
+    fn dns_queries_and_responses_separate() {
+        let (types, result) = run(Protocol::Dns, 60);
+        let m = metrics(&types, &result);
+        assert!(m.precision > 0.8, "precision = {} ({:?} clusters)", m.precision, result.clustering.n_clusters());
+        assert!(result.clustering.n_clusters() >= 2);
+    }
+
+    #[test]
+    fn ntp_modes_separate() {
+        let (types, result) = run(Protocol::Ntp, 60);
+        let m = metrics(&types, &result);
+        assert!(m.precision > 0.8, "precision = {}", m.precision);
+    }
+
+    #[test]
+    fn alignment_cost_properties() {
+        let seg_matrix = CondensedMatrix::build(3, |i, j| if i == j { 0.0 } else { 0.5 });
+        // Identical sequences cost nothing.
+        assert_eq!(align_cost(&[0, 1, 2], &[0, 1, 2], &seg_matrix, 0.8), 0.0);
+        // Symmetry.
+        let ab = align_cost(&[0, 1], &[1, 2, 0], &seg_matrix, 0.8);
+        let ba = align_cost(&[1, 2, 0], &[0, 1], &seg_matrix, 0.8);
+        assert_eq!(ab, ba);
+        // Empty vs non-empty is maximal.
+        assert_eq!(align_cost(&[], &[0], &seg_matrix, 0.8), 1.0);
+        assert_eq!(align_cost(&[], &[], &seg_matrix, 0.8), 0.0);
+    }
+
+    #[test]
+    fn too_few_messages_is_an_error() {
+        let trace = corpus::build_trace(Protocol::Ntp, 3, 1);
+        let gt = corpus::ground_truth(Protocol::Ntp, &trace);
+        let seg = truth_segmentation(&trace, &gt);
+        assert!(matches!(
+            identify_message_types(&trace, &seg, &MessageTypeConfig::default()),
+            Err(MessageTypeError::TooFewMessages { n: 3 })
+        ));
+    }
+
+    #[test]
+    fn every_message_is_labelled() {
+        let (_, result) = run(Protocol::Smb, 40);
+        assert_eq!(result.clustering.len(), 40);
+        assert!(result.epsilon > 0.0);
+    }
+}

@@ -1,0 +1,292 @@
+//! The end-to-end field data type clustering pipeline (paper §III).
+
+use crate::segments::SegmentStore;
+use cluster::autoconf::{auto_configure, AutoConfError, AutoConfig, SelectedParams};
+use cluster::dbscan::{dbscan_weighted, Clustering, Label};
+use cluster::refine::{merge_clusters, split_clusters, RefineParams};
+use dissim::{dissimilarity, CondensedMatrix, DissimParams};
+use evalkit::Coverage;
+use segment::TraceSegmentation;
+use trace::Trace;
+
+/// How the DBSCAN ε was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpsilonSource {
+    /// Knee of the k-NN ECDF (Algorithm 1).
+    Knee,
+    /// Knee of the ECDF trimmed below the first knee (§III-E multi-knee
+    /// fallback, triggered by a dominating cluster).
+    TrimmedKnee,
+    /// Auto-configuration found no knee; half the mean dissimilarity was
+    /// used instead (robustness fallback, not part of the paper).
+    MeanFallback,
+}
+
+/// The complete pipeline configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldTypeClusterer {
+    /// Canberra dissimilarity parameters.
+    pub dissim: DissimParams,
+    /// ε auto-configuration parameters.
+    pub autoconf: AutoConfig,
+    /// Refinement thresholds.
+    pub refine: RefineParams,
+    /// Minimum segment length admitted to clustering (the paper excludes
+    /// one-byte segments).
+    pub min_segment_len: usize,
+    /// Threads used for the pairwise dissimilarity matrix.
+    pub threads: usize,
+    /// A single cluster holding more than this fraction of non-noise
+    /// segments triggers the trimmed-ECDF fallback.
+    pub large_cluster_fraction: f64,
+}
+
+impl Default for FieldTypeClusterer {
+    fn default() -> Self {
+        Self {
+            dissim: DissimParams::default(),
+            autoconf: AutoConfig::default(),
+            refine: RefineParams::default(),
+            min_segment_len: 2,
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            large_cluster_fraction: 0.6,
+        }
+    }
+}
+
+/// The pipeline result: pseudo data types over unique segments.
+#[derive(Debug, Clone)]
+pub struct PseudoTypeClustering {
+    /// The unique segments that were clustered (item `i` of the
+    /// clustering is `store.segments[i]`).
+    pub store: SegmentStore,
+    /// Final cluster labels after refinement.
+    pub clustering: Clustering,
+    /// The auto-configured DBSCAN parameters that produced the result.
+    pub params: SelectedParams,
+    /// Where ε came from.
+    pub epsilon_source: EpsilonSource,
+}
+
+impl PseudoTypeClustering {
+    /// Byte coverage over the trace: bytes of all instances of segments
+    /// that ended up in a cluster (noise and excluded short segments do
+    /// not count as inferred).
+    pub fn coverage(&self, trace: &Trace) -> Coverage {
+        let mut covered = 0u64;
+        for (seg, label) in self.store.segments.iter().zip(self.clustering.labels()) {
+            if matches!(label, Label::Cluster(_)) {
+                covered += seg.instances.iter().map(|i| i.range.len() as u64).sum::<u64>();
+            }
+        }
+        Coverage { covered_bytes: covered, total_bytes: trace.total_payload_bytes() as u64 }
+    }
+
+    /// The values grouped per cluster, for inspection and reporting.
+    pub fn cluster_values(&self) -> Vec<Vec<&[u8]>> {
+        self.clustering
+            .clusters()
+            .into_iter()
+            .map(|members| members.into_iter().map(|i| &self.store.segments[i].value[..]).collect())
+            .collect()
+    }
+}
+
+/// Error from [`FieldTypeClusterer::cluster_trace`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// Too few clusterable unique segments to analyze.
+    TooFewSegments {
+        /// How many unique segments of sufficient length were found.
+        n: usize,
+    },
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::TooFewSegments { n } => {
+                write!(f, "too few unique segments for clustering ({n} < 4)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl FieldTypeClusterer {
+    /// Runs the pipeline on a preprocessed trace and its segmentation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::TooFewSegments`] when fewer than four
+    /// unique segments of sufficient length exist.
+    pub fn cluster_trace(
+        &self,
+        trace: &Trace,
+        segmentation: &TraceSegmentation,
+    ) -> Result<PseudoTypeClustering, PipelineError> {
+        let store = SegmentStore::collect(trace, segmentation, self.min_segment_len);
+        let n = store.segments.len();
+        if n < 4 {
+            return Err(PipelineError::TooFewSegments { n });
+        }
+
+        let values: Vec<&[u8]> = store.segments.iter().map(|s| &s.value[..]).collect();
+        let params = &self.dissim;
+        let matrix = CondensedMatrix::build_parallel(n, self.threads, |i, j| {
+            dissimilarity(values[i], values[j], params)
+        });
+
+        // The matrix covers *unique* values; clustering must behave as if
+        // every duplicate segment were present, so occurrence counts act
+        // as DBSCAN sample weights and min_samples is sized by the
+        // trace's segment count (paper: "setting it to ln n", with n the
+        // number of segments).
+        let weights = store.occurrence_counts();
+        let total_instances: usize = weights.iter().sum();
+        let min_samples = ((total_instances as f64).ln().round() as usize).max(2);
+
+        // Algorithm 1, with a robustness fallback for degenerate inputs.
+        let (mut selected, mut source) = match auto_configure(&matrix, &self.autoconf) {
+            Ok(p) => (p, EpsilonSource::Knee),
+            Err(AutoConfError::TooFewSegments { n }) => return Err(PipelineError::TooFewSegments { n }),
+            Err(_) => (self.mean_fallback(&matrix, n), EpsilonSource::MeanFallback),
+        };
+        selected.min_samples = min_samples;
+        let mut clustering = dbscan_weighted(&matrix, selected.epsilon, min_samples, &weights);
+
+        // §III-E: a single dominating cluster signals a too-large ε from
+        // a multi-knee ECDF; re-configure on the trimmed distribution.
+        if self.has_dominating_cluster(&clustering, &weights) {
+            let trimmed_config = AutoConfig {
+                max_dissimilarity: Some(selected.epsilon),
+                ..self.autoconf
+            };
+            if let Ok(p) = auto_configure(&matrix, &trimmed_config) {
+                if p.epsilon < selected.epsilon {
+                    let reclustered = dbscan_weighted(&matrix, p.epsilon, min_samples, &weights);
+                    selected = SelectedParams { min_samples, ..p };
+                    source = EpsilonSource::TrimmedKnee;
+                    clustering = reclustered;
+                }
+            }
+        }
+
+        // §III-F refinement: merge over-classification, split polarized
+        // occurrence distributions.
+        let merged = merge_clusters(&clustering, &matrix, &self.refine);
+        let final_clustering = split_clusters(&merged, &store.occurrence_counts(), &self.refine);
+
+        Ok(PseudoTypeClustering {
+            store,
+            clustering: final_clustering,
+            params: selected,
+            epsilon_source: source,
+        })
+    }
+
+    /// Checks for a cluster holding more than `large_cluster_fraction`
+    /// of the non-noise segments — occurrence-weighted, consistent with
+    /// the multiset view.
+    fn has_dominating_cluster(&self, clustering: &Clustering, weights: &[usize]) -> bool {
+        let clusters = clustering.clusters();
+        let cluster_weight =
+            |c: &[usize]| -> usize { c.iter().map(|&i| weights[i]).sum() };
+        let non_noise: usize = clusters.iter().map(|c| cluster_weight(c)).sum();
+        if non_noise == 0 {
+            return false;
+        }
+        clusters
+            .iter()
+            .any(|c| cluster_weight(c) as f64 > self.large_cluster_fraction * non_noise as f64)
+    }
+
+    /// Fallback parameters when no knee exists: half the mean pairwise
+    /// dissimilarity, `min_samples = round(ln n)`.
+    fn mean_fallback(&self, matrix: &CondensedMatrix, n: usize) -> SelectedParams {
+        let epsilon = matrix.mean().unwrap_or(0.0) / 2.0;
+        SelectedParams {
+            epsilon,
+            min_samples: ((n as f64).ln().round() as usize).max(2),
+            k: 2,
+            ecdf_values: Vec::new(),
+            smoothed_curve: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::truth::truth_segmentation;
+    use protocols::{corpus, Protocol};
+    use segment::nemesys::Nemesys;
+    use segment::Segmenter;
+
+    fn run(protocol: Protocol, n: usize, seed: u64) -> (Trace, PseudoTypeClustering) {
+        let trace = corpus::build_trace(protocol, n, seed);
+        let gt = corpus::ground_truth(protocol, &trace);
+        let seg = truth_segmentation(&trace, &gt);
+        let result = FieldTypeClusterer::default().cluster_trace(&trace, &seg).unwrap();
+        (trace, result)
+    }
+
+    #[test]
+    fn ntp_pipeline_produces_clusters() {
+        let (trace, result) = run(Protocol::Ntp, 60, 1);
+        assert!(result.clustering.n_clusters() >= 2, "n = {}", result.clustering.n_clusters());
+        let cov = result.coverage(&trace);
+        assert!(cov.ratio() > 0.3, "coverage = {}", cov.ratio());
+        assert!(result.params.epsilon > 0.0);
+    }
+
+    #[test]
+    fn heuristic_segmentation_also_works() {
+        let trace = corpus::build_trace(Protocol::Dns, 60, 2);
+        let seg = Nemesys::default().segment_trace(&trace).unwrap();
+        let result = FieldTypeClusterer::default().cluster_trace(&trace, &seg).unwrap();
+        assert!(result.clustering.n_clusters() >= 1);
+    }
+
+    #[test]
+    fn too_few_segments_is_an_error() {
+        let trace = corpus::build_trace(Protocol::Ntp, 60, 3);
+        // Absurd minimum length excludes everything.
+        let clusterer = FieldTypeClusterer { min_segment_len: 1000, ..FieldTypeClusterer::default() };
+        let gt = corpus::ground_truth(Protocol::Ntp, &trace);
+        let seg = truth_segmentation(&trace, &gt);
+        assert!(matches!(
+            clusterer.cluster_trace(&trace, &seg),
+            Err(PipelineError::TooFewSegments { .. })
+        ));
+    }
+
+    #[test]
+    fn pipeline_is_deterministic() {
+        let (_, a) = run(Protocol::Dns, 40, 4);
+        let (_, b) = run(Protocol::Dns, 40, 4);
+        assert_eq!(a.clustering, b.clustering);
+        assert_eq!(a.params.epsilon, b.params.epsilon);
+    }
+
+    #[test]
+    fn cluster_values_expose_member_bytes() {
+        let (_, result) = run(Protocol::Ntp, 50, 5);
+        let values = result.cluster_values();
+        assert_eq!(values.len(), result.clustering.n_clusters() as usize);
+        for members in &values {
+            assert!(!members.is_empty());
+        }
+    }
+
+    #[test]
+    fn coverage_excludes_noise_and_short_segments() {
+        let (trace, result) = run(Protocol::Ntp, 50, 6);
+        let cov = result.coverage(&trace);
+        assert!(cov.covered_bytes <= cov.total_bytes);
+        // NTP has four 1-byte header fields per message that can never be
+        // covered.
+        assert!(cov.ratio() < 1.0);
+    }
+}

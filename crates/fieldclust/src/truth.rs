@@ -1,0 +1,135 @@
+//! Ground-truth adapters: dissector fields as a segmentation, and type
+//! labels for arbitrary segments.
+//!
+//! The paper validates the clustering against "perfect segmentation from
+//! Wireshark dissectors" (§IV-B); our [`protocols`] dissectors play that
+//! role. For heuristic segments, whose boundaries rarely match true
+//! fields exactly, a segment inherits the true type it overlaps the most
+//! (weighted across all its instances).
+
+use crate::segments::SegmentStore;
+use protocols::{FieldKind, TrueField};
+use segment::{MessageSegments, TraceSegmentation};
+use trace::Trace;
+
+/// Converts per-message ground-truth fields into a segmentation.
+///
+/// # Panics
+///
+/// Panics if `ground_truth` does not cover the trace or a message's
+/// fields do not tile its payload — corpus traces always do.
+pub fn truth_segmentation(trace: &Trace, ground_truth: &[Vec<TrueField>]) -> TraceSegmentation {
+    assert_eq!(trace.len(), ground_truth.len(), "ground truth must cover the trace");
+    let messages = trace
+        .iter()
+        .zip(ground_truth)
+        .map(|(msg, fields)| {
+            let ranges = fields.iter().map(TrueField::range).collect();
+            MessageSegments::from_ranges(msg.payload().len(), ranges)
+        })
+        .collect();
+    TraceSegmentation { messages }
+}
+
+/// The dominant true [`FieldKind`] for one byte range of one message:
+/// the kind whose fields overlap the range with the most bytes.
+///
+/// Returns `None` when the range overlaps no field (cannot happen for
+/// tiling ground truth).
+pub fn dominant_kind(fields: &[TrueField], range: &std::ops::Range<usize>) -> Option<FieldKind> {
+    let mut best: Option<(FieldKind, usize)> = None;
+    let mut acc: std::collections::HashMap<FieldKind, usize> = std::collections::HashMap::new();
+    for f in fields {
+        let overlap_start = f.offset.max(range.start);
+        let overlap_end = (f.offset + f.len).min(range.end);
+        if overlap_end > overlap_start {
+            *acc.entry(f.kind).or_insert(0) += overlap_end - overlap_start;
+        }
+    }
+    for (kind, bytes) in acc {
+        if best.map_or(true, |(_, b)| bytes > b) {
+            best = Some((kind, bytes));
+        }
+    }
+    best.map(|(k, _)| k)
+}
+
+/// Labels every clusterable unique segment of a store with its dominant
+/// true kind, majority-voted over all instances (byte-weighted).
+///
+/// # Panics
+///
+/// Panics if an instance references a message without ground truth.
+pub fn label_store(store: &SegmentStore, ground_truth: &[Vec<TrueField>]) -> Vec<FieldKind> {
+    store
+        .segments
+        .iter()
+        .map(|seg| {
+            let mut votes: std::collections::HashMap<FieldKind, usize> = std::collections::HashMap::new();
+            for inst in &seg.instances {
+                let fields = &ground_truth[inst.message];
+                if let Some(kind) = dominant_kind(fields, &inst.range) {
+                    *votes.entry(kind).or_insert(0) += inst.range.len();
+                }
+            }
+            votes
+                .into_iter()
+                .max_by_key(|&(_, v)| v)
+                .map(|(k, _)| k)
+                .expect("every instance overlaps ground-truth fields")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protocols::{corpus, Protocol};
+
+    #[test]
+    fn truth_segmentation_matches_fields() {
+        let t = corpus::build_trace(Protocol::Ntp, 20, 1);
+        let gt = corpus::ground_truth(Protocol::Ntp, &t);
+        let seg = truth_segmentation(&t, &gt);
+        for (fields, segs) in gt.iter().zip(&seg.messages) {
+            assert_eq!(fields.len(), segs.len());
+            for (f, r) in fields.iter().zip(segs.ranges()) {
+                assert_eq!(f.range(), *r);
+            }
+        }
+    }
+
+    #[test]
+    fn dominant_kind_picks_majority_overlap() {
+        let fields = vec![
+            TrueField { offset: 0, len: 4, kind: FieldKind::Timestamp, name: "ts" },
+            TrueField { offset: 4, len: 2, kind: FieldKind::UInt, name: "u" },
+        ];
+        // Range covering 3 timestamp bytes and 1 uint byte.
+        assert_eq!(dominant_kind(&fields, &(1..5)), Some(FieldKind::Timestamp));
+        // Range inside the uint.
+        assert_eq!(dominant_kind(&fields, &(4..6)), Some(FieldKind::UInt));
+        // Range beyond all fields.
+        assert_eq!(dominant_kind(&fields, &(6..8)), None);
+    }
+
+    #[test]
+    fn exact_segments_get_exact_labels() {
+        let t = corpus::build_trace(Protocol::Ntp, 30, 2);
+        let gt = corpus::ground_truth(Protocol::Ntp, &t);
+        let seg = truth_segmentation(&t, &gt);
+        let store = SegmentStore::collect(&t, &seg, 2);
+        let labels = label_store(&store, &gt);
+        assert_eq!(labels.len(), store.segments.len());
+        // NTP ground truth contains timestamps; they must be labelled so.
+        let has_ts = labels.iter().any(|&k| k == FieldKind::Timestamp);
+        assert!(has_ts);
+    }
+
+    #[test]
+    #[should_panic(expected = "ground truth must cover")]
+    fn mismatched_ground_truth_panics() {
+        let t = corpus::build_trace(Protocol::Ntp, 5, 3);
+        truth_segmentation(&t, &[]);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based invariants of the pipeline's bookkeeping layers.
+
+use bytes::Bytes;
+use fieldclust::SegmentStore;
+use proptest::prelude::*;
+use segment::{MessageSegments, TraceSegmentation};
+use trace::{Message, Trace};
+
+/// Random messages with random (valid) segmentations.
+fn arb_trace_and_seg() -> impl Strategy<Value = (Trace, TraceSegmentation)> {
+    prop::collection::vec(prop::collection::vec(any::<u8>(), 1..60), 1..20).prop_flat_map(
+        |payloads| {
+            let cut_strategies: Vec<_> = payloads
+                .iter()
+                .map(|p| {
+                    let len = p.len();
+                    prop::collection::btree_set(1..len.max(2), 0..len.min(6)).prop_map(
+                        move |cuts| {
+                            let cuts: Vec<usize> =
+                                cuts.into_iter().filter(|&c| c < len).collect();
+                            MessageSegments::from_cuts(len, &cuts)
+                        },
+                    )
+                })
+                .collect();
+            (Just(payloads), cut_strategies).prop_map(|(payloads, segs)| {
+                let msgs = payloads
+                    .into_iter()
+                    .map(|p| Message::builder(Bytes::from(p)).build())
+                    .collect();
+                (Trace::new("prop", msgs), TraceSegmentation { messages: segs })
+            })
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn store_preserves_every_byte((trace, seg) in arb_trace_and_seg()) {
+        let store = SegmentStore::collect(&trace, &seg, 2);
+        // Every instance across clusterable + excluded must cover the
+        // trace byte-exactly.
+        let mut per_message: Vec<Vec<bool>> = trace
+            .iter()
+            .map(|m| vec![false; m.payload().len()])
+            .collect();
+        for seg in store.segments.iter().chain(&store.excluded) {
+            for inst in &seg.instances {
+                for b in inst.range.clone() {
+                    prop_assert!(!per_message[inst.message][b], "byte covered twice");
+                    per_message[inst.message][b] = true;
+                }
+            }
+        }
+        for (mi, covered) in per_message.iter().enumerate() {
+            prop_assert!(covered.iter().all(|&c| c), "message {} has uncovered bytes", mi);
+        }
+    }
+
+    #[test]
+    fn store_values_are_unique((trace, seg) in arb_trace_and_seg()) {
+        let store = SegmentStore::collect(&trace, &seg, 2);
+        let mut seen = std::collections::HashSet::new();
+        for s in store.segments.iter().chain(&store.excluded) {
+            prop_assert!(seen.insert(s.value.clone()), "duplicate unique value");
+            prop_assert!(!s.instances.is_empty());
+        }
+    }
+
+    #[test]
+    fn min_len_partitions_correctly(
+        (trace, seg) in arb_trace_and_seg(),
+        min_len in 1usize..5,
+    ) {
+        let store = SegmentStore::collect(&trace, &seg, min_len);
+        for s in &store.segments {
+            prop_assert!(s.value.len() >= min_len);
+        }
+        for s in &store.excluded {
+            prop_assert!(s.value.len() < min_len);
+        }
+    }
+
+    #[test]
+    fn instances_readback_matches_value((trace, seg) in arb_trace_and_seg()) {
+        let store = SegmentStore::collect(&trace, &seg, 1);
+        for s in &store.segments {
+            for inst in &s.instances {
+                let payload = trace.messages()[inst.message].payload();
+                prop_assert_eq!(&payload[inst.range.clone()], &s.value[..]);
+            }
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Empirical cumulative distribution functions.
+//!
+//! The ε auto-configuration of the clustering pipeline (paper §III-D) builds
+//! the ECDF of the dissimilarities between each segment and its *k*-th
+//! nearest neighbor, smooths it, and searches for the knee. [`Ecdf`] stores
+//! the sorted sample and offers both the classic step-function evaluation
+//! and the "curve" view (sorted sample values against cumulative fraction)
+//! that the knee detection operates on.
+
+/// An empirical cumulative distribution function over a fixed sample.
+///
+/// The ECDF is the step function jumping by `1/n` at each of the `n` sample
+/// points. Construction sorts the sample once; evaluation is a binary
+/// search.
+///
+/// # Examples
+///
+/// ```
+/// use mathkit::Ecdf;
+///
+/// let e = Ecdf::new(vec![0.1, 0.2, 0.2, 0.4]).unwrap();
+/// assert_eq!(e.eval(0.0), 0.0);
+/// assert_eq!(e.eval(0.2), 0.75);
+/// assert_eq!(e.eval(1.0), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from a sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcdfError::Empty`] for an empty sample and
+    /// [`EcdfError::NotFinite`] if the sample contains NaN or infinities.
+    pub fn new(mut sample: Vec<f64>) -> Result<Self, EcdfError> {
+        if sample.is_empty() {
+            return Err(EcdfError::Empty);
+        }
+        if sample.iter().any(|x| !x.is_finite()) {
+            return Err(EcdfError::NotFinite);
+        }
+        sample.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        Ok(Self { sorted: sample })
+    }
+
+    /// Number of sample points.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample is empty (never true for a constructed `Ecdf`).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The sorted sample values.
+    pub fn values(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Evaluates the ECDF at `x`: the fraction of sample points `<= x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The quantile function (generalized inverse): the smallest sample
+    /// value `v` with `eval(v) >= q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `(0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(q > 0.0 && q <= 1.0, "quantile level must be in (0, 1]");
+        let n = self.sorted.len();
+        let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+        self.sorted[idx]
+    }
+
+    /// The ECDF as a curve: pairs `(value, cumulative fraction)` with the
+    /// fraction running from `1/n` to `1`.
+    ///
+    /// This is the representation the knee search operates on — x is the
+    /// dissimilarity, y the fraction of segments with a k-NN dissimilarity
+    /// at most x.
+    pub fn curve(&self) -> (Vec<f64>, Vec<f64>) {
+        let n = self.sorted.len();
+        let ys = (1..=n).map(|i| i as f64 / n as f64).collect();
+        (self.sorted.clone(), ys)
+    }
+
+    /// A new ECDF restricted to sample values strictly below `cutoff`, as
+    /// used by the multi-knee fallback of §III-E (`Ê'_k = Ê_k({d < d_κ})`).
+    ///
+    /// Returns `None` when no sample value survives the cut.
+    pub fn trimmed_below(&self, cutoff: f64) -> Option<Self> {
+        let kept: Vec<f64> = self.sorted.iter().copied().filter(|&v| v < cutoff).collect();
+        if kept.is_empty() {
+            None
+        } else {
+            Some(Self { sorted: kept })
+        }
+    }
+}
+
+/// Error constructing an [`Ecdf`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EcdfError {
+    /// The sample was empty.
+    Empty,
+    /// The sample contained NaN or infinite values.
+    NotFinite,
+}
+
+impl std::fmt::Display for EcdfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EcdfError::Empty => write!(f, "empty sample"),
+            EcdfError::NotFinite => write!(f, "sample contains non-finite values"),
+        }
+    }
+}
+
+impl std::error::Error for EcdfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_and_nan() {
+        assert_eq!(Ecdf::new(vec![]).unwrap_err(), EcdfError::Empty);
+        assert_eq!(Ecdf::new(vec![1.0, f64::NAN]).unwrap_err(), EcdfError::NotFinite);
+    }
+
+    #[test]
+    fn eval_is_step_function() {
+        let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.5), 0.5);
+        assert_eq!(e.eval(4.0), 1.0);
+    }
+
+    #[test]
+    fn quantile_inverts_eval() {
+        let e = Ecdf::new(vec![10.0, 20.0, 30.0, 40.0]).unwrap();
+        assert_eq!(e.quantile(0.25), 10.0);
+        assert_eq!(e.quantile(0.26), 20.0);
+        assert_eq!(e.quantile(1.0), 40.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile level")]
+    fn quantile_panics_out_of_range() {
+        let e = Ecdf::new(vec![1.0]).unwrap();
+        e.quantile(0.0);
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let e = Ecdf::new(vec![3.0, 1.0, 2.0, 2.0]).unwrap();
+        let (xs, ys) = e.curve();
+        assert!(xs.windows(2).all(|w| w[0] <= w[1]));
+        assert!(ys.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*ys.last().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn trim_below_keeps_prefix() {
+        let e = Ecdf::new(vec![0.1, 0.2, 0.3, 0.9]).unwrap();
+        let t = e.trimmed_below(0.5).unwrap();
+        assert_eq!(t.values(), &[0.1, 0.2, 0.3]);
+        assert!(e.trimmed_below(0.05).is_none());
+    }
+}

@@ -1,0 +1,198 @@
+//! Kneedle knee-point detection (Satopää et al., ICDCSW 2011).
+//!
+//! The algorithm normalizes a smooth curve to the unit square, computes the
+//! difference between the curve and the diagonal, and declares local maxima
+//! of that difference to be knees when the difference subsequently falls
+//! below a sensitivity-dependent threshold.
+//!
+//! The auto-configuration of the clustering pipeline (paper §III-D) feeds
+//! the spline-smoothed k-NN dissimilarity ECDF — a concave, increasing
+//! curve — into Kneedle and uses the *rightmost* knee's x position as
+//! DBSCAN's ε.
+
+/// A detected knee point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Knee {
+    /// x coordinate of the knee in the original (un-normalized) data.
+    pub x: f64,
+    /// y coordinate of the knee in the original data.
+    pub y: f64,
+    /// Index into the input arrays where the knee was found.
+    pub index: usize,
+}
+
+/// Parameters for [`detect_knees`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KneedleParams {
+    /// Sensitivity `S`. Smaller values detect knees more aggressively;
+    /// the Kneedle paper recommends `1.0` for offline use.
+    pub sensitivity: f64,
+}
+
+impl Default for KneedleParams {
+    fn default() -> Self {
+        Self { sensitivity: 1.0 }
+    }
+}
+
+/// Detects knees of a concave increasing curve given as parallel `xs`/`ys`
+/// arrays (x strictly within a finite range, y typically a smoothed ECDF).
+///
+/// Returns all detected knees in left-to-right order; the caller picks the
+/// one it needs (the pipeline uses the rightmost). Returns an empty vector
+/// for degenerate inputs (fewer than three points, zero x- or y-range, or
+/// non-finite values).
+///
+/// # Examples
+///
+/// ```
+/// use mathkit::kneedle::{detect_knees, KneedleParams};
+///
+/// let xs: Vec<f64> = (0..200).map(|i| i as f64 / 199.0).collect();
+/// let ys: Vec<f64> = xs.iter().map(|x| (5.0 * x).min(1.0)).collect();
+/// let knees = detect_knees(&xs, &ys, &KneedleParams::default());
+/// // The elbow of min(5x, 1) is at x = 0.2.
+/// assert!((knees.last().unwrap().x - 0.2).abs() < 0.05);
+/// ```
+pub fn detect_knees(xs: &[f64], ys: &[f64], params: &KneedleParams) -> Vec<Knee> {
+    let n = xs.len();
+    if n != ys.len() || n < 3 {
+        return Vec::new();
+    }
+    if xs.iter().chain(ys).any(|v| !v.is_finite()) {
+        return Vec::new();
+    }
+    let (x_min, x_max) = (xs[0], xs[n - 1]);
+    let y_min = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+    let y_max = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if x_max <= x_min || y_max <= y_min {
+        return Vec::new();
+    }
+
+    // Normalize to the unit square and build the difference curve
+    // y_d = y_n - x_n (concave increasing case).
+    let xn: Vec<f64> = xs.iter().map(|&x| (x - x_min) / (x_max - x_min)).collect();
+    let yd: Vec<f64> = ys
+        .iter()
+        .zip(&xn)
+        .map(|(&y, &x)| (y - y_min) / (y_max - y_min) - x)
+        .collect();
+
+    // Mean spacing of normalized x, used in the threshold decay.
+    let mean_dx = 1.0 / (n as f64 - 1.0);
+    let s = params.sensitivity;
+
+    let mut knees = Vec::new();
+    let mut candidate: Option<usize> = None;
+    let mut threshold = f64::NEG_INFINITY;
+    for i in 1..n - 1 {
+        let is_local_max = yd[i] > yd[i - 1] && yd[i] >= yd[i + 1];
+        if is_local_max {
+            candidate = Some(i);
+            threshold = yd[i] - s * mean_dx;
+        }
+        if let Some(c) = candidate {
+            if yd[i] < threshold {
+                knees.push(Knee { x: xs[c], y: ys[c], index: c });
+                candidate = None;
+                threshold = f64::NEG_INFINITY;
+            }
+        }
+    }
+    // A trailing candidate whose difference curve has started to descend by
+    // the end of the data still counts as a knee (the ECDF always ends at
+    // its maximum, so the strict threshold crossing may fall off the end).
+    if let Some(c) = candidate {
+        if yd[n - 1] < yd[c] {
+            knees.push(Knee { x: xs[c], y: ys[c], index: c });
+        }
+    }
+    knees
+}
+
+/// Convenience wrapper returning only the rightmost knee, if any.
+pub fn rightmost_knee(xs: &[f64], ys: &[f64], params: &KneedleParams) -> Option<Knee> {
+    detect_knees(xs, ys, params).into_iter().last()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_grid(n: usize) -> Vec<f64> {
+        (0..n).map(|i| i as f64 / (n - 1) as f64).collect()
+    }
+
+    #[test]
+    fn finds_knee_of_saturating_exponential() {
+        let xs = unit_grid(500);
+        let ys: Vec<f64> = xs.iter().map(|x| 1.0 - (-8.0 * x).exp()).collect();
+        let knee = rightmost_knee(&xs, &ys, &KneedleParams::default()).unwrap();
+        // Kneedle's knee for 1 - e^-8x is where curvature is maximal,
+        // roughly x ~ 0.2-0.3.
+        assert!(knee.x > 0.1 && knee.x < 0.4, "knee.x = {}", knee.x);
+    }
+
+    #[test]
+    fn no_knee_on_straight_line() {
+        let xs = unit_grid(100);
+        let ys = xs.clone();
+        assert!(detect_knees(&xs, &ys, &KneedleParams::default()).is_empty());
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_empty() {
+        let p = KneedleParams::default();
+        assert!(detect_knees(&[], &[], &p).is_empty());
+        assert!(detect_knees(&[0.0, 1.0], &[0.0, 1.0], &p).is_empty());
+        assert!(detect_knees(&[0.0, 0.0, 0.0], &[0.0, 0.5, 1.0], &p).is_empty());
+        assert!(detect_knees(&[0.0, 0.5, 1.0], &[1.0, 1.0, 1.0], &p).is_empty());
+        assert!(detect_knees(&[0.0, 0.5, f64::NAN], &[0.0, 0.5, 1.0], &p).is_empty());
+    }
+
+    #[test]
+    fn piecewise_linear_elbow() {
+        // y rises steeply to 1 at x = 0.1, then stays flat: knee at 0.1.
+        let xs = unit_grid(1000);
+        let ys: Vec<f64> = xs.iter().map(|&x| (x / 0.1).min(1.0)).collect();
+        let knee = rightmost_knee(&xs, &ys, &KneedleParams::default()).unwrap();
+        assert!((knee.x - 0.1).abs() < 0.02, "knee.x = {}", knee.x);
+    }
+
+    #[test]
+    fn multiple_knees_detected_on_double_staircase() {
+        // Two plateaus -> two knees; the rightmost must be the later one.
+        let xs = unit_grid(1000);
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| {
+                if x < 0.1 {
+                    x * 5.0
+                } else if x < 0.5 {
+                    0.5
+                } else if x < 0.6 {
+                    0.5 + (x - 0.5) * 5.0
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        let knees = detect_knees(&xs, &ys, &KneedleParams::default());
+        assert!(knees.len() >= 2, "expected two knees, got {knees:?}");
+        let last = knees.last().unwrap();
+        assert!((last.x - 0.6).abs() < 0.05, "rightmost knee at {}", last.x);
+    }
+
+    #[test]
+    fn higher_sensitivity_detects_fewer_knees() {
+        let xs = unit_grid(300);
+        // Slightly wavy saturating curve.
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| (1.0 - (-6.0 * x).exp()) + 0.004 * (40.0 * x).sin())
+            .collect();
+        let low = detect_knees(&xs, &ys, &KneedleParams { sensitivity: 0.1 });
+        let high = detect_knees(&xs, &ys, &KneedleParams { sensitivity: 5.0 });
+        assert!(low.len() >= high.len());
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+//! Statistics toolbox underpinning the field data type clustering pipeline.
+//!
+//! This crate bundles the numeric building blocks the paper's method relies
+//! on (Kleber et al., DSN-W 2022):
+//!
+//! * [`Ecdf`] — empirical cumulative distribution functions over
+//!   dissimilarity samples (§III-D of the paper),
+//! * [`spline::SmoothingSpline`] — least-squares cubic B-spline smoothing
+//!   used to de-noise the ECDF before knee detection,
+//! * [`kneedle`] — the Kneedle knee-point detection algorithm
+//!   (Satopää et al., ICDCSW 2011),
+//! * [`smooth`] — Gaussian filtering used by the NEMESYS segmenter,
+//! * [`stats`] — descriptive statistics, percent rank, Pearson correlation
+//!   and Shannon entropy used across segmenters and the FieldHunter
+//!   baseline.
+//!
+//! # Examples
+//!
+//! Detecting the knee of a saturating curve:
+//!
+//! ```
+//! use mathkit::kneedle::{self, KneedleParams};
+//!
+//! let xs: Vec<f64> = (0..100).map(|i| i as f64 / 99.0).collect();
+//! let ys: Vec<f64> = xs.iter().map(|x| 1.0 - (-10.0 * x).exp()).collect();
+//! let knees = kneedle::detect_knees(&xs, &ys, &KneedleParams::default());
+//! assert!(!knees.is_empty());
+//! assert!(knees[0].x < 0.4, "knee of 1-e^-10x sits well left of 0.4");
+//! ```
+
+pub mod ecdf;
+pub mod kneedle;
+pub mod mds;
+pub mod smooth;
+pub mod spline;
+pub mod stats;
+
+pub use ecdf::Ecdf;
+pub use kneedle::{Knee, KneedleParams};
+pub use spline::SmoothingSpline;

@@ -1,0 +1,218 @@
+//! Classical multidimensional scaling (Torgerson MDS).
+//!
+//! Projects items with known pairwise dissimilarities into a
+//! low-dimensional embedding that approximately preserves them — the
+//! "visual analytics" the paper's §V envisions for analysts: a 2-D map
+//! of the segment space where pseudo data types appear as visible
+//! islands. Eigenvectors of the double-centered Gram matrix are computed
+//! by power iteration with deflation (no linear-algebra dependency).
+
+/// A low-dimensional embedding: one coordinate vector per item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Embedding {
+    /// `coords[i]` is the position of item `i` (length = `dimensions`).
+    pub coords: Vec<Vec<f64>>,
+    /// Eigenvalue magnitude per dimension (how much structure each axis
+    /// carries).
+    pub eigenvalues: Vec<f64>,
+}
+
+/// Error from [`classical_mds`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MdsError {
+    /// Fewer than two items.
+    TooFewItems,
+    /// The dissimilarity accessor returned a non-finite value.
+    NotFinite,
+}
+
+impl std::fmt::Display for MdsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MdsError::TooFewItems => write!(f, "need at least two items to embed"),
+            MdsError::NotFinite => write!(f, "dissimilarities must be finite"),
+        }
+    }
+}
+
+impl std::error::Error for MdsError {}
+
+/// Embeds `n` items into `dimensions` dimensions from their pairwise
+/// dissimilarities (`dissim(i, j)`, assumed symmetric with zero
+/// diagonal).
+///
+/// # Errors
+///
+/// See [`MdsError`].
+pub fn classical_mds(
+    n: usize,
+    dimensions: usize,
+    dissim: impl Fn(usize, usize) -> f64,
+) -> Result<Embedding, MdsError> {
+    if n < 2 {
+        return Err(MdsError::TooFewItems);
+    }
+    let dims = dimensions.max(1).min(n - 1);
+
+    // Squared dissimilarity matrix.
+    let mut d2 = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = dissim(i, j);
+            if !d.is_finite() {
+                return Err(MdsError::NotFinite);
+            }
+            d2[i * n + j] = d * d;
+            d2[j * n + i] = d * d;
+        }
+    }
+    // Double centering: B = -1/2 * J D² J with J = I - 1/n 11ᵀ.
+    let mut row_mean = vec![0.0f64; n];
+    let mut total = 0.0;
+    for i in 0..n {
+        let sum: f64 = (0..n).map(|j| d2[i * n + j]).sum();
+        row_mean[i] = sum / n as f64;
+        total += sum;
+    }
+    let grand = total / (n * n) as f64;
+    let mut b = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            b[i * n + j] = -0.5 * (d2[i * n + j] - row_mean[i] - row_mean[j] + grand);
+        }
+    }
+
+    // Top eigenpairs by power iteration with deflation.
+    let mut coords = vec![vec![0.0f64; dims]; n];
+    let mut eigenvalues = Vec::with_capacity(dims);
+    let mut work = b;
+    for dim in 0..dims {
+        let (lambda, v) = power_iteration(&work, n, 200 + 13 * dim);
+        let lambda_pos = lambda.max(0.0);
+        let scale = lambda_pos.sqrt();
+        for i in 0..n {
+            coords[i][dim] = v[i] * scale;
+        }
+        eigenvalues.push(lambda_pos);
+        // Deflate: B <- B - λ v vᵀ.
+        for i in 0..n {
+            for j in 0..n {
+                work[i * n + j] -= lambda * v[i] * v[j];
+            }
+        }
+    }
+    Ok(Embedding { coords, eigenvalues })
+}
+
+/// Dominant eigenpair of a symmetric matrix via power iteration with a
+/// deterministic start vector.
+fn power_iteration(m: &[f64], n: usize, seed_stride: usize) -> (f64, Vec<f64>) {
+    // Deterministic pseudo-random start (avoids Symmetry traps).
+    let mut v: Vec<f64> = (0..n)
+        .map(|i| ((i * 2_654_435_761 + seed_stride) % 1000) as f64 / 1000.0 - 0.5)
+        .collect();
+    normalize(&mut v);
+    let mut lambda = 0.0;
+    for _ in 0..256 {
+        let mut next = vec![0.0f64; n];
+        for i in 0..n {
+            let mut acc = 0.0;
+            for j in 0..n {
+                acc += m[i * n + j] * v[j];
+            }
+            next[i] = acc;
+        }
+        let new_lambda: f64 = next.iter().zip(&v).map(|(a, b)| a * b).sum();
+        normalize(&mut next);
+        let converged = (new_lambda - lambda).abs() <= 1e-10 * new_lambda.abs().max(1.0);
+        lambda = new_lambda;
+        v = next;
+        if converged {
+            break;
+        }
+    }
+    (lambda, v)
+}
+
+fn normalize(v: &mut [f64]) {
+    let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    } else if let Some(first) = v.first_mut() {
+        *first = 1.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dist(coords: &[Vec<f64>], i: usize, j: usize) -> f64 {
+        coords[i]
+            .iter()
+            .zip(&coords[j])
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    #[test]
+    fn recovers_line_geometry() {
+        // Items on a line: 0, 1, 2, ..., 9.
+        let pts: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let e = classical_mds(10, 2, |i, j| (pts[i] - pts[j]).abs()).unwrap();
+        // Pairwise embedded distances must match the input closely (a
+        // line embeds exactly).
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                let want = (pts[i] - pts[j]).abs();
+                let got = dist(&e.coords, i, j);
+                assert!((want - got).abs() < 0.05, "({i},{j}): {want} vs {got}");
+            }
+        }
+        // Second axis carries almost nothing.
+        assert!(e.eigenvalues[1] < e.eigenvalues[0] * 0.01);
+    }
+
+    #[test]
+    fn separates_two_groups() {
+        // Two groups with small intra- and large inter-distance.
+        let group = |i: usize| -> f64 { if i < 5 { 0.0 } else { 10.0 } };
+        let e = classical_mds(10, 2, |i, j| {
+            (group(i) - group(j)).abs() + if i != j { 0.1 } else { 0.0 }
+        })
+        .unwrap();
+        // All intra-group embedded distances < inter-group distances.
+        let intra = dist(&e.coords, 0, 1);
+        let inter = dist(&e.coords, 0, 7);
+        assert!(inter > 5.0 * intra, "intra {intra} vs inter {inter}");
+    }
+
+    #[test]
+    fn rejects_degenerate_input() {
+        assert_eq!(classical_mds(1, 2, |_, _| 0.0).unwrap_err(), MdsError::TooFewItems);
+        assert_eq!(
+            classical_mds(3, 2, |_, _| f64::NAN).unwrap_err(),
+            MdsError::NotFinite
+        );
+    }
+
+    #[test]
+    fn identical_items_collapse() {
+        let e = classical_mds(6, 2, |_, _| 0.0).unwrap();
+        for i in 1..6 {
+            assert!(dist(&e.coords, 0, i) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let f = |i: usize, j: usize| ((i * 7 + j * 3) % 10) as f64 / 10.0 + if i == j { 0.0 } else { 0.5 };
+        let sym = |i: usize, j: usize| if i == j { 0.0 } else { f(i.min(j), i.max(j)) };
+        let a = classical_mds(12, 2, sym).unwrap();
+        let b = classical_mds(12, 2, sym).unwrap();
+        assert_eq!(a, b);
+    }
+}

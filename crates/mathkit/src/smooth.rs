@@ -1,0 +1,168 @@
+//! One-dimensional signal smoothing filters.
+//!
+//! The NEMESYS segmenter (Kleber et al., WOOT 2018) smooths the delta of
+//! the bit-congruence sequence with a Gaussian filter (σ = 0.6) before
+//! searching for inflection points; [`gaussian_filter`] reproduces that
+//! step with reflected boundary handling like SciPy's
+//! `ndimage.gaussian_filter1d`.
+
+/// Applies a 1-D Gaussian filter with standard deviation `sigma`.
+///
+/// The kernel is truncated at `4 * sigma` (rounded up) on each side and the
+/// signal is extended by reflection at the boundaries. A non-positive
+/// `sigma` returns the input unchanged.
+///
+/// # Examples
+///
+/// ```
+/// let noisy = vec![0.0, 1.0, 0.0, 1.0, 0.0, 1.0];
+/// let smooth = mathkit::smooth::gaussian_filter(&noisy, 1.0);
+/// // Smoothing pulls alternating values towards their mean.
+/// assert!(smooth.iter().all(|&v| v > 0.2 && v < 0.8));
+/// ```
+pub fn gaussian_filter(signal: &[f64], sigma: f64) -> Vec<f64> {
+    if signal.is_empty() || sigma <= 0.0 {
+        return signal.to_vec();
+    }
+    let radius = (4.0 * sigma).ceil() as usize;
+    let mut kernel = Vec::with_capacity(2 * radius + 1);
+    let denom = 2.0 * sigma * sigma;
+    for i in 0..=(2 * radius) {
+        let d = i as f64 - radius as f64;
+        kernel.push((-d * d / denom).exp());
+    }
+    let norm: f64 = kernel.iter().sum();
+    for k in &mut kernel {
+        *k /= norm;
+    }
+
+    let n = signal.len() as isize;
+    let reflect = |idx: isize| -> usize {
+        // scipy 'reflect' mode: (d c b a | a b c d | d c b a)
+        let mut i = idx;
+        loop {
+            if i < 0 {
+                i = -i - 1;
+            } else if i >= n {
+                i = 2 * n - i - 1;
+            } else {
+                return i as usize;
+            }
+        }
+    };
+
+    (0..signal.len())
+        .map(|center| {
+            kernel
+                .iter()
+                .enumerate()
+                .map(|(k, &w)| w * signal[reflect(center as isize + k as isize - radius as isize)])
+                .sum()
+        })
+        .collect()
+}
+
+/// First discrete difference: `out[i] = signal[i + 1] - signal[i]`.
+///
+/// Returns an empty vector for signals shorter than two samples.
+pub fn delta(signal: &[f64]) -> Vec<f64> {
+    if signal.len() < 2 {
+        return Vec::new();
+    }
+    signal.windows(2).map(|w| w[1] - w[0]).collect()
+}
+
+/// Indices of strict local minima (both neighbors strictly larger, plateaus
+/// take their first index).
+pub fn local_minima(signal: &[f64]) -> Vec<usize> {
+    extrema(signal, |a, b| a < b)
+}
+
+/// Indices of strict local maxima (both neighbors strictly smaller,
+/// plateaus take their first index).
+pub fn local_maxima(signal: &[f64]) -> Vec<usize> {
+    extrema(signal, |a, b| a > b)
+}
+
+fn extrema(signal: &[f64], better: impl Fn(f64, f64) -> bool) -> Vec<usize> {
+    let n = signal.len();
+    if n < 3 {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut i = 1;
+    while i < n - 1 {
+        if better(signal[i], signal[i - 1]) {
+            // Walk over a potential plateau.
+            let start = i;
+            let mut j = i;
+            while j + 1 < n && signal[j + 1] == signal[i] {
+                j += 1;
+            }
+            if j + 1 < n && better(signal[i], signal[j + 1]) {
+                out.push(start);
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_preserves_constant() {
+        let s = vec![3.5; 20];
+        let f = gaussian_filter(&s, 0.6);
+        for v in f {
+            assert!((v - 3.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gaussian_preserves_mass_of_impulse() {
+        let mut s = vec![0.0; 21];
+        s[10] = 1.0;
+        let f = gaussian_filter(&s, 1.0);
+        let total: f64 = f.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // Peak stays at the impulse.
+        let peak = f.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        assert_eq!(peak, 10);
+    }
+
+    #[test]
+    fn gaussian_zero_sigma_is_identity() {
+        let s = vec![1.0, -2.0, 3.0];
+        assert_eq!(gaussian_filter(&s, 0.0), s);
+    }
+
+    #[test]
+    fn delta_basic() {
+        assert_eq!(delta(&[1.0, 3.0, 2.0]), vec![2.0, -1.0]);
+        assert!(delta(&[1.0]).is_empty());
+    }
+
+    #[test]
+    fn minima_and_maxima() {
+        let s = [3.0, 1.0, 2.0, 0.5, 4.0, 4.0, 1.0];
+        assert_eq!(local_minima(&s), vec![1, 3]);
+        assert_eq!(local_maxima(&s), vec![2, 4]);
+    }
+
+    #[test]
+    fn plateau_minimum_takes_first_index() {
+        let s = [2.0, 1.0, 1.0, 1.0, 2.0];
+        assert_eq!(local_minima(&s), vec![1]);
+    }
+
+    #[test]
+    fn short_signals_have_no_extrema() {
+        assert!(local_minima(&[1.0, 0.0]).is_empty());
+        assert!(local_maxima(&[]).is_empty());
+    }
+}

@@ -1,0 +1,311 @@
+//! Least-squares cubic B-spline smoothing.
+//!
+//! The ε auto-configuration smooths the k-NN dissimilarity ECDF with a
+//! spline before knee detection (paper §III-D, "Kneedle requires smoothing
+//! of the ECDF, for which we use a spline"). The original implementation
+//! uses SciPy's smoothing splines; we implement least-squares fitting of a
+//! clamped uniform cubic B-spline where the smoothing strength maps to the
+//! number of interior knots (fewer knots → smoother curve). The mapping is
+//! a documented substitution (DESIGN.md §4.5).
+
+/// A fitted clamped cubic B-spline.
+///
+/// # Examples
+///
+/// ```
+/// use mathkit::SmoothingSpline;
+///
+/// let xs: Vec<f64> = (0..50).map(|i| i as f64 / 49.0).collect();
+/// let ys: Vec<f64> = xs.iter().map(|x| x * x).collect();
+/// let sp = SmoothingSpline::fit(&xs, &ys, 6)?;
+/// let y = sp.eval(0.5);
+/// assert!((y - 0.25).abs() < 0.01);
+/// # Ok::<(), mathkit::spline::SplineError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SmoothingSpline {
+    /// Full clamped knot vector (degree-3, so 4 repeated knots at each end).
+    knots: Vec<f64>,
+    /// Control coefficients, one per basis function.
+    coeffs: Vec<f64>,
+    degree: usize,
+}
+
+/// Error fitting a [`SmoothingSpline`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplineError {
+    /// Fewer than two distinct data points, or mismatched slice lengths.
+    InsufficientData,
+    /// Inputs contained NaN/infinite values or x was not sorted ascending.
+    InvalidInput,
+    /// The least-squares system was singular (too many knots for the data).
+    Singular,
+}
+
+impl std::fmt::Display for SplineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SplineError::InsufficientData => write!(f, "need at least two distinct data points"),
+            SplineError::InvalidInput => write!(f, "inputs must be finite and x sorted ascending"),
+            SplineError::Singular => write!(f, "least-squares system is singular"),
+        }
+    }
+}
+
+impl std::error::Error for SplineError {}
+
+impl SmoothingSpline {
+    /// Fits a cubic B-spline with `interior_knots` uniformly spaced interior
+    /// knots to the data by linear least squares.
+    ///
+    /// `xs` must be sorted ascending; ties are allowed. More interior knots
+    /// follow the data more closely; zero interior knots yield a single
+    /// cubic over the whole range. The knot count is capped so the system
+    /// stays overdetermined.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if fewer than two distinct x values exist, inputs
+    /// are non-finite or unsorted, or the normal equations are singular.
+    pub fn fit(xs: &[f64], ys: &[f64], interior_knots: usize) -> Result<Self, SplineError> {
+        const DEGREE: usize = 3;
+        if xs.len() != ys.len() || xs.len() < 2 {
+            return Err(SplineError::InsufficientData);
+        }
+        if xs.iter().chain(ys).any(|v| !v.is_finite()) {
+            return Err(SplineError::InvalidInput);
+        }
+        if xs.windows(2).any(|w| w[0] > w[1]) {
+            return Err(SplineError::InvalidInput);
+        }
+        let (x0, x1) = (xs[0], xs[xs.len() - 1]);
+        if x0 == x1 {
+            return Err(SplineError::InsufficientData);
+        }
+        // Keep the system overdetermined: #coefficients <= #points.
+        let max_interior = xs.len().saturating_sub(DEGREE + 1);
+        let m = interior_knots.min(max_interior);
+        let n_coef = m + DEGREE + 1;
+
+        let mut knots = Vec::with_capacity(n_coef + DEGREE + 1);
+        for _ in 0..=DEGREE {
+            knots.push(x0);
+        }
+        for i in 1..=m {
+            knots.push(x0 + (x1 - x0) * i as f64 / (m + 1) as f64);
+        }
+        for _ in 0..=DEGREE {
+            knots.push(x1);
+        }
+
+        // Normal equations B^T B c = B^T y with a tiny ridge for stability.
+        let mut ata = vec![0.0f64; n_coef * n_coef];
+        let mut aty = vec![0.0f64; n_coef];
+        let mut basis_buf = vec![0.0f64; n_coef];
+        for (&x, &y) in xs.iter().zip(ys) {
+            eval_basis_row(&knots, DEGREE, n_coef, x, &mut basis_buf);
+            for i in 0..n_coef {
+                let bi = basis_buf[i];
+                if bi == 0.0 {
+                    continue;
+                }
+                aty[i] += bi * y;
+                for j in 0..n_coef {
+                    let bj = basis_buf[j];
+                    if bj != 0.0 {
+                        ata[i * n_coef + j] += bi * bj;
+                    }
+                }
+            }
+        }
+        for i in 0..n_coef {
+            ata[i * n_coef + i] += 1e-10;
+        }
+        let coeffs = solve_dense(&mut ata, &mut aty, n_coef).ok_or(SplineError::Singular)?;
+        Ok(Self { knots, coeffs, degree: DEGREE })
+    }
+
+    /// Evaluates the fitted spline at `x`, clamping `x` to the fitted range.
+    pub fn eval(&self, x: f64) -> f64 {
+        let n_coef = self.coeffs.len();
+        let mut row = vec![0.0f64; n_coef];
+        let x0 = self.knots[self.degree];
+        let x1 = self.knots[self.knots.len() - self.degree - 1];
+        let xc = x.clamp(x0, x1);
+        eval_basis_row(&self.knots, self.degree, n_coef, xc, &mut row);
+        row.iter().zip(&self.coeffs).map(|(b, c)| b * c).sum()
+    }
+
+    /// Evaluates the spline at each of the given points.
+    pub fn eval_many(&self, xs: &[f64]) -> Vec<f64> {
+        xs.iter().map(|&x| self.eval(x)).collect()
+    }
+}
+
+/// Fills `out` with the values of all `n_coef` B-spline basis functions at
+/// `x` (Cox–de Boor recursion, clamped knot vector).
+fn eval_basis_row(knots: &[f64], degree: usize, n_coef: usize, x: f64, out: &mut [f64]) {
+    out.iter_mut().for_each(|v| *v = 0.0);
+    // Find the knot span index `mu` with knots[mu] <= x < knots[mu+1].
+    let last = knots.len() - degree - 2;
+    let mut mu = knots.partition_point(|&k| k <= x).saturating_sub(1);
+    mu = mu.clamp(degree, last);
+
+    // Triangular scheme: N[j] holds the value of basis function mu-degree+j.
+    let mut n = [0.0f64; 8]; // degree <= 3 -> at most 4 entries used
+    n[0] = 1.0;
+    for d in 1..=degree {
+        let mut saved = 0.0;
+        for j in 0..d {
+            let left_idx = mu + 1 + j - d;
+            let right_idx = mu + 1 + j;
+            let denom = knots[right_idx] - knots[left_idx];
+            let temp = if denom != 0.0 { n[j] / denom } else { 0.0 };
+            n[j] = saved + (knots[right_idx] - x) * temp;
+            saved = (x - knots[left_idx]) * temp;
+        }
+        n[d] = saved;
+    }
+    for j in 0..=degree {
+        let idx = mu + j - degree;
+        if idx < n_coef {
+            out[idx] = n[j];
+        }
+    }
+}
+
+/// Gaussian elimination with partial pivoting on a dense system; consumes
+/// the inputs. Returns `None` when the pivot degenerates.
+fn solve_dense(a: &mut [f64], b: &mut [f64], n: usize) -> Option<Vec<f64>> {
+    for col in 0..n {
+        // Pivot.
+        let mut piv = col;
+        let mut best = a[col * n + col].abs();
+        for r in (col + 1)..n {
+            let v = a[r * n + col].abs();
+            if v > best {
+                best = v;
+                piv = r;
+            }
+        }
+        if best < 1e-14 {
+            return None;
+        }
+        if piv != col {
+            for c in 0..n {
+                a.swap(col * n + c, piv * n + c);
+            }
+            b.swap(col, piv);
+        }
+        let d = a[col * n + col];
+        for r in (col + 1)..n {
+            let f = a[r * n + col] / d;
+            if f == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                a[r * n + c] -= f * a[col * n + c];
+            }
+            b[r] -= f * b[col];
+        }
+    }
+    let mut x = vec![0.0f64; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for c in (row + 1)..n {
+            acc -= a[row * n + c] * x[c];
+        }
+        x[row] = acc / a[row * n + row];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize) -> Vec<f64> {
+        (0..n).map(|i| i as f64 / (n - 1) as f64).collect()
+    }
+
+    #[test]
+    fn fits_line_exactly() {
+        let xs = grid(30);
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        let sp = SmoothingSpline::fit(&xs, &ys, 4).unwrap();
+        for &x in &xs {
+            assert!((sp.eval(x) - (2.0 * x + 1.0)).abs() < 1e-6, "x={x}");
+        }
+    }
+
+    #[test]
+    fn fits_cubic_exactly_with_zero_interior_knots() {
+        let xs = grid(20);
+        let ys: Vec<f64> = xs.iter().map(|x| x * x * x - x).collect();
+        let sp = SmoothingSpline::fit(&xs, &ys, 0).unwrap();
+        for &x in &xs {
+            assert!((sp.eval(x) - (x * x * x - x)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn smooths_noise() {
+        // A noisy constant should be fit close to the constant with few knots.
+        let xs = grid(101);
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, _)| 5.0 + if i % 2 == 0 { 0.1 } else { -0.1 })
+            .collect();
+        let sp = SmoothingSpline::fit(&xs, &ys, 3).unwrap();
+        for &x in &xs {
+            assert!((sp.eval(x) - 5.0).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn clamps_outside_range() {
+        let xs = grid(10);
+        let ys = xs.clone();
+        let sp = SmoothingSpline::fit(&xs, &ys, 0).unwrap();
+        assert!((sp.eval(-1.0) - 0.0).abs() < 1e-6);
+        assert!((sp.eval(2.0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn caps_knots_for_small_data() {
+        let xs = vec![0.0, 0.5, 1.0, 1.5, 2.0];
+        let ys = vec![0.0, 1.0, 0.0, 1.0, 0.0];
+        // Requesting far more knots than data points must still succeed.
+        let sp = SmoothingSpline::fit(&xs, &ys, 50).unwrap();
+        assert!(sp.eval(1.0).is_finite());
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert_eq!(
+            SmoothingSpline::fit(&[0.0], &[1.0], 2).unwrap_err(),
+            SplineError::InsufficientData
+        );
+        assert_eq!(
+            SmoothingSpline::fit(&[0.0, 1.0], &[1.0, f64::NAN], 2).unwrap_err(),
+            SplineError::InvalidInput
+        );
+        assert_eq!(
+            SmoothingSpline::fit(&[1.0, 0.0], &[1.0, 2.0], 2).unwrap_err(),
+            SplineError::InvalidInput
+        );
+        assert_eq!(
+            SmoothingSpline::fit(&[1.0, 1.0], &[1.0, 2.0], 2).unwrap_err(),
+            SplineError::InsufficientData
+        );
+    }
+
+    #[test]
+    fn handles_duplicate_x_values() {
+        let xs = vec![0.0, 0.0, 0.5, 0.5, 1.0, 1.0, 1.5, 2.0];
+        let ys = vec![0.0, 0.2, 0.5, 0.5, 1.0, 1.1, 1.4, 2.0];
+        let sp = SmoothingSpline::fit(&xs, &ys, 2).unwrap();
+        assert!(sp.eval(1.0).is_finite());
+    }
+}

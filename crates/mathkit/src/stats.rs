@@ -1,0 +1,254 @@
+//! Descriptive statistics, percent rank, correlation and entropy.
+
+/// Arithmetic mean of a sample; `None` for an empty slice.
+///
+/// ```
+/// assert_eq!(mathkit::stats::mean(&[1.0, 2.0, 3.0]), Some(2.0));
+/// assert_eq!(mathkit::stats::mean(&[]), None);
+/// ```
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Median of a sample; `None` for an empty slice.
+///
+/// For an even number of samples the mean of the two middle values is
+/// returned.
+///
+/// ```
+/// assert_eq!(mathkit::stats::median(&[3.0, 1.0, 2.0]), Some(2.0));
+/// assert_eq!(mathkit::stats::median(&[4.0, 1.0, 3.0, 2.0]), Some(2.5));
+/// ```
+pub fn median(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("median: NaN in sample"));
+    let n = v.len();
+    if n % 2 == 1 {
+        Some(v[n / 2])
+    } else {
+        Some((v[n / 2 - 1] + v[n / 2]) / 2.0)
+    }
+}
+
+/// Population standard deviation; `None` for an empty slice.
+///
+/// The paper's cluster-split criterion uses the standard deviation of value
+/// occurrence counts (§III-F), which is a population (not sample) statistic.
+///
+/// ```
+/// let sd = mathkit::stats::std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+/// assert!((sd - 2.0).abs() < 1e-12);
+/// ```
+pub fn std_dev(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+    Some(var.sqrt())
+}
+
+/// Minimum of a sample ignoring NaN; `None` for an empty slice.
+pub fn min(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().filter(|x| !x.is_nan()).fold(None, |acc, x| match acc {
+        None => Some(x),
+        Some(a) => Some(a.min(x)),
+    })
+}
+
+/// Maximum of a sample ignoring NaN; `None` for an empty slice.
+pub fn max(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().filter(|x| !x.is_nan()).fold(None, |acc, x| match acc {
+        None => Some(x),
+        Some(a) => Some(a.max(x)),
+    })
+}
+
+/// Percent rank `PR(sample, v)`: the percentage of observations in `sample`
+/// that are strictly below `v`, plus half of those equal to `v`.
+///
+/// This is the definition of Roscoe (1975) referenced by the paper for the
+/// cluster-split criterion: `PR(c', F) = 95` means 95 % of the value counts
+/// in cluster `c'` lie below the occurrence frequency `F`.
+///
+/// Returns a value in `[0, 100]`; `None` for an empty sample.
+///
+/// ```
+/// let pr = mathkit::stats::percent_rank(&[1.0, 2.0, 3.0, 4.0], 3.5).unwrap();
+/// assert!((pr - 75.0).abs() < 1e-12);
+/// ```
+pub fn percent_rank(sample: &[f64], v: f64) -> Option<f64> {
+    if sample.is_empty() {
+        return None;
+    }
+    let below = sample.iter().filter(|&&x| x < v).count() as f64;
+    let equal = sample.iter().filter(|&&x| x == v).count() as f64;
+    Some(100.0 * (below + 0.5 * equal) / sample.len() as f64)
+}
+
+/// Pearson correlation coefficient of two equally long samples.
+///
+/// Returns `None` when fewer than two points are given, when the lengths
+/// differ, or when either sample has zero variance.
+///
+/// ```
+/// let r = mathkit::stats::pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]).unwrap();
+/// assert!((r - 1.0).abs() < 1e-12);
+/// ```
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let mx = mean(xs)?;
+    let my = mean(ys)?;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx.sqrt() * syy.sqrt()))
+}
+
+/// Shannon entropy of a byte string, in bits per byte (`[0, 8]`).
+///
+/// Used by the FieldHunter baseline to tell random-looking fields
+/// (transaction IDs, signatures) from structured ones.
+///
+/// ```
+/// assert_eq!(mathkit::stats::byte_entropy(&[0xAA; 64]), 0.0);
+/// let uniform: Vec<u8> = (0..=255).collect();
+/// assert!((mathkit::stats::byte_entropy(&uniform) - 8.0).abs() < 1e-12);
+/// ```
+pub fn byte_entropy(bytes: &[u8]) -> f64 {
+    if bytes.is_empty() {
+        return 0.0;
+    }
+    let mut counts = [0usize; 256];
+    for &b in bytes {
+        counts[b as usize] += 1;
+    }
+    let n = bytes.len() as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Normalized Shannon entropy of arbitrary hashable symbols (`[0, 1]`).
+///
+/// `1.0` means all symbols are distinct, `0.0` means a single symbol.
+/// Entropy over value *multisets*, normalized by `log2(n)`, as used by
+/// FieldHunter's message-type and transaction-id heuristics.
+pub fn normalized_value_entropy<T: std::hash::Hash + Eq>(values: &[T]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let mut counts: std::collections::HashMap<&T, usize> = std::collections::HashMap::new();
+    for v in values {
+        *counts.entry(v).or_insert(0) += 1;
+    }
+    let n = values.len() as f64;
+    let h: f64 = counts
+        .values()
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum();
+    h / n.log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_empty_is_none() {
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn mean_single() {
+        assert_eq!(mean(&[42.0]), Some(42.0));
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[5.0]), Some(5.0));
+        assert_eq!(median(&[1.0, 9.0]), Some(5.0));
+        assert_eq!(median(&[9.0, 1.0, 5.0]), Some(5.0));
+    }
+
+    #[test]
+    fn std_dev_constant_is_zero() {
+        assert_eq!(std_dev(&[3.0, 3.0, 3.0]), Some(0.0));
+    }
+
+    #[test]
+    fn percent_rank_bounds() {
+        let s = [1.0, 2.0, 3.0];
+        assert_eq!(percent_rank(&s, 0.0), Some(0.0));
+        assert_eq!(percent_rank(&s, 10.0), Some(100.0));
+    }
+
+    #[test]
+    fn percent_rank_ties_get_half_weight() {
+        let s = [1.0, 2.0, 2.0, 3.0];
+        // one below, two equal -> (1 + 1) / 4 = 50 %
+        assert_eq!(percent_rank(&s, 2.0), Some(50.0));
+    }
+
+    #[test]
+    fn pearson_anticorrelated() {
+        let r = pearson(&[1.0, 2.0, 3.0], &[6.0, 4.0, 2.0]).unwrap();
+        assert!((r + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_rejects_zero_variance() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), None);
+    }
+
+    #[test]
+    fn pearson_rejects_mismatched_lengths() {
+        assert_eq!(pearson(&[1.0, 2.0], &[1.0, 2.0, 3.0]), None);
+    }
+
+    #[test]
+    fn entropy_two_symbols() {
+        let data = [0u8, 1, 0, 1];
+        assert!((byte_entropy(&data) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn value_entropy_all_distinct_is_one() {
+        let vals = vec![1u32, 2, 3, 4, 5, 6, 7, 8];
+        assert!((normalized_value_entropy(&vals) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn value_entropy_single_symbol_is_zero() {
+        let vals = vec![7u32; 16];
+        assert_eq!(normalized_value_entropy(&vals), 0.0);
+    }
+
+    #[test]
+    fn min_max_ignore_nan() {
+        let xs = [f64::NAN, 2.0, -1.0];
+        assert_eq!(min(&xs), Some(-1.0));
+        assert_eq!(max(&xs), Some(2.0));
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for the statistics toolbox.
+
+use mathkit::{ecdf::Ecdf, kneedle, smooth, spline::SmoothingSpline, stats};
+use proptest::prelude::*;
+
+fn finite_sample() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, 1..200)
+}
+
+proptest! {
+    #[test]
+    fn ecdf_is_monotone_and_bounded(sample in finite_sample()) {
+        let e = Ecdf::new(sample.clone()).unwrap();
+        let mut probes: Vec<f64> = sample.clone();
+        probes.push(f64::MIN);
+        probes.push(f64::MAX);
+        let mut last = -1.0;
+        let mut sorted = probes.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for x in sorted {
+            let y = e.eval(x);
+            prop_assert!((0.0..=1.0).contains(&y));
+            prop_assert!(y >= last);
+            last = y;
+        }
+        prop_assert_eq!(e.eval(f64::MAX), 1.0);
+    }
+
+    #[test]
+    fn ecdf_quantile_roundtrip(sample in finite_sample(), q in 0.01f64..1.0) {
+        let e = Ecdf::new(sample).unwrap();
+        let v = e.quantile(q);
+        // Evaluating at the quantile must reach at least level q.
+        prop_assert!(e.eval(v) + 1e-12 >= q);
+    }
+
+    #[test]
+    fn mean_within_min_max(sample in finite_sample()) {
+        let m = stats::mean(&sample).unwrap();
+        let lo = stats::min(&sample).unwrap();
+        let hi = stats::max(&sample).unwrap();
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+    }
+
+    #[test]
+    fn median_within_min_max(sample in finite_sample()) {
+        let m = stats::median(&sample).unwrap();
+        let lo = stats::min(&sample).unwrap();
+        let hi = stats::max(&sample).unwrap();
+        prop_assert!(m >= lo && m <= hi);
+    }
+
+    #[test]
+    fn percent_rank_in_range(sample in finite_sample(), v in -1e6f64..1e6) {
+        let pr = stats::percent_rank(&sample, v).unwrap();
+        prop_assert!((0.0..=100.0).contains(&pr));
+    }
+
+    #[test]
+    fn pearson_in_range(
+        xs in prop::collection::vec(-1e3f64..1e3, 3..50),
+        shift in -10f64..10.0,
+    ) {
+        let ys: Vec<f64> = xs.iter().map(|x| x * 0.5 + shift).collect();
+        if let Some(r) = stats::pearson(&xs, &ys) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        }
+    }
+
+    #[test]
+    fn byte_entropy_bounds(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let h = stats::byte_entropy(&bytes);
+        prop_assert!((0.0..=8.0 + 1e-9).contains(&h));
+    }
+
+    #[test]
+    fn gaussian_filter_preserves_bounds(
+        signal in prop::collection::vec(-100f64..100.0, 1..100),
+        sigma in 0.1f64..3.0,
+    ) {
+        let out = smooth::gaussian_filter(&signal, sigma);
+        prop_assert_eq!(out.len(), signal.len());
+        let lo = stats::min(&signal).unwrap();
+        let hi = stats::max(&signal).unwrap();
+        for v in out {
+            // Convolution with a normalized non-negative kernel cannot escape
+            // the signal's range.
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn spline_interpolates_smooth_data_closely(n_knots in 0usize..8) {
+        let xs: Vec<f64> = (0..60).map(|i| i as f64 / 59.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (2.0 * x).sin()).collect();
+        let sp = SmoothingSpline::fit(&xs, &ys, n_knots).unwrap();
+        for (&x, &y) in xs.iter().zip(&ys) {
+            prop_assert!((sp.eval(x) - y).abs() < 0.2);
+        }
+    }
+
+    #[test]
+    fn kneedle_never_panics(
+        ys in prop::collection::vec(0f64..1.0, 3..100),
+    ) {
+        let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64).collect();
+        let mut sorted = ys.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let knees = kneedle::detect_knees(&xs, &sorted, &kneedle::KneedleParams::default());
+        for k in knees {
+            prop_assert!(k.index < xs.len());
+        }
+    }
+}

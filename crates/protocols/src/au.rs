@@ -1,0 +1,260 @@
+//! Auto Unlock (AU) generator and dissector.
+//!
+//! AU is Apple's proprietary distance-bounding protocol between Apple
+//! Watch and Mac; neither traces nor a specification are public (the
+//! paper used a private Wireshark dissector). We model the documented
+//! behaviour: short ranging request/response exchanges followed by a
+//! report carrying a long sequence of 32-bit measurement results — the
+//! field the paper singles out because individual measurements "look
+//! static in some instances and random in others" (§IV-C). Measurements
+//! are encoded big-endian, so their high bytes are near-constant while the
+//! low bytes vary with measurement noise.
+
+use crate::gen::GenCtx;
+use crate::{DissectError, FieldKind, TrueField};
+use bytes::Bytes;
+use rand::Rng;
+use trace::{Direction, Endpoint, Message, Trace, Transport};
+
+const MAGIC: [u8; 2] = [0x41, 0x55]; // "AU"
+const MSG_RANGING_REQUEST: u8 = 1;
+const MSG_RANGING_RESPONSE: u8 = 2;
+const MSG_REPORT: u8 = 3;
+
+/// Generates an AU trace: request → response → report cycles within
+/// ranging sessions between a watch and a host.
+pub fn generate(n: usize, seed: u64) -> Trace {
+    let mut ctx = GenCtx::new(seed ^ 0x4155_4155, 4);
+    let mut messages = Vec::with_capacity(n);
+    let mut session_id: u32 = 0;
+    let mut sequence: u16 = 0;
+    let mut base_distance: u32 = 0;
+    let mut pending_nonce = [0u8; 8];
+    let watch = Endpoint::mac([0x02, 0xA5, 0x00, 0x00, 0x00, 0x01]);
+    let mac_host = Endpoint::mac([0x02, 0xA5, 0x00, 0x00, 0x00, 0x02]);
+
+    for i in 0..n {
+        let ts = ctx.tick();
+        // A ranging session is one request, one response, then a burst
+        // of four measurement reports: reports dominate the trace, as
+        // they do in real captures.
+        let phase = match i % 6 {
+            0 => 0,
+            1 => 1,
+            _ => 2,
+        };
+        if phase == 0 {
+            session_id = ctx.rng().gen();
+            sequence = 0;
+            // Distance in tenths of millimetres; varies per session.
+            base_distance = ctx.rng().gen_range(8_000..60_000);
+        }
+        sequence = sequence.wrapping_add(1);
+
+        let mut buf = Vec::with_capacity(96);
+        buf.extend_from_slice(&MAGIC);
+        buf.push(1); // version
+        buf.push([MSG_RANGING_REQUEST, MSG_RANGING_RESPONSE, MSG_REPORT][phase]);
+        buf.extend_from_slice(&session_id.to_be_bytes());
+        buf.extend_from_slice(&sequence.to_be_bytes());
+        buf.extend_from_slice(&0x0003u16.to_be_bytes()); // flags
+        let micros = ctx.now_micros();
+        buf.extend_from_slice(&micros.to_be_bytes()); // timestamp
+
+        match phase {
+            0 => {
+                ctx.fill_random(&mut pending_nonce);
+                buf.extend_from_slice(&pending_nonce);
+            }
+            1 => {
+                let mut nonce = [0u8; 8];
+                ctx.fill_random(&mut nonce);
+                buf.extend_from_slice(&nonce);
+                buf.extend_from_slice(&pending_nonce); // echo
+            }
+            _ => {
+                // Long sequences of 32-bit measurement results (§IV-C of
+                // the paper: "long sequences of 32-bit integers") — a few
+                // hundred samples per report.
+                let count: u16 = ctx.rng().gen_range(300..=420);
+                buf.extend_from_slice(&count.to_be_bytes());
+                for _ in 0..count {
+                    // Mostly base + noise; sometimes invalid (0) or
+                    // saturated (0xFFFFFFFF) samples.
+                    let roll = ctx.rng().gen_range(0..20u8);
+                    let sample: u32 = match roll {
+                        0 => 0,
+                        1 => u32::MAX,
+                        _ => base_distance.saturating_add(ctx.rng().gen_range(0..2_000)),
+                    };
+                    buf.extend_from_slice(&sample.to_be_bytes());
+                }
+            }
+        }
+        let mut tag = [0u8; 8];
+        ctx.fill_random(&mut tag);
+        buf.extend_from_slice(&tag);
+
+        let (src, dst, dir) = match phase {
+            0 => (mac_host, watch, Direction::Request),
+            1 => (watch, mac_host, Direction::Response),
+            _ => (watch, mac_host, Direction::Unknown),
+        };
+        messages.push(
+            Message::builder(Bytes::from(buf))
+                .timestamp_micros(ts)
+                .source(src)
+                .destination(dst)
+                .transport(Transport::Link)
+                .direction(dir)
+                .build(),
+        );
+    }
+    Trace::new("au", messages)
+}
+
+/// The ground-truth message type.
+///
+/// # Errors
+///
+/// Fails like [`dissect`] on malformed payloads.
+pub fn message_type(payload: &[u8]) -> Result<&'static str, DissectError> {
+    dissect(payload)?;
+    Ok(match payload[3] {
+        MSG_RANGING_REQUEST => "au ranging request",
+        MSG_RANGING_RESPONSE => "au ranging response",
+        _ => "au report",
+    })
+}
+
+/// Dissects an AU message into ground-truth fields.
+///
+/// # Errors
+///
+/// Fails on bad magic, unknown message types, or lengths inconsistent
+/// with the message type's layout.
+pub fn dissect(payload: &[u8]) -> Result<Vec<TrueField>, DissectError> {
+    let err = |context, offset| DissectError { protocol: "au", context, offset };
+    if payload.len() < 20 {
+        return Err(err("common header", payload.len()));
+    }
+    if payload[0..2] != MAGIC {
+        return Err(err("magic 'AU'", 0));
+    }
+    let msg_type = payload[3];
+    let mut fields = vec![
+        TrueField { offset: 0, len: 2, kind: FieldKind::Enum, name: "magic" },
+        TrueField { offset: 2, len: 1, kind: FieldKind::UInt, name: "version" },
+        TrueField { offset: 3, len: 1, kind: FieldKind::Enum, name: "msg_type" },
+        TrueField { offset: 4, len: 4, kind: FieldKind::Id, name: "session_id" },
+        TrueField { offset: 8, len: 2, kind: FieldKind::UInt, name: "sequence" },
+        TrueField { offset: 10, len: 2, kind: FieldKind::Flags, name: "flags" },
+        TrueField { offset: 12, len: 8, kind: FieldKind::Timestamp, name: "timestamp" },
+    ];
+    let mut pos = 20;
+    match msg_type {
+        MSG_RANGING_REQUEST => {
+            if payload.len() != pos + 8 + 8 {
+                return Err(err("request layout", pos));
+            }
+            fields.push(TrueField { offset: pos, len: 8, kind: FieldKind::Bytes, name: "nonce" });
+            pos += 8;
+        }
+        MSG_RANGING_RESPONSE => {
+            if payload.len() != pos + 16 + 8 {
+                return Err(err("response layout", pos));
+            }
+            fields.push(TrueField { offset: pos, len: 8, kind: FieldKind::Bytes, name: "nonce" });
+            fields.push(TrueField { offset: pos + 8, len: 8, kind: FieldKind::Bytes, name: "echo_nonce" });
+            pos += 16;
+        }
+        MSG_REPORT => {
+            if pos + 2 > payload.len() {
+                return Err(err("measurement count", pos));
+            }
+            let count = usize::from(u16::from_be_bytes([payload[pos], payload[pos + 1]]));
+            fields.push(TrueField { offset: pos, len: 2, kind: FieldKind::UInt, name: "count" });
+            pos += 2;
+            if payload.len() != pos + 4 * count + 8 {
+                return Err(err("report layout", pos));
+            }
+            for _ in 0..count {
+                fields.push(TrueField {
+                    offset: pos,
+                    len: 4,
+                    kind: FieldKind::Measurement,
+                    name: "measurement",
+                });
+                pos += 4;
+            }
+        }
+        _ => return Err(err("message type 1-3", 3)),
+    }
+    fields.push(TrueField { offset: pos, len: 8, kind: FieldKind::Bytes, name: "auth_tag" });
+    Ok(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fields_tile_payload;
+
+    #[test]
+    fn all_messages_dissect_and_tile() {
+        let t = generate(123, 61);
+        for (i, m) in t.iter().enumerate() {
+            let fields = dissect(m.payload()).unwrap_or_else(|e| panic!("msg {i}: {e}"));
+            assert!(fields_tile_payload(&fields, m.payload().len()), "msg {i}");
+        }
+    }
+
+    #[test]
+    fn responses_echo_request_nonce() {
+        let t = generate(6, 1);
+        let msgs = t.messages();
+        assert_eq!(&msgs[0].payload()[20..28], &msgs[1].payload()[28..36]);
+    }
+
+    #[test]
+    fn reports_carry_measurements() {
+        let t = generate(3, 2);
+        let report = &t.messages()[2];
+        let fields = dissect(report.payload()).unwrap();
+        let n = fields.iter().filter(|f| f.kind == FieldKind::Measurement).count();
+        assert!((300..=420).contains(&n));
+        // Most measurements share their high byte (static prefix).
+        let highs: Vec<u8> = fields
+            .iter()
+            .filter(|f| f.kind == FieldKind::Measurement)
+            .map(|f| report.payload()[f.offset])
+            .collect();
+        let zero_highs = highs.iter().filter(|&&b| b == 0).count();
+        assert!(zero_highs * 2 >= highs.len(), "high bytes mostly zero: {highs:?}");
+    }
+
+    #[test]
+    fn sequence_increments_within_session() {
+        let t = generate(8, 3);
+        let seq = |m: &trace::Message| u16::from_be_bytes([m.payload()[8], m.payload()[9]]);
+        let msgs = t.messages();
+        for (i, m) in msgs.iter().take(6).enumerate() {
+            assert_eq!(seq(m), i as u16 + 1);
+        }
+        assert_eq!(seq(&msgs[6]), 1); // next session restarts
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(dissect(&[0u8; 10]).is_err());
+        let t = generate(1, 4);
+        let mut p = t.messages()[0].payload().to_vec();
+        p[0] = 0;
+        assert!(dissect(&p).is_err());
+        let mut q = t.messages()[0].payload().to_vec();
+        q[3] = 9; // unknown type
+        assert!(dissect(&q).is_err());
+        let mut r = t.messages()[0].payload().to_vec();
+        r.push(0);
+        assert!(dissect(&r).is_err());
+    }
+}

@@ -1,0 +1,410 @@
+//! Apple Wireless Direct Link generator and dissector: vendor-specific
+//! action frames with a TLV record body, per the public reverse-engineered
+//! specification (Stute et al., MobiCom 2018).
+//!
+//! AWDL is a link-layer protocol without IP encapsulation; messages carry
+//! MAC endpoints only — the case where context-dependent baselines like
+//! FieldHunter cannot operate (paper §V).
+
+use crate::gen::GenCtx;
+use crate::{DissectError, FieldKind, TrueField};
+use bytes::Bytes;
+use rand::Rng;
+use trace::{Direction, Endpoint, Message, Trace, Transport};
+
+const CATEGORY_VENDOR: u8 = 0x7F;
+const APPLE_OUI: [u8; 3] = [0x00, 0x17, 0xF2];
+const AWDL_TYPE: u8 = 0x08;
+const AWDL_VERSION: u8 = 0x10;
+
+const SUBTYPE_PSF: u8 = 0x00;
+const SUBTYPE_MIF: u8 = 0x03;
+
+const TLV_SERVICE_RESPONSE: u8 = 0x02;
+const TLV_SYNC_PARAMS: u8 = 0x04;
+const TLV_ELECTION_PARAMS: u8 = 0x05;
+const TLV_SERVICE_PARAMS: u8 = 0x06;
+const TLV_HT_CAPS: u8 = 0x07;
+const TLV_DATA_PATH_STATE: u8 = 0x0C;
+const TLV_ARPA: u8 = 0x10;
+const TLV_CHANNEL_SEQ: u8 = 0x12;
+const TLV_VERSION: u8 = 0x15;
+
+const SERVICES: [&str; 4] = [
+    "_airdrop._tcp.local",
+    "_airplay._tcp.local",
+    "_companion-link._tcp.local",
+    "_rdlink._tcp.local",
+];
+
+/// Generates an AWDL trace: periodic synchronization frames (PSF) and
+/// master indication frames (MIF) from a small mesh of peers.
+pub fn generate(n: usize, seed: u64) -> Trace {
+    let mut ctx = GenCtx::new(seed ^ 0x4157_444C, 6);
+    let mut messages = Vec::with_capacity(n);
+    let mut tx_counter: u16 = ctx.rng().gen();
+    // Microsecond TSF-style clock for phy/target timestamps.
+    let mut tsf: u32 = ctx.rng().gen_range(0x0100_0000..0x0200_0000);
+
+    for i in 0..n {
+        let ts = ctx.tick();
+        let peer = ctx.pick_host();
+        let master = ctx.pick_host();
+        let is_mif = i % 3 == 2;
+        tx_counter = tx_counter.wrapping_add(ctx.rng().gen_range(1..20));
+        tsf = tsf.wrapping_add(ctx.rng().gen_range(10_000..600_000));
+
+        let mut buf = Vec::with_capacity(160);
+        buf.push(CATEGORY_VENDOR);
+        buf.extend_from_slice(&APPLE_OUI);
+        buf.push(AWDL_TYPE);
+        buf.push(AWDL_VERSION);
+        buf.push(if is_mif { SUBTYPE_MIF } else { SUBTYPE_PSF });
+        buf.push(0); // reserved
+        buf.extend_from_slice(&tsf.to_le_bytes()); // phy tx time
+        buf.extend_from_slice(&tsf.wrapping_add(80).to_le_bytes()); // target tx time
+
+        // Sync parameters TLV (22-byte fixed layout).
+        let mut sync = Vec::with_capacity(22);
+        sync.push(6); // tx channel
+        sync.extend_from_slice(&tx_counter.to_le_bytes());
+        sync.push(44); // master channel
+        sync.push(0); // guard time
+        sync.extend_from_slice(&16u16.to_le_bytes()); // aw period
+        sync.extend_from_slice(&110u16.to_le_bytes()); // af period
+        sync.extend_from_slice(&0x1800u16.to_le_bytes()); // flags
+        sync.extend_from_slice(&16u16.to_le_bytes()); // aw ext len
+        sync.extend_from_slice(&16u16.to_le_bytes()); // aw common len
+        sync.extend_from_slice(&ctx.host_mac(master)); // master addr
+        sync.push(4); // presence mode
+        push_tlv(&mut buf, TLV_SYNC_PARAMS, &sync);
+
+        // Election parameters TLV (19-byte fixed layout).
+        let mut elect = Vec::with_capacity(19);
+        elect.push(0); // flags
+        elect.extend_from_slice(&0u16.to_le_bytes()); // id
+        elect.push(ctx.rng().gen_range(0..3)); // distance to master
+        elect.push(0); // unused
+        elect.extend_from_slice(&ctx.host_mac(master));
+        let master_metric: u32 = ctx.rng().gen_range(200..600);
+        elect.extend_from_slice(&master_metric.to_le_bytes());
+        let self_metric: u32 = ctx.rng().gen_range(60..600);
+        elect.extend_from_slice(&self_metric.to_le_bytes());
+        push_tlv(&mut buf, TLV_ELECTION_PARAMS, &elect);
+
+        // Channel sequence TLV: 6-byte fixed head + 2 bytes per channel.
+        let n_channels = 16u8;
+        let mut chanseq = Vec::with_capacity(6 + 2 * (n_channels as usize));
+        chanseq.push(n_channels - 1); // count - 1
+        chanseq.push(3); // encoding: legacy + band
+        chanseq.push(0); // duplicate
+        chanseq.push(0); // step
+        chanseq.extend_from_slice(&0xFFFFu16.to_le_bytes()); // fill
+        for slot in 0..n_channels {
+            let ch = if slot % 4 == 0 { 6 } else { 44 };
+            chanseq.push(ch);
+            chanseq.push(if ch == 6 { 0x51 } else { 0x80 });
+        }
+        push_tlv(&mut buf, TLV_CHANNEL_SEQ, &chanseq);
+
+        // Version TLV.
+        push_tlv(&mut buf, TLV_VERSION, &[ctx.rng().gen_range(0x20..0x40), 2]);
+
+        // HT capabilities TLV (6-byte fixed layout, device-constant).
+        let mut ht = Vec::with_capacity(6);
+        ht.extend_from_slice(&0x01ADu16.to_le_bytes()); // ht flags
+        ht.push(0x17); // a-mpdu parameters
+        ht.extend_from_slice(&[0xFF, 0xFF, 0x00]); // rx mcs set
+        push_tlv(&mut buf, TLV_HT_CAPS, &ht);
+
+        // Service parameters TLV: sui counter + encoded bloom filter.
+        let mut sp = Vec::with_capacity(8);
+        sp.extend_from_slice(&tx_counter.to_le_bytes()); // sui
+        let bloom_len = ctx.rng().gen_range(2..6usize);
+        sp.push(bloom_len as u8);
+        for _ in 0..bloom_len {
+            sp.push(ctx.rng().gen());
+        }
+        push_tlv(&mut buf, TLV_SERVICE_PARAMS, &sp);
+
+        if is_mif {
+            // Service response TLV: length-prefixed Bonjour service name.
+            let service = SERVICES[ctx.rng().gen_range(0..SERVICES.len())];
+            let mut sr = Vec::with_capacity(2 + service.len());
+            sr.push(service.len() as u8);
+            sr.extend_from_slice(service.as_bytes());
+            sr.push(ctx.rng().gen_range(1..4)); // record type
+            push_tlv(&mut buf, TLV_SERVICE_RESPONSE, &sr);
+        }
+
+        if is_mif {
+            // Data path state TLV (13-byte fixed layout).
+            let mut dps = Vec::with_capacity(13);
+            dps.extend_from_slice(&0x03E4u16.to_le_bytes()); // flags
+            dps.extend_from_slice(b"DE\0"); // country code
+            dps.extend_from_slice(&ctx.host_mac(peer)); // infra addr
+            dps.extend_from_slice(&0x0001u16.to_le_bytes()); // extended flags
+            push_tlv(&mut buf, TLV_DATA_PATH_STATE, &dps);
+
+            // Arpa (hostname) TLV: flags + length-prefixed name.
+            let name = format!("{}-macbook", ctx.hostname(peer));
+            let mut arpa = Vec::with_capacity(2 + name.len());
+            arpa.push(0x03);
+            arpa.push(name.len() as u8);
+            arpa.extend_from_slice(name.as_bytes());
+            push_tlv(&mut buf, TLV_ARPA, &arpa);
+        }
+
+        messages.push(
+            Message::builder(Bytes::from(buf))
+                .timestamp_micros(ts)
+                .source(Endpoint::mac(ctx.host_mac(peer)))
+                .destination(Endpoint::mac([0xFF; 6])) // broadcast
+                .transport(Transport::Link)
+                .direction(Direction::Unknown)
+                .build(),
+        );
+    }
+    Trace::new("awdl", messages)
+}
+
+fn push_tlv(buf: &mut Vec<u8>, tlv_type: u8, value: &[u8]) {
+    buf.push(tlv_type);
+    buf.extend_from_slice(&(value.len() as u16).to_le_bytes());
+    buf.extend_from_slice(value);
+}
+
+struct FieldSink {
+    fields: Vec<TrueField>,
+    pos: usize,
+}
+
+impl FieldSink {
+    fn push(&mut self, len: usize, kind: FieldKind, name: &'static str) {
+        self.fields.push(TrueField { offset: self.pos, len, kind, name });
+        self.pos += len;
+    }
+}
+
+/// The ground-truth message type: the AWDL subtype.
+///
+/// # Errors
+///
+/// Fails like [`dissect`] on malformed payloads.
+pub fn message_type(payload: &[u8]) -> Result<&'static str, DissectError> {
+    dissect(payload)?;
+    Ok(match payload[6] {
+        SUBTYPE_PSF => "awdl psf",
+        SUBTYPE_MIF => "awdl mif",
+        _ => "awdl other",
+    })
+}
+
+/// Dissects an AWDL action frame into ground-truth fields.
+///
+/// # Errors
+///
+/// Fails on non-AWDL frames, truncated TLVs, or TLV bodies inconsistent
+/// with their type's fixed layout.
+pub fn dissect(payload: &[u8]) -> Result<Vec<TrueField>, DissectError> {
+    let err = |context, offset| DissectError { protocol: "awdl", context, offset };
+    if payload.len() < 16 {
+        return Err(err("action frame header", payload.len()));
+    }
+    if payload[0] != CATEGORY_VENDOR || payload[1..4] != APPLE_OUI || payload[4] != AWDL_TYPE {
+        return Err(err("AWDL vendor header", 0));
+    }
+    let mut sink = FieldSink { fields: Vec::with_capacity(48), pos: 0 };
+    sink.push(1, FieldKind::Enum, "category");
+    sink.push(3, FieldKind::Enum, "oui");
+    sink.push(1, FieldKind::Enum, "awdl_type");
+    sink.push(1, FieldKind::UInt, "version");
+    sink.push(1, FieldKind::Enum, "subtype");
+    sink.push(1, FieldKind::Padding, "reserved");
+    sink.push(4, FieldKind::Timestamp, "phy_tx_time");
+    sink.push(4, FieldKind::Timestamp, "target_tx_time");
+
+    while sink.pos < payload.len() {
+        let tlv_start = sink.pos;
+        if tlv_start + 3 > payload.len() {
+            return Err(err("TLV header", tlv_start));
+        }
+        let tlv_type = payload[tlv_start];
+        let tlv_len = usize::from(u16::from_le_bytes([payload[tlv_start + 1], payload[tlv_start + 2]]));
+        let body_start = tlv_start + 3;
+        let body_end = body_start + tlv_len;
+        if body_end > payload.len() {
+            return Err(err("TLV body", body_start));
+        }
+        sink.push(1, FieldKind::Enum, "tlv_type");
+        sink.push(2, FieldKind::UInt, "tlv_length");
+        match tlv_type {
+            TLV_SYNC_PARAMS if tlv_len == 22 => {
+                sink.push(1, FieldKind::UInt, "tx_channel");
+                sink.push(2, FieldKind::UInt, "tx_counter");
+                sink.push(1, FieldKind::UInt, "master_channel");
+                sink.push(1, FieldKind::UInt, "guard_time");
+                sink.push(2, FieldKind::UInt, "aw_period");
+                sink.push(2, FieldKind::UInt, "af_period");
+                sink.push(2, FieldKind::Flags, "awdl_flags");
+                sink.push(2, FieldKind::UInt, "aw_ext_len");
+                sink.push(2, FieldKind::UInt, "aw_common_len");
+                sink.push(6, FieldKind::MacAddr, "master_addr");
+                sink.push(1, FieldKind::UInt, "presence_mode");
+            }
+            TLV_HT_CAPS if tlv_len == 6 => {
+                sink.push(2, FieldKind::Flags, "ht_flags");
+                sink.push(1, FieldKind::UInt, "ampdu_params");
+                sink.push(3, FieldKind::Bytes, "rx_mcs_set");
+            }
+            TLV_SERVICE_PARAMS if tlv_len >= 3 => {
+                sink.push(2, FieldKind::UInt, "sui");
+                sink.push(1, FieldKind::UInt, "bloom_len");
+                let bloom = tlv_len - 3;
+                if usize::from(payload[body_start + 2]) != bloom {
+                    return Err(err("service params bloom length", body_start + 2));
+                }
+                if bloom > 0 {
+                    sink.push(bloom, FieldKind::Bytes, "bloom_filter");
+                }
+            }
+            TLV_SERVICE_RESPONSE if tlv_len >= 2 => {
+                sink.push(1, FieldKind::UInt, "service_len");
+                let name_len = usize::from(payload[body_start]);
+                if name_len + 2 != tlv_len {
+                    return Err(err("service response length", body_start));
+                }
+                if name_len > 0 {
+                    sink.push(name_len, FieldKind::Chars, "service_name");
+                }
+                sink.push(1, FieldKind::Enum, "record_type");
+            }
+            TLV_ELECTION_PARAMS if tlv_len == 19 => {
+                sink.push(1, FieldKind::Flags, "election_flags");
+                sink.push(2, FieldKind::UInt, "election_id");
+                sink.push(1, FieldKind::UInt, "distance_to_master");
+                sink.push(1, FieldKind::Padding, "unused");
+                sink.push(6, FieldKind::MacAddr, "master_addr");
+                sink.push(4, FieldKind::UInt, "master_metric");
+                sink.push(4, FieldKind::UInt, "self_metric");
+            }
+            TLV_CHANNEL_SEQ if tlv_len >= 6 => {
+                sink.push(1, FieldKind::UInt, "channel_count");
+                sink.push(1, FieldKind::Enum, "channel_encoding");
+                sink.push(1, FieldKind::UInt, "duplicate");
+                sink.push(1, FieldKind::UInt, "step");
+                sink.push(2, FieldKind::Padding, "fill");
+                let list_len = tlv_len - 6;
+                if list_len > 0 {
+                    sink.push(list_len, FieldKind::Bytes, "channel_list");
+                }
+            }
+            TLV_DATA_PATH_STATE if tlv_len == 13 => {
+                sink.push(2, FieldKind::Flags, "dps_flags");
+                sink.push(3, FieldKind::Chars, "country_code");
+                sink.push(6, FieldKind::MacAddr, "infra_addr");
+                sink.push(2, FieldKind::UInt, "dps_ext_flags");
+            }
+            TLV_ARPA if tlv_len >= 2 => {
+                sink.push(1, FieldKind::Flags, "arpa_flags");
+                sink.push(1, FieldKind::UInt, "arpa_len");
+                let name_len = tlv_len - 2;
+                if usize::from(payload[body_start + 1]) != name_len {
+                    return Err(err("arpa length byte", body_start + 1));
+                }
+                if name_len > 0 {
+                    sink.push(name_len, FieldKind::Chars, "arpa_name");
+                }
+            }
+            TLV_VERSION if tlv_len == 2 => {
+                sink.push(1, FieldKind::UInt, "awdl_version");
+                sink.push(1, FieldKind::Enum, "device_class");
+            }
+            _ => {
+                if tlv_len > 0 {
+                    sink.push(tlv_len, FieldKind::Bytes, "tlv_value");
+                }
+            }
+        }
+        if sink.pos != body_end {
+            return Err(err("TLV layout consumes body", tlv_start));
+        }
+    }
+    Ok(sink.fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fields_tile_payload;
+
+    #[test]
+    fn all_messages_dissect_and_tile() {
+        let t = generate(150, 51);
+        for (i, m) in t.iter().enumerate() {
+            let fields = dissect(m.payload()).unwrap_or_else(|e| panic!("msg {i}: {e}"));
+            assert!(fields_tile_payload(&fields, m.payload().len()), "msg {i}");
+        }
+    }
+
+    #[test]
+    fn mif_frames_carry_hostname() {
+        let t = generate(9, 1);
+        let mif = &t.messages()[2];
+        let fields = dissect(mif.payload()).unwrap();
+        let arpa = fields.iter().find(|f| f.name == "arpa_name").unwrap();
+        let name = &mif.payload()[arpa.range()];
+        assert!(name.ends_with(b"-macbook"));
+    }
+
+    #[test]
+    fn psf_frames_have_no_data_path() {
+        let t = generate(9, 2);
+        let psf = &t.messages()[0];
+        let fields = dissect(psf.payload()).unwrap();
+        assert!(!fields.iter().any(|f| f.name == "dps_flags"));
+        assert!(fields.iter().any(|f| f.name == "master_addr"));
+        assert!(fields.iter().any(|f| f.name == "bloom_filter"));
+    }
+
+    #[test]
+    fn mif_frames_advertise_services() {
+        let t = generate(9, 6);
+        let mif = &t.messages()[2];
+        let fields = dissect(mif.payload()).unwrap();
+        let svc = fields.iter().find(|f| f.name == "service_name").unwrap();
+        let name = &mif.payload()[svc.range()];
+        assert!(name.ends_with(b"._tcp.local"), "{:?}", String::from_utf8_lossy(name));
+    }
+
+    #[test]
+    fn endpoints_are_link_layer() {
+        let t = generate(3, 3);
+        for m in &t {
+            assert_eq!(m.transport(), Transport::Link);
+            assert_eq!(m.source().port, None);
+        }
+    }
+
+    #[test]
+    fn tx_times_advance() {
+        let t = generate(10, 4);
+        let times: Vec<u32> = t
+            .iter()
+            .map(|m| u32::from_le_bytes(m.payload()[8..12].try_into().unwrap()))
+            .collect();
+        assert!(times.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn rejects_foreign_frames() {
+        assert!(dissect(&[0u8; 20]).is_err());
+        let t = generate(1, 5);
+        let mut p = t.messages()[0].payload().to_vec();
+        p[1] = 0xAA; // break OUI
+        assert!(dissect(&p).is_err());
+        let mut q = t.messages()[0].payload().to_vec();
+        q.truncate(q.len() - 1); // truncate last TLV
+        assert!(dissect(&q).is_err());
+    }
+}

@@ -1,0 +1,353 @@
+//! DHCP generator and dissector (RFC 2131 over BOOTP, UDP 67/68):
+//! DISCOVER/OFFER/REQUEST/ACK cycles with a realistic option mix and
+//! BOOTP minimum-length padding.
+
+use crate::gen::GenCtx;
+use crate::{DissectError, FieldKind, TrueField};
+use bytes::Bytes;
+use rand::Rng;
+use trace::{Direction, Endpoint, Message, Trace, Transport};
+
+const SERVER_PORT: u16 = 67;
+const CLIENT_PORT: u16 = 68;
+const MAGIC_COOKIE: [u8; 4] = [0x63, 0x82, 0x53, 0x63];
+/// BOOTP messages are commonly padded to this minimum size.
+const MIN_LEN: usize = 300;
+
+const OPT_SUBNET: u8 = 1;
+const OPT_ROUTER: u8 = 3;
+const OPT_DNS: u8 = 6;
+const OPT_HOSTNAME: u8 = 12;
+const OPT_REQUESTED_IP: u8 = 50;
+const OPT_LEASE_TIME: u8 = 51;
+const OPT_MSG_TYPE: u8 = 53;
+const OPT_SERVER_ID: u8 = 54;
+const OPT_PARAM_LIST: u8 = 55;
+const OPT_RENEWAL: u8 = 58;
+const OPT_END: u8 = 255;
+
+/// Generates a DHCP trace: DISCOVER → OFFER → REQUEST → ACK cycles across
+/// a host pool, padded to the BOOTP minimum length.
+pub fn generate(n: usize, seed: u64) -> Trace {
+    let mut ctx = GenCtx::new(seed ^ 0x4448_4350, 10);
+    let server_ip = [10, 0, 0, 3];
+    let mut messages = Vec::with_capacity(n);
+    let mut cycle_host = 0usize;
+    let mut cycle_xid: u32 = 0;
+    let mut offered_ip = [0u8; 4];
+
+    for i in 0..n {
+        let ts = ctx.tick();
+        let phase = i % 4; // 0 discover, 1 offer, 2 request, 3 ack
+        if phase == 0 {
+            cycle_host = ctx.pick_host();
+            cycle_xid = ctx.rng().gen();
+            offered_ip = [10, 0, ctx.rng().gen_range(0..4u8), ctx.rng().gen_range(20..250u8)];
+        }
+        let from_server = phase == 1 || phase == 3;
+        let mac = ctx.host_mac(cycle_host);
+        let secs: u16 = ctx.rng().gen_range(0..64);
+
+        let mut buf = Vec::with_capacity(MIN_LEN);
+        buf.push(if from_server { 2 } else { 1 }); // op
+        buf.push(1); // htype: ethernet
+        buf.push(6); // hlen
+        buf.push(0); // hops
+        buf.extend_from_slice(&cycle_xid.to_be_bytes());
+        buf.extend_from_slice(&secs.to_be_bytes());
+        buf.extend_from_slice(&if phase == 0 { 0x8000u16 } else { 0x0000u16 }.to_be_bytes()); // flags
+        buf.extend_from_slice(&[0, 0, 0, 0]); // ciaddr
+        buf.extend_from_slice(&if from_server { offered_ip } else { [0, 0, 0, 0] }); // yiaddr
+        buf.extend_from_slice(&if from_server { server_ip } else { [0, 0, 0, 0] }); // siaddr
+        buf.extend_from_slice(&[0, 0, 0, 0]); // giaddr
+        buf.extend_from_slice(&mac); // chaddr: 6-byte MAC ...
+        buf.extend_from_slice(&[0u8; 10]); // ... plus padding
+        // sname: occasionally carries the server hostname.
+        let mut sname = [0u8; 64];
+        if from_server && ctx.rng().gen_bool(0.3) {
+            let name = b"dhcp-core";
+            sname[..name.len()].copy_from_slice(name);
+        }
+        buf.extend_from_slice(&sname);
+        buf.extend_from_slice(&[0u8; 128]); // file
+        buf.extend_from_slice(&MAGIC_COOKIE);
+
+        // Options.
+        let msg_type = [1u8, 2, 3, 5][phase];
+        push_opt(&mut buf, OPT_MSG_TYPE, &[msg_type]);
+        match phase {
+            0 => {
+                push_opt(&mut buf, OPT_HOSTNAME, ctx.hostname(cycle_host).to_string().as_bytes());
+                push_opt(&mut buf, OPT_PARAM_LIST, &[1, 3, 6, 15, 51, 58]);
+            }
+            2 => {
+                push_opt(&mut buf, OPT_REQUESTED_IP, &offered_ip);
+                push_opt(&mut buf, OPT_SERVER_ID, &server_ip);
+                push_opt(&mut buf, OPT_HOSTNAME, ctx.hostname(cycle_host).to_string().as_bytes());
+            }
+            _ => {
+                push_opt(&mut buf, OPT_SERVER_ID, &server_ip);
+                let lease: u32 = [3600u32, 7200, 86400][ctx.rng().gen_range(0..3usize)];
+                push_opt(&mut buf, OPT_LEASE_TIME, &lease.to_be_bytes());
+                push_opt(&mut buf, OPT_RENEWAL, &(lease / 2).to_be_bytes());
+                push_opt(&mut buf, OPT_SUBNET, &[255, 255, 252, 0]);
+                push_opt(&mut buf, OPT_ROUTER, &[10, 0, 0, 1]);
+                push_opt(&mut buf, OPT_DNS, &[10, 0, 0, 2]);
+            }
+        }
+        buf.push(OPT_END);
+        if buf.len() < MIN_LEN {
+            buf.resize(MIN_LEN, 0);
+        }
+
+        let client = Endpoint::udp(ctx.host_ip(cycle_host), CLIENT_PORT);
+        let server = Endpoint::udp(server_ip, SERVER_PORT);
+        let (src, dst, dir) = if from_server {
+            (server, client, Direction::Response)
+        } else {
+            (client, server, Direction::Request)
+        };
+        messages.push(
+            Message::builder(Bytes::from(buf))
+                .timestamp_micros(ts)
+                .source(src)
+                .destination(dst)
+                .transport(Transport::Udp)
+                .direction(dir)
+                .build(),
+        );
+    }
+    Trace::new("dhcp", messages)
+}
+
+fn push_opt(buf: &mut Vec<u8>, code: u8, value: &[u8]) {
+    buf.push(code);
+    buf.push(value.len() as u8);
+    buf.extend_from_slice(value);
+}
+
+fn option_value_kind(code: u8, len: usize) -> FieldKind {
+    match code {
+        OPT_SUBNET | OPT_ROUTER | OPT_REQUESTED_IP | OPT_SERVER_ID => FieldKind::Ipv4,
+        OPT_DNS if len == 4 => FieldKind::Ipv4,
+        OPT_HOSTNAME => FieldKind::Chars,
+        OPT_LEASE_TIME | OPT_RENEWAL => FieldKind::UInt,
+        OPT_MSG_TYPE => FieldKind::Enum,
+        _ => FieldKind::Bytes,
+    }
+}
+
+/// The ground-truth message type: the DHCP message type option (53).
+///
+/// # Errors
+///
+/// Fails like [`dissect`] on malformed payloads or when option 53 is
+/// missing.
+pub fn message_type(payload: &[u8]) -> Result<&'static str, DissectError> {
+    let fields = dissect(payload)?;
+    for f in &fields {
+        if f.name == "option_code" && payload[f.offset] == OPT_MSG_TYPE {
+            let value = *payload
+                .get(f.offset + 2)
+                .ok_or(DissectError { protocol: "dhcp", context: "message type value", offset: f.offset + 2 })?;
+            return Ok(match value {
+                1 => "dhcp discover",
+                2 => "dhcp offer",
+                3 => "dhcp request",
+                5 => "dhcp ack",
+                6 => "dhcp nak",
+                7 => "dhcp release",
+                _ => "dhcp other",
+            });
+        }
+    }
+    Err(DissectError { protocol: "dhcp", context: "message type option", offset: payload.len() })
+}
+
+/// Dissects a DHCP message into ground-truth fields.
+///
+/// # Errors
+///
+/// Fails on messages shorter than the fixed BOOTP header, a missing magic
+/// cookie, or malformed options.
+pub fn dissect(payload: &[u8]) -> Result<Vec<TrueField>, DissectError> {
+    let err = |context, offset| DissectError { protocol: "dhcp", context, offset };
+    if payload.len() < 240 {
+        return Err(err("240-byte BOOTP header", payload.len()));
+    }
+    if payload[236..240] != MAGIC_COOKIE {
+        return Err(err("magic cookie", 236));
+    }
+    let mut fields = vec![
+        TrueField { offset: 0, len: 1, kind: FieldKind::Enum, name: "op" },
+        TrueField { offset: 1, len: 1, kind: FieldKind::Enum, name: "htype" },
+        TrueField { offset: 2, len: 1, kind: FieldKind::UInt, name: "hlen" },
+        TrueField { offset: 3, len: 1, kind: FieldKind::UInt, name: "hops" },
+        TrueField { offset: 4, len: 4, kind: FieldKind::Id, name: "xid" },
+        TrueField { offset: 8, len: 2, kind: FieldKind::UInt, name: "secs" },
+        TrueField { offset: 10, len: 2, kind: FieldKind::Flags, name: "flags" },
+        TrueField { offset: 12, len: 4, kind: FieldKind::Ipv4, name: "ciaddr" },
+        TrueField { offset: 16, len: 4, kind: FieldKind::Ipv4, name: "yiaddr" },
+        TrueField { offset: 20, len: 4, kind: FieldKind::Ipv4, name: "siaddr" },
+        TrueField { offset: 24, len: 4, kind: FieldKind::Ipv4, name: "giaddr" },
+        TrueField { offset: 28, len: 6, kind: FieldKind::MacAddr, name: "chaddr" },
+        TrueField { offset: 34, len: 10, kind: FieldKind::Padding, name: "chaddr_pad" },
+    ];
+    // sname: leading printable characters followed by zero fill.
+    let sname = &payload[44..108];
+    let text_len = sname.iter().position(|&b| b == 0).unwrap_or(64);
+    if text_len > 0 {
+        fields.push(TrueField { offset: 44, len: text_len, kind: FieldKind::Chars, name: "sname" });
+    }
+    if text_len < 64 {
+        fields.push(TrueField {
+            offset: 44 + text_len,
+            len: 64 - text_len,
+            kind: FieldKind::Padding,
+            name: "sname_pad",
+        });
+    }
+    fields.push(TrueField { offset: 108, len: 128, kind: FieldKind::Padding, name: "file" });
+    fields.push(TrueField { offset: 236, len: 4, kind: FieldKind::Enum, name: "magic_cookie" });
+
+    let mut pos = 240;
+    loop {
+        let code = *payload.get(pos).ok_or_else(|| err("option code", pos))?;
+        match code {
+            0 => {
+                // Pad options: collapse the run into one padding field.
+                let start = pos;
+                while pos < payload.len() && payload[pos] == 0 {
+                    pos += 1;
+                }
+                fields.push(TrueField {
+                    offset: start,
+                    len: pos - start,
+                    kind: FieldKind::Padding,
+                    name: "pad",
+                });
+            }
+            OPT_END => {
+                fields.push(TrueField { offset: pos, len: 1, kind: FieldKind::Enum, name: "end" });
+                pos += 1;
+                if pos < payload.len() {
+                    if payload[pos..].iter().any(|&b| b != 0) {
+                        return Err(err("zero padding after end option", pos));
+                    }
+                    fields.push(TrueField {
+                        offset: pos,
+                        len: payload.len() - pos,
+                        kind: FieldKind::Padding,
+                        name: "trailer",
+                    });
+                }
+                return Ok(fields);
+            }
+            _ => {
+                let len = *payload.get(pos + 1).ok_or_else(|| err("option length", pos + 1))? as usize;
+                if pos + 2 + len > payload.len() {
+                    return Err(err("option value", pos + 2));
+                }
+                fields.push(TrueField { offset: pos, len: 1, kind: FieldKind::Enum, name: "option_code" });
+                fields.push(TrueField { offset: pos + 1, len: 1, kind: FieldKind::UInt, name: "option_len" });
+                if len > 0 {
+                    fields.push(TrueField {
+                        offset: pos + 2,
+                        len,
+                        kind: option_value_kind(code, len),
+                        name: "option_value",
+                    });
+                }
+                pos += 2 + len;
+            }
+        }
+        if pos >= payload.len() {
+            return Err(err("end option", pos));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fields_tile_payload;
+
+    #[test]
+    fn all_messages_dissect_and_tile() {
+        let t = generate(200, 31);
+        for m in &t {
+            let fields = dissect(m.payload()).unwrap();
+            assert!(
+                fields_tile_payload(&fields, m.payload().len()),
+                "fields do not tile: {fields:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn messages_meet_bootp_minimum() {
+        let t = generate(20, 1);
+        for m in &t {
+            assert!(m.payload().len() >= MIN_LEN);
+        }
+    }
+
+    #[test]
+    fn cycle_shares_xid() {
+        let t = generate(8, 2);
+        let msgs = t.messages();
+        for chunk in msgs.chunks(4) {
+            let xid = &chunk[0].payload()[4..8];
+            for m in chunk {
+                assert_eq!(&m.payload()[4..8], xid);
+            }
+        }
+    }
+
+    #[test]
+    fn offer_carries_yiaddr_and_lease() {
+        let t = generate(4, 3);
+        let offer = &t.messages()[1];
+        assert_ne!(&offer.payload()[16..20], &[0, 0, 0, 0]);
+        let fields = dissect(offer.payload()).unwrap();
+        let uints: Vec<_> = fields
+            .iter()
+            .filter(|f| f.kind == FieldKind::UInt && f.len == 4)
+            .collect();
+        assert!(!uints.is_empty(), "lease time option present");
+    }
+
+    #[test]
+    fn message_type_follows_cycle() {
+        let t = generate(8, 4);
+        let get_type = |m: &trace::Message| {
+            let f = dissect(m.payload()).unwrap();
+            let opt = f.iter().position(|x| x.name == "option_value").unwrap();
+            m.payload()[f[opt].offset]
+        };
+        let types: Vec<u8> = t.iter().map(get_type).collect();
+        assert_eq!(&types[..4], &[1, 2, 3, 5]);
+    }
+
+    #[test]
+    fn rejects_bad_cookie_and_short() {
+        assert!(dissect(&[0u8; 100]).is_err());
+        let t = generate(1, 5);
+        let mut p = t.messages()[0].payload().to_vec();
+        p[237] = 0;
+        assert!(dissect(&p).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_end_option() {
+        let t = generate(1, 6);
+        let mut p = t.messages()[0].payload().to_vec();
+        // Overwrite the end option and trailing padding with pad options:
+        // the walk then runs off the end.
+        let end_pos = p.iter().rposition(|&b| b == OPT_END).unwrap();
+        for b in &mut p[end_pos..] {
+            *b = 0;
+        }
+        assert!(dissect(&p).is_err());
+    }
+}

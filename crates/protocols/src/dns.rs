@@ -1,0 +1,300 @@
+//! Domain Name System generator and dissector (RFC 1035, UDP queries and
+//! responses with A/CNAME/TXT records and name compression).
+
+use crate::gen::{encode_dns_name, GenCtx};
+use crate::{DissectError, FieldKind, TrueField};
+use bytes::Bytes;
+use rand::Rng;
+use trace::{Direction, Endpoint, Message, Trace, Transport};
+
+const DNS_PORT: u16 = 53;
+
+const TYPE_A: u16 = 1;
+const TYPE_CNAME: u16 = 5;
+const TYPE_TXT: u16 = 16;
+const CLASS_IN: u16 = 1;
+
+/// Generates a DNS trace of `n` messages: query/response pairs over a pool
+/// of realistic domain names; responses carry 1–3 resource records.
+pub fn generate(n: usize, seed: u64) -> Trace {
+    let mut ctx = GenCtx::new(seed ^ 0x444E_5300, 8);
+    let server_ip = [10, 0, 0, 2];
+    let mut messages = Vec::with_capacity(n);
+    let mut pending: Option<(usize, u16, String, u16)> = None; // host, id, name, qtype
+
+    for i in 0..n {
+        let ts = ctx.tick();
+        let is_query = i % 2 == 0;
+        let mut buf = Vec::with_capacity(96);
+
+        if is_query {
+            let host = ctx.pick_host();
+            let id: u16 = ctx.rng().gen();
+            let name = ctx.pick_domain();
+            let qtype = match ctx.rng().gen_range(0..10u8) {
+                0 => TYPE_TXT,
+                1 | 2 => TYPE_CNAME,
+                _ => TYPE_A,
+            };
+            buf.extend_from_slice(&id.to_be_bytes());
+            buf.extend_from_slice(&0x0100u16.to_be_bytes()); // RD
+            buf.extend_from_slice(&1u16.to_be_bytes()); // qdcount
+            buf.extend_from_slice(&0u16.to_be_bytes());
+            buf.extend_from_slice(&0u16.to_be_bytes());
+            buf.extend_from_slice(&0u16.to_be_bytes());
+            buf.extend_from_slice(&encode_dns_name(&name));
+            buf.extend_from_slice(&qtype.to_be_bytes());
+            buf.extend_from_slice(&CLASS_IN.to_be_bytes());
+            pending = Some((host, id, name, qtype));
+
+            let client = ctx.client_udp(host, true, DNS_PORT);
+            messages.push(
+                Message::builder(Bytes::from(buf))
+                    .timestamp_micros(ts)
+                    .source(client)
+                    .destination(Endpoint::udp(server_ip, DNS_PORT))
+                    .transport(Transport::Udp)
+                    .direction(Direction::Request)
+                    .build(),
+            );
+        } else {
+            let (host, id, name, qtype) = pending.take().unwrap_or_else(|| {
+                let h = ctx.pick_host();
+                let id = ctx.rng().gen();
+                let d = ctx.pick_domain();
+                (h, id, d, TYPE_A)
+            });
+            let n_answers = ctx.rng().gen_range(1..=3u16);
+            buf.extend_from_slice(&id.to_be_bytes());
+            buf.extend_from_slice(&0x8180u16.to_be_bytes()); // QR RD RA
+            buf.extend_from_slice(&1u16.to_be_bytes());
+            buf.extend_from_slice(&n_answers.to_be_bytes());
+            buf.extend_from_slice(&0u16.to_be_bytes());
+            buf.extend_from_slice(&0u16.to_be_bytes());
+            buf.extend_from_slice(&encode_dns_name(&name));
+            buf.extend_from_slice(&qtype.to_be_bytes());
+            buf.extend_from_slice(&CLASS_IN.to_be_bytes());
+            for _ in 0..n_answers {
+                buf.extend_from_slice(&0xC00Cu16.to_be_bytes()); // pointer to qname
+                let rr_type = if qtype == TYPE_A { TYPE_A } else { qtype };
+                buf.extend_from_slice(&rr_type.to_be_bytes());
+                buf.extend_from_slice(&CLASS_IN.to_be_bytes());
+                let ttl: u32 = [60u32, 300, 3600, 86400][ctx.rng().gen_range(0..4usize)];
+                buf.extend_from_slice(&ttl.to_be_bytes());
+                match rr_type {
+                    TYPE_A => {
+                        buf.extend_from_slice(&4u16.to_be_bytes());
+                        let addr = [
+                            93,
+                            184,
+                            ctx.rng().gen_range(0..32u8),
+                            ctx.rng().gen_range(1..255u8),
+                        ];
+                        buf.extend_from_slice(&addr);
+                    }
+                    TYPE_CNAME => {
+                        let target = encode_dns_name(&ctx.pick_domain());
+                        buf.extend_from_slice(&(target.len() as u16).to_be_bytes());
+                        buf.extend_from_slice(&target);
+                    }
+                    _ => {
+                        // TXT: one character-string.
+                        let txt = format!("v=spf1 ip4:93.184.{}.0/24", ctx.rng().gen_range(0..32u8));
+                        buf.extend_from_slice(&((txt.len() + 1) as u16).to_be_bytes());
+                        buf.push(txt.len() as u8);
+                        buf.extend_from_slice(txt.as_bytes());
+                    }
+                }
+            }
+            let client = ctx.client_udp(host, true, DNS_PORT);
+            messages.push(
+                Message::builder(Bytes::from(buf))
+                    .timestamp_micros(ts)
+                    .source(Endpoint::udp(server_ip, DNS_PORT))
+                    .destination(client)
+                    .transport(Transport::Udp)
+                    .direction(Direction::Response)
+                    .build(),
+            );
+        }
+    }
+    Trace::new("dns", messages)
+}
+
+/// Walks an encoded name starting at `at`; returns the byte length of the
+/// encoding within this message (pointers terminate the walk with their
+/// two bytes).
+pub(crate) fn name_len(payload: &[u8], at: usize) -> Result<usize, DissectError> {
+    let err = |context, offset| DissectError { protocol: "dns", context, offset };
+    let mut pos = at;
+    loop {
+        let len = *payload.get(pos).ok_or_else(|| err("name label", pos))? as usize;
+        if len & 0xC0 == 0xC0 {
+            // Compression pointer: two bytes, ends the name.
+            if pos + 1 >= payload.len() {
+                return Err(err("compression pointer", pos));
+            }
+            return Ok(pos + 2 - at);
+        }
+        if len == 0 {
+            return Ok(pos + 1 - at);
+        }
+        if len >= 64 {
+            return Err(err("label length < 64", pos));
+        }
+        pos += 1 + len;
+        if pos > payload.len() {
+            return Err(err("label data", pos));
+        }
+    }
+}
+
+/// The ground-truth message type: query vs response plus opcode.
+///
+/// # Errors
+///
+/// Fails like [`dissect`] on malformed payloads.
+pub fn message_type(payload: &[u8]) -> Result<&'static str, DissectError> {
+    dissect(payload)?;
+    let qr = payload[2] & 0x80 != 0;
+    Ok(if qr { "dns response" } else { "dns query" })
+}
+
+/// Dissects a DNS message into ground-truth fields.
+///
+/// # Errors
+///
+/// Fails on truncated headers, malformed names, or record counts that
+/// exceed the message.
+pub fn dissect(payload: &[u8]) -> Result<Vec<TrueField>, DissectError> {
+    let err = |context, offset| DissectError { protocol: "dns", context, offset };
+    if payload.len() < 12 {
+        return Err(err("12-byte header", payload.len()));
+    }
+    let rd16 = |at: usize| u16::from_be_bytes([payload[at], payload[at + 1]]);
+    let qdcount = rd16(4) as usize;
+    let ancount = rd16(6) as usize;
+    let nscount = rd16(8) as usize;
+    let arcount = rd16(10) as usize;
+
+    let mut fields = vec![
+        TrueField { offset: 0, len: 2, kind: FieldKind::Id, name: "id" },
+        TrueField { offset: 2, len: 2, kind: FieldKind::Flags, name: "flags" },
+        TrueField { offset: 4, len: 2, kind: FieldKind::UInt, name: "qdcount" },
+        TrueField { offset: 6, len: 2, kind: FieldKind::UInt, name: "ancount" },
+        TrueField { offset: 8, len: 2, kind: FieldKind::UInt, name: "nscount" },
+        TrueField { offset: 10, len: 2, kind: FieldKind::UInt, name: "arcount" },
+    ];
+    let mut pos = 12;
+    for _ in 0..qdcount {
+        let nl = name_len(payload, pos)?;
+        fields.push(TrueField { offset: pos, len: nl, kind: FieldKind::DomainName, name: "qname" });
+        pos += nl;
+        if pos + 4 > payload.len() {
+            return Err(err("qtype/qclass", pos));
+        }
+        fields.push(TrueField { offset: pos, len: 2, kind: FieldKind::Enum, name: "qtype" });
+        fields.push(TrueField { offset: pos + 2, len: 2, kind: FieldKind::Enum, name: "qclass" });
+        pos += 4;
+    }
+    for _ in 0..(ancount + nscount + arcount) {
+        let nl = name_len(payload, pos)?;
+        fields.push(TrueField { offset: pos, len: nl, kind: FieldKind::DomainName, name: "rr_name" });
+        pos += nl;
+        if pos + 10 > payload.len() {
+            return Err(err("rr fixed part", pos));
+        }
+        let rr_type = rd16(pos);
+        fields.push(TrueField { offset: pos, len: 2, kind: FieldKind::Enum, name: "rr_type" });
+        fields.push(TrueField { offset: pos + 2, len: 2, kind: FieldKind::Enum, name: "rr_class" });
+        fields.push(TrueField { offset: pos + 4, len: 4, kind: FieldKind::UInt, name: "rr_ttl" });
+        let rdlen = rd16(pos + 8) as usize;
+        fields.push(TrueField { offset: pos + 8, len: 2, kind: FieldKind::UInt, name: "rdlength" });
+        pos += 10;
+        if pos + rdlen > payload.len() {
+            return Err(err("rdata", pos));
+        }
+        if rdlen > 0 {
+            let kind = match rr_type {
+                TYPE_A if rdlen == 4 => FieldKind::Ipv4,
+                TYPE_CNAME => FieldKind::DomainName,
+                TYPE_TXT => FieldKind::Chars,
+                _ => FieldKind::Bytes,
+            };
+            fields.push(TrueField { offset: pos, len: rdlen, kind, name: "rdata" });
+            pos += rdlen;
+        }
+    }
+    if pos != payload.len() {
+        return Err(err("end of message", pos));
+    }
+    Ok(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fields_tile_payload;
+
+    #[test]
+    fn all_messages_dissect_and_tile() {
+        let t = generate(300, 11);
+        for m in &t {
+            let fields = dissect(m.payload())
+                .unwrap_or_else(|e| panic!("dissect failed: {e} on {:02x?}", &m.payload()[..]));
+            assert!(fields_tile_payload(&fields, m.payload().len()));
+        }
+    }
+
+    #[test]
+    fn queries_have_one_question_no_answers() {
+        let t = generate(10, 1);
+        let q = &t.messages()[0];
+        let fields = dissect(q.payload()).unwrap();
+        assert_eq!(fields.iter().filter(|f| f.name == "qname").count(), 1);
+        assert_eq!(fields.iter().filter(|f| f.name == "rdata").count(), 0);
+    }
+
+    #[test]
+    fn responses_echo_query_id() {
+        let t = generate(20, 2);
+        for pair in t.messages().chunks(2) {
+            if pair.len() == 2 {
+                assert_eq!(pair[0].payload()[..2], pair[1].payload()[..2]);
+            }
+        }
+    }
+
+    #[test]
+    fn response_answers_match_ancount() {
+        let t = generate(40, 3);
+        for m in t.iter().filter(|m| m.direction() == Direction::Response) {
+            let ancount = u16::from_be_bytes([m.payload()[6], m.payload()[7]]) as usize;
+            let fields = dissect(m.payload()).unwrap();
+            assert_eq!(fields.iter().filter(|f| f.name == "rr_name").count(), ancount);
+        }
+    }
+
+    #[test]
+    fn rejects_truncated_and_garbage() {
+        assert!(dissect(&[0u8; 4]).is_err());
+        // qdcount = 1 but no question bytes.
+        let mut h = [0u8; 12];
+        h[5] = 1;
+        assert!(dissect(&h).is_err());
+        // Label length 70 (invalid).
+        let mut msg = vec![0u8; 12];
+        msg[5] = 1;
+        msg.push(70);
+        msg.extend_from_slice(&[0u8; 80]);
+        assert!(dissect(&msg).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let t = generate(2, 4);
+        let mut p = t.messages()[0].payload().to_vec();
+        p.push(0xAA);
+        assert!(dissect(&p).is_err());
+    }
+}

@@ -1,0 +1,241 @@
+//! Shared generation machinery: seeded randomness, host pools, name
+//! pools and an advancing capture clock.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use trace::Endpoint;
+
+/// NTP-era seconds for 2011-10-02 ≈ `0xD23D1900`, matching the epoch of
+/// the SMIA-2011 captures the paper uses (and the byte prefix visible in
+/// its Fig. 3).
+pub const NTP_EPOCH_2011: u32 = 0xD23D_1900;
+
+/// Unix seconds corresponding to [`NTP_EPOCH_2011`] (NTP epoch is 1900).
+pub const UNIX_EPOCH_2011: u32 = NTP_EPOCH_2011.wrapping_sub(2_208_988_800);
+
+/// A deterministic generation context: RNG, capture clock and pools of
+/// plausible hosts and names shared by all protocol generators.
+#[derive(Debug)]
+pub struct GenCtx {
+    rng: StdRng,
+    /// Current capture time in microseconds since the Unix epoch.
+    now_micros: u64,
+    hosts: Vec<[u8; 4]>,
+    macs: Vec<[u8; 6]>,
+    hostnames: Vec<String>,
+    domains: Vec<String>,
+    client_ports: Vec<u16>,
+}
+
+impl GenCtx {
+    /// Creates a context with `n_hosts` client hosts, seeded
+    /// deterministically.
+    pub fn new(seed: u64, n_hosts: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_hosts = n_hosts.max(1);
+        let mut hosts = Vec::with_capacity(n_hosts);
+        let mut macs = Vec::with_capacity(n_hosts);
+        let mut hostnames = Vec::with_capacity(n_hosts);
+        for i in 0..n_hosts {
+            hosts.push([10, 0, rng.gen_range(0..4u8), 10 + i as u8]);
+            let mut m = [0u8; 6];
+            m[0] = 0x02; // locally administered
+            for b in m.iter_mut().skip(1) {
+                *b = rng.gen();
+            }
+            macs.push(m);
+            hostnames.push(format!("{}{:02}", HOSTNAME_STEMS[i % HOSTNAME_STEMS.len()], i));
+        }
+        let domains = DOMAIN_STEMS.iter().map(|s| s.to_string()).collect();
+        Self {
+            rng,
+            now_micros: u64::from(UNIX_EPOCH_2011) * 1_000_000,
+            hosts,
+            macs,
+            hostnames,
+            domains,
+            client_ports: Vec::new(),
+        }
+    }
+
+    /// Mutable access to the RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Current capture time (microseconds since the Unix epoch).
+    pub fn now_micros(&self) -> u64 {
+        self.now_micros
+    }
+
+    /// Current capture time as whole Unix seconds.
+    pub fn now_unix_secs(&self) -> u32 {
+        (self.now_micros / 1_000_000) as u32
+    }
+
+    /// Current capture time as NTP-era seconds.
+    pub fn now_ntp_secs(&self) -> u32 {
+        self.now_unix_secs().wrapping_add(2_208_988_800)
+    }
+
+    /// Advances the capture clock by a random inter-arrival time between
+    /// 1 ms and 2 s and returns the new time in microseconds.
+    pub fn tick(&mut self) -> u64 {
+        self.now_micros += self.rng.gen_range(1_000..2_000_000);
+        self.now_micros
+    }
+
+    /// Advances the capture clock by exactly `micros` microseconds
+    /// (sub-message processing delays).
+    pub fn advance_micros(&mut self, micros: u64) {
+        self.now_micros += micros;
+    }
+
+    /// A random client host index.
+    pub fn pick_host(&mut self) -> usize {
+        self.rng.gen_range(0..self.hosts.len())
+    }
+
+    /// The IPv4 address of client host `i`.
+    pub fn host_ip(&self, i: usize) -> [u8; 4] {
+        self.hosts[i % self.hosts.len()]
+    }
+
+    /// The MAC address of client host `i`.
+    pub fn host_mac(&self, i: usize) -> [u8; 6] {
+        self.macs[i % self.macs.len()]
+    }
+
+    /// The hostname of client host `i`.
+    pub fn hostname(&self, i: usize) -> &str {
+        &self.hostnames[i % self.hostnames.len()]
+    }
+
+    /// A random domain name, occasionally decorated with a subdomain.
+    pub fn pick_domain(&mut self) -> String {
+        let base = self.domains[self.rng.gen_range(0..self.domains.len())].clone();
+        if self.rng.gen_bool(0.4) {
+            let sub = SUBDOMAIN_STEMS[self.rng.gen_range(0..SUBDOMAIN_STEMS.len())];
+            format!("{sub}.{base}")
+        } else {
+            base
+        }
+    }
+
+    /// A UDP endpoint for client host `i`. With `ephemeral`, the host gets
+    /// a stable randomly chosen ephemeral port (one per host, as a real
+    /// client socket would keep across a conversation); otherwise
+    /// `service_port` is used.
+    pub fn client_udp(&mut self, i: usize, ephemeral: bool, service_port: u16) -> Endpoint {
+        let port = if ephemeral { self.client_port(i) } else { service_port };
+        Endpoint::udp(self.host_ip(i), port)
+    }
+
+    /// The stable ephemeral port of client host `i`.
+    pub fn client_port(&mut self, i: usize) -> u16 {
+        let i = i % self.hosts.len();
+        while self.client_ports.len() <= i {
+            let p = self.rng.gen_range(1024..65000);
+            self.client_ports.push(p);
+        }
+        self.client_ports[i]
+    }
+
+    /// Fills `buf` with random bytes.
+    pub fn fill_random(&mut self, buf: &mut [u8]) {
+        self.rng.fill(buf);
+    }
+}
+
+const HOSTNAME_STEMS: [&str; 8] = [
+    "workstation", "laptop", "printer", "fileserver", "desktop", "scanner", "kiosk", "buildbot",
+];
+
+const SUBDOMAIN_STEMS: [&str; 6] = ["www", "mail", "ns1", "cdn", "api", "static"];
+
+const DOMAIN_STEMS: [&str; 12] = [
+    "example.com",
+    "uni-ulm.de",
+    "seemoo.tu-darmstadt.de",
+    "netresec.com",
+    "ictf.cs.ucsb.edu",
+    "pool.ntp.org",
+    "wireshark.org",
+    "kernel.org",
+    "debian.org",
+    "rust-lang.org",
+    "ietf.org",
+    "iana.org",
+];
+
+/// Encodes a DNS domain name as length-prefixed labels plus the root
+/// label.
+pub fn encode_dns_name(name: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(name.len() + 2);
+    for label in name.split('.') {
+        debug_assert!(label.len() < 64, "DNS label too long");
+        out.push(label.len() as u8);
+        out.extend_from_slice(label.as_bytes());
+    }
+    out.push(0);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_is_deterministic() {
+        let mut a = GenCtx::new(7, 4);
+        let mut b = GenCtx::new(7, 4);
+        for _ in 0..10 {
+            assert_eq!(a.tick(), b.tick());
+            assert_eq!(a.pick_host(), b.pick_host());
+            assert_eq!(a.pick_domain(), b.pick_domain());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = GenCtx::new(1, 4);
+        let mut b = GenCtx::new(2, 4);
+        let seq_a: Vec<u64> = (0..5).map(|_| a.tick()).collect();
+        let seq_b: Vec<u64> = (0..5).map(|_| b.tick()).collect();
+        assert_ne!(seq_a, seq_b);
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut c = GenCtx::new(3, 2);
+        let mut last = c.now_micros();
+        for _ in 0..100 {
+            let t = c.tick();
+            assert!(t > last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn ntp_epoch_matches_unix_epoch() {
+        assert_eq!(UNIX_EPOCH_2011.wrapping_add(2_208_988_800), NTP_EPOCH_2011);
+        let c = GenCtx::new(0, 1);
+        assert_eq!(c.now_ntp_secs() & 0xFFFF_FF00, NTP_EPOCH_2011 & 0xFFFF_FF00);
+    }
+
+    #[test]
+    fn dns_name_encoding() {
+        assert_eq!(
+            encode_dns_name("www.example.com"),
+            b"\x03www\x07example\x03com\x00".to_vec()
+        );
+        assert_eq!(encode_dns_name("a"), b"\x01a\x00".to_vec());
+    }
+
+    #[test]
+    fn host_pools_are_stable() {
+        let c = GenCtx::new(9, 3);
+        assert_eq!(c.host_ip(0), c.host_ip(3)); // wraps modulo pool size
+        assert_eq!(c.hostname(1), c.hostname(4));
+    }
+}

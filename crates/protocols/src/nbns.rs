@@ -1,0 +1,286 @@
+//! NetBIOS Name Service generator and dissector (RFC 1002, UDP 137):
+//! name queries, positive name query responses and registration requests
+//! with first-level encoded NetBIOS names.
+
+use crate::gen::GenCtx;
+use crate::{DissectError, FieldKind, TrueField};
+use bytes::Bytes;
+use rand::Rng;
+use trace::{Direction, Endpoint, Message, Trace, Transport};
+
+const NBNS_PORT: u16 = 137;
+const TYPE_NB: u16 = 0x0020;
+const CLASS_IN: u16 = 1;
+
+/// First-level encodes a NetBIOS name (15 chars space-padded + suffix)
+/// into the 32-character nibble expansion of RFC 1001 §14.1.
+fn encode_netbios_name(name: &str, suffix: u8) -> Vec<u8> {
+    let mut raw = [0x20u8; 16];
+    for (i, b) in name.bytes().take(15).enumerate() {
+        raw[i] = b.to_ascii_uppercase();
+    }
+    raw[15] = suffix;
+    let mut out = Vec::with_capacity(34);
+    out.push(32); // one label of 32 encoded characters
+    for b in raw {
+        out.push(b'A' + (b >> 4));
+        out.push(b'A' + (b & 0x0F));
+    }
+    out.push(0); // root label
+    out
+}
+
+/// Generates an NBNS trace: name queries, positive responses and periodic
+/// name registration requests.
+pub fn generate(n: usize, seed: u64) -> Trace {
+    let mut ctx = GenCtx::new(seed ^ 0x4E42_4E53, 8);
+    let broadcast = [10, 0, 3, 255];
+    let mut messages = Vec::with_capacity(n);
+    let mut pending: Option<(usize, u16, Vec<u8>)> = None;
+
+    for i in 0..n {
+        let ts = ctx.tick();
+        let mut buf = Vec::with_capacity(80);
+        let kind = i % 4; // 0: query, 1: response, 2: query, 3: registration
+
+        match kind {
+            1 => {
+                // Positive name query response from the owning host.
+                let (host, id, qname) = pending.take().unwrap_or_else(|| {
+                    let h = ctx.pick_host();
+                    let id = ctx.rng().gen();
+                    let target = ctx.pick_host();
+                    let name = ctx.hostname(target).to_string();
+                    (h, id, encode_netbios_name(&name, 0x00))
+                });
+                buf.extend_from_slice(&id.to_be_bytes());
+                buf.extend_from_slice(&0x8500u16.to_be_bytes()); // response, AA, RD
+                buf.extend_from_slice(&0u16.to_be_bytes());
+                buf.extend_from_slice(&1u16.to_be_bytes()); // ancount
+                buf.extend_from_slice(&0u16.to_be_bytes());
+                buf.extend_from_slice(&0u16.to_be_bytes());
+                buf.extend_from_slice(&qname);
+                buf.extend_from_slice(&TYPE_NB.to_be_bytes());
+                buf.extend_from_slice(&CLASS_IN.to_be_bytes());
+                let ttl: u32 = 300_000;
+                buf.extend_from_slice(&ttl.to_be_bytes());
+                buf.extend_from_slice(&6u16.to_be_bytes()); // rdlength
+                buf.extend_from_slice(&0x6000u16.to_be_bytes()); // nb_flags: H-node, unique
+                let owner = ctx.pick_host();
+                buf.extend_from_slice(&ctx.host_ip(owner));
+                let responder = ctx.pick_host();
+                messages.push(
+                    Message::builder(Bytes::from(buf))
+                        .timestamp_micros(ts)
+                        .source(ctx.client_udp(responder, false, NBNS_PORT))
+                        .destination(ctx.client_udp(host, false, NBNS_PORT))
+                        .transport(Transport::Udp)
+                        .direction(Direction::Response)
+                        .build(),
+                );
+            }
+            3 => {
+                // Name registration request (broadcast) with additional RR.
+                let host = ctx.pick_host();
+                let id: u16 = ctx.rng().gen();
+                let name = ctx.hostname(host).to_string();
+                let qname = encode_netbios_name(&name, 0x00);
+                buf.extend_from_slice(&id.to_be_bytes());
+                buf.extend_from_slice(&0x2910u16.to_be_bytes()); // registration, RD, B
+                buf.extend_from_slice(&1u16.to_be_bytes());
+                buf.extend_from_slice(&0u16.to_be_bytes());
+                buf.extend_from_slice(&0u16.to_be_bytes());
+                buf.extend_from_slice(&1u16.to_be_bytes()); // arcount
+                buf.extend_from_slice(&qname);
+                buf.extend_from_slice(&TYPE_NB.to_be_bytes());
+                buf.extend_from_slice(&CLASS_IN.to_be_bytes());
+                buf.extend_from_slice(&0xC00Cu16.to_be_bytes()); // pointer to qname
+                buf.extend_from_slice(&TYPE_NB.to_be_bytes());
+                buf.extend_from_slice(&CLASS_IN.to_be_bytes());
+                let ttl: u32 = 300_000;
+                buf.extend_from_slice(&ttl.to_be_bytes());
+                buf.extend_from_slice(&6u16.to_be_bytes());
+                buf.extend_from_slice(&0x2000u16.to_be_bytes());
+                buf.extend_from_slice(&ctx.host_ip(host));
+                messages.push(
+                    Message::builder(Bytes::from(buf))
+                        .timestamp_micros(ts)
+                        .source(ctx.client_udp(host, false, NBNS_PORT))
+                        .destination(Endpoint::udp(broadcast, NBNS_PORT))
+                        .transport(Transport::Udp)
+                        .direction(Direction::Request)
+                        .build(),
+                );
+            }
+            _ => {
+                // Name query (broadcast).
+                let host = ctx.pick_host();
+                let id: u16 = ctx.rng().gen();
+                let target = ctx.pick_host();
+                let suffix = if ctx.rng().gen_bool(0.3) { 0x20 } else { 0x00 };
+                let qname = encode_netbios_name(&ctx.hostname(target).to_string(), suffix);
+                buf.extend_from_slice(&id.to_be_bytes());
+                buf.extend_from_slice(&0x0110u16.to_be_bytes()); // query, RD, B
+                buf.extend_from_slice(&1u16.to_be_bytes());
+                buf.extend_from_slice(&0u16.to_be_bytes());
+                buf.extend_from_slice(&0u16.to_be_bytes());
+                buf.extend_from_slice(&0u16.to_be_bytes());
+                buf.extend_from_slice(&qname);
+                buf.extend_from_slice(&TYPE_NB.to_be_bytes());
+                buf.extend_from_slice(&CLASS_IN.to_be_bytes());
+                pending = Some((host, id, qname));
+                messages.push(
+                    Message::builder(Bytes::from(buf))
+                        .timestamp_micros(ts)
+                        .source(ctx.client_udp(host, false, NBNS_PORT))
+                        .destination(Endpoint::udp(broadcast, NBNS_PORT))
+                        .transport(Transport::Udp)
+                        .direction(Direction::Request)
+                        .build(),
+                );
+            }
+        }
+    }
+    Trace::new("nbns", messages)
+}
+
+/// The ground-truth message type: response bit + opcode.
+///
+/// # Errors
+///
+/// Fails like [`dissect`] on malformed payloads.
+pub fn message_type(payload: &[u8]) -> Result<&'static str, DissectError> {
+    dissect(payload)?;
+    let is_response = payload[2] & 0x80 != 0;
+    let opcode = (payload[2] >> 3) & 0x0F;
+    Ok(match (is_response, opcode) {
+        (false, 0) => "nbns name query",
+        (true, 0) => "nbns name query response",
+        (false, 5) => "nbns name registration",
+        (true, 5) => "nbns name registration response",
+        (false, _) => "nbns other request",
+        (true, _) => "nbns other response",
+    })
+}
+
+/// Dissects an NBNS message into ground-truth fields.
+///
+/// # Errors
+///
+/// Fails on truncated headers, malformed names, or counts exceeding the
+/// message.
+pub fn dissect(payload: &[u8]) -> Result<Vec<TrueField>, DissectError> {
+    let err = |context, offset| DissectError { protocol: "nbns", context, offset };
+    if payload.len() < 12 {
+        return Err(err("12-byte header", payload.len()));
+    }
+    let rd16 = |at: usize| u16::from_be_bytes([payload[at], payload[at + 1]]);
+    let qdcount = rd16(4) as usize;
+    let ancount = rd16(6) as usize;
+    let nscount = rd16(8) as usize;
+    let arcount = rd16(10) as usize;
+
+    let mut fields = vec![
+        TrueField { offset: 0, len: 2, kind: FieldKind::Id, name: "name_trn_id" },
+        TrueField { offset: 2, len: 2, kind: FieldKind::Flags, name: "flags" },
+        TrueField { offset: 4, len: 2, kind: FieldKind::UInt, name: "qdcount" },
+        TrueField { offset: 6, len: 2, kind: FieldKind::UInt, name: "ancount" },
+        TrueField { offset: 8, len: 2, kind: FieldKind::UInt, name: "nscount" },
+        TrueField { offset: 10, len: 2, kind: FieldKind::UInt, name: "arcount" },
+    ];
+    let mut pos = 12;
+    for _ in 0..qdcount {
+        let nl = crate::dns::name_len(payload, pos)?;
+        fields.push(TrueField { offset: pos, len: nl, kind: FieldKind::DomainName, name: "qname" });
+        pos += nl;
+        if pos + 4 > payload.len() {
+            return Err(err("question fixed part", pos));
+        }
+        fields.push(TrueField { offset: pos, len: 2, kind: FieldKind::Enum, name: "qtype" });
+        fields.push(TrueField { offset: pos + 2, len: 2, kind: FieldKind::Enum, name: "qclass" });
+        pos += 4;
+    }
+    for _ in 0..(ancount + nscount + arcount) {
+        let nl = crate::dns::name_len(payload, pos)?;
+        fields.push(TrueField { offset: pos, len: nl, kind: FieldKind::DomainName, name: "rr_name" });
+        pos += nl;
+        if pos + 10 > payload.len() {
+            return Err(err("rr fixed part", pos));
+        }
+        fields.push(TrueField { offset: pos, len: 2, kind: FieldKind::Enum, name: "rr_type" });
+        fields.push(TrueField { offset: pos + 2, len: 2, kind: FieldKind::Enum, name: "rr_class" });
+        fields.push(TrueField { offset: pos + 4, len: 4, kind: FieldKind::UInt, name: "rr_ttl" });
+        let rdlen = rd16(pos + 8) as usize;
+        fields.push(TrueField { offset: pos + 8, len: 2, kind: FieldKind::UInt, name: "rdlength" });
+        pos += 10;
+        if pos + rdlen > payload.len() {
+            return Err(err("rdata", pos));
+        }
+        if rdlen == 6 {
+            // NB record: flags + address.
+            fields.push(TrueField { offset: pos, len: 2, kind: FieldKind::Flags, name: "nb_flags" });
+            fields.push(TrueField { offset: pos + 2, len: 4, kind: FieldKind::Ipv4, name: "nb_addr" });
+        } else if rdlen > 0 {
+            fields.push(TrueField { offset: pos, len: rdlen, kind: FieldKind::Bytes, name: "rdata" });
+        }
+        pos += rdlen;
+    }
+    if pos != payload.len() {
+        return Err(err("end of message", pos));
+    }
+    Ok(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fields_tile_payload;
+
+    #[test]
+    fn all_messages_dissect_and_tile() {
+        let t = generate(200, 21);
+        for m in &t {
+            let fields = dissect(m.payload()).unwrap();
+            assert!(fields_tile_payload(&fields, m.payload().len()));
+        }
+    }
+
+    #[test]
+    fn encoded_names_are_32_chars() {
+        let enc = encode_netbios_name("FILESERVER", 0x20);
+        assert_eq!(enc.len(), 34);
+        assert_eq!(enc[0], 32);
+        assert_eq!(enc[33], 0);
+        assert!(enc[1..33].iter().all(|&b| (b'A'..=b'P').contains(&b)));
+    }
+
+    #[test]
+    fn registration_has_additional_record() {
+        let t = generate(8, 1);
+        // Message index 3 is a registration.
+        let reg = &t.messages()[3];
+        let arcount = u16::from_be_bytes([reg.payload()[10], reg.payload()[11]]);
+        assert_eq!(arcount, 1);
+        let fields = dissect(reg.payload()).unwrap();
+        assert!(fields.iter().any(|f| f.name == "nb_addr"));
+    }
+
+    #[test]
+    fn response_contains_owner_address() {
+        let t = generate(8, 2);
+        let resp = &t.messages()[1];
+        let fields = dissect(resp.payload()).unwrap();
+        let addr = fields.iter().find(|f| f.name == "nb_addr").unwrap();
+        assert_eq!(addr.len, 4);
+        assert_eq!(addr.kind, FieldKind::Ipv4);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(dissect(&[0u8; 3]).is_err());
+        let t = generate(2, 3);
+        let mut p = t.messages()[0].payload().to_vec();
+        p.truncate(p.len() - 2);
+        assert!(dissect(&p).is_err());
+    }
+}

@@ -1,0 +1,240 @@
+//! Network Time Protocol generator and dissector (RFC 958 lineage,
+//! 48-byte fixed structure, optional authenticator).
+
+use crate::gen::GenCtx;
+use crate::{DissectError, FieldKind, TrueField};
+use bytes::Bytes;
+use rand::Rng;
+use trace::{Direction, Endpoint, Message, Trace, Transport};
+
+const NTP_PORT: u16 = 123;
+const BASE_LEN: usize = 48;
+const AUTH_LEN: usize = 20; // key id (4) + MD5 digest (16)
+
+/// Generates an NTP trace of `n` messages: alternating client polls
+/// (mode 3) and server replies (mode 4), ~10 % carrying an authenticator.
+pub fn generate(n: usize, seed: u64) -> Trace {
+    let mut ctx = GenCtx::new(seed ^ 0x4E54_5000, 6);
+    let server_ip = [10, 0, 0, 1];
+    let mut messages = Vec::with_capacity(n);
+    let mut pending_client: Option<(usize, [u8; 8])> = None;
+
+    for i in 0..n {
+        let ts = ctx.tick();
+        let is_request = i % 2 == 0;
+        let host = if is_request { ctx.pick_host() } else { pending_client.map(|(h, _)| h).unwrap_or(0) };
+        let with_auth = ctx.rng().gen_bool(0.1);
+
+        let mut buf = Vec::with_capacity(BASE_LEN + AUTH_LEN);
+        if is_request {
+            buf.push(0b00_011_011); // LI=0 VN=3 Mode=3 (client)
+            buf.push(0); // stratum unspecified
+            buf.push(6); // poll
+            buf.push(0); // precision
+            buf.extend_from_slice(&[0, 0, 0, 0]); // root delay
+            buf.extend_from_slice(&[0, 0, 0, 0]); // root dispersion
+            buf.extend_from_slice(&[0, 0, 0, 0]); // reference id
+            buf.extend_from_slice(&[0u8; 8]); // reference ts
+            buf.extend_from_slice(&[0u8; 8]); // origin ts
+            buf.extend_from_slice(&[0u8; 8]); // receive ts
+            let xmt = ntp_timestamp(&mut ctx);
+            buf.extend_from_slice(&xmt);
+            pending_client = Some((host, xmt));
+        } else {
+            buf.push(0b00_011_100); // LI=0 VN=3 Mode=4 (server)
+            buf.push(ctx.rng().gen_range(1..4u8)); // stratum
+            buf.push(6); // poll
+            buf.push(0xEC); // precision (~2^-20)
+            let delay: u32 = ctx.rng().gen_range(0x0100..0x4000);
+            buf.extend_from_slice(&delay.to_be_bytes());
+            let disp: u32 = ctx.rng().gen_range(0x0100..0x2000);
+            buf.extend_from_slice(&disp.to_be_bytes());
+            let upstream = ctx_upstream(&mut ctx);
+            buf.extend_from_slice(&ctx.host_ip(upstream)); // reference id: upstream server
+            buf.extend_from_slice(&ntp_timestamp(&mut ctx)); // reference ts
+            let origin = pending_client.take().map(|(_, x)| x).unwrap_or([0u8; 8]);
+            buf.extend_from_slice(&origin); // origin ts echoes client transmit
+            buf.extend_from_slice(&ntp_timestamp(&mut ctx)); // receive ts
+            buf.extend_from_slice(&ntp_timestamp(&mut ctx)); // transmit ts
+        }
+        if with_auth {
+            let key_id: u32 = ctx.rng().gen_range(1..16);
+            buf.extend_from_slice(&key_id.to_be_bytes());
+            let mut digest = [0u8; 16];
+            ctx.fill_random(&mut digest);
+            buf.extend_from_slice(&digest);
+        }
+
+        let client = ctx.client_udp(host, true, NTP_PORT);
+        let server = Endpoint::udp(server_ip, NTP_PORT);
+        let (src, dst, dir) = if is_request {
+            (client, server, Direction::Request)
+        } else {
+            (server, client, Direction::Response)
+        };
+        messages.push(
+            Message::builder(Bytes::from(buf))
+                .timestamp_micros(ts)
+                .source(src)
+                .destination(dst)
+                .transport(Transport::Udp)
+                .direction(dir)
+                .build(),
+        );
+    }
+    Trace::new("ntp", messages)
+}
+
+fn ctx_upstream(ctx: &mut GenCtx) -> usize {
+    ctx.rng().gen_range(0..3)
+}
+
+/// An 8-byte NTP timestamp derived from the capture clock: advancing
+/// era seconds plus the clock-derived binary fraction. The high bytes
+/// stay nearly constant across a capture (cf. the paper's Fig. 3:
+/// `d2 3d 19 ..`) while the low fraction bytes look random. Each call
+/// advances the clock by a few dozen microseconds of "processing time"
+/// so the timestamps within one message are ordered, as real NTP stamps
+/// are.
+fn ntp_timestamp(ctx: &mut GenCtx) -> [u8; 8] {
+    let advance = ctx.rng().gen_range(20..300);
+    ctx.advance_micros(advance);
+    let secs = ctx.now_ntp_secs();
+    let micros = ctx.now_micros() % 1_000_000;
+    // 2^32 / 10^6 ≈ 4294.967296: microseconds to binary fraction.
+    let frac = (micros as f64 * 4294.967_296) as u32;
+    let mut out = [0u8; 8];
+    out[..4].copy_from_slice(&secs.to_be_bytes());
+    out[4..].copy_from_slice(&frac.to_be_bytes());
+    out
+}
+
+/// The ground-truth message type: derived from the mode nibble.
+///
+/// # Errors
+///
+/// Fails like [`dissect`] on malformed payloads.
+pub fn message_type(payload: &[u8]) -> Result<&'static str, DissectError> {
+    dissect(payload)?;
+    Ok(match payload[0] & 0x07 {
+        1 => "ntp symmetric-active",
+        2 => "ntp symmetric-passive",
+        3 => "ntp client",
+        4 => "ntp server",
+        _ => "ntp broadcast",
+    })
+}
+
+/// Dissects one NTP message into ground-truth fields.
+///
+/// # Errors
+///
+/// Fails when the payload is not 48 bytes (or 68 with authenticator) or
+/// the mode nibble is invalid.
+pub fn dissect(payload: &[u8]) -> Result<Vec<TrueField>, DissectError> {
+    let err = |context, offset| DissectError { protocol: "ntp", context, offset };
+    if payload.len() != BASE_LEN && payload.len() != BASE_LEN + AUTH_LEN {
+        return Err(err("48 or 68 byte datagram", payload.len()));
+    }
+    let mode = payload[0] & 0x07;
+    if !(1..=5).contains(&mode) {
+        return Err(err("mode 1-5", 0));
+    }
+    let mut fields = vec![
+        TrueField { offset: 0, len: 1, kind: FieldKind::Flags, name: "li_vn_mode" },
+        TrueField { offset: 1, len: 1, kind: FieldKind::UInt, name: "stratum" },
+        TrueField { offset: 2, len: 1, kind: FieldKind::UInt, name: "poll" },
+        TrueField { offset: 3, len: 1, kind: FieldKind::UInt, name: "precision" },
+        TrueField { offset: 4, len: 4, kind: FieldKind::UInt, name: "root_delay" },
+        TrueField { offset: 8, len: 4, kind: FieldKind::UInt, name: "root_dispersion" },
+        TrueField { offset: 12, len: 4, kind: FieldKind::Ipv4, name: "reference_id" },
+        TrueField { offset: 16, len: 8, kind: FieldKind::Timestamp, name: "reference_ts" },
+        TrueField { offset: 24, len: 8, kind: FieldKind::Timestamp, name: "origin_ts" },
+        TrueField { offset: 32, len: 8, kind: FieldKind::Timestamp, name: "receive_ts" },
+        TrueField { offset: 40, len: 8, kind: FieldKind::Timestamp, name: "transmit_ts" },
+    ];
+    if payload.len() == BASE_LEN + AUTH_LEN {
+        fields.push(TrueField { offset: 48, len: 4, kind: FieldKind::UInt, name: "key_id" });
+        fields.push(TrueField { offset: 52, len: 16, kind: FieldKind::Bytes, name: "digest" });
+    }
+    Ok(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fields_tile_payload;
+
+    #[test]
+    fn generates_requested_count() {
+        let t = generate(50, 1);
+        assert_eq!(t.len(), 50);
+        assert_eq!(t.name(), "ntp");
+    }
+
+    #[test]
+    fn all_messages_dissect_and_tile() {
+        let t = generate(200, 2);
+        for m in &t {
+            let fields = dissect(m.payload()).unwrap();
+            assert!(fields_tile_payload(&fields, m.payload().len()));
+        }
+    }
+
+    #[test]
+    fn timestamps_share_high_bytes() {
+        let t = generate(100, 3);
+        // Server transmit timestamps all start with the same era byte.
+        let firsts: std::collections::HashSet<u8> = t
+            .iter()
+            .filter(|m| m.payload()[0] & 0x07 == 4)
+            .map(|m| m.payload()[40])
+            .collect();
+        assert_eq!(firsts.len(), 1, "era byte must be constant within a capture");
+    }
+
+    #[test]
+    fn responses_echo_origin_timestamp() {
+        let t = generate(10, 4);
+        let msgs = t.messages();
+        for pair in msgs.chunks(2) {
+            if pair.len() == 2 {
+                let req_xmt = &pair[0].payload()[40..48];
+                let resp_origin = &pair[1].payload()[24..32];
+                assert_eq!(req_xmt, resp_origin);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_length_and_mode() {
+        assert!(dissect(&[0u8; 47]).is_err());
+        let mut buf = [0u8; 48];
+        buf[0] = 0x00; // mode 0 invalid
+        assert!(dissect(&buf).is_err());
+        buf[0] = 0x1B;
+        assert!(dissect(&buf).is_ok());
+    }
+
+    #[test]
+    fn ports_and_directions_are_set() {
+        let t = generate(4, 5);
+        let m0 = &t.messages()[0];
+        assert_eq!(m0.destination().port, Some(NTP_PORT));
+        assert_eq!(m0.direction(), Direction::Request);
+        let m1 = &t.messages()[1];
+        assert_eq!(m1.source().port, Some(NTP_PORT));
+        assert_eq!(m1.direction(), Direction::Response);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(20, 9);
+        let b = generate(20, 9);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.payload(), y.payload());
+        }
+        let c = generate(20, 10);
+        assert!(a.iter().zip(c.iter()).any(|(x, y)| x.payload() != y.payload()));
+    }
+}

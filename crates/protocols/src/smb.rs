@@ -1,0 +1,591 @@
+//! SMB1 generator and dissector (over the NetBIOS session service, TCP
+//! 445): Negotiate, Session Setup AndX and Tree Connect AndX exchanges.
+//!
+//! SMB is the paper's hard case: its header carries an 8-byte random
+//! security signature that heuristic segmenters shred, and its Negotiate
+//! response mixes a little-endian FILETIME timestamp with that signature —
+//! the cluster confusion discussed in §IV-B. All multi-byte quantities are
+//! little-endian per the SMB specification.
+
+use crate::gen::GenCtx;
+use crate::{DissectError, FieldKind, TrueField};
+use bytes::Bytes;
+use rand::Rng;
+use trace::{Direction, Endpoint, Message, Trace, Transport};
+
+const SMB_PORT: u16 = 445;
+const CMD_NEGOTIATE: u8 = 0x72;
+const CMD_SESSION_SETUP: u8 = 0x73;
+const CMD_TREE_CONNECT: u8 = 0x75;
+const CMD_READ_ANDX: u8 = 0x2E;
+const FLAG_REPLY: u8 = 0x80;
+
+const DIALECTS: [&str; 3] = ["PC NETWORK PROGRAM 1.0", "LANMAN1.0", "NT LM 0.12"];
+const SHARES: [&str; 4] = ["DOCS", "SCANS", "BUILDS", "PUBLIC"];
+
+/// Generates an SMB1 trace: eight-message conversations (Negotiate,
+/// Session Setup AndX, Tree Connect AndX, Read AndX — request and
+/// response each). Read responses carry a few hundred bytes of file
+/// content, as real file-sharing traffic does.
+pub fn generate(n: usize, seed: u64) -> Trace {
+    let mut ctx = GenCtx::new(seed ^ 0x534D_4200, 8);
+    let server_ip = [10, 0, 0, 4];
+    let mut messages = Vec::with_capacity(n);
+    let mut host = 0usize;
+    let mut pid: u16 = 0;
+    let mut mid: u16 = 0;
+    let mut uid: u16 = 0;
+    let mut tid: u16 = 0;
+
+    let mut read_fid: u16 = 0;
+    let mut read_offset: u32 = 0;
+    for i in 0..n {
+        let ts = ctx.tick();
+        let phase = i % 8;
+        if phase == 0 {
+            host = ctx.pick_host();
+            pid = ctx.rng().gen_range(0x0400..0xF000);
+            mid = ctx.rng().gen_range(1..64);
+            uid = 0;
+            tid = 0;
+        }
+        let is_reply = phase % 2 == 1;
+        if phase == 3 {
+            uid = ctx.rng().gen_range(0x0800..0xF000); // granted by session setup reply
+        }
+        if phase == 5 {
+            tid = ctx.rng().gen_range(1..0x4000); // granted by tree connect reply
+        }
+        if phase == 6 {
+            read_fid = ctx.rng().gen_range(0x1000..0xF000);
+            read_offset = ctx.rng().gen_range(0..0x0010_0000u32) & !0x1FF;
+        }
+        let command = [CMD_NEGOTIATE, CMD_SESSION_SETUP, CMD_TREE_CONNECT, CMD_READ_ANDX][phase / 2];
+
+        // SMB body, assembled before the NBSS header so we know the length.
+        let mut smb = Vec::with_capacity(160);
+        smb.extend_from_slice(b"\xffSMB");
+        smb.push(command);
+        smb.extend_from_slice(&0u32.to_le_bytes()); // status: success
+        smb.push(if is_reply { FLAG_REPLY | 0x08 } else { 0x08 }); // flags
+        smb.extend_from_slice(&0xC803u16.to_le_bytes()); // flags2 (LE), signatures enabled
+        smb.extend_from_slice(&0u16.to_le_bytes()); // pid_high
+        let mut signature = [0u8; 8];
+        ctx.fill_random(&mut signature);
+        smb.extend_from_slice(&signature);
+        smb.extend_from_slice(&[0, 0]); // reserved
+        smb.extend_from_slice(&tid.to_le_bytes());
+        smb.extend_from_slice(&pid.to_le_bytes());
+        smb.extend_from_slice(&uid.to_le_bytes());
+        smb.extend_from_slice(&mid.to_le_bytes());
+
+        match (command, is_reply) {
+            (CMD_NEGOTIATE, false) => {
+                smb.push(0); // word count
+                let mut data = Vec::new();
+                for d in DIALECTS {
+                    data.push(0x02);
+                    data.extend_from_slice(d.as_bytes());
+                    data.push(0);
+                }
+                smb.extend_from_slice(&(data.len() as u16).to_le_bytes());
+                smb.extend_from_slice(&data);
+            }
+            (CMD_NEGOTIATE, true) => {
+                smb.push(17);
+                smb.extend_from_slice(&2u16.to_le_bytes()); // dialect index: NT LM 0.12
+                smb.push(0x03); // security mode
+                smb.extend_from_slice(&50u16.to_le_bytes()); // max mpx
+                smb.extend_from_slice(&1u16.to_le_bytes()); // max vcs
+                smb.extend_from_slice(&16644u32.to_le_bytes()); // max buffer
+                smb.extend_from_slice(&65536u32.to_le_bytes()); // max raw
+                let session_key: u32 = ctx.rng().gen();
+                smb.extend_from_slice(&session_key.to_le_bytes());
+                smb.extend_from_slice(&0x8000_E3FDu32.to_le_bytes()); // capabilities
+                let filetime = unix_to_filetime(ctx.now_unix_secs(), ctx.rng().gen_range(0..10_000_000));
+                smb.extend_from_slice(&filetime.to_le_bytes()); // system time
+                smb.extend_from_slice(&(-60i16 as u16).to_le_bytes()); // tz offset
+                smb.push(0); // key length
+                let mut guid = [0u8; 16];
+                ctx.fill_random(&mut guid);
+                smb.extend_from_slice(&(guid.len() as u16).to_le_bytes());
+                smb.extend_from_slice(&guid);
+            }
+            (CMD_SESSION_SETUP, false) => {
+                smb.push(13);
+                smb.push(0xFF); // andx: none
+                smb.push(0);
+                smb.extend_from_slice(&0u16.to_le_bytes()); // andx offset
+                smb.extend_from_slice(&16644u16.to_le_bytes()); // max buffer
+                smb.extend_from_slice(&50u16.to_le_bytes()); // max mpx
+                smb.extend_from_slice(&1u16.to_le_bytes()); // vc number
+                let session_key: u32 = ctx.rng().gen();
+                smb.extend_from_slice(&session_key.to_le_bytes());
+                smb.extend_from_slice(&24u16.to_le_bytes()); // ansi pwd len
+                smb.extend_from_slice(&0u16.to_le_bytes()); // unicode pwd len
+                smb.extend_from_slice(&0u32.to_le_bytes()); // reserved
+                smb.extend_from_slice(&0x0000_00D4u32.to_le_bytes()); // capabilities
+                let mut data = Vec::new();
+                let mut pwd = [0u8; 24];
+                ctx.fill_random(&mut pwd);
+                data.extend_from_slice(&pwd);
+                for s in [
+                    format!("user{:02}", host),
+                    "WORKGROUP".to_string(),
+                    "Unix".to_string(),
+                    "Samba".to_string(),
+                ] {
+                    data.extend_from_slice(s.as_bytes());
+                    data.push(0);
+                }
+                smb.extend_from_slice(&(data.len() as u16).to_le_bytes());
+                smb.extend_from_slice(&data);
+            }
+            (CMD_SESSION_SETUP, true) => {
+                smb.push(3);
+                smb.push(0xFF);
+                smb.push(0);
+                smb.extend_from_slice(&0u16.to_le_bytes());
+                smb.extend_from_slice(&1u16.to_le_bytes()); // action: guest
+                let mut data = Vec::new();
+                for s in ["Unix", "Samba 3.6.3", "WORKGROUP"] {
+                    data.extend_from_slice(s.as_bytes());
+                    data.push(0);
+                }
+                smb.extend_from_slice(&(data.len() as u16).to_le_bytes());
+                smb.extend_from_slice(&data);
+            }
+            (CMD_TREE_CONNECT, false) => {
+                smb.push(4);
+                smb.push(0xFF);
+                smb.push(0);
+                smb.extend_from_slice(&0u16.to_le_bytes());
+                smb.extend_from_slice(&0x0008u16.to_le_bytes()); // flags
+                smb.extend_from_slice(&1u16.to_le_bytes()); // password length
+                let mut data = Vec::new();
+                data.push(0); // empty password
+                let share = SHARES[ctx.rng().gen_range(0..SHARES.len())];
+                data.extend_from_slice(format!("\\\\FILESERVER\\{share}").as_bytes());
+                data.push(0);
+                data.extend_from_slice(b"?????");
+                data.push(0);
+                smb.extend_from_slice(&(data.len() as u16).to_le_bytes());
+                smb.extend_from_slice(&data);
+            }
+            (CMD_TREE_CONNECT, true) => {
+                smb.push(3);
+                smb.push(0xFF);
+                smb.push(0);
+                smb.extend_from_slice(&0u16.to_le_bytes());
+                smb.extend_from_slice(&0x0001u16.to_le_bytes()); // optional support
+                let mut data = Vec::new();
+                data.extend_from_slice(b"A:");
+                data.push(0);
+                data.extend_from_slice(b"NTFS");
+                data.push(0);
+                smb.extend_from_slice(&(data.len() as u16).to_le_bytes());
+                smb.extend_from_slice(&data);
+            }
+            (CMD_READ_ANDX, false) => {
+                smb.push(10);
+                smb.push(0xFF);
+                smb.push(0);
+                smb.extend_from_slice(&0u16.to_le_bytes()); // andx offset
+                smb.extend_from_slice(&read_fid.to_le_bytes());
+                smb.extend_from_slice(&read_offset.to_le_bytes());
+                smb.extend_from_slice(&512u16.to_le_bytes()); // max count
+                smb.extend_from_slice(&512u16.to_le_bytes()); // min count
+                smb.extend_from_slice(&0u32.to_le_bytes()); // timeout
+                smb.extend_from_slice(&0u16.to_le_bytes()); // remaining
+                smb.extend_from_slice(&0u16.to_le_bytes()); // byte count
+            }
+            (CMD_READ_ANDX, true) => {
+                let content = file_content(&mut ctx);
+                smb.push(12);
+                smb.push(0xFF);
+                smb.push(0);
+                smb.extend_from_slice(&0u16.to_le_bytes()); // andx offset
+                smb.extend_from_slice(&0u16.to_le_bytes()); // available
+                smb.extend_from_slice(&0u16.to_le_bytes()); // data compaction
+                smb.extend_from_slice(&0u16.to_le_bytes()); // reserved
+                smb.extend_from_slice(&(content.len() as u16).to_le_bytes()); // data length
+                smb.extend_from_slice(&64u16.to_le_bytes()); // data offset
+                smb.extend_from_slice(&[0u8; 10]); // reserved2
+                smb.extend_from_slice(&((content.len() + 1) as u16).to_le_bytes()); // byte count
+                smb.push(0); // padding before data
+                smb.extend_from_slice(&content);
+            }
+            _ => unreachable!("phase covers exactly the four commands"),
+        }
+
+        let mut buf = Vec::with_capacity(smb.len() + 4);
+        buf.push(0); // NBSS session message
+        let len = smb.len() as u32;
+        buf.extend_from_slice(&len.to_be_bytes()[1..4]); // 24-bit length
+        buf.extend_from_slice(&smb);
+
+        let client = Endpoint::udp(ctx.host_ip(host), 40000 + ctx.client_port(host) % 20000);
+        let server = Endpoint::udp(server_ip, SMB_PORT);
+        let (src, dst, dir) = if is_reply {
+            (server, client, Direction::Response)
+        } else {
+            (client, server, Direction::Request)
+        };
+        messages.push(
+            Message::builder(Bytes::from(buf))
+                .timestamp_micros(ts)
+                .source(src)
+                .destination(dst)
+                .transport(Transport::Tcp)
+                .direction(dir)
+                .build(),
+        );
+    }
+    Trace::new("smb", messages)
+}
+
+/// A few hundred bytes of plausible file content for Read AndX
+/// responses: server log lines, as a file share would serve.
+fn file_content(ctx: &mut GenCtx) -> Vec<u8> {
+    let mut out = Vec::with_capacity(512);
+    let n_lines = ctx.rng().gen_range(5..12);
+    for _ in 0..n_lines {
+        let host = ctx.pick_host();
+        let line = format!(
+            "2011-10-0{} {:02}:{:02}:{:02} {} GET /builds/nightly-{}.tar.gz {}\n",
+            ctx.rng().gen_range(1..8u8),
+            ctx.rng().gen_range(0..24u8),
+            ctx.rng().gen_range(0..60u8),
+            ctx.rng().gen_range(0..60u8),
+            ctx.hostname(host).to_string(),
+            ctx.rng().gen_range(1000..9999u16),
+            [200u16, 200, 200, 304, 404][ctx.rng().gen_range(0..5usize)],
+        );
+        out.extend_from_slice(line.as_bytes());
+    }
+    out
+}
+
+/// Converts Unix seconds (+ a 100ns remainder) to a Windows FILETIME.
+fn unix_to_filetime(unix_secs: u32, remainder_100ns: u32) -> u64 {
+    (u64::from(unix_secs) + 11_644_473_600) * 10_000_000 + u64::from(remainder_100ns)
+}
+
+struct FieldSink {
+    fields: Vec<TrueField>,
+    pos: usize,
+}
+
+impl FieldSink {
+    fn push(&mut self, len: usize, kind: FieldKind, name: &'static str) {
+        self.fields.push(TrueField { offset: self.pos, len, kind, name });
+        self.pos += len;
+    }
+}
+
+/// The ground-truth message type: command plus request/reply direction.
+///
+/// # Errors
+///
+/// Fails like [`dissect`] on malformed payloads.
+pub fn message_type(payload: &[u8]) -> Result<&'static str, DissectError> {
+    dissect(payload)?;
+    let command = payload[8];
+    let is_reply = payload[13] & FLAG_REPLY != 0;
+    Ok(match (command, is_reply) {
+        (CMD_NEGOTIATE, false) => "smb negotiate request",
+        (CMD_NEGOTIATE, true) => "smb negotiate response",
+        (CMD_SESSION_SETUP, false) => "smb session setup request",
+        (CMD_SESSION_SETUP, true) => "smb session setup response",
+        (CMD_TREE_CONNECT, false) => "smb tree connect request",
+        (CMD_TREE_CONNECT, true) => "smb tree connect response",
+        (CMD_READ_ANDX, false) => "smb read request",
+        (CMD_READ_ANDX, true) => "smb read response",
+        _ => "smb other",
+    })
+}
+
+/// Dissects an SMB1-over-NBSS message into ground-truth fields.
+///
+/// # Errors
+///
+/// Fails on truncated or non-SMB payloads and on unknown command layouts.
+pub fn dissect(payload: &[u8]) -> Result<Vec<TrueField>, DissectError> {
+    let err = |context, offset| DissectError { protocol: "smb", context, offset };
+    if payload.len() < 4 + 33 {
+        return Err(err("NBSS + SMB header", payload.len()));
+    }
+    let nbss_len = usize::from(payload[1]) << 16 | usize::from(payload[2]) << 8 | usize::from(payload[3]);
+    if 4 + nbss_len != payload.len() {
+        return Err(err("NBSS length", 1));
+    }
+    if &payload[4..8] != b"\xffSMB" {
+        return Err(err("SMB magic", 4));
+    }
+    let command = payload[8];
+    let is_reply = payload[13] & FLAG_REPLY != 0;
+
+    let mut sink = FieldSink { fields: Vec::with_capacity(40), pos: 0 };
+    sink.push(1, FieldKind::Enum, "nbss_type");
+    sink.push(3, FieldKind::UInt, "nbss_length");
+    sink.push(4, FieldKind::Enum, "smb_magic");
+    sink.push(1, FieldKind::Enum, "command");
+    sink.push(4, FieldKind::Enum, "status");
+    sink.push(1, FieldKind::Flags, "flags");
+    sink.push(2, FieldKind::Flags, "flags2");
+    sink.push(2, FieldKind::UInt, "pid_high");
+    sink.push(8, FieldKind::Bytes, "signature");
+    sink.push(2, FieldKind::Padding, "reserved");
+    sink.push(2, FieldKind::Id, "tid");
+    sink.push(2, FieldKind::Id, "pid");
+    sink.push(2, FieldKind::Id, "uid");
+    sink.push(2, FieldKind::Id, "mid");
+
+    let wc = usize::from(*payload.get(sink.pos).ok_or_else(|| err("word count", sink.pos))?);
+    sink.push(1, FieldKind::UInt, "word_count");
+    let words_end = sink.pos + 2 * wc;
+    if words_end + 2 > payload.len() {
+        return Err(err("parameter words", sink.pos));
+    }
+
+    match (command, is_reply, wc) {
+        (CMD_NEGOTIATE, false, 0) => {}
+        (CMD_NEGOTIATE, true, 17) => {
+            sink.push(2, FieldKind::UInt, "dialect_index");
+            sink.push(1, FieldKind::Flags, "security_mode");
+            sink.push(2, FieldKind::UInt, "max_mpx");
+            sink.push(2, FieldKind::UInt, "max_vcs");
+            sink.push(4, FieldKind::UInt, "max_buffer");
+            sink.push(4, FieldKind::UInt, "max_raw");
+            sink.push(4, FieldKind::Id, "session_key");
+            sink.push(4, FieldKind::Flags, "capabilities");
+            sink.push(8, FieldKind::Timestamp, "system_time");
+            sink.push(2, FieldKind::UInt, "server_tz");
+            sink.push(1, FieldKind::UInt, "key_length");
+        }
+        (CMD_SESSION_SETUP, false, 13) => {
+            sink.push(1, FieldKind::Enum, "andx_command");
+            sink.push(1, FieldKind::Padding, "andx_reserved");
+            sink.push(2, FieldKind::UInt, "andx_offset");
+            sink.push(2, FieldKind::UInt, "max_buffer");
+            sink.push(2, FieldKind::UInt, "max_mpx");
+            sink.push(2, FieldKind::UInt, "vc_number");
+            sink.push(4, FieldKind::Id, "session_key");
+            sink.push(2, FieldKind::UInt, "ansi_pwd_len");
+            sink.push(2, FieldKind::UInt, "unicode_pwd_len");
+            sink.push(4, FieldKind::Padding, "reserved2");
+            sink.push(4, FieldKind::Flags, "capabilities");
+        }
+        (CMD_SESSION_SETUP, true, 3) => {
+            sink.push(1, FieldKind::Enum, "andx_command");
+            sink.push(1, FieldKind::Padding, "andx_reserved");
+            sink.push(2, FieldKind::UInt, "andx_offset");
+            sink.push(2, FieldKind::Flags, "action");
+        }
+        (CMD_TREE_CONNECT, false, 4) => {
+            sink.push(1, FieldKind::Enum, "andx_command");
+            sink.push(1, FieldKind::Padding, "andx_reserved");
+            sink.push(2, FieldKind::UInt, "andx_offset");
+            sink.push(2, FieldKind::Flags, "tc_flags");
+            sink.push(2, FieldKind::UInt, "password_length");
+        }
+        (CMD_TREE_CONNECT, true, 3) => {
+            sink.push(1, FieldKind::Enum, "andx_command");
+            sink.push(1, FieldKind::Padding, "andx_reserved");
+            sink.push(2, FieldKind::UInt, "andx_offset");
+            sink.push(2, FieldKind::Flags, "optional_support");
+        }
+        (CMD_READ_ANDX, false, 10) => {
+            sink.push(1, FieldKind::Enum, "andx_command");
+            sink.push(1, FieldKind::Padding, "andx_reserved");
+            sink.push(2, FieldKind::UInt, "andx_offset");
+            sink.push(2, FieldKind::Id, "fid");
+            sink.push(4, FieldKind::UInt, "read_offset");
+            sink.push(2, FieldKind::UInt, "max_count");
+            sink.push(2, FieldKind::UInt, "min_count");
+            sink.push(4, FieldKind::UInt, "timeout");
+            sink.push(2, FieldKind::UInt, "remaining");
+        }
+        (CMD_READ_ANDX, true, 12) => {
+            sink.push(1, FieldKind::Enum, "andx_command");
+            sink.push(1, FieldKind::Padding, "andx_reserved");
+            sink.push(2, FieldKind::UInt, "andx_offset");
+            sink.push(2, FieldKind::UInt, "available");
+            sink.push(2, FieldKind::UInt, "data_compaction");
+            sink.push(2, FieldKind::Padding, "reserved1");
+            sink.push(2, FieldKind::UInt, "data_length");
+            sink.push(2, FieldKind::UInt, "data_offset");
+            sink.push(10, FieldKind::Padding, "reserved2");
+        }
+        _ => return Err(err("known command/word-count layout", 8)),
+    }
+    debug_assert_eq!(sink.pos, words_end, "command layout must consume all words");
+
+    let bc = usize::from(u16::from_le_bytes([payload[sink.pos], payload[sink.pos + 1]]));
+    sink.push(2, FieldKind::UInt, "byte_count");
+    let data_end = sink.pos + bc;
+    if data_end != payload.len() {
+        return Err(err("byte count consistent with payload", sink.pos - 2));
+    }
+
+    match (command, is_reply) {
+        (CMD_NEGOTIATE, false) => {
+            while sink.pos < data_end {
+                if payload[sink.pos] != 0x02 {
+                    return Err(err("dialect buffer format 0x02", sink.pos));
+                }
+                sink.push(1, FieldKind::Enum, "buffer_format");
+                let s = nul_string_len(payload, sink.pos, data_end).ok_or_else(|| err("dialect string", sink.pos))?;
+                sink.push(s, FieldKind::Chars, "dialect");
+            }
+        }
+        (CMD_NEGOTIATE, true) => {
+            if bc > 0 {
+                sink.push(bc, FieldKind::Bytes, "server_guid");
+            }
+        }
+        (CMD_SESSION_SETUP, false) => {
+            // ANSI password hash, then four NUL-terminated strings.
+            let pwd_len = 24.min(data_end - sink.pos);
+            sink.push(pwd_len, FieldKind::Bytes, "ansi_password");
+            for name in ["account", "domain", "native_os", "native_lanman"] {
+                if sink.pos >= data_end {
+                    break;
+                }
+                let s = nul_string_len(payload, sink.pos, data_end).ok_or_else(|| err("setup string", sink.pos))?;
+                sink.push(s, FieldKind::Chars, name);
+            }
+        }
+        (CMD_SESSION_SETUP, true) => {
+            for name in ["native_os", "native_lanman", "domain"] {
+                if sink.pos >= data_end {
+                    break;
+                }
+                let s = nul_string_len(payload, sink.pos, data_end).ok_or_else(|| err("setup string", sink.pos))?;
+                sink.push(s, FieldKind::Chars, name);
+            }
+        }
+        (CMD_TREE_CONNECT, false) => {
+            sink.push(1, FieldKind::Bytes, "password");
+            for name in ["path", "service"] {
+                if sink.pos >= data_end {
+                    break;
+                }
+                let s = nul_string_len(payload, sink.pos, data_end).ok_or_else(|| err("tree string", sink.pos))?;
+                sink.push(s, FieldKind::Chars, name);
+            }
+        }
+        (CMD_TREE_CONNECT, true) => {
+            for name in ["service", "native_fs"] {
+                if sink.pos >= data_end {
+                    break;
+                }
+                let s = nul_string_len(payload, sink.pos, data_end).ok_or_else(|| err("tree string", sink.pos))?;
+                sink.push(s, FieldKind::Chars, name);
+            }
+        }
+        (CMD_READ_ANDX, false) => {}
+        (CMD_READ_ANDX, true) => {
+            if bc > 0 {
+                sink.push(1, FieldKind::Padding, "pad");
+                if bc > 1 {
+                    sink.push(bc - 1, FieldKind::Chars, "file_data");
+                }
+            }
+        }
+        _ => unreachable!("rejected above"),
+    }
+    if sink.pos != payload.len() {
+        return Err(err("data block fully consumed", sink.pos));
+    }
+    Ok(sink.fields)
+}
+
+/// Length (including terminator) of a NUL-terminated string starting at
+/// `at` and ending no later than `end`.
+fn nul_string_len(payload: &[u8], at: usize, end: usize) -> Option<usize> {
+    payload[at..end].iter().position(|&b| b == 0).map(|i| i + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fields_tile_payload;
+
+    #[test]
+    fn all_messages_dissect_and_tile() {
+        let t = generate(120, 41);
+        for (i, m) in t.iter().enumerate() {
+            let fields = dissect(m.payload()).unwrap_or_else(|e| panic!("msg {i}: {e}"));
+            assert!(fields_tile_payload(&fields, m.payload().len()), "msg {i}");
+        }
+    }
+
+    #[test]
+    fn signature_is_random_per_message() {
+        let t = generate(20, 1);
+        let sigs: std::collections::HashSet<Vec<u8>> =
+            t.iter().map(|m| m.payload()[18..26].to_vec()).collect();
+        assert_eq!(sigs.len(), 20);
+    }
+
+    #[test]
+    fn negotiate_response_has_timestamp() {
+        let t = generate(2, 2);
+        let resp = &t.messages()[1];
+        let fields = dissect(resp.payload()).unwrap();
+        let ts = fields.iter().find(|f| f.kind == FieldKind::Timestamp).unwrap();
+        assert_eq!(ts.len, 8);
+        assert_eq!(ts.name, "system_time");
+    }
+
+    #[test]
+    fn filetime_is_plausible() {
+        // 2011-10-02 in FILETIME ticks is about 1.29e17.
+        let ft = unix_to_filetime(1_317_513_600, 0);
+        assert!(ft > 1.29e17 as u64 && ft < 1.31e17 as u64);
+    }
+
+    #[test]
+    fn conversation_ids_are_consistent() {
+        let t = generate(8, 3);
+        let msgs = t.messages();
+        let pid = &msgs[0].payload()[30..32];
+        for m in msgs {
+            assert_eq!(&m.payload()[30..32], pid);
+        }
+        // uid granted after session setup reply appears in later messages.
+        let uid_later = &msgs[4].payload()[32..34];
+        assert_ne!(uid_later, &[0, 0]);
+    }
+
+    #[test]
+    fn rejects_corrupt_messages() {
+        let t = generate(1, 4);
+        let good = t.messages()[0].payload().to_vec();
+        assert!(dissect(&good).is_ok());
+
+        let mut bad_magic = good.clone();
+        bad_magic[4] = 0x00;
+        assert!(dissect(&bad_magic).is_err());
+
+        let mut bad_nbss = good.clone();
+        bad_nbss[3] = bad_nbss[3].wrapping_add(1);
+        assert!(dissect(&bad_nbss).is_err());
+
+        let mut truncated = good;
+        truncated.truncate(30);
+        assert!(dissect(&truncated).is_err());
+    }
+
+    #[test]
+    fn tree_connect_path_is_chars() {
+        let t = generate(5, 5);
+        let req = &t.messages()[4];
+        let fields = dissect(req.payload()).unwrap();
+        let path = fields.iter().find(|f| f.name == "path").unwrap();
+        assert_eq!(path.kind, FieldKind::Chars);
+        let bytes = &req.payload()[path.range()];
+        assert!(bytes.starts_with(b"\\\\FILESERVER\\"));
+    }
+}

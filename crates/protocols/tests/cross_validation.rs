@@ -1,0 +1,98 @@
+//! Generator × dissector cross-validation over all protocols.
+//!
+//! These tests play the role the Wireshark dissectors play in the paper:
+//! every generated message must dissect, the fields must tile the payload
+//! exactly, and mutations must be detected.
+
+use proptest::prelude::*;
+use protocols::{fields_tile_payload, Protocol, ProtocolSpec};
+
+#[test]
+fn every_protocol_every_message_tiles() {
+    for p in Protocol::ALL {
+        let t = p.generate(150, 99);
+        assert_eq!(t.len(), 150);
+        for (i, m) in t.iter().enumerate() {
+            let fields = p
+                .dissect(m.payload())
+                .unwrap_or_else(|e| panic!("{p} msg {i}: {e}"));
+            assert!(
+                fields_tile_payload(&fields, m.payload().len()),
+                "{p} msg {i}: fields do not tile"
+            );
+            // Fields are non-empty for non-empty payloads.
+            assert!(!fields.is_empty());
+        }
+    }
+}
+
+#[test]
+fn dissectors_reject_other_protocols() {
+    // Each dissector must not accept messages of most other protocols —
+    // they validate structure, not just length. (DNS/NBNS share RFC 1035
+    // framing, so that pair legitimately cross-parses.)
+    let traces: Vec<_> = Protocol::ALL.iter().map(|p| (*p, p.generate(5, 7))).collect();
+    let compatible = |a: Protocol, b: Protocol| {
+        matches!(
+            (a, b),
+            (Protocol::Dns, Protocol::Nbns) | (Protocol::Nbns, Protocol::Dns)
+        )
+    };
+    for (pa, ta) in &traces {
+        for (pb, _) in &traces {
+            if pa == pb || compatible(*pa, *pb) {
+                continue;
+            }
+            let rejected = ta
+                .iter()
+                .filter(|m| pb.dissect(m.payload()).is_err())
+                .count();
+            assert!(
+                rejected * 2 >= ta.len(),
+                "{pb} accepted too many {pa} messages"
+            );
+        }
+    }
+}
+
+#[test]
+fn flow_metadata_is_plausible() {
+    for p in Protocol::ALL {
+        let t = p.generate(60, 3);
+        let mut last_ts = 0;
+        for m in &t {
+            assert!(m.timestamp_micros() > last_ts, "{p}: time must advance");
+            last_ts = m.timestamp_micros();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn generation_is_deterministic(seed in any::<u64>()) {
+        for p in [Protocol::Ntp, Protocol::Dns, Protocol::Au] {
+            let a = p.generate(20, seed);
+            let b = p.generate(20, seed);
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn truncating_payload_fails_dissection(
+        seed in any::<u64>(),
+        cut in 1usize..8,
+    ) {
+        // Removing trailing bytes must not yield a silently-valid parse
+        // for protocols with self-describing lengths. (DHCP is excluded:
+        // shortening its trailing zero padding is still a valid message.)
+        for p in [Protocol::Smb, Protocol::Au] {
+            let t = p.generate(3, seed);
+            let payload = t.messages()[0].payload();
+            prop_assume!(payload.len() > cut);
+            let truncated = &payload[..payload.len() - cut];
+            prop_assert!(p.dissect(truncated).is_err(), "{} accepted truncation", p);
+        }
+    }
+}

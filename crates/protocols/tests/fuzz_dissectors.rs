@@ -1,0 +1,69 @@
+//! Robustness fuzzing: dissectors and trace parsers must never panic on
+//! arbitrary bytes — they return structured errors instead. For inputs
+//! they do accept, the output invariants must hold.
+
+use proptest::prelude::*;
+use protocols::{fields_tile_payload, Protocol, ProtocolSpec};
+use trace::{pcap, pcapng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn dissectors_never_panic_on_random_bytes(
+        payload in prop::collection::vec(any::<u8>(), 0..600),
+    ) {
+        for p in Protocol::ALL {
+            if let Ok(fields) = p.dissect(&payload) {
+                prop_assert!(
+                    fields_tile_payload(&fields, payload.len()),
+                    "{p} accepted bytes but fields do not tile"
+                );
+            }
+            // message_type must agree with dissect about validity.
+            let _ = p.message_type(&payload);
+        }
+    }
+
+    #[test]
+    fn dissectors_never_panic_on_mutated_real_messages(
+        seed in any::<u64>(),
+        flips in prop::collection::vec((0usize..4096, any::<u8>()), 1..8),
+    ) {
+        for p in Protocol::ALL {
+            let t = p.generate(3, seed);
+            let mut payload = t.messages()[0].payload().to_vec();
+            for &(pos, val) in &flips {
+                let idx = pos % payload.len().max(1);
+                if idx < payload.len() {
+                    payload[idx] ^= val;
+                }
+            }
+            if let Ok(fields) = p.dissect(&payload) {
+                prop_assert!(fields_tile_payload(&fields, payload.len()));
+            }
+        }
+    }
+
+    #[test]
+    fn pcap_reader_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..400)) {
+        let _ = pcap::read_from_slice(&bytes, "fuzz");
+    }
+
+    #[test]
+    fn pcapng_reader_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..400)) {
+        let _ = pcapng::read_from_slice(&bytes, "fuzz");
+        let _ = pcapng::read_any(&bytes, "fuzz");
+    }
+
+    #[test]
+    fn truncating_valid_pcap_never_panics(seed in any::<u64>(), cut in 1usize..64) {
+        let t = Protocol::Ntp.generate(3, seed);
+        let img = pcap::write_to_vec(&t).unwrap();
+        let end = img.len().saturating_sub(cut);
+        let _ = pcap::read_from_slice(&img[..end], "fuzz");
+        let ng = pcapng::write_to_vec(&t).unwrap();
+        let end = ng.len().saturating_sub(cut);
+        let _ = pcapng::read_from_slice(&ng[..end], "fuzz");
+    }
+}

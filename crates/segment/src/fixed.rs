@@ -1,0 +1,95 @@
+//! Fixed-width chunking: the trivial baseline segmenter.
+//!
+//! N-gram-based approaches (FieldHunter's candidates, many early PRE
+//! tools) implicitly segment messages into fixed-width chunks. This
+//! segmenter makes that baseline explicit so it can be compared against
+//! the content-aware heuristics — and gives users a fallback when no
+//! heuristic fits their protocol.
+
+use crate::{MessageSegments, SegmentError, Segmenter, TraceSegmentation};
+use trace::Trace;
+
+/// Splits every message into fixed-width chunks (the final chunk keeps
+/// the remainder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedChunks {
+    /// Chunk width in bytes (≥ 1).
+    pub width: usize,
+}
+
+impl Default for FixedChunks {
+    fn default() -> Self {
+        Self { width: 4 }
+    }
+}
+
+impl Segmenter for FixedChunks {
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+
+    fn segment_trace(&self, trace: &Trace) -> Result<TraceSegmentation, SegmentError> {
+        let width = self.width.max(1);
+        let messages = trace
+            .iter()
+            .map(|m| {
+                let len = m.payload().len();
+                let cuts: Vec<usize> = (1..len.div_ceil(width)).map(|i| i * width).collect();
+                MessageSegments::from_cuts(len, &cuts)
+            })
+            .collect();
+        Ok(TraceSegmentation { messages })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use trace::Message;
+
+    fn mk_trace(payloads: &[&[u8]]) -> Trace {
+        Trace::new(
+            "t",
+            payloads
+                .iter()
+                .map(|p| Message::builder(Bytes::copy_from_slice(p)).build())
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn even_division() {
+        let t = mk_trace(&[b"abcdefgh"]);
+        let seg = FixedChunks { width: 4 }.segment_trace(&t).unwrap();
+        assert_eq!(seg.messages[0].ranges(), &[0..4, 4..8]);
+    }
+
+    #[test]
+    fn remainder_kept_in_last_chunk() {
+        let t = mk_trace(&[b"abcdefghij"]);
+        let seg = FixedChunks { width: 4 }.segment_trace(&t).unwrap();
+        assert_eq!(seg.messages[0].ranges(), &[0..4, 4..8, 8..10]);
+    }
+
+    #[test]
+    fn width_larger_than_message() {
+        let t = mk_trace(&[b"ab"]);
+        let seg = FixedChunks { width: 16 }.segment_trace(&t).unwrap();
+        assert_eq!(seg.messages[0].ranges(), &[0..2]);
+    }
+
+    #[test]
+    fn zero_width_is_clamped() {
+        let t = mk_trace(&[b"abc"]);
+        let seg = FixedChunks { width: 0 }.segment_trace(&t).unwrap();
+        assert_eq!(seg.messages[0].len(), 3);
+    }
+
+    #[test]
+    fn empty_messages() {
+        let t = mk_trace(&[b""]);
+        let seg = FixedChunks::default().segment_trace(&t).unwrap();
+        assert!(seg.messages[0].is_empty());
+    }
+}

@@ -1,0 +1,288 @@
+//! NEMESYS: Network Message Syntax analysis (Kleber et al., WOOT 2018).
+//!
+//! NEMESYS approximates field boundaries from the *intrinsic structure*
+//! of each message, one message at a time: the bit congruence of
+//! consecutive bytes measures how similar neighboring bytes are; its
+//! delta changes sharply where a field of one kind ends and another
+//! begins. Boundaries are placed at the maximum rise of the smoothed
+//! delta following each of its local minima, then refined by merging
+//! consecutive printable-character segments.
+
+use crate::{MessageSegments, SegmentError, Segmenter, TraceSegmentation};
+use mathkit::smooth::{delta, gaussian_filter, local_minima};
+use trace::Trace;
+
+/// The NEMESYS segmenter.
+///
+/// `sigma` is the Gaussian smoothing radius for the bit-congruence delta
+/// (the WOOT paper uses 0.6); `merge_chars` enables the printable-
+/// character merge refinement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Nemesys {
+    /// Gaussian smoothing σ for the ΔBC signal.
+    pub sigma: f64,
+    /// Merge runs of consecutive printable-character segments.
+    pub merge_chars: bool,
+    /// Isolate runs of at least this many zero bytes as their own
+    /// segments (0 disables). Zero fill delimits fields in most binary
+    /// protocols; the WOOT paper's refinements separate null sequences
+    /// the same way.
+    pub zero_run_min: usize,
+}
+
+impl Default for Nemesys {
+    fn default() -> Self {
+        Self { sigma: 0.6, merge_chars: true, zero_run_min: 2 }
+    }
+}
+
+impl Segmenter for Nemesys {
+    fn name(&self) -> &'static str {
+        "nemesys"
+    }
+
+    fn segment_trace(&self, trace: &Trace) -> Result<TraceSegmentation, SegmentError> {
+        // NEMESYS is linear in the trace size; it never exceeds a budget.
+        let messages = trace
+            .iter()
+            .map(|m| self.segment_message(m.payload()))
+            .collect();
+        Ok(TraceSegmentation { messages })
+    }
+}
+
+impl Nemesys {
+    /// Segments a single message payload.
+    pub fn segment_message(&self, payload: &[u8]) -> MessageSegments {
+        let n = payload.len();
+        if n < 3 {
+            return MessageSegments::from_cuts(n, &[]);
+        }
+        // Bit congruence of consecutive byte pairs: bc[i] for (i, i+1).
+        let bc: Vec<f64> = payload
+            .windows(2)
+            .map(|w| f64::from(8 - (w[0] ^ w[1]).count_ones()) / 8.0)
+            .collect();
+        // Delta of the bit congruence: dbc[i] = bc[i+1] - bc[i],
+        // describing the *change* in byte similarity around byte i+1.
+        let dbc = delta(&bc);
+        if dbc.is_empty() {
+            return MessageSegments::from_cuts(n, &[]);
+        }
+        let smoothed = gaussian_filter(&dbc, self.sigma);
+
+        // A field boundary is expected where the smoothed delta rises the
+        // most after a local minimum: the minimum marks the interior of a
+        // homogeneous field, the steepest rise marks the transition.
+        let mut cuts = Vec::new();
+        for min_idx in local_minima(&smoothed) {
+            // Walk right until the smoothed delta stops rising.
+            let mut steepest = min_idx;
+            let mut best_rise = 0.0;
+            let mut t = min_idx;
+            while t + 1 < smoothed.len() && smoothed[t + 1] >= smoothed[t] {
+                let rise = smoothed[t + 1] - smoothed[t];
+                if rise > best_rise {
+                    best_rise = rise;
+                    steepest = t + 1;
+                }
+                t += 1;
+            }
+            if best_rise > 0.0 {
+                // dbc index t describes the transition at byte t+1; the
+                // cut goes before that byte.
+                let cut = steepest + 1;
+                if cut > 0 && cut < n {
+                    cuts.push(cut);
+                }
+            }
+        }
+        cuts.sort_unstable();
+        cuts.dedup();
+
+        if self.zero_run_min > 0 {
+            apply_zero_run_cuts(payload, &mut cuts, self.zero_run_min);
+        }
+        let mut segments = MessageSegments::from_cuts(n, &cuts);
+        if self.merge_chars {
+            segments = merge_char_segments(payload, &segments);
+        }
+        segments
+    }
+}
+
+/// Replaces the cuts inside every maximal zero run of at least `min_run`
+/// bytes with cuts at the run's boundaries, so zero fill forms clean
+/// segments instead of fragments glued to neighboring values.
+fn apply_zero_run_cuts(payload: &[u8], cuts: &mut Vec<usize>, min_run: usize) {
+    let n = payload.len();
+    let mut runs: Vec<(usize, usize)> = Vec::new();
+    let mut start = None;
+    for (i, &b) in payload.iter().enumerate() {
+        match (b == 0, start) {
+            (true, None) => start = Some(i),
+            (false, Some(s)) => {
+                if i - s >= min_run {
+                    runs.push((s, i));
+                }
+                start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = start {
+        if n - s >= min_run {
+            runs.push((s, n));
+        }
+    }
+    if runs.is_empty() {
+        return;
+    }
+    cuts.retain(|&c| !runs.iter().any(|&(s, e)| c > s && c < e));
+    for (s, e) in runs {
+        if s > 0 {
+            cuts.push(s);
+        }
+        if e < n {
+            cuts.push(e);
+        }
+    }
+    cuts.sort_unstable();
+    cuts.dedup();
+}
+
+/// Merges runs of consecutive segments that consist entirely of printable
+/// characters (the WOOT paper's char-sequence refinement): heuristically
+/// split text such as hostnames or paths is re-joined into one segment.
+fn merge_char_segments(payload: &[u8], segments: &MessageSegments) -> MessageSegments {
+    let is_char_segment = |r: &std::ops::Range<usize>| -> bool {
+        r.len() >= 2 && payload[r.clone()].iter().all(|&b| is_printable(b))
+    };
+    let mut merged: Vec<std::ops::Range<usize>> = Vec::with_capacity(segments.len());
+    for r in segments.ranges() {
+        if let Some(last) = merged.last_mut() {
+            if is_char_segment(last) && is_char_segment(r) {
+                *last = last.start..r.end;
+                continue;
+            }
+        }
+        merged.push(r.clone());
+    }
+    MessageSegments::from_ranges(payload.len(), merged)
+}
+
+fn is_printable(b: u8) -> bool {
+    (0x20..0x7F).contains(&b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use trace::Message;
+
+    fn segments_of(payload: &[u8]) -> MessageSegments {
+        Nemesys::default().segment_message(payload)
+    }
+
+    #[test]
+    fn tiles_any_payload() {
+        for payload in [
+            &b""[..],
+            &b"\x01"[..],
+            &b"\x01\x02"[..],
+            &b"\x00\x00\x00\x00\xff\xff\xff\xff"[..],
+            &b"The quick brown fox\x00\x12\x34\x56\x78"[..],
+        ] {
+            let s = segments_of(payload);
+            let total: usize = s.ranges().iter().map(|r| r.len()).sum();
+            assert_eq!(total, payload.len());
+        }
+    }
+
+    #[test]
+    fn splits_structure_change() {
+        // Eight zero bytes followed by eight high-entropy bytes: the
+        // boundary should fall near offset 8.
+        let payload = b"\x00\x00\x00\x00\x00\x00\x00\x00\xa7\x3c\x91\x5e\x2b\xd8\x44\xf0";
+        let s = segments_of(payload);
+        assert!(s.len() >= 2, "expected a split, got {:?}", s.ranges());
+        assert!(
+            s.cuts().iter().any(|&c| (6..=10).contains(&c)),
+            "no cut near the structure change: {:?}",
+            s.cuts()
+        );
+    }
+
+    #[test]
+    fn merges_printable_runs() {
+        // A long ASCII hostname must come out as one segment even if the
+        // bit-congruence heuristic would split it.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&[0x00, 0x00, 0x00, 0x00]);
+        payload.extend_from_slice(b"workstation-fileserver-printer");
+        payload.extend_from_slice(&[0xD2, 0x3D, 0x19, 0x03]);
+        let s = segments_of(&payload);
+        let char_segments: Vec<_> = s
+            .ranges()
+            .iter()
+            .filter(|r| payload[(*r).clone()].iter().all(|&b| super::is_printable(b)) && r.len() >= 2)
+            .collect();
+        assert_eq!(char_segments.len(), 1, "got {:?}", s.ranges());
+        assert!(char_segments[0].len() >= 25, "got {:?}", char_segments);
+    }
+
+    #[test]
+    fn without_merge_chars_keeps_raw_cuts() {
+        let payload = b"\x00\x00\x00\x00hostname-hostname\x00\x00";
+        let raw = Nemesys { merge_chars: false, ..Nemesys::default() };
+        let merged = Nemesys::default();
+        assert!(raw.segment_message(payload).len() >= merged.segment_message(payload).len());
+    }
+
+    #[test]
+    fn segment_trace_covers_all_messages() {
+        let msgs = vec![
+            Message::builder(Bytes::from_static(b"\x01\x02\x03\x04\x05\x06")).build(),
+            Message::builder(Bytes::from_static(b"")).build(),
+            Message::builder(Bytes::from_static(b"abcdef\x00\x01\x02")).build(),
+        ];
+        let t = Trace::new("t", msgs);
+        let seg = Nemesys::default().segment_trace(&t).unwrap();
+        assert_eq!(seg.messages.len(), 3);
+        assert!(seg.messages[1].is_empty());
+    }
+
+    #[test]
+    fn zero_runs_become_clean_segments() {
+        // value | zero fill | value: the zero run must come out as one
+        // segment with exact boundaries.
+        let mut payload = vec![0x41, 0x87, 0x93];
+        payload.extend_from_slice(&[0u8; 12]);
+        payload.extend_from_slice(&[0xD2, 0x3D, 0x19, 0x55]);
+        let s = segments_of(&payload);
+        assert!(
+            s.ranges().contains(&(3..15)),
+            "zero run not isolated: {:?}",
+            s.ranges()
+        );
+    }
+
+    #[test]
+    fn zero_run_refinement_can_be_disabled() {
+        let payload = [0x41, 0x87, 0x93, 0, 0, 0, 0, 0, 0, 0xD2, 0x3D];
+        let off = Nemesys { zero_run_min: 0, ..Nemesys::default() };
+        // With the refinement off the zero run may be glued to neighbors;
+        // the tiling invariant still holds.
+        let s = off.segment_message(&payload);
+        let total: usize = s.ranges().iter().map(|r| r.len()).sum();
+        assert_eq!(total, payload.len());
+    }
+
+    #[test]
+    fn constant_payload_stays_whole() {
+        let payload = [0xAAu8; 32];
+        let s = segments_of(&payload);
+        assert_eq!(s.len(), 1, "constant bytes have no structure change");
+    }
+}

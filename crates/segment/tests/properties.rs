@@ -1,0 +1,90 @@
+//! Property-based invariants for all three segmenters: whatever bytes
+//! come in, every segmenter must emit a valid tiling, deterministically.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use segment::csp::Csp;
+use segment::nemesys::Nemesys;
+use segment::netzob::Netzob;
+use segment::{Segmenter, TraceSegmentation, WorkBudget};
+use trace::{Message, Trace};
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    prop::collection::vec(prop::collection::vec(any::<u8>(), 0..80), 1..12).prop_map(|payloads| {
+        Trace::new(
+            "prop",
+            payloads
+                .into_iter()
+                .map(|p| Message::builder(Bytes::from(p)).build())
+                .collect(),
+        )
+    })
+}
+
+fn assert_tiling(seg: &TraceSegmentation, trace: &Trace) -> Result<(), TestCaseError> {
+    prop_assert_eq!(seg.messages.len(), trace.len());
+    for (s, m) in seg.messages.iter().zip(trace.iter()) {
+        let mut cursor = 0usize;
+        for r in s.ranges() {
+            prop_assert_eq!(r.start, cursor);
+            prop_assert!(r.end > r.start);
+            cursor = r.end;
+        }
+        prop_assert_eq!(cursor, m.payload().len());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn nemesys_always_tiles(trace in arb_trace()) {
+        let seg = Nemesys::default().segment_trace(&trace).unwrap();
+        assert_tiling(&seg, &trace)?;
+    }
+
+    #[test]
+    fn nemesys_variants_always_tile(
+        trace in arb_trace(),
+        sigma in 0.1f64..2.5,
+        merge_chars in any::<bool>(),
+        zero_run_min in 0usize..5,
+    ) {
+        let seg = Nemesys { sigma, merge_chars, zero_run_min }
+            .segment_trace(&trace)
+            .unwrap();
+        assert_tiling(&seg, &trace)?;
+    }
+
+    #[test]
+    fn csp_always_tiles(trace in arb_trace(), min_support in 0.1f64..0.9) {
+        let csp = Csp { min_support, budget: WorkBudget::unlimited(), ..Csp::default() };
+        let seg = csp.segment_trace(&trace).unwrap();
+        assert_tiling(&seg, &trace)?;
+    }
+
+    #[test]
+    fn netzob_always_tiles(trace in arb_trace(), threshold in 0.2f64..0.9) {
+        let netzob = Netzob { similarity_threshold: threshold, ..Netzob::default() };
+        let seg = netzob.segment_trace(&trace).unwrap();
+        assert_tiling(&seg, &trace)?;
+    }
+
+    #[test]
+    fn segmenters_are_pure_functions(trace in arb_trace()) {
+        prop_assert_eq!(
+            Nemesys::default().segment_trace(&trace).unwrap(),
+            Nemesys::default().segment_trace(&trace).unwrap()
+        );
+        let csp = Csp { budget: WorkBudget::unlimited(), ..Csp::default() };
+        prop_assert_eq!(
+            csp.segment_trace(&trace).unwrap(),
+            csp.segment_trace(&trace).unwrap()
+        );
+        prop_assert_eq!(
+            Netzob::default().segment_trace(&trace).unwrap(),
+            Netzob::default().segment_trace(&trace).unwrap()
+        );
+    }
+}

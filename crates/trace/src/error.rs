@@ -1,0 +1,56 @@
+//! Error type for trace handling.
+
+/// Errors produced while reading, writing or decapsulating traces.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The pcap file magic was not recognized.
+    BadMagic(u32),
+    /// A pcap record or frame was shorter than its header demands.
+    Truncated {
+        /// What was being parsed when the data ran out.
+        context: &'static str,
+    },
+    /// A frame used an encapsulation this reader does not understand.
+    UnsupportedEncapsulation {
+        /// The offending EtherType or protocol number.
+        code: u16,
+    },
+    /// A length field inside a header was inconsistent with the data.
+    InvalidHeader {
+        /// What was being parsed.
+        context: &'static str,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "i/o error: {e}"),
+            TraceError::BadMagic(m) => write!(f, "unrecognized pcap magic 0x{m:08x}"),
+            TraceError::Truncated { context } => write!(f, "truncated data while parsing {context}"),
+            TraceError::UnsupportedEncapsulation { code } => {
+                write!(f, "unsupported encapsulation 0x{code:04x}")
+            }
+            TraceError::InvalidHeader { context } => {
+                write!(f, "inconsistent length field in {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}

@@ -1,0 +1,163 @@
+#![warn(missing_docs)]
+//! Network trace substrate for protocol reverse engineering.
+//!
+//! This crate provides everything the field data type clustering pipeline
+//! (Kleber et al., DSN-W 2022) needs to get from a packet capture to a
+//! clean list of protocol payloads:
+//!
+//! * [`Message`] / [`Trace`] — the in-memory model: one payload per
+//!   message plus the flow metadata (timestamps, endpoints) that
+//!   context-dependent baselines like FieldHunter require,
+//! * [`pcap`] — a self-contained reader/writer for the classic libpcap
+//!   file format with Ethernet II, IPv4, UDP and TCP
+//!   encapsulation/decapsulation,
+//! * [`preprocess`] — the paper's §III-A preprocessing: protocol
+//!   filtering, payload de-duplication and trace truncation.
+//!
+//! # Examples
+//!
+//! Round-tripping a trace through a pcap file:
+//!
+//! ```
+//! use trace::{Message, Trace, Endpoint};
+//! use bytes::Bytes;
+//!
+//! let msg = Message::builder(Bytes::from_static(b"\x01\x02\x03\x04"))
+//!     .timestamp_micros(1_000_000)
+//!     .source(Endpoint::udp([10, 0, 0, 1], 123))
+//!     .destination(Endpoint::udp([10, 0, 0, 2], 123))
+//!     .build();
+//! let trace = Trace::new("demo", vec![msg]);
+//!
+//! let bytes = trace::pcap::write_to_vec(&trace)?;
+//! let back = trace::pcap::read_from_slice(&bytes, "demo")?;
+//! assert_eq!(back.len(), 1);
+//! assert_eq!(back.messages()[0].payload(), &trace.messages()[0].payload()[..]);
+//! # Ok::<(), trace::TraceError>(())
+//! ```
+
+pub mod message;
+pub mod net;
+pub mod pcap;
+pub mod pcapng;
+pub mod preprocess;
+pub mod reassembly;
+pub mod stats;
+
+mod error;
+
+pub use error::TraceError;
+pub use message::{Addr, Direction, Endpoint, Message, MessageBuilder, Transport};
+pub use preprocess::Preprocessor;
+
+use serde::{Deserialize, Serialize};
+
+/// An ordered collection of messages of (presumably) one protocol.
+///
+/// A `Trace` is what every stage of the pipeline consumes: the segmenters
+/// iterate its payloads, FieldHunter additionally uses its flow metadata,
+/// and the evaluation counts its bytes for coverage.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    name: String,
+    messages: Vec<Message>,
+}
+
+impl Trace {
+    /// Creates a trace from a name and messages.
+    pub fn new(name: impl Into<String>, messages: Vec<Message>) -> Self {
+        Self { name: name.into(), messages }
+    }
+
+    /// The trace name (typically the protocol, e.g. `"ntp"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The messages in capture order.
+    pub fn messages(&self) -> &[Message] {
+        &self.messages
+    }
+
+    /// Number of messages.
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Whether the trace holds no messages.
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+
+    /// Total number of payload bytes across all messages; the denominator
+    /// of the paper's coverage metric.
+    pub fn total_payload_bytes(&self) -> usize {
+        self.messages.iter().map(|m| m.payload().len()).sum()
+    }
+
+    /// Iterates over the messages.
+    pub fn iter(&self) -> std::slice::Iter<'_, Message> {
+        self.messages.iter()
+    }
+
+    /// Consumes the trace, returning its messages.
+    pub fn into_messages(self) -> Vec<Message> {
+        self.messages
+    }
+}
+
+impl IntoIterator for Trace {
+    type Item = Message;
+    type IntoIter = std::vec::IntoIter<Message>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.messages.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Message;
+    type IntoIter = std::slice::Iter<'a, Message>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.messages.iter()
+    }
+}
+
+impl Extend<Message> for Trace {
+    fn extend<T: IntoIterator<Item = Message>>(&mut self, iter: T) {
+        self.messages.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn msg(payload: &'static [u8]) -> Message {
+        Message::builder(Bytes::from_static(payload)).build()
+    }
+
+    #[test]
+    fn total_bytes_sums_payloads() {
+        let t = Trace::new("t", vec![msg(b"abc"), msg(b"defgh")]);
+        assert_eq!(t.total_payload_bytes(), 8);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::new("e", vec![]);
+        assert!(t.is_empty());
+        assert_eq!(t.total_payload_bytes(), 0);
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut t = Trace::new("t", vec![msg(b"a")]);
+        t.extend(vec![msg(b"b")]);
+        assert_eq!(t.len(), 2);
+    }
+}

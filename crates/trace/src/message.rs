@@ -1,0 +1,266 @@
+//! The message model: payload bytes plus flow metadata.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// A network address: IPv4 for encapsulated protocols, MAC for link-layer
+/// protocols such as AWDL that carry no IP header (paper §IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Addr {
+    /// An IPv4 address.
+    Ipv4([u8; 4]),
+    /// A 48-bit MAC address.
+    Mac([u8; 6]),
+}
+
+impl std::fmt::Display for Addr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Addr::Ipv4(o) => write!(f, "{}.{}.{}.{}", o[0], o[1], o[2], o[3]),
+            Addr::Mac(o) => write!(
+                f,
+                "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+                o[0], o[1], o[2], o[3], o[4], o[5]
+            ),
+        }
+    }
+}
+
+/// One end of a flow: an address and, for UDP/TCP, a port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Endpoint {
+    /// Network address.
+    pub addr: Addr,
+    /// Transport port; `None` for link-layer protocols.
+    pub port: Option<u16>,
+}
+
+impl Endpoint {
+    /// An IPv4/UDP-or-TCP endpoint.
+    pub fn udp(ip: [u8; 4], port: u16) -> Self {
+        Self { addr: Addr::Ipv4(ip), port: Some(port) }
+    }
+
+    /// A link-layer endpoint identified by MAC address only.
+    pub fn mac(mac: [u8; 6]) -> Self {
+        Self { addr: Addr::Mac(mac), port: None }
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.port {
+            Some(p) => write!(f, "{}:{}", self.addr, p),
+            None => write!(f, "{}", self.addr),
+        }
+    }
+}
+
+/// Transport encapsulation of a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Transport {
+    /// UDP datagram payload.
+    #[default]
+    Udp,
+    /// TCP segment payload (reassembly is out of scope; each segment's
+    /// application bytes are one message, as in the paper's SMB trace).
+    Tcp,
+    /// Raw link-layer payload (AWDL action frames, AU).
+    Link,
+}
+
+/// Message direction relative to the service, when known. FieldHunter's
+/// message-type and transaction-id heuristics correlate requests with
+/// responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Direction {
+    /// Client-to-server.
+    #[default]
+    Request,
+    /// Server-to-client.
+    Response,
+    /// Direction unknown (e.g. peer-to-peer link-layer traffic).
+    Unknown,
+}
+
+/// A single captured message: payload plus flow metadata.
+///
+/// Construct with [`Message::builder`]. Payloads are reference-counted
+/// [`Bytes`] so that segments can later borrow slices without copying.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Message {
+    #[serde(with = "bytes_serde")]
+    payload: Bytes,
+    timestamp_micros: u64,
+    source: Endpoint,
+    destination: Endpoint,
+    transport: Transport,
+    direction: Direction,
+}
+
+impl Message {
+    /// Starts building a message around a payload.
+    pub fn builder(payload: Bytes) -> MessageBuilder {
+        MessageBuilder {
+            payload,
+            timestamp_micros: 0,
+            source: Endpoint::udp([0, 0, 0, 0], 0),
+            destination: Endpoint::udp([0, 0, 0, 0], 0),
+            transport: Transport::Udp,
+            direction: Direction::Unknown,
+        }
+    }
+
+    /// The application-layer payload.
+    pub fn payload(&self) -> &Bytes {
+        &self.payload
+    }
+
+    /// Capture timestamp in microseconds since the epoch.
+    pub fn timestamp_micros(&self) -> u64 {
+        self.timestamp_micros
+    }
+
+    /// Sending endpoint.
+    pub fn source(&self) -> Endpoint {
+        self.source
+    }
+
+    /// Receiving endpoint.
+    pub fn destination(&self) -> Endpoint {
+        self.destination
+    }
+
+    /// Transport encapsulation.
+    pub fn transport(&self) -> Transport {
+        self.transport
+    }
+
+    /// Direction relative to the service, if known.
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// The unordered flow key (the pair of endpoints, normalized so that
+    /// both directions of a conversation map to the same key).
+    pub fn flow_key(&self) -> (Endpoint, Endpoint) {
+        if self.source <= self.destination {
+            (self.source, self.destination)
+        } else {
+            (self.destination, self.source)
+        }
+    }
+}
+
+/// Builder for [`Message`]; see [`Message::builder`].
+#[derive(Debug, Clone)]
+pub struct MessageBuilder {
+    payload: Bytes,
+    timestamp_micros: u64,
+    source: Endpoint,
+    destination: Endpoint,
+    transport: Transport,
+    direction: Direction,
+}
+
+impl MessageBuilder {
+    /// Sets the capture timestamp in microseconds.
+    pub fn timestamp_micros(mut self, ts: u64) -> Self {
+        self.timestamp_micros = ts;
+        self
+    }
+
+    /// Sets the sending endpoint.
+    pub fn source(mut self, ep: Endpoint) -> Self {
+        self.source = ep;
+        self
+    }
+
+    /// Sets the receiving endpoint.
+    pub fn destination(mut self, ep: Endpoint) -> Self {
+        self.destination = ep;
+        self
+    }
+
+    /// Sets the transport encapsulation.
+    pub fn transport(mut self, t: Transport) -> Self {
+        self.transport = t;
+        self
+    }
+
+    /// Sets the direction.
+    pub fn direction(mut self, d: Direction) -> Self {
+        self.direction = d;
+        self
+    }
+
+    /// Finalizes the message.
+    pub fn build(self) -> Message {
+        Message {
+            payload: self.payload,
+            timestamp_micros: self.timestamp_micros,
+            source: self.source,
+            destination: self.destination,
+            transport: self.transport,
+            direction: self.direction,
+        }
+    }
+}
+
+mod bytes_serde {
+    use bytes::Bytes;
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(b: &Bytes, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_bytes(b)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Bytes, D::Error> {
+        let v = Vec::<u8>::deserialize(d)?;
+        Ok(Bytes::from(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_all_fields() {
+        let m = Message::builder(Bytes::from_static(b"xyz"))
+            .timestamp_micros(7)
+            .source(Endpoint::udp([1, 2, 3, 4], 53))
+            .destination(Endpoint::udp([5, 6, 7, 8], 1234))
+            .transport(Transport::Tcp)
+            .direction(Direction::Response)
+            .build();
+        assert_eq!(&m.payload()[..], b"xyz");
+        assert_eq!(m.timestamp_micros(), 7);
+        assert_eq!(m.source().port, Some(53));
+        assert_eq!(m.transport(), Transport::Tcp);
+        assert_eq!(m.direction(), Direction::Response);
+    }
+
+    #[test]
+    fn flow_key_is_direction_independent() {
+        let a = Endpoint::udp([1, 1, 1, 1], 100);
+        let b = Endpoint::udp([2, 2, 2, 2], 200);
+        let m1 = Message::builder(Bytes::new()).source(a).destination(b).build();
+        let m2 = Message::builder(Bytes::new()).source(b).destination(a).build();
+        assert_eq!(m1.flow_key(), m2.flow_key());
+    }
+
+    #[test]
+    fn addr_display() {
+        assert_eq!(Addr::Ipv4([192, 168, 0, 1]).to_string(), "192.168.0.1");
+        assert_eq!(
+            Addr::Mac([0xaa, 0xbb, 0xcc, 0, 1, 2]).to_string(),
+            "aa:bb:cc:00:01:02"
+        );
+        assert_eq!(Endpoint::udp([1, 2, 3, 4], 80).to_string(), "1.2.3.4:80");
+        assert_eq!(
+            Endpoint::mac([0, 0, 0, 0, 0, 1]).to_string(),
+            "00:00:00:00:00:01"
+        );
+    }
+}

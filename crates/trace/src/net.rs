@@ -1,0 +1,320 @@
+//! Ethernet II / IPv4 / UDP / TCP frame encoding and decoding.
+//!
+//! The pcap writer wraps each [`Message`] payload in a
+//! minimal but well-formed frame; the reader reverses the process. This is
+//! not a TCP/IP stack: TCP segments are written with fixed sequence
+//! numbers and no reassembly is performed — each segment's application
+//! bytes become one message, matching how the paper's SMB trace treats
+//! messages. Link-layer protocols (AWDL, AU) are framed with a private
+//! EtherType so they survive the round-trip without an IP header.
+
+use crate::message::{Addr, Endpoint, Message, Transport};
+use crate::TraceError;
+
+/// EtherType for IPv4.
+pub const ETHERTYPE_IPV4: u16 = 0x0800;
+/// Private EtherType used to frame link-layer (AWDL/AU) payloads.
+pub const ETHERTYPE_LINK: u16 = 0x88B5;
+
+const ETH_HEADER_LEN: usize = 14;
+const IPV4_HEADER_LEN: usize = 20;
+const UDP_HEADER_LEN: usize = 8;
+const TCP_HEADER_LEN: usize = 20;
+
+/// A decoded frame: endpoints, transport and the payload byte range within
+/// the frame buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodedFrame {
+    /// Sender.
+    pub source: Endpoint,
+    /// Receiver.
+    pub destination: Endpoint,
+    /// Transport encapsulation that was found.
+    pub transport: Transport,
+    /// Byte offset of the application payload within the frame.
+    pub payload_offset: usize,
+    /// Length of the application payload.
+    pub payload_len: usize,
+}
+
+fn mac_for(addr: Addr) -> [u8; 6] {
+    match addr {
+        Addr::Mac(m) => m,
+        // Locally administered MAC derived from the IPv4 address.
+        Addr::Ipv4(ip) => [0x02, 0x00, ip[0], ip[1], ip[2], ip[3]],
+    }
+}
+
+fn ipv4_of(ep: Endpoint) -> [u8; 4] {
+    match ep.addr {
+        Addr::Ipv4(ip) => ip,
+        // Should not happen for UDP/TCP messages; degrade gracefully.
+        Addr::Mac(m) => [m[2], m[3], m[4], m[5]],
+    }
+}
+
+/// Encodes a message into a complete Ethernet frame.
+pub fn encode_frame(msg: &Message) -> Vec<u8> {
+    let payload = msg.payload();
+    let mut frame = Vec::with_capacity(ETH_HEADER_LEN + IPV4_HEADER_LEN + TCP_HEADER_LEN + payload.len());
+    frame.extend_from_slice(&mac_for(msg.destination().addr));
+    frame.extend_from_slice(&mac_for(msg.source().addr));
+
+    match msg.transport() {
+        Transport::Link => {
+            frame.extend_from_slice(&ETHERTYPE_LINK.to_be_bytes());
+            frame.extend_from_slice(payload);
+        }
+        Transport::Udp => {
+            frame.extend_from_slice(&ETHERTYPE_IPV4.to_be_bytes());
+            let udp_len = UDP_HEADER_LEN + payload.len();
+            push_ipv4(&mut frame, msg, 17, udp_len);
+            frame.extend_from_slice(&msg.source().port.unwrap_or(0).to_be_bytes());
+            frame.extend_from_slice(&msg.destination().port.unwrap_or(0).to_be_bytes());
+            frame.extend_from_slice(&(udp_len as u16).to_be_bytes());
+            frame.extend_from_slice(&[0, 0]); // checksum 0 = unused (IPv4)
+            frame.extend_from_slice(payload);
+        }
+        Transport::Tcp => {
+            frame.extend_from_slice(&ETHERTYPE_IPV4.to_be_bytes());
+            push_ipv4(&mut frame, msg, 6, TCP_HEADER_LEN + payload.len());
+            frame.extend_from_slice(&msg.source().port.unwrap_or(0).to_be_bytes());
+            frame.extend_from_slice(&msg.destination().port.unwrap_or(0).to_be_bytes());
+            frame.extend_from_slice(&[0, 0, 0, 0]); // seq
+            frame.extend_from_slice(&[0, 0, 0, 0]); // ack
+            frame.push(0x50); // data offset 5 words
+            frame.push(0x18); // PSH|ACK
+            frame.extend_from_slice(&0xFFFFu16.to_be_bytes()); // window
+            frame.extend_from_slice(&[0, 0]); // checksum (not computed)
+            frame.extend_from_slice(&[0, 0]); // urgent pointer
+            frame.extend_from_slice(payload);
+        }
+    }
+    frame
+}
+
+fn push_ipv4(frame: &mut Vec<u8>, msg: &Message, proto: u8, l4_len: usize) {
+    let total_len = (IPV4_HEADER_LEN + l4_len) as u16;
+    let header_start = frame.len();
+    frame.push(0x45); // version 4, IHL 5
+    frame.push(0); // DSCP/ECN
+    frame.extend_from_slice(&total_len.to_be_bytes());
+    frame.extend_from_slice(&[0, 0]); // identification
+    frame.extend_from_slice(&[0x40, 0]); // DF, no fragment offset
+    frame.push(64); // TTL
+    frame.push(proto);
+    frame.extend_from_slice(&[0, 0]); // checksum placeholder
+    frame.extend_from_slice(&ipv4_of(msg.source()));
+    frame.extend_from_slice(&ipv4_of(msg.destination()));
+    let csum = ipv4_checksum(&frame[header_start..header_start + IPV4_HEADER_LEN]);
+    frame[header_start + 10..header_start + 12].copy_from_slice(&csum.to_be_bytes());
+}
+
+/// RFC 1071 Internet checksum over an IPv4 header.
+pub fn ipv4_checksum(header: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    for chunk in header.chunks(2) {
+        let word = if chunk.len() == 2 {
+            u16::from_be_bytes([chunk[0], chunk[1]])
+        } else {
+            u16::from_be_bytes([chunk[0], 0])
+        };
+        sum += u32::from(word);
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// Decodes an Ethernet frame produced by [`encode_frame`] (or any
+/// Ethernet II / IPv4 / UDP-or-TCP frame).
+///
+/// # Errors
+///
+/// Returns [`TraceError::Truncated`] when the frame is shorter than its
+/// headers claim, [`TraceError::UnsupportedEncapsulation`] for EtherTypes
+/// or IP protocols other than the supported set, and
+/// [`TraceError::InvalidHeader`] for inconsistent length fields or a bad
+/// IPv4 header checksum.
+pub fn decode_frame(frame: &[u8]) -> Result<DecodedFrame, TraceError> {
+    if frame.len() < ETH_HEADER_LEN {
+        return Err(TraceError::Truncated { context: "ethernet header" });
+    }
+    let dst_mac: [u8; 6] = frame[0..6].try_into().expect("slice length 6");
+    let src_mac: [u8; 6] = frame[6..12].try_into().expect("slice length 6");
+    let ethertype = u16::from_be_bytes([frame[12], frame[13]]);
+
+    match ethertype {
+        ETHERTYPE_LINK => Ok(DecodedFrame {
+            source: Endpoint::mac(src_mac),
+            destination: Endpoint::mac(dst_mac),
+            transport: Transport::Link,
+            payload_offset: ETH_HEADER_LEN,
+            payload_len: frame.len() - ETH_HEADER_LEN,
+        }),
+        ETHERTYPE_IPV4 => {
+            let ip = &frame[ETH_HEADER_LEN..];
+            if ip.len() < IPV4_HEADER_LEN {
+                return Err(TraceError::Truncated { context: "ipv4 header" });
+            }
+            if ip[0] >> 4 != 4 {
+                return Err(TraceError::InvalidHeader { context: "ipv4 version" });
+            }
+            let ihl = usize::from(ip[0] & 0x0F) * 4;
+            if ihl < IPV4_HEADER_LEN || ip.len() < ihl {
+                return Err(TraceError::InvalidHeader { context: "ipv4 IHL" });
+            }
+            if ipv4_checksum(&ip[..ihl]) != 0 {
+                return Err(TraceError::InvalidHeader { context: "ipv4 checksum" });
+            }
+            let total_len = usize::from(u16::from_be_bytes([ip[2], ip[3]]));
+            if total_len < ihl || ip.len() < total_len {
+                return Err(TraceError::Truncated { context: "ipv4 total length" });
+            }
+            let proto = ip[9];
+            let src_ip: [u8; 4] = ip[12..16].try_into().expect("slice length 4");
+            let dst_ip: [u8; 4] = ip[16..20].try_into().expect("slice length 4");
+            let l4 = &ip[ihl..total_len];
+            match proto {
+                17 => {
+                    if l4.len() < UDP_HEADER_LEN {
+                        return Err(TraceError::Truncated { context: "udp header" });
+                    }
+                    let sport = u16::from_be_bytes([l4[0], l4[1]]);
+                    let dport = u16::from_be_bytes([l4[2], l4[3]]);
+                    let udp_len = usize::from(u16::from_be_bytes([l4[4], l4[5]]));
+                    if udp_len < UDP_HEADER_LEN || l4.len() < udp_len {
+                        return Err(TraceError::InvalidHeader { context: "udp length" });
+                    }
+                    Ok(DecodedFrame {
+                        source: Endpoint::udp(src_ip, sport),
+                        destination: Endpoint::udp(dst_ip, dport),
+                        transport: Transport::Udp,
+                        payload_offset: ETH_HEADER_LEN + ihl + UDP_HEADER_LEN,
+                        payload_len: udp_len - UDP_HEADER_LEN,
+                    })
+                }
+                6 => {
+                    if l4.len() < TCP_HEADER_LEN {
+                        return Err(TraceError::Truncated { context: "tcp header" });
+                    }
+                    let sport = u16::from_be_bytes([l4[0], l4[1]]);
+                    let dport = u16::from_be_bytes([l4[2], l4[3]]);
+                    let data_offset = usize::from(l4[12] >> 4) * 4;
+                    if data_offset < TCP_HEADER_LEN || l4.len() < data_offset {
+                        return Err(TraceError::InvalidHeader { context: "tcp data offset" });
+                    }
+                    Ok(DecodedFrame {
+                        source: Endpoint::udp(src_ip, sport),
+                        destination: Endpoint::udp(dst_ip, dport),
+                        transport: Transport::Tcp,
+                        payload_offset: ETH_HEADER_LEN + ihl + data_offset,
+                        payload_len: total_len - ihl - data_offset,
+                    })
+                }
+                other => Err(TraceError::UnsupportedEncapsulation { code: u16::from(other) }),
+            }
+        }
+        other => Err(TraceError::UnsupportedEncapsulation { code: other }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn udp_msg(payload: &'static [u8]) -> Message {
+        Message::builder(Bytes::from_static(payload))
+            .source(Endpoint::udp([10, 0, 0, 1], 123))
+            .destination(Endpoint::udp([10, 0, 0, 2], 123))
+            .transport(Transport::Udp)
+            .build()
+    }
+
+    #[test]
+    fn udp_roundtrip() {
+        let m = udp_msg(b"hello ntp");
+        let frame = encode_frame(&m);
+        let d = decode_frame(&frame).unwrap();
+        assert_eq!(d.transport, Transport::Udp);
+        assert_eq!(d.source, m.source());
+        assert_eq!(d.destination, m.destination());
+        assert_eq!(&frame[d.payload_offset..d.payload_offset + d.payload_len], b"hello ntp");
+    }
+
+    #[test]
+    fn tcp_roundtrip() {
+        let m = Message::builder(Bytes::from_static(b"\xffSMB"))
+            .source(Endpoint::udp([192, 168, 1, 5], 50000))
+            .destination(Endpoint::udp([192, 168, 1, 1], 445))
+            .transport(Transport::Tcp)
+            .build();
+        let frame = encode_frame(&m);
+        let d = decode_frame(&frame).unwrap();
+        assert_eq!(d.transport, Transport::Tcp);
+        assert_eq!(d.source.port, Some(50000));
+        assert_eq!(&frame[d.payload_offset..d.payload_offset + d.payload_len], b"\xffSMB");
+    }
+
+    #[test]
+    fn link_roundtrip_keeps_macs() {
+        let m = Message::builder(Bytes::from_static(b"awdl-frame"))
+            .source(Endpoint::mac([2, 0, 0, 0, 0, 1]))
+            .destination(Endpoint::mac([2, 0, 0, 0, 0, 2]))
+            .transport(Transport::Link)
+            .build();
+        let frame = encode_frame(&m);
+        let d = decode_frame(&frame).unwrap();
+        assert_eq!(d.transport, Transport::Link);
+        assert_eq!(d.source, m.source());
+        assert_eq!(d.destination, m.destination());
+    }
+
+    #[test]
+    fn empty_payload_roundtrip() {
+        let m = udp_msg(b"");
+        let frame = encode_frame(&m);
+        let d = decode_frame(&frame).unwrap();
+        assert_eq!(d.payload_len, 0);
+    }
+
+    #[test]
+    fn checksum_is_valid_on_encoded_frames() {
+        let m = udp_msg(b"payload");
+        let frame = encode_frame(&m);
+        // Folding the checksum over a correct header yields zero.
+        assert_eq!(ipv4_checksum(&frame[14..34]), 0);
+    }
+
+    #[test]
+    fn corrupted_checksum_is_rejected() {
+        let m = udp_msg(b"payload");
+        let mut frame = encode_frame(&m);
+        frame[20] ^= 0xFF;
+        assert!(matches!(
+            decode_frame(&frame),
+            Err(TraceError::InvalidHeader { context: "ipv4 checksum" })
+        ));
+    }
+
+    #[test]
+    fn short_frame_is_truncated_error() {
+        assert!(matches!(
+            decode_frame(&[0u8; 5]),
+            Err(TraceError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_ethertype_is_unsupported() {
+        let mut frame = vec![0u8; 20];
+        frame[12] = 0x86; // IPv6
+        frame[13] = 0xDD;
+        assert!(matches!(
+            decode_frame(&frame),
+            Err(TraceError::UnsupportedEncapsulation { code: 0x86DD })
+        ));
+    }
+}

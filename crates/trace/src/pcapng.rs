@@ -1,0 +1,321 @@
+//! pcapng (pcap Next Generation) reader and writer.
+//!
+//! Modern capture tools default to pcapng rather than the classic format
+//! in [`crate::pcap`]. This implementation covers the blocks needed to
+//! exchange traces: Section Header (SHB), Interface Description (IDB),
+//! Enhanced Packet (EPB) and Simple Packet (SPB) blocks, in both byte
+//! orders, with microsecond timestamps (the default `if_tsresol`).
+//! Unknown block types are skipped, as the specification requires.
+//! [`read_any`] sniffs the magic and dispatches to the right parser, so
+//! callers need not know which flavor a file is.
+
+use crate::net::{decode_frame, encode_frame};
+use crate::{Message, Trace, TraceError};
+use bytes::Bytes;
+use std::io::Read;
+
+const SHB_TYPE: u32 = 0x0A0D_0D0A;
+const IDB_TYPE: u32 = 0x0000_0001;
+const SPB_TYPE: u32 = 0x0000_0003;
+const EPB_TYPE: u32 = 0x0000_0006;
+const BYTE_ORDER_MAGIC: u32 = 0x1A2B_3C4D;
+const LINKTYPE_ETHERNET: u16 = 1;
+
+/// Reads a pcapng stream into a [`Trace`] named `name`.
+///
+/// Frames with unsupported encapsulations are skipped like in
+/// [`crate::pcap::read`]; unknown blocks are ignored.
+///
+/// # Errors
+///
+/// Returns [`TraceError::BadMagic`] when the stream does not start with
+/// a Section Header Block and [`TraceError::Truncated`] for incomplete
+/// blocks.
+pub fn read<R: Read>(mut r: R, name: &str) -> Result<Trace, TraceError> {
+    let mut data = Vec::new();
+    r.read_exact(&mut []).ok();
+    r.read_to_end(&mut data)?;
+    read_from_slice(&data, name)
+}
+
+/// Reads a pcapng image from a byte slice; see [`read`].
+///
+/// # Errors
+///
+/// Same as [`read`].
+pub fn read_from_slice(data: &[u8], name: &str) -> Result<Trace, TraceError> {
+    let mut pos = 0usize;
+    let mut little_endian = true;
+    let mut saw_shb = false;
+    let mut messages = Vec::new();
+
+    let need = |pos: usize, n: usize, len: usize| -> Result<(), TraceError> {
+        if pos + n > len {
+            Err(TraceError::Truncated { context: "pcapng block" })
+        } else {
+            Ok(())
+        }
+    };
+
+    while pos + 8 <= data.len() {
+        // Block type is endian-sensitive except for the SHB, whose type
+        // is a palindrome.
+        let raw_type_le = u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes"));
+        let is_shb = raw_type_le == SHB_TYPE;
+        if is_shb {
+            // Determine endianness from the byte-order magic.
+            need(pos, 12, data.len())?;
+            let bom_le = u32::from_le_bytes(data[pos + 8..pos + 12].try_into().expect("4 bytes"));
+            let bom_be = u32::from_be_bytes(data[pos + 8..pos + 12].try_into().expect("4 bytes"));
+            little_endian = if bom_le == BYTE_ORDER_MAGIC {
+                true
+            } else if bom_be == BYTE_ORDER_MAGIC {
+                false
+            } else {
+                return Err(TraceError::BadMagic(bom_le));
+            };
+            saw_shb = true;
+        } else if !saw_shb {
+            return Err(TraceError::BadMagic(raw_type_le));
+        }
+        let rd32 = |at: usize| -> u32 {
+            let arr: [u8; 4] = data[at..at + 4].try_into().expect("4 bytes");
+            if little_endian {
+                u32::from_le_bytes(arr)
+            } else {
+                u32::from_be_bytes(arr)
+            }
+        };
+        let block_type = rd32(pos);
+        let block_len = rd32(pos + 4) as usize;
+        if block_len < 12 || block_len % 4 != 0 {
+            return Err(TraceError::InvalidHeader { context: "pcapng block length" });
+        }
+        need(pos, block_len, data.len())?;
+        let body = &data[pos + 8..pos + block_len - 4];
+
+        match block_type {
+            EPB_TYPE => {
+                if body.len() < 20 {
+                    return Err(TraceError::Truncated { context: "enhanced packet block" });
+                }
+                let ts_high = rd32(pos + 8 + 4) as u64;
+                let ts_low = rd32(pos + 8 + 8) as u64;
+                let captured = rd32(pos + 8 + 12) as usize;
+                if 20 + captured > body.len() {
+                    return Err(TraceError::Truncated { context: "enhanced packet data" });
+                }
+                let frame = &body[20..20 + captured];
+                // Default if_tsresol: microseconds.
+                let ts = ts_high << 32 | ts_low;
+                push_frame(&mut messages, frame, ts)?;
+            }
+            SPB_TYPE => {
+                if body.len() < 4 {
+                    return Err(TraceError::Truncated { context: "simple packet block" });
+                }
+                let frame = &body[4..];
+                push_frame(&mut messages, frame, 0)?;
+            }
+            // SHB, IDB, statistics, name resolution, …: nothing to
+            // extract (IDB options like if_tsresol beyond the default
+            // are not produced by our writer).
+            _ => {}
+        }
+        pos += block_len;
+    }
+    if !saw_shb {
+        return Err(TraceError::Truncated { context: "pcapng section header" });
+    }
+    Ok(Trace::new(name, messages))
+}
+
+fn push_frame(messages: &mut Vec<Message>, frame: &[u8], ts: u64) -> Result<(), TraceError> {
+    match decode_frame(frame) {
+        Ok(d) => {
+            let payload = Bytes::copy_from_slice(&frame[d.payload_offset..d.payload_offset + d.payload_len]);
+            messages.push(
+                Message::builder(payload)
+                    .timestamp_micros(ts)
+                    .source(d.source)
+                    .destination(d.destination)
+                    .transport(d.transport)
+                    .build(),
+            );
+            Ok(())
+        }
+        Err(TraceError::UnsupportedEncapsulation { .. }) => Ok(()),
+        Err(e) => Err(e),
+    }
+}
+
+/// Writes a trace as a minimal little-endian pcapng image (one SHB, one
+/// Ethernet IDB, one EPB per message).
+///
+/// # Errors
+///
+/// Never fails for in-memory writes; the `Result` mirrors the pcap
+/// writer's signature.
+pub fn write_to_vec(trace: &Trace) -> Result<Vec<u8>, TraceError> {
+    let mut out = Vec::new();
+    // SHB: type, len, byte-order magic, version 1.0, section length -1.
+    let shb_body: Vec<u8> = [
+        BYTE_ORDER_MAGIC.to_le_bytes().as_slice(),
+        &1u16.to_le_bytes(),
+        &0u16.to_le_bytes(),
+        &(-1i64).to_le_bytes(),
+    ]
+    .concat();
+    push_block(&mut out, SHB_TYPE, &shb_body);
+    // IDB: linktype, reserved, snaplen.
+    let idb_body: Vec<u8> = [
+        LINKTYPE_ETHERNET.to_le_bytes().as_slice(),
+        &0u16.to_le_bytes(),
+        &65535u32.to_le_bytes(),
+    ]
+    .concat();
+    push_block(&mut out, IDB_TYPE, &idb_body);
+    for msg in trace {
+        let frame = encode_frame(msg);
+        let ts = msg.timestamp_micros();
+        let mut body = Vec::with_capacity(20 + frame.len());
+        body.extend_from_slice(&0u32.to_le_bytes()); // interface id
+        body.extend_from_slice(&((ts >> 32) as u32).to_le_bytes());
+        body.extend_from_slice(&(ts as u32).to_le_bytes());
+        body.extend_from_slice(&(frame.len() as u32).to_le_bytes()); // captured
+        body.extend_from_slice(&(frame.len() as u32).to_le_bytes()); // original
+        body.extend_from_slice(&frame);
+        push_block(&mut out, EPB_TYPE, &body);
+    }
+    Ok(out)
+}
+
+fn push_block(out: &mut Vec<u8>, block_type: u32, body: &[u8]) {
+    let padded = body.len().div_ceil(4) * 4;
+    let total = 12 + padded;
+    out.extend_from_slice(&block_type.to_le_bytes());
+    out.extend_from_slice(&(total as u32).to_le_bytes());
+    out.extend_from_slice(body);
+    out.extend(std::iter::repeat_n(0u8, padded - body.len()));
+    out.extend_from_slice(&(total as u32).to_le_bytes());
+}
+
+/// Reads either a classic pcap or a pcapng image, sniffing the magic.
+///
+/// # Errors
+///
+/// Returns [`TraceError::BadMagic`] when neither format matches, or the
+/// respective parser's errors.
+pub fn read_any(data: &[u8], name: &str) -> Result<Trace, TraceError> {
+    if data.len() >= 4 {
+        let magic = u32::from_le_bytes(data[0..4].try_into().expect("4 bytes"));
+        if magic == SHB_TYPE {
+            return read_from_slice(data, name);
+        }
+    }
+    crate::pcap::read_from_slice(data, name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Endpoint, Transport};
+
+    fn sample_trace() -> Trace {
+        let mk = |payload: &'static [u8], ts: u64| {
+            Message::builder(Bytes::from_static(payload))
+                .timestamp_micros(ts)
+                .source(Endpoint::udp([10, 1, 2, 3], 1234))
+                .destination(Endpoint::udp([10, 9, 8, 7], 53))
+                .transport(Transport::Udp)
+                .build()
+        };
+        Trace::new(
+            "ng",
+            vec![mk(b"first", 1_000_001), mk(b"second payload", 77_000_000_123)],
+        )
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = sample_trace();
+        let img = write_to_vec(&t).unwrap();
+        let back = read_from_slice(&img, "ng").unwrap();
+        assert_eq!(back.len(), 2);
+        for (a, b) in t.iter().zip(back.iter()) {
+            assert_eq!(a.payload(), b.payload());
+            assert_eq!(a.timestamp_micros(), b.timestamp_micros());
+            assert_eq!(a.source(), b.source());
+        }
+    }
+
+    #[test]
+    fn read_any_dispatches_both_formats() {
+        let t = sample_trace();
+        let ng = write_to_vec(&t).unwrap();
+        let classic = crate::pcap::write_to_vec(&t).unwrap();
+        assert_eq!(read_any(&ng, "x").unwrap().len(), 2);
+        assert_eq!(read_any(&classic, "x").unwrap().len(), 2);
+        assert!(matches!(read_any(&[0u8; 32], "x"), Err(TraceError::BadMagic(_))));
+    }
+
+    #[test]
+    fn unknown_blocks_are_skipped() {
+        let t = sample_trace();
+        let mut img = write_to_vec(&t).unwrap();
+        // Append a custom block (type 0x0BAD) — must be ignored.
+        push_block(&mut img, 0x0BAD, &[1, 2, 3, 4, 5]);
+        let back = read_from_slice(&img, "ng").unwrap();
+        assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn big_endian_sections_parse() {
+        // Hand-build a big-endian SHB followed by nothing.
+        let mut img = Vec::new();
+        img.extend_from_slice(&SHB_TYPE.to_be_bytes());
+        img.extend_from_slice(&28u32.to_be_bytes());
+        img.extend_from_slice(&BYTE_ORDER_MAGIC.to_be_bytes());
+        img.extend_from_slice(&1u16.to_be_bytes());
+        img.extend_from_slice(&0u16.to_be_bytes());
+        img.extend_from_slice(&(-1i64).to_be_bytes());
+        img.extend_from_slice(&28u32.to_be_bytes());
+        let t = read_from_slice(&img, "be").unwrap();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncation() {
+        assert!(matches!(
+            read_from_slice(&[0xFFu8; 64], "x"),
+            Err(TraceError::BadMagic(_))
+        ));
+        let t = sample_trace();
+        let mut img = write_to_vec(&t).unwrap();
+        img.truncate(img.len() - 5);
+        assert!(matches!(
+            read_from_slice(&img, "x"),
+            Err(TraceError::Truncated { .. })
+        ));
+        assert!(matches!(
+            read_from_slice(&[], "x"),
+            Err(TraceError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn padding_respects_alignment() {
+        // Odd-length payload forces EPB padding; roundtrip must still work.
+        let t = Trace::new(
+            "pad",
+            vec![Message::builder(Bytes::from_static(b"xyz"))
+                .source(Endpoint::udp([1, 1, 1, 1], 1))
+                .destination(Endpoint::udp([2, 2, 2, 2], 2))
+                .build()],
+        );
+        let img = write_to_vec(&t).unwrap();
+        assert_eq!(img.len() % 4, 0);
+        let back = read_from_slice(&img, "pad").unwrap();
+        assert_eq!(&back.messages()[0].payload()[..], b"xyz");
+    }
+}

@@ -1,0 +1,201 @@
+//! Trace preprocessing (paper §III-A).
+//!
+//! Before any inference, raw captures are filtered to the protocol of
+//! interest, payloads are de-duplicated (identical payloads carry no
+//! additional information for a variance-based method), and traces are
+//! truncated to a fixed size so results are comparable across protocols
+//! (the paper uses 100 and 1000 messages).
+
+use crate::{Message, Trace, Transport};
+use std::collections::HashSet;
+
+/// Configurable preprocessing pipeline.
+///
+/// # Examples
+///
+/// ```
+/// use trace::{Preprocessor, Trace, Message, Endpoint};
+/// use bytes::Bytes;
+///
+/// let mk = |p: &'static [u8], port: u16| {
+///     Message::builder(Bytes::from_static(p))
+///         .destination(Endpoint::udp([10, 0, 0, 1], port))
+///         .build()
+/// };
+/// let raw = Trace::new("capture", vec![
+///     mk(b"ntp1", 123), mk(b"dns", 53), mk(b"ntp1", 123), mk(b"ntp2", 123),
+/// ]);
+/// let clean = Preprocessor::new()
+///     .filter_port(123)
+///     .deduplicate(true)
+///     .truncate(100)
+///     .apply(&raw);
+/// assert_eq!(clean.len(), 2); // dns dropped, duplicate ntp1 dropped
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Preprocessor {
+    port: Option<u16>,
+    transport: Option<Transport>,
+    dedup: bool,
+    max_messages: Option<usize>,
+    min_payload_len: usize,
+}
+
+impl Preprocessor {
+    /// Creates a preprocessor that passes everything through unchanged.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Keeps only messages whose source or destination port matches.
+    pub fn filter_port(mut self, port: u16) -> Self {
+        self.port = Some(port);
+        self
+    }
+
+    /// Keeps only messages of the given transport.
+    pub fn filter_transport(mut self, transport: Transport) -> Self {
+        self.transport = Some(transport);
+        self
+    }
+
+    /// Drops messages whose payload was already seen (paper §III-A:
+    /// "duplicates carry no additional information").
+    pub fn deduplicate(mut self, yes: bool) -> Self {
+        self.dedup = yes;
+        self
+    }
+
+    /// Keeps at most the first `n` messages after all other filters.
+    pub fn truncate(mut self, n: usize) -> Self {
+        self.max_messages = Some(n);
+        self
+    }
+
+    /// Drops messages with payloads shorter than `n` bytes (empty TCP
+    /// acknowledgements and the like).
+    pub fn min_payload_len(mut self, n: usize) -> Self {
+        self.min_payload_len = n;
+        self
+    }
+
+    /// Applies the configured steps, returning a new trace.
+    pub fn apply(&self, trace: &Trace) -> Trace {
+        let mut seen: HashSet<Vec<u8>> = HashSet::new();
+        let mut kept: Vec<Message> = Vec::new();
+        for msg in trace {
+            if self.max_messages.is_some_and(|max| kept.len() >= max) {
+                break;
+            }
+            if msg.payload().len() < self.min_payload_len {
+                continue;
+            }
+            if let Some(p) = self.port {
+                let src_ok = msg.source().port == Some(p);
+                let dst_ok = msg.destination().port == Some(p);
+                if !src_ok && !dst_ok {
+                    continue;
+                }
+            }
+            if let Some(t) = self.transport {
+                if msg.transport() != t {
+                    continue;
+                }
+            }
+            if self.dedup && !seen.insert(msg.payload().to_vec()) {
+                continue;
+            }
+            kept.push(msg.clone());
+            if let Some(max) = self.max_messages {
+                if kept.len() >= max {
+                    break;
+                }
+            }
+        }
+        Trace::new(trace.name(), kept)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Endpoint;
+    use bytes::Bytes;
+
+    fn msg(payload: &[u8], sport: u16, dport: u16, transport: Transport) -> Message {
+        Message::builder(Bytes::copy_from_slice(payload))
+            .source(Endpoint::udp([1, 1, 1, 1], sport))
+            .destination(Endpoint::udp([2, 2, 2, 2], dport))
+            .transport(transport)
+            .build()
+    }
+
+    #[test]
+    fn identity_when_unconfigured() {
+        let t = Trace::new(
+            "t",
+            vec![msg(b"a", 1, 2, Transport::Udp), msg(b"a", 1, 2, Transport::Udp)],
+        );
+        let out = Preprocessor::new().apply(&t);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.name(), "t");
+    }
+
+    #[test]
+    fn port_filter_matches_either_side() {
+        let t = Trace::new(
+            "t",
+            vec![
+                msg(b"a", 123, 5000, Transport::Udp),
+                msg(b"b", 5000, 123, Transport::Udp),
+                msg(b"c", 5000, 5001, Transport::Udp),
+            ],
+        );
+        let out = Preprocessor::new().filter_port(123).apply(&t);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn dedup_keeps_first_occurrence() {
+        let t = Trace::new(
+            "t",
+            vec![
+                msg(b"x", 1, 2, Transport::Udp),
+                msg(b"y", 1, 2, Transport::Udp),
+                msg(b"x", 3, 4, Transport::Udp),
+            ],
+        );
+        let out = Preprocessor::new().deduplicate(true).apply(&t);
+        assert_eq!(out.len(), 2);
+        assert_eq!(&out.messages()[0].payload()[..], b"x");
+        assert_eq!(out.messages()[0].source().port, Some(1));
+    }
+
+    #[test]
+    fn truncate_limits_count() {
+        let msgs: Vec<Message> = (0..10u8)
+            .map(|i| msg(&[i], 1, 2, Transport::Udp))
+            .collect();
+        let t = Trace::new("t", msgs);
+        let out = Preprocessor::new().truncate(3).apply(&t);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn transport_and_min_len_filters() {
+        let t = Trace::new(
+            "t",
+            vec![
+                msg(b"", 1, 2, Transport::Tcp),
+                msg(b"abcd", 1, 2, Transport::Tcp),
+                msg(b"efgh", 1, 2, Transport::Udp),
+            ],
+        );
+        let out = Preprocessor::new()
+            .filter_transport(Transport::Tcp)
+            .min_payload_len(1)
+            .apply(&t);
+        assert_eq!(out.len(), 1);
+        assert_eq!(&out.messages()[0].payload()[..], b"abcd");
+    }
+}

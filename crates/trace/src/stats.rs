@@ -1,0 +1,189 @@
+//! Trace summary statistics: the first look an analyst takes at an
+//! unknown capture before running any inference.
+
+use crate::{Trace, Transport};
+use std::collections::HashMap;
+
+/// Aggregate statistics of a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Number of messages.
+    pub messages: usize,
+    /// Total payload bytes.
+    pub total_bytes: usize,
+    /// Minimum / median / maximum payload length.
+    pub len_min: usize,
+    /// Median payload length.
+    pub len_median: usize,
+    /// Maximum payload length.
+    pub len_max: usize,
+    /// Distinct payload lengths and their counts, ascending by length.
+    pub length_histogram: Vec<(usize, usize)>,
+    /// Distinct payloads over messages (1.0 = no duplicates).
+    pub uniqueness: f64,
+    /// Mean Shannon entropy of payload bytes, bits/byte.
+    pub mean_entropy: f64,
+    /// Per-offset byte entropy for the first `offset_profile.len()`
+    /// bytes (columns where fewer than 2 messages reach are cut off).
+    pub offset_profile: Vec<f64>,
+    /// Message counts per transport.
+    pub transports: Vec<(Transport, usize)>,
+    /// Distinct (source, destination) endpoint pairs.
+    pub flows: usize,
+}
+
+/// Computes [`TraceStats`]; `max_profile` caps the per-offset entropy
+/// profile length.
+pub fn trace_stats(trace: &Trace, max_profile: usize) -> TraceStats {
+    let mut lens: Vec<usize> = trace.iter().map(|m| m.payload().len()).collect();
+    lens.sort_unstable();
+    let (len_min, len_median, len_max) = if lens.is_empty() {
+        (0, 0, 0)
+    } else {
+        (lens[0], lens[lens.len() / 2], lens[lens.len() - 1])
+    };
+    let mut length_histogram: HashMap<usize, usize> = HashMap::new();
+    for &l in &lens {
+        *length_histogram.entry(l).or_insert(0) += 1;
+    }
+    let mut length_histogram: Vec<(usize, usize)> = length_histogram.into_iter().collect();
+    length_histogram.sort_unstable();
+
+    let distinct: std::collections::HashSet<&[u8]> =
+        trace.iter().map(|m| &m.payload()[..]).collect();
+    let uniqueness = if trace.is_empty() {
+        1.0
+    } else {
+        distinct.len() as f64 / trace.len() as f64
+    };
+
+    let mean_entropy = if trace.is_empty() {
+        0.0
+    } else {
+        trace
+            .iter()
+            .map(|m| mathkit_entropy(m.payload()))
+            .sum::<f64>()
+            / trace.len() as f64
+    };
+
+    // Per-offset entropy: how variable is each byte column? Low-entropy
+    // prefixes reveal fixed headers at a glance.
+    let profile_len = len_max.min(max_profile);
+    let mut offset_profile = Vec::with_capacity(profile_len);
+    for off in 0..profile_len {
+        let column: Vec<u8> = trace
+            .iter()
+            .filter_map(|m| m.payload().get(off).copied())
+            .collect();
+        if column.len() < 2 {
+            break;
+        }
+        offset_profile.push(mathkit_entropy(&column));
+    }
+
+    let mut transports: HashMap<Transport, usize> = HashMap::new();
+    for m in trace {
+        *transports.entry(m.transport()).or_insert(0) += 1;
+    }
+    let mut transports: Vec<(Transport, usize)> = transports.into_iter().collect();
+    transports.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+
+    let flows: std::collections::HashSet<_> = trace.iter().map(|m| m.flow_key()).collect();
+
+    TraceStats {
+        messages: trace.len(),
+        total_bytes: trace.total_payload_bytes(),
+        len_min,
+        len_median,
+        len_max,
+        length_histogram,
+        uniqueness,
+        mean_entropy,
+        offset_profile,
+        transports,
+        flows: flows.len(),
+    }
+}
+
+/// Local byte-entropy helper (kept here so `trace` needs no mathkit
+/// dependency).
+fn mathkit_entropy(bytes: &[u8]) -> f64 {
+    if bytes.is_empty() {
+        return 0.0;
+    }
+    let mut counts = [0usize; 256];
+    for &b in bytes {
+        counts[b as usize] += 1;
+    }
+    let n = bytes.len() as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Endpoint, Message};
+    use bytes::Bytes;
+
+    fn mk(payload: &[u8], sport: u16) -> Message {
+        Message::builder(Bytes::copy_from_slice(payload))
+            .source(Endpoint::udp([1, 1, 1, 1], sport))
+            .destination(Endpoint::udp([2, 2, 2, 2], 53))
+            .build()
+    }
+
+    #[test]
+    fn basic_statistics() {
+        let t = Trace::new(
+            "t",
+            vec![mk(b"aaaa", 1), mk(b"bbbbbbbb", 2), mk(b"aaaa", 1)],
+        );
+        let s = trace_stats(&t, 64);
+        assert_eq!(s.messages, 3);
+        assert_eq!(s.total_bytes, 16);
+        assert_eq!((s.len_min, s.len_median, s.len_max), (4, 4, 8));
+        assert_eq!(s.length_histogram, vec![(4, 2), (8, 1)]);
+        assert!((s.uniqueness - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.flows, 2);
+        assert_eq!(s.mean_entropy, 0.0); // constant payloads
+    }
+
+    #[test]
+    fn offset_profile_flags_fixed_prefix() {
+        // Messages share the first two bytes; the rest differ.
+        let msgs: Vec<Message> = (0..10u8)
+            .map(|i| mk(&[0xAB, 0xCD, i, i.wrapping_mul(37)], 1))
+            .collect();
+        let t = Trace::new("t", msgs);
+        let s = trace_stats(&t, 16);
+        assert_eq!(s.offset_profile.len(), 4);
+        assert_eq!(s.offset_profile[0], 0.0);
+        assert_eq!(s.offset_profile[1], 0.0);
+        assert!(s.offset_profile[2] > 2.0);
+    }
+
+    #[test]
+    fn profile_respects_cap_and_short_columns() {
+        let t = Trace::new("t", vec![mk(&[1; 100], 1), mk(&[2; 100], 2)]);
+        let s = trace_stats(&t, 10);
+        assert_eq!(s.offset_profile.len(), 10);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::new("e", vec![]);
+        let s = trace_stats(&t, 8);
+        assert_eq!(s.messages, 0);
+        assert_eq!(s.uniqueness, 1.0);
+        assert!(s.offset_profile.is_empty());
+        assert!(s.transports.is_empty());
+    }
+}

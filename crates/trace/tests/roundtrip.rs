@@ -1,0 +1,81 @@
+//! Property-based round-trip tests for pcap encoding and preprocessing.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use trace::{pcap, Endpoint, Message, Preprocessor, Trace, Transport};
+
+fn arb_transport() -> impl Strategy<Value = Transport> {
+    prop_oneof![
+        Just(Transport::Udp),
+        Just(Transport::Tcp),
+        Just(Transport::Link)
+    ]
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    (
+        prop::collection::vec(any::<u8>(), 0..300),
+        any::<u32>(),
+        any::<[u8; 4]>(),
+        any::<[u8; 4]>(),
+        any::<u16>(),
+        any::<u16>(),
+        arb_transport(),
+    )
+        .prop_map(|(payload, ts, sip, dip, sport, dport, transport)| {
+            let (src, dst) = match transport {
+                Transport::Link => (
+                    Endpoint::mac([2, 0, sip[0], sip[1], sip[2], sip[3]]),
+                    Endpoint::mac([2, 0, dip[0], dip[1], dip[2], dip[3]]),
+                ),
+                _ => (Endpoint::udp(sip, sport), Endpoint::udp(dip, dport)),
+            };
+            Message::builder(Bytes::from(payload))
+                .timestamp_micros(u64::from(ts))
+                .source(src)
+                .destination(dst)
+                .transport(transport)
+                .build()
+        })
+}
+
+proptest! {
+    #[test]
+    fn pcap_roundtrip_is_lossless(msgs in prop::collection::vec(arb_message(), 0..40)) {
+        let t = Trace::new("prop", msgs);
+        let img = pcap::write_to_vec(&t).unwrap();
+        let back = pcap::read_from_slice(&img, "prop").unwrap();
+        prop_assert_eq!(back.len(), t.len());
+        for (a, b) in t.iter().zip(back.iter()) {
+            prop_assert_eq!(a.payload(), b.payload());
+            prop_assert_eq!(a.timestamp_micros(), b.timestamp_micros());
+            prop_assert_eq!(a.source(), b.source());
+            prop_assert_eq!(a.destination(), b.destination());
+            prop_assert_eq!(a.transport(), b.transport());
+        }
+    }
+
+    #[test]
+    fn dedup_is_idempotent(msgs in prop::collection::vec(arb_message(), 0..40)) {
+        let t = Trace::new("prop", msgs);
+        let once = Preprocessor::new().deduplicate(true).apply(&t);
+        let twice = Preprocessor::new().deduplicate(true).apply(&once);
+        prop_assert_eq!(once.len(), twice.len());
+        // All payloads unique after dedup.
+        let mut seen = std::collections::HashSet::new();
+        for m in &once {
+            prop_assert!(seen.insert(m.payload().to_vec()));
+        }
+    }
+
+    #[test]
+    fn truncate_never_exceeds_limit(
+        msgs in prop::collection::vec(arb_message(), 0..40),
+        limit in 0usize..50,
+    ) {
+        let t = Trace::new("prop", msgs);
+        let out = Preprocessor::new().truncate(limit).apply(&t);
+        prop_assert!(out.len() <= limit);
+        prop_assert!(out.len() <= t.len());
+    }
+}

@@ -1,0 +1,85 @@
+//! The honest scenario: a pcap of a *truly unknown* protocol.
+//!
+//! Everything the other examples take from the corpus is done here the
+//! way a real analysis would: write/read a pcap file, preprocess the
+//! capture (filter, de-duplicate), try all three heuristic segmenters,
+//! cluster each segmentation, and compare what the segmenters make of
+//! the unknown traffic — without ever consulting ground truth.
+//!
+//! Run with: `cargo run -p fieldclust --example unknown_protocol`
+
+use fieldclust::FieldTypeClusterer;
+use protocols::{Protocol, ProtocolSpec};
+use segment::csp::Csp;
+use segment::nemesys::Nemesys;
+use segment::netzob::Netzob;
+use segment::Segmenter;
+use trace::{pcap, Preprocessor};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Stand-in for "someone hands you a capture": an AU capture written
+    // to disk. From here on we treat it as unknown bytes.
+    let capture_path = std::env::temp_dir().join("fieldclust-unknown.pcap");
+    pcap::write_to_file(&Protocol::Au.generate(45, 99), &capture_path)?;
+
+    // 1. Load and preprocess: de-duplicate payloads (the paper's §III-A).
+    let raw = pcap::read_from_file(&capture_path, "unknown")?;
+    let trace = Preprocessor::new().deduplicate(true).apply(&raw);
+    println!(
+        "capture: {} messages after de-duplication ({} raw)",
+        trace.len(),
+        raw.len()
+    );
+
+    // 2. Try each segmenter; a real analysis picks the one whose
+    //    clusters look most coherent (§IV-C: no segmenter wins always).
+    let segmenters: Vec<(&str, Box<dyn Segmenter>)> = vec![
+        ("nemesys", Box::new(Nemesys::default())),
+        ("netzob", Box::new(Netzob::default())),
+        ("csp", Box::new(Csp::default())),
+    ];
+
+    for (name, segmenter) in segmenters {
+        match segmenter.segment_trace(&trace) {
+            Err(e) => println!("{name:8} fails: {e}"),
+            Ok(segmentation) => {
+                match FieldTypeClusterer::default().cluster_trace(&trace, &segmentation) {
+                    Err(e) => println!("{name:8} segmented, but clustering failed: {e}"),
+                    Ok(result) => {
+                        let cov = result.coverage(&trace);
+                        println!(
+                            "{name:8} -> {:2} pseudo types, {:3} unique segments, {:2} noise, eps {:.3}, coverage {:3.0}%",
+                            result.clustering.n_clusters(),
+                            result.store.segments.len(),
+                            result.clustering.noise().len(),
+                            result.params.epsilon,
+                            cov.ratio() * 100.0
+                        );
+                        // Show the analyst's view of the two biggest
+                        // pseudo types.
+                        let mut clusters = result.clustering.clusters();
+                        clusters.sort_by_key(|c| std::cmp::Reverse(c.len()));
+                        for members in clusters.iter().take(2) {
+                            let sample: Vec<String> = members
+                                .iter()
+                                .take(3)
+                                .map(|&i| {
+                                    result.store.segments[i]
+                                        .value
+                                        .iter()
+                                        .take(6)
+                                        .map(|b| format!("{b:02x}"))
+                                        .collect::<String>()
+                                })
+                                .collect();
+                            println!("          [{}]", sample.join(", "));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    std::fs::remove_file(&capture_path).ok();
+    Ok(())
+}

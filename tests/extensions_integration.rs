@@ -1,0 +1,121 @@
+//! Cross-crate integration for the §V extension features: semantics,
+//! value models, message types and reports — all through the public API.
+
+use fieldclust::fuzzgen::{MisbehaviorDetector, ValueModel};
+use fieldclust::msgtype::{identify_message_types, MessageTypeConfig};
+use fieldclust::report::{render_markdown, ReportOptions};
+use fieldclust::semantics::{interpret, SemanticHypothesis, SemanticsConfig};
+use fieldclust::{truth, FieldTypeClusterer};
+use protocols::{corpus, Protocol, ProtocolSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn pipeline(protocol: Protocol, n: usize, seed: u64) -> (trace::Trace, fieldclust::PseudoTypeClustering) {
+    let trace = corpus::build_trace(protocol, n, seed);
+    let gt = corpus::ground_truth(protocol, &trace);
+    let seg = truth::truth_segmentation(&trace, &gt);
+    let result = FieldTypeClusterer::default().cluster_trace(&trace, &seg).unwrap();
+    (trace, result)
+}
+
+#[test]
+fn semantics_cover_every_protocol() {
+    for protocol in [Protocol::Dhcp, Protocol::Dns, Protocol::Smb] {
+        let (trace, result) = pipeline(protocol, 60, 3);
+        let sems = interpret(&result, &trace, &SemanticsConfig::default());
+        assert_eq!(sems.len(), result.clustering.n_clusters() as usize, "{protocol}");
+        // At least half the clusters get a non-Unknown hypothesis.
+        let known = sems
+            .iter()
+            .filter(|s| s.hypothesis != SemanticHypothesis::Unknown)
+            .count();
+        assert!(known * 2 >= sems.len(), "{protocol}: {known}/{} known", sems.len());
+    }
+}
+
+#[test]
+fn dhcp_addresses_are_recognized() {
+    // DHCP carries its clients' own IPs (yiaddr/requested-IP options);
+    // with a trace where the address fields form their own cluster the
+    // Address rule must fire. (Seed chosen so DBSCAN separates them;
+    // small DHCP traces can also collapse into one mixed cluster, which
+    // is a clustering property, not a semantics bug.)
+    let (trace, result) = pipeline(Protocol::Dhcp, 100, 7);
+    let sems = interpret(&result, &trace, &SemanticsConfig::default());
+    assert!(
+        sems.iter().any(|s| s.hypothesis == SemanticHypothesis::Address),
+        "{sems:?}"
+    );
+}
+
+#[test]
+fn value_models_generalize_across_seeds() {
+    // Models learned on one NTP capture should score a *different* NTP
+    // capture higher than random noise.
+    let (_, result) = pipeline(Protocol::Ntp, 80, 5);
+    let detector = MisbehaviorDetector::from_clustering(&result);
+    let fresh = corpus::build_trace(Protocol::Ntp, 10, 99);
+    let nem = segment::nemesys::Nemesys::default();
+    let mut genuine_total = 0.0;
+    let mut random_total = 0.0;
+    let mut rng = StdRng::seed_from_u64(1);
+    for m in &fresh {
+        let segs = nem.segment_message(m.payload());
+        genuine_total += detector.score_message(m.payload(), &segs);
+        let random: Vec<u8> = (0..m.payload().len()).map(|_| rand::Rng::gen(&mut rng)).collect();
+        let rsegs = nem.segment_message(&random);
+        random_total += detector.score_message(&random, &rsegs);
+    }
+    assert!(
+        genuine_total > random_total,
+        "genuine {genuine_total} vs random {random_total}"
+    );
+}
+
+#[test]
+fn fuzz_candidates_have_observed_lengths() {
+    let (_, result) = pipeline(Protocol::Dns, 60, 6);
+    let models = ValueModel::per_cluster(&result);
+    let mut rng = StdRng::seed_from_u64(2);
+    for model in &models {
+        for _ in 0..5 {
+            let v = model.sample(&mut rng);
+            assert!(model.lengths().iter().any(|&(l, _)| l == v.len()));
+        }
+    }
+}
+
+#[test]
+fn message_types_and_report_end_to_end() {
+    let protocol = Protocol::Smb;
+    let trace = corpus::build_trace(protocol, 64, 7);
+    let gt = corpus::ground_truth(protocol, &trace);
+    let seg = truth::truth_segmentation(&trace, &gt);
+    let result = FieldTypeClusterer::default().cluster_trace(&trace, &seg).unwrap();
+    let mt = identify_message_types(&trace, &seg, &MessageTypeConfig::default()).unwrap();
+
+    // The 8 SMB message types should be found (±2 tolerance for small
+    // trace effects).
+    let true_types: std::collections::HashSet<&str> = trace
+        .iter()
+        .map(|m| protocol.message_type(m.payload()).unwrap())
+        .collect();
+    let found = mt.clustering.n_clusters() as i64;
+    assert!(
+        (found - true_types.len() as i64).abs() <= 2,
+        "{found} clusters vs {} true types",
+        true_types.len()
+    );
+
+    let sems = interpret(&result, &trace, &SemanticsConfig::default());
+    let md = render_markdown(
+        &trace,
+        &result,
+        &sems,
+        Some(&mt),
+        &ReportOptions { examples_per_cluster: 2, include_value_models: true },
+    );
+    assert!(md.contains("## Message types"));
+    assert!(md.contains("## Value domains"));
+    assert!(md.lines().count() > 20);
+}

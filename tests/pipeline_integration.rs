@@ -1,0 +1,74 @@
+//! Cross-crate integration: full pipeline over every protocol with
+//! ground-truth segmentation (the paper's Table I setting, small scale).
+
+use fieldclust::{evaluate, truth, FieldTypeClusterer};
+use protocols::{corpus, Protocol};
+
+fn run_protocol(protocol: Protocol, n: usize) -> fieldclust::Evaluation {
+    let trace = corpus::build_trace(protocol, n, corpus::DEFAULT_SEED);
+    let gt = corpus::ground_truth(protocol, &trace);
+    let seg = truth::truth_segmentation(&trace, &gt);
+    let result = FieldTypeClusterer::default()
+        .cluster_trace(&trace, &seg)
+        .unwrap_or_else(|e| panic!("{protocol}: {e}"));
+    evaluate(&result, &trace, &gt)
+}
+
+#[test]
+fn every_protocol_clusters_from_ground_truth() {
+    for protocol in Protocol::ALL {
+        // AU reports carry hundreds of measurement segments each; keep
+        // the quadratic dissimilarity matrix small in debug builds.
+        let n = if protocol == Protocol::Au { 12 } else { 60 };
+        let eval = run_protocol(protocol, n);
+        assert!(eval.n_clusters >= 1, "{protocol}: no clusters");
+        assert!(eval.n_segments >= 4, "{protocol}: too few segments");
+        assert!(
+            (0.0..=1.0).contains(&eval.metrics.precision),
+            "{protocol}: precision out of range"
+        );
+        assert!(eval.coverage.ratio() > 0.0, "{protocol}: zero coverage");
+    }
+}
+
+#[test]
+fn fixed_structure_protocol_scores_high_precision() {
+    // NTP from true fields is the paper's showcase (P = 1.00 in Table I).
+    let eval = run_protocol(Protocol::Ntp, 100);
+    assert!(
+        eval.metrics.precision >= 0.6,
+        "ntp precision = {} (clusters = {})",
+        eval.metrics.precision,
+        eval.n_clusters
+    );
+}
+
+#[test]
+fn larger_traces_do_not_collapse() {
+    let small = run_protocol(Protocol::Dns, 40);
+    let large = run_protocol(Protocol::Dns, 120);
+    // More messages bring more unique segments, never fewer.
+    assert!(large.n_segments >= small.n_segments);
+}
+
+#[test]
+fn coverage_accounts_for_short_and_noise_segments() {
+    let trace = corpus::build_trace(Protocol::Ntp, 80, 3);
+    let gt = corpus::ground_truth(Protocol::Ntp, &trace);
+    let seg = truth::truth_segmentation(&trace, &gt);
+    let result = FieldTypeClusterer::default().cluster_trace(&trace, &seg).unwrap();
+    let cov = result.coverage(&trace);
+
+    // Reconstruct the upper bound by hand: clusterable instance bytes.
+    let clusterable = result.store.clusterable_instance_bytes();
+    assert!(cov.covered_bytes <= clusterable);
+    assert_eq!(cov.total_bytes as usize, trace.total_payload_bytes());
+}
+
+#[test]
+fn epsilon_is_reported_and_positive() {
+    for protocol in [Protocol::Ntp, Protocol::Dns, Protocol::Nbns] {
+        let eval = run_protocol(protocol, 80);
+        assert!(eval.epsilon > 0.0 && eval.epsilon < 1.0, "{protocol}: eps = {}", eval.epsilon);
+    }
+}

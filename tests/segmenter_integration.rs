@@ -1,0 +1,84 @@
+//! Cross-crate integration: the pipeline on heuristic segmentations
+//! (the paper's Table II setting, small scale).
+
+use fieldclust::{evaluate, FieldTypeClusterer};
+use protocols::{corpus, Protocol};
+use segment::csp::Csp;
+use segment::nemesys::Nemesys;
+use segment::netzob::Netzob;
+use segment::{SegmentError, Segmenter, WorkBudget};
+
+fn cluster_with(segmenter: &dyn Segmenter, protocol: Protocol, n: usize) -> Option<fieldclust::Evaluation> {
+    let trace = corpus::build_trace(protocol, n, corpus::DEFAULT_SEED);
+    let segmentation = segmenter.segment_trace(&trace).ok()?;
+    let result = FieldTypeClusterer::default().cluster_trace(&trace, &segmentation).ok()?;
+    let gt = corpus::ground_truth(protocol, &trace);
+    Some(evaluate(&result, &trace, &gt))
+}
+
+#[test]
+fn nemesys_segments_cluster_for_all_protocols() {
+    for protocol in Protocol::ALL {
+        // Keep AU small: its reports explode the unique-segment count.
+        let n = if protocol == Protocol::Au { 12 } else { 50 };
+        let eval = cluster_with(&Nemesys::default(), protocol, n)
+            .unwrap_or_else(|| panic!("{protocol}: pipeline failed"));
+        assert!(eval.n_clusters >= 1, "{protocol}");
+        assert!((0.0..=1.0).contains(&eval.metrics.f_score), "{protocol}");
+    }
+}
+
+#[test]
+fn csp_needs_variance_small_trace_weaker() {
+    // The paper: "CSP is more dependent on the variance in the trace, it
+    // is best applied to large traces."
+    let small = cluster_with(&Csp::default(), Protocol::Dns, 30);
+    let large = cluster_with(&Csp::default(), Protocol::Dns, 120);
+    let (small, large) = (small.expect("small run"), large.expect("large run"));
+    assert!(large.n_segments >= small.n_segments);
+}
+
+#[test]
+fn netzob_on_fixed_structure_scores_reasonably() {
+    let eval = cluster_with(&Netzob::default(), Protocol::Ntp, 40).expect("netzob run");
+    assert!(
+        eval.metrics.precision > 0.3,
+        "ntp/netzob precision = {}",
+        eval.metrics.precision
+    );
+}
+
+#[test]
+fn budget_failures_propagate_like_paper_fails_cells() {
+    // A tiny budget makes Netzob abort — that's the Table II "fails".
+    let trace = corpus::build_trace(Protocol::Smb, 60, 1);
+    let tight = Netzob { budget: WorkBudget::new(100), ..Netzob::default() };
+    assert!(matches!(
+        tight.segment_trace(&trace),
+        Err(SegmentError::BudgetExceeded { .. })
+    ));
+}
+
+#[test]
+fn heuristic_recall_stays_below_truth_recall() {
+    // Imperfect boundaries can only lose true pairs (Table I vs II trend
+    // in the paper). Allow a little slack for small-trace variance.
+    let trace = corpus::build_trace(Protocol::Ntp, 80, corpus::DEFAULT_SEED);
+    let gt = corpus::ground_truth(Protocol::Ntp, &trace);
+    let truth_seg = fieldclust::truth::truth_segmentation(&trace, &gt);
+    let truth_eval = {
+        let r = FieldTypeClusterer::default().cluster_trace(&trace, &truth_seg).unwrap();
+        evaluate(&r, &trace, &gt)
+    };
+    let heur_eval = {
+        let seg = Nemesys::default().segment_trace(&trace).unwrap();
+        let r = FieldTypeClusterer::default().cluster_trace(&trace, &seg).unwrap();
+        evaluate(&r, &trace, &gt)
+    };
+    assert!(
+        heur_eval.metrics.recall <= truth_eval.metrics.recall + 0.25,
+        "heuristic recall {} vs truth {}",
+        heur_eval.metrics.recall,
+        truth_eval.metrics.recall
+    );
+}
