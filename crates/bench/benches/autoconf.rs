@@ -1,23 +1,19 @@
 //! Criterion: the ε auto-configuration (Algorithm 1) — k-NN queries,
 //! spline smoothing and Kneedle.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cluster::autoconf::{auto_configure, AutoConfig};
-use dissim::{dissimilarity, CondensedMatrix, DissimParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dissim::CondensedMatrix;
 use fieldclust::truth::truth_segmentation;
-use fieldclust::SegmentStore;
+use fieldclust::{AnalysisSession, FieldTypeClusterer};
 use protocols::{corpus, Protocol};
 
 fn matrix_for(n_messages: usize) -> CondensedMatrix {
     let trace = corpus::build_trace(Protocol::Ntp, n_messages, 5);
     let gt = corpus::ground_truth(Protocol::Ntp, &trace);
-    let seg = truth_segmentation(&trace, &gt);
-    let store = SegmentStore::collect(&trace, &seg, 2);
-    let values: Vec<&[u8]> = store.segments.iter().map(|s| &s.value[..]).collect();
-    let params = DissimParams::default();
-    CondensedMatrix::build_parallel(values.len(), 4, |i, j| {
-        dissimilarity(values[i], values[j], &params)
-    })
+    let mut session = AnalysisSession::from_owned(trace, FieldTypeClusterer::default());
+    session.set_segmentation(truth_segmentation(session.trace(), &gt));
+    session.matrix().expect("enough segments").clone()
 }
 
 fn bench_autoconf(c: &mut Criterion) {
@@ -25,11 +21,9 @@ fn bench_autoconf(c: &mut Criterion) {
     group.sample_size(10);
     for n_messages in [25usize, 50, 100] {
         let m = matrix_for(n_messages);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(m.len()),
-            &m,
-            |b, m| b.iter(|| auto_configure(m, &AutoConfig::default()).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(m.len()), &m, |b, m| {
+            b.iter(|| auto_configure(m, &AutoConfig::default()).unwrap())
+        });
     }
     group.finish();
 }

@@ -1,9 +1,10 @@
-//! Criterion: DBSCAN and refinement over precomputed matrices.
+//! Criterion: DBSCAN and refinement over precomputed matrices, plus the
+//! neighbor-index ε-region query path against the matrix scan.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use cluster::dbscan::dbscan;
+use cluster::dbscan::{dbscan, dbscan_with_index};
 use cluster::refine::{merge_clusters, split_clusters, RefineParams};
-use dissim::CondensedMatrix;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dissim::{CondensedMatrix, DissimArtifact};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -26,6 +27,37 @@ fn bench_dbscan(c: &mut Criterion) {
     group.finish();
 }
 
+/// Matrix-scan DBSCAN vs the `NeighborIndex`-backed variant. The two
+/// produce identical clusterings (pinned by tests in `cluster`); the
+/// question is the ε-region query cost: a full-row scan per query vs a
+/// binary search on the presorted neighbor list. The index variant is
+/// benchmarked both with a prebuilt index (the session reuses one index
+/// across autoconf, DBSCAN, and refinement, so clustering itself never
+/// pays the build) and with the O(n² log n) build included (plus a
+/// matrix clone, as `DissimArtifact` owns its matrix).
+fn bench_neighbor_index(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut group = c.benchmark_group("dbscan_region_query");
+    for n in [1000usize, 2000, 3000] {
+        let m = blobs(n);
+        let mut artifact = DissimArtifact::from_matrix(m.clone(), threads);
+        artifact.neighbors();
+        group.bench_with_input(BenchmarkId::new("matrix_scan", n), &m, |b, m| {
+            b.iter(|| dbscan(m, 0.5, 5))
+        });
+        group.bench_with_input(BenchmarkId::new("neighbor_index", n), &artifact, |b, a| {
+            b.iter(|| dbscan_with_index(a.neighbors_built().expect("prebuilt"), 0.5, 5))
+        });
+        group.bench_with_input(BenchmarkId::new("index_build_and_dbscan", n), &m, |b, m| {
+            b.iter(|| {
+                let mut a = DissimArtifact::from_matrix(m.clone(), threads);
+                dbscan_with_index(a.neighbors(), 0.5, 5)
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_refine(c: &mut Criterion) {
     let mut group = c.benchmark_group("refine");
     for n in [100usize, 400] {
@@ -42,5 +74,5 @@ fn bench_refine(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_dbscan, bench_refine);
+criterion_group!(benches, bench_dbscan, bench_neighbor_index, bench_refine);
 criterion_main!(benches);

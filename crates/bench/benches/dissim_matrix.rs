@@ -2,9 +2,9 @@
 //! pipeline's dominant cost — across trace sizes and thread counts.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dissim::{dissimilarity, CondensedMatrix, DissimParams};
-use fieldclust::SegmentStore;
+use dissim::{dissimilarity, CondensedMatrix, DissimArtifact, DissimParams};
 use fieldclust::truth::truth_segmentation;
+use fieldclust::SegmentStore;
 use protocols::{corpus, Protocol};
 
 fn segments_for(n_messages: usize) -> Vec<Vec<u8>> {
@@ -37,7 +37,7 @@ fn bench_matrix(c: &mut Criterion) {
             &values,
             |b, values| {
                 b.iter(|| {
-                    CondensedMatrix::build_parallel(values.len(), 4, |i, j| {
+                    DissimArtifact::compute(values.len(), 4, |i, j| {
                         dissimilarity(&values[i], &values[j], &params)
                     })
                 })
@@ -53,11 +53,23 @@ fn bench_pairwise(c: &mut Criterion) {
     let a8 = [0xD2u8, 0x3D, 0x19, 0x03, 0xB3, 0xFC, 0xDA, 0xB1];
     let b8 = [0xD2u8, 0x3D, 0x19, 0x7A, 0x01, 0x58, 0x10, 0x62];
     group.bench_function("equal_len_8", |b| {
-        b.iter(|| dissimilarity(std::hint::black_box(&a8), std::hint::black_box(&b8), &params))
+        b.iter(|| {
+            dissimilarity(
+                std::hint::black_box(&a8),
+                std::hint::black_box(&b8),
+                &params,
+            )
+        })
     });
     let long: Vec<u8> = (0..64).collect();
     group.bench_function("mixed_len_8_vs_64", |b| {
-        b.iter(|| dissimilarity(std::hint::black_box(&a8), std::hint::black_box(&long), &params))
+        b.iter(|| {
+            dissimilarity(
+                std::hint::black_box(&a8),
+                std::hint::black_box(&long),
+                &params,
+            )
+        })
     });
     group.finish();
 }

@@ -12,25 +12,19 @@ fn bench_segmenters(c: &mut Criterion) {
     group.sample_size(10);
     for protocol in [Protocol::Ntp, Protocol::Dns, Protocol::Dhcp] {
         let trace = corpus::build_trace(protocol, 50, 3);
-        group.bench_with_input(
-            BenchmarkId::new("nemesys", protocol),
-            &trace,
-            |b, t| b.iter(|| Nemesys::default().segment_trace(t).unwrap()),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("csp", protocol),
-            &trace,
-            |b, t| b.iter(|| Csp::default().segment_trace(t).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::new("nemesys", protocol), &trace, |b, t| {
+            b.iter(|| Nemesys::default().segment_trace(t).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("csp", protocol), &trace, |b, t| {
+            b.iter(|| Csp::default().segment_trace(t).unwrap())
+        });
     }
     // Netzob is quadratic; bench on small traces only.
     for protocol in [Protocol::Ntp, Protocol::Dns] {
         let trace = corpus::build_trace(protocol, 25, 3);
-        group.bench_with_input(
-            BenchmarkId::new("netzob", protocol),
-            &trace,
-            |b, t| b.iter(|| Netzob::default().segment_trace(t).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::new("netzob", protocol), &trace, |b, t| {
+            b.iter(|| Netzob::default().segment_trace(t).unwrap())
+        });
     }
     group.finish();
 }

@@ -14,10 +14,10 @@ use cluster::dbscan::{dbscan, dbscan_weighted, Clustering, Label};
 use cluster::hdbscan::{hdbscan, HdbscanParams};
 use cluster::optics::optics;
 use cluster::refine::{merge_clusters, split_clusters, RefineParams};
-use dissim::{dissimilarity, CondensedMatrix, DissimParams};
+use dissim::{CondensedMatrix, DissimParams};
 use evalkit::{pair_counts, ClusterMetrics};
 use fieldclust::truth::{label_store, truth_segmentation};
-use fieldclust::{FieldTypeClusterer, SegmentStore};
+use fieldclust::{AnalysisSession, FieldTypeClusterer};
 use protocols::{corpus, FieldKind, Protocol};
 use serde::Serialize;
 
@@ -43,18 +43,29 @@ struct Prepared {
 fn prepare(protocol: Protocol, n: usize, penalty: f64) -> Prepared {
     let trace = corpus::build_trace(protocol, n, corpus::DEFAULT_SEED);
     let gt = corpus::ground_truth(protocol, &trace);
-    let seg = truth_segmentation(&trace, &gt);
-    let store = SegmentStore::collect(&trace, &seg, 2);
-    let labels = label_store(&store, &gt);
-    let weights = store.occurrence_counts();
-    let values: Vec<&[u8]> = store.segments.iter().map(|s| &s.value[..]).collect();
-    let params = DissimParams { length_penalty: penalty };
-    let matrix = CondensedMatrix::build_parallel(values.len(), 8, |i, j| {
-        dissimilarity(values[i], values[j], &params)
-    });
+    let config = FieldTypeClusterer {
+        dissim: DissimParams {
+            length_penalty: penalty,
+        },
+        ..FieldTypeClusterer::default()
+    };
+    let mut session = AnalysisSession::from_owned(trace, config);
+    session.set_segmentation(truth_segmentation(session.trace(), &gt));
+    let labels = label_store(session.store().expect("enough segments"), &gt);
+    let weights = session
+        .store()
+        .expect("enough segments")
+        .occurrence_counts();
+    let matrix = session.matrix().expect("enough segments").clone();
     let total: usize = weights.iter().sum();
     let min_samples = ((total as f64).ln().round() as usize).max(2);
-    Prepared { protocol, labels, weights, matrix, min_samples }
+    Prepared {
+        protocol,
+        labels,
+        weights,
+        matrix,
+        min_samples,
+    }
 }
 
 fn score(p: &Prepared, clustering: &Clustering, variant: &str) -> AblationRow {
@@ -91,9 +102,15 @@ fn print_row(r: &AblationRow) {
 
 fn main() {
     let mut rows: Vec<AblationRow> = Vec::new();
-    let cases = [(Protocol::Ntp, 1000), (Protocol::Dns, 1000), (Protocol::Smb, 100)];
+    let cases = [
+        (Protocol::Ntp, 1000),
+        (Protocol::Dns, 1000),
+        (Protocol::Smb, 100),
+    ];
 
-    println!("ABLATION 1/2/5 — refinement, weighting, clustering backend (DBSCAN / OPTICS / HDBSCAN)");
+    println!(
+        "ABLATION 1/2/5 — refinement, weighting, clustering backend (DBSCAN / OPTICS / HDBSCAN)"
+    );
     for &(protocol, n) in &cases {
         let p = prepare(protocol, n, DissimParams::default().length_penalty);
         let eps = auto_configure(&p.matrix, &AutoConfig::default())
@@ -123,7 +140,10 @@ fn main() {
 
         let h = hdbscan(
             &p.matrix,
-            &HdbscanParams { min_samples: p.min_samples.min(8), min_cluster_size: 5 },
+            &HdbscanParams {
+                min_samples: p.min_samples.min(8),
+                min_cluster_size: 5,
+            },
         );
         rows.push(score(&p, &h, "HDBSCAN (EOM, unweighted)"));
         print_row(rows.last().unwrap());
@@ -134,14 +154,20 @@ fn main() {
         for penalty in [0.0, 0.3, 0.59, 0.8, 1.0] {
             let p = prepare(protocol, n, penalty);
             let clusterer = FieldTypeClusterer {
-                dissim: DissimParams { length_penalty: penalty },
+                dissim: DissimParams {
+                    length_penalty: penalty,
+                },
                 ..FieldTypeClusterer::default()
             };
             let trace = corpus::build_trace(protocol, n, corpus::DEFAULT_SEED);
             let gt = corpus::ground_truth(protocol, &trace);
             let seg = truth_segmentation(&trace, &gt);
             let result = clusterer.cluster_trace(&trace, &seg).expect("pipeline");
-            rows.push(score(&p, &result.clustering, &format!("penalty = {penalty}")));
+            rows.push(score(
+                &p,
+                &result.clustering,
+                &format!("penalty = {penalty}"),
+            ));
             print_row(rows.last().unwrap());
         }
     }
@@ -150,7 +176,10 @@ fn main() {
     for knots in [4usize, 8, 12, 24, 48] {
         let protocol = Protocol::Ntp;
         let p = prepare(protocol, 1000, DissimParams::default().length_penalty);
-        let config = AutoConfig { smoothing_knots: knots, ..AutoConfig::default() };
+        let config = AutoConfig {
+            smoothing_knots: knots,
+            ..AutoConfig::default()
+        };
         match auto_configure(&p.matrix, &config) {
             Ok(s) => {
                 let c = dbscan_weighted(&p.matrix, s.epsilon, p.min_samples, &p.weights);
@@ -175,12 +204,16 @@ fn main() {
         let clusterer = FieldTypeClusterer::default();
         let mut variants: Vec<(String, segment::TraceSegmentation)> = vec![(
             "nemesys".to_string(),
-            Nemesys::default().segment_trace(&trace).expect("nemesys never fails"),
+            Nemesys::default()
+                .segment_trace(&trace)
+                .expect("nemesys never fails"),
         )];
         for width in [2usize, 4, 8] {
             variants.push((
                 format!("fixed-{width}"),
-                FixedChunks { width }.segment_trace(&trace).expect("fixed never fails"),
+                FixedChunks { width }
+                    .segment_trace(&trace)
+                    .expect("fixed never fails"),
             ));
         }
         for (name, seg) in variants {

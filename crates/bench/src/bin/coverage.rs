@@ -34,7 +34,9 @@ fn main() {
         .chain(corpus::small_specs());
     for spec in specs {
         let trace = spec.build();
-        let seg = Nemesys::default().segment_trace(&trace).expect("nemesys never fails");
+        let seg = Nemesys::default()
+            .segment_trace(&trace)
+            .expect("nemesys never fails");
         let clustering_cov = clusterer
             .cluster_trace(&trace, &seg)
             .map(|r| r.coverage(&trace).ratio())
@@ -44,7 +46,11 @@ fn main() {
             Ok(a) => (
                 Some(a.coverage.ratio()),
                 Some(a.fields.len()),
-                format!("{:10.1}%  ({} fields)", a.coverage.ratio() * 100.0, a.fields.len()),
+                format!(
+                    "{:10.1}%  ({} fields)",
+                    a.coverage.ratio() * 100.0,
+                    a.fields.len()
+                ),
             ),
             Err(FieldHunterError::NoContext) => (None, None, "no context".to_string()),
             Err(e) => (None, None, format!("error: {e}")),
@@ -73,7 +79,10 @@ fn main() {
         fh_rows.iter().sum::<f64>() / fh_rows.len() as f64
     };
     println!("\naverage clustering coverage:  {:5.1}%", cl_avg * 100.0);
-    println!("average FieldHunter coverage: {:5.1}% (where applicable)", fh_avg * 100.0);
+    println!(
+        "average FieldHunter coverage: {:5.1}% (where applicable)",
+        fh_avg * 100.0
+    );
     if fh_avg > 0.0 {
         println!("factor: {:.1}x", cl_avg / fh_avg);
     }

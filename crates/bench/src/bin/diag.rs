@@ -5,10 +5,9 @@
 
 use cluster::autoconf::{auto_configure, AutoConfig};
 use cluster::dbscan::dbscan;
-use dissim::{dissimilarity, CondensedMatrix, DissimParams};
-use fieldclust::truth::{label_store, truth_segmentation};
-use fieldclust::SegmentStore;
 use evalkit::{pair_counts, ClusterMetrics};
+use fieldclust::truth::{label_store, truth_segmentation};
+use fieldclust::{AnalysisSession, FieldTypeClusterer};
 use protocols::{corpus, Protocol};
 
 fn main() {
@@ -19,29 +18,32 @@ fn main() {
 
     let trace = corpus::build_trace(protocol, n, corpus::DEFAULT_SEED);
     let gt = corpus::ground_truth(protocol, &trace);
-    let seg = truth_segmentation(&trace, &gt);
-    let store = SegmentStore::collect(&trace, &seg, 2);
-    let labels = label_store(&store, &gt);
-    let values: Vec<&[u8]> = store.segments.iter().map(|s| &s.value[..]).collect();
-    let params = DissimParams::default();
-    let matrix = CondensedMatrix::build_parallel(values.len(), 8, |i, j| {
-        dissimilarity(values[i], values[j], &params)
-    });
-    println!("{} n={} unique_segments={}", protocol, n, values.len());
+    let mut session = AnalysisSession::new(&trace, FieldTypeClusterer::default());
+    session.set_segmentation(truth_segmentation(&trace, &gt));
+    let labels = label_store(session.store().expect("enough segments"), &gt);
+    let matrix = session.matrix().expect("enough segments");
+    let unique = matrix.len();
+    println!("{} n={} unique_segments={}", protocol, n, unique);
 
     // k-NN quantiles for each candidate k.
-    let min_samples = ((values.len() as f64).ln().round() as usize).max(2);
-    for k in 2..=min_samples.min(values.len() - 1) {
+    let min_samples = ((unique as f64).ln().round() as usize).max(2);
+    for k in 2..=min_samples.min(unique - 1) {
         let mut knn = matrix.knn_dissimilarities(k);
         knn.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let q = |f: f64| knn[((knn.len() - 1) as f64 * f) as usize];
         println!(
             "k={k:2}  q10={:.3} q50={:.3} q80={:.3} q90={:.3} q95={:.3} q99={:.3} max={:.3}",
-            q(0.1), q(0.5), q(0.8), q(0.9), q(0.95), q(0.99), q(1.0)
+            q(0.1),
+            q(0.5),
+            q(0.8),
+            q(0.9),
+            q(0.95),
+            q(0.99),
+            q(1.0)
         );
     }
 
-    let selected = auto_configure(&matrix, &AutoConfig::default()).expect("autoconf");
+    let selected = auto_configure(matrix, &AutoConfig::default()).expect("autoconf");
     println!(
         "autoconf: k={} eps={:.3} min_samples={}",
         selected.k, selected.epsilon, selected.min_samples
@@ -52,7 +54,7 @@ fn main() {
     let max_d = matrix.max().unwrap_or(1.0);
     for step in 1..=20 {
         let eps = max_d * step as f64 / 20.0;
-        let c = dbscan(&matrix, eps, min_samples);
+        let c = dbscan(matrix, eps, min_samples);
         let clusters = c.clusters();
         let largest = clusters.iter().map(Vec::len).max().unwrap_or(0);
         let label_clusters: Vec<Vec<_>> = clusters

@@ -8,9 +8,8 @@
 
 use bench::dump_json;
 use cluster::autoconf::{auto_configure, AutoConfig};
-use dissim::{dissimilarity, CondensedMatrix, DissimParams};
 use fieldclust::truth::truth_segmentation;
-use fieldclust::SegmentStore;
+use fieldclust::{AnalysisSession, FieldTypeClusterer};
 use protocols::{corpus, Protocol};
 use serde::Serialize;
 
@@ -27,16 +26,12 @@ fn main() {
     // The paper's Fig. 2 uses segments from 1000 NTP messages.
     let trace = corpus::build_trace(Protocol::Ntp, 1000, corpus::DEFAULT_SEED);
     let gt = corpus::ground_truth(Protocol::Ntp, &trace);
-    let seg = truth_segmentation(&trace, &gt);
-    let store = SegmentStore::collect(&trace, &seg, 2);
-    let values: Vec<&[u8]> = store.segments.iter().map(|s| &s.value[..]).collect();
-    let params = DissimParams::default();
-    eprintln!("building {}x{} dissimilarity matrix…", values.len(), values.len());
-    let matrix = CondensedMatrix::build_parallel(values.len(), 8, |i, j| {
-        dissimilarity(values[i], values[j], &params)
-    });
+    let mut session = AnalysisSession::new(&trace, FieldTypeClusterer::default());
+    session.set_segmentation(truth_segmentation(&trace, &gt));
+    let matrix = session.matrix().expect("enough segments");
+    eprintln!("built {0}x{0} dissimilarity matrix", matrix.len());
 
-    let selected = auto_configure(&matrix, &AutoConfig::default()).expect("auto-configuration");
+    let selected = auto_configure(matrix, &AutoConfig::default()).expect("auto-configuration");
     let n = selected.ecdf_values.len() as f64;
     let ecdf: Vec<(f64, f64)> = selected
         .ecdf_values
@@ -46,8 +41,14 @@ fn main() {
         .collect();
 
     println!("FIG 2 — k-NN dissimilarity ECDF and its knee (NTP, 1000 messages)");
-    println!("selected k = {}, min_samples = {}", selected.k, selected.min_samples);
-    println!("knee at dissimilarity = {:.3}  -> used as eps", selected.epsilon);
+    println!(
+        "selected k = {}, min_samples = {}",
+        selected.k, selected.min_samples
+    );
+    println!(
+        "knee at dissimilarity = {:.3}  -> used as eps",
+        selected.epsilon
+    );
     println!();
     println!("dissim  ECDF(smoothed)");
     // Print a readable down-sampled curve with an ASCII bar.
@@ -55,7 +56,9 @@ fn main() {
     let step = (curve.len() / 30).max(1);
     for (x, y) in curve.iter().step_by(step) {
         let bar = "#".repeat((y * 50.0).round() as usize);
-        let marker = if (x - selected.epsilon).abs() < (curve[step.min(curve.len() - 1)].0 - curve[0].0).abs() {
+        let marker = if (x - selected.epsilon).abs()
+            < (curve[step.min(curve.len() - 1)].0 - curve[0].0).abs()
+        {
             " <- knee"
         } else {
             ""
@@ -83,7 +86,10 @@ fn main() {
                 scatter: false,
             },
         ],
-        v_lines: vec![(selected.epsilon, format!("knee = {:.3} -> eps", selected.epsilon))],
+        v_lines: vec![(
+            selected.epsilon,
+            format!("knee = {:.3} -> eps", selected.epsilon),
+        )],
     };
     if std::fs::write("target/fig2.svg", figure.to_svg()).is_ok() {
         eprintln!("(figure written to target/fig2.svg)");

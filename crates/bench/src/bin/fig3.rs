@@ -12,7 +12,9 @@ use segment::Segmenter;
 
 fn main() {
     let trace = corpus::build_trace(Protocol::Ntp, 1000, corpus::DEFAULT_SEED);
-    let segmentation = Nemesys::default().segment_trace(&trace).expect("nemesys never fails");
+    let segmentation = Nemesys::default()
+        .segment_trace(&trace)
+        .expect("nemesys never fails");
 
     println!("FIG 3 — heuristic segment boundaries inside NTP timestamps");
     println!("(vertical bars: NEMESYS boundaries; brackets: true timestamp fields)\n");
@@ -21,10 +23,15 @@ fn main() {
     let mut split_timestamps = 0u64;
     let mut total_timestamps = 0u64;
     for (msg, segs) in trace.iter().zip(&segmentation.messages) {
-        let fields = Protocol::Ntp.dissect(msg.payload()).expect("corpus dissects");
+        let fields = Protocol::Ntp
+            .dissect(msg.payload())
+            .expect("corpus dissects");
         // The transmit timestamp (offset 40..48) is present and live in
         // every NTP message.
-        for f in fields.iter().filter(|f| f.kind == FieldKind::Timestamp && f.offset == 40) {
+        for f in fields
+            .iter()
+            .filter(|f| f.kind == FieldKind::Timestamp && f.offset == 40)
+        {
             total_timestamps += 1;
             let inner_cuts: Vec<usize> = segs
                 .cuts()
@@ -41,7 +48,10 @@ fn main() {
                         }
                         rendering.push_str(&format!("{b:02x}"));
                     }
-                    println!("NTP timestamp {}: [{rendering}]", (b'A' + shown as u8) as char);
+                    println!(
+                        "NTP timestamp {}: [{rendering}]",
+                        (b'A' + shown as u8) as char
+                    );
                     shown += 1;
                 }
             }

@@ -39,17 +39,26 @@ fn main() {
         let gt = corpus::ground_truth(spec.protocol, &trace);
         let types: Vec<&'static str> = trace
             .iter()
-            .map(|m| spec.protocol.message_type(m.payload()).expect("corpus parses"))
+            .map(|m| {
+                spec.protocol
+                    .message_type(m.payload())
+                    .expect("corpus parses")
+            })
             .collect();
         let n_types = types.iter().collect::<std::collections::HashSet<_>>().len();
 
         let truth_seg = truth_segmentation(&trace, &gt);
-        let nem_seg = Nemesys::default().segment_trace(&trace).expect("nemesys never fails");
+        let nem_seg = Nemesys::default()
+            .segment_trace(&trace)
+            .expect("nemesys never fails");
         for (name, seg) in [("truth", &truth_seg), ("nemesys", &nem_seg)] {
             let result = match identify_message_types(&trace, seg, &MessageTypeConfig::default()) {
                 Ok(r) => r,
                 Err(e) => {
-                    println!("{:6} {:5} {:8} failed: {e}", spec.protocol, spec.messages, name);
+                    println!(
+                        "{:6} {:5} {:8} failed: {e}",
+                        spec.protocol, spec.messages, name
+                    );
                     continue;
                 }
             };
@@ -59,7 +68,12 @@ fn main() {
                 .iter()
                 .map(|members| members.iter().map(|&m| types[m]).collect())
                 .collect();
-            let noise: Vec<&str> = result.clustering.noise().iter().map(|&m| types[m]).collect();
+            let noise: Vec<&str> = result
+                .clustering
+                .noise()
+                .iter()
+                .map(|&m| types[m])
+                .collect();
             let m = ClusterMetrics::from_counts(&pair_counts(&clusters, &noise));
             println!(
                 "{:6} {:5} {:8} {:4} {:6} {:5.2} {:5.2} {:5.2}",

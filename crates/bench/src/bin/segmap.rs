@@ -8,9 +8,8 @@
 
 use bench::plot::{Plot, Series};
 use cluster::dbscan::Label;
-use dissim::{dissimilarity, CondensedMatrix, DissimParams};
 use fieldclust::truth::truth_segmentation;
-use fieldclust::FieldTypeClusterer;
+use fieldclust::{AnalysisSession, FieldTypeClusterer};
 use mathkit::mds::classical_mds;
 use protocols::{corpus, Protocol};
 
@@ -35,18 +34,14 @@ fn main() {
 
     let trace = corpus::build_trace(protocol, n, corpus::DEFAULT_SEED);
     let gt = corpus::ground_truth(protocol, &trace);
-    let segmentation = truth_segmentation(&trace, &gt);
-    let result = FieldTypeClusterer::default()
-        .cluster_trace(&trace, &segmentation)
-        .expect("pipeline");
+    let mut session = AnalysisSession::new(&trace, FieldTypeClusterer::default());
+    session.set_segmentation(truth_segmentation(&trace, &gt));
+    let result = session.finish().expect("pipeline");
 
-    let values: Vec<&[u8]> = result.store.segments.iter().map(|s| &s.value[..]).collect();
-    let params = DissimParams::default();
-    let matrix = CondensedMatrix::build_parallel(values.len(), 8, |i, j| {
-        dissimilarity(values[i], values[j], &params)
-    });
-    eprintln!("embedding {} unique segments…", values.len());
-    let embedding = classical_mds(values.len(), 2, |i, j| matrix.get(i, j)).expect("embedding");
+    // The session already built the matrix for clustering — reuse it.
+    let matrix = session.matrix().expect("pipeline");
+    eprintln!("embedding {} unique segments…", matrix.len());
+    let embedding = classical_mds(matrix.len(), 2, |i, j| matrix.get(i, j)).expect("embedding");
 
     // One scatter series per cluster, plus noise in gray.
     let mut series: Vec<Series> = Vec::new();

@@ -15,7 +15,10 @@ fn main() {
 
     println!("TABLE I — clustering from ground-truth segments");
     println!("{ROW_HEADER}");
-    for spec in corpus::large_specs().into_iter().chain(corpus::small_specs()) {
+    for spec in corpus::large_specs()
+        .into_iter()
+        .chain(corpus::small_specs())
+    {
         let start = std::time::Instant::now();
         let record = run_truth(&spec, &clusterer);
         println!("{}   [{:.1?}]", render_row(&record), start.elapsed());

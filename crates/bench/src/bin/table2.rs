@@ -31,7 +31,10 @@ fn main() {
     let mut cells: Vec<Table2Cell> = Vec::new();
 
     println!("TABLE II — clustering from heuristic segments");
-    for spec in corpus::large_specs().into_iter().chain(corpus::small_specs()) {
+    for spec in corpus::large_specs()
+        .into_iter()
+        .chain(corpus::small_specs())
+    {
         println!("--- {} ({} msgs) ---", spec.protocol, spec.messages);
         for segmenter in &segmenters {
             let start = std::time::Instant::now();

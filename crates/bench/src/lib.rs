@@ -88,9 +88,13 @@ pub fn run_segmenter(
     let (trace, gt) = prepare(spec);
     match segmenter.segment_trace(&trace) {
         Err(e) => RunOutcome::Fails(e),
-        Ok(segmentation) => {
-            RunOutcome::Done(Box::new(run_on(spec, clusterer, &trace, &gt, &segmentation)))
-        }
+        Ok(segmentation) => RunOutcome::Done(Box::new(run_on(
+            spec,
+            clusterer,
+            &trace,
+            &gt,
+            &segmentation,
+        ))),
     }
 }
 

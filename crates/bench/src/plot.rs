@@ -50,7 +50,8 @@ impl Plot {
         let (x0, x1) = bounds(all.iter().map(|p| p.0));
         let (y0, y1) = bounds(all.iter().map(|p| p.1));
         let sx = |x: f64| MARGIN_L + (x - x0) / (x1 - x0).max(1e-12) * (W - MARGIN_L - MARGIN_R);
-        let sy = |y: f64| H - MARGIN_B - (y - y0) / (y1 - y0).max(1e-12) * (H - MARGIN_T - MARGIN_B);
+        let sy =
+            |y: f64| H - MARGIN_B - (y - y0) / (y1 - y0).max(1e-12) * (H - MARGIN_T - MARGIN_B);
 
         let mut svg = String::with_capacity(8192);
         svg.push_str(&format!(
@@ -120,7 +121,12 @@ impl Plot {
                     .iter()
                     .enumerate()
                     .map(|(i, &(x, y))| {
-                        format!("{}{:.1},{:.1}", if i == 0 { "M" } else { "L" }, sx(x), sy(y))
+                        format!(
+                            "{}{:.1},{:.1}",
+                            if i == 0 { "M" } else { "L" },
+                            sx(x),
+                            sy(y)
+                        )
                     })
                     .collect();
                 svg.push_str(&format!(
@@ -181,7 +187,9 @@ fn bounds(values: impl Iterator<Item = f64>) -> (f64, f64) {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]

@@ -4,7 +4,7 @@ use crate::opts::{hex_preview, CommonOpts};
 use fieldclust::fuzzgen::ValueModel;
 use fieldclust::report::{render_markdown, ReportOptions};
 use fieldclust::semantics::{interpret, SemanticsConfig};
-use fieldclust::FieldTypeClusterer;
+use fieldclust::{AnalysisSession, FieldTypeClusterer};
 use protocols::{Protocol, ProtocolSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -18,7 +18,8 @@ fn load_trace(opts: &CommonOpts) -> Result<Trace, String> {
         .ok_or("missing <capture.pcap> argument")?;
     let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
     // Sniffs classic pcap vs pcapng by magic.
-    let mut raw = trace::pcapng::read_any(&bytes, "capture").map_err(|e| format!("parsing {path}: {e}"))?;
+    let mut raw =
+        trace::pcapng::read_any(&bytes, "capture").map_err(|e| format!("parsing {path}: {e}"))?;
     if opts.reassemble {
         let (rebuilt, stats) = reassemble(&raw, &NbssFramer);
         eprintln!(
@@ -46,28 +47,31 @@ pub fn analyze(args: &[String]) -> Result<(), String> {
     let opts = CommonOpts::parse(args)?;
     let trace = load_trace(&opts)?;
     let segmenter = opts.build_segmenter()?;
-    let segmentation = segmenter
-        .segment_trace(&trace)
+    // One session: field types, message types, and diagnostics all share
+    // the same cached artifacts (segmentation, stores, matrices).
+    let mut session = AnalysisSession::new(&trace, FieldTypeClusterer::default());
+    session
+        .segment_with(segmenter.as_ref())
         .map_err(|e| format!("segmentation failed: {e}"))?;
-    let result = FieldTypeClusterer::default()
-        .cluster_trace(&trace, &segmentation)
+    let result = session
+        .finish()
         .map_err(|e| format!("clustering failed: {e}"))?;
     let semantics = interpret(&result, &trace, &SemanticsConfig::default());
     let coverage = result.coverage(&trace);
 
     if let Some(path) = &opts.report {
-        let message_types = fieldclust::msgtype::identify_message_types(
-            &trace,
-            &segmentation,
-            &fieldclust::msgtype::MessageTypeConfig::default(),
-        )
-        .ok();
+        let message_types = session
+            .message_types(&fieldclust::msgtype::MessageTypeConfig::default())
+            .ok();
         let md = render_markdown(
             &trace,
             &result,
             &semantics,
             message_types.as_ref(),
-            &ReportOptions { examples_per_cluster: 3, include_value_models: true },
+            &ReportOptions {
+                examples_per_cluster: 3,
+                include_value_models: true,
+            },
         );
         std::fs::write(path, md).map_err(|e| format!("writing {path}: {e}"))?;
         println!("report written to {path}");
@@ -140,8 +144,18 @@ pub fn analyze(args: &[String]) -> Result<(), String> {
         result.epsilon_source,
         coverage.ratio() * 100.0
     );
-    println!("{} pseudo data types ({} noise segments):\n", result.clustering.n_clusters(), result.clustering.noise().len());
-    for ((id, members), sem) in result.clustering.clusters().iter().enumerate().zip(&semantics) {
+    println!(
+        "{} pseudo data types ({} noise segments):\n",
+        result.clustering.n_clusters(),
+        result.clustering.noise().len()
+    );
+    for ((id, members), sem) in result
+        .clustering
+        .clusters()
+        .iter()
+        .enumerate()
+        .zip(&semantics)
+    {
         let occurrences: usize = members
             .iter()
             .map(|&m| result.store.segments[m].occurrences())
@@ -213,7 +227,12 @@ pub fn segment(args: &[String]) -> Result<(), String> {
         segmentation.total_segments(),
         segmenter.name()
     );
-    for (i, (msg, segs)) in trace.iter().zip(&segmentation.messages).enumerate().take(opts.limit) {
+    for (i, (msg, segs)) in trace
+        .iter()
+        .zip(&segmentation.messages)
+        .enumerate()
+        .take(opts.limit)
+    {
         let rendered: Vec<String> = segs
             .ranges()
             .iter()
@@ -237,12 +256,19 @@ pub fn fuzz(args: &[String]) -> Result<(), String> {
         .map_err(|e| format!("clustering failed: {e}"))?;
     let models = ValueModel::per_cluster(&result);
     let mut rng = StdRng::seed_from_u64(opts.seed);
-    println!("fuzzing candidates per pseudo data type (seed {}):", opts.seed);
+    println!(
+        "fuzzing candidates per pseudo data type (seed {}):",
+        opts.seed
+    );
     for (id, model) in models.iter().enumerate().take(opts.limit) {
         let candidates: Vec<String> = (0..opts.count)
             .map(|_| hex_preview(&model.sample(&mut rng), 16))
             .collect();
-        println!("  type {id:2} (trained on {:5} values): {}", model.training_weight(), candidates.join(", "));
+        println!(
+            "  type {id:2} (trained on {:5} values): {}",
+            model.training_weight(),
+            candidates.join(", ")
+        );
     }
     Ok(())
 }
@@ -257,7 +283,10 @@ pub fn compare(args: &[String]) -> Result<(), String> {
     let segmenter = opts.build_segmenter()?;
     let mut results = Vec::new();
     for path in &opts.positional {
-        let single = CommonOpts { positional: vec![path.clone()], ..CommonOpts::parse(&[])? };
+        let single = CommonOpts {
+            positional: vec![path.clone()],
+            ..CommonOpts::parse(&[])?
+        };
         let single = CommonOpts {
             port: opts.port,
             max: opts.max,
@@ -286,7 +315,10 @@ pub fn compare(args: &[String]) -> Result<(), String> {
         diff.only_left.len(),
         diff.only_right.len()
     );
-    println!("value retention A->B: {:.0}%", diff.left_value_retention * 100.0);
+    println!(
+        "value retention A->B: {:.0}%",
+        diff.left_value_retention * 100.0
+    );
     for m in diff.matches.iter().take(opts.limit) {
         println!(
             "  A:{:<3} <-> B:{:<3}  jaccard {:.2} ({} shared values)",
@@ -322,7 +354,10 @@ pub fn stats(args: &[String]) -> Result<(), String> {
     for (t, c) in &s.transports {
         println!("  transport {t:?}: {c} messages");
     }
-    println!("per-offset entropy (first {} bytes; low = fixed header):", s.offset_profile.len());
+    println!(
+        "per-offset entropy (first {} bytes; low = fixed header):",
+        s.offset_profile.len()
+    );
     let bar = |e: f64| "#".repeat((e * 4.0).round() as usize);
     for (off, e) in s.offset_profile.iter().enumerate() {
         println!("  byte {off:3}: {e:4.2} {}", bar(*e));
@@ -339,7 +374,9 @@ pub fn generate(args: &[String]) -> Result<(), String> {
     };
     let protocol = Protocol::from_name(protocol)
         .ok_or_else(|| format!("unknown protocol `{protocol}` (see `fieldclust protocols`)"))?;
-    let n: usize = n.parse().map_err(|_| "<messages> must be a number".to_string())?;
+    let n: usize = n
+        .parse()
+        .map_err(|_| "<messages> must be a number".to_string())?;
     let trace = protocol.generate(n, opts.seed);
     pcap::write_to_file(&trace, out).map_err(|e| format!("writing {out}: {e}"))?;
     println!(

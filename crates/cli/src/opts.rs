@@ -127,7 +127,9 @@ impl CommonOpts {
             "netzob" => Ok(Box::new(Netzob::default())),
             "csp" => Ok(Box::new(Csp::default())),
             "fixed" => Ok(Box::new(FixedChunks::default())),
-            other => Err(format!("unknown segmenter `{other}` (nemesys|netzob|csp|fixed)")),
+            other => Err(format!(
+                "unknown segmenter `{other}` (nemesys|netzob|csp|fixed)"
+            )),
         }
     }
 }
@@ -161,7 +163,17 @@ mod tests {
 
     #[test]
     fn flags_and_values() {
-        let o = parse(&["a.pcap", "--segmenter", "csp", "--port", "53", "--max", "100", "--json"]).unwrap();
+        let o = parse(&[
+            "a.pcap",
+            "--segmenter",
+            "csp",
+            "--port",
+            "53",
+            "--max",
+            "100",
+            "--json",
+        ])
+        .unwrap();
         assert_eq!(o.segmenter, "csp");
         assert_eq!(o.port, Some(53));
         assert_eq!(o.max, Some(100));
@@ -181,7 +193,10 @@ mod tests {
             let o = parse(&["--segmenter", name]).unwrap();
             assert_eq!(o.build_segmenter().unwrap().name(), name);
         }
-        assert!(parse(&["--segmenter", "magic"]).unwrap().build_segmenter().is_err());
+        assert!(parse(&["--segmenter", "magic"])
+            .unwrap()
+            .build_segmenter()
+            .is_err());
     }
 
     #[test]

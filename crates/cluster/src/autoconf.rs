@@ -8,7 +8,7 @@
 //! `min_samples` is `round(ln n)`, which the paper found sufficient to
 //! avoid scattering large traces into many small clusters.
 
-use dissim::CondensedMatrix;
+use dissim::{CondensedMatrix, NeighborIndex};
 use mathkit::kneedle::{detect_knees, KneedleParams};
 use mathkit::SmoothingSpline;
 
@@ -94,8 +94,37 @@ impl std::error::Error for AutoConfError {}
 /// # Errors
 ///
 /// See [`AutoConfError`].
-pub fn auto_configure(matrix: &CondensedMatrix, config: &AutoConfig) -> Result<SelectedParams, AutoConfError> {
-    let n = matrix.len();
+pub fn auto_configure(
+    matrix: &CondensedMatrix,
+    config: &AutoConfig,
+) -> Result<SelectedParams, AutoConfError> {
+    auto_configure_impl(matrix.len(), |k| matrix.knn_dissimilarities(k), config)
+}
+
+/// Runs Algorithm 1 with k-NN dissimilarities read off a prebuilt
+/// [`NeighborIndex`] instead of scanning matrix rows.
+///
+/// The k-th neighbor dissimilarity is the same order statistic either
+/// way, so this selects exactly the parameters [`auto_configure`] would.
+///
+/// # Errors
+///
+/// See [`AutoConfError`].
+pub fn auto_configure_with_index(
+    index: &NeighborIndex,
+    config: &AutoConfig,
+) -> Result<SelectedParams, AutoConfError> {
+    auto_configure_impl(index.len(), |k| index.knn_dissimilarities(k), config)
+}
+
+/// Shared core of Algorithm 1. `knn` returns each item's k-th nearest
+/// neighbor dissimilarity (in any item order — the values are sorted
+/// before use).
+fn auto_configure_impl(
+    n: usize,
+    knn: impl Fn(usize) -> Vec<f64>,
+    config: &AutoConfig,
+) -> Result<SelectedParams, AutoConfError> {
     if n < 4 {
         return Err(AutoConfError::TooFewSegments { n });
     }
@@ -104,7 +133,7 @@ pub fn auto_configure(matrix: &CondensedMatrix, config: &AutoConfig) -> Result<S
 
     let mut best: Option<(f64, usize, Vec<f64>, SmoothingSpline)> = None;
     for k in 2..=k_max {
-        let mut knn = matrix.knn_dissimilarities(k);
+        let mut knn = knn(k);
         if let Some(cutoff) = config.max_dissimilarity {
             knn.retain(|&d| d < cutoff);
             if knn.len() < 4 {
@@ -159,7 +188,9 @@ pub fn auto_configure(matrix: &CondensedMatrix, config: &AutoConfig) -> Result<S
         xs.push(running_max);
         ys.push(frac);
     }
-    let params = KneedleParams { sensitivity: config.sensitivity };
+    let params = KneedleParams {
+        sensitivity: config.sensitivity,
+    };
     let knees = detect_knees(&xs, &ys, &params);
     let knee = knees.last().copied().ok_or(AutoConfError::NoKnee)?;
 
@@ -211,6 +242,24 @@ mod tests {
     }
 
     #[test]
+    fn index_backed_autoconf_matches_matrix_scan() {
+        let m = blobs(4, 18, 0.08, 7.0, 5);
+        let idx = dissim::NeighborIndex::build(&m);
+        for config in [
+            AutoConfig::default(),
+            AutoConfig {
+                max_dissimilarity: Some(1.0),
+                ..AutoConfig::default()
+            },
+        ] {
+            assert_eq!(
+                auto_configure(&m, &config),
+                auto_configure_with_index(&idx, &config)
+            );
+        }
+    }
+
+    #[test]
     fn rejects_tiny_inputs() {
         let m = CondensedMatrix::build(3, |_, _| 1.0);
         assert!(matches!(
@@ -235,10 +284,18 @@ mod tests {
         let first = auto_configure(&m, &AutoConfig::default()).unwrap();
         let trimmed = auto_configure(
             &m,
-            &AutoConfig { max_dissimilarity: Some(first.epsilon), ..AutoConfig::default() },
+            &AutoConfig {
+                max_dissimilarity: Some(first.epsilon),
+                ..AutoConfig::default()
+            },
         );
         if let Ok(second) = trimmed {
-            assert!(second.epsilon <= first.epsilon, "{} > {}", second.epsilon, first.epsilon);
+            assert!(
+                second.epsilon <= first.epsilon,
+                "{} > {}",
+                second.epsilon,
+                first.epsilon
+            );
         }
     }
 

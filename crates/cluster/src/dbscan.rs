@@ -7,7 +7,7 @@
 //! classic region-growing formulation with scikit-learn's convention that
 //! `min_samples` counts the point itself.
 
-use dissim::CondensedMatrix;
+use dissim::{CondensedMatrix, NeighborIndex};
 
 /// Cluster assignment of one item.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -30,7 +30,10 @@ impl Clustering {
     ///
     /// Cluster ids need not be dense; they are compacted.
     pub fn from_labels(labels: Vec<Label>) -> Self {
-        let mut c = Self { labels, n_clusters: 0 };
+        let mut c = Self {
+            labels,
+            n_clusters: 0,
+        };
         c.compact();
         c
     }
@@ -105,6 +108,36 @@ pub fn dbscan(matrix: &CondensedMatrix, eps: f64, min_samples: usize) -> Cluster
     dbscan_weighted(matrix, eps, min_samples, &weights)
 }
 
+/// Runs DBSCAN with ε-region queries answered by a prebuilt
+/// [`NeighborIndex`] (binary-searched sorted neighbor lists) instead of
+/// matrix row scans.
+///
+/// Produces exactly the same clustering as [`dbscan`]: the region query
+/// returns neighbors ordered by dissimilarity instead of index, and
+/// DBSCAN's density-reachable sets are invariant under that permutation.
+pub fn dbscan_with_index(index: &NeighborIndex, eps: f64, min_samples: usize) -> Clustering {
+    let weights = vec![1usize; index.len()];
+    dbscan_weighted_with_index(index, eps, min_samples, &weights)
+}
+
+/// Weighted DBSCAN (see [`dbscan_weighted`]) over a prebuilt
+/// [`NeighborIndex`].
+///
+/// # Panics
+///
+/// Panics if `weights` is shorter than the index.
+pub fn dbscan_weighted_with_index(
+    index: &NeighborIndex,
+    eps: f64,
+    min_samples: usize,
+    weights: &[usize],
+) -> Clustering {
+    assert!(weights.len() >= index.len(), "need a weight per item");
+    dbscan_impl(index.len(), min_samples, weights, |i, out| {
+        out.extend(index.range(i, eps).iter().map(|&(_, j)| j as usize));
+    })
+}
+
 /// Runs DBSCAN over *weighted* items: item `i` stands for `weights[i]`
 /// identical samples at the same position.
 ///
@@ -127,29 +160,44 @@ pub fn dbscan_weighted(
 ) -> Clustering {
     let n = matrix.len();
     assert!(weights.len() >= n, "need a weight per item");
+    dbscan_impl(n, min_samples, weights, |i, out| {
+        out.extend((0..n).filter(|&j| j != i && matrix.get(i, j) <= eps));
+    })
+}
+
+/// The region-growing core shared by the matrix-scan and neighbor-index
+/// entry points. `region` appends the ε-neighbors of an item to the
+/// provided scratch buffer (self excluded); the reported clustering does
+/// not depend on the order it emits them in.
+fn dbscan_impl(
+    n: usize,
+    min_samples: usize,
+    weights: &[usize],
+    mut region: impl FnMut(usize, &mut Vec<usize>),
+) -> Clustering {
     const UNVISITED: u32 = u32::MAX;
     const NOISE: u32 = u32::MAX - 1;
     let mut labels = vec![UNVISITED; n];
     let mut cluster_id = 0u32;
+    let mut nb: Vec<usize> = Vec::new();
 
-    let neighbors = |i: usize| -> Vec<usize> {
-        (0..n).filter(|&j| j != i && matrix.get(i, j) <= eps).collect()
+    let neighborhood_weight = |i: usize, nb: &[usize]| -> usize {
+        weights[i] + nb.iter().map(|&j| weights[j]).sum::<usize>()
     };
-    let neighborhood_weight =
-        |i: usize, nb: &[usize]| -> usize { weights[i] + nb.iter().map(|&j| weights[j]).sum::<usize>() };
 
     for i in 0..n {
         if labels[i] != UNVISITED {
             continue;
         }
-        let seed = neighbors(i);
-        if neighborhood_weight(i, &seed) < min_samples {
+        nb.clear();
+        region(i, &mut nb);
+        if neighborhood_weight(i, &nb) < min_samples {
             labels[i] = NOISE;
             continue;
         }
         // Start a new cluster and grow it breadth-first.
         labels[i] = cluster_id;
-        let mut queue: std::collections::VecDeque<usize> = seed.into();
+        let mut queue: std::collections::VecDeque<usize> = nb.iter().copied().collect();
         while let Some(q) = queue.pop_front() {
             if labels[q] == NOISE {
                 labels[q] = cluster_id; // border point adopted by the cluster
@@ -158,9 +206,10 @@ pub fn dbscan_weighted(
                 continue;
             }
             labels[q] = cluster_id;
-            let q_neighbors = neighbors(q);
-            if neighborhood_weight(q, &q_neighbors) >= min_samples {
-                queue.extend(q_neighbors);
+            nb.clear();
+            region(q, &mut nb);
+            if neighborhood_weight(q, &nb) >= min_samples {
+                queue.extend(nb.iter().copied());
             }
         }
         cluster_id += 1;
@@ -168,7 +217,13 @@ pub fn dbscan_weighted(
 
     let labels = labels
         .into_iter()
-        .map(|l| if l == NOISE { Label::Noise } else { Label::Cluster(l) })
+        .map(|l| {
+            if l == NOISE {
+                Label::Noise
+            } else {
+                Label::Cluster(l)
+            }
+        })
         .collect();
     Clustering::from_labels(labels)
 }
@@ -283,6 +338,26 @@ mod tests {
     fn weighted_rejects_short_weights() {
         let m = line_matrix(&[0.0, 1.0]);
         dbscan_weighted(&m, 0.5, 2, &[1]);
+    }
+
+    #[test]
+    fn index_backed_dbscan_matches_matrix_scan() {
+        let pts = [0.0, 0.1, 0.2, 1.5, 10.0, 10.1, 10.2, 55.0, 55.3];
+        let m = line_matrix(&pts);
+        let idx = dissim::NeighborIndex::build(&m);
+        let w = [7, 1, 1, 1, 3, 1, 1, 2, 1];
+        for (eps, ms) in [(0.5, 2), (0.5, 3), (0.35, 5), (2.0, 2), (100.0, 3)] {
+            assert_eq!(
+                dbscan(&m, eps, ms),
+                dbscan_with_index(&idx, eps, ms),
+                "eps={eps} ms={ms}"
+            );
+            assert_eq!(
+                dbscan_weighted(&m, eps, ms, &w),
+                dbscan_weighted_with_index(&idx, eps, ms, &w),
+                "weighted eps={eps} ms={ms}"
+            );
+        }
     }
 
     #[test]

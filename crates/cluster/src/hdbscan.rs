@@ -13,7 +13,7 @@
 //! extraction.
 
 use crate::dbscan::{Clustering, Label};
-use dissim::CondensedMatrix;
+use dissim::{CondensedMatrix, NeighborIndex};
 
 /// HDBSCAN* parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,7 +28,10 @@ pub struct HdbscanParams {
 
 impl Default for HdbscanParams {
     fn default() -> Self {
-        Self { min_samples: 5, min_cluster_size: 5 }
+        Self {
+            min_samples: 5,
+            min_cluster_size: 5,
+        }
     }
 }
 
@@ -49,28 +52,66 @@ fn lambda_of(distance: f64) -> f64 {
 /// Runs HDBSCAN* and returns a flat clustering (EOM extraction).
 pub fn hdbscan(matrix: &CondensedMatrix, params: &HdbscanParams) -> Clustering {
     let n = matrix.len();
-    if n == 0 {
-        return Clustering::from_labels(Vec::new());
-    }
-    if n < params.min_cluster_size.max(2) {
-        return Clustering::from_labels(vec![Label::Noise; n]);
-    }
-    let min_samples = params.min_samples.max(1).min(n);
-    let min_cluster_size = params.min_cluster_size.max(2);
-
-    // 1. Core distances.
+    let min_samples = params.min_samples.max(1).min(n.max(1));
+    // 1. Core distances, via row scans into one reused scratch buffer.
+    let mut row = Vec::new();
     let core: Vec<f64> = (0..n)
         .map(|i| {
             if min_samples == 1 {
                 return 0.0;
             }
-            let mut row = matrix.row(i);
+            matrix.row_into(i, &mut row);
             let (_, kth, _) = row.select_nth_unstable_by(min_samples - 2, |a, b| {
                 a.partial_cmp(b).expect("distances are not NaN")
             });
             *kth
         })
         .collect();
+    hdbscan_from_core(matrix, params, &core)
+}
+
+/// Runs HDBSCAN* with core distances read off a prebuilt
+/// [`NeighborIndex`] instead of per-item row selections.
+///
+/// Produces exactly the same clustering as [`hdbscan`]: the core
+/// distance is the `(min_samples - 1)`-th order statistic of each row,
+/// which the sorted neighbor lists hold directly.
+///
+/// # Panics
+///
+/// Panics if the index and matrix cover different item counts.
+pub fn hdbscan_with_index(
+    matrix: &CondensedMatrix,
+    index: &NeighborIndex,
+    params: &HdbscanParams,
+) -> Clustering {
+    let n = matrix.len();
+    assert_eq!(index.len(), n, "index and matrix must cover the same items");
+    let min_samples = params.min_samples.max(1).min(n.max(1));
+    let core: Vec<f64> = (0..n)
+        .map(|i| {
+            if min_samples == 1 {
+                0.0
+            } else {
+                index.kth_dissimilarity(i, min_samples - 1)
+            }
+        })
+        .collect();
+    hdbscan_from_core(matrix, params, &core)
+}
+
+/// The dendrogram/condensation/extraction pipeline shared by both entry
+/// points, starting from precomputed core distances.
+fn hdbscan_from_core(matrix: &CondensedMatrix, params: &HdbscanParams, core: &[f64]) -> Clustering {
+    let n = matrix.len();
+    if n == 0 {
+        return Clustering::from_labels(Vec::new());
+    }
+    if n < params.min_cluster_size.max(2) {
+        return Clustering::from_labels(vec![Label::Noise; n]);
+    }
+    let min_cluster_size = params.min_cluster_size.max(2);
+
     let mutual = |i: usize, j: usize| matrix.get(i, j).max(core[i]).max(core[j]);
 
     // 2a. MST over mutual reachability (Prim, O(n²)).
@@ -126,7 +167,12 @@ pub fn hdbscan(matrix: &CondensedMatrix, params: &HdbscanParams) -> Clustering {
         let right = rep[rb];
         let size_left = if left < n { 1 } else { dendro[left - n].size };
         let size_right = if right < n { 1 } else { dendro[right - n].size };
-        dendro.push(DendroNode { left, right, distance: d, size: size_left + size_right });
+        dendro.push(DendroNode {
+            left,
+            right,
+            distance: d,
+            size: size_left + size_right,
+        });
         let new_id = n + dendro.len() - 1;
         parent[rb] = ra;
         rep[ra] = new_id;
@@ -217,7 +263,11 @@ pub fn hdbscan(matrix: &CondensedMatrix, params: &HdbscanParams) -> Clustering {
     let mut selected = vec![false; m];
     let mut subtree_stability = vec![0.0f64; m];
     for id in (0..m).rev() {
-        let child_sum: f64 = condensed[id].children.iter().map(|&c| subtree_stability[c]).sum();
+        let child_sum: f64 = condensed[id]
+            .children
+            .iter()
+            .map(|&c| subtree_stability[c])
+            .sum();
         if condensed[id].children.is_empty() || condensed[id].stability >= child_sum {
             selected[id] = true;
             subtree_stability[id] = condensed[id].stability.max(child_sum);
@@ -237,8 +287,8 @@ pub fn hdbscan(matrix: &CondensedMatrix, params: &HdbscanParams) -> Clustering {
 
     let mut labels = vec![Label::Noise; n];
     let mut next = 0u32;
-    for id in 0..condensed.len() {
-        if selected[id] {
+    for (id, &sel) in selected.iter().enumerate() {
+        if sel {
             // A selected cluster owns all members recorded in its subtree.
             let mut stack = vec![id];
             let mut any = false;
@@ -280,7 +330,9 @@ mod tests {
     }
 
     fn blob(center: f64, n: usize, spread: f64) -> Vec<f64> {
-        (0..n).map(|i| center + spread * i as f64 / n as f64).collect()
+        (0..n)
+            .map(|i| center + spread * i as f64 / n as f64)
+            .collect()
     }
 
     #[test]
@@ -303,7 +355,10 @@ mod tests {
         pts.extend(blob(200.0, 8, 0.4));
         let c = hdbscan(
             &line_matrix(&pts),
-            &HdbscanParams { min_samples: 3, min_cluster_size: 4 },
+            &HdbscanParams {
+                min_samples: 3,
+                min_cluster_size: 4,
+            },
         );
         assert_eq!(c.n_clusters(), 3, "labels: {:?}", c.labels());
     }
@@ -313,8 +368,19 @@ mod tests {
         let mut pts = blob(0.0, 12, 0.5);
         pts.extend(blob(40.0, 12, 0.5));
         pts.push(1000.0);
-        let c = hdbscan(&line_matrix(&pts), &HdbscanParams { min_samples: 3, min_cluster_size: 4 });
-        assert_eq!(*c.labels().last().unwrap(), Label::Noise, "labels: {:?}", c.labels());
+        let c = hdbscan(
+            &line_matrix(&pts),
+            &HdbscanParams {
+                min_samples: 3,
+                min_cluster_size: 4,
+            },
+        );
+        assert_eq!(
+            *c.labels().last().unwrap(),
+            Label::Noise,
+            "labels: {:?}",
+            c.labels()
+        );
         assert_eq!(c.n_clusters(), 2);
     }
 
@@ -324,7 +390,13 @@ mod tests {
         // loose cluster.
         let mut pts = blob(0.0, 12, 0.1); // tight
         pts.extend(blob(100.0, 12, 5.0)); // loose
-        let c = hdbscan(&line_matrix(&pts), &HdbscanParams { min_samples: 3, min_cluster_size: 5 });
+        let c = hdbscan(
+            &line_matrix(&pts),
+            &HdbscanParams {
+                min_samples: 3,
+                min_cluster_size: 5,
+            },
+        );
         assert_eq!(c.n_clusters(), 2, "labels: {:?}", c.labels());
     }
 
@@ -335,9 +407,37 @@ mod tests {
         assert_eq!(one.labels(), &[Label::Noise]);
         // All identical points: one cluster.
         let same = vec![5.0; 10];
-        let c = hdbscan(&line_matrix(&same), &HdbscanParams { min_samples: 3, min_cluster_size: 4 });
+        let c = hdbscan(
+            &line_matrix(&same),
+            &HdbscanParams {
+                min_samples: 3,
+                min_cluster_size: 4,
+            },
+        );
         assert_eq!(c.n_clusters(), 1);
         assert!(c.noise().is_empty());
+    }
+
+    #[test]
+    fn index_backed_hdbscan_matches_matrix_scan() {
+        let mut pts = blob(0.0, 10, 0.5);
+        pts.extend(blob(40.0, 10, 3.0));
+        pts.push(500.0);
+        let m = line_matrix(&pts);
+        let idx = dissim::NeighborIndex::build(&m);
+        for p in [
+            HdbscanParams::default(),
+            HdbscanParams {
+                min_samples: 3,
+                min_cluster_size: 4,
+            },
+            HdbscanParams {
+                min_samples: 1,
+                min_cluster_size: 3,
+            },
+        ] {
+            assert_eq!(hdbscan(&m, &p), hdbscan_with_index(&m, &idx, &p), "{p:?}");
+        }
     }
 
     #[test]
@@ -354,7 +454,13 @@ mod tests {
         let mut pts = blob(0.0, 7, 0.3);
         pts.extend(blob(20.0, 7, 0.3));
         pts.extend(blob(60.0, 7, 0.3));
-        let c = hdbscan(&line_matrix(&pts), &HdbscanParams { min_samples: 2, min_cluster_size: 3 });
+        let c = hdbscan(
+            &line_matrix(&pts),
+            &HdbscanParams {
+                min_samples: 2,
+                min_cluster_size: 3,
+            },
+        );
         assert_eq!(c.len(), pts.len());
         let in_clusters: usize = c.clusters().iter().map(Vec::len).sum();
         assert_eq!(in_clusters + c.noise().len(), pts.len());

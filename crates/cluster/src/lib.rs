@@ -29,8 +29,12 @@ pub mod hdbscan;
 pub mod optics;
 pub mod refine;
 
-pub use autoconf::{auto_configure, AutoConfError, AutoConfig, SelectedParams};
-pub use dbscan::{dbscan, dbscan_weighted, Clustering, Label};
-pub use hdbscan::{hdbscan, HdbscanParams};
-pub use optics::{optics, OpticsOrdering};
-pub use refine::{merge_clusters, split_clusters, RefineParams};
+pub use autoconf::{
+    auto_configure, auto_configure_with_index, AutoConfError, AutoConfig, SelectedParams,
+};
+pub use dbscan::{
+    dbscan, dbscan_weighted, dbscan_weighted_with_index, dbscan_with_index, Clustering, Label,
+};
+pub use hdbscan::{hdbscan, hdbscan_with_index, HdbscanParams};
+pub use optics::{optics, optics_with_index, OpticsOrdering};
+pub use refine::{merge_clusters, merge_clusters_with_index, split_clusters, RefineParams};

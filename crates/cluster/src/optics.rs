@@ -9,7 +9,7 @@
 //! once, and an ε-cut extracts DBSCAN-equivalent clusters at any radius.
 
 use crate::dbscan::{Clustering, Label};
-use dissim::CondensedMatrix;
+use dissim::{CondensedMatrix, NeighborIndex};
 
 /// The OPTICS ordering: reachability and core distances per visit rank.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,26 +30,62 @@ pub struct OpticsOrdering {
 /// priority queue resolve to the smaller index.
 pub fn optics(matrix: &CondensedMatrix, max_eps: f64, min_samples: usize) -> OpticsOrdering {
     let n = matrix.len();
+    optics_impl(n, min_samples, |i, out| {
+        out.extend(
+            (0..n)
+                .filter(|&j| j != i)
+                .map(|j| (j, matrix.get(i, j)))
+                .filter(|&(_, d)| d <= max_eps),
+        );
+    })
+}
+
+/// Runs OPTICS with ε-region queries and core distances answered by a
+/// prebuilt [`NeighborIndex`] instead of matrix row scans.
+///
+/// Produces exactly the same ordering as [`optics`]: reachability
+/// updates take per-neighbor minima and the core distance is an order
+/// statistic, so neither depends on neighbor enumeration order.
+pub fn optics_with_index(
+    index: &NeighborIndex,
+    max_eps: f64,
+    min_samples: usize,
+) -> OpticsOrdering {
+    optics_impl(index.len(), min_samples, |i, out| {
+        out.extend(
+            index
+                .range(i, max_eps)
+                .iter()
+                .map(|&(d, j)| (j as usize, d)),
+        );
+    })
+}
+
+/// The expansion core shared by the matrix-scan and neighbor-index entry
+/// points. `region` appends the `(neighbor, dissimilarity)` pairs of an
+/// item's ε-neighborhood to the scratch buffer (self excluded); the
+/// ordering it emits them in does not affect the result.
+fn optics_impl(
+    n: usize,
+    min_samples: usize,
+    mut region: impl FnMut(usize, &mut Vec<(usize, f64)>),
+) -> OpticsOrdering {
     let mut processed = vec![false; n];
     let mut order = Vec::with_capacity(n);
     let mut reach_out = Vec::with_capacity(n);
     let mut core_out = Vec::with_capacity(n);
+    let mut nb: Vec<(usize, f64)> = Vec::new();
+    let mut ds: Vec<f64> = Vec::new();
 
-    let neighbors = |i: usize| -> Vec<(usize, f64)> {
-        (0..n)
-            .filter(|&j| j != i)
-            .map(|j| (j, matrix.get(i, j)))
-            .filter(|&(_, d)| d <= max_eps)
-            .collect()
-    };
-    let core_distance = |nb: &[(usize, f64)]| -> f64 {
+    let core_distance = |nb: &[(usize, f64)], ds: &mut Vec<f64>| -> f64 {
         if nb.len() + 1 < min_samples {
             return f64::INFINITY;
         }
         if min_samples <= 1 {
             return 0.0;
         }
-        let mut ds: Vec<f64> = nb.iter().map(|&(_, d)| d).collect();
+        ds.clear();
+        ds.extend(nb.iter().map(|&(_, d)| d));
         ds.sort_by(|a, b| a.partial_cmp(b).expect("distances are not NaN"));
         ds[min_samples - 2] // the (min_samples-1)-th neighbor distance
     };
@@ -60,8 +96,9 @@ pub fn optics(matrix: &CondensedMatrix, max_eps: f64, min_samples: usize) -> Opt
         }
         // Expand one connected component starting at `seed`.
         processed[seed] = true;
-        let nb = neighbors(seed);
-        let seed_core = core_distance(&nb);
+        nb.clear();
+        region(seed, &mut nb);
+        let seed_core = core_distance(&nb, &mut ds);
         order.push(seed);
         reach_out.push(f64::INFINITY);
         core_out.push(seed_core);
@@ -77,16 +114,15 @@ pub fn optics(matrix: &CondensedMatrix, max_eps: f64, min_samples: usize) -> Opt
             // Smallest tentative reachability among unprocessed items.
             let mut best: Option<(usize, f64)> = None;
             for (j, &r) in reach.iter().enumerate() {
-                if !processed[j] && r.is_finite() {
-                    if best.map_or(true, |(_, br)| r < br) {
-                        best = Some((j, r));
-                    }
+                if !processed[j] && r.is_finite() && best.is_none_or(|(_, br)| r < br) {
+                    best = Some((j, r));
                 }
             }
             let Some((current, r)) = best else { break };
             processed[current] = true;
-            let nb = neighbors(current);
-            let core = core_distance(&nb);
+            nb.clear();
+            region(current, &mut nb);
+            let core = core_distance(&nb, &mut ds);
             order.push(current);
             reach_out.push(r);
             core_out.push(core);
@@ -102,7 +138,11 @@ pub fn optics(matrix: &CondensedMatrix, max_eps: f64, min_samples: usize) -> Opt
             }
         }
     }
-    OpticsOrdering { order, reachability: reach_out, core_distance: core_out }
+    OpticsOrdering {
+        order,
+        reachability: reach_out,
+        core_distance: core_out,
+    }
 }
 
 impl OpticsOrdering {
@@ -165,7 +205,10 @@ mod tests {
             .count();
         assert_eq!(max_within, 4, "four small steps inside blobs");
         assert_eq!(
-            o.reachability.iter().filter(|r| **r > 1.0 && r.is_finite()).count(),
+            o.reachability
+                .iter()
+                .filter(|r| **r > 1.0 && r.is_finite())
+                .count(),
             1,
             "one big jump between blobs"
         );
@@ -189,6 +232,20 @@ mod tests {
                     assert_eq!(same_d, same_o, "pair ({i},{j}) eps={eps}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn index_backed_optics_matches_matrix_scan() {
+        let pts = [0.0, 0.1, 0.2, 1.4, 5.0, 5.1, 5.2, 20.0, 20.4];
+        let m = line_matrix(&pts);
+        let idx = dissim::NeighborIndex::build(&m);
+        for (max_eps, ms) in [(0.5, 2), (2.0, 3), (100.0, 2), (100.0, 4)] {
+            assert_eq!(
+                optics(&m, max_eps, ms),
+                optics_with_index(&idx, max_eps, ms),
+                "max_eps={max_eps} ms={ms}"
+            );
         }
     }
 

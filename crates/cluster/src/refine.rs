@@ -12,7 +12,7 @@
 //! counts are extremely polarized.
 
 use crate::dbscan::{Clustering, Label};
-use dissim::CondensedMatrix;
+use dissim::{CondensedMatrix, NeighborIndex};
 use mathkit::stats;
 
 /// Thresholds of the refinement heuristics. Defaults are the paper's
@@ -49,6 +49,30 @@ pub fn merge_clusters(
     matrix: &CondensedMatrix,
     params: &RefineParams,
 ) -> Clustering {
+    merge_impl(clustering, matrix, None, params)
+}
+
+/// [`merge_clusters`] with the link-density region queries of Condition 1
+/// answered by a prebuilt [`NeighborIndex`] instead of member scans.
+///
+/// Produces exactly the same clustering: the ε-region around a link
+/// segment holds the same cluster-mates either way, and the density is
+/// their median dissimilarity, which is order-insensitive.
+pub fn merge_clusters_with_index(
+    clustering: &Clustering,
+    matrix: &CondensedMatrix,
+    index: &NeighborIndex,
+    params: &RefineParams,
+) -> Clustering {
+    merge_impl(clustering, matrix, Some(index), params)
+}
+
+fn merge_impl(
+    clustering: &Clustering,
+    matrix: &CondensedMatrix,
+    index: Option<&NeighborIndex>,
+    params: &RefineParams,
+) -> Clustering {
     let mut labels = clustering.labels().to_vec();
     for _ in 0..params.max_merge_rounds {
         let current = Clustering::from_labels(labels.clone());
@@ -59,7 +83,10 @@ pub fn merge_clusters(
         if clusters.len() < 2 {
             return current;
         }
-        let stats: Vec<ClusterStats> = clusters.iter().map(|c| ClusterStats::compute(c, matrix)).collect();
+        let stats: Vec<ClusterStats> = clusters
+            .iter()
+            .map(|c| ClusterStats::compute(c, matrix))
+            .collect();
 
         let mut merged_into: Vec<usize> = (0..clusters.len()).collect();
         let mut any = false;
@@ -68,7 +95,15 @@ pub fn merge_clusters(
                 if find(&mut merged_into, i) == find(&mut merged_into, j) {
                     continue;
                 }
-                if should_merge(&clusters[i], &clusters[j], &stats[i], &stats[j], matrix, params) {
+                let pair = MergeCandidate {
+                    ci: &clusters[i],
+                    cj: &clusters[j],
+                    si: &stats[i],
+                    sj: &stats[j],
+                    id_i: i as u32,
+                    id_j: j as u32,
+                };
+                if should_merge(&pair, &labels, matrix, index, params) {
                     union(&mut merged_into, i, j);
                     any = true;
                 }
@@ -115,8 +150,12 @@ pub fn split_clusters(
             continue;
         }
         let pivot = total.ln();
-        let Some(pr) = stats::percent_rank(&counts, pivot) else { continue };
-        let Some(sigma) = stats::std_dev(&counts) else { continue };
+        let Some(pr) = stats::percent_rank(&counts, pivot) else {
+            continue;
+        };
+        let Some(sigma) = stats::std_dev(&counts) else {
+            continue;
+        };
         if pr > params.split_percent_rank && sigma > pivot {
             for (&idx, &count) in members.iter().zip(&counts) {
                 if count > pivot {
@@ -144,7 +183,11 @@ struct ClusterStats {
 impl ClusterStats {
     fn compute(members: &[usize], matrix: &CondensedMatrix) -> Self {
         if members.len() < 2 {
-            return Self { mean_dissim: None, max_dissim: 0.0, minmed: None };
+            return Self {
+                mean_dissim: None,
+                max_dissim: 0.0,
+                minmed: None,
+            };
         }
         let mut sum = 0.0;
         let mut count = 0usize;
@@ -168,14 +211,25 @@ impl ClusterStats {
     }
 }
 
+/// One candidate cluster pair for [`should_merge`]: members, shared
+/// statistics and the dense cluster ids the current labels carry.
+struct MergeCandidate<'a> {
+    ci: &'a [usize],
+    cj: &'a [usize],
+    si: &'a ClusterStats,
+    sj: &'a ClusterStats,
+    id_i: u32,
+    id_j: u32,
+}
+
 fn should_merge(
-    ci: &[usize],
-    cj: &[usize],
-    si: &ClusterStats,
-    sj: &ClusterStats,
+    pair: &MergeCandidate<'_>,
+    labels: &[Label],
     matrix: &CondensedMatrix,
+    index: Option<&NeighborIndex>,
     params: &RefineParams,
 ) -> bool {
+    let (ci, cj, si, sj) = (pair.ci, pair.cj, pair.si, pair.sj);
     let (Some(mean_i), Some(mean_j)) = (si.mean_dissim, sj.mean_dissim) else {
         return false;
     };
@@ -193,10 +247,22 @@ fn should_merge(
 
     // Condition 1: very close by, similar local ε-density at the links.
     if d_link < mean_i.max(mean_j) {
-        let smaller_extent = if ci.len() <= cj.len() { si.max_dissim } else { sj.max_dissim };
+        let smaller_extent = if ci.len() <= cj.len() {
+            si.max_dissim
+        } else {
+            sj.max_dissim
+        };
         let eps_local = smaller_extent / 2.0;
-        let rho_i = local_density(link_i, ci, matrix, eps_local);
-        let rho_j = local_density(link_j, cj, matrix, eps_local);
+        let (rho_i, rho_j) = match index {
+            Some(idx) => (
+                local_density_indexed(link_i, pair.id_i, labels, idx, eps_local),
+                local_density_indexed(link_j, pair.id_j, labels, idx, eps_local),
+            ),
+            None => (
+                local_density(link_i, ci, matrix, eps_local),
+                local_density(link_j, cj, matrix, eps_local),
+            ),
+        };
         if (rho_i - rho_j).abs() < params.eps_rho_threshold {
             return true;
         }
@@ -222,6 +288,26 @@ fn local_density(link: usize, members: &[usize], matrix: &CondensedMatrix, eps: 
         .filter(|&&s| s != link)
         .map(|&s| matrix.get(link, s))
         .filter(|&d| d <= eps)
+        .collect();
+    stats::median(&within).unwrap_or(0.0)
+}
+
+/// [`local_density`] answered from the neighbor index: binary-search the
+/// ε-region around the link segment, then keep the cluster-mates (the
+/// items carrying the cluster's label). Same multiset of dissimilarities
+/// as the member scan, hence the same median.
+fn local_density_indexed(
+    link: usize,
+    cluster: u32,
+    labels: &[Label],
+    index: &NeighborIndex,
+    eps: f64,
+) -> f64 {
+    let within: Vec<f64> = index
+        .range(link, eps)
+        .iter()
+        .filter(|&&(_, j)| labels[j as usize] == Label::Cluster(cluster))
+        .map(|&(d, _)| d)
         .collect();
     stats::median(&within).unwrap_or(0.0)
 }
@@ -314,6 +400,27 @@ mod tests {
         let noise_before = c.noise();
         let merged = merge_clusters(&c, &m, &RefineParams::default());
         assert_eq!(merged.noise(), noise_before);
+    }
+
+    #[test]
+    fn index_backed_merge_matches_matrix_scan() {
+        let (m, c) = overclassified();
+        let idx = dissim::NeighborIndex::build(&m);
+        let p = RefineParams::default();
+        assert_eq!(
+            merge_clusters(&c, &m, &p),
+            merge_clusters_with_index(&c, &m, &idx, &p)
+        );
+        // Also when thresholds forbid any merge.
+        let strict = RefineParams {
+            eps_rho_threshold: 0.0,
+            neighbor_density_threshold: 0.0,
+            ..RefineParams::default()
+        };
+        assert_eq!(
+            merge_clusters(&c, &m, &strict),
+            merge_clusters_with_index(&c, &m, &idx, &strict)
+        );
     }
 
     #[test]

@@ -89,7 +89,9 @@ proptest! {
 
 #[test]
 fn merge_is_idempotent_once_stable() {
-    let pts: Vec<f64> = (0..30).map(|i| (i / 10) as f64 * 40.0 + (i % 10) as f64 * 0.2).collect();
+    let pts: Vec<f64> = (0..30)
+        .map(|i| (i / 10) as f64 * 40.0 + (i % 10) as f64 * 0.2)
+        .collect();
     let m = matrix_of(&pts);
     let c = dbscan(&m, 0.5, 3);
     let once = merge_clusters(&c, &m, &RefineParams::default());

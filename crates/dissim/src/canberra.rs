@@ -15,7 +15,9 @@ pub struct DissimParams {
 
 impl Default for DissimParams {
     fn default() -> Self {
-        Self { length_penalty: 0.59 }
+        Self {
+            length_penalty: 0.59,
+        }
     }
 }
 
@@ -103,7 +105,9 @@ pub fn dissimilarity(a: &[u8], b: &[u8], params: &DissimParams) -> f64 {
 mod tests {
     use super::*;
 
-    const P: DissimParams = DissimParams { length_penalty: 0.59 };
+    const P: DissimParams = DissimParams {
+        length_penalty: 0.59,
+    };
 
     #[test]
     fn identical_is_zero() {

@@ -23,8 +23,12 @@
 //! assert!(near < far);
 //! ```
 
+pub mod artifact;
 pub mod canberra;
 pub mod matrix;
+pub mod neighbor;
 
+pub use artifact::DissimArtifact;
 pub use canberra::{canberra_distance, dissimilarity, DissimParams};
 pub use matrix::CondensedMatrix;
+pub use neighbor::NeighborIndex;

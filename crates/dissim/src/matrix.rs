@@ -45,7 +45,11 @@ impl CondensedMatrix {
     ///
     /// `f` must be pure; rows are handed out dynamically so irregular row
     /// costs (long segments) balance across cores.
-    pub fn build_parallel(n: usize, threads: usize, f: impl Fn(usize, usize) -> f64 + Sync) -> Self {
+    pub fn build_parallel(
+        n: usize,
+        threads: usize,
+        f: impl Fn(usize, usize) -> f64 + Sync,
+    ) -> Self {
         let threads = threads.max(1);
         if n < 2 || threads == 1 {
             return Self::build(n, f);
@@ -56,9 +60,9 @@ impl CondensedMatrix {
         // range for pairs (i, i+1..n).
         let next_row = AtomicUsize::new(0);
         let data_ptr = SendPtr(data.as_mut_ptr());
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|_| {
+                scope.spawn(|| {
                     let data_ptr = &data_ptr;
                     loop {
                         let i = next_row.fetch_add(1, Ordering::Relaxed);
@@ -79,8 +83,7 @@ impl CondensedMatrix {
                     }
                 });
             }
-        })
-        .expect("matrix worker thread panicked");
+        });
         Self { n, data }
     }
 
@@ -111,7 +114,20 @@ impl CondensedMatrix {
     /// All dissimilarities from item `i` to every other item, in index
     /// order (excluding `i` itself).
     pub fn row(&self, i: usize) -> Vec<f64> {
-        (0..self.n).filter(|&j| j != i).map(|j| self.get(i, j)).collect()
+        let mut buf = Vec::new();
+        self.row_into(i, &mut buf);
+        buf
+    }
+
+    /// Writes row `i` (all dissimilarities to other items, in index
+    /// order, excluding `i` itself) into `buf`, clearing it first.
+    ///
+    /// Callers looping over rows should reuse one scratch buffer instead
+    /// of allocating a fresh `Vec` per item via [`Self::row`].
+    pub fn row_into(&self, i: usize, buf: &mut Vec<f64>) {
+        buf.clear();
+        buf.reserve(self.n.saturating_sub(1));
+        buf.extend((0..self.n).filter(|&j| j != i).map(|j| self.get(i, j)));
     }
 
     /// The dissimilarity of each item to its `k`-th nearest neighbor
@@ -126,9 +142,10 @@ impl CondensedMatrix {
     pub fn knn_dissimilarities(&self, k: usize) -> Vec<f64> {
         assert!(k >= 1, "k must be at least 1");
         assert!(k < self.n, "k must be smaller than the item count");
+        let mut row = Vec::new();
         (0..self.n)
             .map(|i| {
-                let mut row = self.row(i);
+                self.row_into(i, &mut row);
                 let (_, kth, _) = row.select_nth_unstable_by(k - 1, |a, b| {
                     a.partial_cmp(b).expect("dissimilarities are not NaN")
                 });

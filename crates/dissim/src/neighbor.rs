@@ -1,0 +1,274 @@
+//! Per-item nearest-neighbor lists over a [`CondensedMatrix`].
+//!
+//! Every density-based stage of the pipeline asks the same two questions
+//! of the dissimilarity matrix, over and over: "which items lie within ε
+//! of item `i`?" (DBSCAN region queries, refinement link densities) and
+//! "how far is item `i`'s k-th nearest neighbor?" (auto-configuration
+//! ECDFs, OPTICS and HDBSCAN* core distances). Scanning a matrix row is
+//! O(n) per query; this module answers both from neighbor lists sorted
+//! by dissimilarity, built once in parallel and then binary-searched in
+//! O(log n) per query.
+//!
+//! Sorting neighbors changes only the *order* in which the clustering
+//! algorithms visit them, never the answer: DBSCAN's density-reachable
+//! sets, OPTICS's min-based reachability updates and the refinement
+//! medians are all invariant under neighbor permutation (see the
+//! equivalence tests in `crates/cluster`).
+
+use crate::matrix::CondensedMatrix;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// For every item, all other items sorted by ascending dissimilarity
+/// (ties broken by index, so the layout is fully deterministic).
+///
+/// # Examples
+///
+/// ```
+/// use dissim::{CondensedMatrix, NeighborIndex};
+///
+/// let points = [0.0_f64, 0.2, 0.3, 9.0];
+/// let m = CondensedMatrix::build(points.len(), |i, j| (points[i] - points[j]).abs());
+/// let index = NeighborIndex::build(&m);
+/// // Neighbors of item 0 within ε = 0.5: items 1 and 2, nearest first.
+/// let near: Vec<usize> = index.range(0, 0.5).iter().map(|&(_, j)| j as usize).collect();
+/// assert_eq!(near, vec![1, 2]);
+/// // Distance to the 2nd nearest neighbor of item 0.
+/// assert_eq!(index.kth_dissimilarity(0, 2), 0.3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NeighborIndex {
+    n: usize,
+    /// Flattened rows: item `i` owns `lists[i*(n-1) .. (i+1)*(n-1)]`,
+    /// each entry `(dissimilarity, neighbor)` with the neighbor index
+    /// narrowed to `u32` to keep the entries at 16 bytes.
+    lists: Vec<(f64, u32)>,
+}
+
+impl NeighborIndex {
+    /// Builds the index from a matrix on the current thread.
+    pub fn build(matrix: &CondensedMatrix) -> Self {
+        Self::build_parallel(matrix, 1)
+    }
+
+    /// Builds the index from a matrix, handing whole rows to `threads`
+    /// scoped worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix covers more than `u32::MAX` items.
+    pub fn build_parallel(matrix: &CondensedMatrix, threads: usize) -> Self {
+        let n = matrix.len();
+        assert!(
+            n <= u32::MAX as usize,
+            "too many items for a u32 neighbor index"
+        );
+        let row_len = n.saturating_sub(1);
+        let mut lists = vec![(0.0f64, 0u32); n * row_len];
+        let threads = threads.max(1).min(n.max(1));
+        if threads == 1 {
+            for (i, row) in lists.chunks_mut(row_len.max(1)).enumerate().take(n) {
+                fill_row(matrix, i, row);
+            }
+            return Self { n, lists };
+        }
+        let next_row = AtomicUsize::new(0);
+        let lists_ptr = SendRowPtr(lists.as_mut_ptr());
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let lists_ptr = &lists_ptr;
+                    loop {
+                        let i = next_row.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        // SAFETY: row `i` is the half-open range
+                        // [i*row_len, (i+1)*row_len) of the allocation
+                        // above; rows are disjoint and each is handed to
+                        // exactly one thread, so writes never alias.
+                        let row = unsafe {
+                            std::slice::from_raw_parts_mut(lists_ptr.0.add(i * row_len), row_len)
+                        };
+                        fill_row(matrix, i, row);
+                    }
+                });
+            }
+        });
+        Self { n, lists }
+    }
+
+    /// Number of items covered.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the index covers zero items.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// All neighbors of item `i` (every other item), nearest first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn neighbors(&self, i: usize) -> &[(f64, u32)] {
+        assert!(i < self.n, "index out of bounds");
+        let row_len = self.n - 1;
+        &self.lists[i * row_len..(i + 1) * row_len]
+    }
+
+    /// The ε-region of item `i`: all neighbors with dissimilarity at
+    /// most `eps`, nearest first (item `i` itself excluded). Resolved by
+    /// binary search over the sorted neighbor list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn range(&self, i: usize, eps: f64) -> &[(f64, u32)] {
+        let row = self.neighbors(i);
+        let end = row.partition_point(|&(d, _)| d <= eps);
+        &row[..end]
+    }
+
+    /// The dissimilarity of item `i` to its `k`-th nearest neighbor
+    /// (`k >= 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds, `k` is 0, or `k >= n`.
+    pub fn kth_dissimilarity(&self, i: usize, k: usize) -> f64 {
+        assert!(k >= 1, "k must be at least 1");
+        assert!(k < self.n, "k must be smaller than the item count");
+        self.neighbors(i)[k - 1].0
+    }
+
+    /// The dissimilarity of each item to its `k`-th nearest neighbor —
+    /// the same values as [`CondensedMatrix::knn_dissimilarities`], read
+    /// directly off the sorted lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is 0 or `k >= n`.
+    pub fn knn_dissimilarities(&self, k: usize) -> Vec<f64> {
+        (0..self.n).map(|i| self.kth_dissimilarity(i, k)).collect()
+    }
+}
+
+/// Fills item `i`'s neighbor list and sorts it by `(dissimilarity, index)`.
+fn fill_row(matrix: &CondensedMatrix, i: usize, row: &mut [(f64, u32)]) {
+    let n = matrix.len();
+    if n < 2 {
+        return;
+    }
+    let mut w = 0;
+    for j in 0..n {
+        if j != i {
+            row[w] = (matrix.get(i, j), j as u32);
+            w += 1;
+        }
+    }
+    row.sort_unstable_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .expect("dissimilarities are not NaN")
+            .then_with(|| a.1.cmp(&b.1))
+    });
+}
+
+/// A raw pointer wrapper that asserts cross-thread transferability for
+/// the disjoint-row-write pattern in [`NeighborIndex::build_parallel`].
+struct SendRowPtr(*mut (f64, u32));
+unsafe impl Sync for SendRowPtr {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> CondensedMatrix {
+        CondensedMatrix::build(n, |i, j| (i as f64 - j as f64).abs())
+    }
+
+    #[test]
+    fn neighbors_are_sorted_and_complete() {
+        let m = toy(6);
+        let idx = NeighborIndex::build(&m);
+        for i in 0..6 {
+            let nb = idx.neighbors(i);
+            assert_eq!(nb.len(), 5);
+            assert!(nb.windows(2).all(|w| w[0] <= w[1]));
+            let mut seen: Vec<u32> = nb.iter().map(|&(_, j)| j).collect();
+            seen.sort_unstable();
+            let expected: Vec<u32> = (0..6).filter(|&j| j != i as u32).collect();
+            assert_eq!(seen, expected);
+        }
+    }
+
+    #[test]
+    fn range_matches_matrix_scan() {
+        let f = |i: usize, j: usize| ((i * 13 + j * 7) % 23) as f64 / 10.0;
+        let m = CondensedMatrix::build(15, f);
+        let idx = NeighborIndex::build(&m);
+        for i in 0..15 {
+            for eps in [0.0, 0.35, 1.1, 2.3] {
+                let mut from_index: Vec<usize> =
+                    idx.range(i, eps).iter().map(|&(_, j)| j as usize).collect();
+                from_index.sort_unstable();
+                let brute: Vec<usize> = (0..15).filter(|&j| j != i && m.get(i, j) <= eps).collect();
+                assert_eq!(from_index, brute, "item {i}, eps {eps}");
+            }
+        }
+    }
+
+    #[test]
+    fn kth_matches_matrix_knn() {
+        let f = |i: usize, j: usize| ((i * 31 + j * 17) % 101) as f64 / 50.0;
+        let m = CondensedMatrix::build(20, f);
+        let idx = NeighborIndex::build(&m);
+        for k in 1..20 {
+            assert_eq!(
+                idx.knn_dissimilarities(k),
+                m.knn_dissimilarities(k),
+                "k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let f = |i: usize, j: usize| ((i * 31 + j * 17) % 100) as f64 / 100.0;
+        let m = CondensedMatrix::build(40, f);
+        let serial = NeighborIndex::build(&m);
+        for threads in [2, 3, 8] {
+            assert_eq!(
+                serial,
+                NeighborIndex::build_parallel(&m, threads),
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn ties_break_by_index() {
+        // All pairs equidistant: neighbor order must be by index.
+        let m = CondensedMatrix::build(5, |_, _| 1.0);
+        let idx = NeighborIndex::build(&m);
+        let order: Vec<u32> = idx.neighbors(2).iter().map(|&(_, j)| j).collect();
+        assert_eq!(order, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        let empty = NeighborIndex::build(&toy(0));
+        assert!(empty.is_empty());
+        let one = NeighborIndex::build_parallel(&toy(1), 4);
+        assert_eq!(one.len(), 1);
+        assert!(one.neighbors(0).is_empty());
+        assert!(one.range(0, 10.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be smaller")]
+    fn kth_rejects_excessive_k() {
+        NeighborIndex::build(&toy(3)).kth_dissimilarity(0, 3);
+    }
+}

@@ -1,6 +1,6 @@
 //! Property-based tests for the Canberra dissimilarity and matrices.
 
-use dissim::{canberra_distance, dissimilarity, CondensedMatrix, DissimParams};
+use dissim::{canberra_distance, dissimilarity, CondensedMatrix, DissimParams, NeighborIndex};
 use proptest::prelude::*;
 
 fn seg() -> impl Strategy<Value = Vec<u8>> {
@@ -90,5 +90,43 @@ proptest! {
             prop_assert!(k1[i] <= k2[i]);
             prop_assert!(k2[i] <= k3[i]);
         }
+    }
+
+    #[test]
+    fn neighbor_index_range_matches_matrix_scan(
+        segs in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..10), 2..24),
+        eps in 0.0f64..1.05,
+        threads in 1usize..5,
+    ) {
+        let p = DissimParams::default();
+        let m = CondensedMatrix::build(segs.len(), |i, j| dissimilarity(&segs[i], &segs[j], &p));
+        let index = NeighborIndex::build_parallel(&m, threads);
+        for i in 0..segs.len() {
+            let region = index.range(i, eps);
+            // Sorted by dissimilarity, nearest first.
+            prop_assert!(region.windows(2).all(|w| w[0].0 <= w[1].0));
+            // Entries carry the true matrix dissimilarity.
+            for &(d, j) in region {
+                prop_assert_eq!(d, m.get(i, j as usize));
+            }
+            // Same membership as a brute-force row scan.
+            let mut members: Vec<usize> = region.iter().map(|&(_, j)| j as usize).collect();
+            members.sort_unstable();
+            let brute: Vec<usize> = (0..segs.len())
+                .filter(|&j| j != i && m.get(i, j) <= eps)
+                .collect();
+            prop_assert_eq!(members, brute, "item {}, eps {}", i, eps);
+        }
+    }
+
+    #[test]
+    fn neighbor_index_knn_matches_matrix(
+        segs in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..10), 4..16),
+        k in 1usize..4,
+    ) {
+        let p = DissimParams::default();
+        let m = CondensedMatrix::build(segs.len(), |i, j| dissimilarity(&segs[i], &segs[j], &p));
+        let index = NeighborIndex::build(&m);
+        prop_assert_eq!(index.knn_dissimilarities(k), m.knn_dissimilarities(k));
     }
 }

@@ -45,7 +45,12 @@ impl Contingency {
             cluster_totals.push(members.len() as u64);
             counts.push(row);
         }
-        Self { counts, cluster_totals, class_totals, n }
+        Self {
+            counts,
+            cluster_totals,
+            class_totals,
+            n,
+        }
     }
 
     /// Number of items.

@@ -134,7 +134,11 @@ impl ClusterMetrics {
         } else {
             counts.tp as f64 / (counts.tp + counts.fn_) as f64
         };
-        Self { precision, recall, f_score: f_beta(precision, recall, PAPER_BETA) }
+        Self {
+            precision,
+            recall,
+            f_score: f_beta(precision, recall, PAPER_BETA),
+        }
     }
 }
 
@@ -184,17 +188,24 @@ mod tests {
         let mut items: Vec<Item<L>> = Vec::new();
         for (ci, c) in clusters.iter().enumerate() {
             for l in c {
-                items.push(Item { label: l.clone(), cluster: Some(ci) });
+                items.push(Item {
+                    label: l.clone(),
+                    cluster: Some(ci),
+                });
             }
         }
         for l in noise {
-            items.push(Item { label: l.clone(), cluster: None });
+            items.push(Item {
+                label: l.clone(),
+                cluster: None,
+            });
         }
         let mut counts = PairCounts::default();
         for i in 0..items.len() {
             for j in (i + 1)..items.len() {
                 let same_type = items[i].label == items[j].label;
-                let same_cluster = items[i].cluster.is_some() && items[i].cluster == items[j].cluster;
+                let same_cluster =
+                    items[i].cluster.is_some() && items[i].cluster == items[j].cluster;
                 match (same_type, same_cluster) {
                     (true, true) => counts.tp += 1,
                     (false, true) => counts.fp += 1,
@@ -210,7 +221,15 @@ mod tests {
     fn perfect_clustering() {
         let clusters = vec![vec!["a"; 5], vec!["b"; 3]];
         let counts = pair_counts(&clusters, &[] as &[&str]);
-        assert_eq!(counts, PairCounts { tp: 13, fp: 0, fn_: 0, tn: 15 });
+        assert_eq!(
+            counts,
+            PairCounts {
+                tp: 13,
+                fp: 0,
+                fn_: 0,
+                tn: 15
+            }
+        );
         let m = ClusterMetrics::from_counts(&counts);
         assert_eq!(m.precision, 1.0);
         assert_eq!(m.recall, 1.0);
@@ -220,12 +239,19 @@ mod tests {
     #[test]
     fn matches_brute_force_on_mixed_cases() {
         let cases: Vec<(Vec<Vec<&str>>, Vec<&str>)> = vec![
-            (vec![vec!["a", "a", "b"], vec!["b", "b"], vec!["c"]], vec!["a", "c"]),
+            (
+                vec![vec!["a", "a", "b"], vec!["b", "b"], vec!["c"]],
+                vec!["a", "c"],
+            ),
             (vec![], vec!["a", "a", "b"]),
             (vec![vec!["x"]], vec![]),
             (vec![vec!["a", "b", "c", "d"]], vec!["a", "b"]),
             (
-                vec![vec!["t", "t", "t", "s"], vec!["t", "s", "s"], vec!["u", "u"]],
+                vec![
+                    vec!["t", "t", "t", "s"],
+                    vec!["t", "s", "s"],
+                    vec!["u", "u"],
+                ],
                 vec!["t", "u", "v"],
             ),
         ];
@@ -260,7 +286,10 @@ mod tests {
 
     #[test]
     fn coverage_ratio() {
-        let c = Coverage { covered_bytes: 87, total_bytes: 100 };
+        let c = Coverage {
+            covered_bytes: 87,
+            total_bytes: 100,
+        };
         assert!((c.ratio() - 0.87).abs() < 1e-12);
         assert_eq!(Coverage::default().ratio(), 0.0);
     }

@@ -74,11 +74,20 @@ pub fn compare_clusterings(
             let union = ls.len() + rs.len() - shared;
             let jaccard = shared as f64 / union as f64;
             if jaccard >= threshold {
-                candidates.push(ClusterMatch { left: i, right: j, jaccard, shared_values: shared });
+                candidates.push(ClusterMatch {
+                    left: i,
+                    right: j,
+                    jaccard,
+                    shared_values: shared,
+                });
             }
         }
     }
-    candidates.sort_by(|a, b| b.jaccard.partial_cmp(&a.jaccard).expect("jaccard is finite"));
+    candidates.sort_by(|a, b| {
+        b.jaccard
+            .partial_cmp(&a.jaccard)
+            .expect("jaccard is finite")
+    });
 
     // Greedy one-to-one matching.
     let mut left_used = vec![false; left_sets.len()];
@@ -109,7 +118,12 @@ pub fn compare_clusterings(
         retained as f64 / left_total as f64
     };
 
-    ClusteringDiff { matches, only_left, only_right, left_value_retention }
+    ClusteringDiff {
+        matches,
+        only_left,
+        only_right,
+        left_value_retention,
+    }
 }
 
 #[cfg(test)]
@@ -123,7 +137,9 @@ mod tests {
         let trace = corpus::build_trace(protocol, n, seed);
         let gt = corpus::ground_truth(protocol, &trace);
         let seg = truth_segmentation(&trace, &gt);
-        FieldTypeClusterer::default().cluster_trace(&trace, &seg).unwrap()
+        FieldTypeClusterer::default()
+            .cluster_trace(&trace, &seg)
+            .unwrap()
     }
 
     #[test]

@@ -96,7 +96,9 @@ mod tests {
         let trace = corpus::build_trace(Protocol::Ntp, 60, 9);
         let gt = corpus::ground_truth(Protocol::Ntp, &trace);
         let seg = truth_segmentation(&trace, &gt);
-        let result = FieldTypeClusterer::default().cluster_trace(&trace, &seg).unwrap();
+        let result = FieldTypeClusterer::default()
+            .cluster_trace(&trace, &seg)
+            .unwrap();
         let eval = evaluate(&result, &trace, &gt);
 
         assert_eq!(eval.n_segments, result.store.segments.len());
@@ -115,7 +117,9 @@ mod tests {
         let trace = corpus::build_trace(Protocol::Ntp, 100, 10);
         let gt = corpus::ground_truth(Protocol::Ntp, &trace);
         let seg = truth_segmentation(&trace, &gt);
-        let result = FieldTypeClusterer::default().cluster_trace(&trace, &seg).unwrap();
+        let result = FieldTypeClusterer::default()
+            .cluster_trace(&trace, &seg)
+            .unwrap();
         let eval = evaluate(&result, &trace, &gt);
         assert!(
             eval.metrics.precision > 0.5,

@@ -22,7 +22,7 @@ pub struct ValueModel {
     /// Start-byte histogram.
     start: Box<[u32; 256]>,
     /// First-order transition counts `transitions[prev][next]`.
-    transitions: Vec<Box<[u32; 256]>>,
+    transitions: Vec<[u32; 256]>,
     /// Which previous bytes have any transition mass.
     total_values: usize,
 }
@@ -40,7 +40,7 @@ impl ValueModel {
         assert!(!values.is_empty(), "cannot learn from an empty cluster");
         let mut lengths: std::collections::BTreeMap<usize, usize> = Default::default();
         let mut start = Box::new([0u32; 256]);
-        let mut transitions: Vec<Box<[u32; 256]>> = (0..256).map(|_| Box::new([0u32; 256])).collect();
+        let mut transitions: Vec<[u32; 256]> = vec![[0u32; 256]; 256];
         let mut total = 0usize;
         for &(bytes, weight) in values {
             assert!(!bytes.is_empty(), "values must be non-empty");
@@ -89,11 +89,11 @@ impl ValueModel {
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<u8> {
         let len = self.sample_length(rng);
         let mut out = Vec::with_capacity(len);
-        let first = sample_histogram(&*self.start, rng);
+        let first = sample_histogram(&self.start, rng);
         out.push(first);
         while out.len() < len {
             let prev = *out.last().expect("non-empty");
-            let next = sample_histogram(&*self.transitions[prev as usize], rng);
+            let next = sample_histogram(&self.transitions[prev as usize], rng);
             out.push(next);
         }
         out
@@ -183,7 +183,10 @@ impl MisbehaviorDetector {
     /// Panics if the clustering has no clusters.
     pub fn from_clustering(result: &PseudoTypeClustering) -> Self {
         let models = ValueModel::per_cluster(result);
-        assert!(!models.is_empty(), "need at least one cluster to detect against");
+        assert!(
+            !models.is_empty(),
+            "need at least one cluster to detect against"
+        );
         Self { models }
     }
 
@@ -225,20 +228,24 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use segment::nemesys::Nemesys;
-    use segment::Segmenter;
 
     fn ntp_clustering() -> (trace::Trace, PseudoTypeClustering) {
         let trace = corpus::build_trace(Protocol::Ntp, 80, 3);
         let gt = corpus::ground_truth(Protocol::Ntp, &trace);
         let seg = truth_segmentation(&trace, &gt);
-        let result = FieldTypeClusterer::default().cluster_trace(&trace, &seg).unwrap();
+        let result = FieldTypeClusterer::default()
+            .cluster_trace(&trace, &seg)
+            .unwrap();
         (trace, result)
     }
 
     #[test]
     fn learn_and_sample_lengths_match_training() {
-        let values: Vec<(&[u8], usize)> =
-            vec![(b"\xD2\x3D\x19\x01", 3), (b"\xD2\x3D\x19\x02", 1), (b"\xD2\x3D\x20\x05", 2)];
+        let values: Vec<(&[u8], usize)> = vec![
+            (b"\xD2\x3D\x19\x01", 3),
+            (b"\xD2\x3D\x19\x02", 1),
+            (b"\xD2\x3D\x20\x05", 2),
+        ];
         let model = ValueModel::learn(&values);
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..50 {

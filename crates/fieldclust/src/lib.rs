@@ -26,6 +26,13 @@
 //! 6. **Refine**: merge over-classified clusters, split clusters with
 //!    polarized value occurrences.
 //!
+//! The stages are driven by the staged [`AnalysisSession`], which caches
+//! each stage's artifact (segmentation, deduplicated [`SegmentStore`],
+//! shared dissimilarity matrix + neighbor index, selected parameters,
+//! clustering) so that downstream consumers — including
+//! [`msgtype`] message typing — reuse instead of recompute.
+//! [`FieldTypeClusterer::cluster_trace`] is the one-call wrapper.
+//!
 //! # Examples
 //!
 //! End-to-end on a synthetic NTP trace with ground-truth segmentation:
@@ -51,11 +58,13 @@ pub mod pipeline;
 pub mod report;
 pub mod segments;
 pub mod semantics;
+pub mod session;
 pub mod truth;
 
 pub use compare::{compare_clusterings, ClusteringDiff};
 pub use eval::{evaluate, label_segments, Evaluation};
 pub use msgtype::{identify_message_types, MessageTypeConfig, MessageTypes};
-pub use semantics::{interpret, ClusterSemantics, SemanticHypothesis, SemanticsConfig};
 pub use pipeline::{EpsilonSource, FieldTypeClusterer, PipelineError, PseudoTypeClustering};
 pub use segments::{SegmentInstance, SegmentStore, UniqueSegment};
+pub use semantics::{interpret, ClusterSemantics, SemanticHypothesis, SemanticsConfig};
+pub use session::AnalysisSession;

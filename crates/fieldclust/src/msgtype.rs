@@ -13,33 +13,31 @@
 //! completes the inference stack: message types × field types.
 
 use crate::segments::SegmentStore;
-use cluster::autoconf::{auto_configure, AutoConfig};
-use cluster::dbscan::{dbscan, Clustering};
-use dissim::{dissimilarity, CondensedMatrix, DissimParams};
+use crate::session::AnalysisSession;
+use crate::FieldTypeClusterer;
+use cluster::autoconf::AutoConfig;
+use cluster::dbscan::Clustering;
+use dissim::CondensedMatrix;
 use segment::TraceSegmentation;
 use trace::Trace;
 
-/// Configuration of the message type identifier.
+/// Configuration of the message type identifier. Segment dissimilarity
+/// parameters and thread counts come from the owning session's
+/// [`FieldTypeClusterer`] config.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MessageTypeConfig {
-    /// Segment dissimilarity parameters.
-    pub dissim: DissimParams,
     /// ε auto-configuration for the message-level DBSCAN.
     pub autoconf: AutoConfig,
     /// Alignment gap penalty (cost of leaving a segment unmatched),
     /// in dissimilarity units.
     pub gap_penalty: f64,
-    /// Threads for the segment dissimilarity matrix.
-    pub threads: usize,
 }
 
 impl Default for MessageTypeConfig {
     fn default() -> Self {
         Self {
-            dissim: DissimParams::default(),
             autoconf: AutoConfig::default(),
             gap_penalty: 0.8,
-            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
         }
     }
 }
@@ -63,6 +61,8 @@ pub enum MessageTypeError {
         /// Messages available.
         n: usize,
     },
+    /// The owning [`AnalysisSession`] has no segmentation installed yet.
+    MissingSegmentation,
 }
 
 impl std::fmt::Display for MessageTypeError {
@@ -71,6 +71,9 @@ impl std::fmt::Display for MessageTypeError {
             MessageTypeError::TooFewMessages { n } => {
                 write!(f, "too few messages for type identification ({n} < 4)")
             }
+            MessageTypeError::MissingSegmentation => {
+                write!(f, "no segmentation installed (run the segment stage first)")
+            }
         }
     }
 }
@@ -78,6 +81,10 @@ impl std::fmt::Display for MessageTypeError {
 impl std::error::Error for MessageTypeError {}
 
 /// Clusters the trace's messages into message types.
+///
+/// This is a convenience wrapper over [`AnalysisSession::message_types`]
+/// with a default session config; use a session directly to share the
+/// segment dissimilarity matrix with the field type analysis.
 ///
 /// # Errors
 ///
@@ -88,57 +95,35 @@ pub fn identify_message_types(
     segmentation: &TraceSegmentation,
     config: &MessageTypeConfig,
 ) -> Result<MessageTypes, MessageTypeError> {
-    let n = trace.len();
-    if n < 4 {
-        return Err(MessageTypeError::TooFewMessages { n });
-    }
-    // Unique segments with at least one byte: message type identification
-    // keeps even 1-byte segments — sequence context disambiguates them.
-    let store = SegmentStore::collect(trace, segmentation, 1);
-    let values: Vec<&[u8]> = store.segments.iter().map(|s| &s.value[..]).collect();
-    let params = &config.dissim;
-    let seg_matrix = CondensedMatrix::build_parallel(values.len(), config.threads, |i, j| {
-        dissimilarity(values[i], values[j], params)
-    });
+    let mut session = AnalysisSession::new(trace, FieldTypeClusterer::default());
+    session.set_segmentation(segmentation.clone());
+    session.message_types(config)
+}
 
-    // Each message as a sequence of unique-segment ids. Instances are
-    // recorded per segment, so sort them back into per-message offset
-    // order.
-    let sequences: Vec<Vec<usize>> = {
-        let mut with_offsets: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
-        for (id, seg) in store.segments.iter().enumerate() {
-            for inst in &seg.instances {
-                with_offsets[inst.message].push((inst.range.start, id));
-            }
+/// Each message as a sequence of unique-segment ids. Instances are
+/// recorded per segment, so sort them back into per-message offset
+/// order.
+pub(crate) fn segment_sequences(n: usize, store: &SegmentStore) -> Vec<Vec<usize>> {
+    let mut with_offsets: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+    for (id, seg) in store.segments.iter().enumerate() {
+        for inst in &seg.instances {
+            with_offsets[inst.message].push((inst.range.start, id));
         }
-        with_offsets
-            .into_iter()
-            .map(|mut v| {
-                v.sort_unstable();
-                v.into_iter().map(|(_, id)| id).collect()
-            })
-            .collect()
-    };
-
-    let gap = config.gap_penalty;
-    let msg_matrix = CondensedMatrix::build_parallel(n, config.threads, |a, b| {
-        align_cost(&sequences[a], &sequences[b], &seg_matrix, gap)
-    });
-
-    let min_samples = ((n as f64).ln().round() as usize).max(2);
-    let (epsilon, min_samples) = match auto_configure(&msg_matrix, &config.autoconf) {
-        Ok(p) => (p.epsilon, min_samples),
-        Err(_) => (msg_matrix.mean().unwrap_or(0.5) / 2.0, min_samples),
-    };
-    let clustering = dbscan(&msg_matrix, epsilon, min_samples);
-    Ok(MessageTypes { clustering, epsilon, min_samples })
+    }
+    with_offsets
+        .into_iter()
+        .map(|mut v| {
+            v.sort_unstable();
+            v.into_iter().map(|(_, id)| id).collect()
+        })
+        .collect()
 }
 
 /// Normalized global alignment cost of two segment-id sequences:
 /// substitution costs come from the segment dissimilarity matrix, gaps
 /// cost `gap`; the total is normalized by the longer sequence length so
 /// results live in `[0, ~1]`.
-fn align_cost(a: &[usize], b: &[usize], seg_matrix: &CondensedMatrix, gap: f64) -> f64 {
+pub(crate) fn align_cost(a: &[usize], b: &[usize], seg_matrix: &CondensedMatrix, gap: f64) -> f64 {
     if a.is_empty() && b.is_empty() {
         return 0.0;
     }
@@ -150,8 +135,8 @@ fn align_cost(a: &[usize], b: &[usize], seg_matrix: &CondensedMatrix, gap: f64) 
     for i in 1..rows {
         dp[i * cols] = i as f64 * gap;
     }
-    for j in 1..cols {
-        dp[j] = j as f64 * gap;
+    for (j, cell) in dp.iter_mut().enumerate().take(cols).skip(1) {
+        *cell = j as f64 * gap;
     }
     for i in 1..rows {
         for j in 1..cols {
@@ -177,10 +162,14 @@ mod tests {
         let seg = truth_segmentation(&trace, &gt);
         let types: Vec<&'static str> = trace
             .iter()
-            .map(|m| protocol.message_type(m.payload()).expect("corpus messages parse"))
+            .map(|m| {
+                protocol
+                    .message_type(m.payload())
+                    .expect("corpus messages parse")
+            })
             .collect();
-        let result =
-            identify_message_types(&trace, &seg, &MessageTypeConfig::default()).expect("enough messages");
+        let result = identify_message_types(&trace, &seg, &MessageTypeConfig::default())
+            .expect("enough messages");
         (types, result)
     }
 
@@ -191,7 +180,12 @@ mod tests {
             .iter()
             .map(|members| members.iter().map(|&m| types[m]).collect())
             .collect();
-        let noise: Vec<&str> = result.clustering.noise().iter().map(|&m| types[m]).collect();
+        let noise: Vec<&str> = result
+            .clustering
+            .noise()
+            .iter()
+            .map(|&m| types[m])
+            .collect();
         ClusterMetrics::from_counts(&pair_counts(&clusters, &noise))
     }
 
@@ -199,7 +193,12 @@ mod tests {
     fn dns_queries_and_responses_separate() {
         let (types, result) = run(Protocol::Dns, 60);
         let m = metrics(&types, &result);
-        assert!(m.precision > 0.8, "precision = {} ({:?} clusters)", m.precision, result.clustering.n_clusters());
+        assert!(
+            m.precision > 0.8,
+            "precision = {} ({:?} clusters)",
+            m.precision,
+            result.clustering.n_clusters()
+        );
         assert!(result.clustering.n_clusters() >= 2);
     }
 

@@ -1,10 +1,11 @@
 //! The end-to-end field data type clustering pipeline (paper §III).
 
 use crate::segments::SegmentStore;
-use cluster::autoconf::{auto_configure, AutoConfError, AutoConfig, SelectedParams};
-use cluster::dbscan::{dbscan_weighted, Clustering, Label};
-use cluster::refine::{merge_clusters, split_clusters, RefineParams};
-use dissim::{dissimilarity, CondensedMatrix, DissimParams};
+use crate::session::AnalysisSession;
+use cluster::autoconf::{AutoConfig, SelectedParams};
+use cluster::dbscan::{Clustering, Label};
+use cluster::refine::RefineParams;
+use dissim::{CondensedMatrix, DissimParams};
 use evalkit::Coverage;
 use segment::TraceSegmentation;
 use trace::Trace;
@@ -76,10 +77,17 @@ impl PseudoTypeClustering {
         let mut covered = 0u64;
         for (seg, label) in self.store.segments.iter().zip(self.clustering.labels()) {
             if matches!(label, Label::Cluster(_)) {
-                covered += seg.instances.iter().map(|i| i.range.len() as u64).sum::<u64>();
+                covered += seg
+                    .instances
+                    .iter()
+                    .map(|i| i.range.len() as u64)
+                    .sum::<u64>();
             }
         }
-        Coverage { covered_bytes: covered, total_bytes: trace.total_payload_bytes() as u64 }
+        Coverage {
+            covered_bytes: covered,
+            total_bytes: trace.total_payload_bytes() as u64,
+        }
     }
 
     /// The values grouped per cluster, for inspection and reporting.
@@ -87,7 +95,12 @@ impl PseudoTypeClustering {
         self.clustering
             .clusters()
             .into_iter()
-            .map(|members| members.into_iter().map(|i| &self.store.segments[i].value[..]).collect())
+            .map(|members| {
+                members
+                    .into_iter()
+                    .map(|i| &self.store.segments[i].value[..])
+                    .collect()
+            })
             .collect()
     }
 }
@@ -100,6 +113,9 @@ pub enum PipelineError {
         /// How many unique segments of sufficient length were found.
         n: usize,
     },
+    /// A staged [`AnalysisSession`] was asked for a post-segmentation
+    /// artifact before a segmentation was installed.
+    MissingSegmentation,
 }
 
 impl std::fmt::Display for PipelineError {
@@ -107,6 +123,9 @@ impl std::fmt::Display for PipelineError {
         match self {
             PipelineError::TooFewSegments { n } => {
                 write!(f, "too few unique segments for clustering ({n} < 4)")
+            }
+            PipelineError::MissingSegmentation => {
+                write!(f, "no segmentation installed (run the segment stage first)")
             }
         }
     }
@@ -117,6 +136,12 @@ impl std::error::Error for PipelineError {}
 impl FieldTypeClusterer {
     /// Runs the pipeline on a preprocessed trace and its segmentation.
     ///
+    /// This is a convenience wrapper that drives a staged
+    /// [`AnalysisSession`] through all remaining stages; use a session
+    /// directly to inspect or reuse intermediate artifacts (the
+    /// dissimilarity matrix, the neighbor index, the pre-refinement
+    /// clustering, …).
+    ///
     /// # Errors
     ///
     /// Returns [`PipelineError::TooFewSegments`] when fewer than four
@@ -126,73 +151,21 @@ impl FieldTypeClusterer {
         trace: &Trace,
         segmentation: &TraceSegmentation,
     ) -> Result<PseudoTypeClustering, PipelineError> {
-        let store = SegmentStore::collect(trace, segmentation, self.min_segment_len);
-        let n = store.segments.len();
-        if n < 4 {
-            return Err(PipelineError::TooFewSegments { n });
-        }
-
-        let values: Vec<&[u8]> = store.segments.iter().map(|s| &s.value[..]).collect();
-        let params = &self.dissim;
-        let matrix = CondensedMatrix::build_parallel(n, self.threads, |i, j| {
-            dissimilarity(values[i], values[j], params)
-        });
-
-        // The matrix covers *unique* values; clustering must behave as if
-        // every duplicate segment were present, so occurrence counts act
-        // as DBSCAN sample weights and min_samples is sized by the
-        // trace's segment count (paper: "setting it to ln n", with n the
-        // number of segments).
-        let weights = store.occurrence_counts();
-        let total_instances: usize = weights.iter().sum();
-        let min_samples = ((total_instances as f64).ln().round() as usize).max(2);
-
-        // Algorithm 1, with a robustness fallback for degenerate inputs.
-        let (mut selected, mut source) = match auto_configure(&matrix, &self.autoconf) {
-            Ok(p) => (p, EpsilonSource::Knee),
-            Err(AutoConfError::TooFewSegments { n }) => return Err(PipelineError::TooFewSegments { n }),
-            Err(_) => (self.mean_fallback(&matrix, n), EpsilonSource::MeanFallback),
-        };
-        selected.min_samples = min_samples;
-        let mut clustering = dbscan_weighted(&matrix, selected.epsilon, min_samples, &weights);
-
-        // §III-E: a single dominating cluster signals a too-large ε from
-        // a multi-knee ECDF; re-configure on the trimmed distribution.
-        if self.has_dominating_cluster(&clustering, &weights) {
-            let trimmed_config = AutoConfig {
-                max_dissimilarity: Some(selected.epsilon),
-                ..self.autoconf
-            };
-            if let Ok(p) = auto_configure(&matrix, &trimmed_config) {
-                if p.epsilon < selected.epsilon {
-                    let reclustered = dbscan_weighted(&matrix, p.epsilon, min_samples, &weights);
-                    selected = SelectedParams { min_samples, ..p };
-                    source = EpsilonSource::TrimmedKnee;
-                    clustering = reclustered;
-                }
-            }
-        }
-
-        // §III-F refinement: merge over-classification, split polarized
-        // occurrence distributions.
-        let merged = merge_clusters(&clustering, &matrix, &self.refine);
-        let final_clustering = split_clusters(&merged, &store.occurrence_counts(), &self.refine);
-
-        Ok(PseudoTypeClustering {
-            store,
-            clustering: final_clustering,
-            params: selected,
-            epsilon_source: source,
-        })
+        let mut session = AnalysisSession::new(trace, self.clone());
+        session.set_segmentation(segmentation.clone());
+        session.finish()
     }
 
     /// Checks for a cluster holding more than `large_cluster_fraction`
     /// of the non-noise segments — occurrence-weighted, consistent with
     /// the multiset view.
-    fn has_dominating_cluster(&self, clustering: &Clustering, weights: &[usize]) -> bool {
+    pub(crate) fn has_dominating_cluster(
+        &self,
+        clustering: &Clustering,
+        weights: &[usize],
+    ) -> bool {
         let clusters = clustering.clusters();
-        let cluster_weight =
-            |c: &[usize]| -> usize { c.iter().map(|&i| weights[i]).sum() };
+        let cluster_weight = |c: &[usize]| -> usize { c.iter().map(|&i| weights[i]).sum() };
         let non_noise: usize = clusters.iter().map(|c| cluster_weight(c)).sum();
         if non_noise == 0 {
             return false;
@@ -204,7 +177,7 @@ impl FieldTypeClusterer {
 
     /// Fallback parameters when no knee exists: half the mean pairwise
     /// dissimilarity, `min_samples = round(ln n)`.
-    fn mean_fallback(&self, matrix: &CondensedMatrix, n: usize) -> SelectedParams {
+    pub(crate) fn mean_fallback(&self, matrix: &CondensedMatrix, n: usize) -> SelectedParams {
         let epsilon = matrix.mean().unwrap_or(0.0) / 2.0;
         SelectedParams {
             epsilon,
@@ -228,14 +201,20 @@ mod tests {
         let trace = corpus::build_trace(protocol, n, seed);
         let gt = corpus::ground_truth(protocol, &trace);
         let seg = truth_segmentation(&trace, &gt);
-        let result = FieldTypeClusterer::default().cluster_trace(&trace, &seg).unwrap();
+        let result = FieldTypeClusterer::default()
+            .cluster_trace(&trace, &seg)
+            .unwrap();
         (trace, result)
     }
 
     #[test]
     fn ntp_pipeline_produces_clusters() {
         let (trace, result) = run(Protocol::Ntp, 60, 1);
-        assert!(result.clustering.n_clusters() >= 2, "n = {}", result.clustering.n_clusters());
+        assert!(
+            result.clustering.n_clusters() >= 2,
+            "n = {}",
+            result.clustering.n_clusters()
+        );
         let cov = result.coverage(&trace);
         assert!(cov.ratio() > 0.3, "coverage = {}", cov.ratio());
         assert!(result.params.epsilon > 0.0);
@@ -245,7 +224,9 @@ mod tests {
     fn heuristic_segmentation_also_works() {
         let trace = corpus::build_trace(Protocol::Dns, 60, 2);
         let seg = Nemesys::default().segment_trace(&trace).unwrap();
-        let result = FieldTypeClusterer::default().cluster_trace(&trace, &seg).unwrap();
+        let result = FieldTypeClusterer::default()
+            .cluster_trace(&trace, &seg)
+            .unwrap();
         assert!(result.clustering.n_clusters() >= 1);
     }
 
@@ -253,7 +234,10 @@ mod tests {
     fn too_few_segments_is_an_error() {
         let trace = corpus::build_trace(Protocol::Ntp, 60, 3);
         // Absurd minimum length excludes everything.
-        let clusterer = FieldTypeClusterer { min_segment_len: 1000, ..FieldTypeClusterer::default() };
+        let clusterer = FieldTypeClusterer {
+            min_segment_len: 1000,
+            ..FieldTypeClusterer::default()
+        };
         let gt = corpus::ground_truth(Protocol::Ntp, &trace);
         let seg = truth_segmentation(&trace, &gt);
         assert!(matches!(

@@ -71,10 +71,16 @@ impl SegmentStore {
             for r in segs.ranges() {
                 let value = msg.payload()[r.clone()].to_vec();
                 let entry = index.entry(value.clone()).or_insert_with(|| {
-                    all.push(UniqueSegment { value, instances: Vec::new() });
+                    all.push(UniqueSegment {
+                        value,
+                        instances: Vec::new(),
+                    });
                     all.len() - 1
                 });
-                all[*entry].instances.push(SegmentInstance { message: mi, range: r.clone() });
+                all[*entry].instances.push(SegmentInstance {
+                    message: mi,
+                    range: r.clone(),
+                });
             }
         }
         let (segments, excluded) = all.into_iter().partition(|s| s.value.len() >= min_len);
@@ -84,7 +90,10 @@ impl SegmentStore {
     /// Occurrence counts of the clusterable segments, parallel to
     /// `segments`.
     pub fn occurrence_counts(&self) -> Vec<usize> {
-        self.segments.iter().map(UniqueSegment::occurrences).collect()
+        self.segments
+            .iter()
+            .map(UniqueSegment::occurrences)
+            .collect()
     }
 
     /// Total bytes covered by the clusterable segments' instances.
@@ -125,7 +134,11 @@ mod tests {
         let store = SegmentStore::collect(&trace, &seg, 2);
         // Unique clusterable values: 0102 (x3), AB, CD.
         assert_eq!(store.segments.len(), 3);
-        let v0102 = store.segments.iter().find(|s| s.value == b"\x01\x02").unwrap();
+        let v0102 = store
+            .segments
+            .iter()
+            .find(|s| s.value == b"\x01\x02")
+            .unwrap();
         assert_eq!(v0102.occurrences(), 3);
     }
 

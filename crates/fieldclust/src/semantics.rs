@@ -150,15 +150,26 @@ fn collect<'a>(
         }
     }
     rows.sort_by_key(|&(t, _, _, _)| t);
-    ClusterSamples { rows, distinct: members.len(), total_instances: total }
+    ClusterSamples {
+        rows,
+        distinct: members.len(),
+        total_instances: total,
+    }
 }
 
 fn be_value(bytes: &[u8]) -> u128 {
-    bytes.iter().take(16).fold(0u128, |acc, &b| acc << 8 | u128::from(b))
+    bytes
+        .iter()
+        .take(16)
+        .fold(0u128, |acc, &b| acc << 8 | u128::from(b))
 }
 
 fn le_value(bytes: &[u8]) -> u128 {
-    bytes.iter().take(16).rev().fold(0u128, |acc, &b| acc << 8 | u128::from(b))
+    bytes
+        .iter()
+        .take(16)
+        .rev()
+        .fold(0u128, |acc, &b| acc << 8 | u128::from(b))
 }
 
 fn interpret_cluster(
@@ -190,7 +201,10 @@ fn interpret_cluster(
         return report(
             SemanticHypothesis::Constant,
             1.0,
-            format!("single value across {} occurrences", samples.total_instances),
+            format!(
+                "single value across {} occurrences",
+                samples.total_instances
+            ),
         );
     }
 
@@ -200,10 +214,12 @@ fn interpret_cluster(
         .iter()
         .filter(|&&(_, _, mi, bytes)| {
             let msg = &trace.messages()[mi];
-            [msg.source().addr, msg.destination().addr].iter().any(|a| match a {
-                Addr::Ipv4(ip) => bytes == &ip[..],
-                Addr::Mac(mac) => bytes == &mac[..],
-            })
+            [msg.source().addr, msg.destination().addr]
+                .iter()
+                .any(|a| match a {
+                    Addr::Ipv4(ip) => bytes == &ip[..],
+                    Addr::Mac(mac) => bytes == &mac[..],
+                })
         })
         .count();
     let addr_fraction = addr_hits as f64 / samples.total_instances as f64;
@@ -211,7 +227,10 @@ fn interpret_cluster(
         return report(
             SemanticHypothesis::Address,
             addr_fraction,
-            format!("{addr_hits} of {} values equal an endpoint address", samples.total_instances),
+            format!(
+                "{addr_hits} of {} values equal an endpoint address",
+                samples.total_instances
+            ),
         );
     }
 
@@ -223,8 +242,22 @@ fn interpret_cluster(
         .map(|&(_, _, mi, _)| trace.messages()[mi].payload().len() as f64)
         .collect();
     for (endian, vals) in [
-        ("big-endian", samples.rows.iter().map(|r| be_value(r.3) as f64).collect::<Vec<_>>()),
-        ("little-endian", samples.rows.iter().map(|r| le_value(r.3) as f64).collect::<Vec<_>>()),
+        (
+            "big-endian",
+            samples
+                .rows
+                .iter()
+                .map(|r| be_value(r.3) as f64)
+                .collect::<Vec<_>>(),
+        ),
+        (
+            "little-endian",
+            samples
+                .rows
+                .iter()
+                .map(|r| le_value(r.3) as f64)
+                .collect::<Vec<_>>(),
+        ),
     ] {
         if let Some(r) = stats::pearson(&vals, &lens) {
             if r >= config.length_correlation {
@@ -264,8 +297,13 @@ fn interpret_cluster(
     if let Some((&modal_width, &modal_count)) = width_counts.iter().max_by_key(|&(_, c)| *c) {
         if modal_count * 2 >= samples.total_instances {
             for endian in ["big-endian", "little-endian"] {
-                let read =
-                    |bytes: &[u8]| if endian == "big-endian" { be_value(bytes) } else { le_value(bytes) };
+                let read = |bytes: &[u8]| {
+                    if endian == "big-endian" {
+                        be_value(bytes)
+                    } else {
+                        le_value(bytes)
+                    }
+                };
                 let mut series: Vec<(u64, u128)> = Vec::new();
                 for &(t, _, _, bytes) in &samples.rows {
                     if bytes.len() != modal_width {
@@ -306,7 +344,10 @@ fn interpret_cluster(
         return report(
             SemanticHypothesis::Enumeration,
             1.0 - diversity,
-            format!("{} distinct values over {} occurrences", samples.distinct, samples.total_instances),
+            format!(
+                "{} distinct values over {} occurrences",
+                samples.distinct, samples.total_instances
+            ),
         );
     }
     let values: Vec<&[u8]> = samples.rows.iter().map(|r| r.3).collect();
@@ -319,7 +360,11 @@ fn interpret_cluster(
         );
     }
 
-    report(SemanticHypothesis::Unknown, 0.0, "no rule matched".to_string())
+    report(
+        SemanticHypothesis::Unknown,
+        0.0,
+        "no rule matched".to_string(),
+    )
 }
 
 #[cfg(test)]
@@ -329,11 +374,16 @@ mod tests {
     use crate::truth::truth_segmentation;
     use protocols::{corpus, FieldKind, Protocol};
 
-    fn semantics_for(protocol: Protocol, n: usize) -> (Vec<ClusterSemantics>, Vec<Option<FieldKind>>) {
+    fn semantics_for(
+        protocol: Protocol,
+        n: usize,
+    ) -> (Vec<ClusterSemantics>, Vec<Option<FieldKind>>) {
         let trace = corpus::build_trace(protocol, n, 5);
         let gt = corpus::ground_truth(protocol, &trace);
         let seg = truth_segmentation(&trace, &gt);
-        let result = FieldTypeClusterer::default().cluster_trace(&trace, &seg).unwrap();
+        let result = FieldTypeClusterer::default()
+            .cluster_trace(&trace, &seg)
+            .unwrap();
         let sems = interpret(&result, &trace, &SemanticsConfig::default());
         // Dominant true kind per cluster, for checking hypotheses.
         let labels = crate::truth::label_store(&result.store, &gt);
@@ -388,7 +438,9 @@ mod tests {
             )),
             "{sems:?}"
         );
-        assert!(sems.iter().all(|s| s.hypothesis != SemanticHypothesis::Unknown || s.confidence == 0.0));
+        assert!(sems
+            .iter()
+            .all(|s| s.hypothesis != SemanticHypothesis::Unknown || s.confidence == 0.0));
     }
 
     #[test]
@@ -405,7 +457,11 @@ mod tests {
             let hit = name_clusters
                 .iter()
                 .any(|&c| sems[c].hypothesis == SemanticHypothesis::Text);
-            assert!(hit, "{:?}", name_clusters.iter().map(|&c| &sems[c]).collect::<Vec<_>>());
+            assert!(
+                hit,
+                "{:?}",
+                name_clusters.iter().map(|&c| &sems[c]).collect::<Vec<_>>()
+            );
         }
     }
 

@@ -1,0 +1,606 @@
+//! The staged analysis session: one trace, one set of cached artifacts.
+//!
+//! [`FieldTypeClusterer::cluster_trace`] runs the whole §III pipeline in
+//! one shot, which is right for batch evaluation but wasteful for
+//! everything else: diagnostics want the dissimilarity matrix *and* the
+//! clustering, reports want field types *and* message types, and every
+//! one of those consumers used to rebuild the O(n²) matrix from scratch.
+//!
+//! [`AnalysisSession`] decomposes the pipeline into explicit stages —
+//!
+//! ```text
+//! preprocess → segment → dedup → matrix → autoconf → cluster → refine
+//! ```
+//!
+//! — each of which computes its artifact at most once and caches it for
+//! every later stage and every external consumer. The dissimilarity
+//! stage produces a shared [`DissimArtifact`]: the condensed matrix plus
+//! a lazily built [`NeighborIndex`] that the autoconf, cluster, and
+//! refine stages use for their ε-region and k-NN queries instead of
+//! scanning matrix rows. Message type identification
+//! ([`AnalysisSession::message_types`]) rides on the same session and
+//! reuses its segment dissimilarities rather than building its own.
+//!
+//! Stages are driven on demand: asking for a late artifact (say
+//! [`refine`](AnalysisSession::refine)) runs every missing earlier
+//! stage. Replacing the segmentation invalidates all downstream
+//! artifacts.
+//!
+//! # Examples
+//!
+//! ```
+//! use fieldclust::{AnalysisSession, FieldTypeClusterer, truth};
+//! use protocols::{corpus, Protocol};
+//!
+//! let trace = corpus::build_trace(Protocol::Ntp, 60, 7);
+//! let gt = corpus::ground_truth(Protocol::Ntp, &trace);
+//!
+//! let mut session = AnalysisSession::new(&trace, FieldTypeClusterer::default());
+//! session.set_segmentation(truth::truth_segmentation(&trace, &gt));
+//!
+//! // Stages run once, on demand, and are cached:
+//! let n_unique = session.store()?.segments.len();
+//! assert_eq!(session.matrix()?.len(), n_unique);
+//! let eps = session.autoconf()?.epsilon;
+//!
+//! let result = session.finish()?;
+//! assert_eq!(result.params.epsilon, eps);
+//! # Ok::<(), fieldclust::PipelineError>(())
+//! ```
+
+use std::borrow::Cow;
+
+use crate::msgtype::{self, MessageTypeConfig, MessageTypeError, MessageTypes};
+use crate::pipeline::{EpsilonSource, FieldTypeClusterer, PipelineError, PseudoTypeClustering};
+use crate::segments::SegmentStore;
+use cluster::autoconf::{
+    auto_configure, auto_configure_with_index, AutoConfError, AutoConfig, SelectedParams,
+};
+use cluster::dbscan::{dbscan, dbscan_weighted_with_index, Clustering};
+use cluster::refine::{merge_clusters_with_index, split_clusters};
+use dissim::{dissimilarity, CondensedMatrix, DissimArtifact, NeighborIndex};
+use segment::{SegmentError, Segmenter, TraceSegmentation};
+use trace::{Preprocessor, Trace};
+
+/// A staged run of the analysis pipeline over one trace.
+///
+/// See the [module docs](self) for the stage graph and an example.
+#[derive(Debug, Clone)]
+pub struct AnalysisSession<'t> {
+    config: FieldTypeClusterer,
+    trace: Cow<'t, Trace>,
+    // Stage artifacts, in dependency order. `None` = not yet computed.
+    segmentation: Option<TraceSegmentation>,
+    store: Option<SegmentStore>,
+    dissim: Option<DissimArtifact>,
+    selection: Option<(SelectedParams, EpsilonSource)>,
+    clustering: Option<Clustering>,
+    refined: Option<Clustering>,
+    // Message-type artifacts (share the trace and segmentation; the
+    // store differs because message typing keeps 1-byte segments).
+    full_store: Option<SegmentStore>,
+    full_dissim: Option<DissimArtifact>,
+    msg_dissim: Option<(f64, DissimArtifact)>,
+}
+
+impl<'t> AnalysisSession<'t> {
+    /// Starts a session over an already-preprocessed trace.
+    pub fn new(trace: &'t Trace, config: FieldTypeClusterer) -> Self {
+        Self::from_cow(Cow::Borrowed(trace), config)
+    }
+
+    /// Stage 1: preprocesses a raw trace (filter, de-duplicate,
+    /// truncate) and starts a session over the result.
+    pub fn preprocess(
+        raw: &Trace,
+        pre: &Preprocessor,
+        config: FieldTypeClusterer,
+    ) -> AnalysisSession<'static> {
+        AnalysisSession::from_owned(pre.apply(raw), config)
+    }
+
+    /// Starts a session that owns its trace.
+    pub fn from_owned(trace: Trace, config: FieldTypeClusterer) -> AnalysisSession<'static> {
+        AnalysisSession::from_cow(Cow::Owned(trace), config)
+    }
+
+    fn from_cow(trace: Cow<'t, Trace>, config: FieldTypeClusterer) -> Self {
+        Self {
+            config,
+            trace,
+            segmentation: None,
+            store: None,
+            dissim: None,
+            selection: None,
+            clustering: None,
+            refined: None,
+            full_store: None,
+            full_dissim: None,
+            msg_dissim: None,
+        }
+    }
+
+    /// The trace under analysis.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &FieldTypeClusterer {
+        &self.config
+    }
+
+    /// Stage 2: segments the trace with `segmenter`, replacing any
+    /// previous segmentation (and invalidating downstream artifacts).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the segmenter's [`SegmentError`].
+    pub fn segment_with(
+        &mut self,
+        segmenter: &dyn Segmenter,
+    ) -> Result<&TraceSegmentation, SegmentError> {
+        let seg = segmenter.segment_trace(&self.trace)?;
+        self.set_segmentation(seg);
+        Ok(self.segmentation.as_ref().expect("just set"))
+    }
+
+    /// Stage 2 (alternative): installs a segmentation computed outside
+    /// the session, e.g. ground truth. Invalidates downstream artifacts.
+    pub fn set_segmentation(&mut self, segmentation: TraceSegmentation) {
+        self.segmentation = Some(segmentation);
+        self.store = None;
+        self.dissim = None;
+        self.selection = None;
+        self.clustering = None;
+        self.refined = None;
+        self.full_store = None;
+        self.full_dissim = None;
+        self.msg_dissim = None;
+    }
+
+    /// The current segmentation, if stage 2 has run.
+    pub fn segmentation(&self) -> Option<&TraceSegmentation> {
+        self.segmentation.as_ref()
+    }
+
+    /// Stage 3 (dedup): the unique segments admitted to clustering
+    /// (length ≥ `min_segment_len`, duplicates collapsed with their
+    /// occurrence counts).
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::MissingSegmentation`] before stage 2,
+    /// [`PipelineError::TooFewSegments`] when fewer than four unique
+    /// segments remain.
+    pub fn store(&mut self) -> Result<&SegmentStore, PipelineError> {
+        self.ensure_store()?;
+        Ok(self.store.as_ref().expect("ensured"))
+    }
+
+    /// Stage 4 (matrix): the pairwise Canberra dissimilarity matrix over
+    /// the unique segments of [`store`](Self::store).
+    ///
+    /// # Errors
+    ///
+    /// See [`store`](Self::store).
+    pub fn matrix(&mut self) -> Result<&CondensedMatrix, PipelineError> {
+        self.ensure_dissim()?;
+        Ok(self.dissim.as_ref().expect("ensured").matrix())
+    }
+
+    /// The neighbor index over [`matrix`](Self::matrix), built (in
+    /// parallel) on first use and cached. All later stages query it
+    /// instead of scanning matrix rows.
+    ///
+    /// # Errors
+    ///
+    /// See [`store`](Self::store).
+    pub fn neighbors(&mut self) -> Result<&NeighborIndex, PipelineError> {
+        self.ensure_dissim()?;
+        Ok(self.dissim.as_mut().expect("ensured").neighbors())
+    }
+
+    /// Stage 5 (autoconf): the DBSCAN parameters selected by Algorithm 1
+    /// (with the mean-based robustness fallback), `min_samples` sized by
+    /// the occurrence-weighted segment count.
+    ///
+    /// After [`cluster`](Self::cluster), the returned parameters reflect
+    /// a §III-E trimmed-ECDF re-configuration if one was triggered.
+    ///
+    /// # Errors
+    ///
+    /// See [`store`](Self::store).
+    pub fn autoconf(&mut self) -> Result<&SelectedParams, PipelineError> {
+        self.ensure_selection()?;
+        Ok(&self.selection.as_ref().expect("ensured").0)
+    }
+
+    /// Where the current ε came from, if stage 5 has run.
+    pub fn epsilon_source(&self) -> Option<EpsilonSource> {
+        self.selection.as_ref().map(|(_, s)| *s)
+    }
+
+    /// Stage 6 (cluster): occurrence-weighted DBSCAN at the
+    /// auto-configured parameters, re-running on a trimmed ECDF when one
+    /// cluster dominates (§III-E).
+    ///
+    /// # Errors
+    ///
+    /// See [`store`](Self::store).
+    pub fn cluster(&mut self) -> Result<&Clustering, PipelineError> {
+        self.ensure_clustering()?;
+        Ok(self.clustering.as_ref().expect("ensured"))
+    }
+
+    /// Stage 7 (refine): the final clustering after merging
+    /// over-classified clusters and splitting polarized ones (§III-F).
+    ///
+    /// # Errors
+    ///
+    /// See [`store`](Self::store).
+    pub fn refine(&mut self) -> Result<&Clustering, PipelineError> {
+        self.ensure_refined()?;
+        Ok(self.refined.as_ref().expect("ensured"))
+    }
+
+    /// Runs all remaining stages and assembles the pipeline result.
+    /// The session stays usable; its artifacts remain cached.
+    ///
+    /// # Errors
+    ///
+    /// See [`store`](Self::store).
+    pub fn finish(&mut self) -> Result<PseudoTypeClustering, PipelineError> {
+        self.ensure_refined()?;
+        let (params, source) = self.selection.clone().expect("ensured");
+        Ok(PseudoTypeClustering {
+            store: self.store.clone().expect("ensured"),
+            clustering: self.refined.clone().expect("ensured"),
+            params,
+            epsilon_source: source,
+        })
+    }
+
+    // ----- message types (NEMETYL-style companion analysis) -----
+
+    /// The dissimilarity matrix over *all* unique segments (including
+    /// 1-byte ones), as used for message alignment. Cached separately
+    /// from [`matrix`](Self::matrix), which excludes short segments.
+    ///
+    /// # Errors
+    ///
+    /// [`MessageTypeError::TooFewMessages`] /
+    /// [`MessageTypeError::MissingSegmentation`].
+    pub fn segment_matrix(&mut self) -> Result<&CondensedMatrix, MessageTypeError> {
+        self.ensure_full_dissim()?;
+        Ok(self.full_dissim.as_ref().expect("ensured").matrix())
+    }
+
+    /// The message dissimilarity matrix: normalized alignment cost of
+    /// the segment-id sequences of every message pair, substitution
+    /// costs taken from [`segment_matrix`](Self::segment_matrix).
+    /// Cached per gap penalty.
+    ///
+    /// # Errors
+    ///
+    /// See [`segment_matrix`](Self::segment_matrix).
+    pub fn message_matrix(
+        &mut self,
+        gap_penalty: f64,
+    ) -> Result<&CondensedMatrix, MessageTypeError> {
+        if self
+            .msg_dissim
+            .as_ref()
+            .is_none_or(|(g, _)| *g != gap_penalty)
+        {
+            self.ensure_full_dissim()?;
+            let n = self.trace.len();
+            let store = self.full_store.as_ref().expect("ensured");
+            let seg_matrix = self.full_dissim.as_ref().expect("ensured").matrix();
+            let sequences = msgtype::segment_sequences(n, store);
+            let artifact = DissimArtifact::compute(n, self.config.threads, |a, b| {
+                msgtype::align_cost(&sequences[a], &sequences[b], seg_matrix, gap_penalty)
+            });
+            self.msg_dissim = Some((gap_penalty, artifact));
+        }
+        Ok(self.msg_dissim.as_ref().expect("just built").1.matrix())
+    }
+
+    /// Clusters the trace's messages into message types with the same
+    /// auto-configured DBSCAN, reusing the session's segment
+    /// dissimilarities.
+    ///
+    /// # Errors
+    ///
+    /// See [`segment_matrix`](Self::segment_matrix).
+    pub fn message_types(
+        &mut self,
+        config: &MessageTypeConfig,
+    ) -> Result<MessageTypes, MessageTypeError> {
+        let n = self.trace.len();
+        let autoconf = config.autoconf;
+        let matrix = self.message_matrix(config.gap_penalty)?;
+        let min_samples = ((n as f64).ln().round() as usize).max(2);
+        let epsilon = match auto_configure(matrix, &autoconf) {
+            Ok(p) => p.epsilon,
+            Err(_) => matrix.mean().unwrap_or(0.5) / 2.0,
+        };
+        let clustering = dbscan(matrix, epsilon, min_samples);
+        Ok(MessageTypes {
+            clustering,
+            epsilon,
+            min_samples,
+        })
+    }
+
+    // ----- stage internals -----
+
+    fn ensure_store(&mut self) -> Result<(), PipelineError> {
+        if self.store.is_some() {
+            return Ok(());
+        }
+        let seg = self
+            .segmentation
+            .as_ref()
+            .ok_or(PipelineError::MissingSegmentation)?;
+        let store = SegmentStore::collect(&self.trace, seg, self.config.min_segment_len);
+        let n = store.segments.len();
+        if n < 4 {
+            return Err(PipelineError::TooFewSegments { n });
+        }
+        self.store = Some(store);
+        Ok(())
+    }
+
+    fn ensure_dissim(&mut self) -> Result<(), PipelineError> {
+        if self.dissim.is_some() {
+            return Ok(());
+        }
+        self.ensure_store()?;
+        let store = self.store.as_ref().expect("ensured");
+        let values: Vec<&[u8]> = store.segments.iter().map(|s| &s.value[..]).collect();
+        let params = &self.config.dissim;
+        self.dissim = Some(DissimArtifact::compute(
+            values.len(),
+            self.config.threads,
+            |i, j| dissimilarity(values[i], values[j], params),
+        ));
+        Ok(())
+    }
+
+    fn ensure_selection(&mut self) -> Result<(), PipelineError> {
+        if self.selection.is_some() {
+            return Ok(());
+        }
+        self.ensure_dissim()?;
+        // The matrix covers *unique* values; clustering must behave as
+        // if every duplicate segment were present, so occurrence counts
+        // act as DBSCAN sample weights and min_samples is sized by the
+        // trace's segment count (paper: "setting it to ln n", with n
+        // the number of segments).
+        let weights = self.store.as_ref().expect("ensured").occurrence_counts();
+        let total_instances: usize = weights.iter().sum();
+        let min_samples = ((total_instances as f64).ln().round() as usize).max(2);
+        let artifact = self.dissim.as_mut().expect("ensured");
+        let (mut selected, source) =
+            match auto_configure_with_index(artifact.neighbors(), &self.config.autoconf) {
+                Ok(p) => (p, EpsilonSource::Knee),
+                Err(AutoConfError::TooFewSegments { n }) => {
+                    return Err(PipelineError::TooFewSegments { n })
+                }
+                Err(_) => (
+                    self.config.mean_fallback(artifact.matrix(), artifact.len()),
+                    EpsilonSource::MeanFallback,
+                ),
+            };
+        selected.min_samples = min_samples;
+        self.selection = Some((selected, source));
+        Ok(())
+    }
+
+    fn ensure_clustering(&mut self) -> Result<(), PipelineError> {
+        if self.clustering.is_some() {
+            return Ok(());
+        }
+        self.ensure_selection()?;
+        let weights = self.store.as_ref().expect("ensured").occurrence_counts();
+        let (selected, _) = self.selection.clone().expect("ensured");
+        let min_samples = selected.min_samples;
+        let artifact = self.dissim.as_mut().expect("ensured");
+        let mut clustering = dbscan_weighted_with_index(
+            artifact.neighbors(),
+            selected.epsilon,
+            min_samples,
+            &weights,
+        );
+
+        // §III-E: a single dominating cluster signals a too-large ε from
+        // a multi-knee ECDF; re-configure on the trimmed distribution.
+        if self.config.has_dominating_cluster(&clustering, &weights) {
+            let trimmed_config = AutoConfig {
+                max_dissimilarity: Some(selected.epsilon),
+                ..self.config.autoconf
+            };
+            if let Ok(p) = auto_configure_with_index(artifact.neighbors(), &trimmed_config) {
+                if p.epsilon < selected.epsilon {
+                    clustering = dbscan_weighted_with_index(
+                        artifact.neighbors(),
+                        p.epsilon,
+                        min_samples,
+                        &weights,
+                    );
+                    self.selection = Some((
+                        SelectedParams { min_samples, ..p },
+                        EpsilonSource::TrimmedKnee,
+                    ));
+                }
+            }
+        }
+        self.clustering = Some(clustering);
+        Ok(())
+    }
+
+    fn ensure_refined(&mut self) -> Result<(), PipelineError> {
+        if self.refined.is_some() {
+            return Ok(());
+        }
+        self.ensure_clustering()?;
+        self.dissim.as_mut().expect("ensured").neighbors(); // force the index
+        let artifact = self.dissim.as_ref().expect("ensured");
+        let index = artifact.neighbors_built().expect("just built");
+        let clustering = self.clustering.as_ref().expect("ensured");
+        let weights = self.store.as_ref().expect("ensured").occurrence_counts();
+        let merged =
+            merge_clusters_with_index(clustering, artifact.matrix(), index, &self.config.refine);
+        self.refined = Some(split_clusters(&merged, &weights, &self.config.refine));
+        Ok(())
+    }
+
+    fn ensure_full_store(&mut self) -> Result<(), MessageTypeError> {
+        let n = self.trace.len();
+        if n < 4 {
+            return Err(MessageTypeError::TooFewMessages { n });
+        }
+        if self.full_store.is_some() {
+            return Ok(());
+        }
+        let seg = self
+            .segmentation
+            .as_ref()
+            .ok_or(MessageTypeError::MissingSegmentation)?;
+        // Message type identification keeps even 1-byte segments —
+        // sequence context disambiguates them.
+        self.full_store = Some(SegmentStore::collect(&self.trace, seg, 1));
+        Ok(())
+    }
+
+    fn ensure_full_dissim(&mut self) -> Result<(), MessageTypeError> {
+        if self.full_dissim.is_some() {
+            return Ok(());
+        }
+        self.ensure_full_store()?;
+        let store = self.full_store.as_ref().expect("ensured");
+        let values: Vec<&[u8]> = store.segments.iter().map(|s| &s.value[..]).collect();
+        let params = &self.config.dissim;
+        self.full_dissim = Some(DissimArtifact::compute(
+            values.len(),
+            self.config.threads,
+            |i, j| dissimilarity(values[i], values[j], params),
+        ));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::truth::truth_segmentation;
+    use protocols::{corpus, Protocol};
+
+    fn session_for(protocol: Protocol, n: usize, seed: u64) -> (Trace, AnalysisSession<'static>) {
+        let trace = corpus::build_trace(protocol, n, seed);
+        let gt = corpus::ground_truth(protocol, &trace);
+        let seg = truth_segmentation(&trace, &gt);
+        let mut s = AnalysisSession::from_owned(trace.clone(), FieldTypeClusterer::default());
+        s.set_segmentation(seg);
+        (trace, s)
+    }
+
+    #[test]
+    fn stages_run_on_demand_and_cache() {
+        let (_, mut s) = session_for(Protocol::Ntp, 50, 1);
+        assert!(s.segmentation().is_some());
+        let n = s.store().unwrap().segments.len();
+        let first = s.matrix().unwrap() as *const CondensedMatrix;
+        assert_eq!(s.matrix().unwrap().len(), n);
+        // Same allocation: the artifact was cached, not rebuilt.
+        assert_eq!(first, s.matrix().unwrap() as *const CondensedMatrix);
+        assert_eq!(s.neighbors().unwrap().len(), n);
+        let eps = s.autoconf().unwrap().epsilon;
+        assert!(eps > 0.0);
+        let result = s.finish().unwrap();
+        assert_eq!(result.params.epsilon, s.autoconf().unwrap().epsilon);
+        assert_eq!(&result.clustering, s.refine().unwrap());
+    }
+
+    #[test]
+    fn finish_matches_cluster_trace() {
+        let trace = corpus::build_trace(Protocol::Dns, 50, 2);
+        let gt = corpus::ground_truth(Protocol::Dns, &trace);
+        let seg = truth_segmentation(&trace, &gt);
+        let wrapper = FieldTypeClusterer::default()
+            .cluster_trace(&trace, &seg)
+            .unwrap();
+        let mut s = AnalysisSession::new(&trace, FieldTypeClusterer::default());
+        s.set_segmentation(seg);
+        let staged = s.finish().unwrap();
+        assert_eq!(wrapper.clustering, staged.clustering);
+        assert_eq!(wrapper.params.epsilon, staged.params.epsilon);
+        assert_eq!(wrapper.epsilon_source, staged.epsilon_source);
+    }
+
+    #[test]
+    fn missing_segmentation_is_an_error() {
+        let trace = corpus::build_trace(Protocol::Ntp, 20, 3);
+        let mut s = AnalysisSession::new(&trace, FieldTypeClusterer::default());
+        assert!(matches!(s.store(), Err(PipelineError::MissingSegmentation)));
+        assert!(matches!(
+            s.finish(),
+            Err(PipelineError::MissingSegmentation)
+        ));
+        assert!(matches!(
+            s.message_types(&MessageTypeConfig::default()),
+            Err(MessageTypeError::MissingSegmentation)
+        ));
+    }
+
+    #[test]
+    fn segment_stage_uses_a_segmenter() {
+        use segment::nemesys::Nemesys;
+        let trace = corpus::build_trace(Protocol::Dns, 40, 4);
+        let mut s = AnalysisSession::new(&trace, FieldTypeClusterer::default());
+        let total = s
+            .segment_with(&Nemesys::default())
+            .unwrap()
+            .total_segments();
+        assert!(total > 0);
+        assert!(s.finish().unwrap().clustering.n_clusters() >= 1);
+    }
+
+    #[test]
+    fn set_segmentation_invalidates_downstream() {
+        use segment::fixed::FixedChunks;
+        let (trace, mut s) = session_for(Protocol::Ntp, 40, 5);
+        let eps_truth = s.autoconf().unwrap().epsilon;
+        let n_truth = s.store().unwrap().segments.len();
+        s.set_segmentation(FixedChunks { width: 4 }.segment_trace(&trace).unwrap());
+        let n_fixed = s.store().unwrap().segments.len();
+        assert!(n_fixed != n_truth || s.autoconf().unwrap().epsilon != eps_truth);
+    }
+
+    #[test]
+    fn preprocess_stage_feeds_the_session() {
+        let raw = corpus::build_trace(Protocol::Ntp, 30, 6);
+        let mut s = AnalysisSession::preprocess(
+            &raw,
+            &Preprocessor::new().deduplicate(true),
+            FieldTypeClusterer::default(),
+        );
+        assert!(s.trace().len() <= raw.len());
+        let gt = corpus::ground_truth(Protocol::Ntp, s.trace());
+        let seg = truth_segmentation(s.trace(), &gt);
+        s.set_segmentation(seg);
+        assert!(s.finish().unwrap().clustering.n_clusters() >= 1);
+    }
+
+    #[test]
+    fn message_matrix_is_cached_per_gap_penalty() {
+        let (_, mut s) = session_for(Protocol::Dns, 40, 7);
+        let m8 = s.message_matrix(0.8).unwrap().clone();
+        assert_eq!(&m8, s.message_matrix(0.8).unwrap());
+        // A different penalty rebuilds with different alignment costs.
+        assert_ne!(&m8, s.message_matrix(0.5).unwrap());
+        let types = s.message_types(&MessageTypeConfig::default()).unwrap();
+        assert_eq!(types.clustering.len(), s.trace().len());
+    }
+}

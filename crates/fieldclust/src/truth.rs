@@ -19,7 +19,11 @@ use trace::Trace;
 /// Panics if `ground_truth` does not cover the trace or a message's
 /// fields do not tile its payload — corpus traces always do.
 pub fn truth_segmentation(trace: &Trace, ground_truth: &[Vec<TrueField>]) -> TraceSegmentation {
-    assert_eq!(trace.len(), ground_truth.len(), "ground truth must cover the trace");
+    assert_eq!(
+        trace.len(),
+        ground_truth.len(),
+        "ground truth must cover the trace"
+    );
     let messages = trace
         .iter()
         .zip(ground_truth)
@@ -47,7 +51,7 @@ pub fn dominant_kind(fields: &[TrueField], range: &std::ops::Range<usize>) -> Op
         }
     }
     for (kind, bytes) in acc {
-        if best.map_or(true, |(_, b)| bytes > b) {
+        if best.is_none_or(|(_, b)| bytes > b) {
             best = Some((kind, bytes));
         }
     }
@@ -65,7 +69,8 @@ pub fn label_store(store: &SegmentStore, ground_truth: &[Vec<TrueField>]) -> Vec
         .segments
         .iter()
         .map(|seg| {
-            let mut votes: std::collections::HashMap<FieldKind, usize> = std::collections::HashMap::new();
+            let mut votes: std::collections::HashMap<FieldKind, usize> =
+                std::collections::HashMap::new();
             for inst in &seg.instances {
                 let fields = &ground_truth[inst.message];
                 if let Some(kind) = dominant_kind(fields, &inst.range) {
@@ -102,8 +107,18 @@ mod tests {
     #[test]
     fn dominant_kind_picks_majority_overlap() {
         let fields = vec![
-            TrueField { offset: 0, len: 4, kind: FieldKind::Timestamp, name: "ts" },
-            TrueField { offset: 4, len: 2, kind: FieldKind::UInt, name: "u" },
+            TrueField {
+                offset: 0,
+                len: 4,
+                kind: FieldKind::Timestamp,
+                name: "ts",
+            },
+            TrueField {
+                offset: 4,
+                len: 2,
+                kind: FieldKind::UInt,
+                name: "u",
+            },
         ];
         // Range covering 3 timestamp bytes and 1 uint byte.
         assert_eq!(dominant_kind(&fields, &(1..5)), Some(FieldKind::Timestamp));
@@ -122,7 +137,7 @@ mod tests {
         let labels = label_store(&store, &gt);
         assert_eq!(labels.len(), store.segments.len());
         // NTP ground truth contains timestamps; they must be labelled so.
-        let has_ts = labels.iter().any(|&k| k == FieldKind::Timestamp);
+        let has_ts = labels.contains(&FieldKind::Timestamp);
         assert!(has_ts);
     }
 

@@ -16,8 +16,7 @@ fn arb_trace_and_seg() -> impl Strategy<Value = (Trace, TraceSegmentation)> {
                     let len = p.len();
                     prop::collection::btree_set(1..len.max(2), 0..len.min(6)).prop_map(
                         move |cuts| {
-                            let cuts: Vec<usize> =
-                                cuts.into_iter().filter(|&c| c < len).collect();
+                            let cuts: Vec<usize> = cuts.into_iter().filter(|&c| c < len).collect();
                             MessageSegments::from_cuts(len, &cuts)
                         },
                     )
@@ -28,7 +27,10 @@ fn arb_trace_and_seg() -> impl Strategy<Value = (Trace, TraceSegmentation)> {
                     .into_iter()
                     .map(|p| Message::builder(Bytes::from(p)).build())
                     .collect();
-                (Trace::new("prop", msgs), TraceSegmentation { messages: segs })
+                (
+                    Trace::new("prop", msgs),
+                    TraceSegmentation { messages: segs },
+                )
             })
         },
     )

@@ -113,7 +113,10 @@ impl std::fmt::Display for FieldHunterError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             FieldHunterError::NoContext => {
-                write!(f, "trace lacks IP/transport context required by the heuristics")
+                write!(
+                    f,
+                    "trace lacks IP/transport context required by the heuristics"
+                )
             }
             FieldHunterError::TooFewMessages { n } => {
                 write!(f, "too few messages for statistical inference ({n} < 10)")
@@ -198,21 +201,21 @@ impl FieldHunter {
 
         let mut fields: Vec<InferredField> = Vec::new();
         let mut claimed: Vec<(usize, usize)> = Vec::new(); // (offset, width)
-        // FieldHunter identifies *the* message-type field, *the* length
-        // field, and so on — not every offset that happens to satisfy a
-        // rule. Only accumulators may occur repeatedly (a protocol can
-        // carry several counters/timestamps).
-        let mut found_types: std::collections::HashSet<InferredType> = std::collections::HashSet::new();
+                                                           // FieldHunter identifies *the* message-type field, *the* length
+                                                           // field, and so on — not every offset that happens to satisfy a
+                                                           // rule. Only accumulators may occur repeatedly (a protocol can
+                                                           // carry several counters/timestamps).
+        let mut found_types: std::collections::HashSet<InferredType> =
+            std::collections::HashSet::new();
 
-        let max_offset = trace
-            .iter()
-            .map(|m| m.payload().len())
-            .max()
-            .unwrap_or(0);
+        let max_offset = trace.iter().map(|m| m.payload().len()).max().unwrap_or(0);
 
         for &width in &self.widths {
             for offset in 0..max_offset.saturating_sub(width - 1) {
-                if claimed.iter().any(|&(o, w)| offset < o + w && o < offset + width) {
+                if claimed
+                    .iter()
+                    .any(|&(o, w)| offset < o + w && o < offset + width)
+                {
                     continue;
                 }
                 let present = trace
@@ -291,7 +294,12 @@ impl FieldHunter {
             if values.len() < 10 {
                 continue;
             }
-            let field = |field_type| InferredField { offset, width, endian, field_type };
+            let field = |field_type| InferredField {
+                offset,
+                width,
+                endian,
+                field_type,
+            };
 
             if !found.contains(&InferredType::TransId)
                 && self.is_trans_id(trace, pairs, offset, width, endian, &values)
@@ -403,7 +411,12 @@ impl FieldHunter {
         }
         // IDs must look random: high normalized entropy over requests.
         stats::normalized_value_entropy(&req_values) >= self.min_id_entropy
-            && values.iter().map(|&(_, v)| v).collect::<std::collections::HashSet<_>>().len() > 1
+            && values
+                .iter()
+                .map(|&(_, v)| v)
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+                > 1
     }
 
     fn is_host_id(&self, trace: &Trace, values: &[(usize, u64)]) -> bool {
@@ -465,7 +478,9 @@ impl FieldHunter {
                 }
             }
         }
-        steps >= 10 && increasing as f64 >= 0.98 * steps as f64 && strict as f64 >= 0.5 * steps as f64
+        steps >= 10
+            && increasing as f64 >= 0.98 * steps as f64
+            && strict as f64 >= 0.5 * steps as f64
     }
 }
 
@@ -508,7 +523,11 @@ mod tests {
             a.fields
         );
         // The paper's point: coverage stays tiny compared to clustering.
-        assert!(a.coverage.ratio() < 0.2, "coverage = {}", a.coverage.ratio());
+        assert!(
+            a.coverage.ratio() < 0.2,
+            "coverage = {}",
+            a.coverage.ratio()
+        );
     }
 
     #[test]
@@ -544,7 +563,7 @@ mod tests {
     }
 
     #[test]
-    fn coverage_is_bounded(){
+    fn coverage_is_bounded() {
         for p in [Protocol::Dns, Protocol::Ntp, Protocol::Smb] {
             let t = p.generate(100, 7);
             let a = FieldHunter::default().analyze(&t).unwrap();

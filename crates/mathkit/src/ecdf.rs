@@ -97,7 +97,12 @@ impl Ecdf {
     ///
     /// Returns `None` when no sample value survives the cut.
     pub fn trimmed_below(&self, cutoff: f64) -> Option<Self> {
-        let kept: Vec<f64> = self.sorted.iter().copied().filter(|&v| v < cutoff).collect();
+        let kept: Vec<f64> = self
+            .sorted
+            .iter()
+            .copied()
+            .filter(|&v| v < cutoff)
+            .collect();
         if kept.is_empty() {
             None
         } else {
@@ -133,7 +138,10 @@ mod tests {
     #[test]
     fn rejects_empty_and_nan() {
         assert_eq!(Ecdf::new(vec![]).unwrap_err(), EcdfError::Empty);
-        assert_eq!(Ecdf::new(vec![1.0, f64::NAN]).unwrap_err(), EcdfError::NotFinite);
+        assert_eq!(
+            Ecdf::new(vec![1.0, f64::NAN]).unwrap_err(),
+            EcdfError::NotFinite
+        );
     }
 
     #[test]

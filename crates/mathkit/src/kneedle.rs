@@ -93,7 +93,11 @@ pub fn detect_knees(xs: &[f64], ys: &[f64], params: &KneedleParams) -> Vec<Knee>
         }
         if let Some(c) = candidate {
             if yd[i] < threshold {
-                knees.push(Knee { x: xs[c], y: ys[c], index: c });
+                knees.push(Knee {
+                    x: xs[c],
+                    y: ys[c],
+                    index: c,
+                });
                 candidate = None;
                 threshold = f64::NEG_INFINITY;
             }
@@ -104,7 +108,11 @@ pub fn detect_knees(xs: &[f64], ys: &[f64], params: &KneedleParams) -> Vec<Knee>
     // its maximum, so the strict threshold crossing may fall off the end).
     if let Some(c) = candidate {
         if yd[n - 1] < yd[c] {
-            knees.push(Knee { x: xs[c], y: ys[c], index: c });
+            knees.push(Knee {
+                x: xs[c],
+                y: ys[c],
+                index: c,
+            });
         }
     }
     knees

@@ -90,8 +90,8 @@ pub fn classical_mds(
         let (lambda, v) = power_iteration(&work, n, 200 + 13 * dim);
         let lambda_pos = lambda.max(0.0);
         let scale = lambda_pos.sqrt();
-        for i in 0..n {
-            coords[i][dim] = v[i] * scale;
+        for (row, &vi) in coords.iter_mut().zip(&v) {
+            row[dim] = vi * scale;
         }
         eigenvalues.push(lambda_pos);
         // Deflate: B <- B - λ v vᵀ.
@@ -101,7 +101,10 @@ pub fn classical_mds(
             }
         }
     }
-    Ok(Embedding { coords, eigenvalues })
+    Ok(Embedding {
+        coords,
+        eigenvalues,
+    })
 }
 
 /// Dominant eigenpair of a symmetric matrix via power iteration with a
@@ -179,7 +182,13 @@ mod tests {
     #[test]
     fn separates_two_groups() {
         // Two groups with small intra- and large inter-distance.
-        let group = |i: usize| -> f64 { if i < 5 { 0.0 } else { 10.0 } };
+        let group = |i: usize| -> f64 {
+            if i < 5 {
+                0.0
+            } else {
+                10.0
+            }
+        };
         let e = classical_mds(10, 2, |i, j| {
             (group(i) - group(j)).abs() + if i != j { 0.1 } else { 0.0 }
         })
@@ -192,7 +201,10 @@ mod tests {
 
     #[test]
     fn rejects_degenerate_input() {
-        assert_eq!(classical_mds(1, 2, |_, _| 0.0).unwrap_err(), MdsError::TooFewItems);
+        assert_eq!(
+            classical_mds(1, 2, |_, _| 0.0).unwrap_err(),
+            MdsError::TooFewItems
+        );
         assert_eq!(
             classical_mds(3, 2, |_, _| f64::NAN).unwrap_err(),
             MdsError::NotFinite
@@ -209,7 +221,9 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let f = |i: usize, j: usize| ((i * 7 + j * 3) % 10) as f64 / 10.0 + if i == j { 0.0 } else { 0.5 };
+        let f = |i: usize, j: usize| {
+            ((i * 7 + j * 3) % 10) as f64 / 10.0 + if i == j { 0.0 } else { 0.5 }
+        };
         let sym = |i: usize, j: usize| if i == j { 0.0 } else { f(i.min(j), i.max(j)) };
         let a = classical_mds(12, 2, sym).unwrap();
         let b = classical_mds(12, 2, sym).unwrap();

@@ -131,7 +131,12 @@ mod tests {
         let total: f64 = f.iter().sum();
         assert!((total - 1.0).abs() < 1e-9);
         // Peak stays at the impulse.
-        let peak = f.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        let peak = f
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
         assert_eq!(peak, 10);
     }
 

@@ -122,7 +122,11 @@ impl SmoothingSpline {
             ata[i * n_coef + i] += 1e-10;
         }
         let coeffs = solve_dense(&mut ata, &mut aty, n_coef).ok_or(SplineError::Singular)?;
-        Ok(Self { knots, coeffs, degree: DEGREE })
+        Ok(Self {
+            knots,
+            coeffs,
+            degree: DEGREE,
+        })
     }
 
     /// Evaluates the fitted spline at `x`, clamping `x` to the fitted range.
@@ -156,20 +160,20 @@ fn eval_basis_row(knots: &[f64], degree: usize, n_coef: usize, x: f64, out: &mut
     n[0] = 1.0;
     for d in 1..=degree {
         let mut saved = 0.0;
-        for j in 0..d {
+        for (j, nj) in n.iter_mut().enumerate().take(d) {
             let left_idx = mu + 1 + j - d;
             let right_idx = mu + 1 + j;
             let denom = knots[right_idx] - knots[left_idx];
-            let temp = if denom != 0.0 { n[j] / denom } else { 0.0 };
-            n[j] = saved + (knots[right_idx] - x) * temp;
+            let temp = if denom != 0.0 { *nj / denom } else { 0.0 };
+            *nj = saved + (knots[right_idx] - x) * temp;
             saved = (x - knots[left_idx]) * temp;
         }
         n[d] = saved;
     }
-    for j in 0..=degree {
+    for (j, &nj) in n.iter().enumerate().take(degree + 1) {
         let idx = mu + j - degree;
         if idx < n_coef {
-            out[idx] = n[j];
+            out[idx] = nj;
         }
     }
 }

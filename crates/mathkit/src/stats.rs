@@ -53,18 +53,24 @@ pub fn std_dev(xs: &[f64]) -> Option<f64> {
 
 /// Minimum of a sample ignoring NaN; `None` for an empty slice.
 pub fn min(xs: &[f64]) -> Option<f64> {
-    xs.iter().copied().filter(|x| !x.is_nan()).fold(None, |acc, x| match acc {
-        None => Some(x),
-        Some(a) => Some(a.min(x)),
-    })
+    xs.iter()
+        .copied()
+        .filter(|x| !x.is_nan())
+        .fold(None, |acc, x| match acc {
+            None => Some(x),
+            Some(a) => Some(a.min(x)),
+        })
 }
 
 /// Maximum of a sample ignoring NaN; `None` for an empty slice.
 pub fn max(xs: &[f64]) -> Option<f64> {
-    xs.iter().copied().filter(|x| !x.is_nan()).fold(None, |acc, x| match acc {
-        None => Some(x),
-        Some(a) => Some(a.max(x)),
-    })
+    xs.iter()
+        .copied()
+        .filter(|x| !x.is_nan())
+        .fold(None, |acc, x| match acc {
+            None => Some(x),
+            Some(a) => Some(a.max(x)),
+        })
 }
 
 /// Percent rank `PR(sample, v)`: the percentage of observations in `sample`

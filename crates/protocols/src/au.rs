@@ -134,7 +134,11 @@ pub fn message_type(payload: &[u8]) -> Result<&'static str, DissectError> {
 /// Fails on bad magic, unknown message types, or lengths inconsistent
 /// with the message type's layout.
 pub fn dissect(payload: &[u8]) -> Result<Vec<TrueField>, DissectError> {
-    let err = |context, offset| DissectError { protocol: "au", context, offset };
+    let err = |context, offset| DissectError {
+        protocol: "au",
+        context,
+        offset,
+    };
     if payload.len() < 20 {
         return Err(err("common header", payload.len()));
     }
@@ -143,13 +147,48 @@ pub fn dissect(payload: &[u8]) -> Result<Vec<TrueField>, DissectError> {
     }
     let msg_type = payload[3];
     let mut fields = vec![
-        TrueField { offset: 0, len: 2, kind: FieldKind::Enum, name: "magic" },
-        TrueField { offset: 2, len: 1, kind: FieldKind::UInt, name: "version" },
-        TrueField { offset: 3, len: 1, kind: FieldKind::Enum, name: "msg_type" },
-        TrueField { offset: 4, len: 4, kind: FieldKind::Id, name: "session_id" },
-        TrueField { offset: 8, len: 2, kind: FieldKind::UInt, name: "sequence" },
-        TrueField { offset: 10, len: 2, kind: FieldKind::Flags, name: "flags" },
-        TrueField { offset: 12, len: 8, kind: FieldKind::Timestamp, name: "timestamp" },
+        TrueField {
+            offset: 0,
+            len: 2,
+            kind: FieldKind::Enum,
+            name: "magic",
+        },
+        TrueField {
+            offset: 2,
+            len: 1,
+            kind: FieldKind::UInt,
+            name: "version",
+        },
+        TrueField {
+            offset: 3,
+            len: 1,
+            kind: FieldKind::Enum,
+            name: "msg_type",
+        },
+        TrueField {
+            offset: 4,
+            len: 4,
+            kind: FieldKind::Id,
+            name: "session_id",
+        },
+        TrueField {
+            offset: 8,
+            len: 2,
+            kind: FieldKind::UInt,
+            name: "sequence",
+        },
+        TrueField {
+            offset: 10,
+            len: 2,
+            kind: FieldKind::Flags,
+            name: "flags",
+        },
+        TrueField {
+            offset: 12,
+            len: 8,
+            kind: FieldKind::Timestamp,
+            name: "timestamp",
+        },
     ];
     let mut pos = 20;
     match msg_type {
@@ -157,15 +196,30 @@ pub fn dissect(payload: &[u8]) -> Result<Vec<TrueField>, DissectError> {
             if payload.len() != pos + 8 + 8 {
                 return Err(err("request layout", pos));
             }
-            fields.push(TrueField { offset: pos, len: 8, kind: FieldKind::Bytes, name: "nonce" });
+            fields.push(TrueField {
+                offset: pos,
+                len: 8,
+                kind: FieldKind::Bytes,
+                name: "nonce",
+            });
             pos += 8;
         }
         MSG_RANGING_RESPONSE => {
             if payload.len() != pos + 16 + 8 {
                 return Err(err("response layout", pos));
             }
-            fields.push(TrueField { offset: pos, len: 8, kind: FieldKind::Bytes, name: "nonce" });
-            fields.push(TrueField { offset: pos + 8, len: 8, kind: FieldKind::Bytes, name: "echo_nonce" });
+            fields.push(TrueField {
+                offset: pos,
+                len: 8,
+                kind: FieldKind::Bytes,
+                name: "nonce",
+            });
+            fields.push(TrueField {
+                offset: pos + 8,
+                len: 8,
+                kind: FieldKind::Bytes,
+                name: "echo_nonce",
+            });
             pos += 16;
         }
         MSG_REPORT => {
@@ -173,7 +227,12 @@ pub fn dissect(payload: &[u8]) -> Result<Vec<TrueField>, DissectError> {
                 return Err(err("measurement count", pos));
             }
             let count = usize::from(u16::from_be_bytes([payload[pos], payload[pos + 1]]));
-            fields.push(TrueField { offset: pos, len: 2, kind: FieldKind::UInt, name: "count" });
+            fields.push(TrueField {
+                offset: pos,
+                len: 2,
+                kind: FieldKind::UInt,
+                name: "count",
+            });
             pos += 2;
             if payload.len() != pos + 4 * count + 8 {
                 return Err(err("report layout", pos));
@@ -190,7 +249,12 @@ pub fn dissect(payload: &[u8]) -> Result<Vec<TrueField>, DissectError> {
         }
         _ => return Err(err("message type 1-3", 3)),
     }
-    fields.push(TrueField { offset: pos, len: 8, kind: FieldKind::Bytes, name: "auth_tag" });
+    fields.push(TrueField {
+        offset: pos,
+        len: 8,
+        kind: FieldKind::Bytes,
+        name: "auth_tag",
+    });
     Ok(fields)
 }
 
@@ -220,7 +284,10 @@ mod tests {
         let t = generate(3, 2);
         let report = &t.messages()[2];
         let fields = dissect(report.payload()).unwrap();
-        let n = fields.iter().filter(|f| f.kind == FieldKind::Measurement).count();
+        let n = fields
+            .iter()
+            .filter(|f| f.kind == FieldKind::Measurement)
+            .count();
         assert!((300..=420).contains(&n));
         // Most measurements share their high byte (static prefix).
         let highs: Vec<u8> = fields
@@ -229,7 +296,10 @@ mod tests {
             .map(|f| report.payload()[f.offset])
             .collect();
         let zero_highs = highs.iter().filter(|&&b| b == 0).count();
-        assert!(zero_highs * 2 >= highs.len(), "high bytes mostly zero: {highs:?}");
+        assert!(
+            zero_highs * 2 >= highs.len(),
+            "high bytes mostly zero: {highs:?}"
+        );
     }
 
     #[test]

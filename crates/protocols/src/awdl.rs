@@ -181,7 +181,12 @@ struct FieldSink {
 
 impl FieldSink {
     fn push(&mut self, len: usize, kind: FieldKind, name: &'static str) {
-        self.fields.push(TrueField { offset: self.pos, len, kind, name });
+        self.fields.push(TrueField {
+            offset: self.pos,
+            len,
+            kind,
+            name,
+        });
         self.pos += len;
     }
 }
@@ -207,14 +212,21 @@ pub fn message_type(payload: &[u8]) -> Result<&'static str, DissectError> {
 /// Fails on non-AWDL frames, truncated TLVs, or TLV bodies inconsistent
 /// with their type's fixed layout.
 pub fn dissect(payload: &[u8]) -> Result<Vec<TrueField>, DissectError> {
-    let err = |context, offset| DissectError { protocol: "awdl", context, offset };
+    let err = |context, offset| DissectError {
+        protocol: "awdl",
+        context,
+        offset,
+    };
     if payload.len() < 16 {
         return Err(err("action frame header", payload.len()));
     }
     if payload[0] != CATEGORY_VENDOR || payload[1..4] != APPLE_OUI || payload[4] != AWDL_TYPE {
         return Err(err("AWDL vendor header", 0));
     }
-    let mut sink = FieldSink { fields: Vec::with_capacity(48), pos: 0 };
+    let mut sink = FieldSink {
+        fields: Vec::with_capacity(48),
+        pos: 0,
+    };
     sink.push(1, FieldKind::Enum, "category");
     sink.push(3, FieldKind::Enum, "oui");
     sink.push(1, FieldKind::Enum, "awdl_type");
@@ -230,7 +242,10 @@ pub fn dissect(payload: &[u8]) -> Result<Vec<TrueField>, DissectError> {
             return Err(err("TLV header", tlv_start));
         }
         let tlv_type = payload[tlv_start];
-        let tlv_len = usize::from(u16::from_le_bytes([payload[tlv_start + 1], payload[tlv_start + 2]]));
+        let tlv_len = usize::from(u16::from_le_bytes([
+            payload[tlv_start + 1],
+            payload[tlv_start + 2],
+        ]));
         let body_start = tlv_start + 3;
         let body_end = body_start + tlv_len;
         if body_end > payload.len() {
@@ -374,7 +389,11 @@ mod tests {
         let fields = dissect(mif.payload()).unwrap();
         let svc = fields.iter().find(|f| f.name == "service_name").unwrap();
         let name = &mif.payload()[svc.range()];
-        assert!(name.ends_with(b"._tcp.local"), "{:?}", String::from_utf8_lossy(name));
+        assert!(
+            name.ends_with(b"._tcp.local"),
+            "{:?}",
+            String::from_utf8_lossy(name)
+        );
     }
 
     #[test]

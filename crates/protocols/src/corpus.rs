@@ -27,7 +27,11 @@ pub struct CorpusSpec {
 impl CorpusSpec {
     /// Creates a spec with the canonical seed.
     pub fn new(protocol: Protocol, messages: usize) -> Self {
-        Self { protocol, messages, seed: DEFAULT_SEED }
+        Self {
+            protocol,
+            messages,
+            seed: DEFAULT_SEED,
+        }
     }
 
     /// Builds the trace: generate with head-room, de-duplicate payloads,
@@ -44,7 +48,10 @@ pub fn build_trace(protocol: Protocol, n: usize, seed: u64) -> Trace {
     let mut factor = 2usize;
     loop {
         let raw = protocol.generate(n * factor, seed);
-        let clean = Preprocessor::new().deduplicate(true).truncate(n).apply(&raw);
+        let clean = Preprocessor::new()
+            .deduplicate(true)
+            .truncate(n)
+            .apply(&raw);
         if clean.len() >= n || factor >= 8 {
             return clean;
         }

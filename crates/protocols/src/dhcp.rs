@@ -42,7 +42,12 @@ pub fn generate(n: usize, seed: u64) -> Trace {
         if phase == 0 {
             cycle_host = ctx.pick_host();
             cycle_xid = ctx.rng().gen();
-            offered_ip = [10, 0, ctx.rng().gen_range(0..4u8), ctx.rng().gen_range(20..250u8)];
+            offered_ip = [
+                10,
+                0,
+                ctx.rng().gen_range(0..4u8),
+                ctx.rng().gen_range(20..250u8),
+            ];
         }
         let from_server = phase == 1 || phase == 3;
         let mac = ctx.host_mac(cycle_host);
@@ -57,12 +62,16 @@ pub fn generate(n: usize, seed: u64) -> Trace {
         buf.extend_from_slice(&secs.to_be_bytes());
         buf.extend_from_slice(&if phase == 0 { 0x8000u16 } else { 0x0000u16 }.to_be_bytes()); // flags
         buf.extend_from_slice(&[0, 0, 0, 0]); // ciaddr
-        buf.extend_from_slice(&if from_server { offered_ip } else { [0, 0, 0, 0] }); // yiaddr
+        buf.extend_from_slice(&if from_server {
+            offered_ip
+        } else {
+            [0, 0, 0, 0]
+        }); // yiaddr
         buf.extend_from_slice(&if from_server { server_ip } else { [0, 0, 0, 0] }); // siaddr
         buf.extend_from_slice(&[0, 0, 0, 0]); // giaddr
         buf.extend_from_slice(&mac); // chaddr: 6-byte MAC ...
         buf.extend_from_slice(&[0u8; 10]); // ... plus padding
-        // sname: occasionally carries the server hostname.
+                                           // sname: occasionally carries the server hostname.
         let mut sname = [0u8; 64];
         if from_server && ctx.rng().gen_bool(0.3) {
             let name = b"dhcp-core";
@@ -77,13 +86,21 @@ pub fn generate(n: usize, seed: u64) -> Trace {
         push_opt(&mut buf, OPT_MSG_TYPE, &[msg_type]);
         match phase {
             0 => {
-                push_opt(&mut buf, OPT_HOSTNAME, ctx.hostname(cycle_host).to_string().as_bytes());
+                push_opt(
+                    &mut buf,
+                    OPT_HOSTNAME,
+                    ctx.hostname(cycle_host).to_string().as_bytes(),
+                );
                 push_opt(&mut buf, OPT_PARAM_LIST, &[1, 3, 6, 15, 51, 58]);
             }
             2 => {
                 push_opt(&mut buf, OPT_REQUESTED_IP, &offered_ip);
                 push_opt(&mut buf, OPT_SERVER_ID, &server_ip);
-                push_opt(&mut buf, OPT_HOSTNAME, ctx.hostname(cycle_host).to_string().as_bytes());
+                push_opt(
+                    &mut buf,
+                    OPT_HOSTNAME,
+                    ctx.hostname(cycle_host).to_string().as_bytes(),
+                );
             }
             _ => {
                 push_opt(&mut buf, OPT_SERVER_ID, &server_ip);
@@ -147,9 +164,11 @@ pub fn message_type(payload: &[u8]) -> Result<&'static str, DissectError> {
     let fields = dissect(payload)?;
     for f in &fields {
         if f.name == "option_code" && payload[f.offset] == OPT_MSG_TYPE {
-            let value = *payload
-                .get(f.offset + 2)
-                .ok_or(DissectError { protocol: "dhcp", context: "message type value", offset: f.offset + 2 })?;
+            let value = *payload.get(f.offset + 2).ok_or(DissectError {
+                protocol: "dhcp",
+                context: "message type value",
+                offset: f.offset + 2,
+            })?;
             return Ok(match value {
                 1 => "dhcp discover",
                 2 => "dhcp offer",
@@ -161,7 +180,11 @@ pub fn message_type(payload: &[u8]) -> Result<&'static str, DissectError> {
             });
         }
     }
-    Err(DissectError { protocol: "dhcp", context: "message type option", offset: payload.len() })
+    Err(DissectError {
+        protocol: "dhcp",
+        context: "message type option",
+        offset: payload.len(),
+    })
 }
 
 /// Dissects a DHCP message into ground-truth fields.
@@ -171,7 +194,11 @@ pub fn message_type(payload: &[u8]) -> Result<&'static str, DissectError> {
 /// Fails on messages shorter than the fixed BOOTP header, a missing magic
 /// cookie, or malformed options.
 pub fn dissect(payload: &[u8]) -> Result<Vec<TrueField>, DissectError> {
-    let err = |context, offset| DissectError { protocol: "dhcp", context, offset };
+    let err = |context, offset| DissectError {
+        protocol: "dhcp",
+        context,
+        offset,
+    };
     if payload.len() < 240 {
         return Err(err("240-byte BOOTP header", payload.len()));
     }
@@ -179,25 +206,95 @@ pub fn dissect(payload: &[u8]) -> Result<Vec<TrueField>, DissectError> {
         return Err(err("magic cookie", 236));
     }
     let mut fields = vec![
-        TrueField { offset: 0, len: 1, kind: FieldKind::Enum, name: "op" },
-        TrueField { offset: 1, len: 1, kind: FieldKind::Enum, name: "htype" },
-        TrueField { offset: 2, len: 1, kind: FieldKind::UInt, name: "hlen" },
-        TrueField { offset: 3, len: 1, kind: FieldKind::UInt, name: "hops" },
-        TrueField { offset: 4, len: 4, kind: FieldKind::Id, name: "xid" },
-        TrueField { offset: 8, len: 2, kind: FieldKind::UInt, name: "secs" },
-        TrueField { offset: 10, len: 2, kind: FieldKind::Flags, name: "flags" },
-        TrueField { offset: 12, len: 4, kind: FieldKind::Ipv4, name: "ciaddr" },
-        TrueField { offset: 16, len: 4, kind: FieldKind::Ipv4, name: "yiaddr" },
-        TrueField { offset: 20, len: 4, kind: FieldKind::Ipv4, name: "siaddr" },
-        TrueField { offset: 24, len: 4, kind: FieldKind::Ipv4, name: "giaddr" },
-        TrueField { offset: 28, len: 6, kind: FieldKind::MacAddr, name: "chaddr" },
-        TrueField { offset: 34, len: 10, kind: FieldKind::Padding, name: "chaddr_pad" },
+        TrueField {
+            offset: 0,
+            len: 1,
+            kind: FieldKind::Enum,
+            name: "op",
+        },
+        TrueField {
+            offset: 1,
+            len: 1,
+            kind: FieldKind::Enum,
+            name: "htype",
+        },
+        TrueField {
+            offset: 2,
+            len: 1,
+            kind: FieldKind::UInt,
+            name: "hlen",
+        },
+        TrueField {
+            offset: 3,
+            len: 1,
+            kind: FieldKind::UInt,
+            name: "hops",
+        },
+        TrueField {
+            offset: 4,
+            len: 4,
+            kind: FieldKind::Id,
+            name: "xid",
+        },
+        TrueField {
+            offset: 8,
+            len: 2,
+            kind: FieldKind::UInt,
+            name: "secs",
+        },
+        TrueField {
+            offset: 10,
+            len: 2,
+            kind: FieldKind::Flags,
+            name: "flags",
+        },
+        TrueField {
+            offset: 12,
+            len: 4,
+            kind: FieldKind::Ipv4,
+            name: "ciaddr",
+        },
+        TrueField {
+            offset: 16,
+            len: 4,
+            kind: FieldKind::Ipv4,
+            name: "yiaddr",
+        },
+        TrueField {
+            offset: 20,
+            len: 4,
+            kind: FieldKind::Ipv4,
+            name: "siaddr",
+        },
+        TrueField {
+            offset: 24,
+            len: 4,
+            kind: FieldKind::Ipv4,
+            name: "giaddr",
+        },
+        TrueField {
+            offset: 28,
+            len: 6,
+            kind: FieldKind::MacAddr,
+            name: "chaddr",
+        },
+        TrueField {
+            offset: 34,
+            len: 10,
+            kind: FieldKind::Padding,
+            name: "chaddr_pad",
+        },
     ];
     // sname: leading printable characters followed by zero fill.
     let sname = &payload[44..108];
     let text_len = sname.iter().position(|&b| b == 0).unwrap_or(64);
     if text_len > 0 {
-        fields.push(TrueField { offset: 44, len: text_len, kind: FieldKind::Chars, name: "sname" });
+        fields.push(TrueField {
+            offset: 44,
+            len: text_len,
+            kind: FieldKind::Chars,
+            name: "sname",
+        });
     }
     if text_len < 64 {
         fields.push(TrueField {
@@ -207,8 +304,18 @@ pub fn dissect(payload: &[u8]) -> Result<Vec<TrueField>, DissectError> {
             name: "sname_pad",
         });
     }
-    fields.push(TrueField { offset: 108, len: 128, kind: FieldKind::Padding, name: "file" });
-    fields.push(TrueField { offset: 236, len: 4, kind: FieldKind::Enum, name: "magic_cookie" });
+    fields.push(TrueField {
+        offset: 108,
+        len: 128,
+        kind: FieldKind::Padding,
+        name: "file",
+    });
+    fields.push(TrueField {
+        offset: 236,
+        len: 4,
+        kind: FieldKind::Enum,
+        name: "magic_cookie",
+    });
 
     let mut pos = 240;
     loop {
@@ -228,7 +335,12 @@ pub fn dissect(payload: &[u8]) -> Result<Vec<TrueField>, DissectError> {
                 });
             }
             OPT_END => {
-                fields.push(TrueField { offset: pos, len: 1, kind: FieldKind::Enum, name: "end" });
+                fields.push(TrueField {
+                    offset: pos,
+                    len: 1,
+                    kind: FieldKind::Enum,
+                    name: "end",
+                });
                 pos += 1;
                 if pos < payload.len() {
                     if payload[pos..].iter().any(|&b| b != 0) {
@@ -244,12 +356,25 @@ pub fn dissect(payload: &[u8]) -> Result<Vec<TrueField>, DissectError> {
                 return Ok(fields);
             }
             _ => {
-                let len = *payload.get(pos + 1).ok_or_else(|| err("option length", pos + 1))? as usize;
+                let len = *payload
+                    .get(pos + 1)
+                    .ok_or_else(|| err("option length", pos + 1))?
+                    as usize;
                 if pos + 2 + len > payload.len() {
                     return Err(err("option value", pos + 2));
                 }
-                fields.push(TrueField { offset: pos, len: 1, kind: FieldKind::Enum, name: "option_code" });
-                fields.push(TrueField { offset: pos + 1, len: 1, kind: FieldKind::UInt, name: "option_len" });
+                fields.push(TrueField {
+                    offset: pos,
+                    len: 1,
+                    kind: FieldKind::Enum,
+                    name: "option_code",
+                });
+                fields.push(TrueField {
+                    offset: pos + 1,
+                    len: 1,
+                    kind: FieldKind::UInt,
+                    name: "option_len",
+                });
                 if len > 0 {
                     fields.push(TrueField {
                         offset: pos + 2,

@@ -99,7 +99,8 @@ pub fn generate(n: usize, seed: u64) -> Trace {
                     }
                     _ => {
                         // TXT: one character-string.
-                        let txt = format!("v=spf1 ip4:93.184.{}.0/24", ctx.rng().gen_range(0..32u8));
+                        let txt =
+                            format!("v=spf1 ip4:93.184.{}.0/24", ctx.rng().gen_range(0..32u8));
                         buf.extend_from_slice(&((txt.len() + 1) as u16).to_be_bytes());
                         buf.push(txt.len() as u8);
                         buf.extend_from_slice(txt.as_bytes());
@@ -125,7 +126,11 @@ pub fn generate(n: usize, seed: u64) -> Trace {
 /// encoding within this message (pointers terminate the walk with their
 /// two bytes).
 pub(crate) fn name_len(payload: &[u8], at: usize) -> Result<usize, DissectError> {
-    let err = |context, offset| DissectError { protocol: "dns", context, offset };
+    let err = |context, offset| DissectError {
+        protocol: "dns",
+        context,
+        offset,
+    };
     let mut pos = at;
     loop {
         let len = *payload.get(pos).ok_or_else(|| err("name label", pos))? as usize;
@@ -167,7 +172,11 @@ pub fn message_type(payload: &[u8]) -> Result<&'static str, DissectError> {
 /// Fails on truncated headers, malformed names, or record counts that
 /// exceed the message.
 pub fn dissect(payload: &[u8]) -> Result<Vec<TrueField>, DissectError> {
-    let err = |context, offset| DissectError { protocol: "dns", context, offset };
+    let err = |context, offset| DissectError {
+        protocol: "dns",
+        context,
+        offset,
+    };
     if payload.len() < 12 {
         return Err(err("12-byte header", payload.len()));
     }
@@ -178,38 +187,108 @@ pub fn dissect(payload: &[u8]) -> Result<Vec<TrueField>, DissectError> {
     let arcount = rd16(10) as usize;
 
     let mut fields = vec![
-        TrueField { offset: 0, len: 2, kind: FieldKind::Id, name: "id" },
-        TrueField { offset: 2, len: 2, kind: FieldKind::Flags, name: "flags" },
-        TrueField { offset: 4, len: 2, kind: FieldKind::UInt, name: "qdcount" },
-        TrueField { offset: 6, len: 2, kind: FieldKind::UInt, name: "ancount" },
-        TrueField { offset: 8, len: 2, kind: FieldKind::UInt, name: "nscount" },
-        TrueField { offset: 10, len: 2, kind: FieldKind::UInt, name: "arcount" },
+        TrueField {
+            offset: 0,
+            len: 2,
+            kind: FieldKind::Id,
+            name: "id",
+        },
+        TrueField {
+            offset: 2,
+            len: 2,
+            kind: FieldKind::Flags,
+            name: "flags",
+        },
+        TrueField {
+            offset: 4,
+            len: 2,
+            kind: FieldKind::UInt,
+            name: "qdcount",
+        },
+        TrueField {
+            offset: 6,
+            len: 2,
+            kind: FieldKind::UInt,
+            name: "ancount",
+        },
+        TrueField {
+            offset: 8,
+            len: 2,
+            kind: FieldKind::UInt,
+            name: "nscount",
+        },
+        TrueField {
+            offset: 10,
+            len: 2,
+            kind: FieldKind::UInt,
+            name: "arcount",
+        },
     ];
     let mut pos = 12;
     for _ in 0..qdcount {
         let nl = name_len(payload, pos)?;
-        fields.push(TrueField { offset: pos, len: nl, kind: FieldKind::DomainName, name: "qname" });
+        fields.push(TrueField {
+            offset: pos,
+            len: nl,
+            kind: FieldKind::DomainName,
+            name: "qname",
+        });
         pos += nl;
         if pos + 4 > payload.len() {
             return Err(err("qtype/qclass", pos));
         }
-        fields.push(TrueField { offset: pos, len: 2, kind: FieldKind::Enum, name: "qtype" });
-        fields.push(TrueField { offset: pos + 2, len: 2, kind: FieldKind::Enum, name: "qclass" });
+        fields.push(TrueField {
+            offset: pos,
+            len: 2,
+            kind: FieldKind::Enum,
+            name: "qtype",
+        });
+        fields.push(TrueField {
+            offset: pos + 2,
+            len: 2,
+            kind: FieldKind::Enum,
+            name: "qclass",
+        });
         pos += 4;
     }
     for _ in 0..(ancount + nscount + arcount) {
         let nl = name_len(payload, pos)?;
-        fields.push(TrueField { offset: pos, len: nl, kind: FieldKind::DomainName, name: "rr_name" });
+        fields.push(TrueField {
+            offset: pos,
+            len: nl,
+            kind: FieldKind::DomainName,
+            name: "rr_name",
+        });
         pos += nl;
         if pos + 10 > payload.len() {
             return Err(err("rr fixed part", pos));
         }
         let rr_type = rd16(pos);
-        fields.push(TrueField { offset: pos, len: 2, kind: FieldKind::Enum, name: "rr_type" });
-        fields.push(TrueField { offset: pos + 2, len: 2, kind: FieldKind::Enum, name: "rr_class" });
-        fields.push(TrueField { offset: pos + 4, len: 4, kind: FieldKind::UInt, name: "rr_ttl" });
+        fields.push(TrueField {
+            offset: pos,
+            len: 2,
+            kind: FieldKind::Enum,
+            name: "rr_type",
+        });
+        fields.push(TrueField {
+            offset: pos + 2,
+            len: 2,
+            kind: FieldKind::Enum,
+            name: "rr_class",
+        });
+        fields.push(TrueField {
+            offset: pos + 4,
+            len: 4,
+            kind: FieldKind::UInt,
+            name: "rr_ttl",
+        });
         let rdlen = rd16(pos + 8) as usize;
-        fields.push(TrueField { offset: pos + 8, len: 2, kind: FieldKind::UInt, name: "rdlength" });
+        fields.push(TrueField {
+            offset: pos + 8,
+            len: 2,
+            kind: FieldKind::UInt,
+            name: "rdlength",
+        });
         pos += 10;
         if pos + rdlen > payload.len() {
             return Err(err("rdata", pos));
@@ -221,7 +300,12 @@ pub fn dissect(payload: &[u8]) -> Result<Vec<TrueField>, DissectError> {
                 TYPE_TXT => FieldKind::Chars,
                 _ => FieldKind::Bytes,
             };
-            fields.push(TrueField { offset: pos, len: rdlen, kind, name: "rdata" });
+            fields.push(TrueField {
+                offset: pos,
+                len: rdlen,
+                kind,
+                name: "rdata",
+            });
             pos += rdlen;
         }
     }
@@ -271,7 +355,10 @@ mod tests {
         for m in t.iter().filter(|m| m.direction() == Direction::Response) {
             let ancount = u16::from_be_bytes([m.payload()[6], m.payload()[7]]) as usize;
             let fields = dissect(m.payload()).unwrap();
-            assert_eq!(fields.iter().filter(|f| f.name == "rr_name").count(), ancount);
+            assert_eq!(
+                fields.iter().filter(|f| f.name == "rr_name").count(),
+                ancount
+            );
         }
     }
 

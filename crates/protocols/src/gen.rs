@@ -44,7 +44,11 @@ impl GenCtx {
                 *b = rng.gen();
             }
             macs.push(m);
-            hostnames.push(format!("{}{:02}", HOSTNAME_STEMS[i % HOSTNAME_STEMS.len()], i));
+            hostnames.push(format!(
+                "{}{:02}",
+                HOSTNAME_STEMS[i % HOSTNAME_STEMS.len()],
+                i
+            ));
         }
         let domains = DOMAIN_STEMS.iter().map(|s| s.to_string()).collect();
         Self {
@@ -127,7 +131,11 @@ impl GenCtx {
     /// client socket would keep across a conversation); otherwise
     /// `service_port` is used.
     pub fn client_udp(&mut self, i: usize, ephemeral: bool, service_port: u16) -> Endpoint {
-        let port = if ephemeral { self.client_port(i) } else { service_port };
+        let port = if ephemeral {
+            self.client_port(i)
+        } else {
+            service_port
+        };
         Endpoint::udp(self.host_ip(i), port)
     }
 
@@ -148,7 +156,14 @@ impl GenCtx {
 }
 
 const HOSTNAME_STEMS: [&str; 8] = [
-    "workstation", "laptop", "printer", "fileserver", "desktop", "scanner", "kiosk", "buildbot",
+    "workstation",
+    "laptop",
+    "printer",
+    "fileserver",
+    "desktop",
+    "scanner",
+    "kiosk",
+    "buildbot",
 ];
 
 const SUBDOMAIN_STEMS: [&str; 6] = ["www", "mail", "ns1", "cdn", "api", "static"];

@@ -322,7 +322,12 @@ mod tests {
 
     #[test]
     fn tiling_checker() {
-        let f = |offset, len| TrueField { offset, len, kind: FieldKind::UInt, name: "f" };
+        let f = |offset, len| TrueField {
+            offset,
+            len,
+            kind: FieldKind::UInt,
+            name: "f",
+        };
         assert!(fields_tile_payload(&[f(0, 2), f(2, 3)], 5));
         assert!(!fields_tile_payload(&[f(0, 2), f(3, 2)], 5)); // gap
         assert!(!fields_tile_payload(&[f(0, 2), f(1, 4)], 5)); // overlap

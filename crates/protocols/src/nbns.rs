@@ -118,7 +118,7 @@ pub fn generate(n: usize, seed: u64) -> Trace {
                 let id: u16 = ctx.rng().gen();
                 let target = ctx.pick_host();
                 let suffix = if ctx.rng().gen_bool(0.3) { 0x20 } else { 0x00 };
-                let qname = encode_netbios_name(&ctx.hostname(target).to_string(), suffix);
+                let qname = encode_netbios_name(ctx.hostname(target), suffix);
                 buf.extend_from_slice(&id.to_be_bytes());
                 buf.extend_from_slice(&0x0110u16.to_be_bytes()); // query, RD, B
                 buf.extend_from_slice(&1u16.to_be_bytes());
@@ -170,7 +170,11 @@ pub fn message_type(payload: &[u8]) -> Result<&'static str, DissectError> {
 /// Fails on truncated headers, malformed names, or counts exceeding the
 /// message.
 pub fn dissect(payload: &[u8]) -> Result<Vec<TrueField>, DissectError> {
-    let err = |context, offset| DissectError { protocol: "nbns", context, offset };
+    let err = |context, offset| DissectError {
+        protocol: "nbns",
+        context,
+        offset,
+    };
     if payload.len() < 12 {
         return Err(err("12-byte header", payload.len()));
     }
@@ -181,47 +185,132 @@ pub fn dissect(payload: &[u8]) -> Result<Vec<TrueField>, DissectError> {
     let arcount = rd16(10) as usize;
 
     let mut fields = vec![
-        TrueField { offset: 0, len: 2, kind: FieldKind::Id, name: "name_trn_id" },
-        TrueField { offset: 2, len: 2, kind: FieldKind::Flags, name: "flags" },
-        TrueField { offset: 4, len: 2, kind: FieldKind::UInt, name: "qdcount" },
-        TrueField { offset: 6, len: 2, kind: FieldKind::UInt, name: "ancount" },
-        TrueField { offset: 8, len: 2, kind: FieldKind::UInt, name: "nscount" },
-        TrueField { offset: 10, len: 2, kind: FieldKind::UInt, name: "arcount" },
+        TrueField {
+            offset: 0,
+            len: 2,
+            kind: FieldKind::Id,
+            name: "name_trn_id",
+        },
+        TrueField {
+            offset: 2,
+            len: 2,
+            kind: FieldKind::Flags,
+            name: "flags",
+        },
+        TrueField {
+            offset: 4,
+            len: 2,
+            kind: FieldKind::UInt,
+            name: "qdcount",
+        },
+        TrueField {
+            offset: 6,
+            len: 2,
+            kind: FieldKind::UInt,
+            name: "ancount",
+        },
+        TrueField {
+            offset: 8,
+            len: 2,
+            kind: FieldKind::UInt,
+            name: "nscount",
+        },
+        TrueField {
+            offset: 10,
+            len: 2,
+            kind: FieldKind::UInt,
+            name: "arcount",
+        },
     ];
     let mut pos = 12;
     for _ in 0..qdcount {
         let nl = crate::dns::name_len(payload, pos)?;
-        fields.push(TrueField { offset: pos, len: nl, kind: FieldKind::DomainName, name: "qname" });
+        fields.push(TrueField {
+            offset: pos,
+            len: nl,
+            kind: FieldKind::DomainName,
+            name: "qname",
+        });
         pos += nl;
         if pos + 4 > payload.len() {
             return Err(err("question fixed part", pos));
         }
-        fields.push(TrueField { offset: pos, len: 2, kind: FieldKind::Enum, name: "qtype" });
-        fields.push(TrueField { offset: pos + 2, len: 2, kind: FieldKind::Enum, name: "qclass" });
+        fields.push(TrueField {
+            offset: pos,
+            len: 2,
+            kind: FieldKind::Enum,
+            name: "qtype",
+        });
+        fields.push(TrueField {
+            offset: pos + 2,
+            len: 2,
+            kind: FieldKind::Enum,
+            name: "qclass",
+        });
         pos += 4;
     }
     for _ in 0..(ancount + nscount + arcount) {
         let nl = crate::dns::name_len(payload, pos)?;
-        fields.push(TrueField { offset: pos, len: nl, kind: FieldKind::DomainName, name: "rr_name" });
+        fields.push(TrueField {
+            offset: pos,
+            len: nl,
+            kind: FieldKind::DomainName,
+            name: "rr_name",
+        });
         pos += nl;
         if pos + 10 > payload.len() {
             return Err(err("rr fixed part", pos));
         }
-        fields.push(TrueField { offset: pos, len: 2, kind: FieldKind::Enum, name: "rr_type" });
-        fields.push(TrueField { offset: pos + 2, len: 2, kind: FieldKind::Enum, name: "rr_class" });
-        fields.push(TrueField { offset: pos + 4, len: 4, kind: FieldKind::UInt, name: "rr_ttl" });
+        fields.push(TrueField {
+            offset: pos,
+            len: 2,
+            kind: FieldKind::Enum,
+            name: "rr_type",
+        });
+        fields.push(TrueField {
+            offset: pos + 2,
+            len: 2,
+            kind: FieldKind::Enum,
+            name: "rr_class",
+        });
+        fields.push(TrueField {
+            offset: pos + 4,
+            len: 4,
+            kind: FieldKind::UInt,
+            name: "rr_ttl",
+        });
         let rdlen = rd16(pos + 8) as usize;
-        fields.push(TrueField { offset: pos + 8, len: 2, kind: FieldKind::UInt, name: "rdlength" });
+        fields.push(TrueField {
+            offset: pos + 8,
+            len: 2,
+            kind: FieldKind::UInt,
+            name: "rdlength",
+        });
         pos += 10;
         if pos + rdlen > payload.len() {
             return Err(err("rdata", pos));
         }
         if rdlen == 6 {
             // NB record: flags + address.
-            fields.push(TrueField { offset: pos, len: 2, kind: FieldKind::Flags, name: "nb_flags" });
-            fields.push(TrueField { offset: pos + 2, len: 4, kind: FieldKind::Ipv4, name: "nb_addr" });
+            fields.push(TrueField {
+                offset: pos,
+                len: 2,
+                kind: FieldKind::Flags,
+                name: "nb_flags",
+            });
+            fields.push(TrueField {
+                offset: pos + 2,
+                len: 4,
+                kind: FieldKind::Ipv4,
+                name: "nb_addr",
+            });
         } else if rdlen > 0 {
-            fields.push(TrueField { offset: pos, len: rdlen, kind: FieldKind::Bytes, name: "rdata" });
+            fields.push(TrueField {
+                offset: pos,
+                len: rdlen,
+                kind: FieldKind::Bytes,
+                name: "rdata",
+            });
         }
         pos += rdlen;
     }

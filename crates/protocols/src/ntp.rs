@@ -22,7 +22,11 @@ pub fn generate(n: usize, seed: u64) -> Trace {
     for i in 0..n {
         let ts = ctx.tick();
         let is_request = i % 2 == 0;
-        let host = if is_request { ctx.pick_host() } else { pending_client.map(|(h, _)| h).unwrap_or(0) };
+        let host = if is_request {
+            ctx.pick_host()
+        } else {
+            pending_client.map(|(h, _)| h).unwrap_or(0)
+        };
         let with_auth = ctx.rng().gen_bool(0.1);
 
         let mut buf = Vec::with_capacity(BASE_LEN + AUTH_LEN);
@@ -102,7 +106,7 @@ fn ntp_timestamp(ctx: &mut GenCtx) -> [u8; 8] {
     let secs = ctx.now_ntp_secs();
     let micros = ctx.now_micros() % 1_000_000;
     // 2^32 / 10^6 ≈ 4294.967296: microseconds to binary fraction.
-    let frac = (micros as f64 * 4294.967_296) as u32;
+    let frac = (micros as f64 * 4_294.967_296) as u32;
     let mut out = [0u8; 8];
     out[..4].copy_from_slice(&secs.to_be_bytes());
     out[4..].copy_from_slice(&frac.to_be_bytes());
@@ -132,7 +136,11 @@ pub fn message_type(payload: &[u8]) -> Result<&'static str, DissectError> {
 /// Fails when the payload is not 48 bytes (or 68 with authenticator) or
 /// the mode nibble is invalid.
 pub fn dissect(payload: &[u8]) -> Result<Vec<TrueField>, DissectError> {
-    let err = |context, offset| DissectError { protocol: "ntp", context, offset };
+    let err = |context, offset| DissectError {
+        protocol: "ntp",
+        context,
+        offset,
+    };
     if payload.len() != BASE_LEN && payload.len() != BASE_LEN + AUTH_LEN {
         return Err(err("48 or 68 byte datagram", payload.len()));
     }
@@ -141,21 +149,86 @@ pub fn dissect(payload: &[u8]) -> Result<Vec<TrueField>, DissectError> {
         return Err(err("mode 1-5", 0));
     }
     let mut fields = vec![
-        TrueField { offset: 0, len: 1, kind: FieldKind::Flags, name: "li_vn_mode" },
-        TrueField { offset: 1, len: 1, kind: FieldKind::UInt, name: "stratum" },
-        TrueField { offset: 2, len: 1, kind: FieldKind::UInt, name: "poll" },
-        TrueField { offset: 3, len: 1, kind: FieldKind::UInt, name: "precision" },
-        TrueField { offset: 4, len: 4, kind: FieldKind::UInt, name: "root_delay" },
-        TrueField { offset: 8, len: 4, kind: FieldKind::UInt, name: "root_dispersion" },
-        TrueField { offset: 12, len: 4, kind: FieldKind::Ipv4, name: "reference_id" },
-        TrueField { offset: 16, len: 8, kind: FieldKind::Timestamp, name: "reference_ts" },
-        TrueField { offset: 24, len: 8, kind: FieldKind::Timestamp, name: "origin_ts" },
-        TrueField { offset: 32, len: 8, kind: FieldKind::Timestamp, name: "receive_ts" },
-        TrueField { offset: 40, len: 8, kind: FieldKind::Timestamp, name: "transmit_ts" },
+        TrueField {
+            offset: 0,
+            len: 1,
+            kind: FieldKind::Flags,
+            name: "li_vn_mode",
+        },
+        TrueField {
+            offset: 1,
+            len: 1,
+            kind: FieldKind::UInt,
+            name: "stratum",
+        },
+        TrueField {
+            offset: 2,
+            len: 1,
+            kind: FieldKind::UInt,
+            name: "poll",
+        },
+        TrueField {
+            offset: 3,
+            len: 1,
+            kind: FieldKind::UInt,
+            name: "precision",
+        },
+        TrueField {
+            offset: 4,
+            len: 4,
+            kind: FieldKind::UInt,
+            name: "root_delay",
+        },
+        TrueField {
+            offset: 8,
+            len: 4,
+            kind: FieldKind::UInt,
+            name: "root_dispersion",
+        },
+        TrueField {
+            offset: 12,
+            len: 4,
+            kind: FieldKind::Ipv4,
+            name: "reference_id",
+        },
+        TrueField {
+            offset: 16,
+            len: 8,
+            kind: FieldKind::Timestamp,
+            name: "reference_ts",
+        },
+        TrueField {
+            offset: 24,
+            len: 8,
+            kind: FieldKind::Timestamp,
+            name: "origin_ts",
+        },
+        TrueField {
+            offset: 32,
+            len: 8,
+            kind: FieldKind::Timestamp,
+            name: "receive_ts",
+        },
+        TrueField {
+            offset: 40,
+            len: 8,
+            kind: FieldKind::Timestamp,
+            name: "transmit_ts",
+        },
     ];
     if payload.len() == BASE_LEN + AUTH_LEN {
-        fields.push(TrueField { offset: 48, len: 4, kind: FieldKind::UInt, name: "key_id" });
-        fields.push(TrueField { offset: 52, len: 16, kind: FieldKind::Bytes, name: "digest" });
+        fields.push(TrueField {
+            offset: 48,
+            len: 4,
+            kind: FieldKind::UInt,
+            name: "key_id",
+        });
+        fields.push(TrueField {
+            offset: 52,
+            len: 16,
+            kind: FieldKind::Bytes,
+            name: "digest",
+        });
     }
     Ok(fields)
 }
@@ -190,7 +263,11 @@ mod tests {
             .filter(|m| m.payload()[0] & 0x07 == 4)
             .map(|m| m.payload()[40])
             .collect();
-        assert_eq!(firsts.len(), 1, "era byte must be constant within a capture");
+        assert_eq!(
+            firsts.len(),
+            1,
+            "era byte must be constant within a capture"
+        );
     }
 
     #[test]
@@ -235,6 +312,9 @@ mod tests {
             assert_eq!(x.payload(), y.payload());
         }
         let c = generate(20, 10);
-        assert!(a.iter().zip(c.iter()).any(|(x, y)| x.payload() != y.payload()));
+        assert!(a
+            .iter()
+            .zip(c.iter())
+            .any(|(x, y)| x.payload() != y.payload()));
     }
 }

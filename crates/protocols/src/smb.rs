@@ -60,7 +60,12 @@ pub fn generate(n: usize, seed: u64) -> Trace {
             read_fid = ctx.rng().gen_range(0x1000..0xF000);
             read_offset = ctx.rng().gen_range(0..0x0010_0000u32) & !0x1FF;
         }
-        let command = [CMD_NEGOTIATE, CMD_SESSION_SETUP, CMD_TREE_CONNECT, CMD_READ_ANDX][phase / 2];
+        let command = [
+            CMD_NEGOTIATE,
+            CMD_SESSION_SETUP,
+            CMD_TREE_CONNECT,
+            CMD_READ_ANDX,
+        ][phase / 2];
 
         // SMB body, assembled before the NBSS header so we know the length.
         let mut smb = Vec::with_capacity(160);
@@ -102,7 +107,8 @@ pub fn generate(n: usize, seed: u64) -> Trace {
                 let session_key: u32 = ctx.rng().gen();
                 smb.extend_from_slice(&session_key.to_le_bytes());
                 smb.extend_from_slice(&0x8000_E3FDu32.to_le_bytes()); // capabilities
-                let filetime = unix_to_filetime(ctx.now_unix_secs(), ctx.rng().gen_range(0..10_000_000));
+                let filetime =
+                    unix_to_filetime(ctx.now_unix_secs(), ctx.rng().gen_range(0..10_000_000));
                 smb.extend_from_slice(&filetime.to_le_bytes()); // system time
                 smb.extend_from_slice(&(-60i16 as u16).to_le_bytes()); // tz offset
                 smb.push(0); // key length
@@ -251,13 +257,14 @@ fn file_content(ctx: &mut GenCtx) -> Vec<u8> {
     let n_lines = ctx.rng().gen_range(5..12);
     for _ in 0..n_lines {
         let host = ctx.pick_host();
+        let host_name = ctx.hostname(host).to_string();
         let line = format!(
             "2011-10-0{} {:02}:{:02}:{:02} {} GET /builds/nightly-{}.tar.gz {}\n",
             ctx.rng().gen_range(1..8u8),
             ctx.rng().gen_range(0..24u8),
             ctx.rng().gen_range(0..60u8),
             ctx.rng().gen_range(0..60u8),
-            ctx.hostname(host).to_string(),
+            host_name,
             ctx.rng().gen_range(1000..9999u16),
             [200u16, 200, 200, 304, 404][ctx.rng().gen_range(0..5usize)],
         );
@@ -278,7 +285,12 @@ struct FieldSink {
 
 impl FieldSink {
     fn push(&mut self, len: usize, kind: FieldKind, name: &'static str) {
-        self.fields.push(TrueField { offset: self.pos, len, kind, name });
+        self.fields.push(TrueField {
+            offset: self.pos,
+            len,
+            kind,
+            name,
+        });
         self.pos += len;
     }
 }
@@ -311,11 +323,16 @@ pub fn message_type(payload: &[u8]) -> Result<&'static str, DissectError> {
 ///
 /// Fails on truncated or non-SMB payloads and on unknown command layouts.
 pub fn dissect(payload: &[u8]) -> Result<Vec<TrueField>, DissectError> {
-    let err = |context, offset| DissectError { protocol: "smb", context, offset };
+    let err = |context, offset| DissectError {
+        protocol: "smb",
+        context,
+        offset,
+    };
     if payload.len() < 4 + 33 {
         return Err(err("NBSS + SMB header", payload.len()));
     }
-    let nbss_len = usize::from(payload[1]) << 16 | usize::from(payload[2]) << 8 | usize::from(payload[3]);
+    let nbss_len =
+        usize::from(payload[1]) << 16 | usize::from(payload[2]) << 8 | usize::from(payload[3]);
     if 4 + nbss_len != payload.len() {
         return Err(err("NBSS length", 1));
     }
@@ -325,7 +342,10 @@ pub fn dissect(payload: &[u8]) -> Result<Vec<TrueField>, DissectError> {
     let command = payload[8];
     let is_reply = payload[13] & FLAG_REPLY != 0;
 
-    let mut sink = FieldSink { fields: Vec::with_capacity(40), pos: 0 };
+    let mut sink = FieldSink {
+        fields: Vec::with_capacity(40),
+        pos: 0,
+    };
     sink.push(1, FieldKind::Enum, "nbss_type");
     sink.push(3, FieldKind::UInt, "nbss_length");
     sink.push(4, FieldKind::Enum, "smb_magic");
@@ -341,7 +361,11 @@ pub fn dissect(payload: &[u8]) -> Result<Vec<TrueField>, DissectError> {
     sink.push(2, FieldKind::Id, "uid");
     sink.push(2, FieldKind::Id, "mid");
 
-    let wc = usize::from(*payload.get(sink.pos).ok_or_else(|| err("word count", sink.pos))?);
+    let wc = usize::from(
+        *payload
+            .get(sink.pos)
+            .ok_or_else(|| err("word count", sink.pos))?,
+    );
     sink.push(1, FieldKind::UInt, "word_count");
     let words_end = sink.pos + 2 * wc;
     if words_end + 2 > payload.len() {
@@ -421,7 +445,10 @@ pub fn dissect(payload: &[u8]) -> Result<Vec<TrueField>, DissectError> {
     }
     debug_assert_eq!(sink.pos, words_end, "command layout must consume all words");
 
-    let bc = usize::from(u16::from_le_bytes([payload[sink.pos], payload[sink.pos + 1]]));
+    let bc = usize::from(u16::from_le_bytes([
+        payload[sink.pos],
+        payload[sink.pos + 1],
+    ]));
     sink.push(2, FieldKind::UInt, "byte_count");
     let data_end = sink.pos + bc;
     if data_end != payload.len() {
@@ -435,7 +462,8 @@ pub fn dissect(payload: &[u8]) -> Result<Vec<TrueField>, DissectError> {
                     return Err(err("dialect buffer format 0x02", sink.pos));
                 }
                 sink.push(1, FieldKind::Enum, "buffer_format");
-                let s = nul_string_len(payload, sink.pos, data_end).ok_or_else(|| err("dialect string", sink.pos))?;
+                let s = nul_string_len(payload, sink.pos, data_end)
+                    .ok_or_else(|| err("dialect string", sink.pos))?;
                 sink.push(s, FieldKind::Chars, "dialect");
             }
         }
@@ -452,7 +480,8 @@ pub fn dissect(payload: &[u8]) -> Result<Vec<TrueField>, DissectError> {
                 if sink.pos >= data_end {
                     break;
                 }
-                let s = nul_string_len(payload, sink.pos, data_end).ok_or_else(|| err("setup string", sink.pos))?;
+                let s = nul_string_len(payload, sink.pos, data_end)
+                    .ok_or_else(|| err("setup string", sink.pos))?;
                 sink.push(s, FieldKind::Chars, name);
             }
         }
@@ -461,7 +490,8 @@ pub fn dissect(payload: &[u8]) -> Result<Vec<TrueField>, DissectError> {
                 if sink.pos >= data_end {
                     break;
                 }
-                let s = nul_string_len(payload, sink.pos, data_end).ok_or_else(|| err("setup string", sink.pos))?;
+                let s = nul_string_len(payload, sink.pos, data_end)
+                    .ok_or_else(|| err("setup string", sink.pos))?;
                 sink.push(s, FieldKind::Chars, name);
             }
         }
@@ -471,7 +501,8 @@ pub fn dissect(payload: &[u8]) -> Result<Vec<TrueField>, DissectError> {
                 if sink.pos >= data_end {
                     break;
                 }
-                let s = nul_string_len(payload, sink.pos, data_end).ok_or_else(|| err("tree string", sink.pos))?;
+                let s = nul_string_len(payload, sink.pos, data_end)
+                    .ok_or_else(|| err("tree string", sink.pos))?;
                 sink.push(s, FieldKind::Chars, name);
             }
         }
@@ -480,7 +511,8 @@ pub fn dissect(payload: &[u8]) -> Result<Vec<TrueField>, DissectError> {
                 if sink.pos >= data_end {
                     break;
                 }
-                let s = nul_string_len(payload, sink.pos, data_end).ok_or_else(|| err("tree string", sink.pos))?;
+                let s = nul_string_len(payload, sink.pos, data_end)
+                    .ok_or_else(|| err("tree string", sink.pos))?;
                 sink.push(s, FieldKind::Chars, name);
             }
         }
@@ -534,7 +566,10 @@ mod tests {
         let t = generate(2, 2);
         let resp = &t.messages()[1];
         let fields = dissect(resp.payload()).unwrap();
-        let ts = fields.iter().find(|f| f.kind == FieldKind::Timestamp).unwrap();
+        let ts = fields
+            .iter()
+            .find(|f| f.kind == FieldKind::Timestamp)
+            .unwrap();
         assert_eq!(ts.len, 8);
         assert_eq!(ts.name, "system_time");
     }

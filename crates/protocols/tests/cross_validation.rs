@@ -31,7 +31,10 @@ fn dissectors_reject_other_protocols() {
     // Each dissector must not accept messages of most other protocols —
     // they validate structure, not just length. (DNS/NBNS share RFC 1035
     // framing, so that pair legitimately cross-parses.)
-    let traces: Vec<_> = Protocol::ALL.iter().map(|p| (*p, p.generate(5, 7))).collect();
+    let traces: Vec<_> = Protocol::ALL
+        .iter()
+        .map(|p| (*p, p.generate(5, 7)))
+        .collect();
     let compatible = |a: Protocol, b: Protocol| {
         matches!(
             (a, b),

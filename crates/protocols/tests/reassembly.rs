@@ -57,6 +57,8 @@ fn smb_survives_segment_chopping() {
 
     // And every rebuilt message still dissects.
     for m in &rebuilt {
-        Protocol::Smb.dissect(m.payload()).expect("reassembled SMB dissects");
+        Protocol::Smb
+            .dissect(m.payload())
+            .expect("reassembled SMB dissects");
     }
 }

@@ -87,7 +87,8 @@ impl Csp {
                 let mut seen: HashSet<&[u8]> = HashSet::new();
                 for w in p.windows(k) {
                     if k > 1
-                        && (!frequent_prev.contains(&w[..k - 1]) || !frequent_prev.contains(&w[1..]))
+                        && (!frequent_prev.contains(&w[..k - 1])
+                            || !frequent_prev.contains(&w[1..]))
                     {
                         continue;
                     }
@@ -117,7 +118,11 @@ impl Csp {
 
     /// Greedy longest-match segmentation of one message: pattern matches
     /// become static segments, the bytes in between dynamic segments.
-    fn segment_message(&self, payload: &[u8], by_len: &[(usize, HashSet<&[u8]>)]) -> MessageSegments {
+    fn segment_message(
+        &self,
+        payload: &[u8],
+        by_len: &[(usize, HashSet<&[u8]>)],
+    ) -> MessageSegments {
         let n = payload.len();
         if n == 0 {
             return MessageSegments::from_cuts(0, &[]);
@@ -158,7 +163,7 @@ fn index_by_length(patterns: &HashSet<Vec<u8>>) -> Vec<(usize, HashSet<&[u8]>)> 
         by_len.entry(p.len()).or_default().insert(&p[..]);
     }
     let mut out: Vec<(usize, HashSet<&[u8]>)> = by_len.into_iter().collect();
-    out.sort_by(|a, b| b.0.cmp(&a.0));
+    out.sort_by_key(|e| std::cmp::Reverse(e.0));
     out
 }
 
@@ -217,20 +222,31 @@ mod tests {
         let t = mk_trace(&payloads);
         let seg = Csp::default().segment_trace(&t).unwrap();
         for s in &seg.messages {
-            assert!(s.len() <= 3, "random payloads should barely split: {:?}", s.ranges());
+            assert!(
+                s.len() <= 3,
+                "random payloads should barely split: {:?}",
+                s.ranges()
+            );
         }
     }
 
     #[test]
     fn budget_exceeded_on_pattern_dense_trace() {
         // Every message identical and long: every substring is frequent.
-        let payloads: Vec<Vec<u8>> = (0..20)
-            .map(|_| (0..=200u8).collect::<Vec<u8>>())
-            .collect();
+        let payloads: Vec<Vec<u8>> = (0..20).map(|_| (0..=200u8).collect::<Vec<u8>>()).collect();
         let t = mk_trace(&payloads);
-        let tight = Csp { budget: WorkBudget::new(500), ..Csp::default() };
+        let tight = Csp {
+            budget: WorkBudget::new(500),
+            ..Csp::default()
+        };
         let err = tight.segment_trace(&t).unwrap_err();
-        assert!(matches!(err, SegmentError::BudgetExceeded { segmenter: "csp", .. }));
+        assert!(matches!(
+            err,
+            SegmentError::BudgetExceeded {
+                segmenter: "csp",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -246,7 +262,11 @@ mod tests {
     #[test]
     fn empty_inputs() {
         let t = mk_trace(&[]);
-        assert!(Csp::default().segment_trace(&t).unwrap().messages.is_empty());
+        assert!(Csp::default()
+            .segment_trace(&t)
+            .unwrap()
+            .messages
+            .is_empty());
         let t2 = mk_trace(&[vec![], vec![1, 2, 3]]);
         let seg = Csp::default().segment_trace(&t2).unwrap();
         assert!(seg.messages[0].is_empty());

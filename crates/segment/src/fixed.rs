@@ -73,6 +73,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::single_range_in_vec_init)] // the whole message as a single chunk
     fn width_larger_than_message() {
         let t = mk_trace(&[b"ab"]);
         let seg = FixedChunks { width: 16 }.segment_trace(&t).unwrap();

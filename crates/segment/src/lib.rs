@@ -61,7 +61,10 @@ impl MessageSegments {
         let mut ranges = Vec::with_capacity(cuts.len() + 1);
         let mut start = 0;
         for &c in cuts {
-            assert!(c > start && c < len, "cuts must be strictly ascending inside the payload");
+            assert!(
+                c > start && c < len,
+                "cuts must be strictly ascending inside the payload"
+            );
             ranges.push(start..c);
             start = c;
         }
@@ -141,7 +144,11 @@ pub enum SegmentError {
 impl std::fmt::Display for SegmentError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SegmentError::BudgetExceeded { segmenter, needed, budget } => write!(
+            SegmentError::BudgetExceeded {
+                segmenter,
+                needed,
+                budget,
+            } => write!(
                 f,
                 "{segmenter} exceeded its work budget ({needed} > {budget} units)"
             ),
@@ -192,7 +199,11 @@ impl WorkBudget {
     /// budget.
     pub fn check(&self, segmenter: &'static str, needed: u64) -> Result<(), SegmentError> {
         if needed > self.units {
-            Err(SegmentError::BudgetExceeded { segmenter, needed, budget: self.units })
+            Err(SegmentError::BudgetExceeded {
+                segmenter,
+                needed,
+                budget: self.units,
+            })
         } else {
             Ok(())
         }
@@ -212,6 +223,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::single_range_in_vec_init)] // one whole-message segment IS a one-range list
     fn from_cuts_no_cuts_is_one_segment() {
         let s = MessageSegments::from_cuts(5, &[]);
         assert_eq!(s.ranges(), &[0..5]);
@@ -240,7 +252,14 @@ mod tests {
         let b = WorkBudget::new(100);
         assert!(b.check("x", 100).is_ok());
         let err = b.check("x", 101).unwrap_err();
-        assert!(matches!(err, SegmentError::BudgetExceeded { needed: 101, budget: 100, .. }));
+        assert!(matches!(
+            err,
+            SegmentError::BudgetExceeded {
+                needed: 101,
+                budget: 100,
+                ..
+            }
+        ));
         assert!(WorkBudget::unlimited().check("x", u64::MAX).is_ok());
     }
 }

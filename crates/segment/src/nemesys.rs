@@ -32,7 +32,11 @@ pub struct Nemesys {
 
 impl Default for Nemesys {
     fn default() -> Self {
-        Self { sigma: 0.6, merge_chars: true, zero_run_min: 2 }
+        Self {
+            sigma: 0.6,
+            merge_chars: true,
+            zero_run_min: 2,
+        }
     }
 }
 
@@ -226,7 +230,12 @@ mod tests {
         let char_segments: Vec<_> = s
             .ranges()
             .iter()
-            .filter(|r| payload[(*r).clone()].iter().all(|&b| super::is_printable(b)) && r.len() >= 2)
+            .filter(|r| {
+                payload[(*r).clone()]
+                    .iter()
+                    .all(|&b| super::is_printable(b))
+                    && r.len() >= 2
+            })
             .collect();
         assert_eq!(char_segments.len(), 1, "got {:?}", s.ranges());
         assert!(char_segments[0].len() >= 25, "got {:?}", char_segments);
@@ -235,7 +244,10 @@ mod tests {
     #[test]
     fn without_merge_chars_keeps_raw_cuts() {
         let payload = b"\x00\x00\x00\x00hostname-hostname\x00\x00";
-        let raw = Nemesys { merge_chars: false, ..Nemesys::default() };
+        let raw = Nemesys {
+            merge_chars: false,
+            ..Nemesys::default()
+        };
         let merged = Nemesys::default();
         assert!(raw.segment_message(payload).len() >= merged.segment_message(payload).len());
     }
@@ -271,7 +283,10 @@ mod tests {
     #[test]
     fn zero_run_refinement_can_be_disabled() {
         let payload = [0x41, 0x87, 0x93, 0, 0, 0, 0, 0, 0, 0xD2, 0x3D];
-        let off = Nemesys { zero_run_min: 0, ..Nemesys::default() };
+        let off = Nemesys {
+            zero_run_min: 0,
+            ..Nemesys::default()
+        };
         // With the refinement off the zero run may be glued to neighbors;
         // the tiling invariant still holds.
         let s = off.segment_message(&payload);

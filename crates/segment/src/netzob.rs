@@ -57,7 +57,9 @@ impl Segmenter for Netzob {
 
         let n = trace.len();
         if n == 0 {
-            return Ok(TraceSegmentation { messages: Vec::new() });
+            return Ok(TraceSegmentation {
+                messages: Vec::new(),
+            });
         }
         let payloads: Vec<&[u8]> = trace.iter().map(|m| &m.payload()[..]).collect();
 
@@ -79,7 +81,8 @@ impl Segmenter for Netzob {
                 }
             }
         }
-        let mut groups: std::collections::HashMap<usize, Vec<usize>> = std::collections::HashMap::new();
+        let mut groups: std::collections::HashMap<usize, Vec<usize>> =
+            std::collections::HashMap::new();
         for i in 0..n {
             let root = find(&mut parent, i);
             groups.entry(root).or_default().push(i);
@@ -203,7 +206,9 @@ fn align_offsets(rep: &[u8], member: &[u8]) -> Vec<usize> {
         let cur = score[i * width + j];
         if j > 0 && score[i * width + (j - 1)] == cur {
             j -= 1; // insertion in member: attach to the right column
-        } else if j > 0 && score[(i - 1) * width + (j - 1)] + u32::from(rep[i - 1] == member[j - 1]) == cur {
+        } else if j > 0
+            && score[(i - 1) * width + (j - 1)] + u32::from(rep[i - 1] == member[j - 1]) == cur
+        {
             i -= 1;
             j -= 1;
             offsets[i] = j;
@@ -296,9 +301,18 @@ mod tests {
         let payloads: Vec<Vec<u8>> = (0..20u8).map(|i| vec![i; 100]).collect();
         let refs: Vec<&[u8]> = payloads.iter().map(|p| &p[..]).collect();
         let t = mk_trace(&refs);
-        let tight = Netzob { budget: WorkBudget::new(1000), ..Netzob::default() };
+        let tight = Netzob {
+            budget: WorkBudget::new(1000),
+            ..Netzob::default()
+        };
         let err = tight.segment_trace(&t).unwrap_err();
-        assert!(matches!(err, SegmentError::BudgetExceeded { segmenter: "netzob", .. }));
+        assert!(matches!(
+            err,
+            SegmentError::BudgetExceeded {
+                segmenter: "netzob",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -320,7 +334,11 @@ mod tests {
     #[test]
     fn empty_trace_and_empty_messages() {
         let t = mk_trace(&[]);
-        assert!(Netzob::default().segment_trace(&t).unwrap().messages.is_empty());
+        assert!(Netzob::default()
+            .segment_trace(&t)
+            .unwrap()
+            .messages
+            .is_empty());
         let t2 = mk_trace(&[b"", b""]);
         let seg = Netzob::default().segment_trace(&t2).unwrap();
         assert!(seg.messages.iter().all(|s| s.is_empty()));

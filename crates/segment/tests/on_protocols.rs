@@ -36,7 +36,10 @@ fn nemesys_tiles_every_protocol() {
 fn csp_tiles_every_protocol_with_ample_budget() {
     for p in Protocol::ALL {
         let t = p.generate(40, 8);
-        let csp = Csp { budget: WorkBudget::unlimited(), ..Csp::default() };
+        let csp = Csp {
+            budget: WorkBudget::unlimited(),
+            ..Csp::default()
+        };
         let seg = csp.segment_trace(&t).unwrap();
         check_tiling(&seg, &t);
     }
@@ -57,7 +60,13 @@ fn netzob_aborts_on_large_dhcp() {
     // budget — the paper's "fails" cell.
     let t = Protocol::Dhcp.generate(1000, 10);
     let err = Netzob::default().segment_trace(&t).unwrap_err();
-    assert!(matches!(err, SegmentError::BudgetExceeded { segmenter: "netzob", .. }));
+    assert!(matches!(
+        err,
+        SegmentError::BudgetExceeded {
+            segmenter: "netzob",
+            ..
+        }
+    ));
 }
 
 #[test]
@@ -70,7 +79,11 @@ fn netzob_fixed_structure_protocol_segments_well() {
     let cut_sets: std::collections::HashSet<Vec<usize>> =
         seg.messages.iter().map(|s| s.cuts()).collect();
     // Identical-length NTP messages should mostly share cut patterns.
-    assert!(cut_sets.len() <= 6, "too many distinct cut patterns: {}", cut_sets.len());
+    assert!(
+        cut_sets.len() <= 6,
+        "too many distinct cut patterns: {}",
+        cut_sets.len()
+    );
 }
 
 #[test]
@@ -85,7 +98,9 @@ fn nemesys_splits_ntp_timestamps_imperfectly() {
     for (s, fields) in seg.messages.iter().zip(&gt) {
         for cut in s.cuts() {
             if fields.iter().any(|f| {
-                f.kind == protocols::FieldKind::Timestamp && cut > f.offset && cut < f.offset + f.len
+                f.kind == protocols::FieldKind::Timestamp
+                    && cut > f.offset
+                    && cut < f.offset + f.len
             }) {
                 inside_cut = true;
             }

@@ -29,7 +29,9 @@ impl std::fmt::Display for TraceError {
         match self {
             TraceError::Io(e) => write!(f, "i/o error: {e}"),
             TraceError::BadMagic(m) => write!(f, "unrecognized pcap magic 0x{m:08x}"),
-            TraceError::Truncated { context } => write!(f, "truncated data while parsing {context}"),
+            TraceError::Truncated { context } => {
+                write!(f, "truncated data while parsing {context}")
+            }
             TraceError::UnsupportedEncapsulation { code } => {
                 write!(f, "unsupported encapsulation 0x{code:04x}")
             }

@@ -66,7 +66,10 @@ pub struct Trace {
 impl Trace {
     /// Creates a trace from a name and messages.
     pub fn new(name: impl Into<String>, messages: Vec<Message>) -> Self {
-        Self { name: name.into(), messages }
+        Self {
+            name: name.into(),
+            messages,
+        }
     }
 
     /// The trace name (typically the protocol, e.g. `"ntp"`).

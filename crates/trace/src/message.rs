@@ -38,12 +38,18 @@ pub struct Endpoint {
 impl Endpoint {
     /// An IPv4/UDP-or-TCP endpoint.
     pub fn udp(ip: [u8; 4], port: u16) -> Self {
-        Self { addr: Addr::Ipv4(ip), port: Some(port) }
+        Self {
+            addr: Addr::Ipv4(ip),
+            port: Some(port),
+        }
     }
 
     /// A link-layer endpoint identified by MAC address only.
     pub fn mac(mac: [u8; 6]) -> Self {
-        Self { addr: Addr::Mac(mac), port: None }
+        Self {
+            addr: Addr::Mac(mac),
+            port: None,
+        }
     }
 }
 
@@ -89,7 +95,6 @@ pub enum Direction {
 /// [`Bytes`] so that segments can later borrow slices without copying.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Message {
-    #[serde(with = "bytes_serde")]
     payload: Bytes,
     timestamp_micros: u64,
     source: Endpoint,
@@ -207,20 +212,6 @@ impl MessageBuilder {
     }
 }
 
-mod bytes_serde {
-    use bytes::Bytes;
-    use serde::{Deserialize, Deserializer, Serializer};
-
-    pub fn serialize<S: Serializer>(b: &Bytes, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_bytes(b)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Bytes, D::Error> {
-        let v = Vec::<u8>::deserialize(d)?;
-        Ok(Bytes::from(v))
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,8 +236,14 @@ mod tests {
     fn flow_key_is_direction_independent() {
         let a = Endpoint::udp([1, 1, 1, 1], 100);
         let b = Endpoint::udp([2, 2, 2, 2], 200);
-        let m1 = Message::builder(Bytes::new()).source(a).destination(b).build();
-        let m2 = Message::builder(Bytes::new()).source(b).destination(a).build();
+        let m1 = Message::builder(Bytes::new())
+            .source(a)
+            .destination(b)
+            .build();
+        let m2 = Message::builder(Bytes::new())
+            .source(b)
+            .destination(a)
+            .build();
         assert_eq!(m1.flow_key(), m2.flow_key());
     }
 

@@ -56,7 +56,8 @@ fn ipv4_of(ep: Endpoint) -> [u8; 4] {
 /// Encodes a message into a complete Ethernet frame.
 pub fn encode_frame(msg: &Message) -> Vec<u8> {
     let payload = msg.payload();
-    let mut frame = Vec::with_capacity(ETH_HEADER_LEN + IPV4_HEADER_LEN + TCP_HEADER_LEN + payload.len());
+    let mut frame =
+        Vec::with_capacity(ETH_HEADER_LEN + IPV4_HEADER_LEN + TCP_HEADER_LEN + payload.len());
     frame.extend_from_slice(&mac_for(msg.destination().addr));
     frame.extend_from_slice(&mac_for(msg.source().addr));
 
@@ -139,7 +140,9 @@ pub fn ipv4_checksum(header: &[u8]) -> u16 {
 /// IPv4 header checksum.
 pub fn decode_frame(frame: &[u8]) -> Result<DecodedFrame, TraceError> {
     if frame.len() < ETH_HEADER_LEN {
-        return Err(TraceError::Truncated { context: "ethernet header" });
+        return Err(TraceError::Truncated {
+            context: "ethernet header",
+        });
     }
     let dst_mac: [u8; 6] = frame[0..6].try_into().expect("slice length 6");
     let src_mac: [u8; 6] = frame[6..12].try_into().expect("slice length 6");
@@ -156,21 +159,31 @@ pub fn decode_frame(frame: &[u8]) -> Result<DecodedFrame, TraceError> {
         ETHERTYPE_IPV4 => {
             let ip = &frame[ETH_HEADER_LEN..];
             if ip.len() < IPV4_HEADER_LEN {
-                return Err(TraceError::Truncated { context: "ipv4 header" });
+                return Err(TraceError::Truncated {
+                    context: "ipv4 header",
+                });
             }
             if ip[0] >> 4 != 4 {
-                return Err(TraceError::InvalidHeader { context: "ipv4 version" });
+                return Err(TraceError::InvalidHeader {
+                    context: "ipv4 version",
+                });
             }
             let ihl = usize::from(ip[0] & 0x0F) * 4;
             if ihl < IPV4_HEADER_LEN || ip.len() < ihl {
-                return Err(TraceError::InvalidHeader { context: "ipv4 IHL" });
+                return Err(TraceError::InvalidHeader {
+                    context: "ipv4 IHL",
+                });
             }
             if ipv4_checksum(&ip[..ihl]) != 0 {
-                return Err(TraceError::InvalidHeader { context: "ipv4 checksum" });
+                return Err(TraceError::InvalidHeader {
+                    context: "ipv4 checksum",
+                });
             }
             let total_len = usize::from(u16::from_be_bytes([ip[2], ip[3]]));
             if total_len < ihl || ip.len() < total_len {
-                return Err(TraceError::Truncated { context: "ipv4 total length" });
+                return Err(TraceError::Truncated {
+                    context: "ipv4 total length",
+                });
             }
             let proto = ip[9];
             let src_ip: [u8; 4] = ip[12..16].try_into().expect("slice length 4");
@@ -179,13 +192,17 @@ pub fn decode_frame(frame: &[u8]) -> Result<DecodedFrame, TraceError> {
             match proto {
                 17 => {
                     if l4.len() < UDP_HEADER_LEN {
-                        return Err(TraceError::Truncated { context: "udp header" });
+                        return Err(TraceError::Truncated {
+                            context: "udp header",
+                        });
                     }
                     let sport = u16::from_be_bytes([l4[0], l4[1]]);
                     let dport = u16::from_be_bytes([l4[2], l4[3]]);
                     let udp_len = usize::from(u16::from_be_bytes([l4[4], l4[5]]));
                     if udp_len < UDP_HEADER_LEN || l4.len() < udp_len {
-                        return Err(TraceError::InvalidHeader { context: "udp length" });
+                        return Err(TraceError::InvalidHeader {
+                            context: "udp length",
+                        });
                     }
                     Ok(DecodedFrame {
                         source: Endpoint::udp(src_ip, sport),
@@ -197,13 +214,17 @@ pub fn decode_frame(frame: &[u8]) -> Result<DecodedFrame, TraceError> {
                 }
                 6 => {
                     if l4.len() < TCP_HEADER_LEN {
-                        return Err(TraceError::Truncated { context: "tcp header" });
+                        return Err(TraceError::Truncated {
+                            context: "tcp header",
+                        });
                     }
                     let sport = u16::from_be_bytes([l4[0], l4[1]]);
                     let dport = u16::from_be_bytes([l4[2], l4[3]]);
                     let data_offset = usize::from(l4[12] >> 4) * 4;
                     if data_offset < TCP_HEADER_LEN || l4.len() < data_offset {
-                        return Err(TraceError::InvalidHeader { context: "tcp data offset" });
+                        return Err(TraceError::InvalidHeader {
+                            context: "tcp data offset",
+                        });
                     }
                     Ok(DecodedFrame {
                         source: Endpoint::udp(src_ip, sport),
@@ -213,7 +234,9 @@ pub fn decode_frame(frame: &[u8]) -> Result<DecodedFrame, TraceError> {
                         payload_len: total_len - ihl - data_offset,
                     })
                 }
-                other => Err(TraceError::UnsupportedEncapsulation { code: u16::from(other) }),
+                other => Err(TraceError::UnsupportedEncapsulation {
+                    code: u16::from(other),
+                }),
             }
         }
         other => Err(TraceError::UnsupportedEncapsulation { code: other }),
@@ -241,7 +264,10 @@ mod tests {
         assert_eq!(d.transport, Transport::Udp);
         assert_eq!(d.source, m.source());
         assert_eq!(d.destination, m.destination());
-        assert_eq!(&frame[d.payload_offset..d.payload_offset + d.payload_len], b"hello ntp");
+        assert_eq!(
+            &frame[d.payload_offset..d.payload_offset + d.payload_len],
+            b"hello ntp"
+        );
     }
 
     #[test]
@@ -255,7 +281,10 @@ mod tests {
         let d = decode_frame(&frame).unwrap();
         assert_eq!(d.transport, Transport::Tcp);
         assert_eq!(d.source.port, Some(50000));
-        assert_eq!(&frame[d.payload_offset..d.payload_offset + d.payload_len], b"\xffSMB");
+        assert_eq!(
+            &frame[d.payload_offset..d.payload_offset + d.payload_len],
+            b"\xffSMB"
+        );
     }
 
     #[test]
@@ -295,7 +324,9 @@ mod tests {
         frame[20] ^= 0xFF;
         assert!(matches!(
             decode_frame(&frame),
-            Err(TraceError::InvalidHeader { context: "ipv4 checksum" })
+            Err(TraceError::InvalidHeader {
+                context: "ipv4 checksum"
+            })
         ));
     }
 

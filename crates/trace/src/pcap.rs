@@ -77,7 +77,10 @@ pub fn write_to_file(trace: &Trace, path: impl AsRef<std::path::Path>) -> Result
 /// [`TraceError::Truncated`] for incomplete records.
 pub fn read<R: Read>(mut r: R, name: &str) -> Result<Trace, TraceError> {
     let mut header = [0u8; 24];
-    r.read_exact(&mut header).map_err(|_| TraceError::Truncated { context: "pcap global header" })?;
+    r.read_exact(&mut header)
+        .map_err(|_| TraceError::Truncated {
+            context: "pcap global header",
+        })?;
     let magic_le = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
     let magic_be = u32::from_be_bytes(header[0..4].try_into().expect("4 bytes"));
     let little_endian = if magic_le == MAGIC {
@@ -110,14 +113,21 @@ pub fn read<R: Read>(mut r: R, name: &str) -> Result<Trace, TraceError> {
         // A capture record larger than 64 MiB is corrupt (snaplen is
         // 65535); refuse before allocating.
         if incl_len > 0x400_0000 {
-            return Err(TraceError::InvalidHeader { context: "pcap record length" });
+            return Err(TraceError::InvalidHeader {
+                context: "pcap record length",
+            });
         }
         let mut frame = vec![0u8; incl_len];
-        r.read_exact(&mut frame).map_err(|_| TraceError::Truncated { context: "pcap record body" })?;
+        r.read_exact(&mut frame)
+            .map_err(|_| TraceError::Truncated {
+                context: "pcap record body",
+            })?;
 
         match decode_frame(&frame) {
             Ok(d) => {
-                let payload = Bytes::copy_from_slice(&frame[d.payload_offset..d.payload_offset + d.payload_len]);
+                let payload = Bytes::copy_from_slice(
+                    &frame[d.payload_offset..d.payload_offset + d.payload_len],
+                );
                 messages.push(
                     Message::builder(payload)
                         .timestamp_micros(ts_sec * 1_000_000 + ts_usec)
@@ -214,7 +224,10 @@ mod tests {
     #[test]
     fn rejects_bad_magic() {
         let img = vec![0u8; 24];
-        assert!(matches!(read_from_slice(&img, "x"), Err(TraceError::BadMagic(_))));
+        assert!(matches!(
+            read_from_slice(&img, "x"),
+            Err(TraceError::BadMagic(_))
+        ));
     }
 
     #[test]

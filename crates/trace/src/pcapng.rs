@@ -51,7 +51,9 @@ pub fn read_from_slice(data: &[u8], name: &str) -> Result<Trace, TraceError> {
 
     let need = |pos: usize, n: usize, len: usize| -> Result<(), TraceError> {
         if pos + n > len {
-            Err(TraceError::Truncated { context: "pcapng block" })
+            Err(TraceError::Truncated {
+                context: "pcapng block",
+            })
         } else {
             Ok(())
         }
@@ -88,8 +90,10 @@ pub fn read_from_slice(data: &[u8], name: &str) -> Result<Trace, TraceError> {
         };
         let block_type = rd32(pos);
         let block_len = rd32(pos + 4) as usize;
-        if block_len < 12 || block_len % 4 != 0 {
-            return Err(TraceError::InvalidHeader { context: "pcapng block length" });
+        if block_len < 12 || !block_len.is_multiple_of(4) {
+            return Err(TraceError::InvalidHeader {
+                context: "pcapng block length",
+            });
         }
         need(pos, block_len, data.len())?;
         let body = &data[pos + 8..pos + block_len - 4];
@@ -97,13 +101,17 @@ pub fn read_from_slice(data: &[u8], name: &str) -> Result<Trace, TraceError> {
         match block_type {
             EPB_TYPE => {
                 if body.len() < 20 {
-                    return Err(TraceError::Truncated { context: "enhanced packet block" });
+                    return Err(TraceError::Truncated {
+                        context: "enhanced packet block",
+                    });
                 }
                 let ts_high = rd32(pos + 8 + 4) as u64;
                 let ts_low = rd32(pos + 8 + 8) as u64;
                 let captured = rd32(pos + 8 + 12) as usize;
                 if 20 + captured > body.len() {
-                    return Err(TraceError::Truncated { context: "enhanced packet data" });
+                    return Err(TraceError::Truncated {
+                        context: "enhanced packet data",
+                    });
                 }
                 let frame = &body[20..20 + captured];
                 // Default if_tsresol: microseconds.
@@ -112,7 +120,9 @@ pub fn read_from_slice(data: &[u8], name: &str) -> Result<Trace, TraceError> {
             }
             SPB_TYPE => {
                 if body.len() < 4 {
-                    return Err(TraceError::Truncated { context: "simple packet block" });
+                    return Err(TraceError::Truncated {
+                        context: "simple packet block",
+                    });
                 }
                 let frame = &body[4..];
                 push_frame(&mut messages, frame, 0)?;
@@ -125,7 +135,9 @@ pub fn read_from_slice(data: &[u8], name: &str) -> Result<Trace, TraceError> {
         pos += block_len;
     }
     if !saw_shb {
-        return Err(TraceError::Truncated { context: "pcapng section header" });
+        return Err(TraceError::Truncated {
+            context: "pcapng section header",
+        });
     }
     Ok(Trace::new(name, messages))
 }
@@ -133,7 +145,8 @@ pub fn read_from_slice(data: &[u8], name: &str) -> Result<Trace, TraceError> {
 fn push_frame(messages: &mut Vec<Message>, frame: &[u8], ts: u64) -> Result<(), TraceError> {
     match decode_frame(frame) {
         Ok(d) => {
-            let payload = Bytes::copy_from_slice(&frame[d.payload_offset..d.payload_offset + d.payload_len]);
+            let payload =
+                Bytes::copy_from_slice(&frame[d.payload_offset..d.payload_offset + d.payload_len]);
             messages.push(
                 Message::builder(payload)
                     .timestamp_micros(ts)
@@ -232,7 +245,10 @@ mod tests {
         };
         Trace::new(
             "ng",
-            vec![mk(b"first", 1_000_001), mk(b"second payload", 77_000_000_123)],
+            vec![
+                mk(b"first", 1_000_001),
+                mk(b"second payload", 77_000_000_123),
+            ],
         )
     }
 
@@ -256,7 +272,10 @@ mod tests {
         let classic = crate::pcap::write_to_vec(&t).unwrap();
         assert_eq!(read_any(&ng, "x").unwrap().len(), 2);
         assert_eq!(read_any(&classic, "x").unwrap().len(), 2);
-        assert!(matches!(read_any(&[0u8; 32], "x"), Err(TraceError::BadMagic(_))));
+        assert!(matches!(
+            read_any(&[0u8; 32], "x"),
+            Err(TraceError::BadMagic(_))
+        ));
     }
 
     #[test]

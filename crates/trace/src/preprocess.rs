@@ -134,7 +134,10 @@ mod tests {
     fn identity_when_unconfigured() {
         let t = Trace::new(
             "t",
-            vec![msg(b"a", 1, 2, Transport::Udp), msg(b"a", 1, 2, Transport::Udp)],
+            vec![
+                msg(b"a", 1, 2, Transport::Udp),
+                msg(b"a", 1, 2, Transport::Udp),
+            ],
         );
         let out = Preprocessor::new().apply(&t);
         assert_eq!(out.len(), 2);
@@ -173,9 +176,7 @@ mod tests {
 
     #[test]
     fn truncate_limits_count() {
-        let msgs: Vec<Message> = (0..10u8)
-            .map(|i| msg(&[i], 1, 2, Transport::Udp))
-            .collect();
+        let msgs: Vec<Message> = (0..10u8).map(|i| msg(&[i], 1, 2, Transport::Udp)).collect();
         let t = Trace::new("t", msgs);
         let out = Preprocessor::new().truncate(3).apply(&t);
         assert_eq!(out.len(), 3);

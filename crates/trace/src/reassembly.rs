@@ -95,7 +95,8 @@ pub fn reassemble(trace: &Trace, framer: &dyn Framer) -> (Trace, ReassemblyStats
     let mut stats = ReassemblyStats::default();
     let mut out: Vec<Message> = Vec::with_capacity(trace.len());
     // Directed flow -> (buffer, template message for metadata).
-    let mut streams: HashMap<(crate::Endpoint, crate::Endpoint), (Vec<u8>, Message)> = HashMap::new();
+    let mut streams: HashMap<(crate::Endpoint, crate::Endpoint), (Vec<u8>, Message)> =
+        HashMap::new();
 
     for msg in trace {
         if msg.transport() != Transport::Tcp {
@@ -164,7 +165,10 @@ mod tests {
     fn split_message_is_reassembled() {
         let frame = nbss_frame(b"hello smb world");
         let (a, b) = frame.split_at(7);
-        let t = Trace::new("t", vec![tcp_msg(a.to_vec(), 1, 1000), tcp_msg(b.to_vec(), 2, 1000)]);
+        let t = Trace::new(
+            "t",
+            vec![tcp_msg(a.to_vec(), 1, 1000), tcp_msg(b.to_vec(), 2, 1000)],
+        );
         let (out, stats) = reassemble(&t, &NbssFramer);
         assert_eq!(out.len(), 1);
         assert_eq!(&out.messages()[0].payload()[..], &frame[..]);

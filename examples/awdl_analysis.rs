@@ -18,7 +18,10 @@ use segment::Segmenter;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace = corpus::build_trace(Protocol::Awdl, 300, 7);
-    println!("AWDL trace: {} action frames (link layer, no IP)", trace.len());
+    println!(
+        "AWDL trace: {} action frames (link layer, no IP)",
+        trace.len()
+    );
 
     // The state of the art cannot even start: no addresses, no ports,
     // no request/response pairing.
@@ -64,7 +67,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             })
             .collect::<Vec<_>>()
             .join(" / ");
-        println!("  pseudo type {id:2}: {:4} values  [{preview}…]", members.len());
+        println!(
+            "  pseudo type {id:2}: {:4} values  [{preview}…]",
+            members.len()
+        );
     }
     Ok(())
 }

@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let segmentation = Nemesys::default().segment_trace(&trace)?;
     let result = FieldTypeClusterer::default().cluster_trace(&trace, &segmentation)?;
 
-    println!("# fuzzing plan derived from {} pseudo data types\n", result.clustering.n_clusters());
+    println!(
+        "# fuzzing plan derived from {} pseudo data types\n",
+        result.clustering.n_clusters()
+    );
     for (id, members) in result.clustering.clusters().iter().enumerate() {
         let segs: Vec<_> = members.iter().map(|&i| &result.store.segments[i]).collect();
         let occurrences: usize = segs.iter().map(|s| s.occurrences()).sum();
@@ -46,11 +49,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         } else {
             "MUTATE (value field: sample within and beyond observed domain)"
         };
-        println!("pseudo type {id:2}: {occurrences:4} occurrences, {:3} distinct values, lengths {:?}", distinct.len(), {
-            let mut v: Vec<_> = lens.iter().copied().collect();
-            v.sort_unstable();
-            v
-        });
+        println!(
+            "pseudo type {id:2}: {occurrences:4} occurrences, {:3} distinct values, lengths {:?}",
+            distinct.len(),
+            {
+                let mut v: Vec<_> = lens.iter().copied().collect();
+                v.sort_unstable();
+                v
+            }
+        );
         let domain: Vec<String> = lo
             .iter()
             .zip(&hi)

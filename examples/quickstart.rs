@@ -1,20 +1,22 @@
 //! Quickstart: cluster the field data types of an NTP trace.
 //!
-//! Demonstrates the complete workflow of the paper's Fig. 1: build (or
-//! load) a trace, segment it heuristically, cluster the segments into
-//! pseudo data types, and inspect the result.
+//! Demonstrates the complete workflow of the paper's Fig. 1 as a staged
+//! `AnalysisSession`: build (or load) a trace, segment it heuristically,
+//! then drive the dedup → matrix → autoconf → cluster → refine stages,
+//! inspecting the cached artifacts along the way. (For a one-shot run,
+//! `FieldTypeClusterer::cluster_trace` wraps the same session.)
 //!
 //! Run with: `cargo run -p fieldclust --example quickstart`
 
-use fieldclust::FieldTypeClusterer;
+use fieldclust::{AnalysisSession, FieldTypeClusterer};
 use protocols::{corpus, Protocol};
 use segment::nemesys::Nemesys;
-use segment::Segmenter;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Obtain a trace. Here: 200 synthetic NTP messages; in practice
     //    you would read a pcap with `trace::pcap::read_from_file` and
-    //    clean it with `trace::Preprocessor`.
+    //    clean it with `trace::Preprocessor` (or
+    //    `AnalysisSession::preprocess`).
     let trace = corpus::build_trace(Protocol::Ntp, 200, 42);
     println!(
         "trace: {} messages, {} payload bytes",
@@ -22,19 +24,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         trace.total_payload_bytes()
     );
 
-    // 2. Segment the messages without any protocol knowledge.
-    let segmentation = Nemesys::default().segment_trace(&trace)?;
+    // 2. Start a session and segment the messages without any protocol
+    //    knowledge.
+    let mut session = AnalysisSession::new(&trace, FieldTypeClusterer::default());
+    let segmentation = session.segment_with(&Nemesys::default())?;
     println!("segments: {} candidates", segmentation.total_segments());
 
-    // 3. Cluster segments into pseudo data types. Parameters are
-    //    auto-configured from the dissimilarity distribution.
-    let result = FieldTypeClusterer::default().cluster_trace(&trace, &segmentation)?;
+    // 3. Drive the remaining stages. Each artifact is computed once and
+    //    cached — asking again (or asking for a later stage) reuses it.
+    let unique = session.store()?.segments.len();
+    println!("dedup: {unique} unique segments enter clustering");
+    let params = session.autoconf()?;
     println!(
-        "auto-configured: eps = {:.3} (k = {}, min_samples = {}, source: {:?})",
-        result.params.epsilon, result.params.k, result.params.min_samples, result.epsilon_source
+        "auto-configured: eps = {:.3} (k = {}, min_samples = {})",
+        params.epsilon, params.k, params.min_samples
     );
 
-    // 4. Inspect the pseudo data types.
+    // 4. Finish: cluster + refine, assembled into the pipeline result.
+    let result = session.finish()?;
+    println!("epsilon source: {:?}", result.epsilon_source);
+
+    // 5. Inspect the pseudo data types.
     println!(
         "clusters: {} ({} unique segments, {} noise)",
         result.clustering.n_clusters(),

@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let result = FieldTypeClusterer::default().cluster_trace(&trace, &segmentation)?;
 
     // 1. Semantic hypotheses per pseudo data type.
-    println!("semantic interpretation of {} pseudo data types:\n", result.clustering.n_clusters());
+    println!(
+        "semantic interpretation of {} pseudo data types:\n",
+        result.clustering.n_clusters()
+    );
     for sem in interpret(&result, &trace, &SemanticsConfig::default()) {
         println!(
             "  type {:2}: {:12} ({:3.0}%)  {}",

@@ -18,7 +18,9 @@ fn clustering_coverage_dwarfs_fieldhunter() {
     for protocol in [Protocol::Dns, Protocol::Ntp, Protocol::Nbns, Protocol::Dhcp] {
         let trace = corpus::build_trace(protocol, 120, corpus::DEFAULT_SEED);
         let seg = Nemesys::default().segment_trace(&trace).unwrap();
-        let result = FieldTypeClusterer::default().cluster_trace(&trace, &seg).unwrap();
+        let result = FieldTypeClusterer::default()
+            .cluster_trace(&trace, &seg)
+            .unwrap();
         let fh = FieldHunter::default().analyze(&trace).unwrap();
         clustering_total += result.coverage(&trace).ratio();
         fieldhunter_total += fh.coverage.ratio();
@@ -30,7 +32,10 @@ fn clustering_coverage_dwarfs_fieldhunter() {
         clustering_avg > 3.0 * fieldhunter_avg,
         "clustering {clustering_avg:.2} vs fieldhunter {fieldhunter_avg:.2}"
     );
-    assert!(clustering_avg > 0.4, "clustering avg coverage = {clustering_avg:.2}");
+    assert!(
+        clustering_avg > 0.4,
+        "clustering avg coverage = {clustering_avg:.2}"
+    );
 }
 
 #[test]
@@ -40,10 +45,7 @@ fn fieldhunter_finds_a_couple_of_fields_per_protocol() {
     for protocol in [Protocol::Dns, Protocol::Dhcp] {
         let trace = corpus::build_trace(protocol, 150, 5);
         let analysis = FieldHunter::default().analyze(&trace).unwrap();
-        assert!(
-            !analysis.fields.is_empty(),
-            "{protocol}: no fields at all"
-        );
+        assert!(!analysis.fields.is_empty(), "{protocol}: no fields at all");
         assert!(
             analysis.fields.len() <= 10,
             "{protocol}: implausibly many rule hits ({})",
@@ -54,7 +56,11 @@ fn fieldhunter_finds_a_couple_of_fields_per_protocol() {
     // cannot fire — FieldHunter finds next to nothing.
     let nbns = corpus::build_trace(Protocol::Nbns, 150, 5);
     let analysis = FieldHunter::default().analyze(&nbns).unwrap();
-    assert!(analysis.fields.len() <= 3, "nbns: {} fields", analysis.fields.len());
+    assert!(
+        analysis.fields.len() <= 3,
+        "nbns: {} fields",
+        analysis.fields.len()
+    );
 }
 
 #[test]
@@ -68,7 +74,9 @@ fn proprietary_protocols_blocked_for_baseline_but_not_clustering() {
             "{protocol}"
         );
         let seg = Nemesys::default().segment_trace(&trace).unwrap();
-        let result = FieldTypeClusterer::default().cluster_trace(&trace, &seg).unwrap();
+        let result = FieldTypeClusterer::default()
+            .cluster_trace(&trace, &seg)
+            .unwrap();
         assert!(result.clustering.n_clusters() >= 1, "{protocol}");
     }
 }

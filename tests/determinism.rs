@@ -13,7 +13,9 @@ fn full_pipeline_is_deterministic() {
     let run = || {
         let trace = corpus::build_trace(Protocol::Smb, 60, 1234);
         let seg = Nemesys::default().segment_trace(&trace).unwrap();
-        let result = FieldTypeClusterer::default().cluster_trace(&trace, &seg).unwrap();
+        let result = FieldTypeClusterer::default()
+            .cluster_trace(&trace, &seg)
+            .unwrap();
         (
             result.params.epsilon,
             result.params.k,
@@ -54,11 +56,16 @@ fn different_seeds_give_different_traces_but_valid_results() {
     for seed in [1u64, 2, 3] {
         let trace = corpus::build_trace(Protocol::Ntp, 60, seed);
         let seg = Nemesys::default().segment_trace(&trace).unwrap();
-        let result = FieldTypeClusterer::default().cluster_trace(&trace, &seg).unwrap();
+        let result = FieldTypeClusterer::default()
+            .cluster_trace(&trace, &seg)
+            .unwrap();
         assert!(result.params.epsilon > 0.0);
         epsilons.insert(format!("{:.6}", result.params.epsilon));
     }
     // Epsilon adapts to the data; at least two of the three runs should
     // differ.
-    assert!(epsilons.len() >= 2, "epsilons suspiciously constant: {epsilons:?}");
+    assert!(
+        epsilons.len() >= 2,
+        "epsilons suspiciously constant: {epsilons:?}"
+    );
 }

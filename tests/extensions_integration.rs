@@ -10,11 +10,17 @@ use protocols::{corpus, Protocol, ProtocolSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn pipeline(protocol: Protocol, n: usize, seed: u64) -> (trace::Trace, fieldclust::PseudoTypeClustering) {
+fn pipeline(
+    protocol: Protocol,
+    n: usize,
+    seed: u64,
+) -> (trace::Trace, fieldclust::PseudoTypeClustering) {
     let trace = corpus::build_trace(protocol, n, seed);
     let gt = corpus::ground_truth(protocol, &trace);
     let seg = truth::truth_segmentation(&trace, &gt);
-    let result = FieldTypeClusterer::default().cluster_trace(&trace, &seg).unwrap();
+    let result = FieldTypeClusterer::default()
+        .cluster_trace(&trace, &seg)
+        .unwrap();
     (trace, result)
 }
 
@@ -23,13 +29,21 @@ fn semantics_cover_every_protocol() {
     for protocol in [Protocol::Dhcp, Protocol::Dns, Protocol::Smb] {
         let (trace, result) = pipeline(protocol, 60, 3);
         let sems = interpret(&result, &trace, &SemanticsConfig::default());
-        assert_eq!(sems.len(), result.clustering.n_clusters() as usize, "{protocol}");
+        assert_eq!(
+            sems.len(),
+            result.clustering.n_clusters() as usize,
+            "{protocol}"
+        );
         // At least half the clusters get a non-Unknown hypothesis.
         let known = sems
             .iter()
             .filter(|s| s.hypothesis != SemanticHypothesis::Unknown)
             .count();
-        assert!(known * 2 >= sems.len(), "{protocol}: {known}/{} known", sems.len());
+        assert!(
+            known * 2 >= sems.len(),
+            "{protocol}: {known}/{} known",
+            sems.len()
+        );
     }
 }
 
@@ -43,7 +57,8 @@ fn dhcp_addresses_are_recognized() {
     let (trace, result) = pipeline(Protocol::Dhcp, 100, 7);
     let sems = interpret(&result, &trace, &SemanticsConfig::default());
     assert!(
-        sems.iter().any(|s| s.hypothesis == SemanticHypothesis::Address),
+        sems.iter()
+            .any(|s| s.hypothesis == SemanticHypothesis::Address),
         "{sems:?}"
     );
 }
@@ -62,7 +77,9 @@ fn value_models_generalize_across_seeds() {
     for m in &fresh {
         let segs = nem.segment_message(m.payload());
         genuine_total += detector.score_message(m.payload(), &segs);
-        let random: Vec<u8> = (0..m.payload().len()).map(|_| rand::Rng::gen(&mut rng)).collect();
+        let random: Vec<u8> = (0..m.payload().len())
+            .map(|_| rand::Rng::gen(&mut rng))
+            .collect();
         let rsegs = nem.segment_message(&random);
         random_total += detector.score_message(&random, &rsegs);
     }
@@ -91,7 +108,9 @@ fn message_types_and_report_end_to_end() {
     let trace = corpus::build_trace(protocol, 64, 7);
     let gt = corpus::ground_truth(protocol, &trace);
     let seg = truth::truth_segmentation(&trace, &gt);
-    let result = FieldTypeClusterer::default().cluster_trace(&trace, &seg).unwrap();
+    let result = FieldTypeClusterer::default()
+        .cluster_trace(&trace, &seg)
+        .unwrap();
     let mt = identify_message_types(&trace, &seg, &MessageTypeConfig::default()).unwrap();
 
     // The 8 SMB message types should be found (±2 tolerance for small
@@ -113,7 +132,10 @@ fn message_types_and_report_end_to_end() {
         &result,
         &sems,
         Some(&mt),
-        &ReportOptions { examples_per_cluster: 2, include_value_models: true },
+        &ReportOptions {
+            examples_per_cluster: 2,
+            include_value_models: true,
+        },
     );
     assert!(md.contains("## Message types"));
     assert!(md.contains("## Value domains"));

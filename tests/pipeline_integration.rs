@@ -56,7 +56,9 @@ fn coverage_accounts_for_short_and_noise_segments() {
     let trace = corpus::build_trace(Protocol::Ntp, 80, 3);
     let gt = corpus::ground_truth(Protocol::Ntp, &trace);
     let seg = truth::truth_segmentation(&trace, &gt);
-    let result = FieldTypeClusterer::default().cluster_trace(&trace, &seg).unwrap();
+    let result = FieldTypeClusterer::default()
+        .cluster_trace(&trace, &seg)
+        .unwrap();
     let cov = result.coverage(&trace);
 
     // Reconstruct the upper bound by hand: clusterable instance bytes.
@@ -69,6 +71,10 @@ fn coverage_accounts_for_short_and_noise_segments() {
 fn epsilon_is_reported_and_positive() {
     for protocol in [Protocol::Ntp, Protocol::Dns, Protocol::Nbns] {
         let eval = run_protocol(protocol, 80);
-        assert!(eval.epsilon > 0.0 && eval.epsilon < 1.0, "{protocol}: eps = {}", eval.epsilon);
+        assert!(
+            eval.epsilon > 0.0 && eval.epsilon < 1.0,
+            "{protocol}: eps = {}",
+            eval.epsilon
+        );
     }
 }

@@ -8,10 +8,16 @@ use segment::nemesys::Nemesys;
 use segment::netzob::Netzob;
 use segment::{SegmentError, Segmenter, WorkBudget};
 
-fn cluster_with(segmenter: &dyn Segmenter, protocol: Protocol, n: usize) -> Option<fieldclust::Evaluation> {
+fn cluster_with(
+    segmenter: &dyn Segmenter,
+    protocol: Protocol,
+    n: usize,
+) -> Option<fieldclust::Evaluation> {
     let trace = corpus::build_trace(protocol, n, corpus::DEFAULT_SEED);
     let segmentation = segmenter.segment_trace(&trace).ok()?;
-    let result = FieldTypeClusterer::default().cluster_trace(&trace, &segmentation).ok()?;
+    let result = FieldTypeClusterer::default()
+        .cluster_trace(&trace, &segmentation)
+        .ok()?;
     let gt = corpus::ground_truth(protocol, &trace);
     Some(evaluate(&result, &trace, &gt))
 }
@@ -52,7 +58,10 @@ fn netzob_on_fixed_structure_scores_reasonably() {
 fn budget_failures_propagate_like_paper_fails_cells() {
     // A tiny budget makes Netzob abort — that's the Table II "fails".
     let trace = corpus::build_trace(Protocol::Smb, 60, 1);
-    let tight = Netzob { budget: WorkBudget::new(100), ..Netzob::default() };
+    let tight = Netzob {
+        budget: WorkBudget::new(100),
+        ..Netzob::default()
+    };
     assert!(matches!(
         tight.segment_trace(&trace),
         Err(SegmentError::BudgetExceeded { .. })
@@ -67,12 +76,16 @@ fn heuristic_recall_stays_below_truth_recall() {
     let gt = corpus::ground_truth(Protocol::Ntp, &trace);
     let truth_seg = fieldclust::truth::truth_segmentation(&trace, &gt);
     let truth_eval = {
-        let r = FieldTypeClusterer::default().cluster_trace(&trace, &truth_seg).unwrap();
+        let r = FieldTypeClusterer::default()
+            .cluster_trace(&trace, &truth_seg)
+            .unwrap();
         evaluate(&r, &trace, &gt)
     };
     let heur_eval = {
         let seg = Nemesys::default().segment_trace(&trace).unwrap();
-        let r = FieldTypeClusterer::default().cluster_trace(&trace, &seg).unwrap();
+        let r = FieldTypeClusterer::default()
+            .cluster_trace(&trace, &seg)
+            .unwrap();
         evaluate(&r, &trace, &gt)
     };
     assert!(

@@ -1,0 +1,73 @@
+//! `any::<T>()` — full-range strategies for primitive types.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized {
+    /// Samples a full-range value.
+    fn generate(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// Full-range strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::generate(rng)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn generate(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn generate(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn generate(rng: &mut TestRng) -> Self {
+        // Finite full-range values; non-finite specials are not useful
+        // for the numeric properties in this workspace.
+        let v = rng.next_f64();
+        (v - 0.5) * 2.0 * 1e12
+    }
+}
+
+impl Arbitrary for f32 {
+    fn generate(rng: &mut TestRng) -> Self {
+        f64::generate(rng) as f32
+    }
+}
+
+impl Arbitrary for char {
+    fn generate(rng: &mut TestRng) -> Self {
+        char::from_u32(rng.next_u64() as u32 % 0xD800).unwrap_or('a')
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn generate(rng: &mut TestRng) -> Self {
+        std::array::from_fn(|_| T::generate(rng))
+    }
+}

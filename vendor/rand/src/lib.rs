@@ -1,0 +1,375 @@
+//! Offline stand-in for `rand` 0.8.
+//!
+//! Implements the subset of the real crate that this workspace uses,
+//! with bit-compatible algorithms so seeded corpora generate the same
+//! byte streams as the real `rand 0.8` + `rand_chacha` pair:
+//!
+//! - [`rngs::StdRng`] is ChaCha with 12 rounds, buffered four blocks at
+//!   a time like `rand_chacha`'s `BlockRng`, and
+//!   [`SeedableRng::seed_from_u64`] expands the seed with the same
+//!   PCG32 sequence as `rand_core 0.6`.
+//! - `gen_range` uses the widening-multiply rejection sampler from
+//!   `rand 0.8`'s `UniformInt`, and `gen_bool` the fixed-point
+//!   comparison from its `Bernoulli`.
+
+pub mod rngs;
+
+pub use rngs::StdRng;
+
+/// Low-level source of randomness (subset of `rand_core::RngCore`).
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+/// Seeding constructors (subset of `rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// The fixed-size seed.
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Constructs from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed via the PCG32 stream used by
+    /// `rand_core 0.6`, then seeds normally.
+    fn seed_from_u64(mut state: u64) -> Self {
+        fn pcg32(state: &mut u64) -> [u8; 4] {
+            const MUL: u64 = 6364136223846793005;
+            const INC: u64 = 11634580027462260723;
+            *state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let s = *state;
+            let xorshifted = (((s >> 18) ^ s) >> 27) as u32;
+            let rot = (s >> 59) as u32;
+            xorshifted.rotate_right(rot).to_le_bytes()
+        }
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            let bytes = pcg32(&mut state);
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// User-facing convenience methods (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// A uniformly random value of `T` (the `Standard` distribution).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniformly random value in `range`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of range");
+        // rand 0.8 Bernoulli: 64-bit fixed-point threshold comparison.
+        if p == 1.0 {
+            return true;
+        }
+        const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+        let p_int = (p * SCALE) as u64;
+        self.next_u64() < p_int
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest);
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// The `Standard` distribution: full-range uniform values.
+pub trait Standard: Sized {
+    /// Samples one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_from_u32 {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u32() as $t
+            }
+        }
+    )*};
+}
+
+macro_rules! standard_from_u64 {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+standard_from_u32!(u8, u16, u32, i8, i16, i32);
+standard_from_u64!(u64, i64, usize, isize);
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // rand 0.8 samples a full u32 and keeps the low bit.
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 significant bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl<T: Standard, const N: usize> Standard for [T; N] {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        std::array::from_fn(|_| T::sample(rng))
+    }
+}
+
+/// Ranges that `gen_range` accepts (subset of `rand::distributions::uniform::SampleRange`).
+///
+/// The single blanket impl per range shape (mirroring the real crate)
+/// lets type inference unify the range's element type with
+/// `gen_range`'s output type.
+pub trait SampleRange<T> {
+    /// Samples one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        T::sample_range_inclusive(rng, start, end)
+    }
+}
+
+/// Types `gen_range` can sample uniformly.
+pub trait SampleUniform: Sized {
+    /// Uniform sample in `[low, high)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// Uniform sample in `[low, high]`.
+    fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty => $unsigned:ty, $wide:ty, $exact_zone:expr);* $(;)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let range = (high as $unsigned).wrapping_sub(low as $unsigned) as u64;
+                let v = sample_int_below::<R, $wide>(range, $exact_zone, rng) as $unsigned as $t;
+                low.wrapping_add(v)
+            }
+            fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "gen_range: empty range");
+                // Width-limited arithmetic like the real crate: a range
+                // spanning the whole type wraps to 0 and means "any raw
+                // draw is acceptable".
+                let range = (high as $unsigned)
+                    .wrapping_sub(low as $unsigned)
+                    .wrapping_add(1) as u64;
+                if range == 0 {
+                    return (<$wide>::draw(rng) as $unsigned) as $t;
+                }
+                let v = sample_int_below::<R, $wide>(range, $exact_zone, rng) as $unsigned as $t;
+                low.wrapping_add(v)
+            }
+        }
+    )*};
+}
+
+/// The 32- or 64-bit sampling domain rand 0.8 uses per integer width
+/// (u8/u16/u32 sample from a full u32; u64/usize from a full u64).
+trait SampleDomain {
+    const DOMAIN_MAX: u64;
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> u64;
+    /// Widening multiply of a raw draw by `range`, split into (hi, lo).
+    fn wmul(v: u64, range: u64) -> (u64, u64);
+    /// rand 0.8's conservative `sample_single` rejection zone:
+    /// `(range << range.leading_zeros()) - 1` at the domain width.
+    fn approx_zone(range: u64) -> u64;
+}
+
+enum Domain32 {}
+enum Domain64 {}
+
+impl SampleDomain for Domain32 {
+    const DOMAIN_MAX: u64 = u32::MAX as u64;
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        u64::from(rng.next_u32())
+    }
+    fn wmul(v: u64, range: u64) -> (u64, u64) {
+        let m = v * range; // both ≤ u32::MAX: exact in u64
+        (m >> 32, m & 0xffff_ffff)
+    }
+    fn approx_zone(range: u64) -> u64 {
+        let r = range as u32;
+        u64::from((r << r.leading_zeros()).wrapping_sub(1))
+    }
+}
+
+impl SampleDomain for Domain64 {
+    const DOMAIN_MAX: u64 = u64::MAX;
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+    fn wmul(v: u64, range: u64) -> (u64, u64) {
+        let m = u128::from(v) * u128::from(range);
+        ((m >> 64) as u64, m as u64)
+    }
+    fn approx_zone(range: u64) -> u64 {
+        (range << range.leading_zeros()).wrapping_sub(1)
+    }
+}
+
+/// rand 0.8's `UniformInt::sample_single_inclusive`: widening multiply
+/// with a rejection zone, returning a uniform value in `[0, range)`.
+///
+/// The real crate computes the exact modulus-based zone for 8- and
+/// 16-bit types but the cheaper `range << leading_zeros` approximation
+/// for wider ones; reproducing that split is what keeps the raw-draw
+/// consumption (and thus the whole downstream stream) identical.
+fn sample_int_below<R: RngCore + ?Sized, D: SampleDomain>(
+    range: u64,
+    exact_zone: bool,
+    rng: &mut R,
+) -> u64 {
+    debug_assert!(range > 0 && range <= D::DOMAIN_MAX);
+    let zone = if exact_zone {
+        D::DOMAIN_MAX - (D::DOMAIN_MAX - range + 1) % range
+    } else {
+        D::approx_zone(range)
+    };
+    loop {
+        let (hi, lo) = D::wmul(D::draw(rng), range);
+        if lo <= zone {
+            return hi;
+        }
+    }
+}
+
+uniform_int! {
+    u8 => u8, Domain32, true;
+    u16 => u16, Domain32, true;
+    u32 => u32, Domain32, false;
+    i8 => u8, Domain32, true;
+    i16 => u16, Domain32, true;
+    i32 => u32, Domain32, false;
+    u64 => u64, Domain64, false;
+    i64 => u64, Domain64, false;
+    usize => usize, Domain64, false;
+    isize => usize, Domain64, false;
+}
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "gen_range: empty range");
+        let scale = high - low;
+        loop {
+            // rand 0.8 UniformFloat: 52 fraction bits into [1, 2), then
+            // shift down to [0, 1).
+            let bits = (rng.next_u64() >> 12) | (1023u64 << 52);
+            let value0_1 = f64::from_bits(bits) - 1.0;
+            let res = value0_1 * scale + low;
+            if res < high {
+                return res;
+            }
+        }
+    }
+    fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        Self::sample_range(rng, low, f64::from_bits(high.to_bits() + 1))
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "gen_range: empty range");
+        let scale = high - low;
+        loop {
+            let bits = (rng.next_u32() >> 9) | (127u32 << 23);
+            let value0_1 = f32::from_bits(bits) - 1.0;
+            let res = value0_1 * scale + low;
+            if res < high {
+                return res;
+            }
+        }
+    }
+    fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        Self::sample_range(rng, low, f32::from_bits(high.to_bits() + 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_stream_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: u8 = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: u16 = rng.gen_range(300..=420);
+            assert!((300..=420).contains(&w));
+            let x: usize = rng.gen_range(0..3usize);
+            assert!(x < 3);
+            let f: f64 = rng.gen_range(-0.2..0.2);
+            assert!((-0.2..0.2).contains(&f));
+        }
+    }
+
+    #[test]
+    fn fill_is_deterministic_and_covers() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        let mut ba = [0u8; 37];
+        let mut bb = [0u8; 37];
+        a.fill(&mut ba[..]);
+        b.fill(&mut bb[..]);
+        assert_eq!(ba, bb);
+        assert!(ba.iter().any(|&x| x != 0));
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+    }
+}

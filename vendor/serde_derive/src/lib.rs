@@ -1,0 +1,235 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Parses the deriving item directly from the token stream (no `syn`
+//! or `quote` available offline) and emits impls against the vendored
+//! `serde` crate's value model. Supports what this workspace derives:
+//! non-generic structs with named fields, and enums whose variants are
+//! unit or tuple variants.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "impl ::serde::Serialize for {} {{\n    fn to_value(&self) -> ::serde::Value {{\n",
+        item.name
+    ));
+    match &item.kind {
+        Kind::Struct(fields) => {
+            out.push_str("        ::serde::Value::Object(vec![\n");
+            for f in fields {
+                out.push_str(&format!(
+                    "            (String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})),\n"
+                ));
+            }
+            out.push_str("        ])\n");
+        }
+        Kind::Enum(variants) => {
+            out.push_str("        match self {\n");
+            for (vname, arity) in variants {
+                match arity {
+                    0 => out.push_str(&format!(
+                        "            {}::{vname} => ::serde::Value::Str(String::from(\"{vname}\")),\n",
+                        item.name
+                    )),
+                    1 => out.push_str(&format!(
+                        "            {}::{vname}(f0) => ::serde::Value::Object(vec![(String::from(\"{vname}\"), ::serde::Serialize::to_value(f0))]),\n",
+                        item.name
+                    )),
+                    n => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        out.push_str(&format!(
+                            "            {}::{vname}({}) => ::serde::Value::Object(vec![(String::from(\"{vname}\"), ::serde::Value::Array(vec![{}]))]),\n",
+                            item.name,
+                            binds.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                }
+            }
+            out.push_str("        }\n");
+        }
+    }
+    out.push_str("    }\n}\n");
+    out.parse()
+        .expect("serde_derive: generated impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!("impl ::serde::Deserialize for {} {{}}\n", item.name)
+        .parse()
+        .expect("serde_derive: generated impl must parse")
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    /// Named field identifiers, in declaration order.
+    Struct(Vec<String>),
+    /// `(variant name, tuple arity)`; arity 0 is a unit variant.
+    Enum(Vec<(String, usize)>),
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+    let kw = expect_ident(&toks, &mut i);
+    let name = expect_ident(&toks, &mut i);
+    let body = loop {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde_derive stand-in: generic type `{name}` is not supported")
+            }
+            Some(_) => i += 1,
+            None => panic!("serde_derive stand-in: `{name}` has no braced body"),
+        }
+    };
+    let kind = match kw.as_str() {
+        "struct" => Kind::Struct(parse_named_fields(body)),
+        "enum" => Kind::Enum(parse_variants(body)),
+        other => panic!("serde_derive stand-in: unsupported item kind `{other}`"),
+    };
+    Item { name, kind }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        fields.push(expect_ident(&toks, &mut i));
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => panic!("serde_derive stand-in: expected `:` after field name"),
+        }
+        skip_type_until_comma(&toks, &mut i);
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<(String, usize)> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let vname = expect_ident(&toks, &mut i);
+        let mut arity = 0;
+        if let Some(TokenTree::Group(g)) = toks.get(i) {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    arity = tuple_arity(g.stream());
+                    i += 1;
+                }
+                Delimiter::Brace => {
+                    panic!("serde_derive stand-in: struct variant `{vname}` is not supported")
+                }
+                _ => {}
+            }
+        }
+        // Skip any discriminant up to the separating comma.
+        while i < toks.len() {
+            if let TokenTree::Punct(p) = &toks[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push((vname, arity));
+    }
+    variants
+}
+
+/// Number of comma-separated elements in a tuple variant's parentheses.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let mut arity = 0;
+    let mut depth = 0i32;
+    let mut pending = false;
+    for t in stream {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    arity += 1;
+                    pending = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        pending = true;
+    }
+    arity + usize::from(pending)
+}
+
+/// Skips `#[...]` attributes (including doc comments) and `pub`
+/// visibility, advancing `i` past them.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => *i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1;
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Skips a type expression, stopping after the field-separating comma.
+/// Commas nested in `<...>` or any bracketed group do not terminate.
+fn skip_type_until_comma(toks: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while *i < toks.len() {
+        if let TokenTree::Punct(p) = &toks[*i] {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn expect_ident(toks: &[TokenTree], i: &mut usize) -> String {
+    match toks.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive stand-in: expected identifier, found {other:?}"),
+    }
+}

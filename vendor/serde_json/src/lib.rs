@@ -1,0 +1,178 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Renders the vendored `serde` crate's [`serde::Value`] model as JSON
+//! text. Only the entry point this workspace calls is provided:
+//! [`to_string_pretty`], matching serde_json's 2-space pretty format.
+
+use std::fmt;
+
+/// Serialization error. The stand-in serializer is infallible, but the
+/// type is kept so call sites written against the real crate compile.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as a pretty-printed JSON string (2-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), 0, &mut out);
+    Ok(out)
+}
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_compact(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+fn write_value(v: &serde::Value, indent: usize, out: &mut String) {
+    use serde::Value;
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                push_indent(indent + 1, out);
+                write_value(item, indent + 1, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            push_indent(indent, out);
+            out.push(']');
+        }
+        Value::Object(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (key, item)) in entries.iter().enumerate() {
+                push_indent(indent + 1, out);
+                write_string(key, out);
+                out.push_str(": ");
+                write_value(item, indent + 1, out);
+                if i + 1 < entries.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            push_indent(indent, out);
+            out.push('}');
+        }
+        other => write_scalar_or_empty(other, out),
+    }
+}
+
+fn write_compact(v: &serde::Value, out: &mut String) {
+    use serde::Value;
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(entries) if !entries.is_empty() => {
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(key, out);
+                out.push(':');
+                write_compact(item, out);
+            }
+            out.push('}');
+        }
+        other => write_scalar_or_empty(other, out),
+    }
+}
+
+fn write_scalar_or_empty(v: &serde::Value, out: &mut String) {
+    use serde::Value;
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => write_float(*f, out),
+        Value::Str(s) => write_string(s, out),
+        Value::Array(_) => out.push_str("[]"),
+        Value::Object(_) => out.push_str("{}"),
+    }
+}
+
+fn write_float(f: f64, out: &mut String) {
+    if !f.is_finite() {
+        // serde_json writes non-finite floats as null.
+        out.push_str("null");
+    } else if f == f.trunc() && f.abs() < 1e16 {
+        out.push_str(&format!("{f:.1}"));
+    } else {
+        out.push_str(&format!("{f}"));
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Value;
+
+    #[test]
+    fn pretty_format_matches_serde_json_layout() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::UInt(1)),
+            (
+                "b".into(),
+                Value::Array(vec![Value::Float(0.5), Value::Float(2.0)]),
+            ),
+            ("c".into(), Value::Object(vec![])),
+        ]);
+        let mut out = String::new();
+        write_value(&v, 0, &mut out);
+        assert_eq!(
+            out,
+            "{\n  \"a\": 1,\n  \"b\": [\n    0.5,\n    2.0\n  ],\n  \"c\": {}\n}"
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut out = String::new();
+        write_string("a\"b\\c\nd", &mut out);
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\"");
+    }
+}
+
+fn push_indent(n: usize, out: &mut String) {
+    for _ in 0..n {
+        out.push_str("  ");
+    }
+}
