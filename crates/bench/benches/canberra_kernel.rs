@@ -1,0 +1,95 @@
+//! Criterion: the Canberra kernel ladder — naive scalar closure build,
+//! byte-pair LUT, LUT + early-abandon sliding windows, and the full
+//! length-bucketed `build_segments` — on realistic mixed-length segment
+//! corpora at u = 500 / 1000 / 2000 unique segments.
+//!
+//! Every rung is bit-identical to the one below it (pinned by the
+//! property tests in `dissim`); this bench isolates what each
+//! transformation buys. Medians are recorded in
+//! `BENCH_canberra_kernel.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dissim::kernel::{dissimilarity_kernel, dissimilarity_lut};
+use dissim::{dissimilarity, CanberraLut, CondensedMatrix, DissimParams};
+use rand::{Rng, SeedableRng, StdRng};
+
+/// A segment corpus mimicking a segmented binary-protocol trace: short
+/// ids and flags, 4-byte counters sharing high bytes, 8-byte timestamps
+/// sharing a 4-byte epoch prefix, 16-byte addresses/digests, and
+/// variable-length printable names (DNS labels, hostnames) — many
+/// distinct lengths, so mixed-length sliding-window pairs dominate.
+fn mixed_segments(u: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut segments = Vec::with_capacity(u);
+    for _ in 0..u {
+        let seg: Vec<u8> = match rng.gen_range(0usize..10) {
+            // 2-byte message ids.
+            0 | 1 => vec![rng.gen_range(0u8..8), rng.gen()],
+            // 4-byte counters with shared high bytes.
+            2 | 3 => vec![0x00, 0x01, rng.gen(), rng.gen()],
+            // 8-byte timestamps sharing an epoch prefix.
+            4..=6 => {
+                let mut ts = vec![0xD2, 0x3D, 0x19, rng.gen_range(0u8..4)];
+                ts.extend((0..4).map(|_| rng.gen::<u8>()));
+                ts
+            }
+            // 16-byte addresses / digests.
+            7 => (0..16).map(|_| rng.gen::<u8>()).collect(),
+            // Variable-length printable names.
+            _ => {
+                let len = rng.gen_range(3usize..32);
+                (0..len).map(|_| rng.gen_range(b'a'..=b'z')).collect()
+            }
+        };
+        segments.push(seg);
+    }
+    segments
+}
+
+fn bench_kernel_ladder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("canberra_kernel");
+    group.sample_size(10);
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let params = DissimParams::default();
+    for u in [500usize, 1000, 2000] {
+        let segments = mixed_segments(u, 7);
+        let values: Vec<&[u8]> = segments.iter().map(|s| &s[..]).collect();
+
+        group.bench_with_input(BenchmarkId::new("naive", u), &values, |b, values| {
+            b.iter(|| {
+                CondensedMatrix::build_parallel(values.len(), threads, |i, j| {
+                    dissimilarity(values[i], values[j], &params)
+                })
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("lut", u), &values, |b, values| {
+            let lut = CanberraLut::global();
+            b.iter(|| {
+                CondensedMatrix::build_parallel(values.len(), threads, |i, j| {
+                    dissimilarity_lut(values[i], values[j], &params, lut)
+                })
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("lut_early_abandon", u),
+            &values,
+            |b, values| {
+                let lut = CanberraLut::global();
+                b.iter(|| {
+                    CondensedMatrix::build_parallel(values.len(), threads, |i, j| {
+                        dissimilarity_kernel(values[i], values[j], &params, lut)
+                    })
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("build_segments", u),
+            &values,
+            |b, values| b.iter(|| CondensedMatrix::build_segments(values, &params, threads)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel_ladder);
+criterion_main!(benches);

@@ -43,6 +43,16 @@ fn bench_matrix(c: &mut Criterion) {
                 })
             },
         );
+        group.bench_with_input(
+            BenchmarkId::new("kernel", values.len()),
+            &values,
+            |b, values| {
+                // The structure-aware kernel build the session uses
+                // (bit-identical to the closure builds above).
+                let refs: Vec<&[u8]> = values.iter().map(|v| &v[..]).collect();
+                b.iter(|| DissimArtifact::compute_segments(&refs, &params, 4))
+            },
+        );
     }
     group.finish();
 }

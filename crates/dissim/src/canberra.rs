@@ -9,8 +9,58 @@ pub struct DissimParams {
     /// NEMETYL \[10\] does not print this constant; `0.59` was chosen
     /// empirically so that same-type variable-length segments stay closer
     /// than cross-type pairs on the evaluation corpus (documented
-    /// substitution, DESIGN.md §4.3). Must lie in `[0, 1]`.
+    /// substitution, DESIGN.md §4.3). Must lie in `[0, 1]`; use
+    /// [`DissimParams::new`] to have the bound checked up front. Every
+    /// consumer charges [`DissimParams::effective_penalty`] — the value
+    /// clamped to `[0, 1]` — so an unchecked out-of-range field can
+    /// never silently produce dissimilarities outside `[0, 1]`.
     pub length_penalty: f64,
+}
+
+/// Error from [`DissimParams::new`]: the penalty lies outside `[0, 1]`
+/// (or is NaN).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvalidLengthPenalty(pub f64);
+
+impl std::fmt::Display for InvalidLengthPenalty {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "length penalty {} is outside [0, 1]", self.0)
+    }
+}
+
+impl std::error::Error for InvalidLengthPenalty {}
+
+impl DissimParams {
+    /// Checked constructor: rejects penalties outside `[0, 1]` (and
+    /// NaN) instead of letting a bad CLI flag silently distort every
+    /// dissimilarity.
+    ///
+    /// # Errors
+    ///
+    /// [`InvalidLengthPenalty`] when `length_penalty ∉ [0, 1]`.
+    pub fn new(length_penalty: f64) -> Result<Self, InvalidLengthPenalty> {
+        if (0.0..=1.0).contains(&length_penalty) {
+            Ok(Self { length_penalty })
+        } else {
+            Err(InvalidLengthPenalty(length_penalty))
+        }
+    }
+
+    /// The penalty actually charged by [`dissimilarity`] and the matrix
+    /// builds: [`length_penalty`](Self::length_penalty) clamped to
+    /// `[0, 1]`. This validation runs in release builds too (promoted
+    /// from a former `debug_assert!`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a NaN penalty, which cannot be meaningfully clamped.
+    pub fn effective_penalty(&self) -> f64 {
+        assert!(
+            !self.length_penalty.is_nan(),
+            "length penalty must not be NaN"
+        );
+        self.length_penalty.clamp(0.0, 1.0)
+    }
 }
 
 impl Default for DissimParams {
@@ -72,10 +122,7 @@ pub fn canberra_distance(a: &[u8], b: &[u8]) -> f64 {
 /// Empty segments are maximally dissimilar to non-empty ones and
 /// identical to each other.
 pub fn dissimilarity(a: &[u8], b: &[u8], params: &DissimParams) -> f64 {
-    debug_assert!(
-        (0.0..=1.0).contains(&params.length_penalty),
-        "length penalty must be within [0, 1]"
-    );
+    let penalty = params.effective_penalty();
     let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
     if long.is_empty() {
         return 0.0;
@@ -98,7 +145,7 @@ pub fn dissimilarity(a: &[u8], b: &[u8], params: &DissimParams) -> f64 {
     }
     let overlap = short.len() as f64;
     let excess = (long.len() - short.len()) as f64;
-    (overlap * best + excess * params.length_penalty) / long.len() as f64
+    (overlap * best + excess * penalty) / long.len() as f64
 }
 
 #[cfg(test)]
@@ -195,5 +242,48 @@ mod tests {
     #[should_panic(expected = "equal lengths")]
     fn canberra_panics_on_length_mismatch() {
         canberra_distance(&[1], &[1, 2]);
+    }
+
+    #[test]
+    fn checked_constructor_validates_penalty() {
+        assert_eq!(
+            DissimParams::new(0.59),
+            Ok(DissimParams {
+                length_penalty: 0.59
+            })
+        );
+        assert!(DissimParams::new(0.0).is_ok());
+        assert!(DissimParams::new(1.0).is_ok());
+        assert_eq!(DissimParams::new(1.5), Err(InvalidLengthPenalty(1.5)));
+        assert_eq!(DissimParams::new(-0.1), Err(InvalidLengthPenalty(-0.1)));
+        assert!(DissimParams::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn out_of_range_penalty_is_clamped_in_release_too() {
+        let too_big = DissimParams {
+            length_penalty: 40.0,
+        };
+        assert_eq!(too_big.effective_penalty(), 1.0);
+        // A wildly wrong flag can no longer push dissimilarities out of
+        // [0, 1]: the non-overlap is charged at the clamped rate.
+        let d = dissimilarity(b"\x01", b"\x01\x02\x03", &too_big);
+        assert!((0.0..=1.0).contains(&d), "d = {d}");
+        let negative = DissimParams {
+            length_penalty: -3.0,
+        };
+        assert_eq!(negative.effective_penalty(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn nan_penalty_panics() {
+        dissimilarity(
+            b"\x01",
+            b"\x01\x02",
+            &DissimParams {
+                length_penalty: f64::NAN,
+            },
+        );
     }
 }

@@ -1,0 +1,600 @@
+//! The fast Canberra kernel layer: byte-pair lookup table, early-abandon
+//! sliding windows, and the length-bucketed condensed-matrix build.
+//!
+//! Everything in this module is a **bit-identical** drop-in for the
+//! scalar reference code in [`crate::canberra`]. Bit-identity is a hard
+//! requirement, not a nicety: the pipeline's ε auto-configuration finds
+//! a knee in the ECDF of k-NN dissimilarities and DBSCAN compares raw
+//! matrix entries against that ε, so a 1-ULP perturbation of a single
+//! matrix entry can move a segment across the ε threshold and cascade
+//! into a structurally different clustering. The session-equivalence
+//! tests pin ε bit-for-bit against the naive build; the kernels below
+//! therefore only apply transformations that provably preserve every bit
+//! of the result:
+//!
+//! 1. **Byte-pair LUT** ([`CanberraLut`]): the per-byte term
+//!    `|x − y| / (x + y)` only depends on the byte pair, so all 256×256
+//!    values are precomputed once (512 KiB, L2-resident) with *exactly*
+//!    the scalar expression. A lookup returns the same `f64` the scalar
+//!    code would compute, and the left-to-right summation order is
+//!    unchanged, so the window sum is bit-identical.
+//! 2. **Early abandonment** ([`dissimilarity_kernel`]): the windowed
+//!    minimum is tracked in the *sum* domain. Rounded division by the
+//!    positive constant `len` is monotonic and the minimum is attained
+//!    by one of the windows, so `(min_w sum_w) / len` equals
+//!    `min_w (sum_w / len)` bit-for-bit — the per-window division
+//!    vanishes. A window's accumulation then aborts once its running
+//!    partial sum reaches the best complete sum so far: per-byte terms
+//!    are non-negative and rounded addition of a non-negative value
+//!    never decreases an f64, so the abandoned window's full sum could
+//!    never have lowered the minimum. Both arguments hold for *any*
+//!    evaluation order of the windows, because the minimum of complete
+//!    sums is order-independent.
+//! 3. **Length-bucketed build** ([`CondensedMatrix::build_segments`]):
+//!    segment indices are sorted into equal-length buckets so
+//!    equal-length pairs take the branch-free direct-Canberra path and
+//!    every mixed-length (S, L) bucket pair shares one windowed kernel
+//!    with its constants hoisted and every segment's LUT row offsets
+//!    precomputed once per build. The hot loops run **four independent accumulation
+//!    lanes** (four windows of one pair, or four columns of one
+//!    equal-length bucket) to hide the f64 add latency of the otherwise
+//!    serial accumulation chain — each lane is still a strict
+//!    left-to-right sum over its own window, so every completed sum is
+//!    the exact scalar value, and per point 2 the window order doesn't
+//!    matter. Rows are handed out to scoped threads in contiguous
+//!    blocks; each row owns a contiguous condensed range, so writes
+//!    stay cache-local and never alias.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use crate::canberra::DissimParams;
+#[cfg(test)]
+use crate::canberra::{canberra_distance, dissimilarity};
+use crate::matrix::{condensed_index, CondensedMatrix};
+
+/// Lazily initialized 256 × 256 table of per-byte Canberra terms
+/// `|x − y| / (x + y)` with `0/0 := 0`.
+///
+/// Each entry is computed by the exact scalar expression used in
+/// [`crate::canberra_distance`], so a lookup is bit-identical to evaluating the
+/// term — it merely replaces two int→f64 conversions, a subtraction,
+/// an `abs`, and a division with a single L2-resident load.
+pub struct CanberraLut {
+    terms: Box<[f64; 65536]>,
+}
+
+impl CanberraLut {
+    fn new() -> Self {
+        let mut terms = vec![0.0f64; 65536].into_boxed_slice();
+        for x in 0..=255u8 {
+            for y in 0..=255u8 {
+                // Exactly the scalar per-byte term of `canberra_distance`.
+                let num = (f64::from(x) - f64::from(y)).abs();
+                let den = f64::from(x) + f64::from(y);
+                terms[(usize::from(x) << 8) | usize::from(y)] =
+                    if den == 0.0 { 0.0 } else { num / den };
+            }
+        }
+        let terms: Box<[f64; 65536]> = terms.try_into().expect("65536 terms");
+        Self { terms }
+    }
+
+    /// The process-wide table, built on first use.
+    pub fn global() -> &'static CanberraLut {
+        static LUT: OnceLock<CanberraLut> = OnceLock::new();
+        LUT.get_or_init(CanberraLut::new)
+    }
+
+    /// The Canberra term of byte pair `(x, y)`.
+    #[inline(always)]
+    pub fn term(&self, x: u8, y: u8) -> f64 {
+        self.terms[(usize::from(x) << 8) | usize::from(y)]
+    }
+
+    /// The Canberra term addressed by a precomputed row key
+    /// (`usize::from(x) << 8`) and the column byte `y`.
+    #[inline(always)]
+    fn term_key(&self, key: usize, y: u8) -> f64 {
+        self.terms[key | usize::from(y)]
+    }
+}
+
+/// Precomputed LUT row offsets (`byte << 8`) for every segment of a
+/// build, hoisting the shift out of the hot loops: keys are built once
+/// per segment and then shared read-only across all pairings (and all
+/// threads), instead of being recomputed per pair.
+struct KeyTable {
+    data: Vec<usize>,
+    ranges: Vec<(usize, usize)>,
+}
+
+impl KeyTable {
+    fn new(segments: &[&[u8]]) -> Self {
+        let total = segments.iter().map(|s| s.len()).sum();
+        let mut data = Vec::with_capacity(total);
+        let mut ranges = Vec::with_capacity(segments.len());
+        for seg in segments {
+            let start = data.len();
+            data.extend(seg.iter().map(|&b| usize::from(b) << 8));
+            ranges.push((start, data.len()));
+        }
+        Self { data, ranges }
+    }
+
+    /// The key slice of segment `i`; same length as the segment.
+    #[inline]
+    fn get(&self, i: usize) -> &[usize] {
+        let (start, end) = self.ranges[i];
+        &self.data[start..end]
+    }
+}
+
+impl std::fmt::Debug for CanberraLut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CanberraLut").finish_non_exhaustive()
+    }
+}
+
+/// [`crate::canberra_distance`] computed through the LUT; bit-identical.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn canberra_distance_lut(a: &[u8], b: &[u8], lut: &CanberraLut) -> f64 {
+    assert_eq!(a.len(), b.len(), "canberra distance needs equal lengths");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = a.iter().zip(b).map(|(&x, &y)| lut.term(x, y)).sum();
+    sum / a.len() as f64
+}
+
+/// Minimum windowed Canberra distance of `short` slid over `long`,
+/// computing every window in full (LUT only, no early abandonment).
+///
+/// Works in the *sum* domain: `min_w (sum_w / len) == (min_w sum_w) /
+/// len` bit-for-bit, because rounded division by a positive constant is
+/// monotonic and the minimum is attained by one of the windows — so the
+/// per-window division of the scalar code can be hoisted out of the
+/// loop without changing a single bit.
+fn windowed_min_full(short: &[u8], long: &[u8], lut: &CanberraLut) -> f64 {
+    debug_assert!(!short.is_empty() && short.len() < long.len());
+    let mut best_sum = f64::INFINITY;
+    for offset in 0..=(long.len() - short.len()) {
+        let window = &long[offset..offset + short.len()];
+        let sum: f64 = short
+            .iter()
+            .zip(window)
+            .map(|(&x, &y)| lut.term(x, y))
+            .sum();
+        if sum < best_sum {
+            best_sum = sum;
+            if best_sum == 0.0 {
+                break;
+            }
+        }
+    }
+    best_sum / short.len() as f64
+}
+
+/// Minimum windowed Canberra distance of `short` slid over `long`,
+/// abandoning each window's left-to-right accumulation as soon as the
+/// running partial sum reaches the best complete sum so far: remaining
+/// terms are non-negative and rounded addition of a non-negative value
+/// never decreases the sum, so the window cannot undercut the minimum.
+fn windowed_min_abandon(short: &[u8], long: &[u8], lut: &CanberraLut) -> f64 {
+    debug_assert!(!short.is_empty() && short.len() < long.len());
+    let mut best_sum = f64::INFINITY;
+    'windows: for offset in 0..=(long.len() - short.len()) {
+        let window = &long[offset..offset + short.len()];
+        // Accumulate four terms between abandonment checks: the check is
+        // conservative at any frequency, and testing once per chunk
+        // keeps the compare off the accumulation chain.
+        let mut sum = 0.0f64;
+        for (sc, wc) in short.chunks_exact(4).zip(window.chunks_exact(4)) {
+            sum += lut.term(sc[0], wc[0]);
+            sum += lut.term(sc[1], wc[1]);
+            sum += lut.term(sc[2], wc[2]);
+            sum += lut.term(sc[3], wc[3]);
+            if sum >= best_sum {
+                continue 'windows;
+            }
+        }
+        let rest = short.len() & !3;
+        for (&x, &y) in short[rest..].iter().zip(&window[rest..]) {
+            sum += lut.term(x, y);
+        }
+        if sum < best_sum {
+            best_sum = sum;
+            if best_sum == 0.0 {
+                break;
+            }
+        }
+    }
+    best_sum / short.len() as f64
+}
+
+/// Combines a windowed minimum with the non-overlap penalty, exactly as
+/// [`crate::dissimilarity`] does.
+#[inline]
+fn mixed_length(short_len: usize, long_len: usize, best: f64, penalty: f64) -> f64 {
+    let overlap = short_len as f64;
+    let excess = (long_len - short_len) as f64;
+    (overlap * best + excess * penalty) / long_len as f64
+}
+
+/// [`crate::dissimilarity`] computed through the LUT with every window
+/// evaluated in full — the intermediate rung of the kernel ladder,
+/// benchmarked to isolate the LUT's contribution from early
+/// abandonment's. Bit-identical to the scalar reference.
+pub fn dissimilarity_lut(a: &[u8], b: &[u8], params: &DissimParams, lut: &CanberraLut) -> f64 {
+    let penalty = params.effective_penalty();
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if long.is_empty() {
+        return 0.0;
+    }
+    if short.is_empty() {
+        return 1.0;
+    }
+    if short.len() == long.len() {
+        return canberra_distance_lut(short, long, lut);
+    }
+    let best = windowed_min_full(short, long, lut);
+    mixed_length(short.len(), long.len(), best, penalty)
+}
+
+/// [`crate::dissimilarity`] computed through the LUT with early-abandon
+/// sliding windows — the full pairwise kernel. Bit-identical to the
+/// scalar reference.
+pub fn dissimilarity_kernel(a: &[u8], b: &[u8], params: &DissimParams, lut: &CanberraLut) -> f64 {
+    let penalty = params.effective_penalty();
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if long.is_empty() {
+        return 0.0;
+    }
+    if short.is_empty() {
+        return 1.0;
+    }
+    if short.len() == long.len() {
+        return canberra_distance_lut(short, long, lut);
+    }
+    let best = windowed_min_abandon(short, long, lut);
+    mixed_length(short.len(), long.len(), best, penalty)
+}
+
+/// Segment indices sharing one length, ascending.
+struct Bucket {
+    len: usize,
+    idxs: Vec<usize>,
+}
+
+/// Canberra sums of one row segment (as LUT row keys) against four
+/// equal-length columns at once. Each column's sum is its own strict
+/// left-to-right accumulation; the four independent chains hide the f64
+/// add latency that serializes the single-column loop.
+#[inline]
+fn equal_len_sums4(
+    keys: &[usize],
+    c0: &[u8],
+    c1: &[u8],
+    c2: &[u8],
+    c3: &[u8],
+    lut: &CanberraLut,
+) -> [f64; 4] {
+    let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for ((((&key, &b0), &b1), &b2), &b3) in keys.iter().zip(c0).zip(c1).zip(c2).zip(c3) {
+        a0 += lut.term_key(key, b0);
+        a1 += lut.term_key(key, b1);
+        a2 += lut.term_key(key, b2);
+        a3 += lut.term_key(key, b3);
+    }
+    [a0, a1, a2, a3]
+}
+
+/// Minimum window *sum* of the short segment (given as LUT row keys)
+/// slid over `long`, accumulating four adjacent windows concurrently.
+///
+/// Each window's sum is still a strict left-to-right accumulation, so
+/// every completed sum is the exact scalar value, and the minimum over
+/// complete sums is order-independent — the result is bit-identical to
+/// the sequential sweep. Groups of four run check-free to keep the four
+/// add chains independent; abandonment happens at group granularity
+/// (a whole group is skipped only implicitly, by the min update), and
+/// the leftover windows (fewer than four) are summed in full.
+fn windowed_min_sum4(keys: &[usize], long: &[u8], lut: &CanberraLut) -> f64 {
+    let s = keys.len();
+    debug_assert!(s >= 1 && s < long.len());
+    let nw = long.len() - s + 1;
+    let mut best_sum = f64::INFINITY;
+    let mut o = 0usize;
+    while o + 4 <= nw {
+        // Four shifted views of `long`: lane t sums window o + t.
+        let [a0, a1, a2, a3] = equal_len_sums4(
+            keys,
+            &long[o..o + s],
+            &long[o + 1..o + 1 + s],
+            &long[o + 2..o + 2 + s],
+            &long[o + 3..o + 3 + s],
+            lut,
+        );
+        best_sum = best_sum.min(a0).min(a1).min(a2).min(a3);
+        if best_sum == 0.0 {
+            return 0.0;
+        }
+        o += 4;
+    }
+    while o < nw {
+        let window = &long[o..o + s];
+        let sum: f64 = keys
+            .iter()
+            .zip(window)
+            .map(|(&key, &y)| lut.term_key(key, y))
+            .sum();
+        if sum < best_sum {
+            best_sum = sum;
+            if best_sum == 0.0 {
+                return 0.0;
+            }
+        }
+        o += 1;
+    }
+    best_sum
+}
+
+/// Fills row `i` of the condensed matrix (`row[c] = D(segments[i],
+/// segments[i + 1 + c])`), walking the length buckets so every bucket's
+/// column run shares one kernel configuration.
+fn fill_row(
+    i: usize,
+    segments: &[&[u8]],
+    row: &mut [f64],
+    buckets: &[Bucket],
+    penalty: f64,
+    lut: &CanberraLut,
+    key_table: &KeyTable,
+) {
+    let si = segments[i];
+    let li = si.len();
+    let keys = key_table.get(i);
+    for bucket in buckets {
+        // Only columns j > i belong to this row.
+        let from = bucket.idxs.partition_point(|&j| j <= i);
+        let cols = &bucket.idxs[from..];
+        if cols.is_empty() {
+            continue;
+        }
+        if bucket.len == li {
+            if li == 0 {
+                // Both empty: identical.
+                for &j in cols {
+                    row[j - i - 1] = 0.0;
+                }
+            } else {
+                // Equal lengths: direct Canberra, four columns per pass.
+                let lenf = li as f64;
+                let mut quads = cols.chunks_exact(4);
+                for q in quads.by_ref() {
+                    let sums = equal_len_sums4(
+                        keys,
+                        segments[q[0]],
+                        segments[q[1]],
+                        segments[q[2]],
+                        segments[q[3]],
+                        lut,
+                    );
+                    for (t, &j) in q.iter().enumerate() {
+                        row[j - i - 1] = sums[t] / lenf;
+                    }
+                }
+                for &j in quads.remainder() {
+                    row[j - i - 1] = canberra_distance_lut(si, segments[j], lut);
+                }
+            }
+        } else if bucket.len.min(li) == 0 {
+            // Empty vs non-empty: maximally dissimilar.
+            for &j in cols {
+                row[j - i - 1] = 1.0;
+            }
+        } else if li < bucket.len {
+            // Row is the short side: its keys slide over each column.
+            let (s, l) = (li, bucket.len);
+            let lenf = s as f64;
+            for &j in cols {
+                let best = windowed_min_sum4(keys, segments[j], lut) / lenf;
+                row[j - i - 1] = mixed_length(s, l, best, penalty);
+            }
+        } else {
+            // Row is the long side: each column's keys slide over it.
+            let (s, l) = (bucket.len, li);
+            let lenf = s as f64;
+            for &j in cols {
+                let best = windowed_min_sum4(key_table.get(j), si, lut) / lenf;
+                row[j - i - 1] = mixed_length(s, l, best, penalty);
+            }
+        }
+    }
+}
+
+/// Builds the condensed pairwise Canberra dissimilarity matrix directly
+/// from the segment slices: length-bucketed kernels, contiguous row
+/// blocks on scoped threads. Bit-identical to the closure-based build
+/// over [`crate::dissimilarity`].
+pub(crate) fn build_bucketed(
+    segments: &[&[u8]],
+    params: &DissimParams,
+    threads: usize,
+) -> CondensedMatrix {
+    let n = segments.len();
+    let penalty = params.effective_penalty();
+    if n < 2 {
+        return CondensedMatrix::from_raw(n, Vec::new());
+    }
+    let lut = CanberraLut::global();
+
+    // Sort indices into length buckets (ascending length, ascending
+    // index within a bucket).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_unstable_by_key(|&i| (segments[i].len(), i));
+    let mut buckets: Vec<Bucket> = Vec::new();
+    for &i in &order {
+        match buckets.last_mut() {
+            Some(b) if b.len == segments[i].len() => b.idxs.push(i),
+            _ => buckets.push(Bucket {
+                len: segments[i].len(),
+                idxs: vec![i],
+            }),
+        }
+    }
+
+    let key_table = KeyTable::new(segments);
+    let mut data = vec![0.0f64; n * (n - 1) / 2];
+    let threads = threads.max(1).min(n - 1);
+    if threads == 1 {
+        for i in 0..(n - 1) {
+            let row_start = condensed_index(n, i, i + 1);
+            let row = &mut data[row_start..row_start + (n - i - 1)];
+            fill_row(i, segments, row, &buckets, penalty, lut, &key_table);
+        }
+        return CondensedMatrix::from_raw(n, data);
+    }
+
+    // Hand out contiguous row blocks dynamically; early (longer) rows
+    // cost more, so small blocks keep the load balanced.
+    let block_rows = (n / (threads * 8)).max(1);
+    let next_block = AtomicUsize::new(0);
+    let data_ptr = SendPtr(data.as_mut_ptr());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let data_ptr = &data_ptr;
+                loop {
+                    let block = next_block.fetch_add(1, Ordering::Relaxed);
+                    let start = block * block_rows;
+                    if start >= n - 1 {
+                        break;
+                    }
+                    let end = (start + block_rows).min(n - 1);
+                    for i in start..end {
+                        let row_start = condensed_index(n, i, i + 1);
+                        // SAFETY: row i owns the condensed range
+                        // [row_start, row_start + n - i - 1) exclusively,
+                        // and each row is claimed by exactly one thread,
+                        // so the slices never alias.
+                        let row = unsafe {
+                            std::slice::from_raw_parts_mut(data_ptr.0.add(row_start), n - i - 1)
+                        };
+                        fill_row(i, segments, row, &buckets, penalty, lut, &key_table);
+                    }
+                }
+            });
+        }
+    });
+    CondensedMatrix::from_raw(n, data)
+}
+
+/// A raw pointer wrapper asserting cross-thread transferability for the
+/// disjoint-row-write pattern in [`build_bucketed`].
+struct SendPtr(*mut f64);
+unsafe impl Sync for SendPtr {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: DissimParams = DissimParams {
+        length_penalty: 0.59,
+    };
+
+    #[test]
+    fn lut_terms_match_scalar() {
+        let lut = CanberraLut::global();
+        for x in [0u8, 1, 2, 127, 128, 254, 255] {
+            for y in [0u8, 1, 3, 100, 200, 255] {
+                let num = (f64::from(x) - f64::from(y)).abs();
+                let den = f64::from(x) + f64::from(y);
+                let want = if den == 0.0 { 0.0 } else { num / den };
+                assert_eq!(lut.term(x, y).to_bits(), want.to_bits(), "({x}, {y})");
+            }
+        }
+    }
+
+    #[test]
+    fn lut_distance_matches_scalar() {
+        let lut = CanberraLut::global();
+        let a = [0u8, 1, 255, 17, 0, 200];
+        let b = [0u8, 255, 255, 16, 3, 10];
+        assert_eq!(
+            canberra_distance_lut(&a, &b, lut).to_bits(),
+            canberra_distance(&a, &b).to_bits()
+        );
+        assert_eq!(canberra_distance_lut(&[], &[], lut), 0.0);
+    }
+
+    #[test]
+    fn kernel_variants_match_scalar_dissimilarity() {
+        let lut = CanberraLut::global();
+        let cases: [(&[u8], &[u8]); 7] = [
+            (b"", b""),
+            (b"", b"abc"),
+            (b"abc", b""),
+            (b"\x01\x02\x03", b"\x01\x02\x03"),
+            (b"\x10\x20\x30", b"\xff\x10\x20\x30\xff"),
+            (b"\xff\x00\x7f\x80", b"\x01\x02"),
+            (b"\x00", b"\x00\x00\x00\x00\x00\x00\x00"),
+        ];
+        for (a, b) in cases {
+            let want = dissimilarity(a, b, &P).to_bits();
+            assert_eq!(
+                dissimilarity_lut(a, b, &P, lut).to_bits(),
+                want,
+                "{a:?} {b:?}"
+            );
+            assert_eq!(
+                dissimilarity_kernel(a, b, &P, lut).to_bits(),
+                want,
+                "{a:?} {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn early_abandon_survives_adversarial_windows() {
+        // A long run whose best window comes last, so every earlier
+        // window must be either completed or provably abandoned.
+        let lut = CanberraLut::global();
+        let short = [10u8, 20, 30, 40];
+        let mut long = vec![255u8; 40];
+        long.extend_from_slice(&[10, 20, 30, 41]);
+        let want = dissimilarity(&short, &long, &P).to_bits();
+        assert_eq!(dissimilarity_kernel(&short, &long, &P, lut).to_bits(), want);
+    }
+
+    #[test]
+    fn bucketed_build_matches_naive_build() {
+        let segs: Vec<&[u8]> = vec![
+            b"",
+            b"\x01",
+            b"\x02",
+            b"\x01\x02",
+            b"\x03\x02",
+            b"\x01\x02\x03\x04",
+            b"\xff\xfe\xfd",
+            b"\x10\x20\x30\x40\x50\x60\x70\x80",
+            b"\x00\x00",
+        ];
+        let naive = CondensedMatrix::build(segs.len(), |i, j| dissimilarity(segs[i], segs[j], &P));
+        for threads in [1, 2, 5] {
+            let fast = build_bucketed(&segs, &P, threads);
+            assert_eq!(fast, naive, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn bucketed_build_handles_tiny_inputs() {
+        assert!(build_bucketed(&[], &P, 4).is_empty());
+        let one = build_bucketed(&[b"ab".as_slice()], &P, 4);
+        assert_eq!(one.len(), 1);
+        assert!(one.values().is_empty());
+    }
+}

@@ -41,6 +41,31 @@ impl CondensedMatrix {
         Self { n, data }
     }
 
+    /// Builds the pairwise Canberra dissimilarity matrix directly from
+    /// the segment byte slices via the kernel layer ([`crate::kernel`]):
+    /// byte-pair LUT, early-abandon sliding windows, and length-bucketed
+    /// pair scheduling over contiguous row blocks.
+    ///
+    /// Bit-identical to
+    /// `CondensedMatrix::build_parallel(segments.len(), threads,
+    /// |i, j| dissimilarity(segments[i], segments[j], params))`
+    /// but several times faster — the structure-aware entry point sees
+    /// the segment lengths instead of an opaque closure.
+    pub fn build_segments(
+        segments: &[&[u8]],
+        params: &crate::canberra::DissimParams,
+        threads: usize,
+    ) -> Self {
+        crate::kernel::build_bucketed(segments, params, threads)
+    }
+
+    /// Wraps an already-filled condensed buffer (`data.len()` must be
+    /// `n·(n−1)/2`).
+    pub(crate) fn from_raw(n: usize, data: Vec<f64>) -> Self {
+        debug_assert_eq!(data.len(), n * n.saturating_sub(1) / 2);
+        Self { n, data }
+    }
+
     /// Builds the matrix in parallel over all rows using scoped threads.
     ///
     /// `f` must be pure; rows are handed out dynamically so irregular row
@@ -124,10 +149,37 @@ impl CondensedMatrix {
     ///
     /// Callers looping over rows should reuse one scratch buffer instead
     /// of allocating a fresh `Vec` per item via [`Self::row`].
+    ///
+    /// Walks the two condensed-triangle ranges directly: the column part
+    /// (`j < i`) is a strided walk with stride `n − j − 2`, the tail
+    /// (`j > i`) a contiguous copy — no per-element index arithmetic or
+    /// bounds-checked [`Self::get`] calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds (and the matrix is non-empty).
     pub fn row_into(&self, i: usize, buf: &mut Vec<f64>) {
         buf.clear();
-        buf.reserve(self.n.saturating_sub(1));
-        buf.extend((0..self.n).filter(|&j| j != i).map(|j| self.get(i, j)));
+        if self.n == 0 {
+            return;
+        }
+        assert!(i < self.n, "index out of bounds");
+        buf.reserve(self.n - 1);
+        // Column part: pairs (j, i) with j < i sit at
+        // condensed_index(n, j, i), whose stride from j to j + 1 is
+        // n − j − 2.
+        if i > 0 {
+            let mut idx = condensed_index(self.n, 0, i);
+            for j in 0..i {
+                buf.push(self.data[idx]);
+                idx += self.n - j - 2;
+            }
+        }
+        // Tail: pairs (i, j) with j > i are contiguous.
+        if i + 1 < self.n {
+            let start = condensed_index(self.n, i, i + 1);
+            buf.extend_from_slice(&self.data[start..start + (self.n - i - 1)]);
+        }
     }
 
     /// The dissimilarity of each item to its `k`-th nearest neighbor
@@ -179,7 +231,7 @@ impl CondensedMatrix {
 }
 
 /// Index of pair `(i, j)` with `i < j` in the condensed upper triangle.
-fn condensed_index(n: usize, i: usize, j: usize) -> usize {
+pub(crate) fn condensed_index(n: usize, i: usize, j: usize) -> usize {
     debug_assert!(i < j && j < n);
     i * (2 * n - i - 1) / 2 + (j - i - 1)
 }
@@ -264,6 +316,38 @@ mod tests {
     fn row_excludes_self() {
         let m = toy(4);
         assert_eq!(m.row(2), vec![2.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn row_into_matches_per_element_reference() {
+        // The pre-optimization implementation, element by element.
+        fn reference_row(m: &CondensedMatrix, i: usize) -> Vec<f64> {
+            (0..m.len())
+                .filter(|&j| j != i)
+                .map(|j| m.get(i, j))
+                .collect()
+        }
+        for n in [1usize, 2, 3, 7, 12] {
+            let m = CondensedMatrix::build(n, |i, j| ((i * 31 + j * 17) % 97) as f64 / 97.0);
+            let mut buf = vec![99.0]; // must be cleared
+            for i in 0..n {
+                m.row_into(i, &mut buf);
+                assert_eq!(buf, reference_row(&m, i), "n = {n}, i = {i}");
+            }
+        }
+        // Empty matrix: any index yields an empty row without panicking,
+        // as the per-element loop never touched the data.
+        let empty = CondensedMatrix::build(0, |_, _| 0.0);
+        let mut buf = vec![1.0];
+        empty.row_into(0, &mut buf);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn row_into_rejects_out_of_bounds_index() {
+        let mut buf = Vec::new();
+        toy(3).row_into(3, &mut buf);
     }
 
     #[test]

@@ -1,10 +1,19 @@
 //! Property-based tests for the Canberra dissimilarity and matrices.
 
-use dissim::{canberra_distance, dissimilarity, CondensedMatrix, DissimParams, NeighborIndex};
+use dissim::kernel::{canberra_distance_lut, dissimilarity_kernel, dissimilarity_lut};
+use dissim::{
+    canberra_distance, dissimilarity, CanberraLut, CondensedMatrix, DissimParams, NeighborIndex,
+};
 use proptest::prelude::*;
 
 fn seg() -> impl Strategy<Value = Vec<u8>> {
     prop::collection::vec(any::<u8>(), 0..40)
+}
+
+/// Segment sets stressing the kernel's bucket paths: lengths collide
+/// often, and empty and 1-byte segments occur regularly.
+fn seg_set() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    prop::collection::vec(prop::collection::vec(any::<u8>(), 0..10), 0..24)
 }
 
 proptest! {
@@ -116,6 +125,71 @@ proptest! {
                 .filter(|&j| j != i && m.get(i, j) <= eps)
                 .collect();
             prop_assert_eq!(members, brute, "item {}, eps {}", i, eps);
+        }
+    }
+
+    #[test]
+    fn kernel_pair_functions_are_bit_identical(
+        a in seg(),
+        b in seg(),
+        penalty in 0.0f64..1.0,
+    ) {
+        let p = DissimParams { length_penalty: penalty };
+        let lut = CanberraLut::global();
+        let want = dissimilarity(&a, &b, &p).to_bits();
+        prop_assert_eq!(dissimilarity_lut(&a, &b, &p, lut).to_bits(), want);
+        prop_assert_eq!(dissimilarity_kernel(&a, &b, &p, lut).to_bits(), want);
+        if a.len() == b.len() {
+            prop_assert_eq!(
+                canberra_distance_lut(&a, &b, lut).to_bits(),
+                canberra_distance(&a, &b).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn build_segments_is_bit_identical_to_naive_build(
+        segs in seg_set(),
+        threads in 1usize..5,
+        penalty in 0.0f64..1.0,
+    ) {
+        let p = DissimParams { length_penalty: penalty };
+        let refs: Vec<&[u8]> = segs.iter().map(|s| &s[..]).collect();
+        let naive = CondensedMatrix::build(refs.len(), |i, j| {
+            dissimilarity(refs[i], refs[j], &p)
+        });
+        // `PartialEq` on CondensedMatrix compares every condensed f64;
+        // entries are never NaN and never -0.0, so == is bit equality.
+        prop_assert_eq!(CondensedMatrix::build_segments(&refs, &p, threads), naive);
+    }
+
+    #[test]
+    fn build_segments_handles_uniform_length_sets(
+        segs in prop::collection::vec(prop::collection::vec(any::<u8>(), 4), 2..16),
+        threads in 1usize..4,
+    ) {
+        // All segments equal-length: every pair takes the direct-Canberra
+        // bucket path.
+        let p = DissimParams::default();
+        let refs: Vec<&[u8]> = segs.iter().map(|s| &s[..]).collect();
+        let naive = CondensedMatrix::build(refs.len(), |i, j| {
+            dissimilarity(refs[i], refs[j], &p)
+        });
+        prop_assert_eq!(CondensedMatrix::build_segments(&refs, &p, threads), naive);
+    }
+
+    #[test]
+    fn row_into_matches_per_element_scan(
+        segs in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..8), 2..20),
+    ) {
+        let p = DissimParams::default();
+        let m = CondensedMatrix::build(segs.len(), |i, j| dissimilarity(&segs[i], &segs[j], &p));
+        let mut buf = Vec::new();
+        for i in 0..segs.len() {
+            m.row_into(i, &mut buf);
+            let reference: Vec<f64> =
+                (0..segs.len()).filter(|&j| j != i).map(|j| m.get(i, j)).collect();
+            prop_assert_eq!(&buf, &reference, "row {}", i);
         }
     }
 

@@ -58,7 +58,7 @@ use cluster::autoconf::{
 };
 use cluster::dbscan::{dbscan, dbscan_weighted_with_index, Clustering};
 use cluster::refine::{merge_clusters_with_index, split_clusters};
-use dissim::{dissimilarity, CondensedMatrix, DissimArtifact, NeighborIndex};
+use dissim::{CondensedMatrix, DissimArtifact, NeighborIndex};
 use segment::{SegmentError, Segmenter, TraceSegmentation};
 use trace::{Preprocessor, Trace};
 
@@ -359,11 +359,13 @@ impl<'t> AnalysisSession<'t> {
         self.ensure_store()?;
         let store = self.store.as_ref().expect("ensured");
         let values: Vec<&[u8]> = store.segments.iter().map(|s| &s.value[..]).collect();
-        let params = &self.config.dissim;
-        self.dissim = Some(DissimArtifact::compute(
-            values.len(),
+        // Structure-aware kernel build (LUT + early-abandon windows +
+        // length buckets); bit-identical to the naive closure build,
+        // pinned by tests/session_equivalence.rs.
+        self.dissim = Some(DissimArtifact::compute_segments(
+            &values,
+            &self.config.dissim,
             self.config.threads,
-            |i, j| dissimilarity(values[i], values[j], params),
         ));
         Ok(())
     }
@@ -481,11 +483,12 @@ impl<'t> AnalysisSession<'t> {
         self.ensure_full_store()?;
         let store = self.full_store.as_ref().expect("ensured");
         let values: Vec<&[u8]> = store.segments.iter().map(|s| &s.value[..]).collect();
-        let params = &self.config.dissim;
-        self.full_dissim = Some(DissimArtifact::compute(
-            values.len(),
+        // Kernel build (see ensure_dissim); these entries feed the
+        // message-alignment substitution costs of message_matrix.
+        self.full_dissim = Some(DissimArtifact::compute_segments(
+            &values,
+            &self.config.dissim,
             self.config.threads,
-            |i, j| dissimilarity(values[i], values[j], params),
         ));
         Ok(())
     }

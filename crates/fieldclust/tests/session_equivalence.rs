@@ -28,7 +28,7 @@ fn reference_cluster_trace(
     config: &FieldTypeClusterer,
     trace: &Trace,
     segmentation: &TraceSegmentation,
-) -> (SegmentStore, Clustering, SelectedParams) {
+) -> (SegmentStore, Clustering, SelectedParams, CondensedMatrix) {
     let store = SegmentStore::collect(trace, segmentation, config.min_segment_len);
     let n = store.segments.len();
     assert!(n >= 4, "fixture must yield enough segments");
@@ -79,17 +79,39 @@ fn reference_cluster_trace(
 
     let merged = merge_clusters(&clustering, &matrix, &config.refine);
     let final_clustering = split_clusters(&merged, &weights, &config.refine);
-    (store, final_clustering, selected)
+    (store, final_clustering, selected, matrix)
 }
 
 fn assert_staged_matches_reference(trace: &Trace, segmentation: TraceSegmentation, label: &str) {
     let config = FieldTypeClusterer::default();
-    let (ref_store, ref_clustering, ref_params) =
+    let (ref_store, ref_clustering, ref_params, ref_matrix) =
         reference_cluster_trace(&config, trace, &segmentation);
 
     let mut session = AnalysisSession::new(trace, config);
     session.set_segmentation(segmentation);
     let staged = session.finish().expect("staged pipeline");
+
+    // The kernel-layer matrix build (LUT + early-abandon windows +
+    // length buckets) must be bit-identical to the naive serial build —
+    // every condensed entry, not just the derived ε.
+    let staged_matrix = session.matrix().expect("cached matrix");
+    assert_eq!(
+        staged_matrix.len(),
+        ref_matrix.len(),
+        "{label}: matrix size"
+    );
+    for (k, (a, b)) in staged_matrix
+        .values()
+        .iter()
+        .zip(ref_matrix.values())
+        .enumerate()
+    {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{label}: matrix entry {k} differs ({a} vs {b})"
+        );
+    }
 
     assert_eq!(staged.store, ref_store, "{label}: segment stores differ");
     assert_eq!(

@@ -6,3 +6,4 @@ cd "$(dirname "$0")/.."
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test --workspace -q
+cargo bench -p bench --no-run
