@@ -19,6 +19,7 @@ fn main() {
     let trace = corpus::build_trace(protocol, n, corpus::DEFAULT_SEED);
     let gt = corpus::ground_truth(protocol, &trace);
     let mut session = AnalysisSession::new(&trace, FieldTypeClusterer::default());
+    let store = bench::attach_cache_from_args(&mut session, &args);
     session.set_segmentation(truth_segmentation(&trace, &gt));
     let labels = label_store(session.store().expect("enough segments"), &gt);
     let matrix = session.matrix().expect("enough segments");
@@ -72,4 +73,5 @@ fn main() {
             m.recall
         );
     }
+    bench::report_cache(store.as_ref());
 }

@@ -23,10 +23,12 @@ struct Fig2Data {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
     // The paper's Fig. 2 uses segments from 1000 NTP messages.
     let trace = corpus::build_trace(Protocol::Ntp, 1000, corpus::DEFAULT_SEED);
     let gt = corpus::ground_truth(Protocol::Ntp, &trace);
     let mut session = AnalysisSession::new(&trace, FieldTypeClusterer::default());
+    let store = bench::attach_cache_from_args(&mut session, &args);
     session.set_segmentation(truth_segmentation(&trace, &gt));
     let matrix = session.matrix().expect("enough segments");
     eprintln!("built {0}x{0} dissimilarity matrix", matrix.len());
@@ -105,4 +107,5 @@ fn main() {
             smoothed: selected.smoothed_curve.clone(),
         },
     );
+    bench::report_cache(store.as_ref());
 }

@@ -35,6 +35,7 @@ fn main() {
     let trace = corpus::build_trace(protocol, n, corpus::DEFAULT_SEED);
     let gt = corpus::ground_truth(protocol, &trace);
     let mut session = AnalysisSession::new(&trace, FieldTypeClusterer::default());
+    let store = bench::attach_cache_from_args(&mut session, &args);
     session.set_segmentation(truth_segmentation(&trace, &gt));
     let result = session.finish().expect("pipeline");
 
@@ -88,4 +89,5 @@ fn main() {
         embedding.eigenvalues[0],
         embedding.eigenvalues[1]
     );
+    bench::report_cache(store.as_ref());
 }

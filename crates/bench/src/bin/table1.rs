@@ -20,9 +20,15 @@ fn main() {
         .chain(corpus::small_specs())
     {
         let start = std::time::Instant::now();
-        let record = run_truth(&spec, &clusterer);
-        println!("{}   [{:.1?}]", render_row(&record), start.elapsed());
-        records.push(record);
+        match run_truth(&spec, &clusterer) {
+            Ok(record) => {
+                println!("{}   [{:.1?}]", render_row(&record), start.elapsed());
+                records.push(record);
+            }
+            // Skip the row, keep the table: one broken spec must not
+            // sink the whole regeneration run.
+            Err(e) => eprintln!("skipping row: {e}"),
+        }
     }
     dump_json("target/table1.json", &records);
 }

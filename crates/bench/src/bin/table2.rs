@@ -39,7 +39,9 @@ fn main() {
         for segmenter in &segmenters {
             let start = std::time::Instant::now();
             match run_segmenter(&spec, segmenter.as_ref(), &clusterer) {
-                RunOutcome::Done(record) => {
+                // Skip the cell, keep the table.
+                Err(e) => eprintln!("  {:8} skipped: {e}", segmenter.name()),
+                Ok(RunOutcome::Done(record)) => {
                     println!(
                         "  {:8} {}   [{:.1?}]",
                         segmenter.name(),
@@ -52,7 +54,7 @@ fn main() {
                         fails: false,
                     });
                 }
-                RunOutcome::Fails(e) => {
+                Ok(RunOutcome::Fails(e)) => {
                     println!("  {:8} fails ({e})", segmenter.name());
                     cells.push(Table2Cell {
                         segmenter: segmenter.name().to_string(),

@@ -65,6 +65,30 @@ pub enum RunOutcome {
     Fails(SegmentError),
 }
 
+/// A pipeline failure on one corpus spec, carrying enough context to
+/// skip the row and keep the table generation going.
+#[derive(Debug, Clone)]
+pub struct RunError {
+    /// Protocol of the failing spec.
+    pub protocol: String,
+    /// Messages in the failing spec.
+    pub messages: usize,
+    /// The rendered pipeline error.
+    pub error: String,
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ({} msgs): {}",
+            self.protocol, self.messages, self.error
+        )
+    }
+}
+
+impl std::error::Error for RunError {}
+
 /// Builds the corpus trace and ground truth for a spec.
 pub fn prepare(spec: &CorpusSpec) -> (Trace, Vec<Vec<protocols::TrueField>>) {
     let trace = spec.build();
@@ -73,7 +97,7 @@ pub fn prepare(spec: &CorpusSpec) -> (Trace, Vec<Vec<protocols::TrueField>>) {
 }
 
 /// Runs the pipeline on the ground-truth segmentation (Table I).
-pub fn run_truth(spec: &CorpusSpec, clusterer: &FieldTypeClusterer) -> RunRecord {
+pub fn run_truth(spec: &CorpusSpec, clusterer: &FieldTypeClusterer) -> Result<RunRecord, RunError> {
     let (trace, gt) = prepare(spec);
     let segmentation = truth::truth_segmentation(&trace, &gt);
     run_on(spec, clusterer, &trace, &gt, &segmentation)
@@ -84,17 +108,17 @@ pub fn run_segmenter(
     spec: &CorpusSpec,
     segmenter: &dyn Segmenter,
     clusterer: &FieldTypeClusterer,
-) -> RunOutcome {
+) -> Result<RunOutcome, RunError> {
     let (trace, gt) = prepare(spec);
     match segmenter.segment_trace(&trace) {
-        Err(e) => RunOutcome::Fails(e),
-        Ok(segmentation) => RunOutcome::Done(Box::new(run_on(
+        Err(e) => Ok(RunOutcome::Fails(e)),
+        Ok(segmentation) => Ok(RunOutcome::Done(Box::new(run_on(
             spec,
             clusterer,
             &trace,
             &gt,
             &segmentation,
-        ))),
+        )?))),
     }
 }
 
@@ -104,12 +128,16 @@ fn run_on(
     trace: &Trace,
     gt: &[Vec<protocols::TrueField>],
     segmentation: &TraceSegmentation,
-) -> RunRecord {
+) -> Result<RunRecord, RunError> {
     let result = clusterer
         .cluster_trace(trace, segmentation)
-        .unwrap_or_else(|e| panic!("{} ({} msgs): {e}", spec.protocol, spec.messages));
+        .map_err(|e| RunError {
+            protocol: spec.protocol.to_string(),
+            messages: spec.messages,
+            error: e.to_string(),
+        })?;
     let eval: Evaluation = evaluate(&result, trace, gt);
-    RunRecord::from_eval(spec, &eval)
+    Ok(RunRecord::from_eval(spec, &eval))
 }
 
 /// Formats a table row like the paper prints them.
@@ -144,6 +172,41 @@ pub fn dump_json<T: Serialize>(path: &str, records: &T) {
             }
         }
         Err(e) => eprintln!("warning: could not serialize records: {e}"),
+    }
+}
+
+/// Extracts `--cache-dir DIR` from raw process args (bench bins parse
+/// positionals by hand; this keeps the flag uniform with the CLI).
+pub fn cache_dir_from_args(args: &[String]) -> Option<String> {
+    let pos = args.iter().position(|a| a == "--cache-dir")?;
+    args.get(pos + 1).cloned()
+}
+
+/// Attaches a `--cache-dir` artifact store to the session when the raw
+/// process args request one. Returns the store so callers can report
+/// hit/miss statistics; a store that fails to open degrades to a cold
+/// run with a warning.
+pub fn attach_cache_from_args(
+    session: &mut fieldclust::AnalysisSession<'_>,
+    args: &[String],
+) -> Option<fieldclust::ArtifactStore> {
+    let dir = cache_dir_from_args(args)?;
+    match fieldclust::ArtifactStore::open(&dir) {
+        Ok(store) => {
+            session.set_store(store.clone());
+            Some(store)
+        }
+        Err(e) => {
+            eprintln!("warning: cannot open cache dir {dir}: {e} (running cold)");
+            None
+        }
+    }
+}
+
+/// Prints the greppable cache statistics line, if a store is attached.
+pub fn report_cache(store: Option<&fieldclust::ArtifactStore>) {
+    if let Some(s) = store {
+        eprintln!("cache: {}", s.stats());
     }
 }
 

@@ -1,25 +1,31 @@
 //! The CLI subcommands.
 
+use crate::error::CliError;
 use crate::opts::{hex_preview, CommonOpts};
 use fieldclust::fuzzgen::ValueModel;
 use fieldclust::report::{render_markdown, ReportOptions};
 use fieldclust::semantics::{interpret, SemanticsConfig};
-use fieldclust::{AnalysisSession, FieldTypeClusterer};
+use fieldclust::{AnalysisSession, ArtifactStore, FieldTypeClusterer};
 use protocols::{Protocol, ProtocolSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use trace::reassembly::{reassemble, NbssFramer};
 use trace::{pcap, Preprocessor, Trace};
 
-fn load_trace(opts: &CommonOpts) -> Result<Trace, String> {
+fn load_trace(opts: &CommonOpts) -> Result<Trace, CliError> {
     let path = opts
         .positional
         .first()
-        .ok_or("missing <capture.pcap> argument")?;
-    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+        .ok_or_else(|| CliError::usage("missing <capture.pcap> argument"))?;
+    load_trace_from(path, opts)
+}
+
+fn load_trace_from(path: &str, opts: &CommonOpts) -> Result<Trace, CliError> {
+    let bytes =
+        std::fs::read(path).map_err(|e| CliError::runtime(format!("reading {path}: {e}")))?;
     // Sniffs classic pcap vs pcapng by magic.
-    let mut raw =
-        trace::pcapng::read_any(&bytes, "capture").map_err(|e| format!("parsing {path}: {e}"))?;
+    let mut raw = trace::pcapng::read_any(&bytes, "capture")
+        .map_err(|e| CliError::runtime(format!("parsing {path}: {e}")))?;
     if opts.reassemble {
         let (rebuilt, stats) = reassemble(&raw, &NbssFramer);
         eprintln!(
@@ -37,25 +43,48 @@ fn load_trace(opts: &CommonOpts) -> Result<Trace, String> {
     }
     let trace = pre.apply(&raw);
     if trace.is_empty() {
-        return Err("no messages left after preprocessing".to_string());
+        return Err(CliError::runtime("no messages left after preprocessing"));
     }
     Ok(trace)
 }
 
+/// Opens the `--cache-dir` artifact store if one was requested.
+fn open_store(opts: &CommonOpts) -> Result<Option<ArtifactStore>, CliError> {
+    match &opts.cache_dir {
+        Some(dir) => ArtifactStore::open(dir)
+            .map(Some)
+            .map_err(|e| CliError::runtime(format!("opening cache dir {dir}: {e}"))),
+        None => Ok(None),
+    }
+}
+
+/// Prints the greppable cache statistics line to stderr.
+fn emit_cache_stats(store: Option<&ArtifactStore>) {
+    if let Some(s) = store {
+        eprintln!("cache: {}", s.stats());
+    }
+}
+
 /// `fieldclust analyze <pcap>`: cluster, interpret, report.
-pub fn analyze(args: &[String]) -> Result<(), String> {
+pub fn analyze(args: &[String]) -> Result<(), CliError> {
     let opts = CommonOpts::parse(args)?;
     let trace = load_trace(&opts)?;
     let segmenter = opts.build_segmenter()?;
+    let store = open_store(&opts)?;
     // One session: field types, message types, and diagnostics all share
-    // the same cached artifacts (segmentation, stores, matrices).
+    // the same cached artifacts (segmentation, stores, matrices) — and,
+    // with `--cache-dir`, warm-start from artifacts persisted by
+    // earlier runs.
     let mut session = AnalysisSession::new(&trace, FieldTypeClusterer::default());
+    if let Some(s) = &store {
+        session.set_store(s.clone());
+    }
     session
         .segment_with(segmenter.as_ref())
-        .map_err(|e| format!("segmentation failed: {e}"))?;
+        .map_err(|e| CliError::runtime(format!("segmentation failed: {e}")))?;
     let result = session
         .finish()
-        .map_err(|e| format!("clustering failed: {e}"))?;
+        .map_err(|e| CliError::runtime(format!("clustering failed: {e}")))?;
     let semantics = interpret(&result, &trace, &SemanticsConfig::default());
     let coverage = result.coverage(&trace);
 
@@ -73,8 +102,9 @@ pub fn analyze(args: &[String]) -> Result<(), String> {
                 include_value_models: true,
             },
         );
-        std::fs::write(path, md).map_err(|e| format!("writing {path}: {e}"))?;
+        std::fs::write(path, md).map_err(|e| CliError::runtime(format!("writing {path}: {e}")))?;
         println!("report written to {path}");
+        emit_cache_stats(store.as_ref());
         return Ok(());
     }
 
@@ -131,8 +161,9 @@ pub fn analyze(args: &[String]) -> Result<(), String> {
         };
         println!(
             "{}",
-            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+            serde_json::to_string_pretty(&report).map_err(|e| CliError::runtime(e.to_string()))?
         );
+        emit_cache_stats(store.as_ref());
         return Ok(());
     }
 
@@ -177,23 +208,28 @@ pub fn analyze(args: &[String]) -> Result<(), String> {
             println!("           e.g. [{}]", samples.join(", "));
         }
     }
+    emit_cache_stats(store.as_ref());
     Ok(())
 }
 
 /// `fieldclust msgtype <pcap>`: cluster messages into message types.
-pub fn msgtype(args: &[String]) -> Result<(), String> {
+pub fn msgtype(args: &[String]) -> Result<(), CliError> {
     let opts = CommonOpts::parse(args)?;
     let trace = load_trace(&opts)?;
     let segmenter = opts.build_segmenter()?;
-    let segmentation = segmenter
-        .segment_trace(&trace)
-        .map_err(|e| format!("segmentation failed: {e}"))?;
-    let result = fieldclust::msgtype::identify_message_types(
-        &trace,
-        &segmentation,
-        &fieldclust::msgtype::MessageTypeConfig::default(),
-    )
-    .map_err(|e| format!("message type identification failed: {e}"))?;
+    let store = open_store(&opts)?;
+    // Run through the session so the segmentation and the message
+    // matrix hit the artifact store when `--cache-dir` is given.
+    let mut session = AnalysisSession::new(&trace, FieldTypeClusterer::default());
+    if let Some(s) = &store {
+        session.set_store(s.clone());
+    }
+    session
+        .segment_with(segmenter.as_ref())
+        .map_err(|e| CliError::runtime(format!("segmentation failed: {e}")))?;
+    let result = session
+        .message_types(&fieldclust::msgtype::MessageTypeConfig::default())
+        .map_err(|e| CliError::runtime(format!("message type identification failed: {e}")))?;
     println!(
         "{} messages -> {} message types ({} noise), eps = {:.3}",
         trace.len(),
@@ -210,17 +246,18 @@ pub fn msgtype(args: &[String]) -> Result<(), String> {
             sample.payload().len()
         );
     }
+    emit_cache_stats(store.as_ref());
     Ok(())
 }
 
 /// `fieldclust segment <pcap>`: print inferred boundaries per message.
-pub fn segment(args: &[String]) -> Result<(), String> {
+pub fn segment(args: &[String]) -> Result<(), CliError> {
     let opts = CommonOpts::parse(args)?;
     let trace = load_trace(&opts)?;
     let segmenter = opts.build_segmenter()?;
     let segmentation = segmenter
         .segment_trace(&trace)
-        .map_err(|e| format!("segmentation failed: {e}"))?;
+        .map_err(|e| CliError::runtime(format!("segmentation failed: {e}")))?;
     println!(
         "{} messages, {} segments ({} segmenter)",
         trace.len(),
@@ -244,16 +281,16 @@ pub fn segment(args: &[String]) -> Result<(), String> {
 }
 
 /// `fieldclust fuzz <pcap>`: sample fuzzing candidates per cluster.
-pub fn fuzz(args: &[String]) -> Result<(), String> {
+pub fn fuzz(args: &[String]) -> Result<(), CliError> {
     let opts = CommonOpts::parse(args)?;
     let trace = load_trace(&opts)?;
     let segmenter = opts.build_segmenter()?;
     let segmentation = segmenter
         .segment_trace(&trace)
-        .map_err(|e| format!("segmentation failed: {e}"))?;
+        .map_err(|e| CliError::runtime(format!("segmentation failed: {e}")))?;
     let result = FieldTypeClusterer::default()
         .cluster_trace(&trace, &segmentation)
-        .map_err(|e| format!("clustering failed: {e}"))?;
+        .map_err(|e| CliError::runtime(format!("clustering failed: {e}")))?;
     let models = ValueModel::per_cluster(&result);
     let mut rng = StdRng::seed_from_u64(opts.seed);
     println!(
@@ -275,31 +312,30 @@ pub fn fuzz(args: &[String]) -> Result<(), String> {
 
 /// `fieldclust compare <a.pcap> <b.pcap>`: protocol drift between two
 /// captures.
-pub fn compare(args: &[String]) -> Result<(), String> {
+pub fn compare(args: &[String]) -> Result<(), CliError> {
     let opts = CommonOpts::parse(args)?;
     if opts.positional.len() != 2 {
-        return Err("usage: fieldclust compare <a.pcap> <b.pcap>".to_string());
+        return Err(CliError::usage(
+            "usage: fieldclust compare <a.pcap> <b.pcap>",
+        ));
     }
     let segmenter = opts.build_segmenter()?;
+    // Both captures share one artifact store, so re-comparing after one
+    // capture changed recomputes only that capture's artifacts.
+    let store = open_store(&opts)?;
     let mut results = Vec::new();
     for path in &opts.positional {
-        let single = CommonOpts {
-            positional: vec![path.clone()],
-            ..CommonOpts::parse(&[])?
-        };
-        let single = CommonOpts {
-            port: opts.port,
-            max: opts.max,
-            reassemble: opts.reassemble,
-            ..single
-        };
-        let trace = load_trace(&single)?;
-        let segmentation = segmenter
-            .segment_trace(&trace)
-            .map_err(|e| format!("{path}: segmentation failed: {e}"))?;
-        let result = FieldTypeClusterer::default()
-            .cluster_trace(&trace, &segmentation)
-            .map_err(|e| format!("{path}: clustering failed: {e}"))?;
+        let trace = load_trace_from(path, &opts)?;
+        let mut session = AnalysisSession::new(&trace, FieldTypeClusterer::default());
+        if let Some(s) = &store {
+            session.set_store(s.clone());
+        }
+        session
+            .segment_with(segmenter.as_ref())
+            .map_err(|e| CliError::runtime(format!("{path}: segmentation failed: {e}")))?;
+        let result = session
+            .finish()
+            .map_err(|e| CliError::runtime(format!("{path}: clustering failed: {e}")))?;
         results.push(result);
     }
     let diff = fieldclust::compare_clusterings(
@@ -331,11 +367,12 @@ pub fn compare(args: &[String]) -> Result<(), String> {
     if !diff.only_right.is_empty() {
         println!("  new types (B only): {:?}", diff.only_right);
     }
+    emit_cache_stats(store.as_ref());
     Ok(())
 }
 
 /// `fieldclust stats <pcap>`: first-look summary of a capture.
-pub fn stats(args: &[String]) -> Result<(), String> {
+pub fn stats(args: &[String]) -> Result<(), CliError> {
     let opts = CommonOpts::parse(args)?;
     let trace = load_trace(&opts)?;
     let s = trace::stats::trace_stats(&trace, 48);
@@ -367,18 +404,24 @@ pub fn stats(args: &[String]) -> Result<(), String> {
 
 /// `fieldclust generate <protocol> <n> <out.pcap>`: write a synthetic
 /// trace.
-pub fn generate(args: &[String]) -> Result<(), String> {
+pub fn generate(args: &[String]) -> Result<(), CliError> {
     let opts = CommonOpts::parse(args)?;
     let [protocol, n, out] = &opts.positional[..] else {
-        return Err("usage: fieldclust generate <protocol> <messages> <out.pcap>".to_string());
+        return Err(CliError::usage(
+            "usage: fieldclust generate <protocol> <messages> <out.pcap>",
+        ));
     };
-    let protocol = Protocol::from_name(protocol)
-        .ok_or_else(|| format!("unknown protocol `{protocol}` (see `fieldclust protocols`)"))?;
+    let protocol = Protocol::from_name(protocol).ok_or_else(|| {
+        CliError::usage(format!(
+            "unknown protocol `{protocol}` (see `fieldclust protocols`)"
+        ))
+    })?;
     let n: usize = n
         .parse()
-        .map_err(|_| "<messages> must be a number".to_string())?;
+        .map_err(|_| CliError::usage("<messages> must be a number"))?;
     let trace = protocol.generate(n, opts.seed);
-    pcap::write_to_file(&trace, out).map_err(|e| format!("writing {out}: {e}"))?;
+    pcap::write_to_file(&trace, out)
+        .map_err(|e| CliError::runtime(format!("writing {out}: {e}")))?;
     println!(
         "wrote {} {} messages ({} bytes of payload) to {out}",
         trace.len(),
@@ -389,7 +432,7 @@ pub fn generate(args: &[String]) -> Result<(), String> {
 }
 
 /// `fieldclust protocols`: list the built-in generators.
-pub fn protocols(_args: &[String]) -> Result<(), String> {
+pub fn protocols(_args: &[String]) -> Result<(), CliError> {
     println!("built-in protocol generators:");
     for p in Protocol::ALL {
         let sample = p.generate(2, 1);

@@ -1,0 +1,74 @@
+//! CLI error type separating usage mistakes from runtime failures.
+//!
+//! The binary maps [`CliError::Usage`] to exit code 2 (the caller got
+//! the invocation wrong: unknown flag, missing argument, malformed
+//! value) and [`CliError::Runtime`] to exit code 1 (the invocation was
+//! well-formed but the work failed: unreadable capture, empty trace,
+//! pipeline error). Scripts can branch on the code without parsing
+//! stderr.
+
+use std::fmt;
+
+/// Error from a CLI subcommand, tagged with its exit-code class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// Malformed invocation — exit code 2.
+    Usage(String),
+    /// Well-formed invocation whose work failed — exit code 1.
+    Runtime(String),
+}
+
+impl CliError {
+    /// A usage error (exit code 2).
+    pub fn usage(message: impl Into<String>) -> Self {
+        CliError::Usage(message.into())
+    }
+
+    /// A runtime error (exit code 1).
+    pub fn runtime(message: impl Into<String>) -> Self {
+        CliError::Runtime(message.into())
+    }
+
+    /// The process exit code this error maps to.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Runtime(_) => 1,
+        }
+    }
+
+    /// The human-readable message, without the exit-code class.
+    pub fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m) | CliError::Runtime(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.message())
+    }
+}
+
+impl std::error::Error for CliError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_follow_the_convention() {
+        assert_eq!(CliError::usage("bad flag").exit_code(), 2);
+        assert_eq!(CliError::runtime("io failed").exit_code(), 1);
+    }
+
+    #[test]
+    fn display_is_the_bare_message() {
+        assert_eq!(
+            CliError::usage("x needs a value").to_string(),
+            "x needs a value"
+        );
+        assert_eq!(CliError::runtime("boom").message(), "boom");
+    }
+}

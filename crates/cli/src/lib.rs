@@ -3,4 +3,7 @@
 //! [`commands`].
 
 pub mod commands;
+pub mod error;
 pub mod opts;
+
+pub use error::CliError;

@@ -1,14 +1,17 @@
 //! `fieldclust` — command-line field data type clustering.
 //!
 //! ```text
-//! fieldclust analyze  <capture.pcap> [--segmenter S] [--port P] [--max N] [--json]
+//! fieldclust analyze  <capture.pcap> [--segmenter S] [--port P] [--max N] [--cache-dir D] [--json]
 //! fieldclust segment  <capture.pcap> [--segmenter S] [--max N] [--limit M]
 //! fieldclust fuzz     <capture.pcap> [--segmenter S] [--count N] [--seed X]
 //! fieldclust generate <protocol> <messages> <out.pcap> [--seed X]
 //! fieldclust protocols
 //! ```
+//!
+//! Exit codes: 0 success, 1 runtime failure, 2 bad usage. Errors go to
+//! stderr as `error: <subcommand>: <message>`.
 
-use cli::{commands, opts};
+use cli::{commands, opts, CliError};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -30,13 +33,18 @@ fn main() -> ExitCode {
             println!("{}", opts::USAGE);
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`\n{}", opts::USAGE)),
+        other => Err(CliError::usage(format!(
+            "unknown command `{other}`\n{}",
+            opts::USAGE
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            // Name the failing subcommand so piped stderr stays
+            // attributable in scripts that chain several invocations.
+            eprintln!("error: {command}: {e}");
+            ExitCode::from(e.exit_code())
         }
     }
 }

@@ -1,6 +1,7 @@
 //! Hand-rolled option parsing (the workspace deliberately avoids
 //! additional dependencies).
 
+use crate::error::CliError;
 use segment::csp::Csp;
 use segment::fixed::FixedChunks;
 use segment::nemesys::Nemesys;
@@ -12,10 +13,10 @@ pub const USAGE: &str = "\
 fieldclust — field data type clustering for unknown binary protocols
 
 USAGE:
-  fieldclust analyze  <capture.pcap> [--segmenter S] [--port P] [--max N] [--json | --report out.md]
-  fieldclust msgtype  <capture.pcap> [--segmenter S] [--port P] [--max N]
+  fieldclust analyze  <capture.pcap> [--segmenter S] [--port P] [--max N] [--cache-dir D] [--json | --report out.md]
+  fieldclust msgtype  <capture.pcap> [--segmenter S] [--port P] [--max N] [--cache-dir D]
   fieldclust stats    <capture.pcap> [--port P] [--max N]
-  fieldclust compare  <a.pcap> <b.pcap> [--segmenter S]
+  fieldclust compare  <a.pcap> <b.pcap> [--segmenter S] [--cache-dir D]
   fieldclust segment  <capture.pcap> [--segmenter S] [--max N] [--limit M]
   fieldclust fuzz     <capture.pcap> [--segmenter S] [--count N] [--seed X]
   fieldclust generate <protocol> <messages> <out.pcap> [--seed X]
@@ -30,7 +31,11 @@ OPTIONS:
   --count N       number of fuzzing candidates per cluster (default 3)
   --seed X        generation / sampling seed (default 1)
   --json          machine-readable output
-  --report F      write a full Markdown analysis report to F";
+  --report F      write a full Markdown analysis report to F
+  --cache-dir D   persist stage artifacts under D and warm-start from them
+
+EXIT CODES:
+  0  success    1  runtime failure    2  bad usage";
 
 /// Parsed common options.
 #[derive(Debug)]
@@ -55,11 +60,13 @@ pub struct CommonOpts {
     pub reassemble: bool,
     /// `--report`.
     pub report: Option<String>,
+    /// `--cache-dir`.
+    pub cache_dir: Option<String>,
 }
 
 impl CommonOpts {
-    /// Parses `args`; unknown flags are an error.
-    pub fn parse(args: &[String]) -> Result<Self, String> {
+    /// Parses `args`; unknown flags are a usage error.
+    pub fn parse(args: &[String]) -> Result<Self, CliError> {
         let mut opts = CommonOpts {
             positional: Vec::new(),
             segmenter: "nemesys".to_string(),
@@ -71,13 +78,14 @@ impl CommonOpts {
             json: false,
             reassemble: false,
             report: None,
+            cache_dir: None,
         };
         let mut it = args.iter();
         while let Some(arg) = it.next() {
-            let mut value_for = |flag: &str| -> Result<String, String> {
+            let mut value_for = |flag: &str| -> Result<String, CliError> {
                 it.next()
                     .cloned()
-                    .ok_or_else(|| format!("{flag} needs a value"))
+                    .ok_or_else(|| CliError::usage(format!("{flag} needs a value")))
             };
             match arg.as_str() {
                 "--segmenter" => opts.segmenter = value_for("--segmenter")?,
@@ -85,35 +93,38 @@ impl CommonOpts {
                     opts.port = Some(
                         value_for("--port")?
                             .parse()
-                            .map_err(|_| "--port needs a number".to_string())?,
+                            .map_err(|_| CliError::usage("--port needs a number"))?,
                     )
                 }
                 "--max" => {
                     opts.max = Some(
                         value_for("--max")?
                             .parse()
-                            .map_err(|_| "--max needs a number".to_string())?,
+                            .map_err(|_| CliError::usage("--max needs a number"))?,
                     )
                 }
                 "--limit" => {
                     opts.limit = value_for("--limit")?
                         .parse()
-                        .map_err(|_| "--limit needs a number".to_string())?
+                        .map_err(|_| CliError::usage("--limit needs a number"))?
                 }
                 "--count" => {
                     opts.count = value_for("--count")?
                         .parse()
-                        .map_err(|_| "--count needs a number".to_string())?
+                        .map_err(|_| CliError::usage("--count needs a number"))?
                 }
                 "--seed" => {
                     opts.seed = value_for("--seed")?
                         .parse()
-                        .map_err(|_| "--seed needs a number".to_string())?
+                        .map_err(|_| CliError::usage("--seed needs a number"))?
                 }
                 "--json" => opts.json = true,
                 "--reassemble" => opts.reassemble = true,
                 "--report" => opts.report = Some(value_for("--report")?),
-                flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+                "--cache-dir" => opts.cache_dir = Some(value_for("--cache-dir")?),
+                flag if flag.starts_with("--") => {
+                    return Err(CliError::usage(format!("unknown flag `{flag}`")))
+                }
                 positional => opts.positional.push(positional.to_string()),
             }
         }
@@ -121,15 +132,15 @@ impl CommonOpts {
     }
 
     /// Instantiates the selected segmenter.
-    pub fn build_segmenter(&self) -> Result<Box<dyn Segmenter>, String> {
+    pub fn build_segmenter(&self) -> Result<Box<dyn Segmenter>, CliError> {
         match self.segmenter.as_str() {
             "nemesys" => Ok(Box::new(Nemesys::default())),
             "netzob" => Ok(Box::new(Netzob::default())),
             "csp" => Ok(Box::new(Csp::default())),
             "fixed" => Ok(Box::new(FixedChunks::default())),
-            other => Err(format!(
+            other => Err(CliError::usage(format!(
                 "unknown segmenter `{other}` (nemesys|netzob|csp|fixed)"
-            )),
+            ))),
         }
     }
 }
@@ -147,7 +158,7 @@ pub fn hex_preview(bytes: &[u8], max: usize) -> String {
 mod tests {
     use super::*;
 
-    fn parse(words: &[&str]) -> Result<CommonOpts, String> {
+    fn parse(words: &[&str]) -> Result<CommonOpts, CliError> {
         let args: Vec<String> = words.iter().map(|s| s.to_string()).collect();
         CommonOpts::parse(&args)
     }
@@ -182,9 +193,22 @@ mod tests {
 
     #[test]
     fn rejects_unknown_flag_and_missing_value() {
-        assert!(parse(&["--frobnicate"]).is_err());
-        assert!(parse(&["--port"]).is_err());
-        assert!(parse(&["--port", "x"]).is_err());
+        for bad in [
+            parse(&["--frobnicate"]),
+            parse(&["--port"]),
+            parse(&["--port", "x"]),
+            parse(&["--cache-dir"]),
+        ] {
+            // All parse failures are usage errors (exit code 2).
+            assert_eq!(bad.unwrap_err().exit_code(), 2);
+        }
+    }
+
+    #[test]
+    fn cache_dir_is_parsed() {
+        let o = parse(&["a.pcap", "--cache-dir", "/tmp/cache"]).unwrap();
+        assert_eq!(o.cache_dir.as_deref(), Some("/tmp/cache"));
+        assert!(parse(&["a.pcap"]).unwrap().cache_dir.is_none());
     }
 
     #[test]

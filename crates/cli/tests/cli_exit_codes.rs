@@ -1,0 +1,110 @@
+//! Drives the compiled `fieldclust` binary and asserts the exit-code
+//! contract: 0 success, 1 runtime failure, 2 bad usage — with the
+//! failing subcommand named on stderr.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_fieldclust"))
+        .args(args)
+        .output()
+        .expect("spawn fieldclust binary")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fieldclust-exit-codes-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn bad_flag_exits_2_and_names_the_subcommand() {
+    let out = run(&["analyze", "whatever.pcap", "--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("error: analyze:"), "stderr: {err}");
+    assert!(err.contains("--frobnicate"), "stderr: {err}");
+}
+
+#[test]
+fn missing_flag_value_exits_2() {
+    let out = run(&["msgtype", "x.pcap", "--port"]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("error: msgtype:"));
+}
+
+#[test]
+fn unknown_command_exits_2_with_usage() {
+    let out = run(&["transmogrify"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("unknown command"), "stderr: {err}");
+    assert!(err.contains("USAGE"), "stderr: {err}");
+}
+
+#[test]
+fn no_arguments_exits_2_with_usage() {
+    let out = run(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("USAGE"));
+}
+
+#[test]
+fn runtime_failure_exits_1_and_names_the_subcommand() {
+    let out = run(&["analyze", "/nonexistent/capture.pcap"]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("error: analyze:"), "stderr: {err}");
+    assert!(err.contains("/nonexistent/capture.pcap"), "stderr: {err}");
+}
+
+#[test]
+fn success_exits_0() {
+    let out = run(&["protocols"]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn cache_dir_warm_run_reports_hits_and_identical_output() {
+    let pcap = tmp("cached.pcap");
+    let cache = tmp("cache");
+    let out = run(&[
+        "generate",
+        "ntp",
+        "60",
+        pcap.to_str().unwrap(),
+        "--seed",
+        "5",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+
+    let analyze = || {
+        run(&[
+            "analyze",
+            pcap.to_str().unwrap(),
+            "--cache-dir",
+            cache.to_str().unwrap(),
+        ])
+    };
+    let cold = analyze();
+    assert_eq!(cold.status.code(), Some(0), "stderr: {}", stderr(&cold));
+    let cold_err = stderr(&cold);
+    assert!(cold_err.contains("cache: hits=0"), "stderr: {cold_err}");
+    assert!(cold_err.contains("writes="), "stderr: {cold_err}");
+
+    let warm = analyze();
+    assert_eq!(warm.status.code(), Some(0), "stderr: {}", stderr(&warm));
+    let warm_err = stderr(&warm);
+    assert!(warm_err.contains("misses=0"), "stderr: {warm_err}");
+    assert!(warm_err.contains("writes=0"), "stderr: {warm_err}");
+    // The warm run reproduces the cold run's report byte for byte.
+    assert_eq!(cold.stdout, warm.stdout);
+
+    std::fs::remove_file(&pcap).ok();
+    std::fs::remove_dir_all(&cache).ok();
+}

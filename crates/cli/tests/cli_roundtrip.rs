@@ -37,12 +37,18 @@ fn generate_rejects_bad_protocol_and_counts() {
 
 #[test]
 fn analyze_rejects_missing_file_and_empty_trace() {
-    assert!(commands::analyze(&args(&["/nonexistent/x.pcap"])).is_err());
+    // A well-formed invocation over a missing file is a runtime
+    // failure (exit class 1), not a usage error.
+    let err = commands::analyze(&args(&["/nonexistent/x.pcap"])).unwrap_err();
+    assert_eq!(err.exit_code(), 1);
     // Filter that matches nothing -> empty trace error.
     let pcap = tmp("filtered.pcap");
     commands::generate(&args(&["dns", "20", &pcap])).unwrap();
     let err = commands::analyze(&args(&[&pcap, "--port", "9"])).unwrap_err();
-    assert!(err.contains("no messages"), "{err}");
+    assert!(err.to_string().contains("no messages"), "{err}");
+    assert_eq!(err.exit_code(), 1);
+    // A missing positional argument is a usage error (exit class 2).
+    assert_eq!(commands::analyze(&[]).unwrap_err().exit_code(), 2);
     std::fs::remove_file(&pcap).ok();
 }
 

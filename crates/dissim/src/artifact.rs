@@ -55,6 +55,35 @@ impl DissimArtifact {
         }
     }
 
+    /// Reassembles an artifact from a matrix and an optionally
+    /// pre-built neighbor index (the artifact store's warm-start path).
+    /// `None` if the index covers a different item count than the
+    /// matrix — a corrupt cache file must read as a miss, never as a
+    /// mismatched artifact.
+    pub fn from_parts(
+        matrix: CondensedMatrix,
+        neighbors: Option<NeighborIndex>,
+        threads: usize,
+    ) -> Option<Self> {
+        if let Some(ix) = &neighbors {
+            if ix.len() != matrix.len() {
+                return None;
+            }
+        }
+        Some(Self {
+            matrix,
+            threads: threads.max(1),
+            neighbors,
+        })
+    }
+
+    /// Sets the worker-thread count used for a later lazy
+    /// [`neighbors`](Self::neighbors) build (deserialized artifacts
+    /// default to one thread).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
     /// Number of items.
     pub fn len(&self) -> usize {
         self.matrix.len()

@@ -493,6 +493,109 @@ pub(crate) fn build_bucketed(
     CondensedMatrix::from_raw(n, data)
 }
 
+/// Extends an already-built condensed matrix over the first `old_n`
+/// segments to cover all of `segments`: old entries are copied verbatim
+/// and only the pairs touching at least one new segment (index ≥
+/// `old_n`) are computed, through the same length-bucketed kernels as
+/// [`build_bucketed`].
+///
+/// Bit-identical to a cold [`build_bucketed`] over the full segment set:
+/// every kernel entry equals the scalar [`crate::dissimilarity`] of its
+/// pair regardless of bucketing or scheduling (see the module docs), so
+/// the spliced matrix and the cold matrix agree entry by entry.
+pub(crate) fn extend_bucketed(
+    old_data: &[f64],
+    old_n: usize,
+    segments: &[&[u8]],
+    params: &DissimParams,
+    threads: usize,
+) -> CondensedMatrix {
+    let n = segments.len();
+    assert!(old_n <= n, "extension must not shrink the segment set");
+    debug_assert_eq!(old_data.len(), old_n * old_n.saturating_sub(1) / 2);
+    if old_n == n {
+        return CondensedMatrix::from_raw(n, old_data.to_vec());
+    }
+    if old_n < 2 {
+        // Nothing reusable: every pair touches a new segment.
+        return build_bucketed(segments, params, threads);
+    }
+    let penalty = params.effective_penalty();
+    let lut = CanberraLut::global();
+
+    // Buckets over the NEW indices only: every pair (i, j) with
+    // j >= old_n is new, and for rows i >= old_n every column j > i is
+    // >= old_n too, so new-index buckets cover exactly the missing
+    // entries of every row.
+    let mut order: Vec<usize> = (old_n..n).collect();
+    order.sort_unstable_by_key(|&i| (segments[i].len(), i));
+    let mut buckets: Vec<Bucket> = Vec::new();
+    for &i in &order {
+        match buckets.last_mut() {
+            Some(b) if b.len == segments[i].len() => b.idxs.push(i),
+            _ => buckets.push(Bucket {
+                len: segments[i].len(),
+                idxs: vec![i],
+            }),
+        }
+    }
+
+    let key_table = KeyTable::new(segments);
+    let mut data = vec![0.0f64; n * (n - 1) / 2];
+    // Splice the old rows: row i of the old matrix is the contiguous
+    // condensed range for pairs (i, i+1..old_n), which lands at the
+    // start of new row i.
+    for i in 0..old_n.saturating_sub(1) {
+        let old_start = condensed_index(old_n, i, i + 1);
+        let new_start = condensed_index(n, i, i + 1);
+        data[new_start..new_start + (old_n - i - 1)]
+            .copy_from_slice(&old_data[old_start..old_start + (old_n - i - 1)]);
+    }
+
+    let threads = threads.max(1).min(n - 1);
+    if threads == 1 {
+        for i in 0..(n - 1) {
+            let row_start = condensed_index(n, i, i + 1);
+            let row = &mut data[row_start..row_start + (n - i - 1)];
+            fill_row(i, segments, row, &buckets, penalty, lut, &key_table);
+        }
+        return CondensedMatrix::from_raw(n, data);
+    }
+
+    let block_rows = (n / (threads * 8)).max(1);
+    let next_block = AtomicUsize::new(0);
+    let data_ptr = SendPtr(data.as_mut_ptr());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let data_ptr = &data_ptr;
+                loop {
+                    let block = next_block.fetch_add(1, Ordering::Relaxed);
+                    let start = block * block_rows;
+                    if start >= n - 1 {
+                        break;
+                    }
+                    let end = (start + block_rows).min(n - 1);
+                    for i in start..end {
+                        let row_start = condensed_index(n, i, i + 1);
+                        // SAFETY: row i owns the condensed range
+                        // [row_start, row_start + n - i - 1) exclusively,
+                        // and each row is claimed by exactly one thread,
+                        // so the slices never alias. fill_row only writes
+                        // new-bucket columns, leaving the spliced old
+                        // prefix of the row untouched.
+                        let row = unsafe {
+                            std::slice::from_raw_parts_mut(data_ptr.0.add(row_start), n - i - 1)
+                        };
+                        fill_row(i, segments, row, &buckets, penalty, lut, &key_table);
+                    }
+                }
+            });
+        }
+    });
+    CondensedMatrix::from_raw(n, data)
+}
+
 /// A raw pointer wrapper asserting cross-thread transferability for the
 /// disjoint-row-write pattern in [`build_bucketed`].
 struct SendPtr(*mut f64);
@@ -596,5 +699,48 @@ mod tests {
         let one = build_bucketed(&[b"ab".as_slice()], &P, 4);
         assert_eq!(one.len(), 1);
         assert!(one.values().is_empty());
+    }
+
+    /// Deterministic mixed-length corpus for the extension tests: many
+    /// distinct lengths, repeated values, empties.
+    fn corpus(n: usize) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|i| {
+                let len = [0usize, 1, 2, 3, 4, 4, 7, 8, 12][i % 9];
+                (0..len)
+                    .map(|k| ((i * 31 + k * 17 + i * k) % 256) as u8)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn extension_is_bit_identical_to_cold_build() {
+        let segs = corpus(37);
+        let values: Vec<&[u8]> = segs.iter().map(|s| &s[..]).collect();
+        let cold = build_bucketed(&values, &P, 3);
+        for old_n in [0usize, 1, 2, 5, 18, 36, 37] {
+            let old = build_bucketed(&values[..old_n], &P, 2);
+            for threads in [1, 3, 8] {
+                let ext = extend_bucketed(old.values(), old_n, &values, &P, threads);
+                assert_eq!(ext.len(), cold.len());
+                for (k, (a, b)) in ext.values().iter().zip(cold.values()).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "old_n = {old_n}, threads = {threads}, entry {k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must not shrink")]
+    fn extension_rejects_shrinking() {
+        let segs = corpus(6);
+        let values: Vec<&[u8]> = segs.iter().map(|s| &s[..]).collect();
+        let full = build_bucketed(&values, &P, 1);
+        extend_bucketed(full.values(), full.len(), &values[..3], &P, 1);
     }
 }

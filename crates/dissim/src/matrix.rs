@@ -66,6 +66,42 @@ impl CondensedMatrix {
         Self { n, data }
     }
 
+    /// Checked variant of the raw constructor for deserialized buffers:
+    /// `None` unless `data.len()` is exactly `n·(n−1)/2`. Used by the
+    /// artifact store, where a mismatched buffer must degrade to a cache
+    /// miss instead of corrupting every later index computation.
+    pub fn from_condensed(n: usize, data: Vec<f64>) -> Option<Self> {
+        if data.len() == n * n.saturating_sub(1) / 2 {
+            Some(Self { n, data })
+        } else {
+            None
+        }
+    }
+
+    /// Extends this matrix (built over the first `self.len()` of
+    /// `segments`) to cover all of `segments`: existing condensed
+    /// entries are spliced over verbatim and only pairs involving at
+    /// least one appended segment are computed, through the same kernel
+    /// layer as [`build_segments`](Self::build_segments).
+    ///
+    /// Bit-identical to a cold
+    /// `CondensedMatrix::build_segments(segments, params, threads)` —
+    /// the incremental warm-start path of the artifact store must never
+    /// perturb a single matrix entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` has fewer entries than this matrix covers —
+    /// extension can only grow the item set.
+    pub fn extend_segments(
+        &self,
+        segments: &[&[u8]],
+        params: &crate::canberra::DissimParams,
+        threads: usize,
+    ) -> Self {
+        crate::kernel::extend_bucketed(&self.data, self.n, segments, params, threads)
+    }
+
     /// Builds the matrix in parallel over all rows using scoped threads.
     ///
     /// `f` must be pure; rows are handed out dynamically so irregular row

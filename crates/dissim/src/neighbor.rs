@@ -97,6 +97,26 @@ impl NeighborIndex {
         Self { n, lists }
     }
 
+    /// The flattened sorted neighbor lists (item `i` owns entries
+    /// `i·(n−1) .. (i+1)·(n−1)`), for persistence by the artifact store.
+    pub fn flat_lists(&self) -> &[(f64, u32)] {
+        &self.lists
+    }
+
+    /// Rebuilds an index from flattened lists previously obtained via
+    /// [`flat_lists`](Self::flat_lists): `None` unless `lists.len()` is
+    /// exactly `n·(n−1)`. The entries are trusted to be sorted — the
+    /// artifact store guards them with a whole-file checksum, and a
+    /// mismatched length must degrade to a cache miss, never corrupt
+    /// row slicing.
+    pub fn from_flat_lists(n: usize, lists: Vec<(f64, u32)>) -> Option<Self> {
+        if lists.len() == n * n.saturating_sub(1) {
+            Some(Self { n, lists })
+        } else {
+            None
+        }
+    }
+
     /// Number of items covered.
     pub fn len(&self) -> usize {
         self.n

@@ -1,0 +1,442 @@
+//! Artifact-store integration: cache keys and persistence codecs for
+//! the session's stage artifacts.
+//!
+//! The [`store`](::store) crate moves opaque `Persist` payloads in and
+//! out of checksummed files; *this* module decides what those payloads
+//! are and which inputs their keys must cover. The keying rule
+//! (DESIGN.md §"Artifact store"): a key digests **every input that can
+//! change the artifact's bits, and nothing else** — so thread counts
+//! never appear in a key (they cannot change bits; every parallel build
+//! is pinned bit-identical to serial), while every dissimilarity,
+//! auto-configuration and refinement parameter does.
+//!
+//! Key schema, per stage:
+//!
+//! | artifact | key inputs |
+//! |---|---|
+//! | segmentation | trace content, segmenter fingerprint |
+//! | segment store | trace content + cuts, `min_segment_len` |
+//! | dissimilarity | chained unique-value digest, dissim params |
+//! | selection / clustering / refined | trace content + cuts, full config |
+//!
+//! The dissimilarity key is special: it is a **chained** digest over the
+//! unique segment values in first-occurrence order, snapshotted per
+//! prefix length. Because deduplication preserves first-occurrence
+//! order, the unique values of a *grown* trace start with the unique
+//! values of the original trace — so the session can recognize a cached
+//! matrix for a prefix of its segment set (via the per-family manifest)
+//! and extend it incrementally instead of rebuilding from scratch.
+
+use crate::pipeline::{EpsilonSource, FieldTypeClusterer};
+use crate::segments::{SegmentInstance, SegmentStore, UniqueSegment};
+use cluster::autoconf::{AutoConfig, SelectedParams};
+use cluster::dbscan::Clustering;
+use cluster::refine::RefineParams;
+use dissim::DissimParams;
+use segment::TraceSegmentation;
+use store::{Key, KeyDigest, Kind, Persist, Reader, Writer};
+use trace::Trace;
+
+// ----- key derivation -----
+
+/// Key for a cached segmentation of `trace` by the segmenter with the
+/// given configuration fingerprint.
+pub(crate) fn segmentation_key(trace: &Trace, fingerprint: &str) -> Key {
+    let mut d = KeyDigest::new(Kind::SEGMENTATION);
+    digest_trace(&mut d, trace);
+    d.str(fingerprint);
+    d.finish()
+}
+
+/// Digest of the full session input: trace content plus segmentation
+/// cuts. Every downstream stage artifact is a pure function of this
+/// digest and configuration parameters.
+pub(crate) fn input_key(trace: &Trace, seg: &TraceSegmentation) -> Key {
+    let mut d = KeyDigest::new(Kind::SEGMENTATION);
+    digest_trace(&mut d, trace);
+    d.usize(seg.messages.len());
+    for msg in &seg.messages {
+        let cuts = msg.cuts();
+        d.usize(cuts.len());
+        for c in cuts {
+            d.usize(c);
+        }
+    }
+    d.finish()
+}
+
+/// Key for the deduplicated segment store.
+pub(crate) fn segment_store_key(input: &Key, min_segment_len: usize) -> Key {
+    let mut d = KeyDigest::new(Kind::SEGMENT_STORE);
+    d.key(input);
+    d.usize(min_segment_len);
+    d.finish()
+}
+
+/// Keys of the dissimilarity artifact over each prefix `values[..u]`,
+/// one per requested `u` (ascending), all from a single pass: the
+/// digest is chained over the values, snapshotted at every requested
+/// prefix length.
+pub(crate) fn dissim_keys_at(values: &[&[u8]], params: &DissimParams, at: &[usize]) -> Vec<Key> {
+    debug_assert!(at.windows(2).all(|w| w[0] < w[1]), "prefixes must ascend");
+    debug_assert!(at.last().is_none_or(|&u| u <= values.len()));
+    let mut d = KeyDigest::new(Kind::DISSIM);
+    digest_dissim_params(&mut d, params);
+    let mut keys = Vec::with_capacity(at.len());
+    let mut fed = 0usize;
+    for &u in at {
+        for v in &values[fed..u] {
+            d.frame(v);
+        }
+        fed = u;
+        let mut snap = d.clone();
+        snap.usize(u);
+        keys.push(snap.finish());
+    }
+    keys
+}
+
+/// Key of the dissimilarity artifact over all of `values`.
+pub(crate) fn dissim_key(values: &[&[u8]], params: &DissimParams) -> Key {
+    dissim_keys_at(values, params, &[values.len()])
+        .pop()
+        .expect("one prefix requested")
+}
+
+/// Manifest family for dissimilarity artifacts: one parameter set plus
+/// a stream identity (the first few unique values), so the manifest
+/// stays small and scoped to traces that could actually share a prefix.
+pub(crate) fn dissim_family_key(values: &[&[u8]], params: &DissimParams) -> Key {
+    let mut d = KeyDigest::new(Kind::MANIFEST);
+    d.u64(u64::from(Kind::DISSIM.tag()));
+    digest_dissim_params(&mut d, params);
+    for v in values.iter().take(4) {
+        d.frame(v);
+    }
+    d.finish()
+}
+
+/// Key for a configuration-dependent stage artifact (selection, cluster
+/// stage, refined clustering) over the session input.
+pub(crate) fn stage_key(kind: Kind, input: &Key, config: &FieldTypeClusterer) -> Key {
+    let mut d = KeyDigest::new(kind);
+    d.key(input);
+    digest_config(&mut d, config);
+    d.finish()
+}
+
+/// Key for the message-alignment dissimilarity artifact (gap penalty on
+/// top of the segment dissimilarities over the full store).
+pub(crate) fn message_dissim_key(input: &Key, params: &DissimParams, gap_penalty: f64) -> Key {
+    let mut d = KeyDigest::new(Kind::DISSIM);
+    d.str("message-alignment");
+    d.key(input);
+    digest_dissim_params(&mut d, params);
+    d.f64(gap_penalty);
+    d.finish()
+}
+
+fn digest_trace(d: &mut KeyDigest, trace: &Trace) {
+    d.usize(trace.len());
+    for msg in trace.iter() {
+        d.frame(msg.payload());
+    }
+}
+
+fn digest_dissim_params(d: &mut KeyDigest, p: &DissimParams) {
+    d.f64(p.length_penalty);
+}
+
+fn digest_autoconf(d: &mut KeyDigest, a: &AutoConfig) {
+    d.f64(a.sensitivity);
+    d.usize(a.smoothing_knots);
+    d.usize(a.grid_points);
+    d.opt_f64(a.max_dissimilarity);
+}
+
+fn digest_refine(d: &mut KeyDigest, r: &RefineParams) {
+    d.f64(r.eps_rho_threshold);
+    d.f64(r.neighbor_density_threshold);
+    d.f64(r.split_percent_rank);
+    d.usize(r.max_merge_rounds);
+}
+
+fn digest_config(d: &mut KeyDigest, c: &FieldTypeClusterer) {
+    // `threads` is deliberately absent: parallel builds are pinned
+    // bit-identical to serial, so the thread count cannot change bits.
+    digest_dissim_params(d, &c.dissim);
+    digest_autoconf(d, &c.autoconf);
+    digest_refine(d, &c.refine);
+    d.usize(c.min_segment_len);
+    d.f64(c.large_cluster_fraction);
+}
+
+// ----- persistence codecs for fieldclust-local artifacts -----
+
+impl Persist for SegmentStore {
+    const KIND: Kind = Kind::SEGMENT_STORE;
+
+    fn encode(&self, w: &mut Writer) {
+        encode_unique_segments(w, &self.segments);
+        encode_unique_segments(w, &self.excluded);
+    }
+
+    fn decode(r: &mut Reader) -> Option<Self> {
+        let segments = decode_unique_segments(r)?;
+        let excluded = decode_unique_segments(r)?;
+        Some(SegmentStore { segments, excluded })
+    }
+}
+
+fn encode_unique_segments(w: &mut Writer, segments: &[UniqueSegment]) {
+    w.usize(segments.len());
+    for s in segments {
+        w.bytes(&s.value);
+        w.usize(s.instances.len());
+        for inst in &s.instances {
+            w.usize(inst.message);
+            w.usize(inst.range.start);
+            w.usize(inst.range.end);
+        }
+    }
+}
+
+fn decode_unique_segments(r: &mut Reader) -> Option<Vec<UniqueSegment>> {
+    let n = r.count(16)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let value = r.bytes()?.to_vec();
+        let n_inst = r.count(24)?;
+        let mut instances = Vec::with_capacity(n_inst);
+        for _ in 0..n_inst {
+            let message = r.usize()?;
+            let start = r.usize()?;
+            let end = r.usize()?;
+            if end < start || end - start != value.len() {
+                return None;
+            }
+            instances.push(SegmentInstance {
+                message,
+                range: start..end,
+            });
+        }
+        out.push(UniqueSegment { value, instances });
+    }
+    Some(out)
+}
+
+fn encode_epsilon_source(w: &mut Writer, s: EpsilonSource) {
+    w.u8(match s {
+        EpsilonSource::Knee => 0,
+        EpsilonSource::TrimmedKnee => 1,
+        EpsilonSource::MeanFallback => 2,
+    });
+}
+
+fn decode_epsilon_source(r: &mut Reader) -> Option<EpsilonSource> {
+    match r.u8()? {
+        0 => Some(EpsilonSource::Knee),
+        1 => Some(EpsilonSource::TrimmedKnee),
+        2 => Some(EpsilonSource::MeanFallback),
+        _ => None,
+    }
+}
+
+/// The auto-configuration stage artifact: selected parameters plus
+/// where ε came from.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct SelectionArtifact {
+    pub params: SelectedParams,
+    pub source: EpsilonSource,
+}
+
+impl Persist for SelectionArtifact {
+    const KIND: Kind = Kind::SELECTION;
+
+    fn encode(&self, w: &mut Writer) {
+        self.params.encode(w);
+        encode_epsilon_source(w, self.source);
+    }
+
+    fn decode(r: &mut Reader) -> Option<Self> {
+        let params = SelectedParams::decode(r)?;
+        let source = decode_epsilon_source(r)?;
+        Some(Self { params, source })
+    }
+}
+
+/// The clustering stage artifact: the labels together with the
+/// (possibly §III-E re-configured) parameters that produced them.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ClusterStageArtifact {
+    pub params: SelectedParams,
+    pub source: EpsilonSource,
+    pub clustering: Clustering,
+}
+
+impl Persist for ClusterStageArtifact {
+    const KIND: Kind = Kind::CLUSTER_STAGE;
+
+    fn encode(&self, w: &mut Writer) {
+        self.params.encode(w);
+        encode_epsilon_source(w, self.source);
+        self.clustering.encode(w);
+    }
+
+    fn decode(r: &mut Reader) -> Option<Self> {
+        let params = SelectedParams::decode(r)?;
+        let source = decode_epsilon_source(r)?;
+        let clustering = Clustering::decode(r)?;
+        Some(Self {
+            params,
+            source,
+            clustering,
+        })
+    }
+}
+
+/// The refined clustering (post merge/split).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct RefinedArtifact(pub Clustering);
+
+impl Persist for RefinedArtifact {
+    const KIND: Kind = Kind::REFINED;
+
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+    }
+
+    fn decode(r: &mut Reader) -> Option<Self> {
+        Some(Self(Clustering::decode(r)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::dbscan::Label;
+    use store::{decode_payload, encode_payload};
+
+    #[test]
+    fn segment_store_roundtrip() {
+        let s = SegmentStore {
+            segments: vec![UniqueSegment {
+                value: b"\x01\x02".to_vec(),
+                instances: vec![
+                    SegmentInstance {
+                        message: 0,
+                        range: 0..2,
+                    },
+                    SegmentInstance {
+                        message: 3,
+                        range: 4..6,
+                    },
+                ],
+            }],
+            excluded: vec![UniqueSegment {
+                value: b"\x09".to_vec(),
+                instances: vec![SegmentInstance {
+                    message: 1,
+                    range: 4..5,
+                }],
+            }],
+        };
+        let back: SegmentStore = decode_payload(&encode_payload(&s)).expect("roundtrip");
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn segment_store_range_value_mismatch_is_a_miss() {
+        // An instance range whose width disagrees with the value length
+        // is structurally impossible; the decoder must reject it.
+        let mut w = Writer::new();
+        w.usize(1); // one segment
+        w.bytes(b"\x01\x02");
+        w.usize(1); // one instance
+        w.usize(0); // message
+        w.usize(0); // start
+        w.usize(5); // end: width 5 != value len 2
+        w.usize(0); // no excluded
+        assert!(decode_payload::<SegmentStore>(&w.into_inner()).is_none());
+    }
+
+    #[test]
+    fn selection_and_stage_artifacts_roundtrip() {
+        let params = SelectedParams {
+            epsilon: 0.25,
+            min_samples: 5,
+            k: 2,
+            ecdf_values: vec![0.1, 0.2],
+            smoothed_curve: vec![(0.0, 0.0), (1.0, 1.0)],
+        };
+        let sel = SelectionArtifact {
+            params: params.clone(),
+            source: EpsilonSource::TrimmedKnee,
+        };
+        let back: SelectionArtifact = decode_payload(&encode_payload(&sel)).expect("sel");
+        assert_eq!(back, sel);
+
+        let stage = ClusterStageArtifact {
+            params,
+            source: EpsilonSource::MeanFallback,
+            clustering: Clustering::from_labels(vec![Label::Cluster(0), Label::Noise]),
+        };
+        let back: ClusterStageArtifact = decode_payload(&encode_payload(&stage)).expect("stage");
+        assert_eq!(back, stage);
+
+        let refined = RefinedArtifact(stage.clustering.clone());
+        let back: RefinedArtifact = decode_payload(&encode_payload(&refined)).expect("refined");
+        assert_eq!(back, refined);
+    }
+
+    #[test]
+    fn bad_epsilon_source_tag_is_a_miss() {
+        let mut w = Writer::new();
+        let params = SelectedParams {
+            epsilon: 0.1,
+            min_samples: 2,
+            k: 1,
+            ecdf_values: vec![],
+            smoothed_curve: vec![],
+        };
+        params.encode(&mut w);
+        w.u8(9); // no such EpsilonSource
+        assert!(decode_payload::<SelectionArtifact>(&w.into_inner()).is_none());
+    }
+
+    #[test]
+    fn dissim_prefix_keys_chain() {
+        let values: Vec<&[u8]> = vec![b"aa", b"bb", b"cc", b"dd", b"ee"];
+        let params = DissimParams::default();
+        let keys = dissim_keys_at(&values, &params, &[2, 4, 5]);
+        // Snapshot keys equal the from-scratch key of each prefix.
+        assert_eq!(keys[0], dissim_key(&values[..2], &params));
+        assert_eq!(keys[1], dissim_key(&values[..4], &params));
+        assert_eq!(keys[2], dissim_key(&values, &params));
+        // And a different value stream diverges.
+        let other: Vec<&[u8]> = vec![b"aa", b"xx"];
+        assert_ne!(keys[0], dissim_key(&other, &params));
+    }
+
+    #[test]
+    fn config_changes_move_stage_keys() {
+        let input = Key([7; 16]);
+        let base = FieldTypeClusterer::default();
+        let k0 = stage_key(Kind::SELECTION, &input, &base);
+        // Thread count must NOT move the key (bits are pinned across
+        // thread counts)...
+        let mut threaded = base.clone();
+        threaded.threads = base.threads + 3;
+        assert_eq!(k0, stage_key(Kind::SELECTION, &input, &threaded));
+        // ...while every bit-affecting parameter must.
+        let mut other = base.clone();
+        other.autoconf.sensitivity += 0.5;
+        assert_ne!(k0, stage_key(Kind::SELECTION, &input, &other));
+        let mut other = base.clone();
+        other.refine.max_merge_rounds += 1;
+        assert_ne!(k0, stage_key(Kind::SELECTION, &input, &other));
+        let mut other = base;
+        other.dissim.length_penalty = 0.25;
+        assert_ne!(k0, stage_key(Kind::SELECTION, &input, &other));
+    }
+}

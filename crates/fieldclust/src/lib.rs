@@ -50,6 +50,7 @@
 //! # Ok::<(), fieldclust::PipelineError>(())
 //! ```
 
+pub(crate) mod cache;
 pub mod compare;
 pub mod eval;
 pub mod fuzzgen;
@@ -68,3 +69,4 @@ pub use pipeline::{EpsilonSource, FieldTypeClusterer, PipelineError, PseudoTypeC
 pub use segments::{SegmentInstance, SegmentStore, UniqueSegment};
 pub use semantics::{interpret, ClusterSemantics, SemanticHypothesis, SemanticsConfig};
 pub use session::AnalysisSession;
+pub use store::{ArtifactStore, StoreStats};

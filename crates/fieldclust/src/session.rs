@@ -49,7 +49,9 @@
 //! ```
 
 use std::borrow::Cow;
+use std::path::Path;
 
+use crate::cache::{self, ClusterStageArtifact, RefinedArtifact, SelectionArtifact};
 use crate::msgtype::{self, MessageTypeConfig, MessageTypeError, MessageTypes};
 use crate::pipeline::{EpsilonSource, FieldTypeClusterer, PipelineError, PseudoTypeClustering};
 use crate::segments::SegmentStore;
@@ -60,6 +62,7 @@ use cluster::dbscan::{dbscan, dbscan_weighted_with_index, Clustering};
 use cluster::refine::{merge_clusters_with_index, split_clusters};
 use dissim::{CondensedMatrix, DissimArtifact, NeighborIndex};
 use segment::{SegmentError, Segmenter, TraceSegmentation};
+use store::{ArtifactStore, Key, Kind, StoreStats};
 use trace::{Preprocessor, Trace};
 
 /// A staged run of the analysis pipeline over one trace.
@@ -81,6 +84,10 @@ pub struct AnalysisSession<'t> {
     full_store: Option<SegmentStore>,
     full_dissim: Option<DissimArtifact>,
     msg_dissim: Option<(f64, DissimArtifact)>,
+    // Optional on-disk artifact cache; `None` keeps every stage purely
+    // in-memory. The memoized input key covers trace + segmentation.
+    cache: Option<ArtifactStore>,
+    input_key: Option<Key>,
 }
 
 impl<'t> AnalysisSession<'t> {
@@ -117,7 +124,40 @@ impl<'t> AnalysisSession<'t> {
             full_store: None,
             full_dissim: None,
             msg_dissim: None,
+            cache: None,
+            input_key: None,
         }
+    }
+
+    /// Attaches an on-disk artifact store rooted at `dir` (builder
+    /// form). Every stage then probes the store before computing and
+    /// writes its artifact back after; cached artifacts are
+    /// bit-identical to computed ones, and a damaged cache degrades to
+    /// cold compute — it never changes results or fails the analysis.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error if the cache directory cannot be
+    /// created.
+    pub fn with_store(mut self, dir: impl AsRef<Path>) -> std::io::Result<Self> {
+        self.cache = Some(ArtifactStore::open(dir.as_ref())?);
+        Ok(self)
+    }
+
+    /// Attaches an already-opened artifact store (e.g. one shared with
+    /// other sessions; clones share hit/miss statistics).
+    pub fn set_store(&mut self, store: ArtifactStore) {
+        self.cache = Some(store);
+    }
+
+    /// The attached artifact store, if any.
+    pub fn artifact_store(&self) -> Option<&ArtifactStore> {
+        self.cache.as_ref()
+    }
+
+    /// Cache hit/miss/write statistics, if a store is attached.
+    pub fn cache_stats(&self) -> Option<StoreStats> {
+        self.cache.as_ref().map(ArtifactStore::stats)
     }
 
     /// The trace under analysis.
@@ -140,6 +180,23 @@ impl<'t> AnalysisSession<'t> {
         &mut self,
         segmenter: &dyn Segmenter,
     ) -> Result<&TraceSegmentation, SegmentError> {
+        if let Some(store) = self.cache.clone() {
+            let key = cache::segmentation_key(&self.trace, &segmenter.cache_fingerprint());
+            match store.get::<TraceSegmentation>(&key) {
+                // Defensive shape check on top of the content key: a
+                // cached segmentation must cover exactly this trace.
+                Some(seg) if seg.messages.len() == self.trace.len() => {
+                    self.set_segmentation(seg);
+                    return Ok(self.segmentation.as_ref().expect("just set"));
+                }
+                _ => {
+                    let seg = segmenter.segment_trace(&self.trace)?;
+                    store.put(&key, &seg);
+                    self.set_segmentation(seg);
+                    return Ok(self.segmentation.as_ref().expect("just set"));
+                }
+            }
+        }
         let seg = segmenter.segment_trace(&self.trace)?;
         self.set_segmentation(seg);
         Ok(self.segmentation.as_ref().expect("just set"))
@@ -149,6 +206,7 @@ impl<'t> AnalysisSession<'t> {
     /// the session, e.g. ground truth. Invalidates downstream artifacts.
     pub fn set_segmentation(&mut self, segmentation: TraceSegmentation) {
         self.segmentation = Some(segmentation);
+        self.input_key = None;
         self.store = None;
         self.dissim = None;
         self.selection = None;
@@ -293,14 +351,48 @@ impl<'t> AnalysisSession<'t> {
             .as_ref()
             .is_none_or(|(g, _)| *g != gap_penalty)
         {
-            self.ensure_full_dissim()?;
             let n = self.trace.len();
-            let store = self.full_store.as_ref().expect("ensured");
-            let seg_matrix = self.full_dissim.as_ref().expect("ensured").matrix();
-            let sequences = msgtype::segment_sequences(n, store);
-            let artifact = DissimArtifact::compute(n, self.config.threads, |a, b| {
-                msgtype::align_cost(&sequences[a], &sequences[b], seg_matrix, gap_penalty)
-            });
+            // Probe the cache first: a hit skips even the full-store
+            // segment dissimilarity build. Gated on the same
+            // preconditions the compute path errors on, so a hit can
+            // never mask a MissingSegmentation/TooFewMessages error.
+            let msg_key =
+                (self.cache.is_some() && self.segmentation.is_some() && n >= 4).then(|| {
+                    let input = self.session_input_key();
+                    cache::message_dissim_key(&input, &self.config.dissim, gap_penalty)
+                });
+            let mut artifact = None;
+            if let (Some(cache), Some(key)) = (self.cache.as_ref(), &msg_key) {
+                if let Some(mut a) = cache.get::<DissimArtifact>(key) {
+                    if a.len() == n {
+                        a.set_threads(self.config.threads);
+                        artifact = Some(a);
+                    }
+                }
+            }
+            let artifact = match artifact {
+                Some(a) => a,
+                None => {
+                    self.ensure_full_dissim()?;
+                    let computed = {
+                        let store = self.full_store.as_ref().expect("ensured");
+                        let seg_matrix = self.full_dissim.as_ref().expect("ensured").matrix();
+                        let sequences = msgtype::segment_sequences(n, store);
+                        DissimArtifact::compute(n, self.config.threads, |a, b| {
+                            msgtype::align_cost(
+                                &sequences[a],
+                                &sequences[b],
+                                seg_matrix,
+                                gap_penalty,
+                            )
+                        })
+                    };
+                    if let (Some(cache), Some(key)) = (self.cache.as_ref(), &msg_key) {
+                        cache.put(key, &computed);
+                    }
+                    computed
+                }
+            };
             self.msg_dissim = Some((gap_penalty, artifact));
         }
         Ok(self.msg_dissim.as_ref().expect("just built").1.matrix())
@@ -335,15 +427,121 @@ impl<'t> AnalysisSession<'t> {
 
     // ----- stage internals -----
 
+    /// The memoized content key over trace + segmentation that every
+    /// configuration-dependent stage key builds on. Only called with a
+    /// segmentation present.
+    fn session_input_key(&mut self) -> Key {
+        if let Some(k) = self.input_key {
+            return k;
+        }
+        let seg = self.segmentation.as_ref().expect("segmentation present");
+        let k = cache::input_key(&self.trace, seg);
+        self.input_key = Some(k);
+        k
+    }
+
+    /// Collects (or fetches from the cache) the deduplicated segment
+    /// store at the given minimum length. Only called with a
+    /// segmentation present.
+    fn collect_store_cached(&mut self, min_len: usize) -> SegmentStore {
+        let Some(cache) = self.cache.clone() else {
+            let seg = self.segmentation.as_ref().expect("segmentation present");
+            return SegmentStore::collect(&self.trace, seg, min_len);
+        };
+        let input = self.session_input_key();
+        let key = cache::segment_store_key(&input, min_len);
+        if let Some(store) = cache.get::<SegmentStore>(&key) {
+            return store;
+        }
+        let seg = self.segmentation.as_ref().expect("segmentation present");
+        let store = SegmentStore::collect(&self.trace, seg, min_len);
+        cache.put(&key, &store);
+        store
+    }
+
+    /// Builds (or fetches, or incrementally extends from a cached
+    /// prefix) the dissimilarity artifact over `values`. All three
+    /// paths are bit-identical; the incremental path finds the largest
+    /// cached prefix of `values` through the per-family manifest and
+    /// computes only the condensed entries that touch appended
+    /// segments.
+    fn build_dissim_cached(&self, values: &[&[u8]]) -> DissimArtifact {
+        let params = &self.config.dissim;
+        let threads = self.config.threads;
+        let Some(cache) = self.cache.as_ref() else {
+            return DissimArtifact::compute_segments(values, params, threads);
+        };
+        let n = values.len();
+        let key = cache::dissim_key(values, params);
+        if let Some(mut artifact) = cache.get::<DissimArtifact>(&key) {
+            artifact.set_threads(threads);
+            return artifact;
+        }
+        let family = cache::dissim_family_key(values, params);
+        let mut artifact = self
+            .extend_from_prefix(cache, &family, values, n)
+            .unwrap_or_else(|| DissimArtifact::compute_segments(values, params, threads));
+        // Persist the neighbor index alongside the matrix: a warm run
+        // must skip the O(n² log n) sort as well as the O(n²) build.
+        artifact.neighbors();
+        cache.put(&key, &artifact);
+        cache.manifest_add(&family, n, &key);
+        artifact
+    }
+
+    /// The incremental warm-start: the largest manifest entry whose
+    /// recorded key matches the recomputed key of our own value prefix
+    /// is a cached matrix over exactly `values[..u]`; splice it and
+    /// compute only the new rows.
+    fn extend_from_prefix(
+        &self,
+        cache: &ArtifactStore,
+        family: &Key,
+        values: &[&[u8]],
+        n: usize,
+    ) -> Option<DissimArtifact> {
+        let params = &self.config.dissim;
+        let entries = cache.manifest_entries(family);
+        let mut candidates: Vec<usize> = entries
+            .iter()
+            .map(|&(u, _)| u)
+            .filter(|&u| u >= 2 && u < n)
+            .collect();
+        candidates.dedup(); // entries are sorted by u
+        let expected = cache::dissim_keys_at(values, params, &candidates);
+        for (i, &u) in candidates.iter().enumerate().rev() {
+            if !entries.iter().any(|&(eu, ek)| eu == u && ek == expected[i]) {
+                continue;
+            }
+            let Some(prev) = cache.get_quiet::<DissimArtifact>(&expected[i]) else {
+                continue;
+            };
+            let extended = prev
+                .matrix()
+                .extend_segments(values, params, self.config.threads);
+            cache.record_extension();
+            return Some(DissimArtifact::from_matrix(extended, self.config.threads));
+        }
+        None
+    }
+
+    /// The stage key for a configuration-dependent artifact, if a cache
+    /// is attached. Only called with a segmentation present.
+    fn stage_key(&mut self, kind: Kind) -> Option<Key> {
+        self.cache.is_some().then(|| {
+            let input = self.session_input_key();
+            cache::stage_key(kind, &input, &self.config)
+        })
+    }
+
     fn ensure_store(&mut self) -> Result<(), PipelineError> {
         if self.store.is_some() {
             return Ok(());
         }
-        let seg = self
-            .segmentation
-            .as_ref()
-            .ok_or(PipelineError::MissingSegmentation)?;
-        let store = SegmentStore::collect(&self.trace, seg, self.config.min_segment_len);
+        if self.segmentation.is_none() {
+            return Err(PipelineError::MissingSegmentation);
+        }
+        let store = self.collect_store_cached(self.config.min_segment_len);
         let n = store.segments.len();
         if n < 4 {
             return Err(PipelineError::TooFewSegments { n });
@@ -357,22 +555,30 @@ impl<'t> AnalysisSession<'t> {
             return Ok(());
         }
         self.ensure_store()?;
-        let store = self.store.as_ref().expect("ensured");
-        let values: Vec<&[u8]> = store.segments.iter().map(|s| &s.value[..]).collect();
         // Structure-aware kernel build (LUT + early-abandon windows +
         // length buckets); bit-identical to the naive closure build,
-        // pinned by tests/session_equivalence.rs.
-        self.dissim = Some(DissimArtifact::compute_segments(
-            &values,
-            &self.config.dissim,
-            self.config.threads,
-        ));
+        // pinned by tests/session_equivalence.rs — as are the cache's
+        // warm and incremental paths.
+        let artifact = {
+            let store = self.store.as_ref().expect("ensured");
+            let values: Vec<&[u8]> = store.segments.iter().map(|s| &s.value[..]).collect();
+            self.build_dissim_cached(&values)
+        };
+        self.dissim = Some(artifact);
         Ok(())
     }
 
     fn ensure_selection(&mut self) -> Result<(), PipelineError> {
         if self.selection.is_some() {
             return Ok(());
+        }
+        self.ensure_store()?;
+        let sel_key = self.stage_key(Kind::SELECTION);
+        if let (Some(cache), Some(key)) = (self.cache.as_ref(), &sel_key) {
+            if let Some(sel) = cache.get::<SelectionArtifact>(key) {
+                self.selection = Some((sel.params, sel.source));
+                return Ok(());
+            }
         }
         self.ensure_dissim()?;
         // The matrix covers *unique* values; clustering must behave as
@@ -396,6 +602,15 @@ impl<'t> AnalysisSession<'t> {
                 ),
             };
         selected.min_samples = min_samples;
+        if let (Some(cache), Some(key)) = (self.cache.as_ref(), &sel_key) {
+            cache.put(
+                key,
+                &SelectionArtifact {
+                    params: selected.clone(),
+                    source,
+                },
+            );
+        }
         self.selection = Some((selected, source));
         Ok(())
     }
@@ -404,7 +619,22 @@ impl<'t> AnalysisSession<'t> {
         if self.clustering.is_some() {
             return Ok(());
         }
+        self.ensure_store()?;
+        let stage_key = self.stage_key(Kind::CLUSTER_STAGE);
+        if let (Some(cache), Some(key)) = (self.cache.as_ref(), &stage_key) {
+            let n = self.store.as_ref().expect("ensured").segments.len();
+            if let Some(stage) = cache.get::<ClusterStageArtifact>(key) {
+                // Shape check on top of the content key: the labels
+                // must cover exactly this segment set.
+                if stage.clustering.len() == n {
+                    self.selection = Some((stage.params, stage.source));
+                    self.clustering = Some(stage.clustering);
+                    return Ok(());
+                }
+            }
+        }
         self.ensure_selection()?;
+        self.ensure_dissim()?;
         let weights = self.store.as_ref().expect("ensured").occurrence_counts();
         let (selected, _) = self.selection.clone().expect("ensured");
         let min_samples = selected.min_samples;
@@ -438,6 +668,17 @@ impl<'t> AnalysisSession<'t> {
                 }
             }
         }
+        if let (Some(cache), Some(key)) = (self.cache.as_ref(), &stage_key) {
+            let (params, source) = self.selection.as_ref().expect("ensured");
+            cache.put(
+                key,
+                &ClusterStageArtifact {
+                    params: params.clone(),
+                    source: *source,
+                    clustering: clustering.clone(),
+                },
+            );
+        }
         self.clustering = Some(clustering);
         Ok(())
     }
@@ -447,6 +688,19 @@ impl<'t> AnalysisSession<'t> {
             return Ok(());
         }
         self.ensure_clustering()?;
+        let refined_key = self.stage_key(Kind::REFINED);
+        if let (Some(cache), Some(key)) = (self.cache.as_ref(), &refined_key) {
+            let n = self.clustering.as_ref().expect("ensured").len();
+            if let Some(RefinedArtifact(refined)) = cache.get::<RefinedArtifact>(key) {
+                if refined.len() == n {
+                    self.refined = Some(refined);
+                    return Ok(());
+                }
+            }
+        }
+        // The clustering stage may have been a cache hit that loaded no
+        // matrix; refinement itself needs one.
+        self.ensure_dissim()?;
         self.dissim.as_mut().expect("ensured").neighbors(); // force the index
         let artifact = self.dissim.as_ref().expect("ensured");
         let index = artifact.neighbors_built().expect("just built");
@@ -454,7 +708,11 @@ impl<'t> AnalysisSession<'t> {
         let weights = self.store.as_ref().expect("ensured").occurrence_counts();
         let merged =
             merge_clusters_with_index(clustering, artifact.matrix(), index, &self.config.refine);
-        self.refined = Some(split_clusters(&merged, &weights, &self.config.refine));
+        let refined = split_clusters(&merged, &weights, &self.config.refine);
+        if let (Some(cache), Some(key)) = (self.cache.as_ref(), &refined_key) {
+            cache.put(key, &RefinedArtifact(refined.clone()));
+        }
+        self.refined = Some(refined);
         Ok(())
     }
 
@@ -466,13 +724,12 @@ impl<'t> AnalysisSession<'t> {
         if self.full_store.is_some() {
             return Ok(());
         }
-        let seg = self
-            .segmentation
-            .as_ref()
-            .ok_or(MessageTypeError::MissingSegmentation)?;
+        if self.segmentation.is_none() {
+            return Err(MessageTypeError::MissingSegmentation);
+        }
         // Message type identification keeps even 1-byte segments —
         // sequence context disambiguates them.
-        self.full_store = Some(SegmentStore::collect(&self.trace, seg, 1));
+        self.full_store = Some(self.collect_store_cached(1));
         Ok(())
     }
 
@@ -481,15 +738,14 @@ impl<'t> AnalysisSession<'t> {
             return Ok(());
         }
         self.ensure_full_store()?;
-        let store = self.full_store.as_ref().expect("ensured");
-        let values: Vec<&[u8]> = store.segments.iter().map(|s| &s.value[..]).collect();
         // Kernel build (see ensure_dissim); these entries feed the
         // message-alignment substitution costs of message_matrix.
-        self.full_dissim = Some(DissimArtifact::compute_segments(
-            &values,
-            &self.config.dissim,
-            self.config.threads,
-        ));
+        let artifact = {
+            let store = self.full_store.as_ref().expect("ensured");
+            let values: Vec<&[u8]> = store.segments.iter().map(|s| &s.value[..]).collect();
+            self.build_dissim_cached(&values)
+        };
+        self.full_dissim = Some(artifact);
         Ok(())
     }
 }

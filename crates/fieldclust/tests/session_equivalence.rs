@@ -178,3 +178,158 @@ fn ntp_heuristic_segmentation_is_equivalent() {
     let seg = Nemesys::default().segment_trace(&trace).expect("nemesys");
     assert_staged_matches_reference(&trace, seg, "ntp/nemesys");
 }
+
+// ----- artifact-store equivalence: cold vs warm vs incremental -----
+//
+// The store's three paths — cold compute, warm full-hit, incremental
+// prefix extension — must be indistinguishable in every produced bit:
+// matrix entries, ε, min_samples, clustering labels.
+
+fn cache_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("fieldclust-eq-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn truth_session(trace: &Trace) -> AnalysisSession<'_> {
+    let gt = corpus::ground_truth(Protocol::Dns, trace);
+    let mut s = AnalysisSession::new(trace, FieldTypeClusterer::default());
+    s.set_segmentation(truth_segmentation(trace, &gt));
+    s
+}
+
+fn assert_sessions_bit_identical(a: &mut AnalysisSession, b: &mut AnalysisSession, label: &str) {
+    let result_a = a.finish().expect("pipeline a");
+    let result_b = b.finish().expect("pipeline b");
+    assert_eq!(
+        result_a.params.epsilon.to_bits(),
+        result_b.params.epsilon.to_bits(),
+        "{label}: eps differs"
+    );
+    assert_eq!(result_a.params.min_samples, result_b.params.min_samples);
+    assert_eq!(result_a.params.k, result_b.params.k);
+    assert_eq!(result_a.clustering, result_b.clustering, "{label}: labels");
+    assert_eq!(result_a.epsilon_source, result_b.epsilon_source);
+    assert_eq!(result_a.store, result_b.store, "{label}: segment stores");
+    let ma = a.matrix().expect("matrix a");
+    let mb = b.matrix().expect("matrix b");
+    assert_eq!(ma.len(), mb.len(), "{label}: matrix size");
+    for (k, (x, y)) in ma.values().iter().zip(mb.values()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{label}: matrix entry {k} differs ({x} vs {y})"
+        );
+    }
+}
+
+#[test]
+fn warm_session_is_bit_identical_to_cold() {
+    let dir = cache_dir("warm");
+    let trace = corpus::build_trace(Protocol::Dns, 100, 21);
+
+    // Cold run populates the cache.
+    let mut cold = truth_session(&trace).with_store(&dir).expect("open store");
+    let cold_result = cold.finish().expect("cold pipeline");
+    let cold_stats = cold.cache_stats().expect("stats");
+    assert_eq!(cold_stats.hits, 0, "first run must not hit");
+    assert!(cold_stats.writes > 0, "first run must populate the cache");
+
+    // Warm run: every stage is a hit, nothing is written, and no
+    // matrix is even loaded until explicitly asked for.
+    let mut warm = truth_session(&trace).with_store(&dir).expect("open store");
+    let warm_result = warm.finish().expect("warm pipeline");
+    let stats = warm.cache_stats().expect("stats");
+    assert_eq!(stats.misses, 0, "fully warm run must not miss: {stats}");
+    assert_eq!(stats.writes, 0, "fully warm run must not write: {stats}");
+    assert!(
+        stats.hits >= 3,
+        "store, stage, refined must all hit: {stats}"
+    );
+    assert_eq!(warm_result.clustering, cold_result.clustering);
+
+    // Bit-level equality of everything, including the (cache-loaded)
+    // matrix, against a cache-less session.
+    let mut warm2 = truth_session(&trace).with_store(&dir).expect("open store");
+    let mut no_cache = truth_session(&trace);
+    assert_sessions_bit_identical(&mut warm2, &mut no_cache, "warm-vs-cold");
+}
+
+#[test]
+fn incremental_extension_is_bit_identical_to_cold() {
+    let dir = cache_dir("incr");
+    let full = corpus::build_trace(Protocol::Dns, 120, 22);
+    // The grown trace extends the prefix trace message-for-message, so
+    // the deduplicated value list of `full` starts with that of
+    // `prefix` (first-occurrence order) — the precondition for a
+    // manifest prefix match.
+    let prefix = Trace::new("prefix", full.messages()[..80].to_vec());
+
+    // Analyze the prefix, populating the cache (including the matrix
+    // and its manifest entry).
+    let mut small = truth_session(&prefix).with_store(&dir).expect("open store");
+    small.finish().expect("prefix pipeline");
+    let small_n = small.matrix().expect("prefix matrix").len();
+
+    // Analyze the grown trace against the same cache: the matrix must
+    // be grown incrementally, not rebuilt.
+    let mut grown = truth_session(&full).with_store(&dir).expect("open store");
+    let grown_result = grown.finish().expect("grown pipeline");
+    let stats = grown.cache_stats().expect("stats");
+    assert_eq!(
+        stats.extended, 1,
+        "the matrix must come from a prefix extension: {stats}"
+    );
+    let grown_n = grown.matrix().expect("grown matrix").len();
+    assert!(
+        grown_n > small_n,
+        "fixture must add unique segments ({grown_n} vs {small_n})"
+    );
+
+    // Every artifact of the incremental run must match a cold cache-less
+    // run bit for bit.
+    let mut grown2 = truth_session(&full).with_store(&dir).expect("open store");
+    let mut no_cache = truth_session(&full);
+    assert_sessions_bit_identical(&mut grown2, &mut no_cache, "incremental-vs-cold");
+    let cold_result = no_cache.finish().expect("cold pipeline");
+    assert_eq!(grown_result.clustering, cold_result.clustering);
+    assert_eq!(
+        grown_result.params.epsilon.to_bits(),
+        cold_result.params.epsilon.to_bits()
+    );
+}
+
+#[test]
+fn corrupt_cache_degrades_to_cold_compute() {
+    let dir = cache_dir("corrupt");
+    let trace = corpus::build_trace(Protocol::Ntp, 90, 23);
+    let gt = corpus::ground_truth(Protocol::Ntp, &trace);
+    let seg = truth_segmentation(&trace, &gt);
+
+    let mut first = AnalysisSession::new(&trace, FieldTypeClusterer::default());
+    first.set_segmentation(seg.clone());
+    let mut first = first.with_store(&dir).expect("open store");
+    let reference = first.finish().expect("first pipeline");
+
+    // Damage every cache file: flip one byte in the middle of each.
+    for entry in std::fs::read_dir(&dir).expect("read cache dir") {
+        let path = entry.expect("dir entry").path();
+        let mut bytes = std::fs::read(&path).expect("read cache file");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, bytes).expect("write damaged file");
+    }
+
+    let mut second = AnalysisSession::new(&trace, FieldTypeClusterer::default());
+    second.set_segmentation(seg);
+    let mut second = second.with_store(&dir).expect("open store");
+    let recomputed = second.finish().expect("damaged cache must not fail");
+    let stats = second.cache_stats().expect("stats");
+    assert_eq!(stats.hits, 0, "every damaged file must miss: {stats}");
+    assert!(stats.misses > 0);
+    assert_eq!(recomputed.clustering, reference.clustering);
+    assert_eq!(
+        recomputed.params.epsilon.to_bits(),
+        reference.params.epsilon.to_bits()
+    );
+}

@@ -50,6 +50,16 @@ impl Segmenter for Csp {
         "csp"
     }
 
+    fn cache_fingerprint(&self) -> String {
+        format!(
+            "csp:sup={:016x}:maxlen={}:minlen={}:budget={}",
+            self.min_support.to_bits(),
+            self.max_pattern_len,
+            self.min_pattern_len,
+            self.budget.units
+        )
+    }
+
     fn segment_trace(&self, trace: &Trace) -> Result<TraceSegmentation, SegmentError> {
         let payloads: Vec<&[u8]> = trace.iter().map(|m| &m.payload()[..]).collect();
         let patterns = self.mine_patterns(&payloads)?;

@@ -28,6 +28,10 @@ impl Segmenter for FixedChunks {
         "fixed"
     }
 
+    fn cache_fingerprint(&self) -> String {
+        format!("fixed:w={}", self.width)
+    }
+
     fn segment_trace(&self, trace: &Trace) -> Result<TraceSegmentation, SegmentError> {
         let width = self.width.max(1);
         let messages = trace

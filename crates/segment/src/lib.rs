@@ -163,6 +163,15 @@ pub trait Segmenter {
     /// Canonical lowercase name (used in result tables).
     fn name(&self) -> &'static str;
 
+    /// A stable fingerprint of the full configuration, used by artifact
+    /// caches to key stored segmentations. Implementations must fold in
+    /// every parameter that can change the produced cuts (float
+    /// parameters by bit pattern); the name-only default is correct
+    /// only for parameterless segmenters.
+    fn cache_fingerprint(&self) -> String {
+        self.name().to_string()
+    }
+
     /// Segments every message of the trace.
     ///
     /// # Errors

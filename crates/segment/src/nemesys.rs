@@ -45,6 +45,15 @@ impl Segmenter for Nemesys {
         "nemesys"
     }
 
+    fn cache_fingerprint(&self) -> String {
+        format!(
+            "nemesys:sigma={:016x}:merge={}:zrm={}",
+            self.sigma.to_bits(),
+            self.merge_chars,
+            self.zero_run_min
+        )
+    }
+
     fn segment_trace(&self, trace: &Trace) -> Result<TraceSegmentation, SegmentError> {
         // NEMESYS is linear in the trace size; it never exceeds a budget.
         let messages = trace

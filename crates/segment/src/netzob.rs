@@ -47,6 +47,14 @@ impl Segmenter for Netzob {
         "netzob"
     }
 
+    fn cache_fingerprint(&self) -> String {
+        format!(
+            "netzob:sim={:016x}:budget={}",
+            self.similarity_threshold.to_bits(),
+            self.budget.units
+        )
+    }
+
     fn segment_trace(&self, trace: &Trace) -> Result<TraceSegmentation, SegmentError> {
         let lens: Vec<u64> = trace.iter().map(|m| m.payload().len() as u64).collect();
         // Estimated pairwise alignment cost (the dominant term).

@@ -1,0 +1,413 @@
+//! The [`Persist`] trait and codecs for the pipeline's core artifacts.
+//!
+//! Each artifact kind owns a one-byte tag (part of the file frame and of
+//! every cache key) and a short file-name prefix. Decoders are strictly
+//! validating: they re-check every structural invariant the in-memory
+//! type relies on (cut ordering, condensed length, neighbor-list shape)
+//! through the checked constructors, because a file that passes the
+//! frame checksum can still have been written by a buggy or future
+//! encoder. Any violation is `None` — a cache miss, never a panic.
+
+use crate::codec::{Reader, Writer};
+use cluster::{Clustering, Label, SelectedParams};
+use dissim::{CondensedMatrix, DissimArtifact, NeighborIndex};
+use segment::{MessageSegments, TraceSegmentation};
+
+/// An artifact kind: a stable one-byte tag plus a file-name prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Kind {
+    tag: u8,
+    name: &'static str,
+}
+
+impl Kind {
+    /// A [`TraceSegmentation`] (per-message cut offsets).
+    pub const SEGMENTATION: Kind = Kind {
+        tag: 1,
+        name: "seg",
+    };
+    /// A deduplicated segment store (unique values + instances).
+    pub const SEGMENT_STORE: Kind = Kind {
+        tag: 2,
+        name: "segstore",
+    };
+    /// A [`DissimArtifact`]: condensed matrix + optional neighbor index.
+    pub const DISSIM: Kind = Kind {
+        tag: 3,
+        name: "dissim",
+    };
+    /// Auto-configured DBSCAN parameters ([`SelectedParams`]).
+    pub const SELECTION: Kind = Kind {
+        tag: 4,
+        name: "select",
+    };
+    /// A bare [`Clustering`] (label per item).
+    pub const CLUSTERING: Kind = Kind {
+        tag: 5,
+        name: "cluster",
+    };
+    /// The full clustering stage (selection + ε source + labels).
+    pub const CLUSTER_STAGE: Kind = Kind {
+        tag: 6,
+        name: "stage",
+    };
+    /// The refined clustering (post merge/split).
+    pub const REFINED: Kind = Kind {
+        tag: 7,
+        name: "refined",
+    };
+    /// A prefix manifest: `(item count, artifact key)` entries for one
+    /// `(kind, parameters)` family, enabling incremental extension.
+    pub const MANIFEST: Kind = Kind {
+        tag: 8,
+        name: "manifest",
+    };
+
+    /// The one-byte tag written into file frames and fed into keys.
+    pub fn tag(self) -> u8 {
+        self.tag
+    }
+
+    /// The file-name prefix (`<name>-<key hex>.bin`).
+    pub fn name(self) -> &'static str {
+        self.name
+    }
+}
+
+/// A type that can be stored in and recovered from the artifact store.
+///
+/// `decode` must be total over arbitrary byte payloads: it returns
+/// `None` for anything it did not write itself. It need not consume the
+/// whole reader — the store checks [`Reader::is_at_end`] afterwards, so
+/// trailing bytes also read as a miss.
+pub trait Persist: Sized {
+    /// The artifact kind this type serializes as.
+    const KIND: Kind;
+
+    /// Appends the encoded payload.
+    fn encode(&self, w: &mut Writer);
+
+    /// Decodes a payload previously produced by [`encode`](Self::encode).
+    fn decode(r: &mut Reader) -> Option<Self>;
+}
+
+/// Encodes `value` as a bare payload (no file frame).
+pub fn encode_payload<T: Persist>(value: &T) -> Vec<u8> {
+    let mut w = Writer::new();
+    value.encode(&mut w);
+    w.into_inner()
+}
+
+/// Decodes a bare payload, requiring full consumption.
+pub fn decode_payload<T: Persist>(payload: &[u8]) -> Option<T> {
+    let mut r = Reader::new(payload);
+    let value = T::decode(&mut r)?;
+    if !r.is_at_end() {
+        return None;
+    }
+    Some(value)
+}
+
+impl Persist for TraceSegmentation {
+    const KIND: Kind = Kind::SEGMENTATION;
+
+    fn encode(&self, w: &mut Writer) {
+        w.usize(self.messages.len());
+        for msg in &self.messages {
+            // A message is reproduced from its payload length plus its
+            // interior cut offsets; an empty message has length 0.
+            let len = msg.ranges().last().map_or(0, |r| r.end);
+            w.usize(len);
+            let cuts = msg.cuts();
+            w.usize(cuts.len());
+            for c in cuts {
+                w.usize(c);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader) -> Option<Self> {
+        let n = r.count(16)?;
+        let mut messages = Vec::with_capacity(n);
+        for _ in 0..n {
+            let len = r.usize()?;
+            let n_cuts = r.count(8)?;
+            let mut cuts = Vec::with_capacity(n_cuts);
+            let mut prev = 0usize;
+            for _ in 0..n_cuts {
+                let c = r.usize()?;
+                // `MessageSegments::from_cuts` panics on bad cuts; the
+                // decoder must pre-validate so corruption stays a miss.
+                if c <= prev || c >= len {
+                    return None;
+                }
+                cuts.push(c);
+                prev = c;
+            }
+            messages.push(MessageSegments::from_cuts(len, &cuts));
+        }
+        Some(TraceSegmentation { messages })
+    }
+}
+
+impl Persist for CondensedMatrix {
+    const KIND: Kind = Kind::DISSIM;
+
+    fn encode(&self, w: &mut Writer) {
+        w.usize(self.len());
+        for &v in self.values() {
+            w.f64(v);
+        }
+    }
+
+    fn decode(r: &mut Reader) -> Option<Self> {
+        let n = r.usize()?;
+        let m = n.checked_mul(n.saturating_sub(1))? / 2;
+        if m.checked_mul(8)? > r.remaining() {
+            return None;
+        }
+        let mut data = Vec::with_capacity(m);
+        for _ in 0..m {
+            data.push(r.f64()?);
+        }
+        CondensedMatrix::from_condensed(n, data)
+    }
+}
+
+impl Persist for NeighborIndex {
+    const KIND: Kind = Kind::DISSIM;
+
+    fn encode(&self, w: &mut Writer) {
+        w.usize(self.len());
+        for &(d, j) in self.flat_lists() {
+            w.f64(d);
+            w.u32(j);
+        }
+    }
+
+    fn decode(r: &mut Reader) -> Option<Self> {
+        let n = r.usize()?;
+        let m = n.checked_mul(n.saturating_sub(1))?;
+        if m.checked_mul(12)? > r.remaining() {
+            return None;
+        }
+        let mut lists = Vec::with_capacity(m);
+        for _ in 0..m {
+            let d = r.f64()?;
+            let j = r.u32()?;
+            lists.push((d, j));
+        }
+        NeighborIndex::from_flat_lists(n, lists)
+    }
+}
+
+impl Persist for DissimArtifact {
+    const KIND: Kind = Kind::DISSIM;
+
+    fn encode(&self, w: &mut Writer) {
+        self.matrix().encode(w);
+        match self.neighbors_built() {
+            None => w.u8(0),
+            Some(ix) => {
+                w.u8(1);
+                ix.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader) -> Option<Self> {
+        let matrix = CondensedMatrix::decode(r)?;
+        let neighbors = match r.u8()? {
+            0 => None,
+            1 => Some(NeighborIndex::decode(r)?),
+            _ => return None,
+        };
+        // Deserialized artifacts start single-threaded; the session
+        // restores its configured thread count via `set_threads`.
+        DissimArtifact::from_parts(matrix, neighbors, 1)
+    }
+}
+
+impl Persist for SelectedParams {
+    const KIND: Kind = Kind::SELECTION;
+
+    fn encode(&self, w: &mut Writer) {
+        w.f64(self.epsilon);
+        w.usize(self.min_samples);
+        w.usize(self.k);
+        w.usize(self.ecdf_values.len());
+        for &v in &self.ecdf_values {
+            w.f64(v);
+        }
+        w.usize(self.smoothed_curve.len());
+        for &(x, y) in &self.smoothed_curve {
+            w.f64(x);
+            w.f64(y);
+        }
+    }
+
+    fn decode(r: &mut Reader) -> Option<Self> {
+        let epsilon = r.f64()?;
+        let min_samples = r.usize()?;
+        let k = r.usize()?;
+        let n_ecdf = r.count(8)?;
+        let mut ecdf_values = Vec::with_capacity(n_ecdf);
+        for _ in 0..n_ecdf {
+            ecdf_values.push(r.f64()?);
+        }
+        let n_curve = r.count(16)?;
+        let mut smoothed_curve = Vec::with_capacity(n_curve);
+        for _ in 0..n_curve {
+            let x = r.f64()?;
+            let y = r.f64()?;
+            smoothed_curve.push((x, y));
+        }
+        Some(SelectedParams {
+            epsilon,
+            min_samples,
+            k,
+            ecdf_values,
+            smoothed_curve,
+        })
+    }
+}
+
+impl Persist for Clustering {
+    const KIND: Kind = Kind::CLUSTERING;
+
+    fn encode(&self, w: &mut Writer) {
+        w.usize(self.len());
+        // Noise is 0, cluster `c` is `c + 1` — one u64 per item.
+        for label in self.labels() {
+            match label {
+                Label::Noise => w.u64(0),
+                Label::Cluster(c) => w.u64(u64::from(*c) + 1),
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader) -> Option<Self> {
+        let n = r.count(8)?;
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let v = r.u64()?;
+            labels.push(match v {
+                0 => Label::Noise,
+                c => Label::Cluster(u32::try_from(c - 1).ok()?),
+            });
+        }
+        // `from_labels` renumbers by first appearance; stored
+        // clusterings are already in that compact form, so this is a
+        // bit-exact round-trip (pinned by the store tests).
+        Some(Clustering::from_labels(labels))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Persist + PartialEq + std::fmt::Debug>(value: &T) -> T {
+        let payload = encode_payload(value);
+        decode_payload::<T>(&payload).expect("roundtrip decode")
+    }
+
+    #[test]
+    fn segmentation_roundtrip() {
+        let seg = TraceSegmentation {
+            messages: vec![
+                MessageSegments::from_cuts(10, &[2, 5, 9]),
+                MessageSegments::from_cuts(4, &[]),
+                MessageSegments::from_cuts(0, &[]),
+            ],
+        };
+        assert_eq!(roundtrip(&seg), seg);
+    }
+
+    #[test]
+    fn segmentation_bad_cuts_is_a_miss_not_a_panic() {
+        // len=4 with a cut at 9: structurally invalid, would panic in
+        // `from_cuts` if the decoder did not pre-validate.
+        let mut w = Writer::new();
+        w.usize(1);
+        w.usize(4);
+        w.usize(1);
+        w.usize(9);
+        assert!(decode_payload::<TraceSegmentation>(&w.into_inner()).is_none());
+    }
+
+    #[test]
+    fn matrix_roundtrip_is_bitwise() {
+        let m = CondensedMatrix::build(5, |i, j| (i * 7 + j) as f64 / 3.0);
+        let back = roundtrip(&m);
+        assert_eq!(back.len(), m.len());
+        let bits = |m: &CondensedMatrix| m.values().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&back), bits(&m));
+    }
+
+    #[test]
+    fn matrix_length_mismatch_is_a_miss() {
+        let mut w = Writer::new();
+        w.usize(5); // claims 10 entries
+        for i in 0..9 {
+            w.f64(i as f64);
+        }
+        assert!(decode_payload::<CondensedMatrix>(&w.into_inner()).is_none());
+    }
+
+    #[test]
+    fn neighbor_index_roundtrip() {
+        let pts = [0.0f64, 0.4, 1.0, 5.0, 2.5];
+        let m = CondensedMatrix::build(pts.len(), |i, j| (pts[i] - pts[j]).abs());
+        let ix = NeighborIndex::build(&m);
+        assert_eq!(roundtrip(&ix), ix);
+    }
+
+    #[test]
+    fn dissim_artifact_roundtrip_with_and_without_neighbors() {
+        let pts = [3.0f64, 1.0, 4.0, 1.5];
+        let mut a = DissimArtifact::compute(pts.len(), 1, |i, j| (pts[i] - pts[j]).abs());
+        let cold = roundtrip_artifact(&a);
+        assert!(cold.neighbors_built().is_none());
+        assert_eq!(cold.matrix(), a.matrix());
+        a.neighbors();
+        let warm = roundtrip_artifact(&a);
+        assert_eq!(warm.neighbors_built(), a.neighbors_built());
+    }
+
+    fn roundtrip_artifact(a: &DissimArtifact) -> DissimArtifact {
+        decode_payload::<DissimArtifact>(&encode_payload(a)).expect("artifact roundtrip")
+    }
+
+    #[test]
+    fn selected_params_roundtrip() {
+        let p = SelectedParams {
+            epsilon: 0.1875,
+            min_samples: 4,
+            k: 2,
+            ecdf_values: vec![0.0, 0.1, 0.5, -0.0],
+            smoothed_curve: vec![(0.0, 0.0), (0.5, 0.75)],
+        };
+        let back = roundtrip(&p);
+        assert_eq!(back.epsilon.to_bits(), p.epsilon.to_bits());
+        assert_eq!(back.min_samples, p.min_samples);
+        assert_eq!(back.k, p.k);
+        assert_eq!(back.ecdf_values, p.ecdf_values);
+        assert_eq!(back.smoothed_curve, p.smoothed_curve);
+    }
+
+    #[test]
+    fn clustering_roundtrip_preserves_labels_exactly() {
+        let c = Clustering::from_labels(vec![
+            Label::Noise,
+            Label::Cluster(7),
+            Label::Cluster(7),
+            Label::Cluster(2),
+            Label::Noise,
+            Label::Cluster(2),
+        ]);
+        let back = roundtrip(&c);
+        assert_eq!(back.labels(), c.labels());
+        assert_eq!(back.n_clusters(), c.n_clusters());
+    }
+}

@@ -1,0 +1,124 @@
+//! The on-disk artifact file framing.
+//!
+//! Every cache file is
+//!
+//! ```text
+//! magic "FTCA" | version u32 | kind u8 | payload_len u64 | payload | fnv64 checksum
+//! ```
+//!
+//! with the checksum computed over everything before it. [`decode_file`]
+//! verifies all five framing fields and returns `None` on any mismatch —
+//! truncation, a flipped bit anywhere (header or body), a version bump,
+//! or a file of the wrong kind all degrade to a clean cache miss. The
+//! store never trusts a cache file further than this frame plus the
+//! per-artifact structural checks in the decoders.
+
+use crate::codec::{Reader, Writer};
+use crate::digest::fnv64;
+use crate::Kind;
+
+/// File magic: "field type clustering artifact".
+pub const MAGIC: [u8; 4] = *b"FTCA";
+
+/// Format version. Bumping it invalidates every existing cache file
+/// (and, via [`crate::KeyDigest::new`], every existing cache key).
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Frames an encoded payload as a complete artifact file.
+pub fn encode_file(kind: Kind, payload: &[u8]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.raw(&MAGIC);
+    w.u32(FORMAT_VERSION);
+    w.u8(kind.tag());
+    w.usize(payload.len());
+    w.raw(payload);
+    let checksum = fnv64(w.as_slice());
+    w.u64(checksum);
+    w.into_inner()
+}
+
+/// Unframes an artifact file, returning the payload slice. `None` on
+/// any framing violation: bad magic, other version, other kind, length
+/// mismatch, trailing bytes, or checksum failure.
+pub fn decode_file(kind: Kind, bytes: &[u8]) -> Option<&[u8]> {
+    // Checksum first: it covers the header too, so every later check
+    // runs on bytes already known to be intact.
+    if bytes.len() < 8 {
+        return None;
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().ok()?);
+    if fnv64(body) != stored {
+        return None;
+    }
+    let mut r = Reader::new(body);
+    if r.take(4)? != MAGIC {
+        return None;
+    }
+    if r.u32()? != FORMAT_VERSION {
+        return None;
+    }
+    if r.u8()? != kind.tag() {
+        return None;
+    }
+    let len = r.usize()?;
+    let payload = r.take(len)?;
+    if !r.is_at_end() {
+        return None;
+    }
+    Some(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let file = encode_file(Kind::DISSIM, b"payload");
+        assert_eq!(decode_file(Kind::DISSIM, &file), Some(&b"payload"[..]));
+    }
+
+    #[test]
+    fn empty_payload_roundtrip() {
+        let file = encode_file(Kind::CLUSTERING, b"");
+        assert_eq!(decode_file(Kind::CLUSTERING, &file), Some(&b""[..]));
+    }
+
+    #[test]
+    fn wrong_kind_is_a_miss() {
+        let file = encode_file(Kind::DISSIM, b"payload");
+        assert_eq!(decode_file(Kind::CLUSTERING, &file), None);
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_a_miss() {
+        let file = encode_file(Kind::DISSIM, b"some payload bytes");
+        for byte in 0..file.len() {
+            for bit in 0..8 {
+                let mut bad = file.clone();
+                bad[byte] ^= 1 << bit;
+                assert_eq!(
+                    decode_file(Kind::DISSIM, &bad),
+                    None,
+                    "flip at byte {byte} bit {bit} must miss"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_a_miss() {
+        let file = encode_file(Kind::DISSIM, b"some payload bytes");
+        for len in 0..file.len() {
+            assert_eq!(decode_file(Kind::DISSIM, &file[..len]), None);
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_a_miss() {
+        let mut file = encode_file(Kind::DISSIM, b"payload");
+        file.push(0);
+        assert_eq!(decode_file(Kind::DISSIM, &file), None);
+    }
+}

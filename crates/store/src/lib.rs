@@ -1,0 +1,299 @@
+#![warn(missing_docs)]
+//! Content-addressed on-disk artifact store for the clustering pipeline.
+//!
+//! The pipeline's expensive intermediates — segmentations, deduplicated
+//! segment stores, condensed dissimilarity matrices with their neighbor
+//! indices, auto-configured DBSCAN parameters, clusterings — are pure
+//! functions of (trace bytes, segmenter configuration, dissimilarity
+//! parameters). This crate caches them on disk under 128-bit content
+//! keys derived from exactly those inputs, so a re-run of an analysis
+//! is a handful of file reads instead of an O(n²) matrix build, and an
+//! analysis of a *grown* trace can warm-start from the largest cached
+//! prefix and compute only the new matrix entries.
+//!
+//! Design rules (DESIGN.md §"Artifact store"):
+//!
+//! * **A damaged cache is a slow run, never a wrong or failed one.**
+//!   Every file carries a version, kind tag and whole-file checksum;
+//!   truncation, bit flips, version bumps and structural violations all
+//!   decode to `None`, which [`ArtifactStore::get`] counts as a miss.
+//! * **Keys encode every input that affects the artifact's bits**, so
+//!   there is no explicit invalidation — changing a parameter simply
+//!   addresses different files.
+//! * **Writes are atomic** (temp file + rename), so a crashed writer
+//!   leaves at worst an orphaned temp file, not a torn artifact.
+//!
+//! The store is deliberately ignorant of the pipeline types' semantics:
+//! it moves `Persist` payloads in and out of frames. What to key on and
+//! when to probe lives with the callers (`fieldclust::AnalysisSession`).
+
+pub mod artifacts;
+pub mod codec;
+pub mod digest;
+pub mod format;
+
+pub use artifacts::{decode_payload, encode_payload, Kind, Persist};
+pub use codec::{Reader, Writer};
+pub use digest::{fnv64, Key, KeyDigest};
+pub use format::{decode_file, encode_file, FORMAT_VERSION, MAGIC};
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+#[derive(Debug, Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    writes: AtomicU64,
+    extended: AtomicU64,
+}
+
+/// A snapshot of the store's hit/miss/write counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Successful `get`s (file present, frame and payload valid).
+    pub hits: u64,
+    /// Failed `get`s — absent, truncated, corrupt, or wrong version.
+    pub misses: u64,
+    /// Successful `put`s.
+    pub writes: u64,
+    /// Matrices grown incrementally from a cached prefix.
+    pub extended: u64,
+}
+
+impl std::fmt::Display for StoreStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "hits={} misses={} writes={} extended={}",
+            self.hits, self.misses, self.writes, self.extended
+        )
+    }
+}
+
+/// A content-addressed artifact cache rooted at one directory.
+///
+/// Cloning is cheap and clones share the statistics counters, so a
+/// session can hold a clone while the caller keeps one for reporting.
+#[derive(Debug, Clone)]
+pub struct ArtifactStore {
+    root: PathBuf,
+    counters: Arc<Counters>,
+}
+
+impl ArtifactStore {
+    /// Opens (creating if needed) a store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the directory cannot be
+    /// created — an unusable cache *directory* is a configuration
+    /// error, unlike unusable cache *contents*.
+    pub fn open(root: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(Self {
+            root,
+            counters: Arc::new(Counters::default()),
+        })
+    }
+
+    /// The cache directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The file path an artifact of `kind` under `key` lives at.
+    pub fn file_path(&self, kind: Kind, key: &Key) -> PathBuf {
+        self.root.join(format!("{}-{}.bin", kind.name(), key.hex()))
+    }
+
+    /// Fetches and decodes the artifact under `key`, or `None` (counted
+    /// as a miss) if it is absent or damaged in any way.
+    pub fn get<T: Persist>(&self, key: &Key) -> Option<T> {
+        let value = self.get_quiet::<T>(key);
+        match value {
+            Some(_) => self.counters.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.counters.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        value
+    }
+
+    /// [`get`](Self::get) without touching the hit/miss counters — for
+    /// speculative probes (manifest prefix candidates) that should not
+    /// skew the stats.
+    pub fn get_quiet<T: Persist>(&self, key: &Key) -> Option<T> {
+        let bytes = std::fs::read(self.file_path(T::KIND, key)).ok()?;
+        let payload = format::decode_file(T::KIND, &bytes)?;
+        decode_payload(payload)
+    }
+
+    /// Whether an artifact file exists under `key` (no decode).
+    pub fn contains<T: Persist>(&self, key: &Key) -> bool {
+        self.file_path(T::KIND, key).is_file()
+    }
+
+    /// Encodes and stores `value` under `key`, atomically (temp file +
+    /// rename). Returns `false` — after warning on stderr — if the
+    /// write failed; a read-only or full cache degrades the run to
+    /// cold compute, it never fails it.
+    pub fn put<T: Persist>(&self, key: &Key, value: &T) -> bool {
+        let file = format::encode_file(T::KIND, &encode_payload(value));
+        let path = self.file_path(T::KIND, key);
+        match self.write_atomic(&path, &file) {
+            Ok(()) => {
+                self.counters.writes.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(e) => {
+                eprintln!("warning: cache write to {} failed: {e}", path.display());
+                false
+            }
+        }
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+        // Unique per process; concurrent writers of the *same* key race
+        // benignly (both write identical content-addressed bytes).
+        let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+        std::fs::write(&tmp, bytes)?;
+        let renamed = std::fs::rename(&tmp, path);
+        if renamed.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        renamed
+    }
+
+    /// All `(item count, key)` entries of the manifest for `family`,
+    /// ascending by item count. Empty if absent or damaged.
+    ///
+    /// A manifest lists, per `(artifact kind, parameters)` family, the
+    /// keys of artifacts already stored for successive *prefixes* of a
+    /// growing item sequence — the index that incremental matrix
+    /// extension searches for its warm-start point.
+    pub fn manifest_entries(&self, family: &Key) -> Vec<(usize, Key)> {
+        let Ok(bytes) = std::fs::read(self.manifest_path(family)) else {
+            return Vec::new();
+        };
+        let Some(payload) = format::decode_file(Kind::MANIFEST, &bytes) else {
+            return Vec::new();
+        };
+        let mut r = Reader::new(payload);
+        let Some(n) = r.count(24) else {
+            return Vec::new();
+        };
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (Some(u), Some(raw)) = (r.usize(), r.take(16)) else {
+                return Vec::new();
+            };
+            let mut key = [0u8; 16];
+            key.copy_from_slice(raw);
+            entries.push((u, Key(key)));
+        }
+        if !r.is_at_end() {
+            return Vec::new();
+        }
+        entries.sort_by_key(|&(u, _)| u);
+        entries
+    }
+
+    /// Records that the artifact for the first `u` items of `family`
+    /// is stored under `key` (read-modify-write; exact duplicates
+    /// dropped). Several keys may share one `u` — different item
+    /// streams in the same parameter family; readers disambiguate by
+    /// recomputing the expected key for their own stream.
+    pub fn manifest_add(&self, family: &Key, u: usize, key: &Key) {
+        let mut entries = self.manifest_entries(family);
+        if entries.iter().any(|&(eu, ek)| eu == u && ek == *key) {
+            return;
+        }
+        entries.push((u, *key));
+        entries.sort_by_key(|&(u, _)| u);
+        let mut w = Writer::new();
+        w.usize(entries.len());
+        for (u, k) in &entries {
+            w.usize(*u);
+            w.raw(&k.0);
+        }
+        let file = format::encode_file(Kind::MANIFEST, w.as_slice());
+        let path = self.manifest_path(family);
+        if let Err(e) = self.write_atomic(&path, &file) {
+            eprintln!("warning: cache write to {} failed: {e}", path.display());
+        }
+    }
+
+    fn manifest_path(&self, family: &Key) -> PathBuf {
+        self.root
+            .join(format!("{}-{}.bin", Kind::MANIFEST.name(), family.hex()))
+    }
+
+    /// Counts one incremental matrix extension (for stats reporting).
+    pub fn record_extension(&self) {
+        self.counters.extended.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A snapshot of the counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            writes: self.counters.writes.load(Ordering::Relaxed),
+            extended: self.counters.extended.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::{Clustering, Label};
+
+    fn temp_store(tag: &str) -> ArtifactStore {
+        let dir = std::env::temp_dir().join(format!("store-unit-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ArtifactStore::open(dir).expect("open temp store")
+    }
+
+    fn key(b: u8) -> Key {
+        Key([b; 16])
+    }
+
+    #[test]
+    fn put_get_and_stats() {
+        let store = temp_store("putget");
+        let c = Clustering::from_labels(vec![Label::Cluster(0), Label::Noise]);
+        assert_eq!(store.get::<Clustering>(&key(1)), None);
+        assert!(store.put(&key(1), &c));
+        assert_eq!(store.get::<Clustering>(&key(1)), Some(c));
+        let s = store.stats();
+        assert_eq!((s.hits, s.misses, s.writes, s.extended), (1, 1, 1, 0));
+    }
+
+    #[test]
+    fn clones_share_stats() {
+        let store = temp_store("clones");
+        let clone = store.clone();
+        let _ = clone.get::<Clustering>(&key(2));
+        assert_eq!(store.stats().misses, 1);
+        store.record_extension();
+        assert_eq!(clone.stats().extended, 1);
+    }
+
+    #[test]
+    fn manifest_roundtrip_sorted_and_deduped() {
+        let store = temp_store("manifest");
+        let fam = key(3);
+        assert!(store.manifest_entries(&fam).is_empty());
+        store.manifest_add(&fam, 50, &key(5));
+        store.manifest_add(&fam, 10, &key(1));
+        store.manifest_add(&fam, 50, &key(5)); // exact duplicate, ignored
+        store.manifest_add(&fam, 10, &key(9)); // same u, other stream: kept
+        let entries = store.manifest_entries(&fam);
+        assert_eq!(entries.len(), 3);
+        assert!(entries.contains(&(10, key(1))));
+        assert!(entries.contains(&(10, key(9))));
+        assert_eq!(entries.last(), Some(&(50, key(5))));
+    }
+}

@@ -7,3 +7,18 @@ cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test --workspace -q
 cargo bench -p bench --no-run
+
+# Artifact-store smoke test: a warm `analyze --cache-dir` run must hit
+# the cache (no misses, no writes) and reproduce the cold run's report
+# byte for byte.
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+cargo run --release -q -p cli -- generate ntp 120 "$tmp/smoke.pcap" --seed 11
+cargo run --release -q -p cli -- analyze "$tmp/smoke.pcap" --cache-dir "$tmp/cache" \
+    >"$tmp/cold.out" 2>"$tmp/cold.err"
+cargo run --release -q -p cli -- analyze "$tmp/smoke.pcap" --cache-dir "$tmp/cache" \
+    >"$tmp/warm.out" 2>"$tmp/warm.err"
+grep -q 'cache: hits=0' "$tmp/cold.err"
+grep -Eq 'cache: hits=[1-9][0-9]* misses=0 writes=0' "$tmp/warm.err"
+cmp "$tmp/cold.out" "$tmp/warm.out"
+echo "store smoke test: warm run hit the cache and reproduced the cold report"
