@@ -1,0 +1,165 @@
+//! Criterion: the tiled dissimilarity build and the clustering-stage
+//! ladder — serial matrix scans vs the tiled build's merged k-NN table
+//! plus the neighbor index — on the same mixed-length segment corpora
+//! as `canberra_kernel` at u = 500 / 1000 / 2000 unique segments.
+//!
+//! The `cluster_stages` pair measures everything downstream of the
+//! dissimilarity artifact (ε auto-configuration, weighted DBSCAN,
+//! merge + split refinement): `serial_scan` drives each stage off raw
+//! matrix scans, `tiled_indexed` off the per-tile k-NN partials and the
+//! neighbor index the tiled session keeps. Both are pinned
+//! bit-identical (cluster unit tests + fieldclust session-equivalence
+//! tests), so the ladder isolates pure wall-clock. Medians are
+//! recorded in `BENCH_tiled.json`.
+
+use cluster::autoconf::{auto_configure, auto_configure_with_knn, required_k_max, AutoConfig};
+use cluster::dbscan::{dbscan_weighted, dbscan_weighted_parallel_with_index};
+use cluster::refine::{merge_clusters, merge_clusters_parallel, split_clusters, RefineParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dissim::{CondensedMatrix, DissimParams, KnnTable, NeighborIndex, TiledMatrix};
+use rand::{Rng, SeedableRng, StdRng};
+
+/// Same corpus shape as the `canberra_kernel` bench (see there).
+fn mixed_segments(u: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut segments = Vec::with_capacity(u);
+    for _ in 0..u {
+        let seg: Vec<u8> = match rng.gen_range(0usize..10) {
+            0 | 1 => vec![rng.gen_range(0u8..8), rng.gen()],
+            2 | 3 => vec![0x00, 0x01, rng.gen(), rng.gen()],
+            4..=6 => {
+                let mut ts = vec![0xD2, 0x3D, 0x19, rng.gen_range(0u8..4)];
+                ts.extend((0..4).map(|_| rng.gen::<u8>()));
+                ts
+            }
+            7 => (0..16).map(|_| rng.gen::<u8>()).collect(),
+            _ => {
+                let len = rng.gen_range(3usize..32);
+                (0..len).map(|_| rng.gen_range(b'a'..=b'z')).collect()
+            }
+        };
+        segments.push(seg);
+    }
+    segments
+}
+
+/// Occurrence weights mimicking a deduplicated trace: a few hot values,
+/// a long tail of singletons.
+fn occurrence_weights(u: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..u)
+        .map(|_| {
+            if rng.gen_range(0usize..10) == 0 {
+                rng.gen_range(2usize..40)
+            } else {
+                1
+            }
+        })
+        .collect()
+}
+
+struct Stage {
+    matrix: CondensedMatrix,
+    index: NeighborIndex,
+    knn: KnnTable,
+    weights: Vec<usize>,
+    min_samples: usize,
+}
+
+fn prepare(u: usize, threads: usize) -> Stage {
+    let segments = mixed_segments(u, 7);
+    let values: Vec<&[u8]> = segments.iter().map(|s| &s[..]).collect();
+    let params = DissimParams::default();
+    let tiled = TiledMatrix::build_segments(&values, &params, 256, threads);
+    let knn = tiled.knn_table(required_k_max(u), threads);
+    let matrix = tiled.assemble();
+    let index = NeighborIndex::build_parallel(&matrix, threads);
+    let weights = occurrence_weights(u, 11);
+    let total: usize = weights.iter().sum();
+    let min_samples = ((total as f64).ln().round() as usize).max(2);
+    Stage {
+        matrix,
+        index,
+        knn,
+        weights,
+        min_samples,
+    }
+}
+
+/// The serial baseline: every clustering stage scans matrix rows.
+fn cluster_stages_scan(s: &Stage) -> u32 {
+    let selected = auto_configure(&s.matrix, &AutoConfig::default()).expect("knee");
+    let clustering = dbscan_weighted(&s.matrix, selected.epsilon, s.min_samples, &s.weights);
+    let refined = split_clusters(
+        &merge_clusters(&clustering, &s.matrix, &RefineParams::default()),
+        &s.weights,
+        &RefineParams::default(),
+    );
+    refined.n_clusters()
+}
+
+/// The tiled session's path: ε from the merged per-tile k-NN table,
+/// DBSCAN and refinement from the neighbor index (parallel entries).
+fn cluster_stages_indexed(s: &Stage, threads: usize) -> u32 {
+    let selected = auto_configure_with_knn(&s.knn, &AutoConfig::default()).expect("knee");
+    let clustering = dbscan_weighted_parallel_with_index(
+        &s.index,
+        selected.epsilon,
+        s.min_samples,
+        &s.weights,
+        threads,
+    );
+    let refined = split_clusters(
+        &merge_clusters_parallel(
+            &clustering,
+            &s.matrix,
+            &s.index,
+            &RefineParams::default(),
+            threads,
+        ),
+        &s.weights,
+        &RefineParams::default(),
+    );
+    refined.n_clusters()
+}
+
+fn bench_tiled_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tiled_matrix");
+    group.sample_size(10);
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let params = DissimParams::default();
+    for u in [500usize, 1000, 2000] {
+        let segments = mixed_segments(u, 7);
+        let values: Vec<&[u8]> = segments.iter().map(|s| &s[..]).collect();
+
+        group.bench_with_input(
+            BenchmarkId::new("build_monolithic", u),
+            &values,
+            |b, values| b.iter(|| CondensedMatrix::build_segments(values, &params, threads)),
+        );
+        group.bench_with_input(BenchmarkId::new("build_tiled", u), &values, |b, values| {
+            b.iter(|| TiledMatrix::build_segments(values, &params, 256, threads))
+        });
+
+        let stage = prepare(u, threads);
+        // Sanity: both chains must agree before we time them.
+        assert_eq!(
+            cluster_stages_scan(&stage),
+            cluster_stages_indexed(&stage, threads)
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cluster_stages_serial_scan", u),
+            &stage,
+            |b, s| b.iter(|| cluster_stages_scan(s)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cluster_stages_tiled_indexed", u),
+            &stage,
+            |b, s| b.iter(|| cluster_stages_indexed(s, threads)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tiled_matrix);
+criterion_main!(benches);

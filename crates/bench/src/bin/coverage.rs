@@ -23,6 +23,7 @@ struct CoverageRow {
 }
 
 fn main() {
+    let bench_start = std::time::Instant::now();
     let clusterer = FieldTypeClusterer::default();
     let mut rows: Vec<CoverageRow> = Vec::new();
 
@@ -93,4 +94,5 @@ fn main() {
     );
     let _ = &CONTEXT_PROTOCOLS; // documented set; used by tests
     bench::dump_json("target/coverage.json", &rows);
+    bench::append_trajectory("coverage", bench_start.elapsed());
 }

@@ -23,6 +23,7 @@ struct Fig2Data {
 }
 
 fn main() {
+    let bench_start = std::time::Instant::now();
     let args: Vec<String> = std::env::args().collect();
     // The paper's Fig. 2 uses segments from 1000 NTP messages.
     let trace = corpus::build_trace(Protocol::Ntp, 1000, corpus::DEFAULT_SEED);
@@ -108,4 +109,5 @@ fn main() {
         },
     );
     bench::report_cache(store.as_ref());
+    bench::append_trajectory("fig2", bench_start.elapsed());
 }

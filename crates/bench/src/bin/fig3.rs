@@ -11,6 +11,7 @@ use segment::nemesys::Nemesys;
 use segment::Segmenter;
 
 fn main() {
+    let bench_start = std::time::Instant::now();
     let trace = corpus::build_trace(Protocol::Ntp, 1000, corpus::DEFAULT_SEED);
     let segmentation = Nemesys::default()
         .segment_trace(&trace)
@@ -82,4 +83,5 @@ fn main() {
         "{} unique timestamp-dominated segments are fragments (not exact fields).",
         fragment_count
     );
+    bench::append_trajectory("fig3", bench_start.elapsed());
 }

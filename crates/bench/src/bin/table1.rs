@@ -10,6 +10,7 @@ use fieldclust::FieldTypeClusterer;
 use protocols::corpus;
 
 fn main() {
+    let bench_start = std::time::Instant::now();
     let clusterer = FieldTypeClusterer::default();
     let mut records: Vec<RunRecord> = Vec::new();
 
@@ -31,4 +32,5 @@ fn main() {
         }
     }
     dump_json("target/table1.json", &records);
+    bench::append_trajectory("table1", bench_start.elapsed());
 }

@@ -22,6 +22,7 @@ struct Table2Cell {
 }
 
 fn main() {
+    let bench_start = std::time::Instant::now();
     let clusterer = FieldTypeClusterer::default();
     let segmenters: Vec<Box<dyn Segmenter>> = vec![
         Box::new(Netzob::default()),
@@ -66,4 +67,5 @@ fn main() {
         }
     }
     dump_json("target/table2.json", &cells);
+    bench::append_trajectory("table2", bench_start.elapsed());
 }

@@ -175,6 +175,94 @@ pub fn dump_json<T: Serialize>(path: &str, records: &T) {
     }
 }
 
+/// One entry of the unified benchmark trajectory
+/// (`BENCH_trajectory.json`): which harness ran, at which commit, how
+/// long it took, and its peak RSS. Every bench binary appends one on
+/// exit, so regressions across commits show up in a single file.
+#[derive(Debug, Clone, Serialize)]
+pub struct TrajectoryRecord {
+    /// Harness name (the bench binary).
+    pub name: String,
+    /// `git rev-parse HEAD` at run time, or `"unknown"`.
+    pub commit: String,
+    /// Wall-clock duration of the whole run, in nanoseconds.
+    pub wall_ns: u64,
+    /// Peak resident set size of the process (`VmHWM`), in bytes.
+    pub peak_rss_bytes: u64,
+}
+
+/// The commit hash of the working tree, or `"unknown"` outside git.
+pub fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or 0 where procfs is unavailable.
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|l| l.trim().trim_end_matches("kB").trim().parse::<u64>().ok())
+        .map_or(0, |kb| kb * 1024)
+}
+
+/// Appends one run record to `BENCH_trajectory.json` (a single JSON
+/// array, created on first use) in the current directory. Read-modify-
+/// write: existing records are preserved by splicing the new one into
+/// the array; an unreadable file starts a fresh one. Failures only
+/// warn — benchmarks never fail on bookkeeping.
+pub fn append_trajectory(name: &str, wall: std::time::Duration) {
+    let path = "BENCH_trajectory.json";
+    let record = TrajectoryRecord {
+        name: name.to_string(),
+        commit: git_commit(),
+        wall_ns: u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX),
+        peak_rss_bytes: peak_rss_bytes(),
+    };
+    let rendered = match serde_json::to_string_pretty(&record) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("warning: could not serialize trajectory record: {e}");
+            return;
+        }
+    };
+    let spliced = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| splice_json_array(&s, &rendered));
+    let body = spliced.unwrap_or_else(|| format!("[\n{rendered}\n]"));
+    if let Err(e) = std::fs::write(path, body) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        eprintln!("(trajectory appended to {path}: {name})");
+    }
+}
+
+/// Splices `element` before the closing bracket of a rendered JSON
+/// array. `None` when `existing` does not look like one (the caller
+/// then starts a fresh array).
+fn splice_json_array(existing: &str, element: &str) -> Option<String> {
+    let trimmed = existing.trim_end();
+    let prefix = trimmed.strip_suffix(']')?.trim_end();
+    if !prefix.starts_with('[') {
+        return None;
+    }
+    if prefix == "[" {
+        return Some(format!("[\n{element}\n]"));
+    }
+    Some(format!("{},\n{element}\n]", prefix.trim_end_matches(',')))
+}
+
 /// Extracts `--cache-dir DIR` from raw process args (bench bins parse
 /// positionals by hand; this keeps the flag uniform with the CLI).
 pub fn cache_dir_from_args(args: &[String]) -> Option<String> {
@@ -218,3 +306,31 @@ pub const CONTEXT_PROTOCOLS: [Protocol; 5] = [
     Protocol::Ntp,
     Protocol::Smb,
 ];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trajectory_array_splicing() {
+        // First record starts a fresh array; later records splice in.
+        assert_eq!(
+            splice_json_array("[]", "{\"a\":1}"),
+            Some("[\n{\"a\":1}\n]".into())
+        );
+        let one = splice_json_array("[\n{\"a\":1}\n]", "{\"b\":2}").unwrap();
+        assert_eq!(one, "[\n{\"a\":1},\n{\"b\":2}\n]");
+        let two = splice_json_array(&one, "{\"c\":3}").unwrap();
+        assert_eq!(two, "[\n{\"a\":1},\n{\"b\":2},\n{\"c\":3}\n]");
+        // Garbage degrades to a fresh array at the call site.
+        assert_eq!(splice_json_array("not json", "{}"), None);
+        assert_eq!(splice_json_array("", "{}"), None);
+    }
+
+    #[test]
+    fn peak_rss_is_reported_on_linux() {
+        // VmHWM exists on every Linux procfs; a few MB at minimum.
+        let rss = peak_rss_bytes();
+        assert!(rss > 1 << 20, "peak RSS = {rss}");
+    }
+}

@@ -58,6 +58,17 @@ fn open_store(opts: &CommonOpts) -> Result<Option<ArtifactStore>, CliError> {
     }
 }
 
+/// The pipeline configuration selected by the common flags:
+/// `--tile-rows` / `--max-memory` switch the dissimilarity stage to the
+/// tiled build (results are pinned bit-identical either way).
+fn build_clusterer(opts: &CommonOpts) -> FieldTypeClusterer {
+    FieldTypeClusterer {
+        tile_rows: opts.tile_rows,
+        max_memory: opts.max_memory,
+        ..FieldTypeClusterer::default()
+    }
+}
+
 /// Prints the greppable cache statistics line to stderr.
 fn emit_cache_stats(store: Option<&ArtifactStore>) {
     if let Some(s) = store {
@@ -75,7 +86,7 @@ pub fn analyze(args: &[String]) -> Result<(), CliError> {
     // the same cached artifacts (segmentation, stores, matrices) — and,
     // with `--cache-dir`, warm-start from artifacts persisted by
     // earlier runs.
-    let mut session = AnalysisSession::new(&trace, FieldTypeClusterer::default());
+    let mut session = AnalysisSession::new(&trace, build_clusterer(&opts));
     if let Some(s) = &store {
         session.set_store(s.clone());
     }
@@ -220,7 +231,7 @@ pub fn msgtype(args: &[String]) -> Result<(), CliError> {
     let store = open_store(&opts)?;
     // Run through the session so the segmentation and the message
     // matrix hit the artifact store when `--cache-dir` is given.
-    let mut session = AnalysisSession::new(&trace, FieldTypeClusterer::default());
+    let mut session = AnalysisSession::new(&trace, build_clusterer(&opts));
     if let Some(s) = &store {
         session.set_store(s.clone());
     }
@@ -288,7 +299,7 @@ pub fn fuzz(args: &[String]) -> Result<(), CliError> {
     let segmentation = segmenter
         .segment_trace(&trace)
         .map_err(|e| CliError::runtime(format!("segmentation failed: {e}")))?;
-    let result = FieldTypeClusterer::default()
+    let result = build_clusterer(&opts)
         .cluster_trace(&trace, &segmentation)
         .map_err(|e| CliError::runtime(format!("clustering failed: {e}")))?;
     let models = ValueModel::per_cluster(&result);
@@ -326,7 +337,7 @@ pub fn compare(args: &[String]) -> Result<(), CliError> {
     let mut results = Vec::new();
     for path in &opts.positional {
         let trace = load_trace_from(path, &opts)?;
-        let mut session = AnalysisSession::new(&trace, FieldTypeClusterer::default());
+        let mut session = AnalysisSession::new(&trace, build_clusterer(&opts));
         if let Some(s) = &store {
             session.set_store(s.clone());
         }

@@ -13,7 +13,7 @@ pub const USAGE: &str = "\
 fieldclust — field data type clustering for unknown binary protocols
 
 USAGE:
-  fieldclust analyze  <capture.pcap> [--segmenter S] [--port P] [--max N] [--cache-dir D] [--json | --report out.md]
+  fieldclust analyze  <capture.pcap> [--segmenter S] [--port P] [--max N] [--cache-dir D] [--tile-rows R | --max-memory B] [--json | --report out.md]
   fieldclust msgtype  <capture.pcap> [--segmenter S] [--port P] [--max N] [--cache-dir D]
   fieldclust stats    <capture.pcap> [--port P] [--max N]
   fieldclust compare  <a.pcap> <b.pcap> [--segmenter S] [--cache-dir D]
@@ -33,6 +33,9 @@ OPTIONS:
   --json          machine-readable output
   --report F      write a full Markdown analysis report to F
   --cache-dir D   persist stage artifacts under D and warm-start from them
+  --tile-rows R   tiled dissimilarity build with R-row tiles (cached per tile)
+  --max-memory B  byte budget for the dissimilarity build, with an optional
+                  K/M/G suffix (e.g. 512M); translated into a tile height
 
 EXIT CODES:
   0  success    1  runtime failure    2  bad usage";
@@ -62,6 +65,24 @@ pub struct CommonOpts {
     pub report: Option<String>,
     /// `--cache-dir`.
     pub cache_dir: Option<String>,
+    /// `--tile-rows`.
+    pub tile_rows: Option<usize>,
+    /// `--max-memory`, parsed to bytes.
+    pub max_memory: Option<u64>,
+}
+
+/// Parses a byte count with an optional `K`/`M`/`G` suffix (powers of
+/// 1024, case-insensitive): `"4096"`, `"64K"`, `"512M"`, `"2G"`.
+pub fn parse_bytes(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let (digits, shift) = match s.as_bytes().last()? {
+        b'k' | b'K' => (&s[..s.len() - 1], 10),
+        b'm' | b'M' => (&s[..s.len() - 1], 20),
+        b'g' | b'G' => (&s[..s.len() - 1], 30),
+        _ => (s, 0),
+    };
+    let value: u64 = digits.parse().ok()?;
+    value.checked_mul(1u64 << shift)
 }
 
 impl CommonOpts {
@@ -79,6 +100,8 @@ impl CommonOpts {
             reassemble: false,
             report: None,
             cache_dir: None,
+            tile_rows: None,
+            max_memory: None,
         };
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -122,6 +145,19 @@ impl CommonOpts {
                 "--reassemble" => opts.reassemble = true,
                 "--report" => opts.report = Some(value_for("--report")?),
                 "--cache-dir" => opts.cache_dir = Some(value_for("--cache-dir")?),
+                "--tile-rows" => {
+                    opts.tile_rows = Some(
+                        value_for("--tile-rows")?
+                            .parse()
+                            .map_err(|_| CliError::usage("--tile-rows needs a number"))?,
+                    )
+                }
+                "--max-memory" => {
+                    let raw = value_for("--max-memory")?;
+                    opts.max_memory = Some(parse_bytes(&raw).ok_or_else(|| {
+                        CliError::usage("--max-memory needs a byte count like 4096, 64K, 512M, 2G")
+                    })?)
+                }
                 flag if flag.starts_with("--") => {
                     return Err(CliError::usage(format!("unknown flag `{flag}`")))
                 }
@@ -209,6 +245,36 @@ mod tests {
         let o = parse(&["a.pcap", "--cache-dir", "/tmp/cache"]).unwrap();
         assert_eq!(o.cache_dir.as_deref(), Some("/tmp/cache"));
         assert!(parse(&["a.pcap"]).unwrap().cache_dir.is_none());
+    }
+
+    #[test]
+    fn tile_flags_are_parsed() {
+        let o = parse(&["a.pcap", "--tile-rows", "256", "--max-memory", "512M"]).unwrap();
+        assert_eq!(o.tile_rows, Some(256));
+        assert_eq!(o.max_memory, Some(512 << 20));
+        let o = parse(&["a.pcap"]).unwrap();
+        assert_eq!(o.tile_rows, None);
+        assert_eq!(o.max_memory, None);
+        for bad in [
+            parse(&["--tile-rows", "many"]),
+            parse(&["--max-memory", "lots"]),
+            parse(&["--max-memory"]),
+        ] {
+            assert_eq!(bad.unwrap_err().exit_code(), 2);
+        }
+    }
+
+    #[test]
+    fn byte_suffixes() {
+        assert_eq!(parse_bytes("4096"), Some(4096));
+        assert_eq!(parse_bytes("64K"), Some(64 << 10));
+        assert_eq!(parse_bytes("64k"), Some(64 << 10));
+        assert_eq!(parse_bytes("512M"), Some(512 << 20));
+        assert_eq!(parse_bytes("2G"), Some(2 << 30));
+        assert_eq!(parse_bytes(""), None);
+        assert_eq!(parse_bytes("G"), None);
+        assert_eq!(parse_bytes("-1K"), None);
+        assert_eq!(parse_bytes("99999999999999999999G"), None);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! `min_samples` is `round(ln n)`, which the paper found sufficient to
 //! avoid scattering large traces into many small clusters.
 
-use dissim::{CondensedMatrix, NeighborIndex};
+use dissim::{CondensedMatrix, KnnTable, NeighborIndex};
 use mathkit::kneedle::{detect_knees, KneedleParams};
 use mathkit::SmoothingSpline;
 
@@ -68,6 +68,15 @@ pub enum AutoConfError {
     /// All pairwise dissimilarities are (nearly) identical, so no knee
     /// exists.
     DegenerateDistribution,
+    /// The `max_dissimilarity` trim left fewer than four ECDF points for
+    /// every candidate `k`, so the spline knee search cannot run. This
+    /// is a property of the trim cutoff, not of the data — callers
+    /// retrying §III-E's trimmed rerun should fall back to the untrimmed
+    /// selection instead of treating the trace as degenerate.
+    TooFewEcdfPoints {
+        /// Points remaining after the trim for the best-populated `k`.
+        points: usize,
+    },
     /// No knee was detected in any k-NN ECDF.
     NoKnee,
 }
@@ -80,6 +89,12 @@ impl std::fmt::Display for AutoConfError {
             }
             AutoConfError::DegenerateDistribution => {
                 write!(f, "dissimilarity distribution is degenerate")
+            }
+            AutoConfError::TooFewEcdfPoints { points } => {
+                write!(
+                    f,
+                    "max-dissimilarity trim left too few ECDF points ({points} < 4) for every k"
+                )
             }
             AutoConfError::NoKnee => write!(f, "no knee detected in any k-NN ECDF"),
         }
@@ -117,6 +132,42 @@ pub fn auto_configure_with_index(
     auto_configure_impl(index.len(), |k| index.knn_dissimilarities(k), config)
 }
 
+/// The largest `k` Algorithm 1 will query for `n` items — what a
+/// [`KnnTable`] must be built with (at least) for
+/// [`auto_configure_with_knn`].
+pub fn required_k_max(n: usize) -> usize {
+    let min_samples = ((n as f64).ln().round() as usize).max(2);
+    min_samples.min(n.saturating_sub(1)).max(1)
+}
+
+/// Runs Algorithm 1 with k-NN dissimilarities read off a precomputed
+/// [`KnnTable`] (built from a tiled matrix without materializing the
+/// full matrix or neighbor lists).
+///
+/// The table holds the same k-th order statistics a matrix scan
+/// produces, so this selects exactly the parameters [`auto_configure`]
+/// would.
+///
+/// # Panics
+///
+/// Panics if the table was built with `k_max <`
+/// [`required_k_max`]`(table.len())`.
+///
+/// # Errors
+///
+/// See [`AutoConfError`].
+pub fn auto_configure_with_knn(
+    table: &KnnTable,
+    config: &AutoConfig,
+) -> Result<SelectedParams, AutoConfError> {
+    let n = table.len();
+    assert!(
+        n < 4 || table.k_max() >= required_k_max(n),
+        "knn table too shallow for auto-configuration"
+    );
+    auto_configure_impl(n, |k| table.knn_dissimilarities(k), config)
+}
+
 /// Shared core of Algorithm 1. `knn` returns each item's k-th nearest
 /// neighbor dissimilarity (in any item order — the values are sorted
 /// before use).
@@ -132,11 +183,18 @@ fn auto_configure_impl(
     let k_max = min_samples.min(n - 1);
 
     let mut best: Option<(f64, usize, Vec<f64>, SmoothingSpline)> = None;
+    // Track how the max-dissimilarity trim starved candidate ks, so a
+    // cutoff that leaves nothing to fit is reported as such instead of
+    // masquerading as a degenerate distribution.
+    let mut trim_starved = 0usize;
+    let mut trim_best_points = 0usize;
     for k in 2..=k_max {
         let mut knn = knn(k);
         if let Some(cutoff) = config.max_dissimilarity {
             knn.retain(|&d| d < cutoff);
             if knn.len() < 4 {
+                trim_starved += 1;
+                trim_best_points = trim_best_points.max(knn.len());
                 continue;
             }
         }
@@ -171,7 +229,17 @@ fn auto_configure_impl(
             best = Some((sharpness, k, knn, spline));
         }
     }
-    let (_, k, knn, spline) = best.ok_or(AutoConfError::DegenerateDistribution)?;
+    let (_, k, knn, spline) = match best {
+        Some(found) => found,
+        None if trim_starved == k_max - 1 => {
+            // Every candidate k (there are k_max - 1 of them) was starved
+            // by the trim: the cutoff is the problem, not the data.
+            return Err(AutoConfError::TooFewEcdfPoints {
+                points: trim_best_points,
+            });
+        }
+        None => return Err(AutoConfError::DegenerateDistribution),
+    };
 
     // Sample the smoothed ECDF: x = smoothed dissimilarity (monotonized),
     // y = cumulative fraction.
@@ -266,6 +334,48 @@ mod tests {
             auto_configure(&m, &AutoConfig::default()),
             Err(AutoConfError::TooFewSegments { n: 3 })
         ));
+    }
+
+    #[test]
+    fn knn_table_autoconf_matches_matrix_scan() {
+        let m = blobs(4, 18, 0.08, 7.0, 5);
+        let n = m.len();
+        let mut acc = dissim::KnnAccumulator::new(n, required_k_max(n));
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = m.get(i, j);
+                acc.push(i, d);
+                acc.push(j, d);
+            }
+        }
+        let table = acc.finish();
+        for config in [
+            AutoConfig::default(),
+            AutoConfig {
+                max_dissimilarity: Some(1.0),
+                ..AutoConfig::default()
+            },
+        ] {
+            assert_eq!(
+                auto_configure(&m, &config),
+                auto_configure_with_knn(&table, &config)
+            );
+        }
+    }
+
+    #[test]
+    fn trim_starving_every_k_reports_structured_error() {
+        let m = blobs(5, 20, 0.05, 10.0, 1);
+        // A cutoff below every dissimilarity starves the ECDF of every
+        // candidate k: the error must name the trim, not the data.
+        let starved = auto_configure(
+            &m,
+            &AutoConfig {
+                max_dissimilarity: Some(0.0),
+                ..AutoConfig::default()
+            },
+        );
+        assert_eq!(starved, Err(AutoConfError::TooFewEcdfPoints { points: 0 }));
     }
 
     #[test]

@@ -138,6 +138,70 @@ pub fn dbscan_weighted_with_index(
     })
 }
 
+/// [`dbscan_with_index`] with the per-item core predicate evaluated in
+/// parallel on the `parkit` scheduler before the (serial, deterministic)
+/// region growing.
+pub fn dbscan_parallel_with_index(
+    index: &NeighborIndex,
+    eps: f64,
+    min_samples: usize,
+    threads: usize,
+) -> Clustering {
+    let weights = vec![1usize; index.len()];
+    dbscan_weighted_parallel_with_index(index, eps, min_samples, &weights, threads)
+}
+
+/// [`dbscan_weighted_with_index`] with the per-item core predicate
+/// evaluated in parallel on the `parkit` scheduler.
+///
+/// Whether an item is core — its ε-neighborhood weight reaches
+/// `min_samples` — is an integer sum over its own index row, written to
+/// its own slot, so the predicate vector is exact and independent of
+/// scheduling; the region growing then consumes it in the same serial
+/// index order as the other entry points. The clustering is therefore
+/// identical to [`dbscan_weighted_with_index`] for any thread count.
+///
+/// # Panics
+///
+/// Panics if `weights` is shorter than the index.
+pub fn dbscan_weighted_parallel_with_index(
+    index: &NeighborIndex,
+    eps: f64,
+    min_samples: usize,
+    weights: &[usize],
+    threads: usize,
+) -> Clustering {
+    let n = index.len();
+    assert!(weights.len() >= n, "need a weight per item");
+    let mut core = vec![false; n];
+    if n > 0 {
+        let core_ptr = SendFlagPtr(core.as_mut_ptr());
+        parkit::for_each_chunk(threads, n, 16, |items| {
+            let core_ptr = &core_ptr;
+            for i in items {
+                let w = weights[i]
+                    + index
+                        .range(i, eps)
+                        .iter()
+                        .map(|&(_, j)| weights[j as usize])
+                        .sum::<usize>();
+                // SAFETY: slot `i` is written by exactly one worker (the
+                // scheduler hands out each item once), so writes never
+                // alias.
+                unsafe { *core_ptr.0.add(i) = w >= min_samples };
+            }
+        });
+    }
+    dbscan_core_impl(n, &core, |i, out| {
+        out.extend(index.range(i, eps).iter().map(|&(_, j)| j as usize));
+    })
+}
+
+/// A raw pointer wrapper asserting cross-thread transferability for the
+/// disjoint-slot core-predicate writes above.
+struct SendFlagPtr(*mut bool);
+unsafe impl Sync for SendFlagPtr {}
+
 /// Runs DBSCAN over *weighted* items: item `i` stands for `weights[i]`
 /// identical samples at the same position.
 ///
@@ -209,6 +273,65 @@ fn dbscan_impl(
             nb.clear();
             region(q, &mut nb);
             if neighborhood_weight(q, &nb) >= min_samples {
+                queue.extend(nb.iter().copied());
+            }
+        }
+        cluster_id += 1;
+    }
+
+    let labels = labels
+        .into_iter()
+        .map(|l| {
+            if l == NOISE {
+                Label::Noise
+            } else {
+                Label::Cluster(l)
+            }
+        })
+        .collect();
+    Clustering::from_labels(labels)
+}
+
+/// Region growing from a *precomputed* core predicate: the same visit
+/// order and labeling decisions as [`dbscan_impl`], with the density
+/// test `neighborhood_weight(i) >= min_samples` replaced by `core[i]`
+/// (evaluated up front, possibly in parallel). Skipping the region query
+/// for non-core items changes no decision: their neighbors are never
+/// enqueued either way.
+fn dbscan_core_impl(
+    n: usize,
+    core: &[bool],
+    mut region: impl FnMut(usize, &mut Vec<usize>),
+) -> Clustering {
+    const UNVISITED: u32 = u32::MAX;
+    const NOISE: u32 = u32::MAX - 1;
+    let mut labels = vec![UNVISITED; n];
+    let mut cluster_id = 0u32;
+    let mut nb: Vec<usize> = Vec::new();
+
+    for i in 0..n {
+        if labels[i] != UNVISITED {
+            continue;
+        }
+        if !core[i] {
+            labels[i] = NOISE;
+            continue;
+        }
+        labels[i] = cluster_id;
+        nb.clear();
+        region(i, &mut nb);
+        let mut queue: std::collections::VecDeque<usize> = nb.iter().copied().collect();
+        while let Some(q) = queue.pop_front() {
+            if labels[q] == NOISE {
+                labels[q] = cluster_id; // border point adopted by the cluster
+            }
+            if labels[q] != UNVISITED {
+                continue;
+            }
+            labels[q] = cluster_id;
+            if core[q] {
+                nb.clear();
+                region(q, &mut nb);
                 queue.extend(nb.iter().copied());
             }
         }
@@ -357,6 +480,28 @@ mod tests {
                 dbscan_weighted_with_index(&idx, eps, ms, &w),
                 "weighted eps={eps} ms={ms}"
             );
+        }
+    }
+
+    #[test]
+    fn parallel_core_predicate_matches_serial() {
+        let pts = [0.0, 0.1, 0.2, 1.5, 10.0, 10.1, 10.2, 55.0, 55.3];
+        let m = line_matrix(&pts);
+        let idx = dissim::NeighborIndex::build(&m);
+        let w = [7, 1, 1, 1, 3, 1, 1, 2, 1];
+        for threads in [1, 2, 4] {
+            for (eps, ms) in [(0.5, 2), (0.5, 3), (0.35, 5), (2.0, 2), (100.0, 3)] {
+                assert_eq!(
+                    dbscan(&m, eps, ms),
+                    dbscan_parallel_with_index(&idx, eps, ms, threads),
+                    "threads={threads} eps={eps} ms={ms}"
+                );
+                assert_eq!(
+                    dbscan_weighted(&m, eps, ms, &w),
+                    dbscan_weighted_parallel_with_index(&idx, eps, ms, &w, threads),
+                    "weighted threads={threads} eps={eps} ms={ms}"
+                );
+            }
         }
     }
 

@@ -100,6 +100,45 @@ pub fn hdbscan_with_index(
     hdbscan_from_core(matrix, params, &core)
 }
 
+/// [`hdbscan_with_index`] with the core distances gathered in parallel
+/// on the `parkit` scheduler.
+///
+/// Each item's core distance is a single read off its sorted neighbor
+/// list into its own slot, so the vector is bit-identical to the serial
+/// gather for any thread count — and so is the clustering built from it.
+///
+/// # Panics
+///
+/// Panics if the index and matrix cover different item counts.
+pub fn hdbscan_parallel_with_index(
+    matrix: &CondensedMatrix,
+    index: &NeighborIndex,
+    params: &HdbscanParams,
+    threads: usize,
+) -> Clustering {
+    let n = matrix.len();
+    assert_eq!(index.len(), n, "index and matrix must cover the same items");
+    let min_samples = params.min_samples.max(1).min(n.max(1));
+    let mut core = vec![0.0f64; n];
+    if n > 0 && min_samples > 1 {
+        let core_ptr = SendSlotPtr(core.as_mut_ptr());
+        parkit::for_each_chunk(threads, n, 64, |items| {
+            let core_ptr = &core_ptr;
+            for i in items {
+                // SAFETY: slot `i` is written by exactly one worker (the
+                // scheduler hands out each item once).
+                unsafe { *core_ptr.0.add(i) = index.kth_dissimilarity(i, min_samples - 1) };
+            }
+        });
+    }
+    hdbscan_from_core(matrix, params, &core)
+}
+
+/// A raw pointer wrapper asserting cross-thread transferability for the
+/// disjoint-slot core-distance writes above.
+struct SendSlotPtr(*mut f64);
+unsafe impl Sync for SendSlotPtr {}
+
 /// The dendrogram/condensation/extraction pipeline shared by both entry
 /// points, starting from precomputed core distances.
 fn hdbscan_from_core(matrix: &CondensedMatrix, params: &HdbscanParams, core: &[f64]) -> Clustering {
@@ -437,6 +476,13 @@ mod tests {
             },
         ] {
             assert_eq!(hdbscan(&m, &p), hdbscan_with_index(&m, &idx, &p), "{p:?}");
+            for threads in [1, 2, 4] {
+                assert_eq!(
+                    hdbscan(&m, &p),
+                    hdbscan_parallel_with_index(&m, &idx, &p, threads),
+                    "threads={threads} {p:?}"
+                );
+            }
         }
     }
 

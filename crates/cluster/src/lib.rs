@@ -30,11 +30,16 @@ pub mod optics;
 pub mod refine;
 
 pub use autoconf::{
-    auto_configure, auto_configure_with_index, AutoConfError, AutoConfig, SelectedParams,
+    auto_configure, auto_configure_with_index, auto_configure_with_knn, required_k_max,
+    AutoConfError, AutoConfig, SelectedParams,
 };
 pub use dbscan::{
-    dbscan, dbscan_weighted, dbscan_weighted_with_index, dbscan_with_index, Clustering, Label,
+    dbscan, dbscan_parallel_with_index, dbscan_weighted, dbscan_weighted_parallel_with_index,
+    dbscan_weighted_with_index, dbscan_with_index, Clustering, Label,
 };
-pub use hdbscan::{hdbscan, hdbscan_with_index, HdbscanParams};
+pub use hdbscan::{hdbscan, hdbscan_parallel_with_index, hdbscan_with_index, HdbscanParams};
 pub use optics::{optics, optics_with_index, OpticsOrdering};
-pub use refine::{merge_clusters, merge_clusters_with_index, split_clusters, RefineParams};
+pub use refine::{
+    merge_clusters, merge_clusters_parallel, merge_clusters_with_index, split_clusters,
+    RefineParams,
+};

@@ -49,7 +49,7 @@ pub fn merge_clusters(
     matrix: &CondensedMatrix,
     params: &RefineParams,
 ) -> Clustering {
-    merge_impl(clustering, matrix, None, params)
+    merge_impl(clustering, matrix, None, params, 1)
 }
 
 /// [`merge_clusters`] with the link-density region queries of Condition 1
@@ -64,7 +64,25 @@ pub fn merge_clusters_with_index(
     index: &NeighborIndex,
     params: &RefineParams,
 ) -> Clustering {
-    merge_impl(clustering, matrix, Some(index), params)
+    merge_impl(clustering, matrix, Some(index), params, 1)
+}
+
+/// [`merge_clusters_with_index`] with the per-cluster statistics of each
+/// round (mean/max intra-cluster dissimilarity, `minmed`) computed in
+/// parallel on the `parkit` scheduler.
+///
+/// Each cluster's statistics are folded over its members in a fixed
+/// order into the cluster's own slot, so the vector — and the merge
+/// decisions consuming it in serial pair order — are bit-identical to
+/// the serial rounds for any thread count.
+pub fn merge_clusters_parallel(
+    clustering: &Clustering,
+    matrix: &CondensedMatrix,
+    index: &NeighborIndex,
+    params: &RefineParams,
+    threads: usize,
+) -> Clustering {
+    merge_impl(clustering, matrix, Some(index), params, threads)
 }
 
 fn merge_impl(
@@ -72,6 +90,7 @@ fn merge_impl(
     matrix: &CondensedMatrix,
     index: Option<&NeighborIndex>,
     params: &RefineParams,
+    threads: usize,
 ) -> Clustering {
     let mut labels = clustering.labels().to_vec();
     for _ in 0..params.max_merge_rounds {
@@ -83,10 +102,7 @@ fn merge_impl(
         if clusters.len() < 2 {
             return current;
         }
-        let stats: Vec<ClusterStats> = clusters
-            .iter()
-            .map(|c| ClusterStats::compute(c, matrix))
-            .collect();
+        let stats = compute_stats(&clusters, matrix, threads);
 
         let mut merged_into: Vec<usize> = (0..clusters.len()).collect();
         let mut any = false;
@@ -167,6 +183,42 @@ pub fn split_clusters(
     }
     Clustering::from_labels(labels)
 }
+
+/// Computes every cluster's statistics, fanning the clusters out over
+/// the `parkit` scheduler when more than one thread is requested. Each
+/// cluster is folded serially in member order into its own disjoint
+/// slot, so the result is bit-identical to the serial map.
+fn compute_stats(
+    clusters: &[Vec<usize>],
+    matrix: &CondensedMatrix,
+    threads: usize,
+) -> Vec<ClusterStats> {
+    if threads <= 1 || clusters.len() < 2 {
+        return clusters
+            .iter()
+            .map(|c| ClusterStats::compute(c, matrix))
+            .collect();
+    }
+    let mut slots: Vec<Option<ClusterStats>> = (0..clusters.len()).map(|_| None).collect();
+    let slots_ptr = SendStatsPtr(slots.as_mut_ptr());
+    parkit::for_each_chunk(threads, clusters.len(), 1, |chunk| {
+        let slots_ptr = &slots_ptr;
+        for c in chunk {
+            // SAFETY: slot `c` is written by exactly one worker (the
+            // scheduler hands out each cluster once).
+            unsafe { *slots_ptr.0.add(c) = Some(ClusterStats::compute(&clusters[c], matrix)) };
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every cluster slot filled"))
+        .collect()
+}
+
+/// A raw pointer wrapper asserting cross-thread transferability for the
+/// disjoint-slot statistics writes above.
+struct SendStatsPtr(*mut Option<ClusterStats>);
+unsafe impl Sync for SendStatsPtr {}
 
 /// Per-cluster statistics shared by both merge conditions.
 #[derive(Debug)]
@@ -421,6 +473,21 @@ mod tests {
             merge_clusters(&c, &m, &strict),
             merge_clusters_with_index(&c, &m, &idx, &strict)
         );
+    }
+
+    #[test]
+    fn parallel_merge_matches_serial() {
+        let (m, c) = overclassified();
+        let idx = dissim::NeighborIndex::build(&m);
+        let p = RefineParams::default();
+        let serial = merge_clusters(&c, &m, &p);
+        for threads in [1, 2, 4] {
+            assert_eq!(
+                serial,
+                merge_clusters_parallel(&c, &m, &idx, &p, threads),
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]

@@ -45,7 +45,6 @@
 //!    blocks; each row owns a contiguous condensed range, so writes
 //!    stay cache-local and never alias.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 use crate::canberra::DissimParams;
@@ -269,6 +268,24 @@ struct Bucket {
     idxs: Vec<usize>,
 }
 
+/// Sorts `indices` into equal-length buckets (ascending length,
+/// ascending index within a bucket).
+fn make_buckets(segments: &[&[u8]], indices: impl Iterator<Item = usize>) -> Vec<Bucket> {
+    let mut order: Vec<usize> = indices.collect();
+    order.sort_unstable_by_key(|&i| (segments[i].len(), i));
+    let mut buckets: Vec<Bucket> = Vec::new();
+    for &i in &order {
+        match buckets.last_mut() {
+            Some(b) if b.len == segments[i].len() => b.idxs.push(i),
+            _ => buckets.push(Bucket {
+                len: segments[i].len(),
+                idxs: vec![i],
+            }),
+        }
+    }
+    buckets
+}
+
 /// Canberra sums of one row segment (as LUT row keys) against four
 /// equal-length columns at once. Each column's sum is its own strict
 /// left-to-right accumulation; the four independent chains hide the f64
@@ -416,10 +433,114 @@ fn fill_row(
     }
 }
 
+/// A reusable bucketed-kernel configuration for computing arbitrary
+/// subsets of the pairwise matrix: buckets over all indices, the shared
+/// key table, and the hoisted kernel constants. Built once per tiled
+/// build and shared read-only across tiles and worker threads.
+pub(crate) struct PairContext<'a> {
+    segments: &'a [&'a [u8]],
+    buckets: Vec<Bucket>,
+    key_table: KeyTable,
+    penalty: f64,
+    lut: &'static CanberraLut,
+}
+
+impl<'a> PairContext<'a> {
+    pub(crate) fn new(segments: &'a [&'a [u8]], params: &DissimParams) -> Self {
+        Self {
+            segments,
+            buckets: make_buckets(segments, 0..segments.len()),
+            key_table: KeyTable::new(segments),
+            penalty: params.effective_penalty(),
+            lut: CanberraLut::global(),
+        }
+    }
+
+    /// Fills lower-triangle row `j` (`out[i] = D(segments[i],
+    /// segments[j])` for every `i < j`; `out.len()` must be `j`).
+    ///
+    /// Bit-identical to the entries [`fill_row`] produces for the same
+    /// pairs: the per-byte LUT term is symmetric bit-for-bit
+    /// (`|x − y| = |y − x|` exactly and f64 addition is commutative, so
+    /// `term(x, y) == term(y, x)`), position order — and with it every
+    /// partial sum — is unchanged, equal-length pairs take the same
+    /// direct-Canberra path, and mixed-length pairs pick the short/long
+    /// roles by length exactly as `fill_row` does, so the same
+    /// `windowed_min_sum4` call is issued for the same pair. Quad-lane
+    /// grouping differs, but each lane is an independent exact sum, so
+    /// grouping never affects a pair's value (see the module docs).
+    pub(crate) fn fill_lower_row(&self, j: usize, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), j);
+        let sj = self.segments[j];
+        let lj = sj.len();
+        let keys_j = self.key_table.get(j);
+        let lut = self.lut;
+        for bucket in &self.buckets {
+            // Only rows i < j belong to this lower-triangle row.
+            let to = bucket.idxs.partition_point(|&i| i < j);
+            let rows = &bucket.idxs[..to];
+            if rows.is_empty() {
+                continue;
+            }
+            if bucket.len == lj {
+                if lj == 0 {
+                    // Both empty: identical.
+                    for &i in rows {
+                        out[i] = 0.0;
+                    }
+                } else {
+                    // Equal lengths: direct Canberra, four rows per pass.
+                    let lenf = lj as f64;
+                    let mut quads = rows.chunks_exact(4);
+                    for q in quads.by_ref() {
+                        let sums = equal_len_sums4(
+                            keys_j,
+                            self.segments[q[0]],
+                            self.segments[q[1]],
+                            self.segments[q[2]],
+                            self.segments[q[3]],
+                            lut,
+                        );
+                        for (t, &i) in q.iter().enumerate() {
+                            out[i] = sums[t] / lenf;
+                        }
+                    }
+                    for &i in quads.remainder() {
+                        out[i] = canberra_distance_lut(sj, self.segments[i], lut);
+                    }
+                }
+            } else if bucket.len.min(lj) == 0 {
+                // Empty vs non-empty: maximally dissimilar.
+                for &i in rows {
+                    out[i] = 1.0;
+                }
+            } else if lj < bucket.len {
+                // Column segment is the short side: its keys slide over
+                // each bucket row.
+                let (s, l) = (lj, bucket.len);
+                let lenf = s as f64;
+                for &i in rows {
+                    let best = windowed_min_sum4(keys_j, self.segments[i], lut) / lenf;
+                    out[i] = mixed_length(s, l, best, self.penalty);
+                }
+            } else {
+                // Column segment is the long side: each bucket row's keys
+                // slide over it.
+                let (s, l) = (bucket.len, lj);
+                let lenf = s as f64;
+                for &i in rows {
+                    let best = windowed_min_sum4(self.key_table.get(i), sj, lut) / lenf;
+                    out[i] = mixed_length(s, l, best, self.penalty);
+                }
+            }
+        }
+    }
+}
+
 /// Builds the condensed pairwise Canberra dissimilarity matrix directly
 /// from the segment slices: length-bucketed kernels, contiguous row
-/// blocks on scoped threads. Bit-identical to the closure-based build
-/// over [`crate::dissimilarity`].
+/// ranges stolen dynamically over the `parkit` scheduler. Bit-identical
+/// to the closure-based build over [`crate::dissimilarity`].
 pub(crate) fn build_bucketed(
     segments: &[&[u8]],
     params: &DissimParams,
@@ -431,22 +552,7 @@ pub(crate) fn build_bucketed(
         return CondensedMatrix::from_raw(n, Vec::new());
     }
     let lut = CanberraLut::global();
-
-    // Sort indices into length buckets (ascending length, ascending
-    // index within a bucket).
-    let mut order: Vec<usize> = (0..n).collect();
-    order.sort_unstable_by_key(|&i| (segments[i].len(), i));
-    let mut buckets: Vec<Bucket> = Vec::new();
-    for &i in &order {
-        match buckets.last_mut() {
-            Some(b) if b.len == segments[i].len() => b.idxs.push(i),
-            _ => buckets.push(Bucket {
-                len: segments[i].len(),
-                idxs: vec![i],
-            }),
-        }
-    }
-
+    let buckets = make_buckets(segments, 0..n);
     let key_table = KeyTable::new(segments);
     let mut data = vec![0.0f64; n * (n - 1) / 2];
     let threads = threads.max(1).min(n - 1);
@@ -459,35 +565,18 @@ pub(crate) fn build_bucketed(
         return CondensedMatrix::from_raw(n, data);
     }
 
-    // Hand out contiguous row blocks dynamically; early (longer) rows
-    // cost more, so small blocks keep the load balanced.
-    let block_rows = (n / (threads * 8)).max(1);
-    let next_block = AtomicUsize::new(0);
     let data_ptr = SendPtr(data.as_mut_ptr());
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
-                let data_ptr = &data_ptr;
-                loop {
-                    let block = next_block.fetch_add(1, Ordering::Relaxed);
-                    let start = block * block_rows;
-                    if start >= n - 1 {
-                        break;
-                    }
-                    let end = (start + block_rows).min(n - 1);
-                    for i in start..end {
-                        let row_start = condensed_index(n, i, i + 1);
-                        // SAFETY: row i owns the condensed range
-                        // [row_start, row_start + n - i - 1) exclusively,
-                        // and each row is claimed by exactly one thread,
-                        // so the slices never alias.
-                        let row = unsafe {
-                            std::slice::from_raw_parts_mut(data_ptr.0.add(row_start), n - i - 1)
-                        };
-                        fill_row(i, segments, row, &buckets, penalty, lut, &key_table);
-                    }
-                }
-            });
+    parkit::for_each_chunk(threads, n - 1, 1, |rows| {
+        let data_ptr = &data_ptr;
+        for i in rows {
+            let row_start = condensed_index(n, i, i + 1);
+            // SAFETY: row i owns the condensed range [row_start,
+            // row_start + n - i - 1) exclusively, and the scheduler
+            // hands out each row exactly once, so the slices never
+            // alias.
+            let row =
+                unsafe { std::slice::from_raw_parts_mut(data_ptr.0.add(row_start), n - i - 1) };
+            fill_row(i, segments, row, &buckets, penalty, lut, &key_table);
         }
     });
     CondensedMatrix::from_raw(n, data)
@@ -527,19 +616,7 @@ pub(crate) fn extend_bucketed(
     // j >= old_n is new, and for rows i >= old_n every column j > i is
     // >= old_n too, so new-index buckets cover exactly the missing
     // entries of every row.
-    let mut order: Vec<usize> = (old_n..n).collect();
-    order.sort_unstable_by_key(|&i| (segments[i].len(), i));
-    let mut buckets: Vec<Bucket> = Vec::new();
-    for &i in &order {
-        match buckets.last_mut() {
-            Some(b) if b.len == segments[i].len() => b.idxs.push(i),
-            _ => buckets.push(Bucket {
-                len: segments[i].len(),
-                idxs: vec![i],
-            }),
-        }
-    }
-
+    let buckets = make_buckets(segments, old_n..n);
     let key_table = KeyTable::new(segments);
     let mut data = vec![0.0f64; n * (n - 1) / 2];
     // Splice the old rows: row i of the old matrix is the contiguous
@@ -562,35 +639,19 @@ pub(crate) fn extend_bucketed(
         return CondensedMatrix::from_raw(n, data);
     }
 
-    let block_rows = (n / (threads * 8)).max(1);
-    let next_block = AtomicUsize::new(0);
     let data_ptr = SendPtr(data.as_mut_ptr());
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
-                let data_ptr = &data_ptr;
-                loop {
-                    let block = next_block.fetch_add(1, Ordering::Relaxed);
-                    let start = block * block_rows;
-                    if start >= n - 1 {
-                        break;
-                    }
-                    let end = (start + block_rows).min(n - 1);
-                    for i in start..end {
-                        let row_start = condensed_index(n, i, i + 1);
-                        // SAFETY: row i owns the condensed range
-                        // [row_start, row_start + n - i - 1) exclusively,
-                        // and each row is claimed by exactly one thread,
-                        // so the slices never alias. fill_row only writes
-                        // new-bucket columns, leaving the spliced old
-                        // prefix of the row untouched.
-                        let row = unsafe {
-                            std::slice::from_raw_parts_mut(data_ptr.0.add(row_start), n - i - 1)
-                        };
-                        fill_row(i, segments, row, &buckets, penalty, lut, &key_table);
-                    }
-                }
-            });
+    parkit::for_each_chunk(threads, n - 1, 1, |rows| {
+        let data_ptr = &data_ptr;
+        for i in rows {
+            let row_start = condensed_index(n, i, i + 1);
+            // SAFETY: row i owns the condensed range [row_start,
+            // row_start + n - i - 1) exclusively, and the scheduler
+            // hands out each row exactly once, so the slices never
+            // alias. fill_row only writes new-bucket columns, leaving
+            // the spliced old prefix of the row untouched.
+            let row =
+                unsafe { std::slice::from_raw_parts_mut(data_ptr.0.add(row_start), n - i - 1) };
+            fill_row(i, segments, row, &buckets, penalty, lut, &key_table);
         }
     });
     CondensedMatrix::from_raw(n, data)
@@ -731,6 +792,22 @@ mod tests {
                         "old_n = {old_n}, threads = {threads}, entry {k}"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn lower_row_context_matches_bucketed_build() {
+        let segs = corpus(41);
+        let values: Vec<&[u8]> = segs.iter().map(|s| &s[..]).collect();
+        let full = build_bucketed(&values, &P, 2);
+        let ctx = PairContext::new(&values, &P);
+        let mut out = vec![0.0f64; values.len()];
+        for j in 0..values.len() {
+            let row = &mut out[..j];
+            ctx.fill_lower_row(j, row);
+            for (i, v) in row.iter().enumerate() {
+                assert_eq!(v.to_bits(), full.get(i, j).to_bits(), "pair ({i}, {j})");
             }
         }
     }

@@ -34,9 +34,11 @@ pub mod canberra;
 pub mod kernel;
 pub mod matrix;
 pub mod neighbor;
+pub mod tiled;
 
 pub use artifact::DissimArtifact;
 pub use canberra::{canberra_distance, dissimilarity, DissimParams, InvalidLengthPenalty};
 pub use kernel::CanberraLut;
 pub use matrix::CondensedMatrix;
 pub use neighbor::NeighborIndex;
+pub use tiled::{KnnAccumulator, KnnTable, MatrixTile, TiledMatrix};

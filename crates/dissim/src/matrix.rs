@@ -2,11 +2,9 @@
 //!
 //! The pipeline stores all pairwise segment dissimilarities in a matrix
 //! `D` (paper §III-C). For `n` segments only the strict upper triangle is
-//! kept (`n·(n−1)/2` entries); the build is parallelized with scoped
-//! threads since it is the pipeline's dominant cost (O(n²) sliding-window
-//! Canberra evaluations).
-
-use std::sync::atomic::{AtomicUsize, Ordering};
+//! kept (`n·(n−1)/2` entries); the build is parallelized over the
+//! `parkit` work-stealing scheduler since it is the pipeline's dominant
+//! cost (O(n²) sliding-window Canberra evaluations).
 
 /// A symmetric zero-diagonal dissimilarity matrix in condensed form.
 ///
@@ -102,10 +100,13 @@ impl CondensedMatrix {
         crate::kernel::extend_bucketed(&self.data, self.n, segments, params, threads)
     }
 
-    /// Builds the matrix in parallel over all rows using scoped threads.
+    /// Builds the matrix in parallel over all rows on the `parkit`
+    /// work-stealing scheduler.
     ///
-    /// `f` must be pure; rows are handed out dynamically so irregular row
-    /// costs (long segments) balance across cores.
+    /// `f` must be pure; row ranges are stolen dynamically so irregular
+    /// row costs (long segments) balance across cores, and every entry
+    /// is written to its own condensed slot — the result is bit-identical
+    /// to [`build`](Self::build) regardless of scheduling.
     pub fn build_parallel(
         n: usize,
         threads: usize,
@@ -117,32 +118,21 @@ impl CondensedMatrix {
         }
         let total = n * (n - 1) / 2;
         let mut data = vec![0.0f64; total];
-        // Hand out whole rows; each row i owns the contiguous condensed
-        // range for pairs (i, i+1..n).
-        let next_row = AtomicUsize::new(0);
         let data_ptr = SendPtr(data.as_mut_ptr());
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| {
-                    let data_ptr = &data_ptr;
-                    loop {
-                        let i = next_row.fetch_add(1, Ordering::Relaxed);
-                        if i >= n - 1 {
-                            // The last row has no pairs (j > i required).
-                            break;
-                        }
-                        let row_start = condensed_index(n, i, i + 1);
-                        for j in (i + 1)..n {
-                            let v = f(i, j);
-                            // SAFETY: each (i, j) pair maps to a unique
-                            // condensed index and each row is owned by
-                            // exactly one thread, so writes never alias.
-                            unsafe {
-                                *data_ptr.0.add(row_start + (j - i - 1)) = v;
-                            }
-                        }
+        // The last row has no pairs (j > i required), so n - 1 rows.
+        parkit::for_each_chunk(threads, n - 1, 1, |rows| {
+            let data_ptr = &data_ptr;
+            for i in rows {
+                let row_start = condensed_index(n, i, i + 1);
+                for j in (i + 1)..n {
+                    let v = f(i, j);
+                    // SAFETY: each (i, j) pair maps to a unique condensed
+                    // index and the scheduler hands out each row exactly
+                    // once, so writes never alias.
+                    unsafe {
+                        *data_ptr.0.add(row_start + (j - i - 1)) = v;
                     }
-                });
+                }
             }
         });
         Self { n, data }

@@ -16,7 +16,6 @@
 //! equivalence tests in `crates/cluster`).
 
 use crate::matrix::CondensedMatrix;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// For every item, all other items sorted by ascending dissimilarity
 /// (ties broken by index, so the layout is fully deterministic).
@@ -50,8 +49,10 @@ impl NeighborIndex {
         Self::build_parallel(matrix, 1)
     }
 
-    /// Builds the index from a matrix, handing whole rows to `threads`
-    /// scoped worker threads.
+    /// Builds the index from a matrix, handing row ranges to `threads`
+    /// workers on the `parkit` work-stealing scheduler. Each row is
+    /// sorted independently into its own disjoint slot, so the result is
+    /// bit-identical to the serial build regardless of scheduling.
     ///
     /// # Panics
     ///
@@ -71,27 +72,18 @@ impl NeighborIndex {
             }
             return Self { n, lists };
         }
-        let next_row = AtomicUsize::new(0);
         let lists_ptr = SendRowPtr(lists.as_mut_ptr());
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| {
-                    let lists_ptr = &lists_ptr;
-                    loop {
-                        let i = next_row.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        // SAFETY: row `i` is the half-open range
-                        // [i*row_len, (i+1)*row_len) of the allocation
-                        // above; rows are disjoint and each is handed to
-                        // exactly one thread, so writes never alias.
-                        let row = unsafe {
-                            std::slice::from_raw_parts_mut(lists_ptr.0.add(i * row_len), row_len)
-                        };
-                        fill_row(matrix, i, row);
-                    }
-                });
+        parkit::for_each_chunk(threads, n, 1, |rows| {
+            let lists_ptr = &lists_ptr;
+            for i in rows {
+                // SAFETY: row `i` is the half-open range
+                // [i*row_len, (i+1)*row_len) of the allocation above;
+                // rows are disjoint and the scheduler hands out each row
+                // exactly once, so writes never alias.
+                let row = unsafe {
+                    std::slice::from_raw_parts_mut(lists_ptr.0.add(i * row_len), row_len)
+                };
+                fill_row(matrix, i, row);
             }
         });
         Self { n, lists }

@@ -32,7 +32,7 @@ use crate::segments::{SegmentInstance, SegmentStore, UniqueSegment};
 use cluster::autoconf::{AutoConfig, SelectedParams};
 use cluster::dbscan::Clustering;
 use cluster::refine::RefineParams;
-use dissim::DissimParams;
+use dissim::{DissimParams, TiledMatrix};
 use segment::TraceSegmentation;
 use store::{Key, KeyDigest, Kind, Persist, Reader, Writer};
 use trace::Trace;
@@ -101,6 +101,47 @@ pub(crate) fn dissim_key(values: &[&[u8]], params: &DissimParams) -> Key {
     dissim_keys_at(values, params, &[values.len()])
         .pop()
         .expect("one prefix requested")
+}
+
+/// Keys of every tile of the tiled dissimilarity build, in tile order,
+/// from a single chained pass. A tile covering rows `s..e` is a pure
+/// function of `values[..e]` and the parameters — independent of the
+/// total segment count — so its key digests exactly that prefix plus
+/// the row bounds. Complete tiles of a *grown* trace therefore keep
+/// their keys, and a warm run faults them straight back in while only
+/// the appended (and formerly partial) tiles recompute.
+pub(crate) fn tile_keys(values: &[&[u8]], params: &DissimParams, tile_rows: usize) -> Vec<Key> {
+    let n = values.len();
+    let count = TiledMatrix::tile_count(n, tile_rows);
+    let mut d = KeyDigest::new(Kind::TILE);
+    digest_dissim_params(&mut d, params);
+    let mut keys = Vec::with_capacity(count);
+    let mut fed = 0usize;
+    for t in 0..count {
+        let span = TiledMatrix::tile_span(n, tile_rows, t);
+        for v in &values[fed..span.end] {
+            d.frame(v);
+        }
+        fed = span.end;
+        let mut snap = d.clone();
+        snap.usize(span.start);
+        snap.usize(span.end);
+        keys.push(snap.finish());
+    }
+    keys
+}
+
+/// Manifest family for tile artifacts: like
+/// [`dissim_family_key`] but tagged for tiles, so tile manifests and
+/// monolithic-matrix manifests never mix.
+pub(crate) fn tile_family_key(values: &[&[u8]], params: &DissimParams) -> Key {
+    let mut d = KeyDigest::new(Kind::MANIFEST);
+    d.u64(u64::from(Kind::TILE.tag()));
+    digest_dissim_params(&mut d, params);
+    for v in values.iter().take(4) {
+        d.frame(v);
+    }
+    d.finish()
 }
 
 /// Manifest family for dissimilarity artifacts: one parameter set plus
@@ -419,6 +460,30 @@ mod tests {
     }
 
     #[test]
+    fn tile_keys_are_prefix_stable() {
+        let values: Vec<&[u8]> = vec![b"aa", b"bb", b"cc", b"dd", b"ee", b"ff", b"gg"];
+        let params = DissimParams::default();
+        let keys = tile_keys(&values, &params, 3); // spans 0..3, 3..6, 6..7
+        assert_eq!(keys.len(), 3);
+        // Complete tiles keep their keys when the segment set grows.
+        let grown_keys = tile_keys(&values[..5], &params, 3); // spans 0..3, 3..5
+        assert_eq!(keys[0], grown_keys[0]);
+        // A formerly partial tile (span changed 3..5 → 3..6) does not.
+        assert_ne!(keys[1], grown_keys[1]);
+        // Different geometry, parameters, or values move every key.
+        assert_ne!(tile_keys(&values, &params, 4)[0], keys[0]);
+        let other = DissimParams {
+            length_penalty: params.length_penalty + 0.25,
+        };
+        assert_ne!(tile_keys(&values, &other, 3)[0], keys[0]);
+        // And the tile family is distinct from the monolithic family.
+        assert_ne!(
+            tile_family_key(&values, &params),
+            dissim_family_key(&values, &params)
+        );
+    }
+
+    #[test]
     fn config_changes_move_stage_keys() {
         let input = Key([7; 16]);
         let base = FieldTypeClusterer::default();
@@ -428,6 +493,12 @@ mod tests {
         let mut threaded = base.clone();
         threaded.threads = base.threads + 3;
         assert_eq!(k0, stage_key(Kind::SELECTION, &input, &threaded));
+        // ...nor tile geometry or a memory budget — the tiled build is
+        // pinned bit-identical to the monolithic one.
+        let mut tiled = base.clone();
+        tiled.tile_rows = Some(64);
+        tiled.max_memory = Some(1 << 20);
+        assert_eq!(k0, stage_key(Kind::SELECTION, &input, &tiled));
         // ...while every bit-affecting parameter must.
         let mut other = base.clone();
         other.autoconf.sensitivity += 0.5;

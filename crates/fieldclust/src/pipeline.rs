@@ -40,6 +40,17 @@ pub struct FieldTypeClusterer {
     /// A single cluster holding more than this fraction of non-noise
     /// segments triggers the trimmed-ECDF fallback.
     pub large_cluster_fraction: f64,
+    /// Row-block height of the tiled dissimilarity build. `Some(r)`
+    /// switches the session to the tiled path (tile-granular caching,
+    /// per-tile k-NN partials); `None` defers to [`max_memory`]
+    /// (`Self::max_memory`), and the monolithic in-memory build when
+    /// that is unset too. Tile geometry never changes results (pinned
+    /// bit-identical) and never enters cache keys.
+    pub tile_rows: Option<usize>,
+    /// Approximate peak-memory budget in bytes for the dissimilarity
+    /// build. Translated into a tile height of `max(1, bytes / (8·n))`
+    /// rows when [`tile_rows`](Self::tile_rows) is unset.
+    pub max_memory: Option<u64>,
 }
 
 impl Default for FieldTypeClusterer {
@@ -51,6 +62,8 @@ impl Default for FieldTypeClusterer {
             min_segment_len: 2,
             threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
             large_cluster_fraction: 0.6,
+            tile_rows: None,
+            max_memory: None,
         }
     }
 }
@@ -154,6 +167,21 @@ impl FieldTypeClusterer {
         let mut session = AnalysisSession::new(trace, self.clone());
         session.set_segmentation(segmentation.clone());
         session.finish()
+    }
+
+    /// The tile height of the tiled dissimilarity build over `n`
+    /// unique segments, or `None` for the monolithic in-memory build.
+    /// An explicit [`tile_rows`](Self::tile_rows) wins; otherwise a
+    /// [`max_memory`](Self::max_memory) budget buys `bytes / (8·n)`
+    /// rows (a bottom-of-triangle tile holds at most `rows·n` f64
+    /// entries), clamped to at least one row per tile.
+    pub fn effective_tile_rows(&self, n: usize) -> Option<usize> {
+        if let Some(rows) = self.tile_rows {
+            return Some(rows.max(1));
+        }
+        let budget = self.max_memory?;
+        let per_row = 8 * n.max(1) as u64;
+        Some(((budget / per_row) as usize).max(1))
     }
 
     /// Checks for a cluster holding more than `large_cluster_fraction`
@@ -262,6 +290,20 @@ mod tests {
         for members in &values {
             assert!(!members.is_empty());
         }
+    }
+
+    #[test]
+    fn max_memory_derives_tile_rows() {
+        let mut c = FieldTypeClusterer::default();
+        assert_eq!(c.effective_tile_rows(100), None);
+        c.max_memory = Some(8 * 100 * 16);
+        assert_eq!(c.effective_tile_rows(100), Some(16));
+        c.max_memory = Some(1); // below one row: clamp, never zero
+        assert_eq!(c.effective_tile_rows(100), Some(1));
+        c.tile_rows = Some(0); // explicit setting wins, clamped
+        assert_eq!(c.effective_tile_rows(100), Some(1));
+        c.tile_rows = Some(64);
+        assert_eq!(c.effective_tile_rows(100), Some(64));
     }
 
     #[test]

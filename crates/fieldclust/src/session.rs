@@ -17,7 +17,13 @@
 //! stage produces a shared [`DissimArtifact`]: the condensed matrix plus
 //! a lazily built [`NeighborIndex`] that the autoconf, cluster, and
 //! refine stages use for their ε-region and k-NN queries instead of
-//! scanning matrix rows. Message type identification
+//! scanning matrix rows. With a tile height configured
+//! ([`FieldTypeClusterer::tile_rows`] or
+//! [`FieldTypeClusterer::max_memory`]) the stage instead computes,
+//! persists, and faults in fixed-height row tiles and merges per-tile
+//! k-NN partials into the table that serves ε auto-configuration —
+//! bit-identical to the monolithic build either way. Message type
+//! identification
 //! ([`AnalysisSession::message_types`]) rides on the same session and
 //! reuses its segment dissimilarities rather than building its own.
 //!
@@ -56,11 +62,12 @@ use crate::msgtype::{self, MessageTypeConfig, MessageTypeError, MessageTypes};
 use crate::pipeline::{EpsilonSource, FieldTypeClusterer, PipelineError, PseudoTypeClustering};
 use crate::segments::SegmentStore;
 use cluster::autoconf::{
-    auto_configure, auto_configure_with_index, AutoConfError, AutoConfig, SelectedParams,
+    auto_configure, auto_configure_with_index, auto_configure_with_knn, required_k_max,
+    AutoConfError, AutoConfig, SelectedParams,
 };
-use cluster::dbscan::{dbscan, dbscan_weighted_with_index, Clustering};
-use cluster::refine::{merge_clusters_with_index, split_clusters};
-use dissim::{CondensedMatrix, DissimArtifact, NeighborIndex};
+use cluster::dbscan::{dbscan, dbscan_weighted_parallel_with_index, Clustering};
+use cluster::refine::{merge_clusters_parallel, split_clusters};
+use dissim::{CondensedMatrix, DissimArtifact, KnnTable, MatrixTile, NeighborIndex, TiledMatrix};
 use segment::{SegmentError, Segmenter, TraceSegmentation};
 use store::{ArtifactStore, Key, Kind, StoreStats};
 use trace::{Preprocessor, Trace};
@@ -76,6 +83,10 @@ pub struct AnalysisSession<'t> {
     segmentation: Option<TraceSegmentation>,
     store: Option<SegmentStore>,
     dissim: Option<DissimArtifact>,
+    // Per-tile k-NN partials merged at the build barrier; present only
+    // when the tiled build ran (`effective_tile_rows` is `Some`). Feeds
+    // the autoconf ECDFs without re-scanning the matrix.
+    knn: Option<KnnTable>,
     selection: Option<(SelectedParams, EpsilonSource)>,
     clustering: Option<Clustering>,
     refined: Option<Clustering>,
@@ -118,6 +129,7 @@ impl<'t> AnalysisSession<'t> {
             segmentation: None,
             store: None,
             dissim: None,
+            knn: None,
             selection: None,
             clustering: None,
             refined: None,
@@ -209,6 +221,7 @@ impl<'t> AnalysisSession<'t> {
         self.input_key = None;
         self.store = None;
         self.dissim = None;
+        self.knn = None;
         self.selection = None;
         self.clustering = None;
         self.refined = None;
@@ -257,6 +270,14 @@ impl<'t> AnalysisSession<'t> {
     pub fn neighbors(&mut self) -> Result<&NeighborIndex, PipelineError> {
         self.ensure_dissim()?;
         Ok(self.dissim.as_mut().expect("ensured").neighbors())
+    }
+
+    /// The merged per-tile k-NN table, if the tiled dissimilarity build
+    /// ran (the session's [`FieldTypeClusterer::effective_tile_rows`]
+    /// is `Some`). Serves the autoconf stage's k-dist ECDFs; its values
+    /// are bit-identical to the matrix scan.
+    pub fn knn_table(&self) -> Option<&KnnTable> {
+        self.knn.as_ref()
     }
 
     /// Stage 5 (autoconf): the DBSCAN parameters selected by Algorithm 1
@@ -460,12 +481,24 @@ impl<'t> AnalysisSession<'t> {
     }
 
     /// Builds (or fetches, or incrementally extends from a cached
-    /// prefix) the dissimilarity artifact over `values`. All three
-    /// paths are bit-identical; the incremental path finds the largest
+    /// prefix) the dissimilarity artifact over `values`, dispatching on
+    /// [`FieldTypeClusterer::effective_tile_rows`]: the tiled build
+    /// when a tile height (or memory budget) is configured, the
+    /// monolithic in-memory build otherwise. All paths are
+    /// bit-identical; the monolithic incremental path finds the largest
     /// cached prefix of `values` through the per-family manifest and
     /// computes only the condensed entries that touch appended
-    /// segments.
+    /// segments, while the tiled path reuses complete tiles verbatim.
     fn build_dissim_cached(&self, values: &[&[u8]]) -> DissimArtifact {
+        match self.config.effective_tile_rows(values.len()) {
+            Some(tile_rows) => self.build_dissim_tiled(values, tile_rows).0,
+            None => self.build_dissim_monolithic(values),
+        }
+    }
+
+    /// The monolithic build: one condensed matrix computed (or fetched,
+    /// or extended from a cached prefix) in memory.
+    fn build_dissim_monolithic(&self, values: &[&[u8]]) -> DissimArtifact {
         let params = &self.config.dissim;
         let threads = self.config.threads;
         let Some(cache) = self.cache.as_ref() else {
@@ -525,6 +558,50 @@ impl<'t> AnalysisSession<'t> {
         None
     }
 
+    /// The tiled build: fixed-height row tiles computed, checksummed,
+    /// and (with a cache attached) persisted individually, with cached
+    /// tiles faulted back in on warm runs — a damaged tile degrades to
+    /// recompute. Growing the segment set is a pure tile-append:
+    /// complete tiles keep their keys (`cache::tile_keys`), so only the
+    /// appended and formerly partial tiles compute. The per-tile k-NN
+    /// partials are merged into a [`KnnTable`] before the tiles are
+    /// assembled into the session's condensed matrix; in tiled mode the
+    /// monolithic artifact is *not* persisted — tiles are the unit of
+    /// caching. Bit-identical to the monolithic path, pinned by
+    /// tests/session_equivalence.rs.
+    fn build_dissim_tiled(&self, values: &[&[u8]], tile_rows: usize) -> (DissimArtifact, KnnTable) {
+        let params = &self.config.dissim;
+        let threads = self.config.threads;
+        let n = values.len();
+        let tiled = match self.cache.as_ref() {
+            None => TiledMatrix::build_segments(values, params, tile_rows, threads),
+            Some(cache) => {
+                let keys = cache::tile_keys(values, params, tile_rows);
+                let family = cache::tile_family_key(values, params);
+                TiledMatrix::build_with(
+                    values,
+                    params,
+                    tile_rows,
+                    threads,
+                    |t, _rows| cache.get::<MatrixTile>(&keys[t]),
+                    |t, tile, computed| {
+                        if computed {
+                            cache.put(&keys[t], tile);
+                            cache.manifest_add(&family, tile.rows().end, &keys[t]);
+                        }
+                    },
+                )
+            }
+        };
+        let knn = tiled.knn_table(required_k_max(n), threads);
+        let mut artifact = DissimArtifact::from_matrix(tiled.assemble(), threads);
+        // Build the neighbor index eagerly (and in parallel) while the
+        // session is already in its build phase; every later stage
+        // queries it.
+        artifact.neighbors();
+        (artifact, knn)
+    }
+
     /// The stage key for a configuration-dependent artifact, if a cache
     /// is attached. Only called with a segmentation present.
     fn stage_key(&mut self, kind: Kind) -> Option<Key> {
@@ -558,13 +635,20 @@ impl<'t> AnalysisSession<'t> {
         // Structure-aware kernel build (LUT + early-abandon windows +
         // length buckets); bit-identical to the naive closure build,
         // pinned by tests/session_equivalence.rs — as are the cache's
-        // warm and incremental paths.
-        let artifact = {
+        // warm and incremental paths, and the tiled build.
+        let (artifact, knn) = {
             let store = self.store.as_ref().expect("ensured");
             let values: Vec<&[u8]> = store.segments.iter().map(|s| &s.value[..]).collect();
-            self.build_dissim_cached(&values)
+            match self.config.effective_tile_rows(values.len()) {
+                Some(tile_rows) => {
+                    let (artifact, knn) = self.build_dissim_tiled(&values, tile_rows);
+                    (artifact, Some(knn))
+                }
+                None => (self.build_dissim_cached(&values), None),
+            }
         };
         self.dissim = Some(artifact);
+        self.knn = knn;
         Ok(())
     }
 
@@ -590,17 +674,23 @@ impl<'t> AnalysisSession<'t> {
         let total_instances: usize = weights.iter().sum();
         let min_samples = ((total_instances as f64).ln().round() as usize).max(2);
         let artifact = self.dissim.as_mut().expect("ensured");
-        let (mut selected, source) =
-            match auto_configure_with_index(artifact.neighbors(), &self.config.autoconf) {
-                Ok(p) => (p, EpsilonSource::Knee),
-                Err(AutoConfError::TooFewSegments { n }) => {
-                    return Err(PipelineError::TooFewSegments { n })
-                }
-                Err(_) => (
-                    self.config.mean_fallback(artifact.matrix(), artifact.len()),
-                    EpsilonSource::MeanFallback,
-                ),
-            };
+        // Tiled sessions select ε from the merged per-tile k-NN table;
+        // otherwise the neighbor index serves the k-dist queries. Both
+        // are bit-identical to the matrix scan.
+        let selection = match &self.knn {
+            Some(table) => auto_configure_with_knn(table, &self.config.autoconf),
+            None => auto_configure_with_index(artifact.neighbors(), &self.config.autoconf),
+        };
+        let (mut selected, source) = match selection {
+            Ok(p) => (p, EpsilonSource::Knee),
+            Err(AutoConfError::TooFewSegments { n }) => {
+                return Err(PipelineError::TooFewSegments { n })
+            }
+            Err(_) => (
+                self.config.mean_fallback(artifact.matrix(), artifact.len()),
+                EpsilonSource::MeanFallback,
+            ),
+        };
         selected.min_samples = min_samples;
         if let (Some(cache), Some(key)) = (self.cache.as_ref(), &sel_key) {
             cache.put(
@@ -638,12 +728,14 @@ impl<'t> AnalysisSession<'t> {
         let weights = self.store.as_ref().expect("ensured").occurrence_counts();
         let (selected, _) = self.selection.clone().expect("ensured");
         let min_samples = selected.min_samples;
+        let threads = self.config.threads;
         let artifact = self.dissim.as_mut().expect("ensured");
-        let mut clustering = dbscan_weighted_with_index(
+        let mut clustering = dbscan_weighted_parallel_with_index(
             artifact.neighbors(),
             selected.epsilon,
             min_samples,
             &weights,
+            threads,
         );
 
         // §III-E: a single dominating cluster signals a too-large ε from
@@ -653,13 +745,18 @@ impl<'t> AnalysisSession<'t> {
                 max_dissimilarity: Some(selected.epsilon),
                 ..self.config.autoconf
             };
-            if let Ok(p) = auto_configure_with_index(artifact.neighbors(), &trimmed_config) {
+            let trimmed = match &self.knn {
+                Some(table) => auto_configure_with_knn(table, &trimmed_config),
+                None => auto_configure_with_index(artifact.neighbors(), &trimmed_config),
+            };
+            if let Ok(p) = trimmed {
                 if p.epsilon < selected.epsilon {
-                    clustering = dbscan_weighted_with_index(
+                    clustering = dbscan_weighted_parallel_with_index(
                         artifact.neighbors(),
                         p.epsilon,
                         min_samples,
                         &weights,
+                        threads,
                     );
                     self.selection = Some((
                         SelectedParams { min_samples, ..p },
@@ -706,8 +803,13 @@ impl<'t> AnalysisSession<'t> {
         let index = artifact.neighbors_built().expect("just built");
         let clustering = self.clustering.as_ref().expect("ensured");
         let weights = self.store.as_ref().expect("ensured").occurrence_counts();
-        let merged =
-            merge_clusters_with_index(clustering, artifact.matrix(), index, &self.config.refine);
+        let merged = merge_clusters_parallel(
+            clustering,
+            artifact.matrix(),
+            index,
+            &self.config.refine,
+            self.config.threads,
+        );
         let refined = split_clusters(&merged, &weights, &self.config.refine);
         if let (Some(cache), Some(key)) = (self.cache.as_ref(), &refined_key) {
             cache.put(key, &RefinedArtifact(refined.clone()));

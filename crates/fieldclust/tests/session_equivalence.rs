@@ -82,14 +82,30 @@ fn reference_cluster_trace(
     (store, final_clustering, selected, matrix)
 }
 
-fn assert_staged_matches_reference(trace: &Trace, segmentation: TraceSegmentation, label: &str) {
-    let config = FieldTypeClusterer::default();
+fn assert_staged_matches_reference(
+    trace: &Trace,
+    segmentation: TraceSegmentation,
+    config: FieldTypeClusterer,
+    label: &str,
+) {
+    // The reference never consults the tile settings: it is always the
+    // serial in-memory matrix-scan pipeline. A tiled/parallel config
+    // must reproduce it bit for bit.
     let (ref_store, ref_clustering, ref_params, ref_matrix) =
         reference_cluster_trace(&config, trace, &segmentation);
 
     let mut session = AnalysisSession::new(trace, config);
     session.set_segmentation(segmentation);
     let staged = session.finish().expect("staged pipeline");
+    let tiled = session
+        .config()
+        .effective_tile_rows(ref_store.segments.len())
+        .is_some();
+    assert_eq!(
+        session.knn_table().is_some(),
+        tiled,
+        "{label}: tiled sessions keep their merged k-NN table, others don't"
+    );
 
     // The kernel-layer matrix build (LUT + early-abandon windows +
     // length buckets) must be bit-identical to the naive serial build —
@@ -155,28 +171,87 @@ fn assert_staged_matches_reference(trace: &Trace, segmentation: TraceSegmentatio
 fn dns_ground_truth_segmentation_is_equivalent() {
     let trace = corpus::build_trace(Protocol::Dns, 120, corpus::DEFAULT_SEED);
     let gt = corpus::ground_truth(Protocol::Dns, &trace);
-    assert_staged_matches_reference(&trace, truth_segmentation(&trace, &gt), "dns/truth");
+    assert_staged_matches_reference(
+        &trace,
+        truth_segmentation(&trace, &gt),
+        FieldTypeClusterer::default(),
+        "dns/truth",
+    );
 }
 
 #[test]
 fn ntp_ground_truth_segmentation_is_equivalent() {
     let trace = corpus::build_trace(Protocol::Ntp, 150, corpus::DEFAULT_SEED);
     let gt = corpus::ground_truth(Protocol::Ntp, &trace);
-    assert_staged_matches_reference(&trace, truth_segmentation(&trace, &gt), "ntp/truth");
+    assert_staged_matches_reference(
+        &trace,
+        truth_segmentation(&trace, &gt),
+        FieldTypeClusterer::default(),
+        "ntp/truth",
+    );
 }
 
 #[test]
 fn dns_heuristic_segmentation_is_equivalent() {
     let trace = corpus::build_trace(Protocol::Dns, 80, 11);
     let seg = Nemesys::default().segment_trace(&trace).expect("nemesys");
-    assert_staged_matches_reference(&trace, seg, "dns/nemesys");
+    assert_staged_matches_reference(&trace, seg, FieldTypeClusterer::default(), "dns/nemesys");
 }
 
 #[test]
 fn ntp_heuristic_segmentation_is_equivalent() {
     let trace = corpus::build_trace(Protocol::Ntp, 80, 12);
     let seg = Nemesys::default().segment_trace(&trace).expect("nemesys");
-    assert_staged_matches_reference(&trace, seg, "ntp/nemesys");
+    assert_staged_matches_reference(&trace, seg, FieldTypeClusterer::default(), "ntp/nemesys");
+}
+
+// ----- tiled + parallel equivalence -----
+//
+// The tiled out-of-core build, the merged per-tile k-NN table feeding ε
+// auto-configuration, and the parallel DBSCAN/refinement entries must
+// all reproduce the serial in-memory reference bit for bit, for any
+// tile geometry and thread count. Tile height and thread count are
+// performance knobs, never semantic ones.
+
+#[test]
+fn tiled_parallel_session_is_bit_identical_to_reference() {
+    let trace = corpus::build_trace(Protocol::Dns, 120, corpus::DEFAULT_SEED);
+    let gt = corpus::ground_truth(Protocol::Dns, &trace);
+    let seg = truth_segmentation(&trace, &gt);
+    for tile_rows in [7usize, 64] {
+        for threads in [1usize, 4] {
+            let config = FieldTypeClusterer {
+                tile_rows: Some(tile_rows),
+                threads,
+                ..FieldTypeClusterer::default()
+            };
+            assert_staged_matches_reference(
+                &trace,
+                seg.clone(),
+                config,
+                &format!("dns/tiled-r{tile_rows}-t{threads}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn max_memory_budget_is_bit_identical_to_reference() {
+    // A byte budget that forces short tiles takes the same tiled path
+    // as an explicit --tile-rows and must be just as exact.
+    let trace = corpus::build_trace(Protocol::Ntp, 100, 13);
+    let gt = corpus::ground_truth(Protocol::Ntp, &trace);
+    let config = FieldTypeClusterer {
+        max_memory: Some(16 << 10),
+        threads: 3,
+        ..FieldTypeClusterer::default()
+    };
+    assert_staged_matches_reference(
+        &trace,
+        truth_segmentation(&trace, &gt),
+        config,
+        "ntp/max-memory",
+    );
 }
 
 // ----- artifact-store equivalence: cold vs warm vs incremental -----
@@ -192,8 +267,12 @@ fn cache_dir(tag: &str) -> std::path::PathBuf {
 }
 
 fn truth_session(trace: &Trace) -> AnalysisSession<'_> {
+    truth_session_with(trace, FieldTypeClusterer::default())
+}
+
+fn truth_session_with(trace: &Trace, config: FieldTypeClusterer) -> AnalysisSession<'_> {
     let gt = corpus::ground_truth(Protocol::Dns, trace);
-    let mut s = AnalysisSession::new(trace, FieldTypeClusterer::default());
+    let mut s = AnalysisSession::new(trace, config);
     s.set_segmentation(truth_segmentation(trace, &gt));
     s
 }
@@ -331,5 +410,170 @@ fn corrupt_cache_degrades_to_cold_compute() {
     assert_eq!(
         recomputed.params.epsilon.to_bits(),
         reference.params.epsilon.to_bits()
+    );
+}
+
+// ----- tiled store: tiles are the unit of caching -----
+//
+// In tiled mode the monolithic matrix artifact is never persisted;
+// fixed-height row-block tiles are. Warm runs fault every tile back in,
+// growth re-uses every complete tile of the prefix, and a damaged tile
+// is recomputed and re-persisted — all bit-identical to cold compute.
+
+#[test]
+fn tiled_warm_run_is_bit_identical_to_cold() {
+    let dir = cache_dir("tiled-warm");
+    let trace = corpus::build_trace(Protocol::Dns, 100, 24);
+    let config = FieldTypeClusterer {
+        tile_rows: Some(16),
+        ..FieldTypeClusterer::default()
+    };
+
+    // Cold tiled run persists tiles + stage artifacts.
+    let mut cold = truth_session_with(&trace, config.clone())
+        .with_store(&dir)
+        .expect("open store");
+    let cold_result = cold.finish().expect("cold pipeline");
+    cold.matrix().expect("cold matrix");
+    let cold_stats = cold.cache_stats().expect("stats");
+    assert_eq!(cold_stats.hits, 0, "first tiled run must not hit");
+    assert!(cold_stats.writes > 0, "first tiled run must persist tiles");
+
+    // Warm run: stage artifacts hit; asking for the matrix faults every
+    // tile in from the store — no misses, no writes anywhere.
+    let mut warm = truth_session_with(&trace, config.clone())
+        .with_store(&dir)
+        .expect("open store");
+    let warm_result = warm.finish().expect("warm pipeline");
+    warm.matrix().expect("warm matrix from tile faults");
+    assert!(warm.knn_table().is_some(), "tiled warm run keeps its table");
+    let stats = warm.cache_stats().expect("stats");
+    assert_eq!(
+        stats.misses, 0,
+        "fully warm tiled run must not miss: {stats}"
+    );
+    assert_eq!(
+        stats.writes, 0,
+        "fully warm tiled run must not write: {stats}"
+    );
+    assert_eq!(warm_result.clustering, cold_result.clustering);
+
+    // And the whole warm tiled session is bit-identical to a cache-less
+    // monolithic session: tile geometry and caching are invisible.
+    let mut warm2 = truth_session_with(&trace, config)
+        .with_store(&dir)
+        .expect("open store");
+    let mut monolithic = truth_session(&trace);
+    assert_sessions_bit_identical(&mut warm2, &mut monolithic, "tiled-warm-vs-monolithic");
+}
+
+#[test]
+fn tiled_growth_reuses_complete_tiles() {
+    let dir = cache_dir("tiled-grow");
+    let full = corpus::build_trace(Protocol::Dns, 120, 26);
+    let prefix = Trace::new("prefix", full.messages()[..80].to_vec());
+    let config = FieldTypeClusterer {
+        tile_rows: Some(8),
+        ..FieldTypeClusterer::default()
+    };
+
+    // Tile keys digest only values[..span.end], so every complete tile
+    // of the prefix keeps its key when the trace grows: growth is a
+    // pure tile-append.
+    let mut small = truth_session_with(&prefix, config.clone())
+        .with_store(&dir)
+        .expect("open store");
+    small.matrix().expect("prefix matrix");
+
+    let mut grown = truth_session_with(&full, config)
+        .with_store(&dir)
+        .expect("open store");
+    grown.matrix().expect("grown matrix");
+    let stats = grown.cache_stats().expect("stats");
+    assert!(
+        stats.hits > 0,
+        "complete prefix tiles must fault in on growth: {stats}"
+    );
+    assert!(
+        stats.writes > 0,
+        "appended tiles must be persisted: {stats}"
+    );
+
+    // The grown tiled matrix equals a cold monolithic build bit for bit.
+    let mut monolithic = truth_session(&full);
+    let ref_matrix = monolithic.matrix().expect("cold matrix");
+    let grown_matrix = grown.matrix().expect("grown matrix");
+    assert_eq!(grown_matrix.len(), ref_matrix.len());
+    for (k, (x, y)) in grown_matrix
+        .values()
+        .iter()
+        .zip(ref_matrix.values())
+        .enumerate()
+    {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "grown matrix entry {k} differs ({x} vs {y})"
+        );
+    }
+}
+
+#[test]
+fn damaged_tile_degrades_to_recompute() {
+    let dir = cache_dir("tiled-corrupt");
+    let trace = corpus::build_trace(Protocol::Ntp, 90, 25);
+    let gt = corpus::ground_truth(Protocol::Ntp, &trace);
+    let seg = truth_segmentation(&trace, &gt);
+    let config = FieldTypeClusterer {
+        tile_rows: Some(8),
+        ..FieldTypeClusterer::default()
+    };
+
+    let mut first = AnalysisSession::new(&trace, config.clone());
+    first.set_segmentation(seg.clone());
+    let mut first = first.with_store(&dir).expect("open store");
+    let reference = first.finish().expect("first pipeline");
+    let ref_matrix = first.matrix().expect("first matrix").clone();
+
+    // Flip a byte in the middle of every persisted tile; stage
+    // artifacts stay intact, so only the tile path is exercised.
+    let mut damaged = 0usize;
+    for entry in std::fs::read_dir(&dir).expect("read cache dir") {
+        let path = entry.expect("dir entry").path();
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        if !name.starts_with("tile-") {
+            continue;
+        }
+        let mut bytes = std::fs::read(&path).expect("read tile");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, bytes).expect("write damaged tile");
+        damaged += 1;
+    }
+    assert!(damaged > 0, "fixture must persist tiles");
+
+    let mut second = AnalysisSession::new(&trace, config);
+    second.set_segmentation(seg);
+    let mut second = second.with_store(&dir).expect("open store");
+    let recomputed = second.finish().expect("damaged tiles must not fail");
+    let matrix = second.matrix().expect("recomputed matrix");
+    assert_eq!(matrix.len(), ref_matrix.len());
+    for (k, (x, y)) in matrix.values().iter().zip(ref_matrix.values()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "recomputed matrix entry {k} differs ({x} vs {y})"
+        );
+    }
+    assert_eq!(recomputed.clustering, reference.clustering);
+    assert_eq!(
+        recomputed.params.epsilon.to_bits(),
+        reference.params.epsilon.to_bits()
+    );
+    let stats = second.cache_stats().expect("stats");
+    assert!(stats.misses > 0, "damaged tiles must miss: {stats}");
+    assert!(
+        stats.writes > 0,
+        "recomputed tiles must be re-persisted: {stats}"
     );
 }

@@ -10,7 +10,7 @@
 
 use crate::codec::{Reader, Writer};
 use cluster::{Clustering, Label, SelectedParams};
-use dissim::{CondensedMatrix, DissimArtifact, NeighborIndex};
+use dissim::{CondensedMatrix, DissimArtifact, MatrixTile, NeighborIndex};
 use segment::{MessageSegments, TraceSegmentation};
 
 /// An artifact kind: a stable one-byte tag plus a file-name prefix.
@@ -61,6 +61,12 @@ impl Kind {
     pub const MANIFEST: Kind = Kind {
         tag: 8,
         name: "manifest",
+    };
+    /// One row-block tile of a tiled dissimilarity matrix
+    /// ([`MatrixTile`]).
+    pub const TILE: Kind = Kind {
+        tag: 9,
+        name: "tile",
     };
 
     /// The one-byte tag written into file frames and fed into keys.
@@ -228,6 +234,47 @@ impl Persist for DissimArtifact {
     }
 }
 
+impl Persist for MatrixTile {
+    const KIND: Kind = Kind::TILE;
+
+    fn encode(&self, w: &mut Writer) {
+        let rows = self.rows();
+        w.usize(rows.start);
+        w.usize(rows.end);
+        w.u64(self.checksum());
+        // The entry count is implied by the row span.
+        for &v in self.data() {
+            w.f64(v);
+        }
+    }
+
+    fn decode(r: &mut Reader) -> Option<Self> {
+        let start = r.usize()?;
+        let end = r.usize()?;
+        if start > end {
+            return None;
+        }
+        let checksum = r.u64()?;
+        // Entry count for rows [start, end): (end(end−1) − start(start−1))/2,
+        // with overflow from hostile spans read as a miss.
+        let m = end
+            .checked_mul(end.saturating_sub(1))?
+            .checked_sub(start.wrapping_mul(start.saturating_sub(1)))?
+            / 2;
+        if m.checked_mul(8)? > r.remaining() {
+            return None;
+        }
+        let mut data = Vec::with_capacity(m);
+        for _ in 0..m {
+            data.push(r.f64()?);
+        }
+        // `from_parts` re-verifies the length and the tile checksum, so
+        // an entry-level bit flip that slipped past the file frame still
+        // decodes as a miss.
+        MatrixTile::from_parts(start..end, data, checksum)
+    }
+}
+
 impl Persist for SelectedParams {
     const KIND: Kind = Kind::SELECTION;
 
@@ -377,6 +424,47 @@ mod tests {
 
     fn roundtrip_artifact(a: &DissimArtifact) -> DissimArtifact {
         decode_payload::<DissimArtifact>(&encode_payload(a)).expect("artifact roundtrip")
+    }
+
+    #[test]
+    fn matrix_tile_roundtrip_is_bitwise() {
+        let params = dissim::DissimParams::default();
+        let segs: Vec<Vec<u8>> = (0..17u8)
+            .map(|i| vec![i, i ^ 3, i.wrapping_mul(7)])
+            .collect();
+        let vals: Vec<&[u8]> = segs.iter().map(|s| &s[..]).collect();
+        let tiled = dissim::TiledMatrix::build_segments(&vals, &params, 5, 1);
+        for tile in tiled.tiles() {
+            let back = roundtrip(tile);
+            assert_eq!(back.rows(), tile.rows());
+            assert_eq!(back.checksum(), tile.checksum());
+            let bits = |t: &MatrixTile| t.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&back), bits(tile));
+        }
+    }
+
+    #[test]
+    fn matrix_tile_corruption_is_a_miss() {
+        let params = dissim::DissimParams::default();
+        let segs: Vec<Vec<u8>> = (0..9u8).map(|i| vec![i, i + 1]).collect();
+        let vals: Vec<&[u8]> = segs.iter().map(|s| &s[..]).collect();
+        let tiled = dissim::TiledMatrix::build_segments(&vals, &params, 4, 1);
+        let tile = &tiled.tiles()[1];
+        let good = encode_payload(tile);
+        assert!(decode_payload::<MatrixTile>(&good).is_some());
+        // Flip one bit in an entry: the per-tile checksum catches it.
+        let mut bad = good.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x10;
+        assert!(decode_payload::<MatrixTile>(&bad).is_none());
+        // Truncation.
+        assert!(decode_payload::<MatrixTile>(&good[..good.len() - 8]).is_none());
+        // Hostile row span claiming more data than present.
+        let mut w = Writer::new();
+        w.usize(0);
+        w.usize(usize::MAX / 2);
+        w.u64(0);
+        assert!(decode_payload::<MatrixTile>(&w.into_inner()).is_none());
     }
 
     #[test]

@@ -72,6 +72,16 @@ impl std::fmt::Display for StoreStats {
     }
 }
 
+/// A byte budget for a capped [`ArtifactStore`]: after every write the
+/// store evicts least-recently-used artifacts until its total on-disk
+/// size fits the cap again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreBudget {
+    /// Maximum total size of the cache directory's artifact files, in
+    /// bytes.
+    pub max_bytes: u64,
+}
+
 /// A content-addressed artifact cache rooted at one directory.
 ///
 /// Cloning is cheap and clones share the statistics counters, so a
@@ -80,6 +90,7 @@ impl std::fmt::Display for StoreStats {
 pub struct ArtifactStore {
     root: PathBuf,
     counters: Arc<Counters>,
+    budget: Option<StoreBudget>,
 }
 
 impl ArtifactStore {
@@ -96,7 +107,24 @@ impl ArtifactStore {
         Ok(Self {
             root,
             counters: Arc::new(Counters::default()),
+            budget: None,
         })
+    }
+
+    /// Caps the store at `budget`: every write triggers LRU eviction
+    /// until the directory fits again (see [`StoreBudget`]). Recency is
+    /// tracked in a ledger file updated on hits and writes; manifests
+    /// are evicted only after every data artifact, and manifest entries
+    /// pointing at an evicted artifact are pruned so warm-start probes
+    /// do not chase dangling keys.
+    pub fn with_budget(mut self, budget: StoreBudget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// The configured byte budget, if any.
+    pub fn budget(&self) -> Option<StoreBudget> {
+        self.budget
     }
 
     /// The cache directory.
@@ -104,9 +132,23 @@ impl ArtifactStore {
         &self.root
     }
 
+    /// Total size in bytes of all artifact files (`*.bin`) currently in
+    /// the cache directory — what a [`StoreBudget`] caps.
+    pub fn total_bytes(&self) -> u64 {
+        self.artifact_files()
+            .into_iter()
+            .filter_map(|name| std::fs::metadata(self.root.join(name)).ok())
+            .map(|m| m.len())
+            .sum()
+    }
+
     /// The file path an artifact of `kind` under `key` lives at.
     pub fn file_path(&self, kind: Kind, key: &Key) -> PathBuf {
-        self.root.join(format!("{}-{}.bin", kind.name(), key.hex()))
+        self.root.join(self.file_name(kind, key))
+    }
+
+    fn file_name(&self, kind: Kind, key: &Key) -> String {
+        format!("{}-{}.bin", kind.name(), key.hex())
     }
 
     /// Fetches and decodes the artifact under `key`, or `None` (counted
@@ -114,8 +156,13 @@ impl ArtifactStore {
     pub fn get<T: Persist>(&self, key: &Key) -> Option<T> {
         let value = self.get_quiet::<T>(key);
         match value {
-            Some(_) => self.counters.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.counters.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => {
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                self.touch_lru(&self.file_name(T::KIND, key));
+            }
+            None => {
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+            }
         };
         value
     }
@@ -144,6 +191,8 @@ impl ArtifactStore {
         match self.write_atomic(&path, &file) {
             Ok(()) => {
                 self.counters.writes.fetch_add(1, Ordering::Relaxed);
+                self.touch_lru(&self.file_name(T::KIND, key));
+                self.enforce_budget();
                 true
             }
             Err(e) => {
@@ -211,9 +260,14 @@ impl ArtifactStore {
         }
         entries.push((u, *key));
         entries.sort_by_key(|&(u, _)| u);
+        self.write_manifest(family, &entries);
+        self.enforce_budget();
+    }
+
+    fn write_manifest(&self, family: &Key, entries: &[(usize, Key)]) {
         let mut w = Writer::new();
         w.usize(entries.len());
-        for (u, k) in &entries {
+        for (u, k) in entries {
             w.usize(*u);
             w.raw(&k.0);
         }
@@ -225,8 +279,128 @@ impl ArtifactStore {
     }
 
     fn manifest_path(&self, family: &Key) -> PathBuf {
-        self.root
-            .join(format!("{}-{}.bin", Kind::MANIFEST.name(), family.hex()))
+        self.root.join(self.file_name(Kind::MANIFEST, family))
+    }
+
+    /// All artifact file names (`*.bin`) in the cache directory.
+    fn artifact_files(&self) -> Vec<String> {
+        let Ok(dir) = std::fs::read_dir(&self.root) else {
+            return Vec::new();
+        };
+        dir.filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| n.ends_with(".bin"))
+            .collect()
+    }
+
+    fn ledger_path(&self) -> PathBuf {
+        self.root.join("lru.list")
+    }
+
+    /// The LRU ledger: artifact file names, least recently used first.
+    fn lru_order(&self) -> Vec<String> {
+        std::fs::read_to_string(self.ledger_path())
+            .map(|s| {
+                s.lines()
+                    .filter(|l| !l.is_empty())
+                    .map(String::from)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Moves `name` to the most-recent end of the LRU ledger. Only
+    /// maintained on capped stores; concurrent writers race benignly
+    /// (a stale ledger skews eviction order, never correctness).
+    fn touch_lru(&self, name: &str) {
+        if self.budget.is_none() {
+            return;
+        }
+        let mut order = self.lru_order();
+        order.retain(|n| n != name);
+        order.push(name.to_string());
+        let _ = std::fs::write(self.ledger_path(), order.join("\n"));
+    }
+
+    fn ledger_remove(&self, name: &str) {
+        let mut order = self.lru_order();
+        let before = order.len();
+        order.retain(|n| n != name);
+        if order.len() != before {
+            let _ = std::fs::write(self.ledger_path(), order.join("\n"));
+        }
+    }
+
+    /// Evicts least-recently-used artifacts until the directory fits the
+    /// budget again. Data artifacts go first (ledger order, then any
+    /// unledgered files in name order); manifests only as a last resort.
+    /// Every evicted data artifact is also pruned from any manifest that
+    /// references it, so warm-start probes do not chase dangling keys.
+    fn enforce_budget(&self) {
+        let Some(budget) = self.budget else { return };
+        if self.total_bytes() <= budget.max_bytes {
+            return;
+        }
+        let manifest_prefix = format!("{}-", Kind::MANIFEST.name());
+        let ledger = self.lru_order();
+        let mut files = self.artifact_files();
+        files.sort();
+        // (class, recency): ledgered data files evict in ledger order,
+        // unledgered data files next (name order), manifests last.
+        files.sort_by_key(|name| {
+            if name.starts_with(&manifest_prefix) {
+                return (2, 0);
+            }
+            match ledger.iter().position(|l| l == name) {
+                Some(p) => (0, p),
+                None => (1, 0),
+            }
+        });
+        for name in files {
+            if self.total_bytes() <= budget.max_bytes {
+                break;
+            }
+            let _ = std::fs::remove_file(self.root.join(&name));
+            self.ledger_remove(&name);
+            if !name.starts_with(&manifest_prefix) {
+                if let Some(hex) = name.strip_suffix(".bin").and_then(|s| s.rsplit('-').next()) {
+                    if let Some(key) = Key::from_hex(hex) {
+                        self.prune_manifest_references(&key);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drops every manifest entry pointing at `evicted`; empty manifests
+    /// are removed entirely.
+    fn prune_manifest_references(&self, evicted: &Key) {
+        let manifest_prefix = format!("{}-", Kind::MANIFEST.name());
+        for name in self.artifact_files() {
+            let Some(hex) = name
+                .strip_prefix(&manifest_prefix)
+                .and_then(|s| s.strip_suffix(".bin"))
+            else {
+                continue;
+            };
+            let Some(family) = Key::from_hex(hex) else {
+                continue;
+            };
+            let entries = self.manifest_entries(&family);
+            let kept: Vec<(usize, Key)> = entries
+                .iter()
+                .copied()
+                .filter(|(_, k)| k != evicted)
+                .collect();
+            if kept.len() == entries.len() {
+                continue;
+            }
+            if kept.is_empty() {
+                let _ = std::fs::remove_file(self.root.join(&name));
+            } else {
+                self.write_manifest(&family, &kept);
+            }
+        }
     }
 
     /// Counts one incremental matrix extension (for stats reporting).
@@ -279,6 +453,57 @@ mod tests {
         assert_eq!(store.stats().misses, 1);
         store.record_extension();
         assert_eq!(clone.stats().extended, 1);
+    }
+
+    #[test]
+    fn capped_store_never_exceeds_budget_and_evicts_lru() {
+        let store = temp_store("budget").with_budget(StoreBudget { max_bytes: 400 });
+        let big = Clustering::from_labels(vec![Label::Cluster(0); 20]);
+        assert!(store.put(&key(1), &big));
+        assert!(store.total_bytes() <= 400);
+        assert!(store.put(&key(2), &big));
+        assert!(store.total_bytes() <= 400);
+        // A hit refreshes key 1, so key 2 becomes the LRU victim.
+        assert!(store.get::<Clustering>(&key(1)).is_some());
+        assert!(store.put(&key(3), &big));
+        assert!(store.total_bytes() <= 400);
+        assert!(store.contains::<Clustering>(&key(1)));
+        assert!(!store.contains::<Clustering>(&key(2)));
+        assert!(store.contains::<Clustering>(&key(3)));
+    }
+
+    #[test]
+    fn capped_store_warm_hits_still_verify_checksums() {
+        let store = temp_store("budgetsum").with_budget(StoreBudget { max_bytes: 10_000 });
+        let c = Clustering::from_labels(vec![Label::Cluster(0), Label::Cluster(1), Label::Noise]);
+        assert!(store.put(&key(4), &c));
+        assert_eq!(store.get::<Clustering>(&key(4)), Some(c));
+        // A bit flip on disk must read as a miss, budget or not.
+        let path = store.file_path(Kind::CLUSTERING, &key(4));
+        let mut bytes = std::fs::read(&path).expect("read artifact");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, bytes).expect("rewrite artifact");
+        assert_eq!(store.get::<Clustering>(&key(4)), None);
+    }
+
+    #[test]
+    fn eviction_prunes_manifest_references() {
+        let store = temp_store("budgetman").with_budget(StoreBudget { max_bytes: 300 });
+        let c = Clustering::from_labels(vec![Label::Cluster(0); 20]);
+        let fam = key(9);
+        assert!(store.put(&key(1), &c));
+        store.manifest_add(&fam, 20, &key(1));
+        assert_eq!(store.manifest_entries(&fam), vec![(20, key(1))]);
+        // The second artifact pushes the store over budget: key 1 is
+        // evicted and its manifest entry pruned with it.
+        assert!(store.put(&key(2), &c));
+        assert!(store.total_bytes() <= 300);
+        assert!(!store.contains::<Clustering>(&key(1)));
+        assert!(store
+            .manifest_entries(&fam)
+            .iter()
+            .all(|&(_, k)| k != key(1)));
     }
 
     #[test]

@@ -22,3 +22,22 @@ grep -q 'cache: hits=0' "$tmp/cold.err"
 grep -Eq 'cache: hits=[1-9][0-9]* misses=0 writes=0' "$tmp/warm.err"
 cmp "$tmp/cold.out" "$tmp/warm.out"
 echo "store smoke test: warm run hit the cache and reproduced the cold report"
+
+# Peak-RSS smoke test: the tiled out-of-core build at u=2000 must stay
+# under a fixed 16 MiB budget — below what materializing the full
+# condensed matrix (16 MB at u=2000) on top of the process baseline
+# would need. `tiledmem` exits nonzero when its own VmHWM exceeds the
+# budget; where GNU time is available, cross-check its measurement too.
+rss_budget=16777216
+cargo build --release -q -p bench --bin tiledmem
+if [ -x /usr/bin/time ]; then
+    /usr/bin/time -v ./target/release/tiledmem 2000 256 "$rss_budget" 2>"$tmp/time.err"
+    rss_kb=$(awk '/Maximum resident set size/ {print $NF}' "$tmp/time.err")
+    if [ "$((rss_kb * 1024))" -gt "$rss_budget" ]; then
+        echo "tiled build peak RSS ${rss_kb} kB exceeds budget ${rss_budget} B" >&2
+        exit 1
+    fi
+else
+    ./target/release/tiledmem 2000 256 "$rss_budget"
+fi
+echo "rss smoke test: tiled build at u=2000 stayed under $rss_budget bytes"
