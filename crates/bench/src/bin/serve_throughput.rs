@@ -1,0 +1,85 @@
+//! Loopback throughput harness for the `ftcd` daemon.
+//!
+//! Starts an in-process daemon, then drives it with concurrent clients
+//! over real TCP: each client submits its own synthetic capture,
+//! requests an analysis, and polls to completion — twice, so the
+//! second round measures the warm-session path. Prints per-phase
+//! daemon stage timings and jobs/second, and appends a record to
+//! `BENCH_trajectory.json` like every other harness.
+//!
+//! Run with:
+//! `cargo run --release -p bench --bin serve_throughput -- [messages] [clients]`
+
+use bench::append_trajectory;
+use protocols::{corpus, Protocol};
+use serve::{Client, JobState, ServerConfig};
+use std::time::{Duration, Instant};
+use trace::pcap;
+
+fn main() {
+    let bench_start = Instant::now();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let messages: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(60);
+    let clients: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(4);
+
+    let workers = std::thread::available_parallelism().map_or(2, |n| n.get().min(4));
+    let handle = serve::start(ServerConfig {
+        workers,
+        queue_capacity: clients.max(4) * 2,
+        ..ServerConfig::default()
+    })
+    .expect("start daemon");
+    let addr = handle.addr().to_string();
+    println!(
+        "daemon on {addr}: {workers} workers, {clients} clients × {messages} messages × 2 rounds"
+    );
+
+    let protocols = [
+        Protocol::Ntp,
+        Protocol::Dns,
+        Protocol::Dhcp,
+        Protocol::Nbns,
+        Protocol::Smb,
+    ];
+    let run_start = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let addr = addr.clone();
+            let protocol = protocols[c % protocols.len()];
+            scope.spawn(move || {
+                let trace = corpus::build_trace(protocol, messages, 40 + c as u64);
+                let bytes = pcap::write_to_vec(&trace).expect("encode capture");
+                let mut client = Client::connect(&addr).expect("connect");
+                let (trace_id, n) = client
+                    .submit_trace(&format!("{protocol:?}-{c}"), bytes, None, None, false)
+                    .expect("submit");
+                assert!(n > 0);
+                for round in 0..2 {
+                    let job = client.analyze(trace_id, "nemesys", 0).expect("analyze");
+                    match client.wait_for(job, Duration::from_millis(10)) {
+                        Ok(JobState::Done { report }) => assert!(!report.is_empty()),
+                        other => panic!("client {c} round {round}: {other:?}"),
+                    }
+                }
+            });
+        }
+    });
+    let wall = run_start.elapsed();
+
+    let mut client = Client::connect(&addr).expect("connect for stats");
+    let stats = client.stats().expect("stats");
+    let jobs = stats.jobs_completed;
+    println!(
+        "{jobs} jobs in {:.3}s = {:.2} jobs/s (rejected {}, cancelled {})",
+        wall.as_secs_f64(),
+        jobs as f64 / wall.as_secs_f64(),
+        stats.jobs_rejected,
+        stats.jobs_cancelled,
+    );
+    println!("daemon counters:\n{stats}");
+    assert_eq!(jobs as usize, clients * 2, "every job must complete");
+    client.shutdown().expect("shutdown");
+    handle.wait();
+
+    append_trajectory("serve_throughput", bench_start.elapsed());
+}

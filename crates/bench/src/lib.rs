@@ -219,9 +219,10 @@ pub fn peak_rss_bytes() -> u64 {
 
 /// Appends one run record to `BENCH_trajectory.json` (a single JSON
 /// array, created on first use) in the current directory. Read-modify-
-/// write: existing records are preserved by splicing the new one into
-/// the array; an unreadable file starts a fresh one. Failures only
-/// warn — benchmarks never fail on bookkeeping.
+/// write through the tolerant reader: well-formed existing records are
+/// preserved, malformed ones are skipped with a warning instead of
+/// discarding the whole history. Failures only warn — benchmarks never
+/// fail on bookkeeping.
 pub fn append_trajectory(name: &str, wall: std::time::Duration) {
     let path = "BENCH_trajectory.json";
     let record = TrajectoryRecord {
@@ -230,17 +231,24 @@ pub fn append_trajectory(name: &str, wall: std::time::Duration) {
         wall_ns: u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX),
         peak_rss_bytes: peak_rss_bytes(),
     };
-    let rendered = match serde_json::to_string_pretty(&record) {
+    let mut records = match std::fs::read_to_string(path) {
+        Ok(text) => {
+            let (records, skipped) = read_trajectory(&text);
+            if skipped > 0 {
+                eprintln!("warning: skipping {skipped} malformed record(s) in {path}");
+            }
+            records
+        }
+        Err(_) => Vec::new(),
+    };
+    records.push(record);
+    let body = match serde_json::to_string_pretty(&records) {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("warning: could not serialize trajectory record: {e}");
+            eprintln!("warning: could not serialize trajectory records: {e}");
             return;
         }
     };
-    let spliced = std::fs::read_to_string(path)
-        .ok()
-        .and_then(|s| splice_json_array(&s, &rendered));
-    let body = spliced.unwrap_or_else(|| format!("[\n{rendered}\n]"));
     if let Err(e) = std::fs::write(path, body) {
         eprintln!("warning: could not write {path}: {e}");
     } else {
@@ -248,19 +256,153 @@ pub fn append_trajectory(name: &str, wall: std::time::Duration) {
     }
 }
 
-/// Splices `element` before the closing bracket of a rendered JSON
-/// array. `None` when `existing` does not look like one (the caller
-/// then starts a fresh array).
-fn splice_json_array(existing: &str, element: &str) -> Option<String> {
-    let trimmed = existing.trim_end();
-    let prefix = trimmed.strip_suffix(']')?.trim_end();
-    if !prefix.starts_with('[') {
+/// Parses a trajectory file tolerantly: every top-level `{…}` object
+/// that carries the four expected fields becomes a record; everything
+/// else — truncated objects, wrong field types, editor damage — is
+/// counted as skipped, never an error. Returns `(records, skipped)`.
+///
+/// The parser is hand-rolled (the vendored `serde_json` is a writer
+/// only): a string-aware brace matcher splits the text into top-level
+/// objects, and a flat key/value scanner validates each one.
+pub fn read_trajectory(text: &str) -> (Vec<TrajectoryRecord>, usize) {
+    let mut records = Vec::new();
+    let mut skipped = 0usize;
+    for object in top_level_objects(text) {
+        match parse_record(object) {
+            Some(r) => records.push(r),
+            None => skipped += 1,
+        }
+    }
+    (records, skipped)
+}
+
+/// Splits `text` into its top-level `{…}` spans, counting braces only
+/// outside string literals (so `{"a": "}"}` is one object). An
+/// unterminated object at EOF is simply dropped — the caller counts it
+/// as damage only if it opened.
+fn top_level_objects(text: &str) -> Vec<&str> {
+    let bytes = text.as_bytes();
+    let mut objects = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, &b) in bytes.iter().enumerate() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_string = true,
+            b'{' => {
+                if depth == 0 {
+                    start = i;
+                }
+                depth += 1;
+            }
+            b'}' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    objects.push(&text[start..=i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    objects
+}
+
+/// Validates one flat object as a [`TrajectoryRecord`]: `name` and
+/// `commit` must be strings, `wall_ns` and `peak_rss_bytes` unsigned
+/// numbers. Unknown extra fields are tolerated (forward compatibility);
+/// nested values, missing fields, or type mismatches are not.
+fn parse_record(object: &str) -> Option<TrajectoryRecord> {
+    let mut name = None;
+    let mut commit = None;
+    let mut wall_ns = None;
+    let mut peak_rss_bytes = None;
+    for (key, value) in flat_fields(object)? {
+        match key.as_str() {
+            "name" => name = Some(string_value(&value)?),
+            "commit" => commit = Some(string_value(&value)?),
+            "wall_ns" => wall_ns = Some(value.parse::<u64>().ok()?),
+            "peak_rss_bytes" => peak_rss_bytes = Some(value.parse::<u64>().ok()?),
+            _ => {}
+        }
+    }
+    Some(TrajectoryRecord {
+        name: name?,
+        commit: commit?,
+        wall_ns: wall_ns?,
+        peak_rss_bytes: peak_rss_bytes?,
+    })
+}
+
+/// The content of a string literal (quotes included in `value`), with
+/// the two escapes our writer emits unescaped. `None` for non-strings.
+fn string_value(value: &str) -> Option<String> {
+    let inner = value.strip_prefix('"')?.strip_suffix('"')?;
+    Some(inner.replace("\\\"", "\"").replace("\\\\", "\\"))
+}
+
+/// Tokenizes a flat JSON object into raw `(key, value)` pairs. String
+/// values keep their quotes (see [`string_value`]); numbers come back
+/// as their bare token. Nested objects/arrays make the object
+/// non-flat → `None`.
+fn flat_fields(object: &str) -> Option<Vec<(String, String)>> {
+    let inner = object.trim().strip_prefix('{')?.strip_suffix('}')?;
+    let mut fields = Vec::new();
+    let mut rest = inner.trim_start();
+    while !rest.is_empty() {
+        let (key, after_key) = take_string_token_raw(rest)?;
+        let after_colon = after_key.trim_start().strip_prefix(':')?.trim_start();
+        let (value, after_value) = if after_colon.starts_with('"') {
+            take_string_token_raw(after_colon)?
+        } else {
+            let end = after_colon
+                .find(|c: char| c == ',' || c.is_whitespace())
+                .unwrap_or(after_colon.len());
+            let token = &after_colon[..end];
+            if token.is_empty() || token.starts_with(['{', '[']) {
+                return None;
+            }
+            (token.to_string(), &after_colon[end..])
+        };
+        fields.push((string_value(&key).unwrap_or(key), value));
+        rest = after_value.trim_start();
+        match rest.strip_prefix(',') {
+            Some(r) => rest = r.trim_start(),
+            None if rest.is_empty() => break,
+            None => return None,
+        }
+    }
+    Some(fields)
+}
+
+/// Reads a leading string literal, returning it with quotes plus the
+/// remainder. Escape-aware.
+fn take_string_token_raw(s: &str) -> Option<(String, &str)> {
+    let bytes = s.as_bytes();
+    if *bytes.first()? != b'"' {
         return None;
     }
-    if prefix == "[" {
-        return Some(format!("[\n{element}\n]"));
+    let mut escaped = false;
+    for (i, &b) in bytes.iter().enumerate().skip(1) {
+        if escaped {
+            escaped = false;
+        } else if b == b'\\' {
+            escaped = true;
+        } else if b == b'"' {
+            return Some((s[..=i].to_string(), &s[i + 1..]));
+        }
     }
-    Some(format!("{},\n{element}\n]", prefix.trim_end_matches(',')))
+    None
 }
 
 /// Extracts `--cache-dir DIR` from raw process args (bench bins parse
@@ -311,20 +453,75 @@ pub const CONTEXT_PROTOCOLS: [Protocol; 5] = [
 mod tests {
     use super::*;
 
+    fn record(name: &str, wall_ns: u64) -> TrajectoryRecord {
+        TrajectoryRecord {
+            name: name.to_string(),
+            commit: "abc123".to_string(),
+            wall_ns,
+            peak_rss_bytes: 1 << 20,
+        }
+    }
+
     #[test]
-    fn trajectory_array_splicing() {
-        // First record starts a fresh array; later records splice in.
-        assert_eq!(
-            splice_json_array("[]", "{\"a\":1}"),
-            Some("[\n{\"a\":1}\n]".into())
+    fn trajectory_roundtrips_through_the_tolerant_reader() {
+        let records = vec![record("table1", 5), record("serve_throughput", 7)];
+        let text = serde_json::to_string_pretty(&records).unwrap();
+        let (back, skipped) = read_trajectory(&text);
+        assert_eq!(skipped, 0);
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].name, "table1");
+        assert_eq!(back[1].wall_ns, 7);
+        assert_eq!(back[1].peak_rss_bytes, 1 << 20);
+    }
+
+    #[test]
+    fn malformed_records_are_skipped_not_fatal() {
+        // A valid record, then editor damage (wrong type, missing
+        // field, truncated object), then another valid record: the two
+        // good ones survive, the three bad ones count as skipped.
+        let text = r#"[
+  { "name": "good1", "commit": "c1", "wall_ns": 10, "peak_rss_bytes": 20 },
+  { "name": "bad-type", "commit": "c2", "wall_ns": "fast", "peak_rss_bytes": 1 },
+  { "name": "bad-missing", "commit": "c3", "wall_ns": 10 },
+  { "name": "bad-negative", "commit": "c4", "wall_ns": -4, "peak_rss_bytes": 1 },
+  { "name": "good2", "commit": "c5", "wall_ns": 30, "peak_rss_bytes": 40 }
+]"#;
+        let (records, skipped) = read_trajectory(text);
+        assert_eq!(skipped, 3);
+        let names: Vec<&str> = records.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["good1", "good2"]);
+    }
+
+    #[test]
+    fn braces_inside_strings_do_not_confuse_the_matcher() {
+        let text =
+            r#"[{ "name": "has{brace}", "commit": "}{", "wall_ns": 1, "peak_rss_bytes": 2 }]"#;
+        let (records, skipped) = read_trajectory(text);
+        assert_eq!(skipped, 0);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].name, "has{brace}");
+        assert_eq!(records[0].commit, "}{");
+    }
+
+    #[test]
+    fn garbage_and_empty_files_read_as_empty() {
+        assert_eq!(read_trajectory("").0.len(), 0);
+        assert_eq!(read_trajectory("not json at all").0.len(), 0);
+        // A nested (non-flat) object is damage, not a crash.
+        let (records, skipped) = read_trajectory(
+            r#"[{ "name": "x", "commit": "y", "wall_ns": {"n":1}, "peak_rss_bytes": 2 }]"#,
         );
-        let one = splice_json_array("[\n{\"a\":1}\n]", "{\"b\":2}").unwrap();
-        assert_eq!(one, "[\n{\"a\":1},\n{\"b\":2}\n]");
-        let two = splice_json_array(&one, "{\"c\":3}").unwrap();
-        assert_eq!(two, "[\n{\"a\":1},\n{\"b\":2},\n{\"c\":3}\n]");
-        // Garbage degrades to a fresh array at the call site.
-        assert_eq!(splice_json_array("not json", "{}"), None);
-        assert_eq!(splice_json_array("", "{}"), None);
+        assert_eq!(records.len(), 0);
+        // The nested braces produce one outer malformed object (the
+        // inner one closes first but never validates as a record).
+        assert!(skipped >= 1);
+    }
+
+    #[test]
+    fn unknown_extra_fields_are_tolerated() {
+        let text = r#"[{ "name": "x", "commit": "y", "wall_ns": 1, "peak_rss_bytes": 2, "note": "kept" }]"#;
+        let (records, skipped) = read_trajectory(text);
+        assert_eq!((records.len(), skipped), (1, 0));
     }
 
     #[test]

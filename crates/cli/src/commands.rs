@@ -3,14 +3,15 @@
 use crate::error::CliError;
 use crate::opts::{hex_preview, CommonOpts};
 use fieldclust::fuzzgen::ValueModel;
-use fieldclust::report::{render_markdown, ReportOptions};
+use fieldclust::report::standard_report;
 use fieldclust::semantics::{interpret, SemanticsConfig};
 use fieldclust::{AnalysisSession, ArtifactStore, FieldTypeClusterer};
 use protocols::{Protocol, ProtocolSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use trace::reassembly::{reassemble, NbssFramer};
-use trace::{pcap, Preprocessor, Trace};
+use serve::{prepare_trace, Client, ClientError, JobState, PrepareOpts};
+use std::time::Duration;
+use trace::{pcap, Trace};
 
 fn load_trace(opts: &CommonOpts) -> Result<Trace, CliError> {
     let path = opts
@@ -20,30 +21,29 @@ fn load_trace(opts: &CommonOpts) -> Result<Trace, CliError> {
     load_trace_from(path, opts)
 }
 
+/// The preprocessing options the common flags select — the exact
+/// struct the daemon uses, so offline and daemon runs prepare captures
+/// identically.
+fn prepare_opts(opts: &CommonOpts) -> PrepareOpts {
+    PrepareOpts {
+        port: opts.port,
+        max: opts.max,
+        reassemble: opts.reassemble,
+    }
+}
+
 fn load_trace_from(path: &str, opts: &CommonOpts) -> Result<Trace, CliError> {
     let bytes =
         std::fs::read(path).map_err(|e| CliError::runtime(format!("reading {path}: {e}")))?;
-    // Sniffs classic pcap vs pcapng by magic.
-    let mut raw = trace::pcapng::read_any(&bytes, "capture")
-        .map_err(|e| CliError::runtime(format!("parsing {path}: {e}")))?;
-    if opts.reassemble {
-        let (rebuilt, stats) = reassemble(&raw, &NbssFramer);
+    // The single shared loading path (sniffing, reassembly,
+    // preprocessing) — see `serve::prepare`.
+    let (trace, stats) = prepare_trace(&bytes, &prepare_opts(opts))
+        .map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
+    if let Some(stats) = stats {
         eprintln!(
             "reassembled {} TCP segments into {} messages ({} resync, {} trailing bytes)",
             stats.segments_in, stats.messages_out, stats.resync_bytes, stats.trailing_bytes
         );
-        raw = rebuilt;
-    }
-    let mut pre = Preprocessor::new().deduplicate(true);
-    if let Some(p) = opts.port {
-        pre = pre.filter_port(p);
-    }
-    if let Some(n) = opts.max {
-        pre = pre.truncate(n);
-    }
-    let trace = pre.apply(&raw);
-    if trace.is_empty() {
-        return Err(CliError::runtime("no messages left after preprocessing"));
     }
     Ok(trace)
 }
@@ -62,11 +62,17 @@ fn open_store(opts: &CommonOpts) -> Result<Option<ArtifactStore>, CliError> {
 /// `--tile-rows` / `--max-memory` switch the dissimilarity stage to the
 /// tiled build (results are pinned bit-identical either way).
 fn build_clusterer(opts: &CommonOpts) -> FieldTypeClusterer {
-    FieldTypeClusterer {
+    let mut config = FieldTypeClusterer {
         tile_rows: opts.tile_rows,
         max_memory: opts.max_memory,
         ..FieldTypeClusterer::default()
+    };
+    // `--threads` only tunes wall time; every parallel stage is pinned
+    // bit-identical to its serial counterpart.
+    if opts.threads > 0 {
+        config.threads = opts.threads;
     }
+    config
 }
 
 /// Prints the greppable cache statistics line to stderr.
@@ -93,31 +99,23 @@ pub fn analyze(args: &[String]) -> Result<(), CliError> {
     session
         .segment_with(segmenter.as_ref())
         .map_err(|e| CliError::runtime(format!("segmentation failed: {e}")))?;
-    let result = session
-        .finish()
-        .map_err(|e| CliError::runtime(format!("clustering failed: {e}")))?;
-    let semantics = interpret(&result, &trace, &SemanticsConfig::default());
-    let coverage = result.coverage(&trace);
 
     if let Some(path) = &opts.report {
-        let message_types = session
-            .message_types(&fieldclust::msgtype::MessageTypeConfig::default())
-            .ok();
-        let md = render_markdown(
-            &trace,
-            &result,
-            &semantics,
-            message_types.as_ref(),
-            &ReportOptions {
-                examples_per_cluster: 3,
-                include_value_models: true,
-            },
-        );
+        // The canonical rendering path shared with the daemon — daemon
+        // reports are byte-identical to this file.
+        let md = standard_report(&trace, &mut session)
+            .map_err(|e| CliError::runtime(format!("clustering failed: {e}")))?;
         std::fs::write(path, md).map_err(|e| CliError::runtime(format!("writing {path}: {e}")))?;
         println!("report written to {path}");
         emit_cache_stats(store.as_ref());
         return Ok(());
     }
+
+    let result = session
+        .finish()
+        .map_err(|e| CliError::runtime(format!("clustering failed: {e}")))?;
+    let semantics = interpret(&result, &trace, &SemanticsConfig::default());
+    let coverage = result.coverage(&trace);
 
     if opts.json {
         #[derive(serde::Serialize)]
@@ -382,9 +380,15 @@ pub fn compare(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `fieldclust stats <pcap>`: first-look summary of a capture.
+/// `fieldclust stats <pcap>`: first-look summary of a capture — or,
+/// with `--addr`, the counters of a running `ftcd` daemon.
 pub fn stats(args: &[String]) -> Result<(), CliError> {
     let opts = CommonOpts::parse(args)?;
+    if let Some(addr) = &opts.addr {
+        let stats = connect(addr)?.stats().map_err(daemon_error)?;
+        print!("{stats}");
+        return Ok(());
+    }
     let trace = load_trace(&opts)?;
     let s = trace::stats::trace_stats(&trace, 48);
     println!(
@@ -439,6 +443,115 @@ pub fn generate(args: &[String]) -> Result<(), CliError> {
         protocol,
         trace.total_payload_bytes()
     );
+    Ok(())
+}
+
+/// The `--addr` a daemon subcommand requires.
+fn required_addr(opts: &CommonOpts) -> Result<&str, CliError> {
+    opts.addr
+        .as_deref()
+        .ok_or_else(|| CliError::usage("--addr <host:port> of a running ftcd is required"))
+}
+
+fn connect(addr: &str) -> Result<Client, CliError> {
+    Client::connect(addr).map_err(|e| CliError::runtime(format!("connecting to {addr}: {e}")))
+}
+
+/// Daemon-side declines keep their structure: a rejection carries the
+/// retry hint, everything else is a plain runtime failure.
+fn daemon_error(e: ClientError) -> CliError {
+    CliError::runtime(e.to_string())
+}
+
+/// Delivers a finished job's report: to `--report F` when given, else
+/// to stdout.
+fn deliver_report(report: Vec<u8>, opts: &CommonOpts) -> Result<(), CliError> {
+    let text = String::from_utf8(report)
+        .map_err(|_| CliError::runtime("daemon sent a non-UTF-8 report"))?;
+    match &opts.report {
+        Some(path) => {
+            std::fs::write(path, text)
+                .map_err(|e| CliError::runtime(format!("writing {path}: {e}")))?;
+            println!("report written to {path}");
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+/// `fieldclust submit <pcap> --addr A`: upload a capture to a running
+/// `ftcd`, analyze it there, wait, and deliver the report — which is
+/// byte-identical to `fieldclust analyze <pcap> --report`.
+pub fn submit(args: &[String]) -> Result<(), CliError> {
+    let opts = CommonOpts::parse(args)?;
+    let addr = required_addr(&opts)?;
+    let path = opts
+        .positional
+        .first()
+        .ok_or_else(|| CliError::usage("missing <capture.pcap> argument"))?;
+    let bytes =
+        std::fs::read(path).map_err(|e| CliError::runtime(format!("reading {path}: {e}")))?;
+    let mut client = connect(addr)?;
+    let (trace_id, messages) = client
+        .submit_trace(
+            path,
+            bytes,
+            opts.port,
+            opts.max.map(|n| n as u64),
+            opts.reassemble,
+        )
+        .map_err(daemon_error)?;
+    eprintln!("trace {trace_id}: {messages} messages after preprocessing");
+    let job_id = client
+        .analyze(trace_id, &opts.segmenter, 0)
+        .map_err(daemon_error)?;
+    eprintln!("job {job_id}: accepted");
+    match client
+        .wait_for(job_id, Duration::from_millis(100))
+        .map_err(daemon_error)?
+    {
+        JobState::Done { report } => deliver_report(report, &opts),
+        JobState::Failed { message } => Err(CliError::runtime(format!("job failed: {message}"))),
+        JobState::Cancelled => Err(CliError::runtime("job was cancelled")),
+        other => Err(CliError::runtime(format!("unexpected job state {other:?}"))),
+    }
+}
+
+/// `fieldclust query <job-id> --addr A`: fetch a job's state (and its
+/// report once done).
+pub fn query(args: &[String]) -> Result<(), CliError> {
+    let opts = CommonOpts::parse(args)?;
+    let addr = required_addr(&opts)?;
+    let job_id: u64 = opts
+        .positional
+        .first()
+        .ok_or_else(|| CliError::usage("missing <job-id> argument"))?
+        .parse()
+        .map_err(|_| CliError::usage("<job-id> must be a number"))?;
+    match connect(addr)?.query(job_id).map_err(daemon_error)? {
+        JobState::Queued { position } => {
+            println!("job {job_id}: queued ({position} ahead)");
+            Ok(())
+        }
+        JobState::Running => {
+            println!("job {job_id}: running");
+            Ok(())
+        }
+        JobState::Done { report } => deliver_report(report, &opts),
+        JobState::Failed { message } => Err(CliError::runtime(format!("job failed: {message}"))),
+        JobState::Cancelled => {
+            println!("job {job_id}: cancelled");
+            Ok(())
+        }
+    }
+}
+
+/// `fieldclust shutdown --addr A`: drain and stop a running daemon.
+pub fn shutdown(args: &[String]) -> Result<(), CliError> {
+    let opts = CommonOpts::parse(args)?;
+    let addr = required_addr(&opts)?;
+    let drained = connect(addr)?.shutdown().map_err(daemon_error)?;
+    println!("daemon at {addr} shutting down ({drained} jobs draining)");
     Ok(())
 }
 

@@ -6,6 +6,9 @@
 //! fieldclust fuzz     <capture.pcap> [--segmenter S] [--count N] [--seed X]
 //! fieldclust generate <protocol> <messages> <out.pcap> [--seed X]
 //! fieldclust protocols
+//! fieldclust submit   <capture.pcap> --addr A   (against a running ftcd)
+//! fieldclust query    <job-id> --addr A
+//! fieldclust shutdown --addr A
 //! ```
 //!
 //! Exit codes: 0 success, 1 runtime failure, 2 bad usage. Errors go to
@@ -29,6 +32,9 @@ fn main() -> ExitCode {
         "fuzz" => commands::fuzz(rest),
         "generate" => commands::generate(rest),
         "protocols" => commands::protocols(rest),
+        "submit" => commands::submit(rest),
+        "query" => commands::query(rest),
+        "shutdown" => commands::shutdown(rest),
         "help" | "--help" | "-h" => {
             println!("{}", opts::USAGE);
             Ok(())

@@ -2,10 +2,6 @@
 //! additional dependencies).
 
 use crate::error::CliError;
-use segment::csp::Csp;
-use segment::fixed::FixedChunks;
-use segment::nemesys::Nemesys;
-use segment::netzob::Netzob;
 use segment::Segmenter;
 
 /// Top-level usage text.
@@ -21,6 +17,10 @@ USAGE:
   fieldclust fuzz     <capture.pcap> [--segmenter S] [--count N] [--seed X]
   fieldclust generate <protocol> <messages> <out.pcap> [--seed X]
   fieldclust protocols
+  fieldclust submit   <capture.pcap> --addr A [--segmenter S] [--port P] [--max N] [--report out.md]
+  fieldclust query    <job-id> --addr A [--report out.md]
+  fieldclust stats    --addr A
+  fieldclust shutdown --addr A
 
 OPTIONS:
   --segmenter S   nemesys (default) | netzob | csp | fixed
@@ -36,6 +36,9 @@ OPTIONS:
   --tile-rows R   tiled dissimilarity build with R-row tiles (cached per tile)
   --max-memory B  byte budget for the dissimilarity build, with an optional
                   K/M/G suffix (e.g. 512M); translated into a tile height
+  --threads N     threads for parallel stages, 0 = auto (never affects results)
+  --addr A        a running ftcd daemon (e.g. 127.0.0.1:4747); `submit` sends
+                  the capture there and waits for the identical report
 
 EXIT CODES:
   0  success    1  runtime failure    2  bad usage";
@@ -69,6 +72,11 @@ pub struct CommonOpts {
     pub tile_rows: Option<usize>,
     /// `--max-memory`, parsed to bytes.
     pub max_memory: Option<u64>,
+    /// `--threads` (0 = auto). Parallelism only ever changes wall
+    /// time, never results.
+    pub threads: usize,
+    /// `--addr`: a running `ftcd` daemon to talk to.
+    pub addr: Option<String>,
 }
 
 /// Parses a byte count with an optional `K`/`M`/`G` suffix (powers of
@@ -102,6 +110,8 @@ impl CommonOpts {
             cache_dir: None,
             tile_rows: None,
             max_memory: None,
+            threads: 0,
+            addr: None,
         };
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -158,6 +168,12 @@ impl CommonOpts {
                         CliError::usage("--max-memory needs a byte count like 4096, 64K, 512M, 2G")
                     })?)
                 }
+                "--threads" => {
+                    opts.threads = value_for("--threads")?
+                        .parse()
+                        .map_err(|_| CliError::usage("--threads needs a number"))?
+                }
+                "--addr" => opts.addr = Some(value_for("--addr")?),
                 flag if flag.starts_with("--") => {
                     return Err(CliError::usage(format!("unknown flag `{flag}`")))
                 }
@@ -167,17 +183,11 @@ impl CommonOpts {
         Ok(opts)
     }
 
-    /// Instantiates the selected segmenter.
+    /// Instantiates the selected segmenter via the construction path
+    /// shared with the daemon (`serve::build_segmenter`), so both
+    /// frontends agree on segmenter identity and cache fingerprints.
     pub fn build_segmenter(&self) -> Result<Box<dyn Segmenter>, CliError> {
-        match self.segmenter.as_str() {
-            "nemesys" => Ok(Box::new(Nemesys::default())),
-            "netzob" => Ok(Box::new(Netzob::default())),
-            "csp" => Ok(Box::new(Csp::default())),
-            "fixed" => Ok(Box::new(FixedChunks::default())),
-            other => Err(CliError::usage(format!(
-                "unknown segmenter `{other}` (nemesys|netzob|csp|fixed)"
-            ))),
-        }
+        serve::build_segmenter(&self.segmenter).map_err(CliError::usage)
     }
 }
 
@@ -260,6 +270,19 @@ mod tests {
             parse(&["--max-memory", "lots"]),
             parse(&["--max-memory"]),
         ] {
+            assert_eq!(bad.unwrap_err().exit_code(), 2);
+        }
+    }
+
+    #[test]
+    fn threads_and_addr_are_parsed() {
+        let o = parse(&["a.pcap", "--threads", "4", "--addr", "127.0.0.1:4747"]).unwrap();
+        assert_eq!(o.threads, 4);
+        assert_eq!(o.addr.as_deref(), Some("127.0.0.1:4747"));
+        let o = parse(&["a.pcap"]).unwrap();
+        assert_eq!(o.threads, 0);
+        assert!(o.addr.is_none());
+        for bad in [parse(&["--threads", "many"]), parse(&["--addr"])] {
             assert_eq!(bad.unwrap_err().exit_code(), 2);
         }
     }

@@ -70,6 +70,34 @@ fn success_exits_0() {
 }
 
 #[test]
+fn daemon_commands_without_addr_exit_2() {
+    for args in [&["submit", "x.pcap"][..], &["query", "1"], &["shutdown"]] {
+        let out = run(args);
+        assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+        assert!(stderr(&out).contains("--addr"), "stderr: {}", stderr(&out));
+    }
+}
+
+#[test]
+fn unreachable_daemon_exits_1() {
+    // Port 1 on loopback is essentially never listening; the connect
+    // failure must surface as a runtime error, not a hang or panic.
+    let out = run(&["shutdown", "--addr", "127.0.0.1:1"]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("error: shutdown:"),
+        "stderr: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn query_needs_a_numeric_job_id() {
+    let out = run(&["query", "soon", "--addr", "127.0.0.1:1"]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+}
+
+#[test]
 fn cache_dir_warm_run_reports_hits_and_identical_output() {
     let pcap = tmp("cached.pcap");
     let cache = tmp("cache");

@@ -58,6 +58,49 @@ fn protocols_lists_without_error() {
 }
 
 #[test]
+fn submit_report_is_byte_identical_to_offline_analyze() {
+    let pcap = tmp("daemon-identity.pcap");
+    let offline_md = tmp("offline.md");
+    let daemon_md = tmp("daemon.md");
+    commands::generate(&args(&["dns", "24", &pcap, "--seed", "9"])).unwrap();
+    commands::analyze(&args(&[&pcap, "--report", &offline_md])).unwrap();
+
+    let handle = serve::start(serve::ServerConfig::default()).unwrap();
+    let addr = handle.addr().to_string();
+    commands::submit(&args(&[&pcap, "--addr", &addr, "--report", &daemon_md])).unwrap();
+    assert_eq!(
+        std::fs::read(&offline_md).unwrap(),
+        std::fs::read(&daemon_md).unwrap(),
+        "daemon report must be byte-identical to the offline CLI's"
+    );
+    // The daemon-mode stats command answers against the same daemon.
+    commands::stats(&args(&["--addr", &addr])).unwrap();
+    commands::shutdown(&args(&["--addr", &addr])).unwrap();
+    handle.wait();
+    for f in [&pcap, &offline_md, &daemon_md] {
+        std::fs::remove_file(f).ok();
+    }
+}
+
+#[test]
+fn threads_flag_never_changes_results() {
+    let pcap = tmp("threads.pcap");
+    let serial_md = tmp("serial.md");
+    let parallel_md = tmp("parallel.md");
+    commands::generate(&args(&["ntp", "30", &pcap, "--seed", "4"])).unwrap();
+    commands::analyze(&args(&[&pcap, "--threads", "1", "--report", &serial_md])).unwrap();
+    commands::analyze(&args(&[&pcap, "--threads", "4", "--report", &parallel_md])).unwrap();
+    assert_eq!(
+        std::fs::read(&serial_md).unwrap(),
+        std::fs::read(&parallel_md).unwrap(),
+        "--threads must only affect wall time, never the report"
+    );
+    for f in [&pcap, &serial_md, &parallel_md] {
+        std::fs::remove_file(f).ok();
+    }
+}
+
+#[test]
 fn segmenter_flag_is_honored() {
     let pcap = tmp("segmenter.pcap");
     commands::generate(&args(&["dns", "30", &pcap])).unwrap();

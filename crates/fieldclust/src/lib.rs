@@ -51,6 +51,7 @@
 //! ```
 
 pub(crate) mod cache;
+pub mod cancel;
 pub mod compare;
 pub mod eval;
 pub mod fuzzgen;
@@ -62,6 +63,7 @@ pub mod semantics;
 pub mod session;
 pub mod truth;
 
+pub use cancel::CancelToken;
 pub use compare::{compare_clusterings, ClusteringDiff};
 pub use eval::{evaluate, label_segments, Evaluation};
 pub use msgtype::{identify_message_types, MessageTypeConfig, MessageTypes};

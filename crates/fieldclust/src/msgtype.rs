@@ -63,6 +63,9 @@ pub enum MessageTypeError {
     },
     /// The owning [`AnalysisSession`] has no segmentation installed yet.
     MissingSegmentation,
+    /// The session's [`CancelToken`](crate::CancelToken) tripped
+    /// between stages.
+    Cancelled,
 }
 
 impl std::fmt::Display for MessageTypeError {
@@ -73,6 +76,9 @@ impl std::fmt::Display for MessageTypeError {
             }
             MessageTypeError::MissingSegmentation => {
                 write!(f, "no segmentation installed (run the segment stage first)")
+            }
+            MessageTypeError::Cancelled => {
+                write!(f, "analysis cancelled (token tripped or deadline passed)")
             }
         }
     }

@@ -129,6 +129,11 @@ pub enum PipelineError {
     /// A staged [`AnalysisSession`] was asked for a post-segmentation
     /// artifact before a segmentation was installed.
     MissingSegmentation,
+    /// The session's [`CancelToken`](crate::CancelToken) tripped
+    /// (explicit cancel or deadline) between stages. Artifacts computed
+    /// before the trip stay cached; re-driving the session resumes from
+    /// them.
+    Cancelled,
 }
 
 impl std::fmt::Display for PipelineError {
@@ -139,6 +144,9 @@ impl std::fmt::Display for PipelineError {
             }
             PipelineError::MissingSegmentation => {
                 write!(f, "no segmentation installed (run the segment stage first)")
+            }
+            PipelineError::Cancelled => {
+                write!(f, "analysis cancelled (token tripped or deadline passed)")
             }
         }
     }

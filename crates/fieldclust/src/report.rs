@@ -3,9 +3,10 @@
 //! value-domain summaries — the artifact an analyst hands around.
 
 use crate::fuzzgen::ValueModel;
-use crate::msgtype::MessageTypes;
-use crate::pipeline::PseudoTypeClustering;
-use crate::semantics::ClusterSemantics;
+use crate::msgtype::{MessageTypeConfig, MessageTypeError, MessageTypes};
+use crate::pipeline::{PipelineError, PseudoTypeClustering};
+use crate::semantics::{interpret, ClusterSemantics, SemanticsConfig};
+use crate::session::AnalysisSession;
 use trace::Trace;
 
 /// Inputs of a report; optional sections are skipped when absent.
@@ -15,6 +16,46 @@ pub struct ReportOptions {
     pub examples_per_cluster: usize,
     /// Include the value-domain (fuzzing) section.
     pub include_value_models: bool,
+}
+
+/// Drives `session` through every remaining stage and renders the
+/// canonical full report: default semantics, default message typing
+/// (skipped if it fails), three examples per cluster, value models.
+///
+/// This is the *single* rendering path shared by the offline CLI
+/// (`fieldclust analyze --report`) and the `ftcd` daemon, so a
+/// daemon-produced report is byte-identical to the offline run on the
+/// same trace — pinned by the serve crate's loopback e2e test and the
+/// check.sh daemon smoke test.
+///
+/// # Errors
+///
+/// Propagates the session's [`PipelineError`]; a failed message-type
+/// analysis only omits that section. A tripped
+/// [`CancelToken`](crate::CancelToken) surfaces as
+/// [`PipelineError::Cancelled`] even from the message-type stage, so a
+/// cancelled report job never renders a partial document.
+pub fn standard_report(
+    trace: &Trace,
+    session: &mut AnalysisSession<'_>,
+) -> Result<String, PipelineError> {
+    let result = session.finish()?;
+    let semantics = interpret(&result, trace, &SemanticsConfig::default());
+    let message_types = match session.message_types(&MessageTypeConfig::default()) {
+        Ok(t) => Some(t),
+        Err(MessageTypeError::Cancelled) => return Err(PipelineError::Cancelled),
+        Err(_) => None,
+    };
+    Ok(render_markdown(
+        trace,
+        &result,
+        &semantics,
+        message_types.as_ref(),
+        &ReportOptions {
+            examples_per_cluster: 3,
+            include_value_models: true,
+        },
+    ))
 }
 
 /// Renders a complete analysis report as Markdown.

@@ -58,6 +58,7 @@ use std::borrow::Cow;
 use std::path::Path;
 
 use crate::cache::{self, ClusterStageArtifact, RefinedArtifact, SelectionArtifact};
+use crate::cancel::CancelToken;
 use crate::msgtype::{self, MessageTypeConfig, MessageTypeError, MessageTypes};
 use crate::pipeline::{EpsilonSource, FieldTypeClusterer, PipelineError, PseudoTypeClustering};
 use crate::segments::SegmentStore;
@@ -99,6 +100,9 @@ pub struct AnalysisSession<'t> {
     // in-memory. The memoized input key covers trace + segmentation.
     cache: Option<ArtifactStore>,
     input_key: Option<Key>,
+    // Cooperative cancellation, polled between stages; `None` never
+    // cancels. See [`Self::set_cancel_token`].
+    cancel: Option<CancelToken>,
 }
 
 impl<'t> AnalysisSession<'t> {
@@ -138,6 +142,7 @@ impl<'t> AnalysisSession<'t> {
             msg_dissim: None,
             cache: None,
             input_key: None,
+            cancel: None,
         }
     }
 
@@ -170,6 +175,40 @@ impl<'t> AnalysisSession<'t> {
     /// Cache hit/miss/write statistics, if a store is attached.
     pub fn cache_stats(&self) -> Option<StoreStats> {
         self.cache.as_ref().map(ArtifactStore::stats)
+    }
+
+    /// Attaches a cooperative [`CancelToken`], polled at every stage
+    /// boundary (`ensure_*` entry): once the token trips — explicitly
+    /// or by deadline — the next stage transition returns
+    /// [`PipelineError::Cancelled`] instead of computing. A stage
+    /// already in flight runs to completion (stages are never preempted
+    /// mid-kernel), and artifacts computed before the trip stay cached,
+    /// so re-driving the session after a cancellation resumes from
+    /// them.
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
+    }
+
+    /// The attached cancellation token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// `Err(PipelineError::Cancelled)` once the attached token trips.
+    fn check_cancelled(&self) -> Result<(), PipelineError> {
+        match &self.cancel {
+            Some(token) if token.is_cancelled() => Err(PipelineError::Cancelled),
+            _ => Ok(()),
+        }
+    }
+
+    /// [`check_cancelled`](Self::check_cancelled) for the message-type
+    /// stage surface.
+    fn check_cancelled_msg(&self) -> Result<(), MessageTypeError> {
+        match &self.cancel {
+            Some(token) if token.is_cancelled() => Err(MessageTypeError::Cancelled),
+            _ => Ok(()),
+        }
     }
 
     /// The trace under analysis.
@@ -612,6 +651,7 @@ impl<'t> AnalysisSession<'t> {
     }
 
     fn ensure_store(&mut self) -> Result<(), PipelineError> {
+        self.check_cancelled()?;
         if self.store.is_some() {
             return Ok(());
         }
@@ -628,6 +668,7 @@ impl<'t> AnalysisSession<'t> {
     }
 
     fn ensure_dissim(&mut self) -> Result<(), PipelineError> {
+        self.check_cancelled()?;
         if self.dissim.is_some() {
             return Ok(());
         }
@@ -653,6 +694,7 @@ impl<'t> AnalysisSession<'t> {
     }
 
     fn ensure_selection(&mut self) -> Result<(), PipelineError> {
+        self.check_cancelled()?;
         if self.selection.is_some() {
             return Ok(());
         }
@@ -706,6 +748,7 @@ impl<'t> AnalysisSession<'t> {
     }
 
     fn ensure_clustering(&mut self) -> Result<(), PipelineError> {
+        self.check_cancelled()?;
         if self.clustering.is_some() {
             return Ok(());
         }
@@ -781,6 +824,7 @@ impl<'t> AnalysisSession<'t> {
     }
 
     fn ensure_refined(&mut self) -> Result<(), PipelineError> {
+        self.check_cancelled()?;
         if self.refined.is_some() {
             return Ok(());
         }
@@ -819,6 +863,7 @@ impl<'t> AnalysisSession<'t> {
     }
 
     fn ensure_full_store(&mut self) -> Result<(), MessageTypeError> {
+        self.check_cancelled_msg()?;
         let n = self.trace.len();
         if n < 4 {
             return Err(MessageTypeError::TooFewMessages { n });
@@ -836,6 +881,7 @@ impl<'t> AnalysisSession<'t> {
     }
 
     fn ensure_full_dissim(&mut self) -> Result<(), MessageTypeError> {
+        self.check_cancelled_msg()?;
         if self.full_dissim.is_some() {
             return Ok(());
         }
@@ -952,6 +998,43 @@ mod tests {
         let seg = truth_segmentation(s.trace(), &gt);
         s.set_segmentation(seg);
         assert!(s.finish().unwrap().clustering.n_clusters() >= 1);
+    }
+
+    #[test]
+    fn tripped_token_cancels_every_stage() {
+        let (_, mut s) = session_for(Protocol::Ntp, 40, 8);
+        let token = CancelToken::new();
+        s.set_cancel_token(token.clone());
+        token.cancel();
+        assert!(matches!(s.store(), Err(PipelineError::Cancelled)));
+        assert!(matches!(s.finish(), Err(PipelineError::Cancelled)));
+        assert!(matches!(
+            s.message_types(&MessageTypeConfig::default()),
+            Err(MessageTypeError::Cancelled)
+        ));
+    }
+
+    #[test]
+    fn cached_artifacts_survive_a_cancel_and_resume() {
+        let (_, mut s) = session_for(Protocol::Dns, 40, 9);
+        // Drive through the matrix, then cancel: the cached artifacts stay.
+        let n = s.matrix().unwrap().len();
+        let token = CancelToken::new();
+        s.set_cancel_token(token.clone());
+        token.cancel();
+        assert!(matches!(s.autoconf(), Err(PipelineError::Cancelled)));
+        // A fresh token resumes from the cached matrix.
+        s.set_cancel_token(CancelToken::new());
+        assert_eq!(s.matrix().unwrap().len(), n);
+        assert!(s.finish().unwrap().clustering.n_clusters() >= 1);
+    }
+
+    #[test]
+    fn expired_deadline_cancels() {
+        use std::time::Instant;
+        let (_, mut s) = session_for(Protocol::Ntp, 40, 10);
+        s.set_cancel_token(CancelToken::with_deadline(Instant::now()));
+        assert!(matches!(s.finish(), Err(PipelineError::Cancelled)));
     }
 
     #[test]

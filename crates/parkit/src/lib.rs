@@ -43,6 +43,10 @@
 //! indexed by item, or fold into per-worker accumulators whose merge is
 //! order-independent (minima, k-smallest multisets, integer sums).
 
+pub mod pool;
+
+pub use pool::Pool;
+
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 

@@ -1,0 +1,244 @@
+//! A persistent fixed-size worker pool for long-lived job execution.
+//!
+//! [`for_each_chunk`](crate::for_each_chunk) spawns scoped workers per
+//! call, which is right for the compute stages but wrong for a daemon:
+//! the `ftcd` server runs for hours and executes an open-ended stream of
+//! analysis jobs, each of which *internally* fans out over
+//! [`for_each_chunk`](crate::for_each_chunk). [`Pool`] is the outer
+//! layer: `N` threads spawned once, a shared FIFO job queue, and a
+//! drain-then-join shutdown so in-flight analyses finish before the
+//! process exits.
+//!
+//! Jobs are type-erased `FnOnce` closures. A panicking job is caught
+//! and dropped (the worker survives and its panic payload is discarded)
+//! so one poisoned analysis cannot shrink the pool; callers that need
+//! to observe failures should catch them inside the job and record the
+//! outcome themselves, which is what the daemon's job table does.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct State {
+    jobs: VecDeque<Job>,
+    shutting_down: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    available: Condvar,
+}
+
+/// A fixed set of worker threads draining a shared FIFO job queue.
+///
+/// Dropping the pool without calling [`Pool::shutdown`] still joins all
+/// workers, draining any queued jobs first — shutdown is never abrupt.
+pub struct Pool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("workers", &self.workers.len())
+            .field("queued", &self.queued())
+            .finish()
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("pool state poisoned");
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break job;
+                }
+                if state.shutting_down {
+                    return;
+                }
+                state = shared.available.wait(state).expect("pool state poisoned");
+            }
+        };
+        // A panicking job must not kill the worker; the payload is
+        // dropped here on purpose (see module docs).
+        let _ = catch_unwind(AssertUnwindSafe(job));
+    }
+}
+
+impl Pool {
+    /// Spawns a pool with `workers` threads (at least one).
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                jobs: VecDeque::new(),
+                shutting_down: false,
+            }),
+            available: Condvar::new(),
+        });
+        let workers = (0..workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Jobs queued but not yet picked up by a worker.
+    pub fn queued(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("pool state poisoned")
+            .jobs
+            .len()
+    }
+
+    /// Enqueues a job. Returns `false` (dropping the job unrun) if the
+    /// pool is already shutting down.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) -> bool {
+        let mut state = self.shared.state.lock().expect("pool state poisoned");
+        if state.shutting_down {
+            return false;
+        }
+        state.jobs.push_back(Box::new(job));
+        drop(state);
+        self.shared.available.notify_one();
+        true
+    }
+
+    /// Refuses new jobs, lets the workers drain everything already
+    /// queued, and joins them. Returns once the queue is empty and all
+    /// in-flight jobs have finished.
+    pub fn shutdown(mut self) {
+        self.begin_shutdown();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        self.shared
+            .state
+            .lock()
+            .expect("pool state poisoned")
+            .shutting_down = true;
+        self.shared.available.notify_all();
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+    use std::time::Duration;
+
+    #[test]
+    fn every_job_runs_once() {
+        let pool = Pool::new(4);
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let hits = Arc::clone(&hits);
+            assert!(pool.execute(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        pool.shutdown();
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn jobs_run_concurrently() {
+        // Two jobs meeting at a barrier only complete if two workers
+        // run them at the same time.
+        let pool = Pool::new(2);
+        let barrier = Arc::new(Barrier::new(2));
+        let met = Arc::new(AtomicUsize::new(0));
+        for _ in 0..2 {
+            let (barrier, met) = (Arc::clone(&barrier), Arc::clone(&met));
+            pool.execute(move || {
+                barrier.wait();
+                met.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.shutdown();
+        assert_eq!(met.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs() {
+        // One worker, one slow job, many queued behind it: shutdown
+        // must wait for all of them.
+        let pool = Pool::new(1);
+        let done = Arc::new(AtomicUsize::new(0));
+        {
+            let done = Arc::clone(&done);
+            pool.execute(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        for _ in 0..10 {
+            let done = Arc::clone(&done);
+            pool.execute(move || {
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::Relaxed), 11);
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_worker() {
+        let pool = Pool::new(1);
+        pool.execute(|| panic!("poisoned job"));
+        let done = Arc::new(AtomicUsize::new(0));
+        {
+            let done = Arc::clone(&done);
+            pool.execute(move || {
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.shutdown();
+        assert_eq!(
+            done.load(Ordering::Relaxed),
+            1,
+            "worker died with the panic"
+        );
+    }
+
+    #[test]
+    fn drop_joins_without_explicit_shutdown() {
+        let done = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = Pool::new(2);
+            for _ in 0..8 {
+                let done = Arc::clone(&done);
+                pool.execute(move || {
+                    done.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        }
+        assert_eq!(done.load(Ordering::Relaxed), 8);
+    }
+}

@@ -1,0 +1,230 @@
+//! A blocking client for the `ftcd` wire protocol.
+//!
+//! One persistent connection, one request frame in flight at a time.
+//! The typed helpers unwrap the expected response variant and surface
+//! everything else as a [`ClientError`]; [`Client::call`] is the raw
+//! escape hatch the CLI's `submit`/`query`/`stats` commands build on.
+
+use crate::proto::{JobState, Request, Response, ServerStats};
+use crate::wire::{read_frame, write_frame, WireError};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A client-side failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// Wire-level failure (socket, framing, codec).
+    Wire(WireError),
+    /// The daemon refused the request (admission control).
+    Rejected {
+        /// Suggested backoff before retrying.
+        retry_after_ms: u64,
+        /// The daemon's reason.
+        reason: String,
+    },
+    /// The daemon answered [`Response::Error`].
+    Daemon(String),
+    /// The daemon answered with a variant the request does not expect.
+    Unexpected(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "{e}"),
+            ClientError::Rejected {
+                retry_after_ms,
+                reason,
+            } => write!(f, "rejected: {reason} (retry after {retry_after_ms} ms)"),
+            ClientError::Daemon(m) => write!(f, "daemon error: {m}"),
+            ClientError::Unexpected(m) => write!(f, "unexpected response: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// A connection to a running `ftcd`.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon at `addr` (e.g. `127.0.0.1:4747`).
+    ///
+    /// # Errors
+    ///
+    /// The underlying connect error.
+    pub fn connect(addr: &str) -> std::io::Result<Self> {
+        Ok(Self {
+            stream: TcpStream::connect(addr)?,
+        })
+    }
+
+    /// Sends one request and reads one response.
+    ///
+    /// # Errors
+    ///
+    /// Wire-level failures only; daemon-level declines come back as
+    /// `Ok(Response::Rejected | Response::Error)`.
+    pub fn call(&mut self, request: &Request) -> Result<Response, WireError> {
+        write_frame(&mut self.stream, request.kind(), &request.encode())?;
+        let (kind, payload) = read_frame(&mut self.stream)?;
+        Response::decode(kind, &payload)
+    }
+
+    fn expect(&mut self, request: &Request, what: &str) -> Result<Response, ClientError> {
+        match self.call(request)? {
+            Response::Rejected {
+                retry_after_ms,
+                reason,
+            } => Err(ClientError::Rejected {
+                retry_after_ms,
+                reason,
+            }),
+            Response::Error { message } => Err(ClientError::Daemon(message)),
+            other => {
+                let _ = what;
+                Ok(other)
+            }
+        }
+    }
+
+    /// Submits a capture; returns `(trace_id, surviving messages)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on rejection, daemon error, or wire failure.
+    pub fn submit_trace(
+        &mut self,
+        label: &str,
+        pcap: Vec<u8>,
+        port: Option<u16>,
+        max: Option<u64>,
+        reassemble: bool,
+    ) -> Result<(u64, u64), ClientError> {
+        match self.expect(
+            &Request::SubmitTrace {
+                label: label.to_string(),
+                pcap,
+                port,
+                max,
+                reassemble,
+            },
+            "TraceAccepted",
+        )? {
+            Response::TraceAccepted { trace_id, messages } => Ok((trace_id, messages)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Appends capture bytes to an existing trace; returns the new
+    /// surviving message count.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on rejection, daemon error, or wire failure.
+    pub fn append_messages(&mut self, trace_id: u64, pcap: Vec<u8>) -> Result<u64, ClientError> {
+        match self.expect(&Request::AppendMessages { trace_id, pcap }, "TraceAccepted")? {
+            Response::TraceAccepted { messages, .. } => Ok(messages),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Enqueues an analysis; returns the job id.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Rejected`] with the daemon's retry hint when
+    /// admission control refuses; other [`ClientError`]s as usual.
+    pub fn analyze(
+        &mut self,
+        trace_id: u64,
+        segmenter: &str,
+        deadline_ms: u64,
+    ) -> Result<u64, ClientError> {
+        match self.expect(
+            &Request::Analyze {
+                trace_id,
+                segmenter: segmenter.to_string(),
+                deadline_ms,
+            },
+            "JobAccepted",
+        )? {
+            Response::JobAccepted { job_id } => Ok(job_id),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Fetches a job's current state.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on daemon error or wire failure.
+    pub fn query(&mut self, job_id: u64) -> Result<JobState, ClientError> {
+        match self.expect(&Request::QueryReport { job_id }, "JobStatus")? {
+            Response::JobStatus { state, .. } => Ok(state),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Cancels a job; returns its state after the cancel.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on daemon error or wire failure.
+    pub fn cancel(&mut self, job_id: u64) -> Result<JobState, ClientError> {
+        match self.expect(&Request::CancelJob { job_id }, "JobStatus")? {
+            Response::JobStatus { state, .. } => Ok(state),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Fetches the daemon's counters.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on daemon error or wire failure.
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        match self.expect(&Request::Stats, "StatsReport")? {
+            Response::StatsReport(stats) => Ok(stats),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Requests shutdown; returns the number of jobs the daemon is
+    /// draining.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on daemon error or wire failure.
+    pub fn shutdown(&mut self) -> Result<u64, ClientError> {
+        match self.expect(&Request::Shutdown, "ShuttingDown")? {
+            Response::ShuttingDown { drained } => Ok(drained),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Polls [`query`](Self::query) until the job reaches a terminal
+    /// state, sleeping `interval` between polls.
+    ///
+    /// # Errors
+    ///
+    /// Propagates query failures; a `Failed` job comes back as
+    /// `Ok(JobState::Failed { .. })` for the caller to interpret.
+    pub fn wait_for(&mut self, job_id: u64, interval: Duration) -> Result<JobState, ClientError> {
+        loop {
+            match self.query(job_id)? {
+                JobState::Queued { .. } | JobState::Running => std::thread::sleep(interval),
+                terminal => return Ok(terminal),
+            }
+        }
+    }
+}

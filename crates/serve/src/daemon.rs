@@ -1,0 +1,770 @@
+//! The `ftcd` daemon: listener, connection handlers, session manager,
+//! admission control, and graceful shutdown.
+//!
+//! # Architecture
+//!
+//! One accept loop (its own thread) spawns a handler thread per
+//! connection; handlers decode one request frame at a time and answer
+//! with one response frame. Analyses never run on handler threads —
+//! admission control either enqueues the job on a fixed
+//! [`parkit::Pool`] of analysis workers or answers
+//! [`Response::Rejected`] with a retry hint, so a full daemon degrades
+//! to fast, explicit rejections instead of unbounded queues or hung
+//! sockets.
+//!
+//! # Session manager
+//!
+//! Traces are preprocessed once at submit time (the same code path as
+//! the offline CLI, see [`crate::prepare`]). Each `(trace, segmenter)`
+//! pair owns at most one warm [`AnalysisSession`], parked in the
+//! manager between jobs: a worker checks the session out, drives the
+//! remaining stages, and checks it back in, so repeated analyses of the
+//! same trace reuse every cached artifact. With `--cache-dir` the
+//! sessions share one [`ArtifactStore`], adding cross-restart
+//! warm starts and incremental matrix growth after
+//! [`Request::AppendMessages`].
+//!
+//! # Cancellation and deadlines
+//!
+//! Every job carries a [`CancelToken`]; cancelling a queued job frees
+//! its admission slot immediately, cancelling a running job trips the
+//! token and the session stops at the next stage boundary (artifacts
+//! computed so far stay cached — a later job resumes from them).
+//!
+//! # Shutdown
+//!
+//! [`Request::Shutdown`] stops admissions, lets the workers drain every
+//! queued and running job, then unblocks the accept loop;
+//! [`ServerHandle::wait`] returns and the binary exits 0. Connections
+//! stay serviced during the drain so clients can still poll reports.
+
+use crate::prepare::{build_segmenter, peak_rss_bytes, prepare_trace, PrepareOpts};
+use crate::proto::{JobState, Request, Response, ServerStats};
+use crate::wire::{read_frame, write_frame, WireError};
+use fieldclust::report::standard_report;
+use fieldclust::session::AnalysisSession;
+use fieldclust::{ArtifactStore, CancelToken, FieldTypeClusterer, PipelineError};
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use trace::Trace;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address. Loopback by default; port 0 binds an ephemeral
+    /// port (read it back from [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Analysis worker threads (jobs running concurrently).
+    pub workers: usize,
+    /// Admission capacity: maximum jobs queued *or* running. The
+    /// capacity-plus-first client gets [`Response::Rejected`] with a
+    /// retry hint.
+    pub queue_capacity: usize,
+    /// Threads for each analysis' parallel stages (`0` = auto). Never
+    /// affects results, only wall time.
+    pub threads: usize,
+    /// Persist stage artifacts under this directory and warm-start
+    /// from them.
+    pub cache_dir: Option<String>,
+    /// Test hook: stall each job this long before it starts its
+    /// stages, making queue states observable deterministically.
+    pub worker_delay_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 8,
+            threads: 0,
+            cache_dir: None,
+            worker_delay_ms: 0,
+        }
+    }
+}
+
+/// What a job is doing, daemon-side.
+enum JobPhase {
+    Queued,
+    Running,
+    Done(String),
+    Failed(String),
+    Cancelled,
+}
+
+struct JobRecord {
+    phase: JobPhase,
+    token: CancelToken,
+    /// Guards the admission slot against double release (a cancelled
+    /// queued job frees its slot immediately; the worker must not free
+    /// it again when it later skips the job).
+    slot_released: bool,
+}
+
+struct TraceEntry {
+    /// Raw messages as parsed (and possibly reassembled), before
+    /// preprocessing — appends extend this and re-run the preprocessor
+    /// over the concatenation, exactly like analyzing a merged capture
+    /// offline.
+    raw: Trace,
+    opts: PrepareOpts,
+    prepared: Trace,
+}
+
+/// A parked warm session plus a recency stamp for eviction.
+struct WarmSession {
+    session: AnalysisSession<'static>,
+    last_used: u64,
+}
+
+/// Everything behind the manager lock.
+struct Core {
+    traces: HashMap<u64, TraceEntry>,
+    sessions: HashMap<(u64, String), WarmSession>,
+    jobs: HashMap<u64, JobRecord>,
+    next_trace_id: u64,
+    next_job_id: u64,
+    use_counter: u64,
+}
+
+/// Warm sessions parked at once, across all traces. Beyond this the
+/// least recently used session is dropped (its artifacts survive in
+/// the shared store, so eviction costs a warm start, not a recompute).
+const MAX_WARM_SESSIONS: usize = 16;
+
+#[derive(Default)]
+struct Counters {
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    cancelled: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    job_wall_ns: AtomicU64,
+    job_count: AtomicU64,
+}
+
+struct Shared {
+    config: ServerConfig,
+    /// The resolved listen address (port 0 already bound).
+    addr: SocketAddr,
+    core: Mutex<Core>,
+    counters: Counters,
+    stage_wall: Mutex<Vec<(String, u64)>>,
+    /// Jobs queued or running — the admission-controlled resource.
+    outstanding: AtomicUsize,
+    accepting: AtomicBool,
+    shutdown_requested: AtomicBool,
+    store: Option<ArtifactStore>,
+    pool: parkit::Pool,
+}
+
+/// A running daemon. Dropping the handle without [`wait`](Self::wait)
+/// leaves the daemon serving (threads are detached from the handle).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Starts a daemon with `config`.
+///
+/// # Errors
+///
+/// The bind error if the listen address is unavailable, or the store
+/// error if the cache directory cannot be created.
+pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let store = match &config.cache_dir {
+        Some(dir) => Some(ArtifactStore::open(dir)?),
+        None => None,
+    };
+    let shared = Arc::new(Shared {
+        pool: parkit::Pool::new(config.workers.max(1)),
+        config,
+        addr,
+        core: Mutex::new(Core {
+            traces: HashMap::new(),
+            sessions: HashMap::new(),
+            jobs: HashMap::new(),
+            next_trace_id: 1,
+            next_job_id: 1,
+            use_counter: 0,
+        }),
+        counters: Counters::default(),
+        stage_wall: Mutex::new(Vec::new()),
+        outstanding: AtomicUsize::new(0),
+        accepting: AtomicBool::new(true),
+        shutdown_requested: AtomicBool::new(false),
+        store,
+    });
+    let accept_thread = std::thread::spawn(move || accept_loop(&listener, &shared));
+    Ok(ServerHandle {
+        addr,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+impl ServerHandle {
+    /// The bound listen address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until a [`Request::Shutdown`] has been served and every
+    /// in-flight job has drained.
+    pub fn wait(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown_requested.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let conn_shared = Arc::clone(shared);
+        std::thread::spawn(move || handle_connection(stream, &conn_shared));
+    }
+    // Drain: admissions are already closed; wait for the outstanding
+    // jobs to finish. Handlers keep answering (reports stay pollable).
+    while shared.outstanding.load(Ordering::Acquire) > 0 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let mut reader = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    loop {
+        let request = match read_frame(&mut reader) {
+            Ok((kind, payload)) => match Request::decode(kind, &payload) {
+                Ok(req) => req,
+                Err(e) => {
+                    // Structured decline; the framing itself was sound,
+                    // so the connection can continue.
+                    let resp = Response::Error {
+                        message: e.to_string(),
+                    };
+                    if write_frame(&mut writer, resp.kind(), &resp.encode()).is_err() {
+                        return;
+                    }
+                    continue;
+                }
+            },
+            Err(WireError::Closed) => return,
+            Err(_) => {
+                // Framing-level damage: the stream position is no
+                // longer trustworthy, drop the connection.
+                let _ = writer.flush();
+                return;
+            }
+        };
+        let is_shutdown = matches!(request, Request::Shutdown);
+        let response = serve_request(request, shared);
+        let written = write_frame(&mut writer, response.kind(), &response.encode());
+        if is_shutdown {
+            // Only unblock the accept loop (and thus process exit)
+            // after the ack frame is in the socket buffer — otherwise
+            // the process can die before the client sees the reply.
+            trigger_shutdown(shared);
+        }
+        if written.is_err() {
+            return;
+        }
+    }
+}
+
+fn serve_request(request: Request, shared: &Arc<Shared>) -> Response {
+    match request {
+        Request::SubmitTrace {
+            label,
+            pcap,
+            port,
+            max,
+            reassemble,
+        } => submit_trace(shared, label, &pcap, port, max, reassemble),
+        Request::AppendMessages { trace_id, pcap } => append_messages(shared, trace_id, &pcap),
+        Request::Analyze {
+            trace_id,
+            segmenter,
+            deadline_ms,
+        } => admit_job(shared, trace_id, segmenter, deadline_ms),
+        Request::QueryReport { job_id } => query_report(shared, job_id),
+        Request::CancelJob { job_id } => cancel_job(shared, job_id),
+        Request::Stats => Response::StatsReport(stats(shared)),
+        Request::Shutdown => shutdown(shared),
+    }
+}
+
+fn submit_trace(
+    shared: &Arc<Shared>,
+    label: String,
+    pcap: &[u8],
+    port: Option<u16>,
+    max: Option<u64>,
+    reassemble: bool,
+) -> Response {
+    if !shared.accepting.load(Ordering::Acquire) {
+        return Response::Rejected {
+            retry_after_ms: 0,
+            reason: "shutting down".to_string(),
+        };
+    }
+    let opts = PrepareOpts {
+        port,
+        max: max.map(|n| n as usize),
+        reassemble,
+    };
+    // Keep the raw (post-reassembly, pre-preprocessing) messages so
+    // appends can re-run the preprocessor over the concatenation.
+    let raw = match trace::pcapng::read_any(pcap, "capture") {
+        Ok(t) => t,
+        Err(e) => {
+            return Response::Error {
+                message: format!("parsing capture: {e}"),
+            }
+        }
+    };
+    let raw = if reassemble {
+        trace::reassembly::reassemble(&raw, &trace::reassembly::NbssFramer).0
+    } else {
+        raw
+    };
+    let (prepared, _) = match prepare_trace(pcap, &opts) {
+        Ok(t) => t,
+        Err(message) => return Response::Error { message },
+    };
+    let messages = prepared.len() as u64;
+    let mut core = shared.core.lock().expect("core lock");
+    let trace_id = core.next_trace_id;
+    core.next_trace_id += 1;
+    eprintln!("ftcd: trace {trace_id} ({label}): {messages} messages");
+    core.traces.insert(
+        trace_id,
+        TraceEntry {
+            raw,
+            opts,
+            prepared,
+        },
+    );
+    Response::TraceAccepted { trace_id, messages }
+}
+
+fn append_messages(shared: &Arc<Shared>, trace_id: u64, pcap: &[u8]) -> Response {
+    if !shared.accepting.load(Ordering::Acquire) {
+        return Response::Rejected {
+            retry_after_ms: 0,
+            reason: "shutting down".to_string(),
+        };
+    }
+    let addition = match trace::pcapng::read_any(pcap, "capture") {
+        Ok(t) => t,
+        Err(e) => {
+            return Response::Error {
+                message: format!("parsing capture: {e}"),
+            }
+        }
+    };
+    let mut core = shared.core.lock().expect("core lock");
+    let Some(entry) = core.traces.get_mut(&trace_id) else {
+        return Response::Error {
+            message: format!("unknown trace {trace_id}"),
+        };
+    };
+    let addition = if entry.opts.reassemble {
+        trace::reassembly::reassemble(&addition, &trace::reassembly::NbssFramer).0
+    } else {
+        addition
+    };
+    let mut messages: Vec<trace::Message> = entry.raw.messages().to_vec();
+    messages.extend(addition.messages().iter().cloned());
+    entry.raw = Trace::new(entry.raw.name(), messages);
+    let mut pre = trace::Preprocessor::new().deduplicate(true);
+    if let Some(p) = entry.opts.port {
+        pre = pre.filter_port(p);
+    }
+    if let Some(n) = entry.opts.max {
+        pre = pre.truncate(n);
+    }
+    entry.prepared = pre.apply(&entry.raw);
+    let messages = entry.prepared.len() as u64;
+    // The grown trace invalidates parked sessions for this trace id;
+    // the next analysis warm-starts from the shared store's prefix
+    // artifacts instead (incremental matrix growth).
+    core.sessions.retain(|(t, _), _| *t != trace_id);
+    Response::TraceAccepted { trace_id, messages }
+}
+
+/// Admission control: reserve a slot or reject with a backoff hint
+/// derived from observed job wall times and the current depth.
+fn admit_job(shared: &Arc<Shared>, trace_id: u64, segmenter: String, deadline_ms: u64) -> Response {
+    if !shared.accepting.load(Ordering::Acquire) {
+        shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+        return Response::Rejected {
+            retry_after_ms: 0,
+            reason: "shutting down".to_string(),
+        };
+    }
+    if let Err(message) = build_segmenter(&segmenter) {
+        return Response::Error { message };
+    }
+    {
+        let core = shared.core.lock().expect("core lock");
+        if !core.traces.contains_key(&trace_id) {
+            return Response::Error {
+                message: format!("unknown trace {trace_id}"),
+            };
+        }
+    }
+    let capacity = shared.config.queue_capacity.max(1);
+    // Reserve the slot atomically: never exceeds capacity.
+    let reserved = shared
+        .outstanding
+        .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+            (cur < capacity).then_some(cur + 1)
+        });
+    if reserved.is_err() {
+        shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+        return Response::Rejected {
+            retry_after_ms: retry_hint(shared),
+            reason: format!("admission queue full ({capacity} jobs outstanding)"),
+        };
+    }
+    let token = if deadline_ms > 0 {
+        CancelToken::with_deadline(Instant::now() + Duration::from_millis(deadline_ms))
+    } else {
+        CancelToken::new()
+    };
+    let job_id = {
+        let mut core = shared.core.lock().expect("core lock");
+        let job_id = core.next_job_id;
+        core.next_job_id += 1;
+        core.jobs.insert(
+            job_id,
+            JobRecord {
+                phase: JobPhase::Queued,
+                token: token.clone(),
+                slot_released: false,
+            },
+        );
+        job_id
+    };
+    shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+    let job_shared = Arc::clone(shared);
+    let submitted = shared
+        .pool
+        .execute(move || run_job(&job_shared, job_id, trace_id, &segmenter, &token));
+    if !submitted {
+        // Pool already shutting down (race with shutdown): undo.
+        finish_job(shared, job_id, JobPhase::Cancelled);
+        shared.counters.accepted.fetch_sub(1, Ordering::Relaxed);
+        shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+        return Response::Rejected {
+            retry_after_ms: 0,
+            reason: "shutting down".to_string(),
+        };
+    }
+    Response::JobAccepted { job_id }
+}
+
+/// Backoff hint: the mean observed job wall time scaled by the current
+/// depth over the worker count, floored at 100 ms.
+fn retry_hint(shared: &Arc<Shared>) -> u64 {
+    let count = shared.counters.job_count.load(Ordering::Relaxed);
+    let avg_ms = shared
+        .counters
+        .job_wall_ns
+        .load(Ordering::Relaxed)
+        .checked_div(count)
+        .map_or(500, |per_job_ns| per_job_ns / 1_000_000);
+    let depth = shared.outstanding.load(Ordering::Acquire) as u64;
+    let workers = shared.config.workers.max(1) as u64;
+    (avg_ms * depth.max(1)).div_ceil(workers).max(100)
+}
+
+/// Terminal transition: record the phase, free the admission slot
+/// exactly once, bump the outcome counter.
+fn finish_job(shared: &Arc<Shared>, job_id: u64, phase: JobPhase) {
+    let counter = match &phase {
+        JobPhase::Done(_) => &shared.counters.completed,
+        JobPhase::Failed(_) => &shared.counters.failed,
+        JobPhase::Cancelled => &shared.counters.cancelled,
+        JobPhase::Queued | JobPhase::Running => unreachable!("not a terminal phase"),
+    };
+    let mut core = shared.core.lock().expect("core lock");
+    let Some(job) = core.jobs.get_mut(&job_id) else {
+        return;
+    };
+    job.phase = phase;
+    let release = !job.slot_released;
+    job.slot_released = true;
+    drop(core);
+    if release {
+        shared.outstanding.fetch_sub(1, Ordering::AcqRel);
+    }
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The analysis worker body: check out (or create) the warm session,
+/// drive the stages under per-stage timing, render the canonical
+/// report, check the session back in.
+fn run_job(shared: &Arc<Shared>, job_id: u64, trace_id: u64, segmenter: &str, token: &CancelToken) {
+    if shared.config.worker_delay_ms > 0 {
+        std::thread::sleep(Duration::from_millis(shared.config.worker_delay_ms));
+    }
+    let started = Instant::now();
+    let session_key = (trace_id, segmenter.to_string());
+    // Queued → Running, unless the job was cancelled while queued (its
+    // slot is already free then — nothing more to do).
+    {
+        let mut core = shared.core.lock().expect("core lock");
+        match core.jobs.get_mut(&job_id) {
+            Some(job) if matches!(job.phase, JobPhase::Queued) => {
+                if job.token.is_cancelled() {
+                    drop(core);
+                    finish_job(shared, job_id, JobPhase::Cancelled);
+                    return;
+                }
+                job.phase = JobPhase::Running;
+            }
+            _ => return,
+        }
+    }
+    // Check out the warm session, or build a fresh one on the shared
+    // store.
+    let mut session = {
+        let mut core = shared.core.lock().expect("core lock");
+        match core.sessions.remove(&session_key) {
+            Some(warm) => warm.session,
+            None => {
+                let Some(entry) = core.traces.get(&trace_id) else {
+                    drop(core);
+                    finish_job(
+                        shared,
+                        job_id,
+                        JobPhase::Failed(format!("unknown trace {trace_id}")),
+                    );
+                    return;
+                };
+                let mut config = FieldTypeClusterer::default();
+                if shared.config.threads > 0 {
+                    config.threads = shared.config.threads;
+                }
+                let mut s = AnalysisSession::from_owned(entry.prepared.clone(), config);
+                if let Some(store) = &shared.store {
+                    s.set_store(store.clone());
+                }
+                s
+            }
+        }
+    };
+    session.set_cancel_token(token.clone());
+    let phase = drive_stages(shared, &mut session, segmenter);
+    // Check the session back in whatever happened: cached artifacts
+    // make the retry (or the next job) cheap.
+    {
+        let mut core = shared.core.lock().expect("core lock");
+        core.use_counter += 1;
+        let stamp = core.use_counter;
+        core.sessions.insert(
+            session_key,
+            WarmSession {
+                session,
+                last_used: stamp,
+            },
+        );
+        if core.sessions.len() > MAX_WARM_SESSIONS {
+            if let Some(oldest) = core
+                .sessions
+                .iter()
+                .min_by_key(|(_, w)| w.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                core.sessions.remove(&oldest);
+            }
+        }
+    }
+    finish_job(shared, job_id, phase);
+    shared
+        .counters
+        .job_wall_ns
+        .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    shared.counters.job_count.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Runs each pipeline stage under its own wall-time bucket, then the
+/// shared canonical report (which re-uses every staged artifact).
+/// Returns the job's terminal phase.
+fn drive_stages(
+    shared: &Arc<Shared>,
+    session: &mut AnalysisSession<'static>,
+    segmenter: &str,
+) -> JobPhase {
+    let timed = |name: &str, elapsed: Duration| {
+        let mut wall = shared.stage_wall.lock().expect("stage wall lock");
+        let ns = elapsed.as_nanos() as u64;
+        match wall.iter_mut().find(|(s, _)| s == name) {
+            Some((_, total)) => *total += ns,
+            None => wall.push((name.to_string(), ns)),
+        }
+    };
+    let phase_of = |e: PipelineError| match e {
+        PipelineError::Cancelled => JobPhase::Cancelled,
+        other => JobPhase::Failed(other.to_string()),
+    };
+    if session.segmentation().is_none() {
+        let seg = match build_segmenter(segmenter) {
+            Ok(s) => s,
+            Err(message) => return JobPhase::Failed(message),
+        };
+        let t = Instant::now();
+        if let Err(e) = session.segment_with(seg.as_ref()) {
+            return JobPhase::Failed(format!("segmentation failed: {e}"));
+        }
+        timed("segment", t.elapsed());
+    }
+    // Cancellation is polled at each of these stage boundaries.
+    let t = Instant::now();
+    if let Err(e) = session.store().map(|_| ()) {
+        return phase_of(e);
+    }
+    timed("dedup", t.elapsed());
+    let t = Instant::now();
+    if let Err(e) = session.matrix().map(|_| ()) {
+        return phase_of(e);
+    }
+    timed("matrix", t.elapsed());
+    let t = Instant::now();
+    if let Err(e) = session.autoconf().map(|_| ()) {
+        return phase_of(e);
+    }
+    timed("autoconf", t.elapsed());
+    let t = Instant::now();
+    if let Err(e) = session.refine().map(|_| ()) {
+        return phase_of(e);
+    }
+    timed("cluster", t.elapsed());
+    let t = Instant::now();
+    // The trace is cloned out so the report borrows don't fight the
+    // session's `&mut` receiver methods.
+    let trace = session.trace().clone();
+    match standard_report(&trace, session) {
+        Ok(report) => {
+            timed("report", t.elapsed());
+            JobPhase::Done(report)
+        }
+        Err(e) => phase_of(e),
+    }
+}
+
+fn query_report(shared: &Arc<Shared>, job_id: u64) -> Response {
+    let core = shared.core.lock().expect("core lock");
+    let Some(job) = core.jobs.get(&job_id) else {
+        return Response::Error {
+            message: format!("unknown job {job_id}"),
+        };
+    };
+    let state = match &job.phase {
+        JobPhase::Queued => JobState::Queued {
+            position: core
+                .jobs
+                .iter()
+                .filter(|(id, j)| **id < job_id && matches!(j.phase, JobPhase::Queued))
+                .count() as u64,
+        },
+        JobPhase::Running => JobState::Running,
+        JobPhase::Done(report) => JobState::Done {
+            report: report.clone().into_bytes(),
+        },
+        JobPhase::Failed(message) => JobState::Failed {
+            message: message.clone(),
+        },
+        JobPhase::Cancelled => JobState::Cancelled,
+    };
+    Response::JobStatus { job_id, state }
+}
+
+fn cancel_job(shared: &Arc<Shared>, job_id: u64) -> Response {
+    let freed_queued = {
+        let mut core = shared.core.lock().expect("core lock");
+        let Some(job) = core.jobs.get_mut(&job_id) else {
+            return Response::Error {
+                message: format!("unknown job {job_id}"),
+            };
+        };
+        job.token.cancel();
+        match job.phase {
+            JobPhase::Queued => {
+                // Free the slot now — the worker will observe the
+                // tripped token and skip; admission can refill
+                // immediately.
+                job.phase = JobPhase::Cancelled;
+                let release = !job.slot_released;
+                job.slot_released = true;
+                release
+            }
+            // Running jobs release their slot when the worker observes
+            // the token at the next stage boundary.
+            _ => false,
+        }
+    };
+    if freed_queued {
+        shared.outstanding.fetch_sub(1, Ordering::AcqRel);
+        shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+    query_report(shared, job_id)
+}
+
+fn stats(shared: &Arc<Shared>) -> ServerStats {
+    let (traces, warm_sessions) = {
+        let core = shared.core.lock().expect("core lock");
+        (core.traces.len() as u64, core.sessions.len() as u64)
+    };
+    let (cache_hits, cache_misses, cache_writes) = match &shared.store {
+        Some(store) => {
+            let s = store.stats();
+            (s.hits, s.misses, s.writes)
+        }
+        None => (0, 0, 0),
+    };
+    ServerStats {
+        jobs_accepted: shared.counters.accepted.load(Ordering::Relaxed),
+        jobs_rejected: shared.counters.rejected.load(Ordering::Relaxed),
+        jobs_cancelled: shared.counters.cancelled.load(Ordering::Relaxed),
+        jobs_completed: shared.counters.completed.load(Ordering::Relaxed),
+        jobs_failed: shared.counters.failed.load(Ordering::Relaxed),
+        queue_depth: shared.outstanding.load(Ordering::Acquire) as u64,
+        traces,
+        warm_sessions,
+        cache_hits,
+        cache_misses,
+        cache_writes,
+        peak_rss_bytes: peak_rss_bytes(),
+        stage_wall_ns: shared.stage_wall.lock().expect("stage wall lock").clone(),
+    }
+}
+
+fn shutdown(shared: &Arc<Shared>) -> Response {
+    shared.accepting.store(false, Ordering::Release);
+    let drained = shared.outstanding.load(Ordering::Acquire) as u64;
+    Response::ShuttingDown { drained }
+}
+
+/// Second half of shutdown, run after the ack frame has been written:
+/// flag the accept loop and unblock it with a self-connection; it
+/// stops accepting and waits for the drain.
+fn trigger_shutdown(shared: &Arc<Shared>) {
+    shared.shutdown_requested.store(true, Ordering::Release);
+    let _ = TcpStream::connect(shared.addr);
+}

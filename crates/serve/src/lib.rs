@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+//! `ftcd`: a long-running analysis daemon for the field type clustering
+//! pipeline, plus the client it is spoken to with.
+//!
+//! The offline CLI pays the full pipeline cost per invocation; the
+//! daemon amortizes it. It keeps preprocessed traces and warm
+//! [`AnalysisSession`](fieldclust::AnalysisSession)s in memory, shares
+//! one artifact store across jobs, and serves a small framed binary
+//! protocol over loopback TCP:
+//!
+//! * [`wire`] — the frame: `FTCW | version | kind | len | payload |
+//!   fnv64`, reusing the store's codec and checksum conventions.
+//! * [`proto`] — the request/response vocabulary: `SubmitTrace`,
+//!   `AppendMessages`, `Analyze`, `QueryReport`, `CancelJob`, `Stats`,
+//!   `Shutdown`.
+//! * [`prepare`] — the single trace-loading path shared with the
+//!   offline CLI, which is what makes daemon reports **byte-identical**
+//!   to `fieldclust analyze --report` on the same capture.
+//! * [`daemon`] — listener, session manager, bounded admission queue
+//!   with reject-and-retry backpressure, per-job deadlines and
+//!   cooperative cancellation, graceful draining shutdown.
+//! * [`client`] — a blocking typed client.
+//!
+//! See DESIGN.md §"Serving" for the protocol layout, the session
+//! manager's lifecycle, and the backpressure semantics.
+
+pub mod client;
+pub mod daemon;
+pub mod prepare;
+pub mod proto;
+pub mod wire;
+
+pub use client::{Client, ClientError};
+pub use daemon::{start, ServerConfig, ServerHandle};
+pub use prepare::{build_segmenter, peak_rss_bytes, prepare_trace, PrepareOpts};
+pub use proto::{JobState, Request, Response, ServerStats};
+pub use wire::{WireError, MAX_FRAME, WIRE_VERSION};

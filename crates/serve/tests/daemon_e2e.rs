@@ -1,0 +1,279 @@
+//! End-to-end daemon tests over real loopback sockets: byte-identical
+//! reports for concurrent clients against the offline pipeline,
+//! admission control under load, cancellation freeing its queue slot,
+//! and a draining shutdown.
+
+use fieldclust::report::standard_report;
+use fieldclust::{AnalysisSession, FieldTypeClusterer};
+use protocols::{corpus, Protocol};
+use serve::daemon::{start, ServerConfig};
+use serve::{build_segmenter, prepare_trace, Client, ClientError, JobState, PrepareOpts};
+use std::time::Duration;
+use trace::pcap;
+
+fn capture_bytes(protocol: Protocol, n: usize, seed: u64) -> Vec<u8> {
+    pcap::write_to_vec(&corpus::build_trace(protocol, n, seed)).expect("write capture")
+}
+
+/// The offline reference: what `fieldclust analyze --report` renders for
+/// these capture bytes, via the exact shared code path (prepare →
+/// segment → stages → canonical report).
+fn offline_report(pcap: &[u8], segmenter: &str) -> String {
+    let (trace, _) = prepare_trace(pcap, &PrepareOpts::default()).expect("prepare offline");
+    let mut session = AnalysisSession::from_owned(trace, FieldTypeClusterer::default());
+    let seg = build_segmenter(segmenter).expect("segmenter");
+    session
+        .segment_with(seg.as_ref())
+        .expect("offline segmentation");
+    let trace = session.trace().clone();
+    standard_report(&trace, &mut session).expect("offline report")
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ftcd-e2e-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn concurrent_clients_get_byte_identical_reports() {
+    let cache = temp_dir("identical");
+    let handle = start(ServerConfig {
+        workers: 2,
+        queue_capacity: 8,
+        cache_dir: Some(cache.to_string_lossy().into_owned()),
+        ..ServerConfig::default()
+    })
+    .expect("start daemon");
+    let addr = handle.addr().to_string();
+
+    let cases = [
+        (Protocol::Ntp, 16usize, 11u64),
+        (Protocol::Dns, 16, 22),
+        (Protocol::Dhcp, 12, 33),
+        (Protocol::Nbns, 16, 44),
+    ];
+    std::thread::scope(|scope| {
+        for (protocol, n, seed) in cases {
+            let addr = addr.clone();
+            scope.spawn(move || {
+                let bytes = capture_bytes(protocol, n, seed);
+                let expected = offline_report(&bytes, "nemesys");
+                let mut client = Client::connect(&addr).expect("connect");
+                let (trace_id, messages) = client
+                    .submit_trace(&format!("{protocol:?}"), bytes.clone(), None, None, false)
+                    .expect("submit");
+                assert!(messages > 0);
+                let job = client.analyze(trace_id, "nemesys", 0).expect("analyze");
+                let state = client
+                    .wait_for(job, Duration::from_millis(20))
+                    .expect("wait");
+                let JobState::Done { report } = state else {
+                    panic!("{protocol:?}: expected Done, got {state:?}");
+                };
+                assert_eq!(
+                    String::from_utf8(report).expect("utf8 report"),
+                    expected,
+                    "{protocol:?}: daemon report must be byte-identical to offline"
+                );
+                // A second analysis of the same trace reuses the warm
+                // session and must render the same bytes again.
+                let job = client.analyze(trace_id, "nemesys", 0).expect("re-analyze");
+                let JobState::Done { report } = client
+                    .wait_for(job, Duration::from_millis(20))
+                    .expect("wait again")
+                else {
+                    panic!("{protocol:?}: re-analysis must finish");
+                };
+                assert_eq!(String::from_utf8(report).unwrap(), expected);
+            });
+        }
+    });
+
+    let mut client = Client::connect(&addr).expect("connect for stats");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.jobs_accepted, 8, "4 clients × 2 analyses each");
+    assert_eq!(stats.jobs_rejected, 0);
+    assert_eq!(stats.jobs_completed, 8);
+    assert_eq!(stats.jobs_failed, 0);
+    assert_eq!(stats.queue_depth, 0, "all slots released");
+    assert_eq!(stats.traces, 4);
+    assert!(stats.warm_sessions >= 1, "sessions parked for reuse");
+    assert!(stats.cache_writes > 0, "artifacts persisted to --cache-dir");
+    assert!(stats.peak_rss_bytes > 0);
+    let stages: Vec<&str> = stats
+        .stage_wall_ns
+        .iter()
+        .map(|(s, _)| s.as_str())
+        .collect();
+    for stage in ["segment", "matrix", "autoconf", "cluster", "report"] {
+        assert!(stages.contains(&stage), "stage {stage} must be timed");
+    }
+
+    client.shutdown().expect("shutdown");
+    handle.wait();
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+#[test]
+fn full_queue_rejects_with_retry_hint() {
+    let handle = start(ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        worker_delay_ms: 600,
+        ..ServerConfig::default()
+    })
+    .expect("start daemon");
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+    let bytes = capture_bytes(Protocol::Ntp, 12, 7);
+    let (trace_id, _) = client
+        .submit_trace("ntp", bytes, None, None, false)
+        .expect("submit");
+
+    // Slot 1 of 1: accepted. The worker stalls on worker_delay_ms, so
+    // the slot is deterministically still held for the second request.
+    let first = client.analyze(trace_id, "nemesys", 0).expect("first job");
+    match client.analyze(trace_id, "nemesys", 0) {
+        Err(ClientError::Rejected {
+            retry_after_ms,
+            reason,
+        }) => {
+            assert!(retry_after_ms >= 100, "retry hint has a floor");
+            assert!(reason.contains("queue full"), "reason: {reason}");
+        }
+        other => panic!("capacity-plus-first client must be rejected, got {other:?}"),
+    }
+
+    // Once the first job drains, the slot is free again.
+    let state = client
+        .wait_for(first, Duration::from_millis(25))
+        .expect("wait");
+    assert!(matches!(state, JobState::Done { .. }), "got {state:?}");
+    let second = client.analyze(trace_id, "nemesys", 0).expect("after drain");
+    client
+        .wait_for(second, Duration::from_millis(25))
+        .expect("second drains");
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.jobs_accepted, 2);
+    assert_eq!(stats.jobs_rejected, 1);
+    assert_eq!(stats.queue_depth, 0);
+
+    client.shutdown().expect("shutdown");
+    handle.wait();
+}
+
+#[test]
+fn cancelling_a_queued_job_frees_its_slot() {
+    let handle = start(ServerConfig {
+        workers: 1,
+        queue_capacity: 2,
+        worker_delay_ms: 600,
+        ..ServerConfig::default()
+    })
+    .expect("start daemon");
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+    let bytes = capture_bytes(Protocol::Dns, 12, 5);
+    let (trace_id, _) = client
+        .submit_trace("dns", bytes, None, None, false)
+        .expect("submit");
+
+    // Job 1 occupies the single worker (stalled); job 2 fills the queue.
+    let running = client.analyze(trace_id, "nemesys", 0).expect("job 1");
+    let queued = client.analyze(trace_id, "nemesys", 0).expect("job 2");
+    assert!(matches!(
+        client.analyze(trace_id, "nemesys", 0),
+        Err(ClientError::Rejected { .. })
+    ));
+
+    // Cancelling the queued job frees its slot immediately…
+    let state = client.cancel(queued).expect("cancel");
+    assert_eq!(state, JobState::Cancelled);
+    // …so a new job is admitted without waiting for the worker.
+    let refill = client.analyze(trace_id, "nemesys", 0).expect("refill");
+
+    for job in [running, refill] {
+        let state = client
+            .wait_for(job, Duration::from_millis(25))
+            .expect("wait");
+        assert!(matches!(state, JobState::Done { .. }), "got {state:?}");
+    }
+    assert_eq!(client.query(queued).expect("query"), JobState::Cancelled);
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.jobs_cancelled, 1);
+    assert_eq!(stats.jobs_accepted, 3);
+    assert_eq!(stats.jobs_rejected, 1);
+    assert_eq!(stats.queue_depth, 0);
+
+    client.shutdown().expect("shutdown");
+    handle.wait();
+}
+
+#[test]
+fn shutdown_drains_in_flight_jobs() {
+    let handle = start(ServerConfig {
+        workers: 1,
+        queue_capacity: 4,
+        worker_delay_ms: 400,
+        ..ServerConfig::default()
+    })
+    .expect("start daemon");
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+    let bytes = capture_bytes(Protocol::Ntp, 12, 9);
+    let (trace_id, _) = client
+        .submit_trace("ntp", bytes, None, None, false)
+        .expect("submit");
+    let job = client.analyze(trace_id, "nemesys", 0).expect("job");
+
+    // Shutdown arrives on a second connection while the job stalls.
+    let mut second = Client::connect(&addr).expect("second connection");
+    let drained = second.shutdown().expect("shutdown");
+    assert_eq!(drained, 1, "one in-flight job to drain");
+
+    // New work is refused during the drain…
+    assert!(matches!(
+        second.analyze(trace_id, "nemesys", 0),
+        Err(ClientError::Rejected { .. })
+    ));
+    // …but the first connection still polls its report to completion.
+    let state = client
+        .wait_for(job, Duration::from_millis(25))
+        .expect("wait");
+    assert!(matches!(state, JobState::Done { .. }), "got {state:?}");
+
+    // And the daemon exits once drained.
+    handle.wait();
+}
+
+#[test]
+fn deadline_cancels_a_job_cooperatively() {
+    let handle = start(ServerConfig {
+        workers: 1,
+        queue_capacity: 2,
+        worker_delay_ms: 50,
+        ..ServerConfig::default()
+    })
+    .expect("start daemon");
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+    let bytes = capture_bytes(Protocol::Ntp, 16, 3);
+    let (trace_id, _) = client
+        .submit_trace("ntp", bytes, None, None, false)
+        .expect("submit");
+    // A 1 ms deadline expires during the worker stall; the first stage
+    // boundary observes it and the job lands in Cancelled.
+    let job = client.analyze(trace_id, "nemesys", 1).expect("job");
+    let state = client
+        .wait_for(job, Duration::from_millis(20))
+        .expect("wait");
+    assert_eq!(state, JobState::Cancelled);
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.jobs_cancelled, 1);
+    assert_eq!(stats.queue_depth, 0, "deadline cancel frees the slot");
+    client.shutdown().expect("shutdown");
+    handle.wait();
+}

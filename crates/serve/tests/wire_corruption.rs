@@ -1,0 +1,204 @@
+//! Round-trip and corruption properties of the `ftcd` wire protocol,
+//! mirroring the store's `store_corruption.rs`: a valid frame decodes
+//! back bit-identically, and *every* damaged variant — any single byte
+//! flipped, any truncation, trailing garbage — is rejected with a
+//! structured [`WireError`], never a panic and never a wrong decode.
+
+use proptest::prelude::*;
+use serve::proto::{JobState, Request, Response, ServerStats};
+use serve::wire::{decode_frame, encode_frame, read_frame, WireError, HEADER_LEN};
+
+/// Flips every single byte of `frame` (all eight bit positions at once
+/// via XOR with a walking mask) and asserts each mutant is rejected.
+/// A flip can never be accepted: magic/version/kind/length flips break
+/// the header checks or the checksum, payload flips break the checksum,
+/// and checksum flips mismatch the recomputation.
+fn assert_every_byte_flip_rejected(frame: &[u8], tag: &str) {
+    for i in 0..frame.len() {
+        for mask in [0x01u8, 0x80, 0xFF] {
+            let mut bad = frame.to_vec();
+            bad[i] ^= mask;
+            let err = decode_frame(&bad).expect_err(&format!(
+                "{tag}: flipping byte {i} with {mask:#04x} must be rejected"
+            ));
+            // Structured, not just "some" error: every rejection is one
+            // of the framing variants, never Closed/Io (those are
+            // stream-level) and never a Malformed (the frame itself is
+            // damaged before its payload is ever interpreted).
+            assert!(
+                matches!(
+                    err,
+                    WireError::BadMagic
+                        | WireError::BadVersion { .. }
+                        | WireError::TooLarge { .. }
+                        | WireError::Truncated
+                        | WireError::BadChecksum
+                ),
+                "{tag}: byte {i} mask {mask:#04x} gave unexpected {err:?}"
+            );
+        }
+    }
+}
+
+/// Asserts every strict prefix of `frame` is rejected as truncated (or,
+/// for the degenerate empty stream through `read_frame`, as closed).
+fn assert_every_truncation_rejected(frame: &[u8], tag: &str) {
+    for cut in 0..frame.len() {
+        let bad = &frame[..cut];
+        assert_eq!(
+            decode_frame(bad),
+            Err(WireError::Truncated),
+            "{tag}: truncation to {cut} bytes must be Truncated"
+        );
+        let mut cursor = std::io::Cursor::new(bad.to_vec());
+        let expected = if cut == 0 {
+            WireError::Closed
+        } else {
+            WireError::Truncated
+        };
+        assert_eq!(
+            read_frame(&mut cursor),
+            Err(expected),
+            "{tag}: streamed truncation to {cut} bytes"
+        );
+    }
+}
+
+#[test]
+fn every_byte_flip_and_truncation_of_request_frames_rejected() {
+    let requests = vec![
+        Request::SubmitTrace {
+            label: "smb capture".into(),
+            pcap: (0u16..200).map(|i| (i % 251) as u8).collect(),
+            port: Some(445),
+            max: Some(1000),
+            reassemble: true,
+        },
+        Request::AppendMessages {
+            trace_id: 3,
+            pcap: vec![0xd4, 0xc3, 0xb2, 0xa1],
+        },
+        Request::Analyze {
+            trace_id: 3,
+            segmenter: "nemesys".into(),
+            deadline_ms: 2500,
+        },
+        Request::Stats,
+    ];
+    for request in requests {
+        let frame = encode_frame(request.kind(), &request.encode());
+        let tag = format!("request kind {:#04x}", request.kind());
+        // The intact frame round-trips first.
+        let (kind, payload) = decode_frame(&frame).expect("intact frame decodes");
+        assert_eq!(Request::decode(kind, payload).unwrap(), request);
+        assert_every_byte_flip_rejected(&frame, &tag);
+        assert_every_truncation_rejected(&frame, &tag);
+    }
+}
+
+#[test]
+fn every_byte_flip_and_truncation_of_response_frames_rejected() {
+    let responses = vec![
+        Response::JobStatus {
+            job_id: 9,
+            state: JobState::Done {
+                report: b"# Field type report\n\ncluster 0: uint\n".to_vec(),
+            },
+        },
+        Response::Rejected {
+            retry_after_ms: 350,
+            reason: "queue full (8 outstanding)".into(),
+        },
+        Response::StatsReport(ServerStats {
+            jobs_accepted: 4,
+            queue_depth: 1,
+            stage_wall_ns: vec![("matrix".into(), 7_000_000), ("cluster".into(), 9)],
+            ..ServerStats::default()
+        }),
+    ];
+    for response in responses {
+        let frame = encode_frame(response.kind(), &response.encode());
+        let tag = format!("response kind {:#04x}", response.kind());
+        let (kind, payload) = decode_frame(&frame).expect("intact frame decodes");
+        assert_eq!(Response::decode(kind, payload).unwrap(), response);
+        assert_every_byte_flip_rejected(&frame, &tag);
+        assert_every_truncation_rejected(&frame, &tag);
+    }
+}
+
+#[test]
+fn trailing_garbage_is_rejected() {
+    let mut frame = encode_frame(0x06, &[]);
+    frame.push(0);
+    assert_eq!(decode_frame(&frame), Err(WireError::BadChecksum));
+}
+
+proptest! {
+    /// Any payload under any kind tag frames and decodes back
+    /// bit-identically, pure and streamed.
+    #[test]
+    fn arbitrary_payload_roundtrips(
+        kind in any::<u8>(),
+        payload in prop::collection::vec(any::<u8>(), 0..600),
+    ) {
+        let frame = encode_frame(kind, &payload);
+        prop_assert_eq!(frame.len(), HEADER_LEN + payload.len() + 8);
+        let (k, p) = decode_frame(&frame).expect("pure decode");
+        prop_assert_eq!(k, kind);
+        prop_assert_eq!(p, &payload[..]);
+        let mut cursor = std::io::Cursor::new(frame);
+        let (k, p) = read_frame(&mut cursor).expect("streamed decode");
+        prop_assert_eq!(k, kind);
+        prop_assert_eq!(p, payload);
+    }
+
+    /// Several frames written back-to-back on one stream read out in
+    /// order — the framing is self-delimiting.
+    #[test]
+    fn frames_are_self_delimiting(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..80), 1..6),
+    ) {
+        let mut stream = Vec::new();
+        for (i, p) in payloads.iter().enumerate() {
+            stream.extend_from_slice(&encode_frame(i as u8, p));
+        }
+        let mut cursor = std::io::Cursor::new(stream);
+        for (i, p) in payloads.iter().enumerate() {
+            let (k, got) = read_frame(&mut cursor).expect("frame in sequence");
+            prop_assert_eq!(k, i as u8);
+            prop_assert_eq!(&got, p);
+        }
+        prop_assert_eq!(read_frame(&mut cursor), Err(WireError::Closed));
+    }
+
+    /// Random request payload mutations never decode into a *different*
+    /// valid request: either the decode fails with a structured error,
+    /// or the mutation was payload-preserving (it hit padding-free
+    /// encodings exactly, which cannot happen — so any Ok must equal
+    /// the original).
+    #[test]
+    fn mutated_request_payloads_never_misdecode(
+        job_id in any::<u64>(),
+        idx in 0usize..9,
+        mask in 1u8..=255,
+    ) {
+        let request = Request::QueryReport { job_id };
+        let mut payload = request.encode();
+        prop_assert_eq!(payload.len(), 8);
+        if idx < payload.len() {
+            payload[idx] ^= mask;
+            match Request::decode(0x04, &payload) {
+                Ok(Request::QueryReport { job_id: other }) => prop_assert_ne!(other, job_id),
+                Ok(other) => prop_assert!(false, "kind 0x04 decoded as {other:?}"),
+                Err(e) => prop_assert_eq!(e, WireError::Malformed { kind: 0x04 }),
+            }
+        } else {
+            // Appending a byte instead: strict length check rejects.
+            payload.push(mask);
+            prop_assert_eq!(
+                Request::decode(0x04, &payload),
+                Err(WireError::Malformed { kind: 0x04 })
+            );
+        }
+    }
+}

@@ -82,6 +82,67 @@ pub struct StoreBudget {
     pub max_bytes: u64,
 }
 
+/// Advisory cross-process lock on one manifest file, held for the
+/// duration of a read-modify-write.
+///
+/// Acquisition creates `<manifest>.lock` with `create_new` — atomic on
+/// every platform the store targets — and spins with a 1 ms sleep while
+/// someone else holds it. A lock file older than [`STALE_LOCK`] is
+/// presumed abandoned by a crashed process and broken: real holders
+/// keep it for microseconds (one manifest rewrite). Lock failures due
+/// to an unwritable directory degrade to lockless operation — the
+/// store's rule that a broken cache never fails a run extends to its
+/// locks.
+#[derive(Debug)]
+struct ManifestLock {
+    path: Option<PathBuf>,
+}
+
+/// Age after which a manifest lock file is presumed leaked by a dead
+/// process and taken over.
+const STALE_LOCK: std::time::Duration = std::time::Duration::from_secs(5);
+
+impl ManifestLock {
+    fn acquire(path: PathBuf) -> Self {
+        let deadline = std::time::Instant::now() + 2 * STALE_LOCK;
+        loop {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(_) => return Self { path: Some(path) },
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let stale = std::fs::metadata(&path)
+                        .and_then(|m| m.modified())
+                        .ok()
+                        .and_then(|t| t.elapsed().ok())
+                        .is_some_and(|age| age > STALE_LOCK);
+                    if stale || std::time::Instant::now() > deadline {
+                        // Breaking the lock races with other waiters
+                        // doing the same; the remove is idempotent and
+                        // the retry re-contends on create_new.
+                        let _ = std::fs::remove_file(&path);
+                    } else {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                }
+                // Unwritable cache directory: proceed unlocked rather
+                // than fail the run.
+                Err(_) => return Self { path: None },
+            }
+        }
+    }
+}
+
+impl Drop for ManifestLock {
+    fn drop(&mut self) {
+        if let Some(path) = &self.path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
 /// A content-addressed artifact cache rooted at one directory.
 ///
 /// Cloning is cheap and clones share the statistics counters, so a
@@ -253,14 +314,24 @@ impl ArtifactStore {
     /// dropped). Several keys may share one `u` — different item
     /// streams in the same parameter family; readers disambiguate by
     /// recomputing the expected key for their own stream.
+    ///
+    /// The read-modify-write holds the family's advisory lock, so
+    /// concurrent writers — the `ftcd` daemon and an offline CLI run
+    /// sharing one `--cache-dir`, or parallel jobs inside the daemon —
+    /// never lose each other's entries.
     pub fn manifest_add(&self, family: &Key, u: usize, key: &Key) {
-        let mut entries = self.manifest_entries(family);
-        if entries.iter().any(|&(eu, ek)| eu == u && ek == *key) {
-            return;
+        {
+            let _lock = ManifestLock::acquire(self.manifest_lock_path(family));
+            let mut entries = self.manifest_entries(family);
+            if entries.iter().any(|&(eu, ek)| eu == u && ek == *key) {
+                return;
+            }
+            entries.push((u, *key));
+            entries.sort_by_key(|&(u, _)| u);
+            self.write_manifest(family, &entries);
         }
-        entries.push((u, *key));
-        entries.sort_by_key(|&(u, _)| u);
-        self.write_manifest(family, &entries);
+        // Budget enforcement takes per-family locks of its own; the
+        // current family's lock is released first so they never nest.
         self.enforce_budget();
     }
 
@@ -280,6 +351,10 @@ impl ArtifactStore {
 
     fn manifest_path(&self, family: &Key) -> PathBuf {
         self.root.join(self.file_name(Kind::MANIFEST, family))
+    }
+
+    fn manifest_lock_path(&self, family: &Key) -> PathBuf {
+        self.manifest_path(family).with_extension("lock")
     }
 
     /// All artifact file names (`*.bin`) in the cache directory.
@@ -373,7 +448,9 @@ impl ArtifactStore {
     }
 
     /// Drops every manifest entry pointing at `evicted`; empty manifests
-    /// are removed entirely.
+    /// are removed entirely. Each family's read-modify-write holds its
+    /// advisory lock so a concurrent [`manifest_add`](Self::manifest_add)
+    /// is never overwritten with stale entries.
     fn prune_manifest_references(&self, evicted: &Key) {
         let manifest_prefix = format!("{}-", Kind::MANIFEST.name());
         for name in self.artifact_files() {
@@ -386,6 +463,7 @@ impl ArtifactStore {
             let Some(family) = Key::from_hex(hex) else {
                 continue;
             };
+            let _lock = ManifestLock::acquire(self.manifest_lock_path(&family));
             let entries = self.manifest_entries(&family);
             let kept: Vec<(usize, Key)> = entries
                 .iter()

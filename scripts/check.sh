@@ -41,3 +41,25 @@ else
     ./target/release/tiledmem 2000 256 "$rss_budget"
 fi
 echo "rss smoke test: tiled build at u=2000 stayed under $rss_budget bytes"
+
+# Daemon smoke test: ftcd on an ephemeral port must serve a report
+# byte-identical to the offline CLI's, report sane stats, and exit 0
+# after a draining shutdown.
+cargo build --release -q -p serve --bin ftcd
+cargo run --release -q -p cli -- generate dns 80 "$tmp/daemon.pcap" --seed 21
+cargo run --release -q -p cli -- analyze "$tmp/daemon.pcap" --report "$tmp/offline.md"
+./target/release/ftcd --addr 127.0.0.1:0 --port-file "$tmp/port" &
+ftcd_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$tmp/port" ] && break
+    sleep 0.1
+done
+[ -s "$tmp/port" ] || { echo "ftcd never wrote its port file" >&2; exit 1; }
+addr="127.0.0.1:$(cat "$tmp/port")"
+cargo run --release -q -p cli -- submit "$tmp/daemon.pcap" --addr "$addr" --report "$tmp/daemon.md"
+cmp "$tmp/offline.md" "$tmp/daemon.md"
+cargo run --release -q -p cli -- stats --addr "$addr" | tee "$tmp/stats.out"
+grep -q 'accepted=1 rejected=0 cancelled=0 completed=1 failed=0 queued=0' "$tmp/stats.out"
+cargo run --release -q -p cli -- shutdown --addr "$addr"
+wait "$ftcd_pid"
+echo "daemon smoke test: ftcd report matched the offline CLI byte for byte and drained cleanly"
