@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! ftcd [--addr A] [--port-file F] [--workers N] [--queue N]
-//!      [--threads N] [--cache-dir D]
+//!      [--threads N] [--cache-dir D] [--job-history N]
 //! ```
 //!
 //! Binds loopback by default, prints the resolved address, serves until
@@ -15,14 +15,16 @@ ftcd — field type clustering analysis daemon
 
 USAGE:
   ftcd [--addr A] [--port-file F] [--workers N] [--queue N] [--threads N] [--cache-dir D]
+       [--job-history N]
 
 OPTIONS:
-  --addr A        listen address (default 127.0.0.1:4747; port 0 = ephemeral)
-  --port-file F   write the resolved TCP port to F once listening
-  --workers N     concurrent analysis jobs (default 2)
-  --queue N       admission capacity: max jobs queued or running (default 8)
-  --threads N     threads per analysis stage, 0 = auto (never affects results)
-  --cache-dir D   persist stage artifacts under D and warm-start from them
+  --addr A         listen address (default 127.0.0.1:4747; port 0 = ephemeral)
+  --port-file F    write the resolved TCP port to F once listening
+  --workers N      concurrent analysis jobs (default 2)
+  --queue N        admission capacity: max jobs queued or running (default 8)
+  --threads N      threads per analysis stage, 0 = auto (never affects results)
+  --cache-dir D    persist stage artifacts under D and warm-start from them
+  --job-history N  finished job records (and reports) kept queryable (default 256)
 
 EXIT CODES:
   0  clean shutdown    1  runtime failure    2  bad usage";
@@ -67,6 +69,11 @@ fn main() {
                     .unwrap_or_else(|_| fail_usage("--threads needs a number"))
             }
             "--cache-dir" => config.cache_dir = Some(value_for("--cache-dir")),
+            "--job-history" => {
+                config.job_history = value_for("--job-history")
+                    .parse()
+                    .unwrap_or_else(|_| fail_usage("--job-history needs a number"))
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;

@@ -19,10 +19,14 @@
 //! pair owns at most one warm [`AnalysisSession`], parked in the
 //! manager between jobs: a worker checks the session out, drives the
 //! remaining stages, and checks it back in, so repeated analyses of the
-//! same trace reuse every cached artifact. With `--cache-dir` the
-//! sessions share one [`ArtifactStore`], adding cross-restart
-//! warm starts and incremental matrix growth after
-//! [`Request::AppendMessages`].
+//! same trace reuse every cached artifact. Every trace carries a
+//! generation counter bumped by [`Request::AppendMessages`]; sessions
+//! record the generation they were built against, and a session whose
+//! trace grew while it ran is dropped at check-in instead of re-parked
+//! — no analysis ever reuses state from before an append. With
+//! `--cache-dir` the sessions share one [`ArtifactStore`], adding
+//! cross-restart warm starts and incremental matrix growth after
+//! appends.
 //!
 //! # Cancellation and deadlines
 //!
@@ -38,7 +42,7 @@
 //! [`ServerHandle::wait`] returns and the binary exits 0. Connections
 //! stay serviced during the drain so clients can still poll reports.
 
-use crate::prepare::{build_segmenter, peak_rss_bytes, prepare_trace, PrepareOpts};
+use crate::prepare::{build_segmenter, peak_rss_bytes, preprocess, PrepareOpts};
 use crate::proto::{JobState, Request, Response, ServerStats};
 use crate::wire::{read_frame, write_frame, WireError};
 use fieldclust::report::standard_report;
@@ -70,8 +74,14 @@ pub struct ServerConfig {
     /// Persist stage artifacts under this directory and warm-start
     /// from them.
     pub cache_dir: Option<String>,
-    /// Test hook: stall each job this long before it starts its
-    /// stages, making queue states observable deterministically.
+    /// Finished job records (and their reports) kept for
+    /// [`Request::QueryReport`]. Beyond this the oldest terminal
+    /// records are evicted, so reports expire — poll them out before
+    /// submitting this many further jobs. Bounds daemon memory.
+    pub job_history: usize,
+    /// Test hook: stall each job this long after it has checked out
+    /// its session but before it runs its stages, making queue and
+    /// session states observable deterministically.
     pub worker_delay_ms: u64,
 }
 
@@ -83,6 +93,7 @@ impl Default for ServerConfig {
             queue_capacity: 8,
             threads: 0,
             cache_dir: None,
+            job_history: 256,
             worker_delay_ms: 0,
         }
     }
@@ -114,11 +125,18 @@ struct TraceEntry {
     raw: Trace,
     opts: PrepareOpts,
     prepared: Trace,
+    /// Bumped by every append. A session (parked *or* checked out by a
+    /// running job) built against an older generation is stale: its
+    /// in-memory artifacts describe the pre-append trace, so it must
+    /// never serve a post-append analysis.
+    generation: u64,
 }
 
 /// A parked warm session plus a recency stamp for eviction.
 struct WarmSession {
     session: AnalysisSession<'static>,
+    /// The trace generation the session was built against.
+    generation: u64,
     last_used: u64,
 }
 
@@ -341,7 +359,10 @@ fn submit_trace(
     } else {
         raw
     };
-    let (prepared, _) = match prepare_trace(pcap, &opts) {
+    // Preprocess the already-parsed messages directly: same result as
+    // `prepare_trace` on the original bytes (it is its second half),
+    // without parsing and reassembling the capture a second time.
+    let prepared = match preprocess(&raw, &opts) {
         Ok(t) => t,
         Err(message) => return Response::Error { message },
     };
@@ -356,6 +377,7 @@ fn submit_trace(
             raw,
             opts,
             prepared,
+            generation: 0,
         },
     );
     Response::TraceAccepted { trace_id, messages }
@@ -389,18 +411,22 @@ fn append_messages(shared: &Arc<Shared>, trace_id: u64, pcap: &[u8]) -> Response
     };
     let mut messages: Vec<trace::Message> = entry.raw.messages().to_vec();
     messages.extend(addition.messages().iter().cloned());
-    entry.raw = Trace::new(entry.raw.name(), messages);
-    let mut pre = trace::Preprocessor::new().deduplicate(true);
-    if let Some(p) = entry.opts.port {
-        pre = pre.filter_port(p);
-    }
-    if let Some(n) = entry.opts.max {
-        pre = pre.truncate(n);
-    }
-    entry.prepared = pre.apply(&entry.raw);
+    let merged = Trace::new(entry.raw.name(), messages);
+    // Same guard as submit: an append that filters the trace to
+    // nothing is refused *before* the entry mutates, so later jobs
+    // never see an unanalyzable trace.
+    let prepared = match preprocess(&merged, &entry.opts) {
+        Ok(t) => t,
+        Err(message) => return Response::Error { message },
+    };
+    entry.raw = merged;
+    entry.prepared = prepared;
+    entry.generation += 1;
     let messages = entry.prepared.len() as u64;
-    // The grown trace invalidates parked sessions for this trace id;
-    // the next analysis warm-starts from the shared store's prefix
+    // The grown trace invalidates every session built before it:
+    // parked ones are dropped here, checked-out ones (a job running
+    // right now) are dropped at check-in by the generation bump above.
+    // The next analysis warm-starts from the shared store's prefix
     // artifacts instead (incremental matrix growth).
     core.sessions.retain(|(t, _), _| *t != trace_id);
     Response::TraceAccepted { trace_id, messages }
@@ -494,7 +520,8 @@ fn retry_hint(shared: &Arc<Shared>) -> u64 {
 }
 
 /// Terminal transition: record the phase, free the admission slot
-/// exactly once, bump the outcome counter.
+/// exactly once, bump the outcome counter, expire the oldest terminal
+/// records beyond the configured history.
 fn finish_job(shared: &Arc<Shared>, job_id: u64, phase: JobPhase) {
     let counter = match &phase {
         JobPhase::Done(_) => &shared.counters.completed,
@@ -506,28 +533,59 @@ fn finish_job(shared: &Arc<Shared>, job_id: u64, phase: JobPhase) {
     let Some(job) = core.jobs.get_mut(&job_id) else {
         return;
     };
-    job.phase = phase;
     let release = !job.slot_released;
     job.slot_released = true;
-    drop(core);
+    // Counters and the slot release happen before the terminal phase
+    // becomes visible (phase reads take this lock): a client that
+    // polls its job to `Done` and immediately asks for `Stats` must
+    // see the completion counted and the queue slot freed.
     if release {
         shared.outstanding.fetch_sub(1, Ordering::AcqRel);
     }
     counter.fetch_add(1, Ordering::Relaxed);
+    job.phase = phase;
+    prune_job_history(&mut core, shared.config.job_history);
+}
+
+/// Keeps at most `history` terminal job records (queued and running
+/// jobs are never touched), evicting oldest-first so the table — and
+/// the reports it retains — cannot grow without bound over a daemon's
+/// lifetime. [`query_report`] answers "unknown job" for expired ids.
+fn prune_job_history(core: &mut Core, history: usize) {
+    // Floor of one: the record being finished right now must survive
+    // long enough to be queried.
+    let history = history.max(1);
+    let mut terminal: Vec<u64> = core
+        .jobs
+        .iter()
+        .filter(|(_, j)| {
+            matches!(
+                j.phase,
+                JobPhase::Done(_) | JobPhase::Failed(_) | JobPhase::Cancelled
+            )
+        })
+        .map(|(id, _)| *id)
+        .collect();
+    if terminal.len() <= history {
+        return;
+    }
+    terminal.sort_unstable();
+    for id in &terminal[..terminal.len() - history] {
+        core.jobs.remove(id);
+    }
 }
 
 /// The analysis worker body: check out (or create) the warm session,
 /// drive the stages under per-stage timing, render the canonical
 /// report, check the session back in.
 fn run_job(shared: &Arc<Shared>, job_id: u64, trace_id: u64, segmenter: &str, token: &CancelToken) {
-    if shared.config.worker_delay_ms > 0 {
-        std::thread::sleep(Duration::from_millis(shared.config.worker_delay_ms));
-    }
     let started = Instant::now();
     let session_key = (trace_id, segmenter.to_string());
-    // Queued → Running, unless the job was cancelled while queued (its
-    // slot is already free then — nothing more to do).
-    {
+    // One critical section: Queued → Running (unless the job was
+    // cancelled while queued — its slot is already free then) and the
+    // session checkout, so a job observed `Running` has definitely
+    // captured its trace snapshot and generation.
+    let (mut session, generation) = {
         let mut core = shared.core.lock().expect("core lock");
         match core.jobs.get_mut(&job_id) {
             Some(job) if matches!(job.phase, JobPhase::Queued) => {
@@ -540,23 +598,23 @@ fn run_job(shared: &Arc<Shared>, job_id: u64, trace_id: u64, segmenter: &str, to
             }
             _ => return,
         }
-    }
-    // Check out the warm session, or build a fresh one on the shared
-    // store.
-    let mut session = {
-        let mut core = shared.core.lock().expect("core lock");
-        match core.sessions.remove(&session_key) {
-            Some(warm) => warm.session,
-            None => {
-                let Some(entry) = core.traces.get(&trace_id) else {
-                    drop(core);
-                    finish_job(
-                        shared,
-                        job_id,
-                        JobPhase::Failed(format!("unknown trace {trace_id}")),
-                    );
-                    return;
-                };
+        let checked_out = core.sessions.remove(&session_key);
+        let Some(entry) = core.traces.get(&trace_id) else {
+            drop(core);
+            finish_job(
+                shared,
+                job_id,
+                JobPhase::Failed(format!("unknown trace {trace_id}")),
+            );
+            return;
+        };
+        let generation = entry.generation;
+        // A parked session predating the trace's generation is stale
+        // (append_messages drops those, so this is belt-and-braces);
+        // otherwise warm-start a fresh one on the shared store.
+        let session = match checked_out {
+            Some(warm) if warm.generation == generation => warm.session,
+            _ => {
                 let mut config = FieldTypeClusterer::default();
                 if shared.config.threads > 0 {
                     config.threads = shared.config.threads;
@@ -567,31 +625,42 @@ fn run_job(shared: &Arc<Shared>, job_id: u64, trace_id: u64, segmenter: &str, to
                 }
                 s
             }
-        }
+        };
+        (session, generation)
     };
+    if shared.config.worker_delay_ms > 0 {
+        std::thread::sleep(Duration::from_millis(shared.config.worker_delay_ms));
+    }
     session.set_cancel_token(token.clone());
     let phase = drive_stages(shared, &mut session, segmenter);
     // Check the session back in whatever happened: cached artifacts
-    // make the retry (or the next job) cheap.
+    // make the retry (or the next job) cheap. Unless the trace grew
+    // while we ran — a re-parked pre-append session would silently
+    // serve reports missing the appended messages, so it is dropped
+    // (its artifacts survive in the shared store).
     {
         let mut core = shared.core.lock().expect("core lock");
-        core.use_counter += 1;
-        let stamp = core.use_counter;
-        core.sessions.insert(
-            session_key,
-            WarmSession {
-                session,
-                last_used: stamp,
-            },
-        );
-        if core.sessions.len() > MAX_WARM_SESSIONS {
-            if let Some(oldest) = core
-                .sessions
-                .iter()
-                .min_by_key(|(_, w)| w.last_used)
-                .map(|(k, _)| k.clone())
-            {
-                core.sessions.remove(&oldest);
+        let current = core.traces.get(&trace_id).map(|e| e.generation);
+        if current == Some(generation) {
+            core.use_counter += 1;
+            let stamp = core.use_counter;
+            core.sessions.insert(
+                session_key,
+                WarmSession {
+                    session,
+                    generation,
+                    last_used: stamp,
+                },
+            );
+            if core.sessions.len() > MAX_WARM_SESSIONS {
+                if let Some(oldest) = core
+                    .sessions
+                    .iter()
+                    .min_by_key(|(_, w)| w.last_used)
+                    .map(|(k, _)| k.clone())
+                {
+                    core.sessions.remove(&oldest);
+                }
             }
         }
     }
@@ -712,6 +781,10 @@ fn cancel_job(shared: &Arc<Shared>, job_id: u64) -> Response {
                 job.phase = JobPhase::Cancelled;
                 let release = !job.slot_released;
                 job.slot_released = true;
+                // This terminal transition bypasses finish_job (the
+                // worker skips the job without one), so the history
+                // cap is enforced here as well.
+                prune_job_history(&mut core, shared.config.job_history);
                 release
             }
             // Running jobs release their slot when the worker observes

@@ -32,6 +32,6 @@ pub mod wire;
 
 pub use client::{Client, ClientError};
 pub use daemon::{start, ServerConfig, ServerHandle};
-pub use prepare::{build_segmenter, peak_rss_bytes, prepare_trace, PrepareOpts};
+pub use prepare::{build_segmenter, peak_rss_bytes, prepare_trace, preprocess, PrepareOpts};
 pub use proto::{JobState, Request, Response, ServerStats};
 pub use wire::{WireError, MAX_FRAME, WIRE_VERSION};

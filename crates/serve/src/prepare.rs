@@ -50,6 +50,19 @@ pub fn prepare_trace(
         stats = Some(s);
         raw = rebuilt;
     }
+    let trace = preprocess(&raw, opts)?;
+    Ok((trace, stats))
+}
+
+/// The preprocessing half of [`prepare_trace`], for callers that
+/// already hold parsed (and, if requested, reassembled) messages — the
+/// daemon keeps the raw trace around so appends can re-preprocess the
+/// concatenation without re-parsing capture bytes.
+///
+/// # Errors
+///
+/// A human-readable message when no messages survive preprocessing.
+pub fn preprocess(raw: &Trace, opts: &PrepareOpts) -> Result<Trace, String> {
     let mut pre = Preprocessor::new().deduplicate(true);
     if let Some(p) = opts.port {
         pre = pre.filter_port(p);
@@ -57,11 +70,11 @@ pub fn prepare_trace(
     if let Some(n) = opts.max {
         pre = pre.truncate(n);
     }
-    let trace = pre.apply(&raw);
+    let trace = pre.apply(raw);
     if trace.is_empty() {
         return Err("no messages left after preprocessing".to_string());
     }
-    Ok((trace, stats))
+    Ok(trace)
 }
 
 /// Instantiates a segmenter from its CLI spec string. Default
@@ -145,6 +158,21 @@ mod tests {
         };
         assert!(prepare_trace(&bytes, &opts).is_err());
         assert!(prepare_trace(b"not a capture", &PrepareOpts::default()).is_err());
+    }
+
+    #[test]
+    fn preprocess_matches_prepare_and_rejects_empty() {
+        let bytes = capture_bytes(20, 6);
+        let raw = pcapng::read_any(&bytes, "capture").unwrap();
+        let opts = PrepareOpts::default();
+        let direct = preprocess(&raw, &opts).unwrap();
+        let (via_bytes, _) = prepare_trace(&bytes, &opts).unwrap();
+        assert_eq!(direct.len(), via_bytes.len());
+        let filtered = PrepareOpts {
+            port: Some(1),
+            ..PrepareOpts::default()
+        };
+        assert!(preprocess(&raw, &filtered).is_err());
     }
 
     #[test]

@@ -249,6 +249,179 @@ fn shutdown_drains_in_flight_jobs() {
     handle.wait();
 }
 
+/// The offline reference for a trace grown by an append: both captures
+/// parsed, messages concatenated, then the shared preprocessing and
+/// analysis path — exactly what the daemon's `AppendMessages` models.
+fn offline_merged_report(a: &[u8], b: &[u8], segmenter: &str) -> String {
+    let ta = trace::pcapng::read_any(a, "capture").expect("parse a");
+    let tb = trace::pcapng::read_any(b, "capture").expect("parse b");
+    let mut messages = ta.messages().to_vec();
+    messages.extend(tb.messages().iter().cloned());
+    let merged = trace::Trace::new(ta.name(), messages);
+    let prepared = serve::preprocess(&merged, &PrepareOpts::default()).expect("preprocess merged");
+    let mut session = AnalysisSession::from_owned(prepared, FieldTypeClusterer::default());
+    let seg = build_segmenter(segmenter).expect("segmenter");
+    session
+        .segment_with(seg.as_ref())
+        .expect("merged segmentation");
+    let trace = session.trace().clone();
+    standard_report(&trace, &mut session).expect("merged report")
+}
+
+#[test]
+fn append_during_running_analyze_never_serves_stale_sessions() {
+    // The regression this pins: a job checks its session out, an append
+    // grows the trace while the job runs, and the job re-parks the
+    // pre-append session at check-in — later analyses would then
+    // silently reuse it and return reports missing the appended
+    // messages.
+    let handle = start(ServerConfig {
+        workers: 1,
+        queue_capacity: 4,
+        worker_delay_ms: 400,
+        ..ServerConfig::default()
+    })
+    .expect("start daemon");
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+    let first = capture_bytes(Protocol::Ntp, 12, 61);
+    let second = capture_bytes(Protocol::Ntp, 12, 62);
+    let (trace_id, before) = client
+        .submit_trace("ntp", first.clone(), None, None, false)
+        .expect("submit");
+
+    // `Running` is set in the same critical section as the session
+    // checkout, so once we observe it the job has definitely captured
+    // its pre-append snapshot; the worker then stalls 400 ms, giving
+    // the append a deterministic window while the job is in flight.
+    let running = client.analyze(trace_id, "nemesys", 0).expect("job 1");
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        match client.query(running).expect("poll") {
+            JobState::Running => break,
+            JobState::Queued { .. } if std::time::Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            other => panic!("expected job 1 to reach Running, got {other:?}"),
+        }
+    }
+    let after = client
+        .append_messages(trace_id, second.clone())
+        .expect("append while job 1 runs");
+    assert!(after > before, "append must grow the prepared trace");
+
+    // Job 1 was admitted before the append: it reports on its snapshot.
+    let JobState::Done { report } = client
+        .wait_for(running, Duration::from_millis(20))
+        .expect("wait job 1")
+    else {
+        panic!("job 1 must finish");
+    };
+    assert_eq!(
+        String::from_utf8(report).expect("utf8"),
+        offline_report(&first, "nemesys"),
+        "in-flight job reports on its pre-append snapshot"
+    );
+
+    // Job 2 runs after the append: its report must cover the appended
+    // messages — byte-identical to an offline run on the merged trace,
+    // not a replay of job 1's stale session.
+    let grown = client.analyze(trace_id, "nemesys", 0).expect("job 2");
+    let JobState::Done { report } = client
+        .wait_for(grown, Duration::from_millis(20))
+        .expect("wait job 2")
+    else {
+        panic!("job 2 must finish");
+    };
+    assert_eq!(
+        String::from_utf8(report).expect("utf8"),
+        offline_merged_report(&first, &second, "nemesys"),
+        "post-append analysis must include the appended messages"
+    );
+
+    client.shutdown().expect("shutdown");
+    handle.wait();
+}
+
+#[test]
+fn append_errors_leave_the_trace_unchanged() {
+    let handle = start(ServerConfig::default()).expect("start daemon");
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+    let bytes = capture_bytes(Protocol::Dns, 12, 17);
+    let (trace_id, before) = client
+        .submit_trace("dns", bytes.clone(), None, None, false)
+        .expect("submit");
+
+    // A capture that does not parse is refused without mutating the
+    // entry…
+    assert!(matches!(
+        client.append_messages(trace_id, b"not a capture".to_vec()),
+        Err(ClientError::Daemon(_))
+    ));
+    // …and an append of the same capture dedups to a no-op, proving
+    // the entry still holds exactly the original messages.
+    let after = client
+        .append_messages(trace_id, bytes.clone())
+        .expect("duplicate append");
+    assert_eq!(after, before, "duplicate messages dedup to a no-op");
+    let job = client.analyze(trace_id, "nemesys", 0).expect("analyze");
+    let JobState::Done { report } = client
+        .wait_for(job, Duration::from_millis(20))
+        .expect("wait")
+    else {
+        panic!("job must finish");
+    };
+    assert_eq!(
+        String::from_utf8(report).expect("utf8"),
+        offline_report(&bytes, "nemesys"),
+        "trace unchanged after refused and no-op appends"
+    );
+
+    client.shutdown().expect("shutdown");
+    handle.wait();
+}
+
+#[test]
+fn terminal_job_records_expire_beyond_the_history_cap() {
+    let handle = start(ServerConfig {
+        job_history: 2,
+        ..ServerConfig::default()
+    })
+    .expect("start daemon");
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+    let bytes = capture_bytes(Protocol::Ntp, 12, 23);
+    let (trace_id, _) = client
+        .submit_trace("ntp", bytes, None, None, false)
+        .expect("submit");
+
+    let mut jobs = Vec::new();
+    for _ in 0..3 {
+        let job = client.analyze(trace_id, "nemesys", 0).expect("analyze");
+        let state = client
+            .wait_for(job, Duration::from_millis(20))
+            .expect("wait");
+        assert!(matches!(state, JobState::Done { .. }), "got {state:?}");
+        jobs.push(job);
+    }
+    // Only the newest two terminal records survive; the oldest report
+    // has expired and queries for it answer "unknown job".
+    assert!(matches!(
+        client.query(jobs[0]),
+        Err(ClientError::Daemon(ref m)) if m.contains("unknown job")
+    ));
+    for &job in &jobs[1..] {
+        assert!(matches!(
+            client.query(job).expect("query"),
+            JobState::Done { .. }
+        ));
+    }
+
+    client.shutdown().expect("shutdown");
+    handle.wait();
+}
+
 #[test]
 fn deadline_cancels_a_job_cooperatively() {
     let handle = start(ServerConfig {

@@ -102,6 +102,10 @@ struct ManifestLock {
 /// process and taken over.
 const STALE_LOCK: std::time::Duration = std::time::Duration::from_secs(5);
 
+/// Per-process sequence for unique lock-takeover names, so concurrent
+/// breakers in one process never collide on the rename target.
+static BREAK_SEQ: AtomicU64 = AtomicU64::new(0);
+
 impl ManifestLock {
     fn acquire(path: PathBuf) -> Self {
         let deadline = std::time::Instant::now() + 2 * STALE_LOCK;
@@ -119,10 +123,7 @@ impl ManifestLock {
                         .and_then(|t| t.elapsed().ok())
                         .is_some_and(|age| age > STALE_LOCK);
                     if stale || std::time::Instant::now() > deadline {
-                        // Breaking the lock races with other waiters
-                        // doing the same; the remove is idempotent and
-                        // the retry re-contends on create_new.
-                        let _ = std::fs::remove_file(&path);
+                        Self::break_lock(&path, std::time::Instant::now() > deadline);
                     } else {
                         std::thread::sleep(std::time::Duration::from_millis(1));
                     }
@@ -132,6 +133,39 @@ impl ManifestLock {
                 Err(_) => return Self { path: None },
             }
         }
+    }
+
+    /// Breaks a presumed-stale lock by renaming it to a per-breaker
+    /// unique name. The rename is atomic, so each lock-file incarnation
+    /// is taken over by exactly one breaker — a plain `remove_file`
+    /// here would let two waiters both judge the lock stale, with the
+    /// second removal deleting a lock a third process freshly created
+    /// after the first removal (two concurrent manifest writers). The
+    /// winner re-judges the now-privately-owned file: genuinely stale
+    /// (or past the acquisition deadline) means discard; a fresh one —
+    /// we raced with a break-and-reacquire — is put back via
+    /// `hard_link`, which cannot clobber any newer lock at the path.
+    /// Either way the caller loops and re-contends on `create_new`.
+    fn break_lock(path: &Path, past_deadline: bool) {
+        let takeover = path.with_extension(format!(
+            "lockbreak-{}-{}",
+            std::process::id(),
+            BREAK_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        if std::fs::rename(path, &takeover).is_err() {
+            // Someone else broke it (or the holder released): just
+            // re-contend.
+            return;
+        }
+        let actually_stale = std::fs::metadata(&takeover)
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|t| t.elapsed().ok())
+            .is_some_and(|age| age > STALE_LOCK);
+        if !(actually_stale || past_deadline) {
+            let _ = std::fs::hard_link(&takeover, path);
+        }
+        let _ = std::fs::remove_file(&takeover);
     }
 }
 

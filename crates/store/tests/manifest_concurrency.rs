@@ -88,6 +88,53 @@ fn two_store_handles_share_one_directory() {
 }
 
 #[test]
+fn concurrent_breakers_of_one_stale_lock_lose_nothing() {
+    // Several waiters can judge the same lock stale at once. Breaking
+    // by atomic rename means exactly one of them takes each lock-file
+    // incarnation over — a plain remove could delete a lock a third
+    // thread freshly created after the first removal, letting two
+    // writers interleave and drop entries.
+    let store = temp_store("stalerace");
+    let family = key(0xcc, 0xcc);
+    let lock_path = store
+        .root()
+        .join("manifest-cccc0000000000000000000000000000.lock");
+    std::fs::write(&lock_path, b"pid 0").unwrap();
+    let _ = std::process::Command::new("touch")
+        .args(["-m", "-d", "2000-01-01T00:00:00"])
+        .arg(&lock_path)
+        .status();
+
+    const THREADS: u8 = 6;
+    const PER_THREAD: u8 = 10;
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let store = store.clone();
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    let u = usize::from(t) * usize::from(PER_THREAD) + usize::from(i);
+                    store.manifest_add(&family, u, &key(t, i));
+                }
+            });
+        }
+    });
+
+    assert_eq!(
+        store.manifest_entries(&family).len(),
+        usize::from(THREADS) * usize::from(PER_THREAD),
+        "entries lost around stale-lock takeover"
+    );
+    // Neither lock files nor rename-takeover temp files may leak.
+    let leftovers: Vec<_> = std::fs::read_dir(store.root())
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| !n.ends_with(".bin"))
+        .collect();
+    assert!(leftovers.is_empty(), "leaked lock artifacts: {leftovers:?}");
+}
+
+#[test]
 fn stale_lock_is_broken_not_waited_on_forever() {
     let store = temp_store("stale");
     let family = key(0xdd, 0xdd);
