@@ -3,13 +3,19 @@
 //! length-bucketed `build_segments` — on realistic mixed-length segment
 //! corpora at u = 500 / 1000 / 2000 unique segments.
 //!
+//! A second, sampled group extends the ladder to u = 5000 / 10 000 /
+//! 50 000: instead of the full O(u²) triangle each iteration evaluates
+//! a fixed budget of random pairs drawn from the large corpus (plus the
+//! opt-in SWAR kernel variant), keeping every rung time-boxed while
+//! still exercising the large-u length mix and cache behavior.
+//!
 //! Every rung is bit-identical to the one below it (pinned by the
 //! property tests in `dissim`); this bench isolates what each
 //! transformation buys. Medians are recorded in
 //! `BENCH_canberra_kernel.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dissim::kernel::{dissimilarity_kernel, dissimilarity_lut};
+use dissim::kernel::{dissimilarity_kernel, dissimilarity_lut, dissimilarity_swar};
 use dissim::{dissimilarity, CanberraLut, CondensedMatrix, DissimParams};
 use rand::{Rng, SeedableRng, StdRng};
 
@@ -91,5 +97,49 @@ fn bench_kernel_ladder(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_kernel_ladder);
+/// Pair evaluations per iteration of the sampled large-u rungs.
+const PAIR_BUDGET: usize = 500_000;
+
+fn bench_kernel_sampled(c: &mut Criterion) {
+    let mut group = c.benchmark_group("canberra_kernel_sampled");
+    group.sample_size(10);
+    let params = DissimParams::default();
+    for u in [5_000usize, 10_000, 50_000] {
+        let segments = mixed_segments(u, 7);
+        let values: Vec<&[u8]> = segments.iter().map(|s| &s[..]).collect();
+        // A fixed, deterministic off-diagonal pair sample: the same
+        // PAIR_BUDGET evaluations for every kernel variant.
+        let mut rng = StdRng::seed_from_u64(13);
+        let pairs: Vec<(u32, u32)> = (0..PAIR_BUDGET)
+            .map(|_| {
+                let i = rng.gen_range(0..u as u32);
+                let j = rng.gen_range(0..u as u32 - 1);
+                (i, if j >= i { j + 1 } else { j })
+            })
+            .collect();
+        let eval = |f: &dyn Fn(&[u8], &[u8]) -> f64| -> f64 {
+            pairs
+                .iter()
+                .map(|&(i, j)| f(values[i as usize], values[j as usize]))
+                .sum()
+        };
+
+        group.bench_with_input(BenchmarkId::new("naive", u), &values, |b, _| {
+            b.iter(|| eval(&|a, v| dissimilarity(a, v, &params)))
+        });
+        let lut = CanberraLut::global();
+        group.bench_with_input(BenchmarkId::new("lut", u), &values, |b, _| {
+            b.iter(|| eval(&|a, v| dissimilarity_lut(a, v, &params, lut)))
+        });
+        group.bench_with_input(BenchmarkId::new("lut_early_abandon", u), &values, |b, _| {
+            b.iter(|| eval(&|a, v| dissimilarity_kernel(a, v, &params, lut)))
+        });
+        group.bench_with_input(BenchmarkId::new("swar", u), &values, |b, _| {
+            b.iter(|| eval(&|a, v| dissimilarity_swar(a, v, &params, lut)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel_ladder, bench_kernel_sampled);
 criterion_main!(benches);

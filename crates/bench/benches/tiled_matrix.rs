@@ -11,6 +11,13 @@
 //! bit-identical (cluster unit tests + fieldclust session-equivalence
 //! tests), so the ladder isolates pure wall-clock. Medians are
 //! recorded in `BENCH_tiled.json`.
+//!
+//! A second, sampled group (`tiled_matrix_sampled`) extends the ladder
+//! to u = 5000 / 10 000 / 50 000 without ever paying the full O(u²)
+//! build: each iteration computes one 64-row strip of lower-triangle
+//! rows starting at u/2 through the shared [`PairContext`] — exactly
+//! the kernel work of one mid-matrix tile, whose cost scales with
+//! `strip_rows × u/2` (linear in u), so the rungs stay time-boxed.
 
 use cluster::autoconf::{auto_configure, auto_configure_with_knn, required_k_max, AutoConfig};
 use cluster::dbscan::{dbscan_weighted, dbscan_weighted_parallel_with_index};
@@ -161,5 +168,32 @@ fn bench_tiled_matrix(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_tiled_matrix);
+/// Rows per sampled mid-matrix strip.
+const STRIP_ROWS: usize = 64;
+
+fn bench_tiled_sampled(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tiled_matrix_sampled");
+    group.sample_size(10);
+    let params = DissimParams::default();
+    for u in [5_000usize, 10_000, 50_000] {
+        let segments = mixed_segments(u, 7);
+        let values: Vec<&[u8]> = segments.iter().map(|s| &s[..]).collect();
+        let ctx = dissim::kernel::PairContext::new(&values, &params);
+        let start = u / 2;
+        let mut buf = vec![0.0f64; start + STRIP_ROWS];
+        group.bench_with_input(BenchmarkId::new("tile_strip_mid", u), &values, |b, _| {
+            b.iter(|| {
+                let mut checksum = 0.0f64;
+                for j in start..start + STRIP_ROWS {
+                    ctx.fill_lower_row(j, &mut buf[..j]);
+                    checksum += buf[..j].iter().sum::<f64>();
+                }
+                checksum
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tiled_matrix, bench_tiled_sampled);
 criterion_main!(benches);

@@ -1,0 +1,213 @@
+//! Neighbor-backend scaling ladder: where does the metric tree beat the
+//! matrix?
+//!
+//! For each rung `u` of a segment-count ladder the harness answers the
+//! same sampled ε-range and k-NN queries through every
+//! [`NeighborProvider`] backend that fits in memory:
+//!
+//! - `vptree` — [`VpForest`] + [`VpProvider`], never materializing the
+//!   O(u²) condensed triangle (peak memory is O(u) nodes);
+//! - `vptree+swar` — the same forest with the opt-in SWAR kernel fast
+//!   path (pinned bit-identical);
+//! - `matrix` — [`CondensedMatrix`] + [`NeighborIndex`] +
+//!   [`IndexedProvider`], the exact oracle, capped at `MATRIX_CAP`
+//!   segments (the 50k triangle alone would be ~10 GB; the sorted index
+//!   doubles that).
+//!
+//! The corpus is uniform-length (8-byte segments), so the Canberra
+//! dissimilarity is a true metric and the vp-tree runs its pruned
+//! search rather than the exact linear fallback. Query checksums are
+//! order-normalized and asserted bit-identical across backends wherever
+//! more than one ran, and every rung appends a
+//! `neighbor_ladder_u{u}_{backend}` record (wall time + peak RSS) to
+//! `BENCH_trajectory.json` — the matrix/vptree crossover is read off
+//! the wall-time columns, and the top rung's RSS documents that u=50k
+//! completes without the triangle.
+//!
+//! Run with:
+//! `cargo run --release -p bench --bin neighbor_ladder -- [max_u] [samples] [budget_bytes]`
+//!
+//! With a `budget_bytes` argument the harness becomes the vptree RSS
+//! smoke check (`scripts/check.sh`): the matrix oracle rungs are
+//! skipped so the process footprint is the vp-forest path alone, and
+//! the run exits nonzero if peak RSS (`VmHWM`) exceeds the budget.
+
+use cluster::autoconf::required_k_max;
+use dissim::vptree::DEFAULT_CHUNK;
+use dissim::{
+    CondensedMatrix, DissimParams, IndexedProvider, NeighborIndex, NeighborProvider, VpForest,
+    VpProvider,
+};
+use rand::{Rng, SeedableRng, StdRng};
+use std::time::Instant;
+
+/// Largest rung that still builds the condensed triangle + sorted
+/// index (~100 MB + ~400 MB at this cap).
+const MATRIX_CAP: usize = 5_000;
+
+/// The rungs; trimmed by the `max_u` argument.
+const LADDER: [usize; 6] = [1_000, 2_000, 5_000, 10_000, 20_000, 50_000];
+
+/// Uniform-length corpus (8-byte segments) drawn from a few field-type
+/// templates, so dense ε-neighborhoods exist and the metric-eligibility
+/// gate holds (all lengths equal ⇒ no length penalty ⇒ true metric).
+fn uniform_segments(u: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..u)
+        .map(|_| {
+            let mut seg = vec![0u8; 8];
+            match rng.gen_range(0usize..4) {
+                // Little-endian counter-ish: tiny leading values.
+                0 => {
+                    seg[0] = rng.gen_range(0u8..4);
+                    for b in &mut seg[1..] {
+                        *b = rng.gen_range(0u8..16);
+                    }
+                }
+                // Timestamp-ish: shared epoch prefix, random low bytes.
+                1 => {
+                    seg[..3].copy_from_slice(&[0xD2, 0x3D, 0x19]);
+                    for b in &mut seg[3..] {
+                        *b = rng.gen();
+                    }
+                }
+                // ASCII text.
+                2 => {
+                    for b in &mut seg {
+                        *b = rng.gen_range(b'a'..=b'z');
+                    }
+                }
+                // Opaque payload bytes.
+                _ => {
+                    for b in &mut seg {
+                        *b = rng.gen();
+                    }
+                }
+            }
+            seg
+        })
+        .collect()
+}
+
+/// Evenly-strided sample of query items.
+fn sample_indices(u: usize, samples: usize) -> Vec<usize> {
+    let samples = samples.clamp(1, u);
+    (0..samples).map(|q| q * u / samples).collect()
+}
+
+/// Runs the sampled k-NN + ε-range workload against one backend.
+///
+/// Returns `(eps, checksum, neighbor_count)`. When `eps` is `None` it
+/// is derived as the median sampled k-NN dissimilarity (so later
+/// backends replay the exact same queries). The checksum folds every
+/// k-NN value and every order-normalized `(dissimilarity, index)` pair,
+/// so two backends agree iff their answers are bit-identical.
+fn run_queries<P: NeighborProvider>(
+    provider: &P,
+    sample: &[usize],
+    k: usize,
+    eps: Option<f64>,
+) -> (f64, f64, usize) {
+    let knns: Vec<f64> = sample.iter().map(|&i| provider.knn(i, k)).collect();
+    let eps = eps.unwrap_or_else(|| {
+        let mut finite: Vec<f64> = knns.iter().copied().filter(|d| d.is_finite()).collect();
+        finite.sort_by(f64::total_cmp);
+        finite.get(finite.len() / 2).copied().unwrap_or(0.1)
+    });
+    let mut out = Vec::new();
+    let mut checksum = 0.0f64;
+    let mut count = 0usize;
+    for (&i, &dk) in sample.iter().zip(&knns) {
+        if dk.is_finite() {
+            checksum += dk;
+        }
+        provider.neighbors_within(i, eps, &mut out);
+        // Backends emit in different deterministic orders (index order
+        // vs. tree traversal order); normalize before checksumming.
+        out.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        count += out.len();
+        for &(d, j) in &out {
+            checksum += d + f64::from(j);
+        }
+    }
+    (eps, checksum, count)
+}
+
+fn rung_line(u: usize, backend: &str, wall: std::time::Duration, eps: f64, count: usize) {
+    println!(
+        "neighbor_ladder: u={u} backend={backend} wall_ms={:.1} eps={eps:.6} neighbors={count} \
+         peak_rss_bytes={}",
+        wall.as_secs_f64() * 1e3,
+        bench::peak_rss_bytes()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let max_u: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(50_000);
+    let samples: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(256);
+    let budget: Option<u64> = args.get(2).and_then(|a| a.parse().ok());
+
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let params = DissimParams::default();
+
+    for &u in LADDER.iter().filter(|&&u| u <= max_u) {
+        let segments = uniform_segments(u, 11);
+        let values: Vec<&[u8]> = segments.iter().map(|s| &s[..]).collect();
+        let k_max = required_k_max(u);
+        let sample = sample_indices(u, samples);
+
+        // vptree: build the forest, then the sampled workload. This
+        // rung defines ε for the others.
+        let start = Instant::now();
+        let forest = VpForest::build(&values, &params, DEFAULT_CHUNK);
+        let vp = VpProvider::new(&values, &params, &forest);
+        assert!(vp.prunable(), "uniform corpus must take the pruned path");
+        let (eps, vp_sum, vp_count) = run_queries(&vp, &sample, k_max, None);
+        let wall = start.elapsed();
+        rung_line(u, "vptree", wall, eps, vp_count);
+        bench::append_trajectory(&format!("neighbor_ladder_u{u}_vptree"), wall);
+
+        // vptree + SWAR fast path: same forest, pinned bit-identical.
+        let start = Instant::now();
+        let swar = VpProvider::new(&values, &params, &forest).with_swar(true);
+        let (_, swar_sum, swar_count) = run_queries(&swar, &sample, k_max, Some(eps));
+        let wall = start.elapsed();
+        assert_eq!(
+            (vp_sum.to_bits(), vp_count),
+            (swar_sum.to_bits(), swar_count),
+            "SWAR fast path diverged at u={u}"
+        );
+        rung_line(u, "vptree+swar", wall, eps, swar_count);
+        bench::append_trajectory(&format!("neighbor_ladder_u{u}_swar"), wall);
+
+        // matrix oracle: only where the triangle fits comfortably, and
+        // never in budget mode (the budget pins the matrix-free path).
+        if u <= MATRIX_CAP && budget.is_none() {
+            let start = Instant::now();
+            let matrix = CondensedMatrix::build_segments(&values, &params, threads);
+            let index = NeighborIndex::build_parallel(&matrix, threads);
+            let indexed = IndexedProvider::new(&matrix, &index);
+            let (_, m_sum, m_count) = run_queries(&indexed, &sample, k_max, Some(eps));
+            let wall = start.elapsed();
+            assert_eq!(
+                (vp_sum.to_bits(), vp_count),
+                (m_sum.to_bits(), m_count),
+                "vptree diverged from the matrix oracle at u={u}"
+            );
+            rung_line(u, "matrix", wall, eps, m_count);
+            bench::append_trajectory(&format!("neighbor_ladder_u{u}_matrix"), wall);
+        } else {
+            println!("neighbor_ladder: u={u} backend=matrix skipped (cap {MATRIX_CAP})");
+        }
+    }
+    let rss = bench::peak_rss_bytes();
+    println!("neighbor_ladder: done peak_rss_bytes={rss}");
+    if let Some(budget) = budget {
+        if rss > budget {
+            eprintln!("neighbor_ladder: peak RSS {rss} exceeds budget {budget}");
+            std::process::exit(1);
+        }
+        println!("neighbor_ladder: peak RSS within budget ({rss} <= {budget})");
+    }
+}

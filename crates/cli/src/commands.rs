@@ -60,11 +60,14 @@ fn open_store(opts: &CommonOpts) -> Result<Option<ArtifactStore>, CliError> {
 
 /// The pipeline configuration selected by the common flags:
 /// `--tile-rows` / `--max-memory` switch the dissimilarity stage to the
-/// tiled build (results are pinned bit-identical either way).
+/// tiled build, and `--neighbor-backend` selects how neighbor queries are
+/// answered (results are pinned bit-identical either way).
 fn build_clusterer(opts: &CommonOpts) -> FieldTypeClusterer {
     let mut config = FieldTypeClusterer {
         tile_rows: opts.tile_rows,
         max_memory: opts.max_memory,
+        neighbor_backend: opts.neighbor_backend,
+        swar: opts.swar,
         ..FieldTypeClusterer::default()
     };
     // `--threads` only tunes wall time; every parallel stage is pinned

@@ -9,7 +9,7 @@ pub const USAGE: &str = "\
 fieldclust — field data type clustering for unknown binary protocols
 
 USAGE:
-  fieldclust analyze  <capture.pcap> [--segmenter S] [--port P] [--max N] [--cache-dir D] [--tile-rows R | --max-memory B] [--json | --report out.md]
+  fieldclust analyze  <capture.pcap> [--segmenter S] [--port P] [--max N] [--cache-dir D] [--tile-rows R | --max-memory B] [--neighbor-backend B] [--json | --report out.md]
   fieldclust msgtype  <capture.pcap> [--segmenter S] [--port P] [--max N] [--cache-dir D]
   fieldclust stats    <capture.pcap> [--port P] [--max N]
   fieldclust compare  <a.pcap> <b.pcap> [--segmenter S] [--cache-dir D]
@@ -36,6 +36,12 @@ OPTIONS:
   --tile-rows R   tiled dissimilarity build with R-row tiles (cached per tile)
   --max-memory B  byte budget for the dissimilarity build, with an optional
                   K/M/G suffix (e.g. 512M); translated into a tile height
+  --neighbor-backend B
+                  neighbor queries: auto (default) | matrix | tiled | vptree;
+                  vptree never materializes the O(u²) matrix (never affects
+                  results, only memory and wall time)
+  --swar          opt-in SWAR kernel fast path for vptree distance
+                  evaluations (bit-identical)
   --threads N     threads for parallel stages, 0 = auto (never affects results)
   --addr A        a running ftcd daemon (e.g. 127.0.0.1:4747); `submit` sends
                   the capture there and waits for the identical report
@@ -75,6 +81,11 @@ pub struct CommonOpts {
     /// `--threads` (0 = auto). Parallelism only ever changes wall
     /// time, never results.
     pub threads: usize,
+    /// `--neighbor-backend`. Backends only ever change memory and wall
+    /// time, never results.
+    pub neighbor_backend: fieldclust::NeighborBackend,
+    /// `--swar`.
+    pub swar: bool,
     /// `--addr`: a running `ftcd` daemon to talk to.
     pub addr: Option<String>,
 }
@@ -111,6 +122,8 @@ impl CommonOpts {
             tile_rows: None,
             max_memory: None,
             threads: 0,
+            neighbor_backend: fieldclust::NeighborBackend::Auto,
+            swar: false,
             addr: None,
         };
         let mut it = args.iter();
@@ -173,6 +186,12 @@ impl CommonOpts {
                         .parse()
                         .map_err(|_| CliError::usage("--threads needs a number"))?
                 }
+                "--neighbor-backend" => {
+                    opts.neighbor_backend = value_for("--neighbor-backend")?
+                        .parse()
+                        .map_err(CliError::usage)?
+                }
+                "--swar" => opts.swar = true,
                 "--addr" => opts.addr = Some(value_for("--addr")?),
                 flag if flag.starts_with("--") => {
                     return Err(CliError::usage(format!("unknown flag `{flag}`")))
@@ -283,6 +302,23 @@ mod tests {
         assert_eq!(o.threads, 0);
         assert!(o.addr.is_none());
         for bad in [parse(&["--threads", "many"]), parse(&["--addr"])] {
+            assert_eq!(bad.unwrap_err().exit_code(), 2);
+        }
+    }
+
+    #[test]
+    fn neighbor_backend_is_parsed() {
+        use fieldclust::NeighborBackend;
+        let o = parse(&["a.pcap", "--neighbor-backend", "vptree", "--swar"]).unwrap();
+        assert_eq!(o.neighbor_backend, NeighborBackend::Vptree);
+        assert!(o.swar);
+        let o = parse(&["a.pcap"]).unwrap();
+        assert_eq!(o.neighbor_backend, NeighborBackend::Auto);
+        assert!(!o.swar);
+        for bad in [
+            parse(&["--neighbor-backend", "quadtree"]),
+            parse(&["--neighbor-backend"]),
+        ] {
             assert_eq!(bad.unwrap_err().exit_code(), 2);
         }
     }

@@ -8,7 +8,9 @@
 //! `min_samples` is `round(ln n)`, which the paper found sufficient to
 //! avoid scattering large traces into many small clusters.
 
-use dissim::{CondensedMatrix, KnnTable, NeighborIndex};
+use dissim::{
+    CondensedMatrix, IndexProvider, KnnTable, MatrixProvider, NeighborIndex, NeighborProvider,
+};
 use mathkit::kneedle::{detect_knees, KneedleParams};
 use mathkit::SmoothingSpline;
 
@@ -113,7 +115,7 @@ pub fn auto_configure(
     matrix: &CondensedMatrix,
     config: &AutoConfig,
 ) -> Result<SelectedParams, AutoConfError> {
-    auto_configure_impl(matrix.len(), |k| matrix.knn_dissimilarities(k), config)
+    auto_configure_with_provider(&MatrixProvider::new(matrix), config)
 }
 
 /// Runs Algorithm 1 with k-NN dissimilarities read off a prebuilt
@@ -129,7 +131,25 @@ pub fn auto_configure_with_index(
     index: &NeighborIndex,
     config: &AutoConfig,
 ) -> Result<SelectedParams, AutoConfError> {
-    auto_configure_impl(index.len(), |k| index.knn_dissimilarities(k), config)
+    auto_configure_with_provider(&IndexProvider::new(index), config)
+}
+
+/// Runs Algorithm 1 with k-NN dissimilarities answered by any
+/// [`NeighborProvider`] backend — the entry point the matrix and index
+/// variants funnel into.
+///
+/// The k-th neighbor dissimilarity is the same order statistic for
+/// every backend, so all of them select exactly the parameters
+/// [`auto_configure`] would.
+///
+/// # Errors
+///
+/// See [`AutoConfError`].
+pub fn auto_configure_with_provider<P: NeighborProvider + ?Sized>(
+    provider: &P,
+    config: &AutoConfig,
+) -> Result<SelectedParams, AutoConfError> {
+    auto_configure_impl(provider.len(), |k| provider.knn_dissimilarities(k), config)
 }
 
 /// The largest `k` Algorithm 1 will query for `n` items — what a

@@ -7,7 +7,7 @@
 //! classic region-growing formulation with scikit-learn's convention that
 //! `min_samples` counts the point itself.
 
-use dissim::{CondensedMatrix, NeighborIndex};
+use dissim::{CondensedMatrix, IndexProvider, MatrixProvider, NeighborIndex, NeighborProvider};
 
 /// Cluster assignment of one item.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -132,9 +132,28 @@ pub fn dbscan_weighted_with_index(
     min_samples: usize,
     weights: &[usize],
 ) -> Clustering {
-    assert!(weights.len() >= index.len(), "need a weight per item");
-    dbscan_impl(index.len(), min_samples, weights, |i, out| {
-        out.extend(index.range(i, eps).iter().map(|&(_, j)| j as usize));
+    dbscan_weighted_with_provider(&IndexProvider::new(index), eps, min_samples, weights)
+}
+
+/// Weighted DBSCAN with ε-region queries answered by any
+/// [`NeighborProvider`] backend — the entry point every other DBSCAN
+/// function funnels into.
+///
+/// # Panics
+///
+/// Panics if `weights` is shorter than the provider's item count.
+pub fn dbscan_weighted_with_provider<P: NeighborProvider + ?Sized>(
+    provider: &P,
+    eps: f64,
+    min_samples: usize,
+    weights: &[usize],
+) -> Clustering {
+    let n = provider.len();
+    assert!(weights.len() >= n, "need a weight per item");
+    let mut nb: Vec<(f64, u32)> = Vec::new();
+    dbscan_impl(n, min_samples, weights, |i, out| {
+        provider.neighbors_within(i, eps, &mut nb);
+        out.extend(nb.iter().map(|&(_, j)| j as usize));
     })
 }
 
@@ -171,20 +190,41 @@ pub fn dbscan_weighted_parallel_with_index(
     weights: &[usize],
     threads: usize,
 ) -> Clustering {
-    let n = index.len();
+    dbscan_weighted_parallel_with_provider(
+        &IndexProvider::new(index),
+        eps,
+        min_samples,
+        weights,
+        threads,
+    )
+}
+
+/// [`dbscan_weighted_with_provider`] with the per-item core predicate
+/// evaluated in parallel on the `parkit` scheduler; the region growing
+/// then consumes it in the same serial index order, so the clustering
+/// is identical for any thread count.
+///
+/// # Panics
+///
+/// Panics if `weights` is shorter than the provider's item count.
+pub fn dbscan_weighted_parallel_with_provider<P: NeighborProvider + Sync>(
+    provider: &P,
+    eps: f64,
+    min_samples: usize,
+    weights: &[usize],
+    threads: usize,
+) -> Clustering {
+    let n = provider.len();
     assert!(weights.len() >= n, "need a weight per item");
     let mut core = vec![false; n];
     if n > 0 {
         let core_ptr = SendFlagPtr(core.as_mut_ptr());
         parkit::for_each_chunk(threads, n, 16, |items| {
             let core_ptr = &core_ptr;
+            let mut nb: Vec<(f64, u32)> = Vec::new();
             for i in items {
-                let w = weights[i]
-                    + index
-                        .range(i, eps)
-                        .iter()
-                        .map(|&(_, j)| weights[j as usize])
-                        .sum::<usize>();
+                provider.neighbors_within(i, eps, &mut nb);
+                let w = weights[i] + nb.iter().map(|&(_, j)| weights[j as usize]).sum::<usize>();
                 // SAFETY: slot `i` is written by exactly one worker (the
                 // scheduler hands out each item once), so writes never
                 // alias.
@@ -192,8 +232,10 @@ pub fn dbscan_weighted_parallel_with_index(
             }
         });
     }
+    let mut nb: Vec<(f64, u32)> = Vec::new();
     dbscan_core_impl(n, &core, |i, out| {
-        out.extend(index.range(i, eps).iter().map(|&(_, j)| j as usize));
+        provider.neighbors_within(i, eps, &mut nb);
+        out.extend(nb.iter().map(|&(_, j)| j as usize));
     })
 }
 
@@ -222,11 +264,7 @@ pub fn dbscan_weighted(
     min_samples: usize,
     weights: &[usize],
 ) -> Clustering {
-    let n = matrix.len();
-    assert!(weights.len() >= n, "need a weight per item");
-    dbscan_impl(n, min_samples, weights, |i, out| {
-        out.extend((0..n).filter(|&j| j != i && matrix.get(i, j) <= eps));
-    })
+    dbscan_weighted_with_provider(&MatrixProvider::new(matrix), eps, min_samples, weights)
 }
 
 /// The region-growing core shared by the matrix-scan and neighbor-index

@@ -13,7 +13,7 @@
 //! extraction.
 
 use crate::dbscan::{Clustering, Label};
-use dissim::{CondensedMatrix, NeighborIndex};
+use dissim::{CondensedMatrix, IndexedProvider, MatrixProvider, NeighborIndex, NeighborProvider};
 
 /// HDBSCAN* parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,23 +51,33 @@ fn lambda_of(distance: f64) -> f64 {
 
 /// Runs HDBSCAN* and returns a flat clustering (EOM extraction).
 pub fn hdbscan(matrix: &CondensedMatrix, params: &HdbscanParams) -> Clustering {
-    let n = matrix.len();
+    hdbscan_with_provider(&MatrixProvider::new(matrix), params)
+}
+
+/// Runs HDBSCAN* with core distances and pair lookups answered by any
+/// [`NeighborProvider`] backend — the entry point the matrix and index
+/// variants funnel into.
+///
+/// The core distance is the `(min_samples − 1)`-th nearest-neighbor
+/// order statistic, i.e. a single [`NeighborProvider::knn`] query per
+/// item, so every backend produces exactly the clustering [`hdbscan`]
+/// would.
+pub fn hdbscan_with_provider<P: NeighborProvider + ?Sized>(
+    provider: &P,
+    params: &HdbscanParams,
+) -> Clustering {
+    let n = provider.len();
     let min_samples = params.min_samples.max(1).min(n.max(1));
-    // 1. Core distances, via row scans into one reused scratch buffer.
-    let mut row = Vec::new();
     let core: Vec<f64> = (0..n)
         .map(|i| {
             if min_samples == 1 {
-                return 0.0;
+                0.0
+            } else {
+                provider.knn(i, min_samples - 1)
             }
-            matrix.row_into(i, &mut row);
-            let (_, kth, _) = row.select_nth_unstable_by(min_samples - 2, |a, b| {
-                a.partial_cmp(b).expect("distances are not NaN")
-            });
-            *kth
         })
         .collect();
-    hdbscan_from_core(matrix, params, &core)
+    hdbscan_from_core(provider, params, &core)
 }
 
 /// Runs HDBSCAN* with core distances read off a prebuilt
@@ -85,19 +95,7 @@ pub fn hdbscan_with_index(
     index: &NeighborIndex,
     params: &HdbscanParams,
 ) -> Clustering {
-    let n = matrix.len();
-    assert_eq!(index.len(), n, "index and matrix must cover the same items");
-    let min_samples = params.min_samples.max(1).min(n.max(1));
-    let core: Vec<f64> = (0..n)
-        .map(|i| {
-            if min_samples == 1 {
-                0.0
-            } else {
-                index.kth_dissimilarity(i, min_samples - 1)
-            }
-        })
-        .collect();
-    hdbscan_from_core(matrix, params, &core)
+    hdbscan_with_provider(&IndexedProvider::new(matrix, index), params)
 }
 
 /// [`hdbscan_with_index`] with the core distances gathered in parallel
@@ -116,8 +114,21 @@ pub fn hdbscan_parallel_with_index(
     params: &HdbscanParams,
     threads: usize,
 ) -> Clustering {
-    let n = matrix.len();
-    assert_eq!(index.len(), n, "index and matrix must cover the same items");
+    hdbscan_parallel_with_provider(&IndexedProvider::new(matrix, index), params, threads)
+}
+
+/// [`hdbscan_with_provider`] with the core distances gathered in
+/// parallel on the `parkit` scheduler.
+///
+/// Each item's core distance is one k-NN query written into its own
+/// slot, so the vector is bit-identical to the serial gather for any
+/// thread count — and so is the clustering built from it.
+pub fn hdbscan_parallel_with_provider<P: NeighborProvider + Sync>(
+    provider: &P,
+    params: &HdbscanParams,
+    threads: usize,
+) -> Clustering {
+    let n = provider.len();
     let min_samples = params.min_samples.max(1).min(n.max(1));
     let mut core = vec![0.0f64; n];
     if n > 0 && min_samples > 1 {
@@ -127,11 +138,11 @@ pub fn hdbscan_parallel_with_index(
             for i in items {
                 // SAFETY: slot `i` is written by exactly one worker (the
                 // scheduler hands out each item once).
-                unsafe { *core_ptr.0.add(i) = index.kth_dissimilarity(i, min_samples - 1) };
+                unsafe { *core_ptr.0.add(i) = provider.knn(i, min_samples - 1) };
             }
         });
     }
-    hdbscan_from_core(matrix, params, &core)
+    hdbscan_from_core(provider, params, &core)
 }
 
 /// A raw pointer wrapper asserting cross-thread transferability for the
@@ -139,10 +150,16 @@ pub fn hdbscan_parallel_with_index(
 struct SendSlotPtr(*mut f64);
 unsafe impl Sync for SendSlotPtr {}
 
-/// The dendrogram/condensation/extraction pipeline shared by both entry
-/// points, starting from precomputed core distances.
-fn hdbscan_from_core(matrix: &CondensedMatrix, params: &HdbscanParams, core: &[f64]) -> Clustering {
-    let n = matrix.len();
+/// The dendrogram/condensation/extraction pipeline shared by every entry
+/// point, starting from precomputed core distances; pairwise
+/// dissimilarities for the mutual-reachability MST come from the
+/// provider's [`NeighborProvider::pair`].
+fn hdbscan_from_core<P: NeighborProvider + ?Sized>(
+    provider: &P,
+    params: &HdbscanParams,
+    core: &[f64],
+) -> Clustering {
+    let n = provider.len();
     if n == 0 {
         return Clustering::from_labels(Vec::new());
     }
@@ -151,7 +168,7 @@ fn hdbscan_from_core(matrix: &CondensedMatrix, params: &HdbscanParams, core: &[f
     }
     let min_cluster_size = params.min_cluster_size.max(2);
 
-    let mutual = |i: usize, j: usize| matrix.get(i, j).max(core[i]).max(core[j]);
+    let mutual = |i: usize, j: usize| provider.pair(i, j).max(core[i]).max(core[j]);
 
     // 2a. MST over mutual reachability (Prim, O(n²)).
     let mut in_tree = vec![false; n];

@@ -30,16 +30,20 @@ pub mod optics;
 pub mod refine;
 
 pub use autoconf::{
-    auto_configure, auto_configure_with_index, auto_configure_with_knn, required_k_max,
-    AutoConfError, AutoConfig, SelectedParams,
+    auto_configure, auto_configure_with_index, auto_configure_with_knn,
+    auto_configure_with_provider, required_k_max, AutoConfError, AutoConfig, SelectedParams,
 };
 pub use dbscan::{
     dbscan, dbscan_parallel_with_index, dbscan_weighted, dbscan_weighted_parallel_with_index,
-    dbscan_weighted_with_index, dbscan_with_index, Clustering, Label,
+    dbscan_weighted_parallel_with_provider, dbscan_weighted_with_index,
+    dbscan_weighted_with_provider, dbscan_with_index, Clustering, Label,
 };
-pub use hdbscan::{hdbscan, hdbscan_parallel_with_index, hdbscan_with_index, HdbscanParams};
-pub use optics::{optics, optics_with_index, OpticsOrdering};
+pub use hdbscan::{
+    hdbscan, hdbscan_parallel_with_index, hdbscan_parallel_with_provider, hdbscan_with_index,
+    hdbscan_with_provider, HdbscanParams,
+};
+pub use optics::{optics, optics_with_index, optics_with_provider, OpticsOrdering};
 pub use refine::{
-    merge_clusters, merge_clusters_parallel, merge_clusters_with_index, split_clusters,
-    RefineParams,
+    merge_clusters, merge_clusters_parallel, merge_clusters_with_index,
+    merge_clusters_with_provider, split_clusters, RefineParams,
 };

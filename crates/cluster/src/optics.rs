@@ -9,7 +9,7 @@
 //! once, and an ε-cut extracts DBSCAN-equivalent clusters at any radius.
 
 use crate::dbscan::{Clustering, Label};
-use dissim::{CondensedMatrix, NeighborIndex};
+use dissim::{CondensedMatrix, IndexProvider, MatrixProvider, NeighborIndex, NeighborProvider};
 
 /// The OPTICS ordering: reachability and core distances per visit rank.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,15 +29,7 @@ pub struct OpticsOrdering {
 /// Deterministic: seeds are taken in index order and ties in the
 /// priority queue resolve to the smaller index.
 pub fn optics(matrix: &CondensedMatrix, max_eps: f64, min_samples: usize) -> OpticsOrdering {
-    let n = matrix.len();
-    optics_impl(n, min_samples, |i, out| {
-        out.extend(
-            (0..n)
-                .filter(|&j| j != i)
-                .map(|j| (j, matrix.get(i, j)))
-                .filter(|&(_, d)| d <= max_eps),
-        );
-    })
+    optics_with_provider(&MatrixProvider::new(matrix), max_eps, min_samples)
 }
 
 /// Runs OPTICS with ε-region queries and core distances answered by a
@@ -51,13 +43,25 @@ pub fn optics_with_index(
     max_eps: f64,
     min_samples: usize,
 ) -> OpticsOrdering {
-    optics_impl(index.len(), min_samples, |i, out| {
-        out.extend(
-            index
-                .range(i, max_eps)
-                .iter()
-                .map(|&(d, j)| (j as usize, d)),
-        );
+    optics_with_provider(&IndexProvider::new(index), max_eps, min_samples)
+}
+
+/// Runs OPTICS with ε-region queries answered by any
+/// [`NeighborProvider`] backend — the entry point the matrix and index
+/// variants funnel into.
+///
+/// Produces exactly the same ordering as [`optics`]: reachability
+/// updates take per-neighbor minima and the core distance is an order
+/// statistic, so neither depends on neighbor enumeration order.
+pub fn optics_with_provider<P: NeighborProvider + ?Sized>(
+    provider: &P,
+    max_eps: f64,
+    min_samples: usize,
+) -> OpticsOrdering {
+    let mut scratch: Vec<(f64, u32)> = Vec::new();
+    optics_impl(provider.len(), min_samples, |i, out| {
+        provider.neighbors_within(i, max_eps, &mut scratch);
+        out.extend(scratch.iter().map(|&(d, j)| (j as usize, d)));
     })
 }
 

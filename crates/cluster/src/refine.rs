@@ -12,7 +12,7 @@
 //! counts are extremely polarized.
 
 use crate::dbscan::{Clustering, Label};
-use dissim::{CondensedMatrix, NeighborIndex};
+use dissim::{CondensedMatrix, IndexedProvider, MatrixProvider, NeighborIndex, NeighborProvider};
 use mathkit::stats;
 
 /// Thresholds of the refinement heuristics. Defaults are the paper's
@@ -49,7 +49,7 @@ pub fn merge_clusters(
     matrix: &CondensedMatrix,
     params: &RefineParams,
 ) -> Clustering {
-    merge_impl(clustering, matrix, None, params, 1)
+    merge_impl(clustering, &MatrixProvider::new(matrix), params, 1)
 }
 
 /// [`merge_clusters`] with the link-density region queries of Condition 1
@@ -64,7 +64,25 @@ pub fn merge_clusters_with_index(
     index: &NeighborIndex,
     params: &RefineParams,
 ) -> Clustering {
-    merge_impl(clustering, matrix, Some(index), params, 1)
+    merge_impl(clustering, &IndexedProvider::new(matrix, index), params, 1)
+}
+
+/// Merge refinement with pair lookups and link-density region queries
+/// answered by any [`NeighborProvider`] backend — the entry point every
+/// other merge function funnels into (with `threads` worth of
+/// statistics parallelism when > 1).
+///
+/// Produces exactly the clustering [`merge_clusters`] would: the
+/// ε-region around a link segment holds the same cluster-mates for
+/// every backend, and the density is their median dissimilarity, which
+/// is order-insensitive.
+pub fn merge_clusters_with_provider<P: NeighborProvider + Sync>(
+    clustering: &Clustering,
+    provider: &P,
+    params: &RefineParams,
+    threads: usize,
+) -> Clustering {
+    merge_impl(clustering, provider, params, threads)
 }
 
 /// [`merge_clusters_with_index`] with the per-cluster statistics of each
@@ -82,13 +100,17 @@ pub fn merge_clusters_parallel(
     params: &RefineParams,
     threads: usize,
 ) -> Clustering {
-    merge_impl(clustering, matrix, Some(index), params, threads)
+    merge_impl(
+        clustering,
+        &IndexedProvider::new(matrix, index),
+        params,
+        threads,
+    )
 }
 
-fn merge_impl(
+fn merge_impl<P: NeighborProvider + Sync>(
     clustering: &Clustering,
-    matrix: &CondensedMatrix,
-    index: Option<&NeighborIndex>,
+    provider: &P,
     params: &RefineParams,
     threads: usize,
 ) -> Clustering {
@@ -102,7 +124,7 @@ fn merge_impl(
         if clusters.len() < 2 {
             return current;
         }
-        let stats = compute_stats(&clusters, matrix, threads);
+        let stats = compute_stats(&clusters, provider, threads);
 
         let mut merged_into: Vec<usize> = (0..clusters.len()).collect();
         let mut any = false;
@@ -119,7 +141,7 @@ fn merge_impl(
                     id_i: i as u32,
                     id_j: j as u32,
                 };
-                if should_merge(&pair, &labels, matrix, index, params) {
+                if should_merge(&pair, &labels, provider, params) {
                     union(&mut merged_into, i, j);
                     any = true;
                 }
@@ -188,15 +210,15 @@ pub fn split_clusters(
 /// the `parkit` scheduler when more than one thread is requested. Each
 /// cluster is folded serially in member order into its own disjoint
 /// slot, so the result is bit-identical to the serial map.
-fn compute_stats(
+fn compute_stats<P: NeighborProvider + Sync>(
     clusters: &[Vec<usize>],
-    matrix: &CondensedMatrix,
+    provider: &P,
     threads: usize,
 ) -> Vec<ClusterStats> {
     if threads <= 1 || clusters.len() < 2 {
         return clusters
             .iter()
-            .map(|c| ClusterStats::compute(c, matrix))
+            .map(|c| ClusterStats::compute(c, provider))
             .collect();
     }
     let mut slots: Vec<Option<ClusterStats>> = (0..clusters.len()).map(|_| None).collect();
@@ -206,7 +228,7 @@ fn compute_stats(
         for c in chunk {
             // SAFETY: slot `c` is written by exactly one worker (the
             // scheduler hands out each cluster once).
-            unsafe { *slots_ptr.0.add(c) = Some(ClusterStats::compute(&clusters[c], matrix)) };
+            unsafe { *slots_ptr.0.add(c) = Some(ClusterStats::compute(&clusters[c], provider)) };
         }
     });
     slots
@@ -233,7 +255,7 @@ struct ClusterStats {
 }
 
 impl ClusterStats {
-    fn compute(members: &[usize], matrix: &CondensedMatrix) -> Self {
+    fn compute<P: NeighborProvider + ?Sized>(members: &[usize], provider: &P) -> Self {
         if members.len() < 2 {
             return Self {
                 mean_dissim: None,
@@ -247,7 +269,7 @@ impl ClusterStats {
         let mut nearest = vec![f64::INFINITY; members.len()];
         for (ai, &a) in members.iter().enumerate() {
             for (bi, &b) in members.iter().enumerate().skip(ai + 1) {
-                let d = matrix.get(a, b);
+                let d = provider.pair(a, b);
                 sum += d;
                 count += 1;
                 max = max.max(d);
@@ -274,11 +296,10 @@ struct MergeCandidate<'a> {
     id_j: u32,
 }
 
-fn should_merge(
+fn should_merge<P: NeighborProvider + ?Sized>(
     pair: &MergeCandidate<'_>,
     labels: &[Label],
-    matrix: &CondensedMatrix,
-    index: Option<&NeighborIndex>,
+    provider: &P,
     params: &RefineParams,
 ) -> bool {
     let (ci, cj, si, sj) = (pair.ci, pair.cj, pair.si, pair.sj);
@@ -289,7 +310,7 @@ fn should_merge(
     let mut link = (ci[0], cj[0], f64::INFINITY);
     for &a in ci {
         for &b in cj {
-            let d = matrix.get(a, b);
+            let d = provider.pair(a, b);
             if d < link.2 {
                 link = (a, b, d);
             }
@@ -305,16 +326,8 @@ fn should_merge(
             sj.max_dissim
         };
         let eps_local = smaller_extent / 2.0;
-        let (rho_i, rho_j) = match index {
-            Some(idx) => (
-                local_density_indexed(link_i, pair.id_i, labels, idx, eps_local),
-                local_density_indexed(link_j, pair.id_j, labels, idx, eps_local),
-            ),
-            None => (
-                local_density(link_i, ci, matrix, eps_local),
-                local_density(link_j, cj, matrix, eps_local),
-            ),
-        };
+        let rho_i = local_density(link_i, pair.id_i, labels, provider, eps_local);
+        let rho_j = local_density(link_j, pair.id_j, labels, provider, eps_local);
         if (rho_i - rho_j).abs() < params.eps_rho_threshold {
             return true;
         }
@@ -333,30 +346,20 @@ fn should_merge(
 }
 
 /// Median dissimilarity from the link segment to its cluster-mates within
-/// `eps` (`ρ_ε`); zero when no mate lies that close.
-fn local_density(link: usize, members: &[usize], matrix: &CondensedMatrix, eps: f64) -> f64 {
-    let within: Vec<f64> = members
-        .iter()
-        .filter(|&&s| s != link)
-        .map(|&s| matrix.get(link, s))
-        .filter(|&d| d <= eps)
-        .collect();
-    stats::median(&within).unwrap_or(0.0)
-}
-
-/// [`local_density`] answered from the neighbor index: binary-search the
-/// ε-region around the link segment, then keep the cluster-mates (the
-/// items carrying the cluster's label). Same multiset of dissimilarities
-/// as the member scan, hence the same median.
-fn local_density_indexed(
+/// `eps` (`ρ_ε`); zero when no mate lies that close. Answered by an
+/// ε-region query filtered to the items carrying the cluster's label —
+/// the same multiset of dissimilarities a member scan yields, whatever
+/// order the backend emits it in, hence the same median.
+fn local_density<P: NeighborProvider + ?Sized>(
     link: usize,
     cluster: u32,
     labels: &[Label],
-    index: &NeighborIndex,
+    provider: &P,
     eps: f64,
 ) -> f64 {
-    let within: Vec<f64> = index
-        .range(link, eps)
+    let mut region: Vec<(f64, u32)> = Vec::new();
+    provider.neighbors_within(link, eps, &mut region);
+    let within: Vec<f64> = region
         .iter()
         .filter(|&&(_, j)| labels[j as usize] == Label::Cluster(cluster))
         .map(|&(d, _)| d)

@@ -262,6 +262,123 @@ pub fn dissimilarity_kernel(a: &[u8], b: &[u8], params: &DissimParams, lut: &Can
     mixed_length(short.len(), long.len(), best, penalty)
 }
 
+/// Canberra term sum of two equal-length slices with an opt-in SWAR
+/// equality skip: bytes are compared eight at a time as little-endian
+/// `u64` lanes, and a lane whose XOR is zero skips all eight LUT
+/// lookups.
+///
+/// Bit-identical to the strict left-to-right LUT accumulation: the
+/// per-byte term of an equal byte pair is exactly `+0.0` (`0/2x`, or
+/// `0/0 := 0`), every term is non-negative so the accumulator is never
+/// `-0.0`, and `s + 0.0 == s` bit-for-bit for every non-negative f64 —
+/// skipping the additions is a bitwise no-op on the sum.
+#[inline]
+fn canberra_sum_swar(a: &[u8], b: &[u8], lut: &CanberraLut) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut sum = 0.0f64;
+    let mut ac = a.chunks_exact(8);
+    let mut bc = b.chunks_exact(8);
+    for (ca, cb) in ac.by_ref().zip(bc.by_ref()) {
+        let wa = u64::from_le_bytes(ca.try_into().expect("8-byte chunk"));
+        let wb = u64::from_le_bytes(cb.try_into().expect("8-byte chunk"));
+        if wa ^ wb == 0 {
+            continue;
+        }
+        sum += lut.term(ca[0], cb[0]);
+        sum += lut.term(ca[1], cb[1]);
+        sum += lut.term(ca[2], cb[2]);
+        sum += lut.term(ca[3], cb[3]);
+        sum += lut.term(ca[4], cb[4]);
+        sum += lut.term(ca[5], cb[5]);
+        sum += lut.term(ca[6], cb[6]);
+        sum += lut.term(ca[7], cb[7]);
+    }
+    for (&x, &y) in ac.remainder().iter().zip(bc.remainder()) {
+        sum += lut.term(x, y);
+    }
+    sum
+}
+
+/// [`crate::canberra_distance`] with the SWAR equality skip of
+/// [`canberra_sum_swar`]; bit-identical to the scalar reference.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn canberra_distance_swar(a: &[u8], b: &[u8], lut: &CanberraLut) -> f64 {
+    assert_eq!(a.len(), b.len(), "canberra distance needs equal lengths");
+    if a.is_empty() {
+        return 0.0;
+    }
+    canberra_sum_swar(a, b, lut) / a.len() as f64
+}
+
+/// Minimum windowed Canberra distance with the SWAR equality skip
+/// applied inside each window. Every window's complete sum is exact
+/// (see [`canberra_sum_swar`]) and the minimum over complete sums is
+/// order-independent, so the result is bit-identical to
+/// [`windowed_min_full`].
+fn windowed_min_swar(short: &[u8], long: &[u8], lut: &CanberraLut) -> f64 {
+    debug_assert!(!short.is_empty() && short.len() < long.len());
+    let mut best_sum = f64::INFINITY;
+    for offset in 0..=(long.len() - short.len()) {
+        let window = &long[offset..offset + short.len()];
+        let sum = canberra_sum_swar(short, window, lut);
+        if sum < best_sum {
+            best_sum = sum;
+            if best_sum == 0.0 {
+                break;
+            }
+        }
+    }
+    best_sum / short.len() as f64
+}
+
+/// [`crate::dissimilarity`] with the opt-in SWAR fast path: u64 lane
+/// packing skips whole 8-byte runs of equal bytes before touching the
+/// LUT, which pays off on traces full of near-duplicate segments
+/// (repeated header fields, zero padding). Bit-identical to
+/// [`dissimilarity_kernel`] and oracle-checked against it in the tests;
+/// callers opt in explicitly (e.g. [`crate::vptree::VpProvider::with_swar`])
+/// and the choice never enters any cache key.
+pub fn dissimilarity_swar(a: &[u8], b: &[u8], params: &DissimParams, lut: &CanberraLut) -> f64 {
+    let penalty = params.effective_penalty();
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if long.is_empty() {
+        return 0.0;
+    }
+    if short.is_empty() {
+        return 1.0;
+    }
+    if short.len() == long.len() {
+        return canberra_distance_swar(short, long, lut);
+    }
+    let best = windowed_min_swar(short, long, lut);
+    mixed_length(short.len(), long.len(), best, penalty)
+}
+
+/// Mean pairwise dissimilarity of `segments`, streamed pair by pair in
+/// condensed row-major order without materializing the matrix; `None`
+/// for fewer than two segments.
+///
+/// Bit-identical to [`CondensedMatrix::mean`] of the built matrix: the
+/// entries are the same kernel values and the accumulation visits them
+/// in exactly the condensed layout order `data.iter().sum()` uses.
+pub fn pairwise_mean(segments: &[&[u8]], params: &DissimParams) -> Option<f64> {
+    let n = segments.len();
+    if n < 2 {
+        return None;
+    }
+    let lut = CanberraLut::global();
+    let mut sum = 0.0f64;
+    for i in 0..n - 1 {
+        for j in i + 1..n {
+            sum += dissimilarity_kernel(segments[i], segments[j], params, lut);
+        }
+    }
+    Some(sum / (n * (n - 1) / 2) as f64)
+}
+
 /// Segment indices sharing one length, ascending.
 struct Bucket {
     len: usize,
@@ -436,8 +553,9 @@ fn fill_row(
 /// A reusable bucketed-kernel configuration for computing arbitrary
 /// subsets of the pairwise matrix: buckets over all indices, the shared
 /// key table, and the hoisted kernel constants. Built once per tiled
-/// build and shared read-only across tiles and worker threads.
-pub(crate) struct PairContext<'a> {
+/// build and shared read-only across tiles and worker threads; also the
+/// row-sampling probe of the large-u benchmark ladders.
+pub struct PairContext<'a> {
     segments: &'a [&'a [u8]],
     buckets: Vec<Bucket>,
     key_table: KeyTable,
@@ -446,7 +564,9 @@ pub(crate) struct PairContext<'a> {
 }
 
 impl<'a> PairContext<'a> {
-    pub(crate) fn new(segments: &'a [&'a [u8]], params: &DissimParams) -> Self {
+    /// Builds the shared configuration for `segments` once: length
+    /// buckets, per-segment LUT row keys, and the hoisted penalty.
+    pub fn new(segments: &'a [&'a [u8]], params: &DissimParams) -> Self {
         Self {
             segments,
             buckets: make_buckets(segments, 0..segments.len()),
@@ -469,7 +589,7 @@ impl<'a> PairContext<'a> {
     /// `windowed_min_sum4` call is issued for the same pair. Quad-lane
     /// grouping differs, but each lane is an independent exact sum, so
     /// grouping never affects a pair's value (see the module docs).
-    pub(crate) fn fill_lower_row(&self, j: usize, out: &mut [f64]) {
+    pub fn fill_lower_row(&self, j: usize, out: &mut [f64]) {
         debug_assert_eq!(out.len(), j);
         let sj = self.segments[j];
         let lj = sj.len();
@@ -810,6 +930,63 @@ mod tests {
                 assert_eq!(v.to_bits(), full.get(i, j).to_bits(), "pair ({i}, {j})");
             }
         }
+    }
+
+    #[test]
+    fn swar_path_matches_kernel_bitwise() {
+        // Oracle check over a corpus dense in equal 8-byte runs (zero
+        // padding, repeated values) and in mixed lengths, so both the
+        // skip branch and the fallthrough branch are exercised.
+        let lut = CanberraLut::global();
+        let mut segs = corpus(64);
+        segs.push(vec![0u8; 24]);
+        segs.push(vec![0u8; 24]);
+        segs.push(vec![7u8; 16]);
+        segs.push(vec![7u8; 17]);
+        let mut run: Vec<u8> = vec![42; 32];
+        run[31] = 43;
+        segs.push(run);
+        for a in &segs {
+            for b in &segs {
+                let want = dissimilarity_kernel(a, b, &P, lut).to_bits();
+                assert_eq!(
+                    dissimilarity_swar(a, b, &P, lut).to_bits(),
+                    want,
+                    "{a:?} {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn swar_distance_matches_lut_distance() {
+        let lut = CanberraLut::global();
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 31] {
+            let a: Vec<u8> = (0..len).map(|k| (k * 37 % 256) as u8).collect();
+            let mut b = a.clone();
+            if len > 2 {
+                b[len / 2] ^= 0x5a;
+            }
+            assert_eq!(
+                canberra_distance_swar(&a, &b, lut).to_bits(),
+                canberra_distance_lut(&a, &b, lut).to_bits(),
+                "len {len}"
+            );
+            assert_eq!(canberra_distance_swar(&a, &a, lut), 0.0, "len {len}");
+        }
+    }
+
+    #[test]
+    fn pairwise_mean_matches_matrix_mean() {
+        let segs = corpus(23);
+        let values: Vec<&[u8]> = segs.iter().map(|s| &s[..]).collect();
+        let matrix = build_bucketed(&values, &P, 2);
+        assert_eq!(
+            pairwise_mean(&values, &P).unwrap().to_bits(),
+            matrix.mean().unwrap().to_bits()
+        );
+        assert_eq!(pairwise_mean(&values[..1], &P), None);
+        assert_eq!(pairwise_mean(&[], &P), None);
     }
 
     #[test]

@@ -143,25 +143,29 @@ impl NeighborIndex {
         &row[..end]
     }
 
-    /// The dissimilarity of item `i` to its `k`-th nearest neighbor
-    /// (`k >= 1`).
+    /// The dissimilarity of item `i` to its `k`-th nearest neighbor.
+    ///
+    /// `k` is clamped to `[1, n − 1]`, so callers never need to
+    /// pre-clamp against the item count: `k = 0` reads the nearest
+    /// neighbor, `k >= n` reads the farthest. An item with no neighbors
+    /// at all (a single-segment trace) reports `f64::INFINITY`.
     ///
     /// # Panics
     ///
-    /// Panics if `i` is out of bounds, `k` is 0, or `k >= n`.
+    /// Panics if `i` is out of bounds.
     pub fn kth_dissimilarity(&self, i: usize, k: usize) -> f64 {
-        assert!(k >= 1, "k must be at least 1");
-        assert!(k < self.n, "k must be smaller than the item count");
-        self.neighbors(i)[k - 1].0
+        let row = self.neighbors(i);
+        if row.is_empty() {
+            return f64::INFINITY;
+        }
+        let k = k.clamp(1, row.len());
+        row[k - 1].0
     }
 
     /// The dissimilarity of each item to its `k`-th nearest neighbor —
     /// the same values as [`CondensedMatrix::knn_dissimilarities`], read
-    /// directly off the sorted lists.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `k` is 0 or `k >= n`.
+    /// directly off the sorted lists, with `k` clamped exactly as in
+    /// [`kth_dissimilarity`](Self::kth_dissimilarity).
     pub fn knn_dissimilarities(&self, k: usize) -> Vec<f64> {
         (0..self.n).map(|i| self.kth_dissimilarity(i, k)).collect()
     }
@@ -279,8 +283,34 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "k must be smaller")]
-    fn kth_rejects_excessive_k() {
-        NeighborIndex::build(&toy(3)).kth_dissimilarity(0, 3);
+    fn kth_clamps_excessive_k() {
+        // k >= n clamps to the farthest neighbor; k = 0 to the nearest.
+        let idx = NeighborIndex::build(&toy(3));
+        assert_eq!(idx.kth_dissimilarity(0, 3), 2.0);
+        assert_eq!(idx.kth_dissimilarity(0, usize::MAX), 2.0);
+        assert_eq!(idx.kth_dissimilarity(0, 0), 1.0);
+        assert_eq!(idx.knn_dissimilarities(99), vec![2.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn kth_on_single_item_trace_is_infinite() {
+        let idx = NeighborIndex::build(&toy(1));
+        assert_eq!(idx.kth_dissimilarity(0, 1), f64::INFINITY);
+        assert_eq!(idx.knn_dissimilarities(1), vec![f64::INFINITY]);
+    }
+
+    #[test]
+    fn kth_with_duplicate_zero_distance_segments() {
+        // Items 0..3 mutually identical (distance 0), item 3 far away:
+        // ties at 0.0 break by index and clamping still lands on the
+        // farthest entry.
+        let m = CondensedMatrix::build(4, |i, j| if i < 3 && j < 3 { 0.0 } else { 5.0 });
+        let idx = NeighborIndex::build(&m);
+        assert_eq!(idx.kth_dissimilarity(0, 1), 0.0);
+        assert_eq!(idx.kth_dissimilarity(0, 2), 0.0);
+        assert_eq!(idx.kth_dissimilarity(0, 3), 5.0);
+        assert_eq!(idx.kth_dissimilarity(0, 17), 5.0);
+        let order: Vec<u32> = idx.neighbors(0).iter().map(|&(_, j)| j).collect();
+        assert_eq!(order, vec![1, 2, 3]);
     }
 }

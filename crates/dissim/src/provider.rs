@@ -1,0 +1,268 @@
+//! Backend-agnostic neighbor queries: the [`NeighborProvider`] trait.
+//!
+//! Every density-based consumer of the dissimilarity matrix asks the
+//! same three questions — "which items lie within ε of item `i`?"
+//! (DBSCAN region queries, OPTICS expansion, refinement link
+//! densities), "how far is item `i`'s k-th nearest neighbor?"
+//! (auto-configuration ECDFs, core distances) and "how far apart are
+//! items `i` and `j`?" (mutual reachability, cluster statistics). The
+//! trait decouples those questions from *how* the answers are produced,
+//! so the clustering stack can run against a full condensed matrix, a
+//! presorted neighbor index, or a triangle-inequality-pruned
+//! vantage-point forest ([`crate::vptree`]) without materializing the
+//! O(u²) triangle.
+//!
+//! **Bit-identity contract.** Whatever the backend, the *dissimilarity
+//! values* a provider reports must be bit-identical to the scalar
+//! reference [`crate::dissimilarity`] of the pair: ε auto-configuration
+//! and DBSCAN compare raw values against thresholds, so a 1-ULP
+//! perturbation can cascade into a structurally different clustering
+//! (see `crate::kernel`). Region *emission order* may differ between
+//! backends (documented per implementation); every indexed backend
+//! emits ascending `(dissimilarity, index)` so order-sensitive border
+//! assignment in DBSCAN agrees across them.
+
+use crate::matrix::CondensedMatrix;
+use crate::neighbor::NeighborIndex;
+
+/// Answers ε-range, k-NN and pair queries over one item set.
+///
+/// Queries take `&self` so parallel consumers can fan items out across
+/// threads against a shared provider (`P: Sync`).
+pub trait NeighborProvider {
+    /// Number of items covered.
+    fn len(&self) -> usize;
+
+    /// Whether the provider covers zero items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends every neighbor of item `i` with dissimilarity at most
+    /// `eps` to `out` as `(dissimilarity, neighbor)` pairs, the item
+    /// itself excluded. `out` is cleared first. Emission order is
+    /// deterministic per backend; indexed backends emit ascending
+    /// `(dissimilarity, index)`.
+    fn neighbors_within(&self, i: usize, eps: f64, out: &mut Vec<(f64, u32)>);
+
+    /// The dissimilarity of item `i` to its `k`-th nearest neighbor.
+    ///
+    /// `k` is clamped to `[1, len − 1]`; an item with no neighbors
+    /// (a provider over fewer than two items) reports `f64::INFINITY`.
+    fn knn(&self, i: usize, k: usize) -> f64;
+
+    /// The dissimilarity between items `i` and `j` (0 on the diagonal).
+    fn pair(&self, i: usize, j: usize) -> f64;
+
+    /// The dissimilarity of each item to its `k`-th nearest neighbor —
+    /// the vector Algorithm 1 builds its ECDFs over.
+    fn knn_dissimilarities(&self, k: usize) -> Vec<f64> {
+        (0..self.len()).map(|i| self.knn(i, k)).collect()
+    }
+}
+
+/// The row-scan provider over a bare [`CondensedMatrix`]: the oracle
+/// every other backend is pinned against.
+///
+/// Region queries emit in *index* order (the historical matrix-scan
+/// emission order of the pre-trait clustering entry points); k-NN
+/// queries select the order statistic off a row scan, exactly as
+/// [`CondensedMatrix::knn_dissimilarities`] does.
+#[derive(Debug, Clone, Copy)]
+pub struct MatrixProvider<'a> {
+    matrix: &'a CondensedMatrix,
+}
+
+impl<'a> MatrixProvider<'a> {
+    /// Wraps a condensed matrix.
+    pub fn new(matrix: &'a CondensedMatrix) -> Self {
+        Self { matrix }
+    }
+}
+
+impl NeighborProvider for MatrixProvider<'_> {
+    fn len(&self) -> usize {
+        self.matrix.len()
+    }
+
+    fn neighbors_within(&self, i: usize, eps: f64, out: &mut Vec<(f64, u32)>) {
+        out.clear();
+        let n = self.matrix.len();
+        for j in 0..n {
+            if j == i {
+                continue;
+            }
+            let d = self.matrix.get(i, j);
+            if d <= eps {
+                out.push((d, j as u32));
+            }
+        }
+    }
+
+    fn knn(&self, i: usize, k: usize) -> f64 {
+        let n = self.matrix.len();
+        if n < 2 {
+            return f64::INFINITY;
+        }
+        let k = k.clamp(1, n - 1);
+        let mut row = self.matrix.row(i);
+        let (_, kth, _) = row.select_nth_unstable_by(k - 1, |a, b| {
+            a.partial_cmp(b).expect("dissimilarities are not NaN")
+        });
+        *kth
+    }
+
+    fn pair(&self, i: usize, j: usize) -> f64 {
+        self.matrix.get(i, j)
+    }
+}
+
+/// A provider over a bare presorted [`NeighborIndex`].
+///
+/// Region and k-NN queries are O(log n) binary searches / direct reads;
+/// [`pair`](NeighborProvider::pair) has no O(1) path (the lists are
+/// sorted by dissimilarity, not by index) and degrades to a row scan —
+/// use [`IndexedProvider`] when pair lookups sit on a hot path.
+#[derive(Debug, Clone, Copy)]
+pub struct IndexProvider<'a> {
+    index: &'a NeighborIndex,
+}
+
+impl<'a> IndexProvider<'a> {
+    /// Wraps a neighbor index.
+    pub fn new(index: &'a NeighborIndex) -> Self {
+        Self { index }
+    }
+}
+
+impl NeighborProvider for IndexProvider<'_> {
+    fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    fn neighbors_within(&self, i: usize, eps: f64, out: &mut Vec<(f64, u32)>) {
+        out.clear();
+        out.extend_from_slice(self.index.range(i, eps));
+    }
+
+    fn knn(&self, i: usize, k: usize) -> f64 {
+        self.index.kth_dissimilarity(i, k)
+    }
+
+    fn pair(&self, i: usize, j: usize) -> f64 {
+        if i == j {
+            return 0.0;
+        }
+        self.index
+            .neighbors(i)
+            .iter()
+            .find(|&&(_, nb)| nb as usize == j)
+            .map(|&(d, _)| d)
+            .expect("j is a neighbor of i in a complete index")
+    }
+}
+
+/// The matrix + index provider: sorted `(dissimilarity, index)` region
+/// emission off the index, O(1) pair lookups off the matrix. This is
+/// the session's default backend.
+#[derive(Debug, Clone, Copy)]
+pub struct IndexedProvider<'a> {
+    matrix: &'a CondensedMatrix,
+    index: &'a NeighborIndex,
+}
+
+impl<'a> IndexedProvider<'a> {
+    /// Pairs a matrix with its neighbor index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two cover different item counts.
+    pub fn new(matrix: &'a CondensedMatrix, index: &'a NeighborIndex) -> Self {
+        assert_eq!(
+            matrix.len(),
+            index.len(),
+            "matrix and index must cover the same items"
+        );
+        Self { matrix, index }
+    }
+}
+
+impl NeighborProvider for IndexedProvider<'_> {
+    fn len(&self) -> usize {
+        self.matrix.len()
+    }
+
+    fn neighbors_within(&self, i: usize, eps: f64, out: &mut Vec<(f64, u32)>) {
+        out.clear();
+        out.extend_from_slice(self.index.range(i, eps));
+    }
+
+    fn knn(&self, i: usize, k: usize) -> f64 {
+        self.index.kth_dissimilarity(i, k)
+    }
+
+    fn pair(&self, i: usize, j: usize) -> f64 {
+        self.matrix.get(i, j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> CondensedMatrix {
+        CondensedMatrix::build(n, |i, j| ((i * 13 + j * 7) % 23) as f64 / 10.0)
+    }
+
+    #[test]
+    fn matrix_and_indexed_providers_agree() {
+        let m = toy(15);
+        let idx = NeighborIndex::build(&m);
+        let mp = MatrixProvider::new(&m);
+        let ip = IndexedProvider::new(&m, &idx);
+        let bp = IndexProvider::new(&idx);
+        assert_eq!(mp.len(), 15);
+        assert_eq!(ip.len(), 15);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for i in 0..15 {
+            for eps in [0.0, 0.35, 1.1, 2.3] {
+                mp.neighbors_within(i, eps, &mut a);
+                ip.neighbors_within(i, eps, &mut b);
+                // Same set (order differs: index vs (d, index)).
+                let mut sa = a.clone();
+                sa.sort_by(|x, y| x.partial_cmp(y).unwrap());
+                let mut sb = b.clone();
+                sb.sort_by(|x, y| x.partial_cmp(y).unwrap());
+                assert_eq!(sa, sb, "item {i}, eps {eps}");
+                // Indexed emission is ascending (d, index).
+                assert!(b.windows(2).all(|w| w[0] <= w[1]));
+                let mut c = Vec::new();
+                bp.neighbors_within(i, eps, &mut c);
+                assert_eq!(b, c);
+            }
+            for k in [1usize, 3, 14, 20, usize::MAX] {
+                let want = ip.knn(i, k);
+                assert_eq!(mp.knn(i, k).to_bits(), want.to_bits(), "item {i}, k {k}");
+                assert_eq!(bp.knn(i, k).to_bits(), want.to_bits(), "item {i}, k {k}");
+            }
+            for j in 0..15 {
+                assert_eq!(mp.pair(i, j), ip.pair(i, j));
+                assert_eq!(mp.pair(i, j), bp.pair(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_providers_report_infinite_knn() {
+        let m = toy(1);
+        let idx = NeighborIndex::build(&m);
+        let mp = MatrixProvider::new(&m);
+        let ip = IndexedProvider::new(&m, &idx);
+        assert_eq!(mp.knn(0, 1), f64::INFINITY);
+        assert_eq!(ip.knn(0, 1), f64::INFINITY);
+        let mut out = vec![(0.0, 0u32)];
+        mp.neighbors_within(0, 10.0, &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -67,7 +67,9 @@ pub use cancel::CancelToken;
 pub use compare::{compare_clusterings, ClusteringDiff};
 pub use eval::{evaluate, label_segments, Evaluation};
 pub use msgtype::{identify_message_types, MessageTypeConfig, MessageTypes};
-pub use pipeline::{EpsilonSource, FieldTypeClusterer, PipelineError, PseudoTypeClustering};
+pub use pipeline::{
+    EpsilonSource, FieldTypeClusterer, NeighborBackend, PipelineError, PseudoTypeClustering,
+};
 pub use segments::{SegmentInstance, SegmentStore, UniqueSegment};
 pub use semantics::{interpret, ClusterSemantics, SemanticHypothesis, SemanticsConfig};
 pub use session::AnalysisSession;

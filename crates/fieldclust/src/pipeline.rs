@@ -5,10 +5,73 @@ use crate::session::AnalysisSession;
 use cluster::autoconf::{AutoConfig, SelectedParams};
 use cluster::dbscan::{Clustering, Label};
 use cluster::refine::RefineParams;
-use dissim::{CondensedMatrix, DissimParams};
+use dissim::DissimParams;
 use evalkit::Coverage;
 use segment::TraceSegmentation;
+use std::str::FromStr;
 use trace::Trace;
+
+/// Tile height used when the tiled backend is requested explicitly but
+/// neither [`tile_rows`](FieldTypeClusterer::tile_rows) nor
+/// [`max_memory`](FieldTypeClusterer::max_memory) pins a geometry.
+pub const DEFAULT_TILE_ROWS: usize = 256;
+
+/// How ε-region and k-NN queries are answered during clustering.
+///
+/// Every backend is pinned bit-identical on the final report, so the
+/// choice trades memory and wall time only; it never enters cache keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NeighborBackend {
+    /// Pick per trace: the tiled matrix when a tile geometry is
+    /// configured ([`tile_rows`](FieldTypeClusterer::tile_rows) or
+    /// [`max_memory`](FieldTypeClusterer::max_memory)), the monolithic
+    /// matrix otherwise.
+    #[default]
+    Auto,
+    /// The monolithic in-memory condensed matrix plus a sorted
+    /// neighbor index (O(u²) memory).
+    Matrix,
+    /// The row-block tiled matrix build (bounded peak memory during the
+    /// build; the assembled matrix is still O(u²)).
+    Tiled,
+    /// A vantage-point tree forest answering queries directly from
+    /// segment values — no condensed matrix is ever materialized
+    /// (O(u) memory).
+    Vptree,
+}
+
+impl NeighborBackend {
+    /// All selectable backends, for usage strings and error messages.
+    pub const NAMES: &'static [&'static str] = &["auto", "matrix", "tiled", "vptree"];
+}
+
+impl FromStr for NeighborBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(Self::Auto),
+            "matrix" => Ok(Self::Matrix),
+            "tiled" => Ok(Self::Tiled),
+            "vptree" => Ok(Self::Vptree),
+            other => Err(format!(
+                "unknown neighbor backend '{other}' (expected one of: {})",
+                Self::NAMES.join(", ")
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for NeighborBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::Auto => "auto",
+            Self::Matrix => "matrix",
+            Self::Tiled => "tiled",
+            Self::Vptree => "vptree",
+        })
+    }
+}
 
 /// How the DBSCAN ε was obtained.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,6 +114,14 @@ pub struct FieldTypeClusterer {
     /// build. Translated into a tile height of `max(1, bytes / (8·n))`
     /// rows when [`tile_rows`](Self::tile_rows) is unset.
     pub max_memory: Option<u64>,
+    /// How neighbor queries are answered during clustering. Never
+    /// changes results (pinned bit-identical) and never enters cache
+    /// keys.
+    pub neighbor_backend: NeighborBackend,
+    /// Opt-in SWAR kernel fast path for vantage-point tree distance
+    /// evaluations (bit-identical to the scalar kernel). Ignored by the
+    /// matrix and tiled backends; never enters cache keys.
+    pub swar: bool,
 }
 
 impl Default for FieldTypeClusterer {
@@ -64,6 +135,8 @@ impl Default for FieldTypeClusterer {
             large_cluster_fraction: 0.6,
             tile_rows: None,
             max_memory: None,
+            neighbor_backend: NeighborBackend::default(),
+            swar: false,
         }
     }
 }
@@ -192,6 +265,37 @@ impl FieldTypeClusterer {
         Some(((budget / per_row) as usize).max(1))
     }
 
+    /// Resolves [`neighbor_backend`](Self::neighbor_backend) for a trace
+    /// of `n` unique segments: `Auto` becomes `Tiled` when a tile
+    /// geometry is configured and `Matrix` otherwise; explicit choices
+    /// pass through. Never returns [`NeighborBackend::Auto`].
+    pub fn resolved_backend(&self, n: usize) -> NeighborBackend {
+        match self.neighbor_backend {
+            NeighborBackend::Auto => {
+                if self.effective_tile_rows(n).is_some() {
+                    NeighborBackend::Tiled
+                } else {
+                    NeighborBackend::Matrix
+                }
+            }
+            explicit => explicit,
+        }
+    }
+
+    /// The tile height of the dissimilarity build under the resolved
+    /// backend: `Some(rows)` exactly when the resolved backend is
+    /// [`NeighborBackend::Tiled`], falling back to
+    /// [`DEFAULT_TILE_ROWS`] when the backend was forced without a
+    /// configured geometry. `None` for the matrix and vptree backends.
+    pub(crate) fn tiled_rows(&self, n: usize) -> Option<usize> {
+        match self.resolved_backend(n) {
+            NeighborBackend::Tiled => {
+                Some(self.effective_tile_rows(n).unwrap_or(DEFAULT_TILE_ROWS))
+            }
+            _ => None,
+        }
+    }
+
     /// Checks for a cluster holding more than `large_cluster_fraction`
     /// of the non-noise segments — occurrence-weighted, consistent with
     /// the multiset view.
@@ -212,9 +316,12 @@ impl FieldTypeClusterer {
     }
 
     /// Fallback parameters when no knee exists: half the mean pairwise
-    /// dissimilarity, `min_samples = round(ln n)`.
-    pub(crate) fn mean_fallback(&self, matrix: &CondensedMatrix, n: usize) -> SelectedParams {
-        let epsilon = matrix.mean().unwrap_or(0.0) / 2.0;
+    /// dissimilarity, `min_samples = round(ln n)`. The caller supplies
+    /// the mean from whatever backend it has on hand —
+    /// `CondensedMatrix::mean` and `kernel::pairwise_mean` are pinned
+    /// bit-identical.
+    pub(crate) fn mean_fallback(&self, mean: Option<f64>, n: usize) -> SelectedParams {
+        let epsilon = mean.unwrap_or(0.0) / 2.0;
         SelectedParams {
             epsilon,
             min_samples: ((n as f64).ln().round() as usize).max(2),
@@ -312,6 +419,36 @@ mod tests {
         assert_eq!(c.effective_tile_rows(100), Some(1));
         c.tile_rows = Some(64);
         assert_eq!(c.effective_tile_rows(100), Some(64));
+    }
+
+    #[test]
+    fn neighbor_backend_parses_and_displays() {
+        for name in NeighborBackend::NAMES {
+            let parsed: NeighborBackend = name.parse().unwrap();
+            assert_eq!(parsed.to_string(), *name);
+        }
+        assert!("vp-tree".parse::<NeighborBackend>().is_err());
+        assert_eq!(NeighborBackend::default(), NeighborBackend::Auto);
+    }
+
+    #[test]
+    fn auto_backend_follows_tile_geometry() {
+        let mut c = FieldTypeClusterer::default();
+        assert_eq!(c.resolved_backend(100), NeighborBackend::Matrix);
+        assert_eq!(c.tiled_rows(100), None);
+        c.tile_rows = Some(16);
+        assert_eq!(c.resolved_backend(100), NeighborBackend::Tiled);
+        assert_eq!(c.tiled_rows(100), Some(16));
+        // Explicit choices win over geometry.
+        c.neighbor_backend = NeighborBackend::Vptree;
+        assert_eq!(c.resolved_backend(100), NeighborBackend::Vptree);
+        assert_eq!(c.tiled_rows(100), None);
+        c.neighbor_backend = NeighborBackend::Matrix;
+        assert_eq!(c.resolved_backend(100), NeighborBackend::Matrix);
+        // Forced tiled without a geometry gets the default tile height.
+        c.neighbor_backend = NeighborBackend::Tiled;
+        c.tile_rows = None;
+        assert_eq!(c.tiled_rows(100), Some(DEFAULT_TILE_ROWS));
     }
 
     #[test]

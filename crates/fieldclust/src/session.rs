@@ -9,21 +9,27 @@
 //! [`AnalysisSession`] decomposes the pipeline into explicit stages —
 //!
 //! ```text
-//! preprocess → segment → dedup → matrix → autoconf → cluster → refine
+//! preprocess → segment → dedup → matrix → neighbors → autoconf → cluster → refine
 //! ```
 //!
 //! — each of which computes its artifact at most once and caches it for
 //! every later stage and every external consumer. The dissimilarity
-//! stage produces a shared [`DissimArtifact`]: the condensed matrix plus
-//! a lazily built [`NeighborIndex`] that the autoconf, cluster, and
-//! refine stages use for their ε-region and k-NN queries instead of
-//! scanning matrix rows. With a tile height configured
+//! stage produces a shared [`DissimArtifact`] (the condensed matrix);
+//! the neighbors stage ([`AnalysisSession::ensure_neighbors`]) builds
+//! the acceleration structure of the resolved
+//! [`NeighborBackend`] — a sorted [`NeighborIndex`] over the matrix, or
+//! under [`NeighborBackend::Vptree`] a vantage-point tree forest that
+//! answers ε-region and k-NN queries straight from the segment values,
+//! skipping the matrix stage (and its O(u²) memory) entirely. The
+//! autoconf, cluster, and refine stages consume neighbors only through
+//! the [`NeighborProvider`] abstraction, so every backend is pinned
+//! bit-identical. With a tile height configured
 //! ([`FieldTypeClusterer::tile_rows`] or
-//! [`FieldTypeClusterer::max_memory`]) the stage instead computes,
-//! persists, and faults in fixed-height row tiles and merges per-tile
-//! k-NN partials into the table that serves ε auto-configuration —
-//! bit-identical to the monolithic build either way. Message type
-//! identification
+//! [`FieldTypeClusterer::max_memory`]) the matrix stage instead
+//! computes, persists, and faults in fixed-height row tiles and merges
+//! per-tile k-NN partials into the table that serves ε
+//! auto-configuration — bit-identical to the monolithic build either
+//! way. Message type identification
 //! ([`AnalysisSession::message_types`]) rides on the same session and
 //! reuses its segment dissimilarities rather than building its own.
 //!
@@ -60,15 +66,21 @@ use std::path::Path;
 use crate::cache::{self, ClusterStageArtifact, RefinedArtifact, SelectionArtifact};
 use crate::cancel::CancelToken;
 use crate::msgtype::{self, MessageTypeConfig, MessageTypeError, MessageTypes};
-use crate::pipeline::{EpsilonSource, FieldTypeClusterer, PipelineError, PseudoTypeClustering};
+use crate::pipeline::{
+    EpsilonSource, FieldTypeClusterer, NeighborBackend, PipelineError, PseudoTypeClustering,
+};
 use crate::segments::SegmentStore;
 use cluster::autoconf::{
-    auto_configure, auto_configure_with_index, auto_configure_with_knn, required_k_max,
+    auto_configure, auto_configure_with_knn, auto_configure_with_provider, required_k_max,
     AutoConfError, AutoConfig, SelectedParams,
 };
-use cluster::dbscan::{dbscan, dbscan_weighted_parallel_with_index, Clustering};
-use cluster::refine::{merge_clusters_parallel, split_clusters};
-use dissim::{CondensedMatrix, DissimArtifact, KnnTable, MatrixTile, NeighborIndex, TiledMatrix};
+use cluster::dbscan::{dbscan, dbscan_weighted_parallel_with_provider, Clustering};
+use cluster::refine::{merge_clusters_parallel, merge_clusters_with_provider, split_clusters};
+use dissim::kernel::pairwise_mean;
+use dissim::{
+    CondensedMatrix, DissimArtifact, IndexedProvider, KnnTable, MatrixTile, NeighborIndex,
+    NeighborProvider, TiledMatrix, VpForest, VpProvider, VpTree,
+};
 use segment::{SegmentError, Segmenter, TraceSegmentation};
 use store::{ArtifactStore, Key, Kind, StoreStats};
 use trace::{Preprocessor, Trace};
@@ -88,6 +100,10 @@ pub struct AnalysisSession<'t> {
     // when the tiled build ran (`effective_tile_rows` is `Some`). Feeds
     // the autoconf ECDFs without re-scanning the matrix.
     knn: Option<KnnTable>,
+    // The vantage-point tree forest; present only when the vptree
+    // backend is resolved. Replaces the matrix + index entirely: no
+    // O(u²) structure is built on this path.
+    vpforest: Option<VpForest>,
     selection: Option<(SelectedParams, EpsilonSource)>,
     clustering: Option<Clustering>,
     refined: Option<Clustering>,
@@ -134,6 +150,7 @@ impl<'t> AnalysisSession<'t> {
             store: None,
             dissim: None,
             knn: None,
+            vpforest: None,
             selection: None,
             clustering: None,
             refined: None,
@@ -261,6 +278,7 @@ impl<'t> AnalysisSession<'t> {
         self.store = None;
         self.dissim = None;
         self.knn = None;
+        self.vpforest = None;
         self.selection = None;
         self.clustering = None;
         self.refined = None;
@@ -300,15 +318,57 @@ impl<'t> AnalysisSession<'t> {
     }
 
     /// The neighbor index over [`matrix`](Self::matrix), built (in
-    /// parallel) on first use and cached. All later stages query it
-    /// instead of scanning matrix rows.
+    /// parallel) on first use and cached. The matrix and tiled backends
+    /// query it for every later stage; under the vptree backend it is
+    /// built only when asked for explicitly (forcing the matrix too).
     ///
     /// # Errors
     ///
     /// See [`store`](Self::store).
     pub fn neighbors(&mut self) -> Result<&NeighborIndex, PipelineError> {
         self.ensure_dissim()?;
-        Ok(self.dissim.as_mut().expect("ensured").neighbors())
+        self.ensure_index();
+        Ok(self
+            .dissim
+            .as_ref()
+            .expect("ensured")
+            .neighbors_built()
+            .expect("just built"))
+    }
+
+    /// Stage 4b (neighbors): builds the resolved backend's neighbor
+    /// acceleration structure — the sorted [`NeighborIndex`] over the
+    /// condensed matrix (matrix/tiled backends) or the vantage-point
+    /// tree forest (vptree backend, which materializes no matrix at
+    /// all). Later stages answer their ε-region and k-NN queries
+    /// through it; all backends are pinned bit-identical.
+    ///
+    /// Runs implicitly before autoconf; calling it explicitly lets a
+    /// driver time (or cancel between) the matrix and neighbor builds
+    /// separately.
+    ///
+    /// # Errors
+    ///
+    /// See [`store`](Self::store).
+    pub fn ensure_neighbors(&mut self) -> Result<(), PipelineError> {
+        self.check_cancelled()?;
+        self.ensure_store()?;
+        let n = self.store.as_ref().expect("ensured").segments.len();
+        match self.config.resolved_backend(n) {
+            NeighborBackend::Vptree => self.ensure_vpforest(),
+            _ => {
+                self.ensure_dissim()?;
+                self.ensure_index();
+                Ok(())
+            }
+        }
+    }
+
+    /// The vantage-point tree forest, if the vptree backend has built
+    /// one ([`ensure_neighbors`](Self::ensure_neighbors) under
+    /// [`NeighborBackend::Vptree`]).
+    pub fn vp_forest(&self) -> Option<&VpForest> {
+        self.vpforest.as_ref()
     }
 
     /// The merged per-tile k-NN table, if the tiled dissimilarity build
@@ -550,12 +610,14 @@ impl<'t> AnalysisSession<'t> {
             return artifact;
         }
         let family = cache::dissim_family_key(values, params);
-        let mut artifact = self
+        let artifact = self
             .extend_from_prefix(cache, &family, values, n)
             .unwrap_or_else(|| DissimArtifact::compute_segments(values, params, threads));
-        // Persist the neighbor index alongside the matrix: a warm run
-        // must skip the O(n² log n) sort as well as the O(n²) build.
-        artifact.neighbors();
+        // Persisted matrix-only at this point; the neighbors stage
+        // (`ensure_index`) re-puts the artifact with its index once that
+        // is built, so a warm run skips the O(n² log n) sort as well as
+        // the O(n²) build while the matrix and neighbor build times stay
+        // separately attributable.
         cache.put(&key, &artifact);
         cache.manifest_add(&family, n, &key);
         artifact
@@ -633,12 +695,85 @@ impl<'t> AnalysisSession<'t> {
             }
         };
         let knn = tiled.knn_table(required_k_max(n), threads);
-        let mut artifact = DissimArtifact::from_matrix(tiled.assemble(), threads);
-        // Build the neighbor index eagerly (and in parallel) while the
-        // session is already in its build phase; every later stage
-        // queries it.
-        artifact.neighbors();
+        // The neighbor index is built by the separate neighbors stage
+        // (`ensure_index`), keeping matrix and neighbor build times
+        // separately attributable.
+        let artifact = DissimArtifact::from_matrix(tiled.assemble(), threads);
         (artifact, knn)
+    }
+
+    /// Builds (or fetches, or incrementally extends) the vantage-point
+    /// tree forest over `values` — chunk trees computed, checksummed,
+    /// and (with a cache attached) persisted individually, with cached
+    /// trees faulted back in on warm runs; a damaged tree degrades to
+    /// rebuild. Growing the segment set is a pure chunk-append:
+    /// complete chunk trees keep their keys (`cache::vptree_keys`), so
+    /// only the appended and formerly partial chunks rebuild.
+    fn build_vpforest_cached(&self, values: &[&[u8]]) -> VpForest {
+        let params = &self.config.dissim;
+        let chunk = dissim::vptree::DEFAULT_CHUNK;
+        let Some(cache) = self.cache.as_ref() else {
+            return VpForest::build(values, params, chunk);
+        };
+        let keys = cache::vptree_keys(values, params, chunk);
+        let family = cache::vptree_family_key(values, params);
+        VpForest::build_with(
+            values,
+            params,
+            chunk,
+            |t, _span| cache.get::<VpTree>(&keys[t]),
+            |t, tree, built| {
+                if built {
+                    cache.put(&keys[t], tree);
+                    cache.manifest_add(&family, tree.span().end, &keys[t]);
+                }
+            },
+        )
+    }
+
+    /// The vptree arm of the neighbors stage: builds (or faults in)
+    /// the chunk forest. No matrix, index, or other O(u²) structure is
+    /// touched.
+    fn ensure_vpforest(&mut self) -> Result<(), PipelineError> {
+        self.check_cancelled()?;
+        if self.vpforest.is_some() {
+            return Ok(());
+        }
+        self.ensure_store()?;
+        let forest = {
+            let store = self.store.as_ref().expect("ensured");
+            let values: Vec<&[u8]> = store.segments.iter().map(|s| &s.value[..]).collect();
+            self.build_vpforest_cached(&values)
+        };
+        self.vpforest = Some(forest);
+        Ok(())
+    }
+
+    /// The matrix-backed arm of the neighbors stage: builds the sorted
+    /// [`NeighborIndex`] over the present dissimilarity artifact if it
+    /// is missing, and re-persists monolithic artifacts with the index
+    /// attached so a warm run skips the O(n² log n) sort too. Tiled
+    /// sessions cache tiles, not the assembled artifact, so they only
+    /// build. No-op when the index is already present (e.g. faulted in
+    /// from a warm cache).
+    fn ensure_index(&mut self) {
+        if self
+            .dissim
+            .as_ref()
+            .is_none_or(|a| a.neighbors_built().is_some())
+        {
+            return;
+        }
+        self.dissim.as_mut().expect("present").neighbors();
+        let (Some(cache), Some(store)) = (self.cache.as_ref(), self.store.as_ref()) else {
+            return;
+        };
+        if self.config.tiled_rows(store.segments.len()).is_some() {
+            return;
+        }
+        let values: Vec<&[u8]> = store.segments.iter().map(|s| &s.value[..]).collect();
+        let key = cache::dissim_key(&values, &self.config.dissim);
+        cache.put(&key, self.dissim.as_ref().expect("present"));
     }
 
     /// The stage key for a configuration-dependent artifact, if a cache
@@ -680,12 +815,12 @@ impl<'t> AnalysisSession<'t> {
         let (artifact, knn) = {
             let store = self.store.as_ref().expect("ensured");
             let values: Vec<&[u8]> = store.segments.iter().map(|s| &s.value[..]).collect();
-            match self.config.effective_tile_rows(values.len()) {
+            match self.config.tiled_rows(values.len()) {
                 Some(tile_rows) => {
                     let (artifact, knn) = self.build_dissim_tiled(&values, tile_rows);
                     (artifact, Some(knn))
                 }
-                None => (self.build_dissim_cached(&values), None),
+                None => (self.build_dissim_monolithic(&values), None),
             }
         };
         self.dissim = Some(artifact);
@@ -706,7 +841,7 @@ impl<'t> AnalysisSession<'t> {
                 return Ok(());
             }
         }
-        self.ensure_dissim()?;
+        self.ensure_neighbors()?;
         // The matrix covers *unique* values; clustering must behave as
         // if every duplicate segment were present, so occurrence counts
         // act as DBSCAN sample weights and min_samples is sized by the
@@ -715,13 +850,43 @@ impl<'t> AnalysisSession<'t> {
         let weights = self.store.as_ref().expect("ensured").occurrence_counts();
         let total_instances: usize = weights.iter().sum();
         let min_samples = ((total_instances as f64).ln().round() as usize).max(2);
-        let artifact = self.dissim.as_mut().expect("ensured");
+        let n = weights.len();
         // Tiled sessions select ε from the merged per-tile k-NN table;
-        // otherwise the neighbor index serves the k-dist queries. Both
-        // are bit-identical to the matrix scan.
-        let selection = match &self.knn {
-            Some(table) => auto_configure_with_knn(table, &self.config.autoconf),
-            None => auto_configure_with_index(artifact.neighbors(), &self.config.autoconf),
+        // the vptree backend answers the k-dist queries straight from
+        // its forest; otherwise the neighbor index serves them. All are
+        // bit-identical to the matrix scan. The fallback mean likewise
+        // comes from the matrix or (vptree) a pairwise kernel pass —
+        // pinned bit-identical.
+        let (selection, fallback_mean) = match self.config.resolved_backend(n) {
+            NeighborBackend::Vptree => {
+                let store = self.store.as_ref().expect("ensured");
+                let values: Vec<&[u8]> = store.segments.iter().map(|s| &s.value[..]).collect();
+                let forest = self.vpforest.as_ref().expect("ensured");
+                let provider = VpProvider::new(&values, &self.config.dissim, forest)
+                    .with_swar(self.config.swar);
+                let selection = auto_configure_with_provider(&provider, &self.config.autoconf);
+                let mean = selection
+                    .is_err()
+                    .then(|| pairwise_mean(&values, &self.config.dissim))
+                    .flatten();
+                (selection, mean)
+            }
+            _ => {
+                let artifact = self.dissim.as_ref().expect("ensured");
+                let index = artifact.neighbors_built().expect("ensured");
+                let selection = match &self.knn {
+                    Some(table) => auto_configure_with_knn(table, &self.config.autoconf),
+                    None => auto_configure_with_provider(
+                        &IndexedProvider::new(artifact.matrix(), index),
+                        &self.config.autoconf,
+                    ),
+                };
+                let mean = selection
+                    .is_err()
+                    .then(|| artifact.matrix().mean())
+                    .flatten();
+                (selection, mean)
+            }
         };
         let (mut selected, source) = match selection {
             Ok(p) => (p, EpsilonSource::Knee),
@@ -729,7 +894,7 @@ impl<'t> AnalysisSession<'t> {
                 return Err(PipelineError::TooFewSegments { n })
             }
             Err(_) => (
-                self.config.mean_fallback(artifact.matrix(), artifact.len()),
+                self.config.mean_fallback(fallback_mean, n),
                 EpsilonSource::MeanFallback,
             ),
         };
@@ -767,46 +932,35 @@ impl<'t> AnalysisSession<'t> {
             }
         }
         self.ensure_selection()?;
-        self.ensure_dissim()?;
+        self.ensure_neighbors()?;
         let weights = self.store.as_ref().expect("ensured").occurrence_counts();
         let (selected, _) = self.selection.clone().expect("ensured");
-        let min_samples = selected.min_samples;
-        let threads = self.config.threads;
-        let artifact = self.dissim.as_mut().expect("ensured");
-        let mut clustering = dbscan_weighted_parallel_with_index(
-            artifact.neighbors(),
-            selected.epsilon,
-            min_samples,
-            &weights,
-            threads,
-        );
-
-        // §III-E: a single dominating cluster signals a too-large ε from
-        // a multi-knee ECDF; re-configure on the trimmed distribution.
-        if self.config.has_dominating_cluster(&clustering, &weights) {
-            let trimmed_config = AutoConfig {
-                max_dissimilarity: Some(selected.epsilon),
-                ..self.config.autoconf
-            };
-            let trimmed = match &self.knn {
-                Some(table) => auto_configure_with_knn(table, &trimmed_config),
-                None => auto_configure_with_index(artifact.neighbors(), &trimmed_config),
-            };
-            if let Ok(p) = trimmed {
-                if p.epsilon < selected.epsilon {
-                    clustering = dbscan_weighted_parallel_with_index(
-                        artifact.neighbors(),
-                        p.epsilon,
-                        min_samples,
+        let (clustering, reselected) = {
+            let store = self.store.as_ref().expect("ensured");
+            match self.config.resolved_backend(store.segments.len()) {
+                NeighborBackend::Vptree => {
+                    let values: Vec<&[u8]> = store.segments.iter().map(|s| &s.value[..]).collect();
+                    let forest = self.vpforest.as_ref().expect("ensured");
+                    let provider = VpProvider::new(&values, &self.config.dissim, forest)
+                        .with_swar(self.config.swar);
+                    cluster_with_provider(&self.config, &provider, None, &selected, &weights)
+                }
+                _ => {
+                    let artifact = self.dissim.as_ref().expect("ensured");
+                    let index = artifact.neighbors_built().expect("ensured");
+                    let provider = IndexedProvider::new(artifact.matrix(), index);
+                    cluster_with_provider(
+                        &self.config,
+                        &provider,
+                        self.knn.as_ref(),
+                        &selected,
                         &weights,
-                        threads,
-                    );
-                    self.selection = Some((
-                        SelectedParams { min_samples, ..p },
-                        EpsilonSource::TrimmedKnee,
-                    ));
+                    )
                 }
             }
+        };
+        if let Some(sel) = reselected {
+            self.selection = Some(sel);
         }
         if let (Some(cache), Some(key)) = (self.cache.as_ref(), &stage_key) {
             let (params, source) = self.selection.as_ref().expect("ensured");
@@ -840,21 +994,39 @@ impl<'t> AnalysisSession<'t> {
             }
         }
         // The clustering stage may have been a cache hit that loaded no
-        // matrix; refinement itself needs one.
-        self.ensure_dissim()?;
-        self.dissim.as_mut().expect("ensured").neighbors(); // force the index
-        let artifact = self.dissim.as_ref().expect("ensured");
-        let index = artifact.neighbors_built().expect("just built");
-        let clustering = self.clustering.as_ref().expect("ensured");
+        // neighbor structure; refinement itself needs one.
+        self.ensure_neighbors()?;
         let weights = self.store.as_ref().expect("ensured").occurrence_counts();
-        let merged = merge_clusters_parallel(
-            clustering,
-            artifact.matrix(),
-            index,
-            &self.config.refine,
-            self.config.threads,
-        );
-        let refined = split_clusters(&merged, &weights, &self.config.refine);
+        let refined = {
+            let store = self.store.as_ref().expect("ensured");
+            let clustering = self.clustering.as_ref().expect("ensured");
+            let merged = match self.config.resolved_backend(store.segments.len()) {
+                NeighborBackend::Vptree => {
+                    let values: Vec<&[u8]> = store.segments.iter().map(|s| &s.value[..]).collect();
+                    let forest = self.vpforest.as_ref().expect("ensured");
+                    let provider = VpProvider::new(&values, &self.config.dissim, forest)
+                        .with_swar(self.config.swar);
+                    merge_clusters_with_provider(
+                        clustering,
+                        &provider,
+                        &self.config.refine,
+                        self.config.threads,
+                    )
+                }
+                _ => {
+                    let artifact = self.dissim.as_ref().expect("ensured");
+                    let index = artifact.neighbors_built().expect("ensured");
+                    merge_clusters_parallel(
+                        clustering,
+                        artifact.matrix(),
+                        index,
+                        &self.config.refine,
+                        self.config.threads,
+                    )
+                }
+            };
+            split_clusters(&merged, &weights, &self.config.refine)
+        };
         if let (Some(cache), Some(key)) = (self.cache.as_ref(), &refined_key) {
             cache.put(key, &RefinedArtifact(refined.clone()));
         }
@@ -896,6 +1068,60 @@ impl<'t> AnalysisSession<'t> {
         self.full_dissim = Some(artifact);
         Ok(())
     }
+}
+
+/// Occurrence-weighted DBSCAN at the selected parameters, plus the
+/// §III-E dominating-cluster re-configuration on the trimmed ECDF —
+/// over any neighbor backend. Returns the labels and, when the trimmed
+/// rerun fired, the re-selected parameters. Tiled sessions pass their
+/// merged `knn` table so the trimmed selection reuses it; every other
+/// backend answers the k-dist queries through the provider. All paths
+/// are pinned bit-identical.
+fn cluster_with_provider<P: NeighborProvider + Sync>(
+    config: &FieldTypeClusterer,
+    provider: &P,
+    knn: Option<&KnnTable>,
+    selected: &SelectedParams,
+    weights: &[usize],
+) -> (Clustering, Option<(SelectedParams, EpsilonSource)>) {
+    let min_samples = selected.min_samples;
+    let threads = config.threads;
+    let mut clustering = dbscan_weighted_parallel_with_provider(
+        provider,
+        selected.epsilon,
+        min_samples,
+        weights,
+        threads,
+    );
+    let mut reselected = None;
+    // §III-E: a single dominating cluster signals a too-large ε from a
+    // multi-knee ECDF; re-configure on the trimmed distribution.
+    if config.has_dominating_cluster(&clustering, weights) {
+        let trimmed_config = AutoConfig {
+            max_dissimilarity: Some(selected.epsilon),
+            ..config.autoconf
+        };
+        let trimmed = match knn {
+            Some(table) => auto_configure_with_knn(table, &trimmed_config),
+            None => auto_configure_with_provider(provider, &trimmed_config),
+        };
+        if let Ok(p) = trimmed {
+            if p.epsilon < selected.epsilon {
+                clustering = dbscan_weighted_parallel_with_provider(
+                    provider,
+                    p.epsilon,
+                    min_samples,
+                    weights,
+                    threads,
+                );
+                reselected = Some((
+                    SelectedParams { min_samples, ..p },
+                    EpsilonSource::TrimmedKnee,
+                ));
+            }
+        }
+    }
+    (clustering, reselected)
 }
 
 #[cfg(test)]

@@ -518,6 +518,148 @@ fn tiled_growth_reuses_complete_tiles() {
     }
 }
 
+// ----- neighbor-backend equivalence: matrix vs tiled vs vptree -----
+//
+// The three neighbor backends answer the same ε-region and k-NN
+// queries through different structures — sorted index over the
+// monolithic matrix, tiled matrix + merged k-NN table, vantage-point
+// tree forest over the raw values. Every derived artifact (ε bits,
+// min_samples, k, labels, refined clusters) must be identical across
+// them; the backend, like the tile geometry, is a performance knob
+// only.
+
+#[test]
+fn all_neighbor_backends_are_bit_identical() {
+    use fieldclust::NeighborBackend;
+    for (protocol, n, seed) in [
+        (Protocol::Dns, 120, corpus::DEFAULT_SEED),
+        (Protocol::Ntp, 150, corpus::DEFAULT_SEED),
+        (Protocol::Dns, 80, 31),
+    ] {
+        let trace = corpus::build_trace(protocol, n, seed);
+        let gt = corpus::ground_truth(protocol, &trace);
+        let seg = truth_segmentation(&trace, &gt);
+        let label = format!("{protocol:?}/n{n}/s{seed}");
+
+        let run = |config: FieldTypeClusterer| {
+            let mut s = AnalysisSession::new(&trace, config);
+            s.set_segmentation(seg.clone());
+            (s.finish().expect("pipeline"), s)
+        };
+        let (reference, _) = run(FieldTypeClusterer {
+            neighbor_backend: NeighborBackend::Matrix,
+            ..FieldTypeClusterer::default()
+        });
+        let backends = [
+            FieldTypeClusterer {
+                neighbor_backend: NeighborBackend::Tiled,
+                tile_rows: Some(16),
+                ..FieldTypeClusterer::default()
+            },
+            FieldTypeClusterer {
+                neighbor_backend: NeighborBackend::Vptree,
+                ..FieldTypeClusterer::default()
+            },
+            FieldTypeClusterer {
+                neighbor_backend: NeighborBackend::Vptree,
+                swar: true,
+                ..FieldTypeClusterer::default()
+            },
+        ];
+        for config in backends {
+            let tag = format!(
+                "{label}/{}{}",
+                config.neighbor_backend,
+                if config.swar { "+swar" } else { "" }
+            );
+            let vptree = config.neighbor_backend == NeighborBackend::Vptree;
+            let (result, session) = run(config);
+            if vptree {
+                assert!(
+                    session.vp_forest().is_some(),
+                    "{tag}: vptree backend must build its forest"
+                );
+                assert!(
+                    session.knn_table().is_none(),
+                    "{tag}: vptree backend must not build a k-NN table"
+                );
+            }
+            assert_eq!(
+                result.params.epsilon.to_bits(),
+                reference.params.epsilon.to_bits(),
+                "{tag}: eps differs ({} vs {})",
+                result.params.epsilon,
+                reference.params.epsilon
+            );
+            assert_eq!(
+                result.params.min_samples, reference.params.min_samples,
+                "{tag}"
+            );
+            assert_eq!(result.params.k, reference.params.k, "{tag}");
+            assert_eq!(result.epsilon_source, reference.epsilon_source, "{tag}");
+            assert_eq!(result.store, reference.store, "{tag}: segment stores");
+            assert_eq!(result.clustering, reference.clustering, "{tag}: labels");
+        }
+    }
+}
+
+#[test]
+fn vptree_warm_run_faults_the_forest_back_in() {
+    use fieldclust::NeighborBackend;
+    let dir = cache_dir("vptree-warm");
+    let trace = corpus::build_trace(Protocol::Dns, 100, 27);
+    let config = FieldTypeClusterer {
+        neighbor_backend: NeighborBackend::Vptree,
+        ..FieldTypeClusterer::default()
+    };
+
+    // Cold vptree run persists chunk trees + stage artifacts — and no
+    // monolithic dissimilarity artifact (the matrix is never built).
+    let mut cold = truth_session_with(&trace, config.clone())
+        .with_store(&dir)
+        .expect("open store");
+    let cold_result = cold.finish().expect("cold pipeline");
+    let cold_stats = cold.cache_stats().expect("stats");
+    assert_eq!(cold_stats.hits, 0, "first vptree run must not hit");
+    assert!(cold_stats.writes > 0, "first vptree run must persist trees");
+    let trees: Vec<_> = std::fs::read_dir(&dir)
+        .expect("read cache dir")
+        .map(|e| e.expect("entry").file_name().to_string_lossy().to_string())
+        .filter(|name| name.starts_with("vptree-"))
+        .collect();
+    assert!(!trees.is_empty(), "chunk trees must be persisted on disk");
+    assert!(
+        !std::fs::read_dir(&dir)
+            .expect("read cache dir")
+            .map(|e| e.expect("entry").file_name().to_string_lossy().to_string())
+            .any(|name| name.starts_with("dissim-")),
+        "the vptree path must not persist a condensed matrix"
+    );
+
+    // Warm run: stage artifacts hit, and explicitly rebuilding the
+    // neighbors stage faults the forest in — no misses, no writes.
+    let mut warm = truth_session_with(&trace, config)
+        .with_store(&dir)
+        .expect("open store");
+    let warm_result = warm.finish().expect("warm pipeline");
+    warm.ensure_neighbors().expect("fault the forest in");
+    assert!(warm.vp_forest().is_some());
+    let stats = warm.cache_stats().expect("stats");
+    assert_eq!(
+        stats.misses, 0,
+        "fully warm vptree run must not miss: {stats}"
+    );
+    assert_eq!(
+        stats.writes, 0,
+        "fully warm vptree run must not write: {stats}"
+    );
+    assert_eq!(warm_result.clustering, cold_result.clustering);
+    assert_eq!(
+        warm_result.params.epsilon.to_bits(),
+        cold_result.params.epsilon.to_bits()
+    );
+}
+
 #[test]
 fn damaged_tile_degrades_to_recompute() {
     let dir = cache_dir("tiled-corrupt");

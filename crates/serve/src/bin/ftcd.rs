@@ -3,6 +3,7 @@
 //! ```text
 //! ftcd [--addr A] [--port-file F] [--workers N] [--queue N]
 //!      [--threads N] [--cache-dir D] [--job-history N]
+//!      [--neighbor-backend B]
 //! ```
 //!
 //! Binds loopback by default, prints the resolved address, serves until
@@ -15,7 +16,7 @@ ftcd — field type clustering analysis daemon
 
 USAGE:
   ftcd [--addr A] [--port-file F] [--workers N] [--queue N] [--threads N] [--cache-dir D]
-       [--job-history N]
+       [--job-history N] [--neighbor-backend B]
 
 OPTIONS:
   --addr A         listen address (default 127.0.0.1:4747; port 0 = ephemeral)
@@ -25,6 +26,9 @@ OPTIONS:
   --threads N      threads per analysis stage, 0 = auto (never affects results)
   --cache-dir D    persist stage artifacts under D and warm-start from them
   --job-history N  finished job records (and reports) kept queryable (default 256)
+  --neighbor-backend B
+                   neighbor queries: auto|matrix|tiled|vptree (default auto;
+                   never affects results, only memory and wall time)
 
 EXIT CODES:
   0  clean shutdown    1  runtime failure    2  bad usage";
@@ -69,6 +73,11 @@ fn main() {
                     .unwrap_or_else(|_| fail_usage("--threads needs a number"))
             }
             "--cache-dir" => config.cache_dir = Some(value_for("--cache-dir")),
+            "--neighbor-backend" => {
+                config.neighbor_backend = value_for("--neighbor-backend")
+                    .parse()
+                    .unwrap_or_else(|e: String| fail_usage(&e))
+            }
             "--job-history" => {
                 config.job_history = value_for("--job-history")
                     .parse()

@@ -47,7 +47,7 @@ use crate::proto::{JobState, Request, Response, ServerStats};
 use crate::wire::{read_frame, write_frame, WireError};
 use fieldclust::report::standard_report;
 use fieldclust::session::AnalysisSession;
-use fieldclust::{ArtifactStore, CancelToken, FieldTypeClusterer, PipelineError};
+use fieldclust::{ArtifactStore, CancelToken, FieldTypeClusterer, NeighborBackend, PipelineError};
 use std::collections::HashMap;
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -83,6 +83,10 @@ pub struct ServerConfig {
     /// its session but before it runs its stages, making queue and
     /// session states observable deterministically.
     pub worker_delay_ms: u64,
+    /// Neighbor backend for every analysis session (matrix, tiled,
+    /// vptree, or auto). Never affects results, only memory and wall
+    /// time.
+    pub neighbor_backend: NeighborBackend,
 }
 
 impl Default for ServerConfig {
@@ -95,6 +99,7 @@ impl Default for ServerConfig {
             cache_dir: None,
             job_history: 256,
             worker_delay_ms: 0,
+            neighbor_backend: NeighborBackend::default(),
         }
     }
 }
@@ -619,6 +624,7 @@ fn run_job(shared: &Arc<Shared>, job_id: u64, trace_id: u64, segmenter: &str, to
                 if shared.config.threads > 0 {
                     config.threads = shared.config.threads;
                 }
+                config.neighbor_backend = shared.config.neighbor_backend;
                 let mut s = AnalysisSession::from_owned(entry.prepared.clone(), config);
                 if let Some(store) = &shared.store {
                     s.set_store(store.clone());
@@ -709,11 +715,27 @@ fn drive_stages(
         return phase_of(e);
     }
     timed("dedup", t.elapsed());
+    // The matrix and neighbor builds get separate wall buckets: the
+    // matrix stage is the O(u²) pairwise build, the neighbors stage the
+    // backend's acceleration structure (index sort or vptree forest).
+    // Under the vptree backend no matrix exists, so that bucket stays
+    // untouched and the whole build cost lands under "neighbors".
+    let n = match session.store() {
+        Ok(store) => store.segments.len(),
+        Err(e) => return phase_of(e),
+    };
+    if session.config().resolved_backend(n) != NeighborBackend::Vptree {
+        let t = Instant::now();
+        if let Err(e) = session.matrix().map(|_| ()) {
+            return phase_of(e);
+        }
+        timed("matrix", t.elapsed());
+    }
     let t = Instant::now();
-    if let Err(e) = session.matrix().map(|_| ()) {
+    if let Err(e) = session.ensure_neighbors() {
         return phase_of(e);
     }
-    timed("matrix", t.elapsed());
+    timed("neighbors", t.elapsed());
     let t = Instant::now();
     if let Err(e) = session.autoconf().map(|_| ()) {
         return phase_of(e);

@@ -106,7 +106,14 @@ fn concurrent_clients_get_byte_identical_reports() {
         .iter()
         .map(|(s, _)| s.as_str())
         .collect();
-    for stage in ["segment", "matrix", "autoconf", "cluster", "report"] {
+    for stage in [
+        "segment",
+        "matrix",
+        "neighbors",
+        "autoconf",
+        "cluster",
+        "report",
+    ] {
         assert!(stages.contains(&stage), "stage {stage} must be timed");
     }
 

@@ -10,7 +10,8 @@
 
 use crate::codec::{Reader, Writer};
 use cluster::{Clustering, Label, SelectedParams};
-use dissim::{CondensedMatrix, DissimArtifact, MatrixTile, NeighborIndex};
+use dissim::vptree::VpNode;
+use dissim::{CondensedMatrix, DissimArtifact, MatrixTile, NeighborIndex, VpTree};
 use segment::{MessageSegments, TraceSegmentation};
 
 /// An artifact kind: a stable one-byte tag plus a file-name prefix.
@@ -67,6 +68,11 @@ impl Kind {
     pub const TILE: Kind = Kind {
         tag: 9,
         name: "tile",
+    };
+    /// One chunk tree of a vantage-point forest ([`VpTree`]).
+    pub const VPTREE: Kind = Kind {
+        tag: 10,
+        name: "vptree",
     };
 
     /// The one-byte tag written into file frames and fed into keys.
@@ -275,6 +281,57 @@ impl Persist for MatrixTile {
     }
 }
 
+impl Persist for VpTree {
+    const KIND: Kind = Kind::VPTREE;
+
+    fn encode(&self, w: &mut Writer) {
+        let span = self.span();
+        w.usize(span.start);
+        w.usize(span.end);
+        w.u32(self.root());
+        w.u64(self.checksum());
+        // The node count is implied by the span.
+        for node in self.nodes() {
+            w.u32(node.item);
+            w.f64(node.threshold);
+            w.u32(node.inside);
+            w.u32(node.outside);
+        }
+    }
+
+    fn decode(r: &mut Reader) -> Option<Self> {
+        let start = r.usize()?;
+        let end = r.usize()?;
+        if start > end {
+            return None;
+        }
+        let root = r.u32()?;
+        let checksum = r.u64()?;
+        let m = end.checked_sub(start)?;
+        if m.checked_mul(20)? > r.remaining() {
+            return None;
+        }
+        let mut nodes = Vec::with_capacity(m);
+        for _ in 0..m {
+            let item = r.u32()?;
+            let threshold = r.f64()?;
+            let inside = r.u32()?;
+            let outside = r.u32()?;
+            nodes.push(VpNode {
+                item,
+                threshold,
+                inside,
+                outside,
+            });
+        }
+        // `from_parts` re-validates the whole structure (node count,
+        // single-visit reachability, in-span items, NaN-free thresholds)
+        // and the checksum, so hostile or bit-flipped payloads decode as
+        // a miss.
+        VpTree::from_parts(start..end, root, nodes, checksum)
+    }
+}
+
 impl Persist for SelectedParams {
     const KIND: Kind = Kind::SELECTION;
 
@@ -465,6 +522,46 @@ mod tests {
         w.usize(usize::MAX / 2);
         w.u64(0);
         assert!(decode_payload::<MatrixTile>(&w.into_inner()).is_none());
+    }
+
+    #[test]
+    fn vptree_roundtrip_is_exact() {
+        let params = dissim::DissimParams::default();
+        let segs: Vec<Vec<u8>> = (0..13u8)
+            .map(|i| vec![i.wrapping_mul(11), i ^ 5, i])
+            .collect();
+        let vals: Vec<&[u8]> = segs.iter().map(|s| &s[..]).collect();
+        let forest = dissim::VpForest::build(&vals, &params, 5);
+        assert!(forest.trees().len() > 1, "want multiple chunk trees");
+        for tree in forest.trees() {
+            assert_eq!(&roundtrip(tree), tree);
+        }
+    }
+
+    #[test]
+    fn vptree_corruption_is_a_miss() {
+        let params = dissim::DissimParams::default();
+        let segs: Vec<Vec<u8>> = (0..9u8).map(|i| vec![i, i.wrapping_mul(3)]).collect();
+        let vals: Vec<&[u8]> = segs.iter().map(|s| &s[..]).collect();
+        let forest = dissim::VpForest::build(&vals, &params, 9);
+        let tree = &forest.trees()[0];
+        let good = encode_payload(tree);
+        assert!(decode_payload::<VpTree>(&good).is_some());
+        // Flip one bit in the last node's child index: the checksum
+        // catches it.
+        let mut bad = good.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x04;
+        assert!(decode_payload::<VpTree>(&bad).is_none());
+        // Truncation.
+        assert!(decode_payload::<VpTree>(&good[..good.len() - 4]).is_none());
+        // Hostile span claiming more nodes than present.
+        let mut w = Writer::new();
+        w.usize(0);
+        w.usize(usize::MAX / 32);
+        w.u32(0);
+        w.u64(0);
+        assert!(decode_payload::<VpTree>(&w.into_inner()).is_none());
     }
 
     #[test]

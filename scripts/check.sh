@@ -23,6 +23,24 @@ grep -Eq 'cache: hits=[1-9][0-9]* misses=0 writes=0' "$tmp/warm.err"
 cmp "$tmp/cold.out" "$tmp/warm.out"
 echo "store smoke test: warm run hit the cache and reproduced the cold report"
 
+# Neighbor-backend equivalence smoke test: the same capture analyzed
+# through every neighbor backend (matrix row scans, tiled + sorted
+# index, vantage-point forest, vptree + SWAR kernel) must produce
+# byte-identical reports — the backend is a performance knob, never a
+# result knob.
+cargo run --release -q -p cli -- analyze "$tmp/smoke.pcap" --neighbor-backend matrix \
+    --report "$tmp/backend-matrix.md"
+cargo run --release -q -p cli -- analyze "$tmp/smoke.pcap" --neighbor-backend tiled --tile-rows 64 \
+    --report "$tmp/backend-tiled.md"
+cargo run --release -q -p cli -- analyze "$tmp/smoke.pcap" --neighbor-backend vptree \
+    --report "$tmp/backend-vptree.md"
+cargo run --release -q -p cli -- analyze "$tmp/smoke.pcap" --neighbor-backend vptree --swar \
+    --report "$tmp/backend-swar.md"
+cmp "$tmp/backend-matrix.md" "$tmp/backend-tiled.md"
+cmp "$tmp/backend-matrix.md" "$tmp/backend-vptree.md"
+cmp "$tmp/backend-matrix.md" "$tmp/backend-swar.md"
+echo "backend smoke test: matrix, tiled, vptree and vptree+swar reports are byte-identical"
+
 # Peak-RSS smoke test: the tiled out-of-core build at u=2000 must stay
 # under a fixed 16 MiB budget — below what materializing the full
 # condensed matrix (16 MB at u=2000) on top of the process baseline
@@ -41,6 +59,13 @@ else
     ./target/release/tiledmem 2000 256 "$rss_budget"
 fi
 echo "rss smoke test: tiled build at u=2000 stayed under $rss_budget bytes"
+
+# Same budget for the matrix-free vptree path: the ladder's budget mode
+# skips the matrix oracle rungs and self-checks VmHWM, so the vp-forest
+# ε-search at u=2000 must fit where the full matrix would not.
+cargo build --release -q -p bench --bin neighbor_ladder
+./target/release/neighbor_ladder 2000 128 "$rss_budget" >/dev/null
+echo "rss smoke test: vptree search at u=2000 stayed under $rss_budget bytes"
 
 # Daemon smoke test: ftcd on an ephemeral port must serve a report
 # byte-identical to the offline CLI's, report sane stats, and exit 0
