@@ -18,35 +18,57 @@
 //! dissimilarity is a true metric and the vp-tree runs its pruned
 //! search rather than the exact linear fallback. Query checksums are
 //! order-normalized and asserted bit-identical across backends wherever
-//! more than one ran, and every rung appends a
-//! `neighbor_ladder_u{u}_{backend}` record (wall time + peak RSS) to
-//! `BENCH_trajectory.json` — the matrix/vptree crossover is read off
-//! the wall-time columns, and the top rung's RSS documents that u=50k
-//! completes without the triangle.
+//! more than one ran — including a `vptree+batch` pass that answers the
+//! identical workload through the provider's batched parallel query API
+//! ([`NeighborProvider::neighbors_within_batch`] / `knn_batch`) — and
+//! every rung appends a `neighbor_ladder_u{u}_{backend}` record (wall
+//! time + peak RSS) to `BENCH_trajectory.json`. The matrix/vptree
+//! crossover is read off the wall-time columns, and the top rungs' RSS
+//! documents that u=1M completes without the triangle.
 //!
 //! Run with:
-//! `cargo run --release -p bench --bin neighbor_ladder -- [max_u] [samples] [budget_bytes]`
+//! `cargo run --release -p bench --bin neighbor_ladder -- [max_u] [samples] [budget_bytes]
+//!  [--cache-dir D] [--max-memory BYTES]`
 //!
 //! With a `budget_bytes` argument the harness becomes the vptree RSS
 //! smoke check (`scripts/check.sh`): the matrix oracle rungs are
 //! skipped so the process footprint is the vp-forest path alone, and
 //! the run exits nonzero if peak RSS (`VmHWM`) exceeds the budget.
+//!
+//! `--cache-dir D` persists each rung's chunk trees to an on-disk
+//! [`ArtifactStore`] and faults them back in on re-runs — the big rungs
+//! (u ≥ 100k) then pay their forest build once, not per invocation.
+//! `--max-memory BYTES` guards the matrix oracle by *projection*: a
+//! rung whose condensed triangle + sorted index would exceed the cap is
+//! skipped (and logged) before a byte of it is allocated, instead of
+//! blowing past the budget mid-build.
 
 use cluster::autoconf::required_k_max;
 use dissim::vptree::DEFAULT_CHUNK;
 use dissim::{
     CondensedMatrix, DissimParams, IndexedProvider, NeighborIndex, NeighborProvider, VpForest,
-    VpProvider,
+    VpProvider, VpTree,
 };
 use rand::{Rng, SeedableRng, StdRng};
 use std::time::Instant;
+use store::{ArtifactStore, Key, KeyDigest, Kind};
 
 /// Largest rung that still builds the condensed triangle + sorted
 /// index (~100 MB + ~400 MB at this cap).
 const MATRIX_CAP: usize = 5_000;
 
-/// The rungs; trimmed by the `max_u` argument.
-const LADDER: [usize; 6] = [1_000, 2_000, 5_000, 10_000, 20_000, 50_000];
+/// The rungs; trimmed by the `max_u` argument. The default `max_u` of
+/// 50k keeps the classic ladder; the u ≥ 100k rungs are opt-in (pass a
+/// larger `max_u`) and are meant to run in budget mode with a
+/// `--cache-dir` so the forests persist across invocations.
+const LADDER: [usize; 9] = [
+    1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000, 250_000, 1_000_000,
+];
+
+/// Corpus seed shared by every rung (the corpus is a pure function of
+/// `(u, CORPUS_SEED)`, which is what makes the on-disk forest keys
+/// sound).
+const CORPUS_SEED: u64 = 11;
 
 /// Uniform-length corpus (8-byte segments) drawn from a few field-type
 /// templates, so dense ε-neighborhoods exist and the metric-eligibility
@@ -133,6 +155,87 @@ fn run_queries<P: NeighborProvider>(
     (eps, checksum, count)
 }
 
+/// Replays the exact workload of [`run_queries`] through the batched
+/// parallel query API ([`NeighborProvider::knn_batch`] +
+/// [`NeighborProvider::neighbors_within_batch`]). The fold order is
+/// identical — sample order, k-NN value first, then the
+/// order-normalized range pairs — so the checksum is bit-comparable
+/// against the scalar pass regardless of how the batch was scheduled.
+fn run_queries_batch<P: NeighborProvider + Sync>(
+    provider: &P,
+    sample: &[usize],
+    k: usize,
+    eps: f64,
+    threads: usize,
+) -> (f64, usize) {
+    let knns = provider.knn_batch(sample, k, threads);
+    let mut lists = provider.neighbors_within_batch(sample, eps, threads);
+    let mut checksum = 0.0f64;
+    let mut count = 0usize;
+    for (&dk, out) in knns.iter().zip(&mut lists) {
+        if dk.is_finite() {
+            checksum += dk;
+        }
+        out.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        count += out.len();
+        for &(d, j) in out.iter() {
+            checksum += d + f64::from(j);
+        }
+    }
+    (checksum, count)
+}
+
+/// Content keys for one rung's persisted chunk trees. The corpus is a
+/// pure function of `(u, CORPUS_SEED)`, so digesting the generator
+/// inputs — not the segment bytes — is sound and costs O(1) per key.
+fn ladder_tree_keys(u: usize, chunk: usize) -> Vec<Key> {
+    (0..VpForest::chunk_count(u, chunk))
+        .map(|t| {
+            let mut digest = KeyDigest::new(Kind::VPTREE);
+            digest.frame(b"neighbor_ladder");
+            digest.u64(CORPUS_SEED);
+            digest.usize(u);
+            digest.usize(chunk);
+            digest.usize(t);
+            digest.finish()
+        })
+        .collect()
+}
+
+/// Builds the rung's forest, faulting chunk trees in from (and
+/// persisting fresh ones to) the on-disk store when one is attached.
+/// `build_with` re-derives any tree whose span or checksum doesn't
+/// match, so a stale or damaged cache degrades to a plain build.
+fn build_forest(
+    values: &[&[u8]],
+    params: &DissimParams,
+    store: Option<&ArtifactStore>,
+) -> VpForest {
+    let Some(store) = store else {
+        return VpForest::build(values, params, DEFAULT_CHUNK);
+    };
+    let keys = ladder_tree_keys(values.len(), DEFAULT_CHUNK);
+    VpForest::build_with(
+        values,
+        params,
+        DEFAULT_CHUNK,
+        |t, _span| store.get::<VpTree>(&keys[t]),
+        |t, tree, built| {
+            if built {
+                store.put(&keys[t], tree);
+            }
+        },
+    )
+}
+
+/// Projected footprint of the matrix oracle at `u` segments: the
+/// condensed triangle (`u(u-1)/2` f64s) plus the sorted neighbor index
+/// (both directions of every pair as padded `(f64, u32)` entries).
+fn projected_matrix_bytes(u: usize) -> u64 {
+    let u = u as u64;
+    u * (u - 1) / 2 * 8 + u * (u - 1) * 16
+}
+
 fn rung_line(u: usize, backend: &str, wall: std::time::Duration, eps: f64, count: usize) {
     println!(
         "neighbor_ladder: u={u} backend={backend} wall_ms={:.1} eps={eps:.6} neighbors={count} \
@@ -142,17 +245,53 @@ fn rung_line(u: usize, backend: &str, wall: std::time::Duration, eps: f64, count
     );
 }
 
+fn fail_usage(message: &str) -> ! {
+    eprintln!("error: neighbor_ladder: {message}");
+    eprintln!(
+        "usage: neighbor_ladder [max_u] [samples] [budget_bytes] [--cache-dir D] \
+         [--max-memory BYTES]"
+    );
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let max_u: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(50_000);
-    let samples: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(256);
-    let budget: Option<u64> = args.get(2).and_then(|a| a.parse().ok());
+    let mut positional: Vec<String> = Vec::new();
+    let mut cache_dir: Option<String> = None;
+    let mut max_memory: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--cache-dir" => match it.next() {
+                Some(v) => cache_dir = Some(v.clone()),
+                None => fail_usage("--cache-dir needs a directory"),
+            },
+            "--max-memory" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => max_memory = Some(v),
+                None => fail_usage("--max-memory needs a byte count"),
+            },
+            _ => positional.push(arg.clone()),
+        }
+    }
+    let max_u: usize = positional
+        .first()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(50_000);
+    let samples: usize = positional
+        .get(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(256);
+    let budget: Option<u64> = positional.get(2).and_then(|a| a.parse().ok());
+    let store = cache_dir.map(|dir| match ArtifactStore::open(&dir) {
+        Ok(store) => store,
+        Err(e) => fail_usage(&format!("--cache-dir {dir}: {e}")),
+    });
 
     let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
     let params = DissimParams::default();
 
     for &u in LADDER.iter().filter(|&&u| u <= max_u) {
-        let segments = uniform_segments(u, 11);
+        let segments = uniform_segments(u, CORPUS_SEED);
         let values: Vec<&[u8]> = segments.iter().map(|s| &s[..]).collect();
         let k_max = required_k_max(u);
         let sample = sample_indices(u, samples);
@@ -160,7 +299,7 @@ fn main() {
         // vptree: build the forest, then the sampled workload. This
         // rung defines ε for the others.
         let start = Instant::now();
-        let forest = VpForest::build(&values, &params, DEFAULT_CHUNK);
+        let forest = build_forest(&values, &params, store.as_ref());
         let vp = VpProvider::new(&values, &params, &forest);
         assert!(vp.prunable(), "uniform corpus must take the pruned path");
         let (eps, vp_sum, vp_count) = run_queries(&vp, &sample, k_max, None);
@@ -181,9 +320,34 @@ fn main() {
         rung_line(u, "vptree+swar", wall, eps, swar_count);
         bench::append_trajectory(&format!("neighbor_ladder_u{u}_swar"), wall);
 
-        // matrix oracle: only where the triangle fits comfortably, and
-        // never in budget mode (the budget pins the matrix-free path).
-        if u <= MATRIX_CAP && budget.is_none() {
+        // vptree + batched parallel queries: the identical workload
+        // answered through the batch API, pinned bit-identical to the
+        // scalar pass above regardless of worker count.
+        let start = Instant::now();
+        let (batch_sum, batch_count) = run_queries_batch(&vp, &sample, k_max, eps, threads);
+        let wall = start.elapsed();
+        assert_eq!(
+            (vp_sum.to_bits(), vp_count),
+            (batch_sum.to_bits(), batch_count),
+            "batched queries diverged from scalar at u={u}"
+        );
+        rung_line(u, "vptree+batch", wall, eps, batch_count);
+        bench::append_trajectory(&format!("neighbor_ladder_u{u}_vptree_batch"), wall);
+
+        // matrix oracle: only where the triangle fits comfortably,
+        // never in budget mode (the budget pins the matrix-free path),
+        // and never when its *projected* footprint would blow a
+        // `--max-memory` cap — the guard fires before a byte of the
+        // triangle is allocated.
+        let projected = projected_matrix_bytes(u);
+        let over_cap = max_memory.is_some_and(|cap| projected > cap);
+        if over_cap {
+            println!(
+                "neighbor_ladder: u={u} backend=matrix skipped (projected {projected} bytes \
+                 exceeds --max-memory {})",
+                max_memory.unwrap_or(0)
+            );
+        } else if u <= MATRIX_CAP && budget.is_none() {
             let start = Instant::now();
             let matrix = CondensedMatrix::build_segments(&values, &params, threads);
             let index = NeighborIndex::build_parallel(&matrix, threads);
@@ -200,6 +364,9 @@ fn main() {
         } else {
             println!("neighbor_ladder: u={u} backend=matrix skipped (cap {MATRIX_CAP})");
         }
+    }
+    if let Some(store) = &store {
+        println!("neighbor_ladder: cache {}", store.stats());
     }
     let rss = bench::peak_rss_bytes();
     println!("neighbor_ladder: done peak_rss_bytes={rss}");

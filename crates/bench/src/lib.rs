@@ -221,8 +221,12 @@ pub fn peak_rss_bytes() -> u64 {
 /// array, created on first use) in the current directory. Read-modify-
 /// write through the tolerant reader: well-formed existing records are
 /// preserved, malformed ones are skipped with a warning instead of
-/// discarding the whole history. Failures only warn — benchmarks never
-/// fail on bookkeeping.
+/// discarding the whole history. The file is compacted as it grows:
+/// re-running a harness at the same commit replaces its previous record
+/// (see [`upsert_trajectory_record`]), so the trajectory holds one —
+/// the latest — measurement per `(name, commit)` instead of an
+/// unbounded append log. Failures only warn — benchmarks never fail on
+/// bookkeeping.
 pub fn append_trajectory(name: &str, wall: std::time::Duration) {
     let path = "BENCH_trajectory.json";
     let record = TrajectoryRecord {
@@ -231,7 +235,7 @@ pub fn append_trajectory(name: &str, wall: std::time::Duration) {
         wall_ns: u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX),
         peak_rss_bytes: peak_rss_bytes(),
     };
-    let mut records = match std::fs::read_to_string(path) {
+    let existing = match std::fs::read_to_string(path) {
         Ok(text) => {
             let (records, skipped) = read_trajectory(&text);
             if skipped > 0 {
@@ -241,7 +245,7 @@ pub fn append_trajectory(name: &str, wall: std::time::Duration) {
         }
         Err(_) => Vec::new(),
     };
-    records.push(record);
+    let records = upsert_trajectory_record(existing, record);
     let body = match serde_json::to_string_pretty(&records) {
         Ok(r) => r,
         Err(e) => {
@@ -254,6 +258,20 @@ pub fn append_trajectory(name: &str, wall: std::time::Duration) {
     } else {
         eprintln!("(trajectory appended to {path}: {name})");
     }
+}
+
+/// Compacts-and-appends: drops every existing record sharing the new
+/// record's `(name, commit)` — re-runs of one harness at one commit
+/// keep only the latest measurement — then appends the new record.
+/// Records of other harnesses or other commits are untouched, so the
+/// cross-commit history the trajectory exists for is preserved.
+pub fn upsert_trajectory_record(
+    mut records: Vec<TrajectoryRecord>,
+    record: TrajectoryRecord,
+) -> Vec<TrajectoryRecord> {
+    records.retain(|r| r.name != record.name || r.commit != record.commit);
+    records.push(record);
+    records
 }
 
 /// Parses a trajectory file tolerantly: every top-level `{…}` object
@@ -515,6 +533,40 @@ mod tests {
         // The nested braces produce one outer malformed object (the
         // inner one closes first but never validates as a record).
         assert!(skipped >= 1);
+    }
+
+    #[test]
+    fn upsert_compacts_same_name_and_commit_through_the_reader() {
+        // The existing file is parsed by the string-aware brace matcher
+        // (brace-laden strings included), then compaction replaces the
+        // stale record of the re-run harness at the same commit — and
+        // only that one.
+        let text = r#"[
+  { "name": "ladder{u=1k}", "commit": "c1", "wall_ns": 100, "peak_rss_bytes": 1 },
+  { "name": "ladder{u=1k}", "commit": "c2", "wall_ns": 200, "peak_rss_bytes": 2 },
+  { "name": "other", "commit": "c1", "wall_ns": 300, "peak_rss_bytes": 3 }
+]"#;
+        let (existing, skipped) = read_trajectory(text);
+        assert_eq!((existing.len(), skipped), (3, 0));
+        let rerun = TrajectoryRecord {
+            name: "ladder{u=1k}".to_string(),
+            commit: "c1".to_string(),
+            wall_ns: 150,
+            peak_rss_bytes: 9,
+        };
+        let compacted = upsert_trajectory_record(existing, rerun);
+        let summary: Vec<(&str, &str, u64)> = compacted
+            .iter()
+            .map(|r| (r.name.as_str(), r.commit.as_str(), r.wall_ns))
+            .collect();
+        assert_eq!(
+            summary,
+            vec![
+                ("ladder{u=1k}", "c2", 200),
+                ("other", "c1", 300),
+                ("ladder{u=1k}", "c1", 150),
+            ]
+        );
     }
 
     #[test]

@@ -152,6 +152,31 @@ pub fn auto_configure_with_provider<P: NeighborProvider + ?Sized>(
     auto_configure_impl(provider.len(), |k| provider.knn_dissimilarities(k), config)
 }
 
+/// Runs Algorithm 1 with each candidate `k`'s full k-NN sweep answered
+/// by the provider's batched parallel path
+/// ([`NeighborProvider::knn_dissimilarities_parallel`]): the n queries
+/// of every ECDF fan out over `threads` workers instead of running one
+/// at a time.
+///
+/// The batch path writes each item's answer into its own slot, so the
+/// selected parameters are bit-identical to
+/// [`auto_configure_with_provider`] at any thread count.
+///
+/// # Errors
+///
+/// See [`AutoConfError`].
+pub fn auto_configure_parallel<P: NeighborProvider + Sync + ?Sized>(
+    provider: &P,
+    config: &AutoConfig,
+    threads: usize,
+) -> Result<SelectedParams, AutoConfError> {
+    auto_configure_impl(
+        provider.len(),
+        |k| provider.knn_dissimilarities_parallel(k, threads),
+        config,
+    )
+}
+
 /// The largest `k` Algorithm 1 will query for `n` items — what a
 /// [`KnnTable`] must be built with (at least) for
 /// [`auto_configure_with_knn`].
@@ -344,6 +369,29 @@ mod tests {
                 auto_configure(&m, &config),
                 auto_configure_with_index(&idx, &config)
             );
+        }
+    }
+
+    #[test]
+    fn parallel_autoconf_matches_serial() {
+        let m = blobs(4, 18, 0.08, 7.0, 5);
+        let idx = dissim::NeighborIndex::build(&m);
+        let provider = dissim::IndexedProvider::new(&m, &idx);
+        for config in [
+            AutoConfig::default(),
+            AutoConfig {
+                max_dissimilarity: Some(1.0),
+                ..AutoConfig::default()
+            },
+        ] {
+            let serial = auto_configure_with_provider(&provider, &config);
+            for threads in [1usize, 4] {
+                assert_eq!(
+                    serial,
+                    auto_configure_parallel(&provider, &config, threads),
+                    "threads = {threads}"
+                );
+            }
         }
     }
 

@@ -199,10 +199,21 @@ pub fn dbscan_weighted_parallel_with_index(
     )
 }
 
-/// [`dbscan_weighted_with_provider`] with the per-item core predicate
-/// evaluated in parallel on the `parkit` scheduler; the region growing
-/// then consumes it in the same serial index order, so the clustering
-/// is identical for any thread count.
+/// [`dbscan_weighted_with_provider`] with every ε-range query answered
+/// in parallel on the `parkit` scheduler; the region growing then runs
+/// serially, query-free, in the same index order, so the clustering is
+/// identical for any thread count.
+///
+/// Two parallel phases feed the serial growing. First the per-item core
+/// predicate: each item's ε-neighborhood weight is a sum over its own
+/// region query, written to its own slot. Then the *core* points'
+/// regions — the only regions [`dbscan_core_impl`] ever consumes — are
+/// answered once through
+/// [`NeighborProvider::neighbors_within_batch`] and handed to the
+/// growing as a lookup table, so no neighbor query runs single-threaded
+/// and no core point is queried during the breadth-first expansion.
+/// Memory holds only the core regions (the expansion frontier the
+/// serial variant materializes piecemeal anyway).
 ///
 /// # Panics
 ///
@@ -232,10 +243,16 @@ pub fn dbscan_weighted_parallel_with_provider<P: NeighborProvider + Sync>(
             }
         });
     }
-    let mut nb: Vec<(f64, u32)> = Vec::new();
+    let core_items: Vec<usize> = (0..n).filter(|&i| core[i]).collect();
+    let regions = provider.neighbors_within_batch(&core_items, eps, threads);
+    let mut region_slot = vec![usize::MAX; n];
+    for (slot, &i) in core_items.iter().enumerate() {
+        region_slot[i] = slot;
+    }
     dbscan_core_impl(n, &core, |i, out| {
-        provider.neighbors_within(i, eps, &mut nb);
-        out.extend(nb.iter().map(|&(_, j)| j as usize));
+        // The growing only queries core items, whose regions were
+        // batched above.
+        out.extend(regions[region_slot[i]].iter().map(|&(_, j)| j as usize));
     })
 }
 

@@ -117,8 +117,9 @@ pub fn hdbscan_parallel_with_index(
     hdbscan_parallel_with_provider(&IndexedProvider::new(matrix, index), params, threads)
 }
 
-/// [`hdbscan_with_provider`] with the core distances gathered in
-/// parallel on the `parkit` scheduler.
+/// [`hdbscan_with_provider`] with the core distances gathered through
+/// the provider's batched parallel k-NN path
+/// ([`NeighborProvider::knn_dissimilarities_parallel`]).
 ///
 /// Each item's core distance is one k-NN query written into its own
 /// slot, so the vector is bit-identical to the serial gather for any
@@ -130,25 +131,13 @@ pub fn hdbscan_parallel_with_provider<P: NeighborProvider + Sync>(
 ) -> Clustering {
     let n = provider.len();
     let min_samples = params.min_samples.max(1).min(n.max(1));
-    let mut core = vec![0.0f64; n];
-    if n > 0 && min_samples > 1 {
-        let core_ptr = SendSlotPtr(core.as_mut_ptr());
-        parkit::for_each_chunk(threads, n, 64, |items| {
-            let core_ptr = &core_ptr;
-            for i in items {
-                // SAFETY: slot `i` is written by exactly one worker (the
-                // scheduler hands out each item once).
-                unsafe { *core_ptr.0.add(i) = provider.knn(i, min_samples - 1) };
-            }
-        });
-    }
+    let core = if n > 0 && min_samples > 1 {
+        provider.knn_dissimilarities_parallel(min_samples - 1, threads)
+    } else {
+        vec![0.0f64; n]
+    };
     hdbscan_from_core(provider, params, &core)
 }
-
-/// A raw pointer wrapper asserting cross-thread transferability for the
-/// disjoint-slot core-distance writes above.
-struct SendSlotPtr(*mut f64);
-unsafe impl Sync for SendSlotPtr {}
 
 /// The dendrogram/condensation/extraction pipeline shared by every entry
 /// point, starting from precomputed core distances; pairwise

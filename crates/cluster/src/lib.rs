@@ -30,7 +30,7 @@ pub mod optics;
 pub mod refine;
 
 pub use autoconf::{
-    auto_configure, auto_configure_with_index, auto_configure_with_knn,
+    auto_configure, auto_configure_parallel, auto_configure_with_index, auto_configure_with_knn,
     auto_configure_with_provider, required_k_max, AutoConfError, AutoConfig, SelectedParams,
 };
 pub use dbscan::{
@@ -42,7 +42,9 @@ pub use hdbscan::{
     hdbscan, hdbscan_parallel_with_index, hdbscan_parallel_with_provider, hdbscan_with_index,
     hdbscan_with_provider, HdbscanParams,
 };
-pub use optics::{optics, optics_with_index, optics_with_provider, OpticsOrdering};
+pub use optics::{
+    optics, optics_parallel_with_provider, optics_with_index, optics_with_provider, OpticsOrdering,
+};
 pub use refine::{
     merge_clusters, merge_clusters_parallel, merge_clusters_with_index,
     merge_clusters_with_provider, split_clusters, RefineParams,

@@ -65,6 +65,31 @@ pub fn optics_with_provider<P: NeighborProvider + ?Sized>(
     })
 }
 
+/// [`optics_with_provider`] with the whole query load answered up front
+/// through the provider's batched parallel path
+/// ([`NeighborProvider::neighbors_within_batch`]).
+///
+/// OPTICS queries each item's region exactly once — when the item is
+/// processed — and always at the fixed generating distance `max_eps`,
+/// so all n region queries can fan out over `threads` workers before
+/// the (serial, deterministic) expansion consumes them from a lookup
+/// table. Reachability updates take per-neighbor minima and the core
+/// distance is an order statistic, so the precomputed regions produce
+/// exactly the ordering [`optics_with_provider`] does.
+pub fn optics_parallel_with_provider<P: NeighborProvider + Sync>(
+    provider: &P,
+    max_eps: f64,
+    min_samples: usize,
+    threads: usize,
+) -> OpticsOrdering {
+    let n = provider.len();
+    let queries: Vec<usize> = (0..n).collect();
+    let regions = provider.neighbors_within_batch(&queries, max_eps, threads);
+    optics_impl(n, min_samples, |i, out| {
+        out.extend(regions[i].iter().map(|&(d, j)| (j as usize, d)));
+    })
+}
+
 /// The expansion core shared by the matrix-scan and neighbor-index entry
 /// points. `region` appends the `(neighbor, dissimilarity)` pairs of an
 /// item's ε-neighborhood to the scratch buffer (self excluded); the
@@ -250,6 +275,23 @@ mod tests {
                 optics_with_index(&idx, max_eps, ms),
                 "max_eps={max_eps} ms={ms}"
             );
+        }
+    }
+
+    #[test]
+    fn parallel_optics_matches_serial() {
+        let pts = [0.0, 0.1, 0.2, 1.4, 5.0, 5.1, 5.2, 20.0, 20.4];
+        let m = line_matrix(&pts);
+        let idx = dissim::NeighborIndex::build(&m);
+        let ip = dissim::IndexedProvider::new(&m, &idx);
+        for threads in [1usize, 4] {
+            for (max_eps, ms) in [(0.5, 2), (2.0, 3), (100.0, 2), (100.0, 4)] {
+                assert_eq!(
+                    optics(&m, max_eps, ms),
+                    optics_parallel_with_provider(&ip, max_eps, ms, threads),
+                    "threads={threads} max_eps={max_eps} ms={ms}"
+                );
+            }
         }
     }
 

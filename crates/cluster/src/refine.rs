@@ -128,21 +128,68 @@ fn merge_impl<P: NeighborProvider + Sync>(
 
         let mut merged_into: Vec<usize> = (0..clusters.len()).collect();
         let mut any = false;
-        for i in 0..clusters.len() {
-            for j in (i + 1)..clusters.len() {
-                if find(&mut merged_into, i) == find(&mut merged_into, j) {
-                    continue;
+        if threads <= 1 {
+            for i in 0..clusters.len() {
+                for j in (i + 1)..clusters.len() {
+                    if find(&mut merged_into, i) == find(&mut merged_into, j) {
+                        continue;
+                    }
+                    let pair = MergeCandidate {
+                        ci: &clusters[i],
+                        cj: &clusters[j],
+                        si: &stats[i],
+                        sj: &stats[j],
+                        id_i: i as u32,
+                        id_j: j as u32,
+                    };
+                    if should_merge(&pair, &labels, provider, params) {
+                        union(&mut merged_into, i, j);
+                        any = true;
+                    }
                 }
-                let pair = MergeCandidate {
-                    ci: &clusters[i],
-                    cj: &clusters[j],
-                    si: &stats[i],
-                    sj: &stats[j],
-                    id_i: i as u32,
-                    id_j: j as u32,
-                };
-                if should_merge(&pair, &labels, provider, params) {
-                    union(&mut merged_into, i, j);
+            }
+        } else {
+            // A round's merge decision for (i, j) depends only on this
+            // round's labels, members and statistics — never on earlier
+            // unions — so every candidate pair (its cross-cluster link
+            // scan and Condition-1 link-density region queries) can be
+            // decided in parallel into disjoint slots. Applying the
+            // unions serially in pair order then reproduces the serial
+            // round exactly: the serial loop only skips pairs that are
+            // already united, for which a union is a no-op, and any
+            // skipped-but-true pair implies an earlier true pair already
+            // set `any`.
+            let mut pairs: Vec<(u32, u32)> = Vec::new();
+            for i in 0..clusters.len() {
+                for j in (i + 1)..clusters.len() {
+                    pairs.push((i as u32, j as u32));
+                }
+            }
+            let mut decisions = vec![false; pairs.len()];
+            let decisions_ptr = SendDecisionPtr(decisions.as_mut_ptr());
+            let (labels_ref, pairs_ref) = (&labels, &pairs);
+            parkit::for_each_chunk(threads, pairs_ref.len(), 1, |chunk| {
+                let decisions_ptr = &decisions_ptr;
+                for p in chunk {
+                    let (i, j) = (pairs_ref[p].0 as usize, pairs_ref[p].1 as usize);
+                    let pair = MergeCandidate {
+                        ci: &clusters[i],
+                        cj: &clusters[j],
+                        si: &stats[i],
+                        sj: &stats[j],
+                        id_i: i as u32,
+                        id_j: j as u32,
+                    };
+                    // SAFETY: slot `p` is written by exactly one worker
+                    // (the scheduler hands out each pair once).
+                    unsafe {
+                        *decisions_ptr.0.add(p) = should_merge(&pair, labels_ref, provider, params);
+                    }
+                }
+            });
+            for (&(i, j), &merge) in pairs.iter().zip(&decisions) {
+                if merge {
+                    union(&mut merged_into, i as usize, j as usize);
                     any = true;
                 }
             }
@@ -241,6 +288,10 @@ fn compute_stats<P: NeighborProvider + Sync>(
 /// disjoint-slot statistics writes above.
 struct SendStatsPtr(*mut Option<ClusterStats>);
 unsafe impl Sync for SendStatsPtr {}
+
+/// The same pattern for the per-pair merge decisions of a round.
+struct SendDecisionPtr(*mut bool);
+unsafe impl Sync for SendDecisionPtr {}
 
 /// Per-cluster statistics shared by both merge conditions.
 #[derive(Debug)]

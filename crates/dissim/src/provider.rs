@@ -21,9 +21,86 @@
 //! backends (documented per implementation); every indexed backend
 //! emits ascending `(dissimilarity, index)` so order-sensitive border
 //! assignment in DBSCAN agrees across them.
+//!
+//! **Batched queries.** The per-point methods answer one query at a
+//! time on the calling thread; the `*_batch` methods answer a whole
+//! query slice at once, fanning the points out over the `parkit`
+//! work-stealing pool. Each query writes into its own disjoint result
+//! slot, so batch answers are bit-identical to the scalar calls in
+//! query order no matter how the scheduler interleaves workers — the
+//! batch API is a throughput knob, never a result knob. The default
+//! implementations already run each backend's native per-point kernel
+//! (a matrix row sweep, an index binary search, a pruned tree search)
+//! in parallel; backends with reusable per-worker scratch (the
+//! vantage-point forest) override them.
 
 use crate::matrix::CondensedMatrix;
 use crate::neighbor::NeighborIndex;
+
+/// Minimum queries per stolen work chunk in the batch fan-out: small
+/// enough that modest batches still spread across workers, large enough
+/// that the scheduler's per-chunk overhead stays invisible next to even
+/// the cheapest (binary-search) query kernel.
+pub(crate) const BATCH_MIN_CHUNK: usize = 8;
+
+/// A raw pointer wrapper asserting cross-thread shareability for the
+/// disjoint-slot-write pattern of the batch queries: slot `i` is
+/// written by exactly one worker (the one that received query `i` from
+/// the scheduler), so writes never alias.
+pub(crate) struct SendSlotPtr<T>(pub(crate) *mut T);
+unsafe impl<T> Sync for SendSlotPtr<T> {}
+
+/// Fans `count` region queries out over `threads` workers, each query
+/// writing its own result vector. `fill(qi, out)` must clear and fill
+/// `out` for query `qi` (the scalar `neighbors_within` contract).
+pub(crate) fn fan_out_regions<F>(threads: usize, count: usize, fill: F) -> Vec<Vec<(f64, u32)>>
+where
+    F: Fn(usize, &mut Vec<(f64, u32)>) + Sync,
+{
+    let mut results: Vec<Vec<(f64, u32)>> = vec![Vec::new(); count];
+    if threads <= 1 || count < 2 {
+        for (qi, slot) in results.iter_mut().enumerate() {
+            fill(qi, slot);
+        }
+        return results;
+    }
+    let slots = SendSlotPtr(results.as_mut_ptr());
+    parkit::for_each_chunk(threads, count, BATCH_MIN_CHUNK, |queries| {
+        let slots = &slots;
+        for qi in queries {
+            // SAFETY: slot `qi` belongs to query `qi` alone and the
+            // scheduler hands out each query exactly once, so no two
+            // workers ever write the same slot.
+            let out = unsafe { &mut *slots.0.add(qi) };
+            fill(qi, out);
+        }
+    });
+    results
+}
+
+/// Fans `count` scalar-valued queries out over `threads` workers into a
+/// dense result vector (slot `qi` = `eval(qi)`).
+pub(crate) fn fan_out_scalars<F>(threads: usize, count: usize, eval: F) -> Vec<f64>
+where
+    F: Fn(usize) -> f64 + Sync,
+{
+    let mut results = vec![0.0f64; count];
+    if threads <= 1 || count < 2 {
+        for (qi, slot) in results.iter_mut().enumerate() {
+            *slot = eval(qi);
+        }
+        return results;
+    }
+    let slots = SendSlotPtr(results.as_mut_ptr());
+    parkit::for_each_chunk(threads, count, BATCH_MIN_CHUNK, |queries| {
+        let slots = &slots;
+        for qi in queries {
+            // SAFETY: disjoint slots, each handed out exactly once.
+            unsafe { *slots.0.add(qi) = eval(qi) };
+        }
+    });
+    results
+}
 
 /// Answers ε-range, k-NN and pair queries over one item set.
 ///
@@ -58,6 +135,47 @@ pub trait NeighborProvider {
     /// the vector Algorithm 1 builds its ECDFs over.
     fn knn_dissimilarities(&self, k: usize) -> Vec<f64> {
         (0..self.len()).map(|i| self.knn(i, k)).collect()
+    }
+
+    /// Answers one ε-range query per entry of `queries` at once,
+    /// fanning the points out over `threads` workers on the `parkit`
+    /// pool. Slot `qi` of the result holds exactly what
+    /// [`neighbors_within`](Self::neighbors_within)`(queries[qi], eps,
+    /// ..)` would have produced — same values, same emission order —
+    /// regardless of thread count or work-stealing schedule.
+    fn neighbors_within_batch(
+        &self,
+        queries: &[usize],
+        eps: f64,
+        threads: usize,
+    ) -> Vec<Vec<(f64, u32)>>
+    where
+        Self: Sync,
+    {
+        fan_out_regions(threads, queries.len(), |qi, out| {
+            self.neighbors_within(queries[qi], eps, out);
+        })
+    }
+
+    /// Answers one k-NN query per entry of `queries` at once on
+    /// `threads` workers: slot `qi` holds exactly
+    /// [`knn`](Self::knn)`(queries[qi], k)`.
+    fn knn_batch(&self, queries: &[usize], k: usize, threads: usize) -> Vec<f64>
+    where
+        Self: Sync,
+    {
+        fan_out_scalars(threads, queries.len(), |qi| self.knn(queries[qi], k))
+    }
+
+    /// The parallel twin of
+    /// [`knn_dissimilarities`](Self::knn_dissimilarities): the k-NN
+    /// dissimilarity of *every* item, computed on `threads` workers
+    /// without materializing a query-index list.
+    fn knn_dissimilarities_parallel(&self, k: usize, threads: usize) -> Vec<f64>
+    where
+        Self: Sync,
+    {
+        fan_out_scalars(threads, self.len(), |i| self.knn(i, k))
     }
 }
 
@@ -251,6 +369,44 @@ mod tests {
                 assert_eq!(mp.pair(i, j), bp.pair(i, j));
             }
         }
+    }
+
+    #[test]
+    fn batch_queries_match_scalar_bitwise() {
+        let m = toy(23);
+        let idx = NeighborIndex::build(&m);
+        let mp = MatrixProvider::new(&m);
+        let ip = IndexedProvider::new(&m, &idx);
+        let queries: Vec<usize> = (0..23).rev().chain([0, 11, 11]).collect();
+        for threads in [1usize, 4] {
+            for eps in [0.0, 0.35, 1.1] {
+                let batches = ip.neighbors_within_batch(&queries, eps, threads);
+                assert_eq!(batches.len(), queries.len());
+                let mut want = Vec::new();
+                for (&q, got) in queries.iter().zip(&batches) {
+                    ip.neighbors_within(q, eps, &mut want);
+                    assert_eq!(got, &want, "query {q}, eps {eps}, threads {threads}");
+                }
+            }
+            for k in [1usize, 3, 22] {
+                let got = mp.knn_batch(&queries, k, threads);
+                for (&q, d) in queries.iter().zip(&got) {
+                    assert_eq!(d.to_bits(), mp.knn(q, k).to_bits(), "query {q}, k {k}");
+                }
+                let all = ip.knn_dissimilarities_parallel(k, threads);
+                assert_eq!(
+                    all.iter().map(|d| d.to_bits()).collect::<Vec<_>>(),
+                    ip.knn_dissimilarities(k)
+                        .iter()
+                        .map(|d| d.to_bits())
+                        .collect::<Vec<_>>(),
+                    "k {k}, threads {threads}"
+                );
+            }
+        }
+        // Empty batches stay empty on every path.
+        assert!(ip.neighbors_within_batch(&[], 1.0, 4).is_empty());
+        assert!(ip.knn_batch(&[], 1, 4).is_empty());
     }
 
     #[test]

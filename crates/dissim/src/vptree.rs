@@ -47,7 +47,7 @@ use std::ops::Range;
 
 use crate::canberra::DissimParams;
 use crate::kernel::{dissimilarity_kernel, dissimilarity_swar, CanberraLut};
-use crate::provider::NeighborProvider;
+use crate::provider::{NeighborProvider, SendSlotPtr, BATCH_MIN_CHUNK};
 
 /// Sentinel child index: no subtree.
 pub const NO_NODE: u32 = u32::MAX;
@@ -470,8 +470,19 @@ impl<'a> VpProvider<'a> {
     }
 
     /// Collects all in-range items of one tree via triangle pruning.
-    fn range_tree(&self, tree: &VpTree, q: usize, eps: f64, out: &mut Vec<(f64, u32)>) {
-        let mut stack = vec![tree.root()];
+    /// `stack` is caller-provided traversal scratch (cleared here) so
+    /// batched queries can reuse one allocation across thousands of
+    /// tree walks.
+    fn range_tree(
+        &self,
+        tree: &VpTree,
+        q: usize,
+        eps: f64,
+        out: &mut Vec<(f64, u32)>,
+        stack: &mut Vec<u32>,
+    ) {
+        stack.clear();
+        stack.push(tree.root());
         while let Some(ni) = stack.pop() {
             if ni == NO_NODE {
                 continue;
@@ -498,9 +509,18 @@ impl<'a> VpProvider<'a> {
     }
 
     /// Folds one tree into the bounded k-NN max-heap, pruning with the
-    /// current k-th-best bound.
-    fn knn_tree(&self, tree: &VpTree, q: usize, k: usize, heap: &mut BinaryHeap<Cand>) {
-        let mut stack = vec![tree.root()];
+    /// current k-th-best bound. `stack` is caller-provided traversal
+    /// scratch, cleared here.
+    fn knn_tree(
+        &self,
+        tree: &VpTree,
+        q: usize,
+        k: usize,
+        heap: &mut BinaryHeap<Cand>,
+        stack: &mut Vec<u32>,
+    ) {
+        stack.clear();
+        stack.push(tree.root());
         while let Some(ni) = stack.pop() {
             if ni == NO_NODE {
                 continue;
@@ -533,18 +553,15 @@ impl<'a> VpProvider<'a> {
             }
         }
     }
-}
 
-impl NeighborProvider for VpProvider<'_> {
-    fn len(&self) -> usize {
-        self.values.len()
-    }
-
-    fn neighbors_within(&self, i: usize, eps: f64, out: &mut Vec<(f64, u32)>) {
+    /// One full ε-range query — all chunk trees when prunable, the
+    /// exact linear fallback otherwise — writing the sorted result into
+    /// `out` and borrowing the traversal `stack`.
+    fn range_query(&self, i: usize, eps: f64, out: &mut Vec<(f64, u32)>, stack: &mut Vec<u32>) {
         out.clear();
         if self.prunable {
             for tree in self.forest.trees() {
-                self.range_tree(tree, i, eps, out);
+                self.range_tree(tree, i, eps, out, stack);
             }
         } else {
             for j in 0..self.values.len() {
@@ -565,20 +582,23 @@ impl NeighborProvider for VpProvider<'_> {
         });
     }
 
-    fn knn(&self, i: usize, k: usize) -> f64 {
-        let n = self.values.len();
-        if n < 2 {
-            return f64::INFINITY;
-        }
-        let k = k.clamp(1, n - 1);
+    /// One full k-NN query with caller-provided scratch; `k` must
+    /// already be clamped to `[1, n − 1]` with `n >= 2`.
+    fn knn_query(
+        &self,
+        i: usize,
+        k: usize,
+        heap: &mut BinaryHeap<Cand>,
+        stack: &mut Vec<u32>,
+    ) -> f64 {
         if self.prunable {
-            let mut heap = BinaryHeap::with_capacity(k + 1);
+            heap.clear();
             for tree in self.forest.trees() {
-                self.knn_tree(tree, i, k, &mut heap);
+                self.knn_tree(tree, i, k, heap, stack);
             }
             heap.peek().expect("k >= 1 and n >= 2").0
         } else {
-            let mut dists: Vec<f64> = (0..n)
+            let mut dists: Vec<f64> = (0..self.values.len())
                 .filter(|&j| j != i)
                 .map(|j| self.dist(i, j))
                 .collect();
@@ -588,12 +608,113 @@ impl NeighborProvider for VpProvider<'_> {
             *kth
         }
     }
+}
+
+impl NeighborProvider for VpProvider<'_> {
+    fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    fn neighbors_within(&self, i: usize, eps: f64, out: &mut Vec<(f64, u32)>) {
+        let mut stack = Vec::new();
+        self.range_query(i, eps, out, &mut stack);
+    }
+
+    fn knn(&self, i: usize, k: usize) -> f64 {
+        let n = self.values.len();
+        if n < 2 {
+            return f64::INFINITY;
+        }
+        let k = k.clamp(1, n - 1);
+        let mut heap = BinaryHeap::with_capacity(k + 1);
+        let mut stack = Vec::new();
+        self.knn_query(i, k, &mut heap, &mut stack)
+    }
 
     fn pair(&self, i: usize, j: usize) -> f64 {
         if i == j {
             return 0.0;
         }
         self.dist(i, j)
+    }
+
+    /// Native batch override: queries fan out over the `parkit` pool
+    /// with one traversal stack per worker chunk, so a batched range
+    /// sweep performs zero per-query allocations on the hot path.
+    /// Bit-identical to per-point calls (disjoint result slots, and the
+    /// scratch is cleared per query).
+    fn neighbors_within_batch(
+        &self,
+        queries: &[usize],
+        eps: f64,
+        threads: usize,
+    ) -> Vec<Vec<(f64, u32)>>
+    where
+        Self: Sync,
+    {
+        let mut results: Vec<Vec<(f64, u32)>> = vec![Vec::new(); queries.len()];
+        if threads <= 1 || queries.len() < 2 {
+            let mut stack = Vec::new();
+            for (slot, &q) in results.iter_mut().zip(queries) {
+                self.range_query(q, eps, slot, &mut stack);
+            }
+            return results;
+        }
+        let slots = SendSlotPtr(results.as_mut_ptr());
+        parkit::for_each_chunk(threads, queries.len(), BATCH_MIN_CHUNK, |chunk| {
+            let slots = &slots;
+            let mut stack = Vec::new();
+            for qi in chunk {
+                // SAFETY: slot `qi` belongs to query `qi` alone and the
+                // scheduler hands out each query exactly once.
+                let out = unsafe { &mut *slots.0.add(qi) };
+                self.range_query(queries[qi], eps, out, &mut stack);
+            }
+        });
+        results
+    }
+
+    /// Native batch override: per-worker reusable candidate heap and
+    /// traversal stack.
+    fn knn_batch(&self, queries: &[usize], k: usize, threads: usize) -> Vec<f64>
+    where
+        Self: Sync,
+    {
+        let n = self.values.len();
+        if n < 2 {
+            return vec![f64::INFINITY; queries.len()];
+        }
+        let k = k.clamp(1, n - 1);
+        let mut results = vec![0.0f64; queries.len()];
+        if threads <= 1 || queries.len() < 2 {
+            let mut heap = BinaryHeap::with_capacity(k + 1);
+            let mut stack = Vec::new();
+            for (slot, &q) in results.iter_mut().zip(queries) {
+                *slot = self.knn_query(q, k, &mut heap, &mut stack);
+            }
+            return results;
+        }
+        let slots = SendSlotPtr(results.as_mut_ptr());
+        parkit::for_each_chunk(threads, queries.len(), BATCH_MIN_CHUNK, |chunk| {
+            let slots = &slots;
+            let mut heap = BinaryHeap::with_capacity(k + 1);
+            let mut stack = Vec::new();
+            for qi in chunk {
+                // SAFETY: disjoint slots, each handed out exactly once.
+                unsafe {
+                    *slots.0.add(qi) = self.knn_query(queries[qi], k, &mut heap, &mut stack);
+                }
+            }
+        });
+        results
+    }
+
+    fn knn_dissimilarities_parallel(&self, k: usize, threads: usize) -> Vec<f64>
+    where
+        Self: Sync,
+    {
+        let queries: Vec<usize> = (0..self.len()).collect();
+        self.knn_batch(&queries, k, threads)
     }
 }
 
@@ -719,6 +840,43 @@ mod tests {
         let provider = VpProvider::new(&values, &P, &forest);
         assert!(provider.prunable());
         assert_matches_oracle(&values, &provider, "duplicates");
+    }
+
+    #[test]
+    fn batch_queries_match_scalar_bitwise() {
+        for (label, segs) in [("uniform", uniform_corpus(90)), ("mixed", mixed_corpus(45))] {
+            let values = vals(&segs);
+            let forest = VpForest::build(&values, &P, 16);
+            for swar in [false, true] {
+                let p = VpProvider::new(&values, &P, &forest).with_swar(swar);
+                let queries: Vec<usize> = (0..values.len()).rev().chain([0, 7, 7]).collect();
+                for threads in [1usize, 4] {
+                    let tag = format!("{label}, swar {swar}, threads {threads}");
+                    for eps in [0.0, 0.2, 0.8] {
+                        let regions = p.neighbors_within_batch(&queries, eps, threads);
+                        let mut want = Vec::new();
+                        for (&q, got) in queries.iter().zip(&regions) {
+                            p.neighbors_within(q, eps, &mut want);
+                            assert_eq!(got.len(), want.len(), "{tag}, query {q}, eps {eps}");
+                            for (a, b) in got.iter().zip(&want) {
+                                assert_eq!(a.0.to_bits(), b.0.to_bits(), "{tag}, query {q}");
+                                assert_eq!(a.1, b.1, "{tag}, query {q}");
+                            }
+                        }
+                    }
+                    for k in [1usize, 4, values.len() - 1] {
+                        let got = p.knn_batch(&queries, k, threads);
+                        for (&q, d) in queries.iter().zip(&got) {
+                            assert_eq!(
+                                d.to_bits(),
+                                p.knn(q, k).to_bits(),
+                                "{tag}, query {q}, k {k}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

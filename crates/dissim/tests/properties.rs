@@ -2,9 +2,51 @@
 
 use dissim::kernel::{canberra_distance_lut, dissimilarity_kernel, dissimilarity_lut};
 use dissim::{
-    canberra_distance, dissimilarity, CanberraLut, CondensedMatrix, DissimParams, NeighborIndex,
+    canberra_distance, dissimilarity, CanberraLut, CondensedMatrix, DissimParams, IndexedProvider,
+    NeighborIndex, NeighborProvider, VpForest, VpProvider,
 };
 use proptest::prelude::*;
+
+/// Asserts one backend's batched answers are bit-identical, in query
+/// order, to the scalar calls the defaults are specified against.
+fn assert_batch_matches_scalar<P: NeighborProvider + Sync>(
+    provider: &P,
+    queries: &[usize],
+    eps: f64,
+    k: usize,
+    threads: usize,
+) -> Result<(), TestCaseError> {
+    let lists = provider.neighbors_within_batch(queries, eps, threads);
+    prop_assert_eq!(lists.len(), queries.len());
+    let mut want = Vec::new();
+    for (&q, got) in queries.iter().zip(&lists) {
+        provider.neighbors_within(q, eps, &mut want);
+        prop_assert_eq!(got, &want, "range query {} (threads {})", q, threads);
+    }
+    let knns = provider.knn_batch(queries, k, threads);
+    for (&q, d) in queries.iter().zip(&knns) {
+        prop_assert_eq!(
+            d.to_bits(),
+            provider.knn(q, k).to_bits(),
+            "knn query {} (k {}, threads {})",
+            q,
+            k,
+            threads
+        );
+    }
+    let parallel: Vec<u64> = provider
+        .knn_dissimilarities_parallel(k, threads)
+        .iter()
+        .map(|d| d.to_bits())
+        .collect();
+    let scalar: Vec<u64> = provider
+        .knn_dissimilarities(k)
+        .iter()
+        .map(|d| d.to_bits())
+        .collect();
+    prop_assert_eq!(parallel, scalar, "knn_dissimilarities (k {})", k);
+    Ok(())
+}
 
 fn seg() -> impl Strategy<Value = Vec<u8>> {
     prop::collection::vec(any::<u8>(), 0..40)
@@ -191,6 +233,34 @@ proptest! {
                 (0..segs.len()).filter(|&j| j != i).map(|j| m.get(i, j)).collect();
             prop_assert_eq!(&buf, &reference, "row {}", i);
         }
+    }
+
+    #[test]
+    fn batch_queries_match_scalar_across_backends(
+        segs in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..10), 2..24),
+        eps in 0.0f64..1.05,
+        k in 1usize..4,
+        four_threads in any::<bool>(),
+    ) {
+        let threads = if four_threads { 4 } else { 1 };
+        let p = DissimParams::default();
+        let refs: Vec<&[u8]> = segs.iter().map(|s| &s[..]).collect();
+        let m = CondensedMatrix::build_segments(&refs, &p, 1);
+        let index = NeighborIndex::build(&m);
+        // Small chunk so multi-chunk forests occur even at these sizes.
+        let forest = VpForest::build(&refs, &p, 7);
+        // Reversed order plus duplicates: scheduling must not reorder
+        // or conflate answers.
+        let queries: Vec<usize> = (0..refs.len()).rev().chain([0, 0]).collect();
+        assert_batch_matches_scalar(&IndexedProvider::new(&m, &index), &queries, eps, k, threads)?;
+        assert_batch_matches_scalar(&VpProvider::new(&refs, &p, &forest), &queries, eps, k, threads)?;
+        assert_batch_matches_scalar(
+            &VpProvider::new(&refs, &p, &forest).with_swar(true),
+            &queries,
+            eps,
+            k,
+            threads,
+        )?;
     }
 
     #[test]

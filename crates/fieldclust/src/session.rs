@@ -71,7 +71,7 @@ use crate::pipeline::{
 };
 use crate::segments::SegmentStore;
 use cluster::autoconf::{
-    auto_configure, auto_configure_with_knn, auto_configure_with_provider, required_k_max,
+    auto_configure, auto_configure_parallel, auto_configure_with_knn, required_k_max,
     AutoConfError, AutoConfig, SelectedParams,
 };
 use cluster::dbscan::{dbscan, dbscan_weighted_parallel_with_provider, Clustering};
@@ -864,7 +864,8 @@ impl<'t> AnalysisSession<'t> {
                 let forest = self.vpforest.as_ref().expect("ensured");
                 let provider = VpProvider::new(&values, &self.config.dissim, forest)
                     .with_swar(self.config.swar);
-                let selection = auto_configure_with_provider(&provider, &self.config.autoconf);
+                let selection =
+                    auto_configure_parallel(&provider, &self.config.autoconf, self.config.threads);
                 let mean = selection
                     .is_err()
                     .then(|| pairwise_mean(&values, &self.config.dissim))
@@ -876,9 +877,10 @@ impl<'t> AnalysisSession<'t> {
                 let index = artifact.neighbors_built().expect("ensured");
                 let selection = match &self.knn {
                     Some(table) => auto_configure_with_knn(table, &self.config.autoconf),
-                    None => auto_configure_with_provider(
+                    None => auto_configure_parallel(
                         &IndexedProvider::new(artifact.matrix(), index),
                         &self.config.autoconf,
+                        self.config.threads,
                     ),
                 };
                 let mean = selection
@@ -1103,7 +1105,7 @@ fn cluster_with_provider<P: NeighborProvider + Sync>(
         };
         let trimmed = match knn {
             Some(table) => auto_configure_with_knn(table, &trimmed_config),
-            None => auto_configure_with_provider(provider, &trimmed_config),
+            None => auto_configure_parallel(provider, &trimmed_config, threads),
         };
         if let Ok(p) = trimmed {
             if p.epsilon < selected.epsilon {

@@ -660,6 +660,54 @@ fn vptree_warm_run_faults_the_forest_back_in() {
     );
 }
 
+// ----- mmap read-path equivalence: mapped vs heap warm reads -----
+//
+// The store's zero-copy mmap read path is an I/O strategy, never a
+// semantic knob: a warm session served from memory-mapped artifacts
+// must produce the same report bytes — and the same ε bits and labels —
+// as one served from heap reads of the same files.
+
+#[test]
+fn mmap_and_heap_warm_sessions_produce_identical_reports() {
+    use fieldclust::report::standard_report;
+    let dir = cache_dir("mmap-eq");
+    let trace = corpus::build_trace(Protocol::Dns, 100, 28);
+
+    // Cold run populates the cache.
+    let mut cold = truth_session(&trace).with_store(&dir).expect("open store");
+    cold.finish().expect("cold pipeline");
+
+    let run_warm = |mmap_on: bool| {
+        store::mmap::set_enabled(mmap_on);
+        let mut warm = truth_session(&trace).with_store(&dir).expect("open store");
+        let report = standard_report(&trace, &mut warm).expect("warm report");
+        let result = warm.finish().expect("warm pipeline");
+        let stats = warm.cache_stats().expect("stats");
+        store::mmap::set_enabled(true);
+        (report, result, stats)
+    };
+    let (report_mmap, result_mmap, stats_mmap) = run_warm(true);
+    let (report_heap, result_heap, stats_heap) = run_warm(false);
+
+    assert_eq!(
+        report_mmap.as_bytes(),
+        report_heap.as_bytes(),
+        "warm report bytes must not depend on the read path"
+    );
+    assert_eq!(result_mmap.clustering, result_heap.clustering);
+    assert_eq!(
+        result_mmap.params.epsilon.to_bits(),
+        result_heap.params.epsilon.to_bits()
+    );
+    assert_eq!(stats_mmap.hits, stats_heap.hits, "same artifacts served");
+    assert_eq!(stats_heap.mmap_reads, 0, "disabled path must never map");
+
+    // And both warm runs equal a cache-less cold session bit for bit.
+    let mut warm2 = truth_session(&trace).with_store(&dir).expect("open store");
+    let mut no_cache = truth_session(&trace);
+    assert_sessions_bit_identical(&mut warm2, &mut no_cache, "mmap-warm-vs-cold");
+}
+
 #[test]
 fn damaged_tile_degrades_to_recompute() {
     let dir = cache_dir("tiled-corrupt");

@@ -3,7 +3,7 @@
 //! ```text
 //! ftcd [--addr A] [--port-file F] [--workers N] [--queue N]
 //!      [--threads N] [--cache-dir D] [--job-history N]
-//!      [--neighbor-backend B]
+//!      [--neighbor-backend B] [--no-mmap]
 //! ```
 //!
 //! Binds loopback by default, prints the resolved address, serves until
@@ -16,7 +16,7 @@ ftcd — field type clustering analysis daemon
 
 USAGE:
   ftcd [--addr A] [--port-file F] [--workers N] [--queue N] [--threads N] [--cache-dir D]
-       [--job-history N] [--neighbor-backend B]
+       [--job-history N] [--neighbor-backend B] [--no-mmap]
 
 OPTIONS:
   --addr A         listen address (default 127.0.0.1:4747; port 0 = ephemeral)
@@ -26,6 +26,8 @@ OPTIONS:
   --threads N      threads per analysis stage, 0 = auto (never affects results)
   --cache-dir D    persist stage artifacts under D and warm-start from them
   --job-history N  finished job records (and reports) kept queryable (default 256)
+  --no-mmap        read cache artifacts via heap reads instead of memory
+                   mappings (never affects results, only copies)
   --neighbor-backend B
                    neighbor queries: auto|matrix|tiled|vptree (default auto;
                    never affects results, only memory and wall time)
@@ -73,6 +75,7 @@ fn main() {
                     .unwrap_or_else(|_| fail_usage("--threads needs a number"))
             }
             "--cache-dir" => config.cache_dir = Some(value_for("--cache-dir")),
+            "--no-mmap" => store::mmap::set_enabled(false),
             "--neighbor-backend" => {
                 config.neighbor_backend = value_for("--neighbor-backend")
                     .parse()

@@ -826,12 +826,12 @@ fn stats(shared: &Arc<Shared>) -> ServerStats {
         let core = shared.core.lock().expect("core lock");
         (core.traces.len() as u64, core.sessions.len() as u64)
     };
-    let (cache_hits, cache_misses, cache_writes) = match &shared.store {
+    let (cache_hits, cache_misses, cache_writes, cache_mmap_reads) = match &shared.store {
         Some(store) => {
             let s = store.stats();
-            (s.hits, s.misses, s.writes)
+            (s.hits, s.misses, s.writes, s.mmap_reads)
         }
-        None => (0, 0, 0),
+        None => (0, 0, 0, 0),
     };
     ServerStats {
         jobs_accepted: shared.counters.accepted.load(Ordering::Relaxed),
@@ -845,6 +845,7 @@ fn stats(shared: &Arc<Shared>) -> ServerStats {
         cache_hits,
         cache_misses,
         cache_writes,
+        cache_mmap_reads,
         peak_rss_bytes: peak_rss_bytes(),
         stage_wall_ns: shared.stage_wall.lock().expect("stage wall lock").clone(),
     }

@@ -164,6 +164,10 @@ pub struct ServerStats {
     pub cache_misses: u64,
     /// Artifact-store writes.
     pub cache_writes: u64,
+    /// Artifact-store reads served zero-copy through a memory mapping
+    /// (0 without `--cache-dir`, with `--no-mmap`, or on platforms
+    /// without the mmap read path).
+    pub cache_mmap_reads: u64,
     /// Peak resident set size of the daemon process, in bytes.
     pub peak_rss_bytes: u64,
     /// Cumulative wall time per pipeline stage, nanoseconds.
@@ -184,8 +188,13 @@ impl std::fmt::Display for ServerStats {
         )?;
         writeln!(
             f,
-            "sessions: traces={} warm={} cache: hits={} misses={} writes={}",
-            self.traces, self.warm_sessions, self.cache_hits, self.cache_misses, self.cache_writes,
+            "sessions: traces={} warm={} cache: hits={} misses={} writes={} mmap_reads={}",
+            self.traces,
+            self.warm_sessions,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_writes,
+            self.cache_mmap_reads,
         )?;
         writeln!(f, "peak_rss_bytes={}", self.peak_rss_bytes)?;
         for (stage, ns) in &self.stage_wall_ns {
@@ -420,6 +429,7 @@ impl Response {
                 w.u64(stats.cache_hits);
                 w.u64(stats.cache_misses);
                 w.u64(stats.cache_writes);
+                w.u64(stats.cache_mmap_reads);
                 w.u64(stats.peak_rss_bytes);
                 w.usize(stats.stage_wall_ns.len());
                 for (stage, ns) in &stats.stage_wall_ns {
@@ -471,6 +481,7 @@ impl Response {
                 let cache_hits = next().ok_or(malformed.clone())?;
                 let cache_misses = next().ok_or(malformed.clone())?;
                 let cache_writes = next().ok_or(malformed.clone())?;
+                let cache_mmap_reads = next().ok_or(malformed.clone())?;
                 let peak_rss_bytes = next().ok_or(malformed.clone())?;
                 let n = r.count(9).ok_or(malformed.clone())?;
                 let mut stage_wall_ns = Vec::with_capacity(n);
@@ -491,6 +502,7 @@ impl Response {
                     cache_hits,
                     cache_misses,
                     cache_writes,
+                    cache_mmap_reads,
                     peak_rss_bytes,
                     stage_wall_ns,
                 })

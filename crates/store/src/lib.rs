@@ -31,6 +31,7 @@ pub mod artifacts;
 pub mod codec;
 pub mod digest;
 pub mod format;
+pub mod mmap;
 
 pub use artifacts::{decode_payload, encode_payload, Kind, Persist};
 pub use codec::{Reader, Writer};
@@ -47,6 +48,7 @@ struct Counters {
     misses: AtomicU64,
     writes: AtomicU64,
     extended: AtomicU64,
+    mmap_reads: AtomicU64,
 }
 
 /// A snapshot of the store's hit/miss/write counters.
@@ -60,14 +62,17 @@ pub struct StoreStats {
     pub writes: u64,
     /// Matrices grown incrementally from a cached prefix.
     pub extended: u64,
+    /// Reads served zero-copy through a memory mapping (a subset of
+    /// `hits + misses`; the rest took the heap-read fallback).
+    pub mmap_reads: u64,
 }
 
 impl std::fmt::Display for StoreStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "hits={} misses={} writes={} extended={}",
-            self.hits, self.misses, self.writes, self.extended
+            "hits={} misses={} writes={} extended={} mmap_reads={}",
+            self.hits, self.misses, self.writes, self.extended, self.mmap_reads
         )
     }
 }
@@ -264,9 +269,25 @@ impl ArtifactStore {
 
     /// [`get`](Self::get) without touching the hit/miss counters — for
     /// speculative probes (manifest prefix candidates) that should not
-    /// skew the stats.
+    /// skew the stats. (The `mmap_reads` counter still ticks: it
+    /// attributes I/O strategy, not cache effectiveness.)
+    ///
+    /// With the mmap read path enabled the file is mapped and its frame
+    /// validated in place; the payload decodes straight from the mapped
+    /// pages with no whole-file heap copy. A frame violation seen
+    /// through the mapping is a definitive miss (the checksum verdict
+    /// cannot change on a re-read); only a failure to *map* falls back
+    /// to the byte-identical heap read.
     pub fn get_quiet<T: Persist>(&self, key: &Key) -> Option<T> {
-        let bytes = std::fs::read(self.file_path(T::KIND, key)).ok()?;
+        let path = self.file_path(T::KIND, key);
+        #[cfg(all(feature = "mmap", unix))]
+        if mmap::enabled() {
+            if let Ok(verdict) = mmap::MappedArtifact::open(&path, T::KIND) {
+                self.counters.mmap_reads.fetch_add(1, Ordering::Relaxed);
+                return verdict.and_then(|mapped| decode_payload(mapped.payload()));
+            }
+        }
+        let bytes = std::fs::read(path).ok()?;
         let payload = format::decode_file(T::KIND, &bytes)?;
         decode_payload(payload)
     }
@@ -527,6 +548,7 @@ impl ArtifactStore {
             misses: self.counters.misses.load(Ordering::Relaxed),
             writes: self.counters.writes.load(Ordering::Relaxed),
             extended: self.counters.extended.load(Ordering::Relaxed),
+            mmap_reads: self.counters.mmap_reads.load(Ordering::Relaxed),
         }
     }
 }
@@ -616,6 +638,26 @@ mod tests {
             .manifest_entries(&fam)
             .iter()
             .all(|&(_, k)| k != key(1)));
+    }
+
+    #[test]
+    fn mmap_and_heap_reads_agree() {
+        let store = temp_store("mmapeq");
+        let c = Clustering::from_labels(vec![Label::Cluster(0), Label::Cluster(1), Label::Noise]);
+        assert!(store.put(&key(7), &c));
+        let was_enabled = mmap::enabled();
+        // The store's read path (mapped when enabled) …
+        let via_store = store.get::<Clustering>(&key(7));
+        // … against the explicit heap read of the same file.
+        let bytes =
+            std::fs::read(store.file_path(Kind::CLUSTERING, &key(7))).expect("read artifact");
+        let via_heap: Option<Clustering> =
+            format::decode_file(Kind::CLUSTERING, &bytes).and_then(decode_payload);
+        assert_eq!(via_store, via_heap);
+        assert_eq!(via_store, Some(c));
+        if was_enabled && mmap::enabled() {
+            assert!(store.stats().mmap_reads >= 1, "mapped read should count");
+        }
     }
 
     #[test]

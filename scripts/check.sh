@@ -23,6 +23,16 @@ grep -Eq 'cache: hits=[1-9][0-9]* misses=0 writes=0' "$tmp/warm.err"
 cmp "$tmp/cold.out" "$tmp/warm.out"
 echo "store smoke test: warm run hit the cache and reproduced the cold report"
 
+# Mmap-fallback equivalence smoke test: the same warm run with the
+# zero-copy mmap read path disabled (plain heap reads) must still hit
+# the cache and produce the identical report — the read strategy is an
+# I/O knob, never a result knob.
+FTC_STORE_NO_MMAP=1 cargo run --release -q -p cli -- analyze "$tmp/smoke.pcap" \
+    --cache-dir "$tmp/cache" >"$tmp/warm-heap.out" 2>"$tmp/warm-heap.err"
+grep -Eq 'cache: hits=[1-9][0-9]* misses=0 writes=0' "$tmp/warm-heap.err"
+cmp "$tmp/warm.out" "$tmp/warm-heap.out"
+echo "mmap smoke test: heap-read warm run reproduced the mmap warm report byte for byte"
+
 # Neighbor-backend equivalence smoke test: the same capture analyzed
 # through every neighbor backend (matrix row scans, tiled + sorted
 # index, vantage-point forest, vptree + SWAR kernel) must produce
@@ -62,10 +72,13 @@ echo "rss smoke test: tiled build at u=2000 stayed under $rss_budget bytes"
 
 # Same budget for the matrix-free vptree path: the ladder's budget mode
 # skips the matrix oracle rungs and self-checks VmHWM, so the vp-forest
-# ε-search at u=2000 must fit where the full matrix would not.
+# ε-search at u=2000 — including the batched parallel query pass, which
+# every rung runs and pins bit-identical to the scalar queries — must
+# fit where the full matrix would not.
 cargo build --release -q -p bench --bin neighbor_ladder
-./target/release/neighbor_ladder 2000 128 "$rss_budget" >/dev/null
-echo "rss smoke test: vptree search at u=2000 stayed under $rss_budget bytes"
+./target/release/neighbor_ladder 2000 128 "$rss_budget" >"$tmp/ladder.out"
+grep -q 'u=2000 backend=vptree+batch' "$tmp/ladder.out"
+echo "rss smoke test: vptree scalar+batch search at u=2000 stayed under $rss_budget bytes"
 
 # Daemon smoke test: ftcd on an ephemeral port must serve a report
 # byte-identical to the offline CLI's, report sane stats, and exit 0
