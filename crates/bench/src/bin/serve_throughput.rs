@@ -1,14 +1,19 @@
-//! Loopback throughput harness for the `ftcd` daemon.
+//! Loopback throughput ladder for the `ftcd` daemon.
 //!
-//! Starts an in-process daemon, then drives it with concurrent clients
-//! over real TCP: each client submits its own synthetic capture,
-//! requests an analysis, and polls to completion — twice, so the
-//! second round measures the warm-session path. Prints per-phase
-//! daemon stage timings and jobs/second, and appends a record to
-//! `BENCH_trajectory.json` like every other harness.
+//! Each rung starts a fresh in-process daemon and drives it with
+//! `c` concurrent clients over real TCP. Every client submits its own
+//! synthetic capture of `m` messages, then runs `1 + a` analysis
+//! rounds: the first on the freshly submitted trace, each later one
+//! after an `AppendMessages` growing the trace — so the rung exercises
+//! cold submit, warm re-analysis, and the append/invalidate path
+//! together. Per-rung walls and jobs/second are printed and each rung
+//! is upserted into `BENCH_trajectory.json` under its own
+//! `serve_throughput{c=..,m=..,a=..}` name, giving the trajectory a
+//! real surface instead of a single point.
 //!
 //! Run with:
-//! `cargo run --release -p bench --bin serve_throughput -- [messages] [clients]`
+//! `cargo run --release -p bench --bin serve_throughput -- [clients_csv] [messages_csv] [appends_csv]`
+//! (defaults: `1,2,4` × `40,80` × `0,2`)
 
 use bench::append_trajectory;
 use protocols::{corpus, Protocol};
@@ -16,12 +21,17 @@ use serve::{Client, JobState, ServerConfig};
 use std::time::{Duration, Instant};
 use trace::pcap;
 
-fn main() {
-    let bench_start = Instant::now();
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let messages: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(60);
-    let clients: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(4);
+fn csv_arg(args: &[String], i: usize, default: &[usize]) -> Vec<usize> {
+    match args.get(i) {
+        None => default.to_vec(),
+        Some(raw) => raw
+            .split(',')
+            .map(|s| s.trim().parse().expect("ladder values are numbers"))
+            .collect(),
+    }
+}
 
+fn run_rung(clients: usize, messages: usize, appends: usize) -> Duration {
     let workers = std::thread::available_parallelism().map_or(2, |n| n.get().min(4));
     let handle = serve::start(ServerConfig {
         workers,
@@ -30,9 +40,6 @@ fn main() {
     })
     .expect("start daemon");
     let addr = handle.addr().to_string();
-    println!(
-        "daemon on {addr}: {workers} workers, {clients} clients × {messages} messages × 2 rounds"
-    );
 
     let protocols = [
         Protocol::Ntp,
@@ -47,14 +54,26 @@ fn main() {
             let addr = addr.clone();
             let protocol = protocols[c % protocols.len()];
             scope.spawn(move || {
-                let trace = corpus::build_trace(protocol, messages, 40 + c as u64);
+                let seed = 40 + c as u64;
+                let trace = corpus::build_trace(protocol, messages, seed);
                 let bytes = pcap::write_to_vec(&trace).expect("encode capture");
                 let mut client = Client::connect(&addr).expect("connect");
                 let (trace_id, n) = client
                     .submit_trace(&format!("{protocol:?}-{c}"), bytes, None, None, false)
                     .expect("submit");
                 assert!(n > 0);
-                for round in 0..2 {
+                for round in 0..=appends {
+                    if round > 0 {
+                        // Each append grows the trace with a fresh
+                        // slice, invalidating the warm session so the
+                        // next analysis takes the incremental path.
+                        let extra =
+                            corpus::build_trace(protocol, messages / 2, seed + 100 * round as u64);
+                        let extra_bytes = pcap::write_to_vec(&extra).expect("encode append");
+                        client
+                            .append_messages(trace_id, extra_bytes)
+                            .expect("append");
+                    }
                     let job = client.analyze(trace_id, "nemesys", 0).expect("analyze");
                     match client.wait_for(job, Duration::from_millis(10)) {
                         Ok(JobState::Done { report }) => assert!(!report.is_empty()),
@@ -69,17 +88,35 @@ fn main() {
     let mut client = Client::connect(&addr).expect("connect for stats");
     let stats = client.stats().expect("stats");
     let jobs = stats.jobs_completed;
+    let expected = clients * (1 + appends);
+    assert_eq!(jobs as usize, expected, "every job must complete");
     println!(
-        "{jobs} jobs in {:.3}s = {:.2} jobs/s (rejected {}, cancelled {})",
+        "  c={clients} m={messages} a={appends}: {jobs} jobs in {:.3}s = {:.2} jobs/s \
+         (rejected {}, evictions {})",
         wall.as_secs_f64(),
         jobs as f64 / wall.as_secs_f64(),
         stats.jobs_rejected,
-        stats.jobs_cancelled,
+        stats.session_evictions,
     );
-    println!("daemon counters:\n{stats}");
-    assert_eq!(jobs as usize, clients * 2, "every job must complete");
     client.shutdown().expect("shutdown");
     handle.wait();
+    wall
+}
 
-    append_trajectory("serve_throughput", bench_start.elapsed());
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let clients = csv_arg(&args, 0, &[1, 2, 4]);
+    let messages = csv_arg(&args, 1, &[40, 80]);
+    let appends = csv_arg(&args, 2, &[0, 2]);
+    println!(
+        "serve_throughput ladder: clients {clients:?} × messages {messages:?} × appends {appends:?}"
+    );
+    for &m in &messages {
+        for &a in &appends {
+            for &c in &clients {
+                let wall = run_rung(c, m, a);
+                append_trajectory(&format!("serve_throughput{{c={c},m={m},a={a}}}"), wall);
+            }
+        }
+    }
 }

@@ -1,0 +1,98 @@
+//! Streaming-ingestion ladder: batches × batch-size × sampling on/off.
+//!
+//! Each rung drives a [`ingest::StreamSession`] the way `fieldclust
+//! follow` does — `b` batches of `n` synthetic NTP messages pushed and
+//! flushed through a warm artifact store — once with sampling off and
+//! once with a stratified reservoir cap of `n` (so the admitted set
+//! stays one batch wide no matter how many arrive). Per-rung walls,
+//! final drift, and peak RSS are printed, and every rung is upserted
+//! into `BENCH_trajectory.json` under its own
+//! `stream_ladder{b=..,n=..,s=..}` name.
+//!
+//! Run with:
+//! `cargo run --release -p bench --bin stream_ladder -- [batches_csv] [batch_msgs_csv]`
+//! (defaults: `2,4` × `50,100`)
+
+use bench::append_trajectory;
+use fieldclust::{ArtifactStore, FieldTypeClusterer};
+use ingest::{peak_rss_bytes, PrepareOpts, SampleConfig, StreamConfig, StreamSession};
+use protocols::{corpus, Protocol};
+use std::time::Instant;
+
+fn csv_arg(args: &[String], i: usize, default: &[usize]) -> Vec<usize> {
+    match args.get(i) {
+        None => default.to_vec(),
+        Some(raw) => raw
+            .split(',')
+            .map(|s| s.trim().parse().expect("ladder values are numbers"))
+            .collect(),
+    }
+}
+
+fn run_rung(batches: usize, batch_msgs: usize, sample: usize) -> std::time::Duration {
+    let dir = std::env::temp_dir().join(format!(
+        "stream-ladder-{}-{batches}-{batch_msgs}-{sample}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = ArtifactStore::open(&dir).expect("open store");
+    let mut session = StreamSession::new(
+        StreamConfig {
+            prepare: PrepareOpts::default(),
+            segmenter: "nemesys".to_string(),
+            clusterer: FieldTypeClusterer::default(),
+            sample: SampleConfig {
+                max: sample,
+                seed: 1,
+            },
+        },
+        Some(store),
+    );
+    let trace = corpus::build_trace(Protocol::Ntp, batches * batch_msgs, 7);
+    let msgs = trace.messages().to_vec();
+    let start = Instant::now();
+    for slice in msgs.chunks(batch_msgs) {
+        session.push(slice.to_vec());
+        session
+            .flush()
+            .expect("flush")
+            .expect("every slice is a batch");
+    }
+    let wall = start.elapsed();
+    let last = session.records().last().expect("at least one batch");
+    println!(
+        "  b={batches} n={batch_msgs} sample={sample}: {:.3}s, final batch {} msgs / {} clusters \
+         (ari {:.3}, births {}, deaths {}), peak rss {} MiB",
+        wall.as_secs_f64(),
+        last.messages,
+        last.clusters,
+        last.delta.ari,
+        last.delta.births,
+        last.delta.deaths,
+        peak_rss_bytes() >> 20,
+    );
+    if sample > 0 {
+        assert!(
+            last.messages as usize <= sample,
+            "reservoir must cap the admitted set"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    wall
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let batches = csv_arg(&args, 0, &[2, 4]);
+    let batch_msgs = csv_arg(&args, 1, &[50, 100]);
+    println!("stream_ladder: batches {batches:?} × batch-msgs {batch_msgs:?} × sampling off/on");
+    assert!(peak_rss_bytes() > 0, "VmHWM must be readable");
+    for &b in &batches {
+        for &n in &batch_msgs {
+            for sample in [0, n] {
+                let wall = run_rung(b, n, sample);
+                append_trajectory(&format!("stream_ladder{{b={b},n={n},s={sample}}}"), wall);
+            }
+        }
+    }
+}

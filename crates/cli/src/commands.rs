@@ -558,6 +558,146 @@ pub fn shutdown(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Appends one drift record as a JSON line to `--drift-log F`, or to
+/// stdout when no sink was given (stdout stays pure JSONL; everything
+/// human-facing goes to stderr).
+fn emit_drift(
+    record: &ingest::DriftRecord,
+    sink: &mut Option<std::fs::File>,
+) -> Result<(), CliError> {
+    use std::io::Write;
+    let line = record.to_json_line();
+    match sink {
+        Some(file) => writeln!(file, "{line}")
+            .map_err(|e| CliError::runtime(format!("writing drift log: {e}"))),
+        None => {
+            println!("{line}");
+            Ok(())
+        }
+    }
+}
+
+/// `fieldclust follow <capture.pcap | --listen A>`: continuous
+/// streaming ingestion — tail a growing capture file (or accept framed
+/// raw messages on a loopback socket), re-cluster in bounded batches
+/// through a warm session, and emit one drift record per batch. With
+/// `--sample 0` (the default) the final `--report` is byte-identical
+/// to a one-shot `analyze --report` of the full capture.
+pub fn follow(args: &[String]) -> Result<(), CliError> {
+    use ingest::{FollowFile, MessageSource, SampleConfig, SocketFeed, StreamConfig};
+    use std::time::Instant;
+
+    let opts = CommonOpts::parse(args)?;
+    let mut source: Box<dyn MessageSource> = match &opts.listen {
+        Some(addr) => {
+            let feed = SocketFeed::bind(addr).map_err(CliError::runtime)?;
+            eprintln!("listening on {}", feed.local_addr());
+            Box::new(feed)
+        }
+        None => {
+            let path = opts.positional.first().ok_or_else(|| {
+                CliError::usage("missing <capture.pcap> argument (or --listen A)")
+            })?;
+            Box::new(FollowFile::new(path))
+        }
+    };
+    // Warmth between batches needs an artifact store; without
+    // `--cache-dir` a throwaway one keeps re-clustering incremental
+    // (results never depend on it — cold batches are just slower).
+    let (store, scratch_dir) = match open_store(&opts)? {
+        Some(s) => (Some(s), None),
+        None => {
+            let dir = std::env::temp_dir().join(format!(
+                "fieldclust-follow-{}-{}",
+                std::process::id(),
+                opts.seed
+            ));
+            match ArtifactStore::open(&dir) {
+                Ok(s) => (Some(s), Some(dir)),
+                Err(_) => (None, None),
+            }
+        }
+    };
+    let mut session = ingest::StreamSession::new(
+        StreamConfig {
+            prepare: prepare_opts(&opts),
+            segmenter: opts.segmenter.clone(),
+            clusterer: build_clusterer(&opts),
+            sample: SampleConfig {
+                max: opts.sample,
+                seed: opts.seed,
+            },
+        },
+        store.clone(),
+    );
+    let mut drift_log = match &opts.drift_log {
+        Some(path) => Some(
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .map_err(|e| CliError::runtime(format!("opening {path}: {e}")))?,
+        ),
+        None => None,
+    };
+    eprintln!(
+        "following {} (batch: {} msgs / {} ms, sample cap {})",
+        source.describe(),
+        opts.batch_msgs,
+        opts.batch_interval_ms,
+        opts.sample
+    );
+
+    let mut last_flush = Instant::now();
+    let mut last_arrival = Instant::now();
+    loop {
+        let fresh = source.poll().map_err(CliError::runtime)?;
+        if !fresh.is_empty() {
+            last_arrival = Instant::now();
+            session.push(fresh);
+        }
+        let interval = Duration::from_millis(opts.batch_interval_ms);
+        let due = session.pending() >= opts.batch_msgs
+            || (session.pending() > 0 && last_flush.elapsed() >= interval);
+        if due {
+            if let Some(record) = session.flush().map_err(CliError::runtime)? {
+                emit_drift(&record, &mut drift_log)?;
+            }
+            last_flush = Instant::now();
+        }
+        if opts.batches > 0 && session.batches() >= opts.batches {
+            break;
+        }
+        if opts.idle_exit_ms > 0
+            && last_arrival.elapsed() >= Duration::from_millis(opts.idle_exit_ms)
+        {
+            // Flush whatever is pending so the last messages are
+            // analyzed before exit.
+            if let Some(record) = session.flush().map_err(CliError::runtime)? {
+                emit_drift(&record, &mut drift_log)?;
+            }
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    if let Some(path) = &opts.report {
+        let md = session.final_report().map_err(CliError::runtime)?;
+        std::fs::write(path, md).map_err(|e| CliError::runtime(format!("writing {path}: {e}")))?;
+        eprintln!("report written to {path}");
+    }
+    eprintln!(
+        "follow: {} batches, {} messages seen",
+        session.batches(),
+        session.seen()
+    );
+    emit_cache_stats(store.as_ref());
+    if let Some(dir) = scratch_dir {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    Ok(())
+}
+
 /// `fieldclust protocols`: list the built-in generators.
 pub fn protocols(_args: &[String]) -> Result<(), CliError> {
     println!("built-in protocol generators:");

@@ -5,6 +5,7 @@
 //! fieldclust segment  <capture.pcap> [--segmenter S] [--max N] [--limit M]
 //! fieldclust fuzz     <capture.pcap> [--segmenter S] [--count N] [--seed X]
 //! fieldclust generate <protocol> <messages> <out.pcap> [--seed X]
+//! fieldclust follow   <capture.pcap | --listen A> [--batches N] [--sample N]
 //! fieldclust protocols
 //! fieldclust submit   <capture.pcap> --addr A   (against a running ftcd)
 //! fieldclust query    <job-id> --addr A
@@ -31,6 +32,7 @@ fn main() -> ExitCode {
         "segment" => commands::segment(rest),
         "fuzz" => commands::fuzz(rest),
         "generate" => commands::generate(rest),
+        "follow" => commands::follow(rest),
         "protocols" => commands::protocols(rest),
         "submit" => commands::submit(rest),
         "query" => commands::query(rest),

@@ -16,6 +16,9 @@ USAGE:
   fieldclust segment  <capture.pcap> [--segmenter S] [--max N] [--limit M]
   fieldclust fuzz     <capture.pcap> [--segmenter S] [--count N] [--seed X]
   fieldclust generate <protocol> <messages> <out.pcap> [--seed X]
+  fieldclust follow   <capture.pcap | --listen A> [--batch-msgs N] [--batch-interval MS]
+                      [--batches N] [--sample N] [--seed X] [--idle-exit MS]
+                      [--drift-log F] [--segmenter S] [--cache-dir D] [--report F]
   fieldclust protocols
   fieldclust submit   <capture.pcap> --addr A [--segmenter S] [--port P] [--max N] [--report out.md]
   fieldclust query    <job-id> --addr A [--report out.md]
@@ -45,6 +48,21 @@ OPTIONS:
   --threads N     threads for parallel stages, 0 = auto (never affects results)
   --addr A        a running ftcd daemon (e.g. 127.0.0.1:4747); `submit` sends
                   the capture there and waits for the identical report
+
+FOLLOW OPTIONS (streaming ingestion):
+  --listen A      accept length-framed raw messages on a loopback socket at A
+                  (e.g. 127.0.0.1:0) instead of tailing a capture file
+  --batch-msgs N  re-cluster once N messages are pending (default 64)
+  --batch-interval MS
+                  re-cluster pending messages after MS idle milliseconds
+                  (default 500)
+  --batches N     stop after N analyzed batches (0 = run until idle-exit)
+  --sample N      stratified reservoir cap: keep at most N messages, sampled
+                  deterministically by length stratum (0 = keep everything)
+  --idle-exit MS  stop once no message has arrived for MS milliseconds
+                  (0 = never)
+  --drift-log F   append per-batch drift records to F as JSON lines
+                  (default: stdout)
 
 EXIT CODES:
   0  success    1  runtime failure    2  bad usage";
@@ -88,6 +106,21 @@ pub struct CommonOpts {
     pub swar: bool,
     /// `--addr`: a running `ftcd` daemon to talk to.
     pub addr: Option<String>,
+    /// `--listen`: socket-feed address for `follow`.
+    pub listen: Option<String>,
+    /// `--batch-msgs`: pending-message batch boundary for `follow`.
+    pub batch_msgs: usize,
+    /// `--batch-interval`: idle-flush interval for `follow`, in ms.
+    pub batch_interval_ms: u64,
+    /// `--batches`: stop `follow` after this many batches (0 = no cap).
+    pub batches: u64,
+    /// `--sample`: stratified reservoir cap (0 = sampling off).
+    pub sample: usize,
+    /// `--idle-exit`: stop `follow` after this much arrival silence, in
+    /// ms (0 = never).
+    pub idle_exit_ms: u64,
+    /// `--drift-log`: JSONL drift-record sink for `follow`.
+    pub drift_log: Option<String>,
 }
 
 /// Parses a byte count with an optional `K`/`M`/`G` suffix (powers of
@@ -125,6 +158,13 @@ impl CommonOpts {
             neighbor_backend: fieldclust::NeighborBackend::Auto,
             swar: false,
             addr: None,
+            listen: None,
+            batch_msgs: 64,
+            batch_interval_ms: 500,
+            batches: 0,
+            sample: 0,
+            idle_exit_ms: 0,
+            drift_log: None,
         };
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -193,6 +233,35 @@ impl CommonOpts {
                 }
                 "--swar" => opts.swar = true,
                 "--addr" => opts.addr = Some(value_for("--addr")?),
+                "--listen" => opts.listen = Some(value_for("--listen")?),
+                "--batch-msgs" => {
+                    opts.batch_msgs = value_for("--batch-msgs")?
+                        .parse()
+                        .ok()
+                        .filter(|&n: &usize| n > 0)
+                        .ok_or_else(|| CliError::usage("--batch-msgs needs a positive number"))?
+                }
+                "--batch-interval" => {
+                    opts.batch_interval_ms = value_for("--batch-interval")?
+                        .parse()
+                        .map_err(|_| CliError::usage("--batch-interval needs milliseconds"))?
+                }
+                "--batches" => {
+                    opts.batches = value_for("--batches")?
+                        .parse()
+                        .map_err(|_| CliError::usage("--batches needs a number"))?
+                }
+                "--sample" => {
+                    opts.sample = value_for("--sample")?
+                        .parse()
+                        .map_err(|_| CliError::usage("--sample needs a number"))?
+                }
+                "--idle-exit" => {
+                    opts.idle_exit_ms = value_for("--idle-exit")?
+                        .parse()
+                        .map_err(|_| CliError::usage("--idle-exit needs milliseconds"))?
+                }
+                "--drift-log" => opts.drift_log = Some(value_for("--drift-log")?),
                 flag if flag.starts_with("--") => {
                     return Err(CliError::usage(format!("unknown flag `{flag}`")))
                 }
@@ -318,6 +387,58 @@ mod tests {
         for bad in [
             parse(&["--neighbor-backend", "quadtree"]),
             parse(&["--neighbor-backend"]),
+        ] {
+            assert_eq!(bad.unwrap_err().exit_code(), 2);
+        }
+    }
+
+    #[test]
+    fn follow_flags_are_parsed() {
+        let o = parse(&[
+            "grow.pcap",
+            "--batch-msgs",
+            "40",
+            "--batch-interval",
+            "200",
+            "--batches",
+            "3",
+            "--sample",
+            "32",
+            "--idle-exit",
+            "2000",
+            "--drift-log",
+            "drift.jsonl",
+            "--listen",
+            "127.0.0.1:0",
+        ])
+        .unwrap();
+        assert_eq!(o.batch_msgs, 40);
+        assert_eq!(o.batch_interval_ms, 200);
+        assert_eq!(o.batches, 3);
+        assert_eq!(o.sample, 32);
+        assert_eq!(o.idle_exit_ms, 2000);
+        assert_eq!(o.drift_log.as_deref(), Some("drift.jsonl"));
+        assert_eq!(o.listen.as_deref(), Some("127.0.0.1:0"));
+    }
+
+    #[test]
+    fn follow_defaults_and_bad_values() {
+        let o = parse(&["grow.pcap"]).unwrap();
+        assert_eq!(o.batch_msgs, 64);
+        assert_eq!(o.batch_interval_ms, 500);
+        assert_eq!(o.batches, 0);
+        assert_eq!(o.sample, 0);
+        assert_eq!(o.idle_exit_ms, 0);
+        assert!(o.drift_log.is_none());
+        assert!(o.listen.is_none());
+        for bad in [
+            parse(&["--batch-msgs", "0"]), // a zero boundary never flushes
+            parse(&["--batch-msgs", "many"]),
+            parse(&["--batch-interval", "soon"]),
+            parse(&["--batches"]),
+            parse(&["--sample", "-1"]),
+            parse(&["--idle-exit", "never"]),
+            parse(&["--drift-log"]),
         ] {
             assert_eq!(bad.unwrap_err().exit_code(), 2);
         }

@@ -147,6 +147,93 @@ impl Contingency {
         }
     }
 
+    /// Mutual information between the cluster and class partitions, in
+    /// nats. 0.0 for degenerate inputs.
+    pub fn mutual_information(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        let mut mi = 0.0;
+        for (cluster, row) in self.counts.iter().enumerate() {
+            let a = self.cluster_totals[cluster] as f64;
+            for (&class, &c) in row {
+                if c > 0 {
+                    let b = self.class_totals[class] as f64;
+                    let c = c as f64;
+                    mi += c / n * (n * c / (a * b)).ln();
+                }
+            }
+        }
+        mi.max(0.0)
+    }
+
+    /// The Adjusted Mutual Information with arithmetic-mean
+    /// normalization: `(MI − E[MI]) / (mean(H(U), H(V)) − E[MI])`,
+    /// where the expectation is taken over the hypergeometric model of
+    /// random label permutations with both marginals fixed. 1 for a
+    /// perfect match, ~0 for independent partitions. Degenerate inputs
+    /// (fewer than two items, or both partitions trivial) score 1.0;
+    /// one trivial side against a non-trivial one scores 0.0.
+    pub fn adjusted_mutual_information(&self) -> f64 {
+        if self.n < 2 {
+            return 1.0;
+        }
+        let clusters = self.cluster_totals.iter().filter(|&&t| t > 0).count();
+        let classes = self.class_totals.iter().filter(|&&t| t > 0).count();
+        if clusters <= 1 && classes <= 1 {
+            return 1.0;
+        }
+        let mi = self.mutual_information();
+        let emi = self.expected_mutual_information();
+        let h_u = entropy_nats(&self.cluster_totals, self.n);
+        let h_v = entropy_nats(&self.class_totals, self.n);
+        let normalizer = (h_u + h_v) / 2.0;
+        let denominator = normalizer - emi;
+        // One trivial partition: MI = EMI = 0, so the ratio is 0/H —
+        // defined, and exactly the "no information" answer.
+        if denominator.abs() < 1e-15 {
+            return 0.0;
+        }
+        ((mi - emi) / denominator).min(1.0)
+    }
+
+    /// `E[MI]` under the permutation (hypergeometric) model: for each
+    /// (cluster, class) pair the joint count `nij` ranges over its
+    /// feasible support and each value is weighted by its
+    /// hypergeometric probability, computed in log space via a
+    /// log-factorial table.
+    fn expected_mutual_information(&self) -> f64 {
+        let n = self.n;
+        let nf = n as f64;
+        // lnfact[k] = ln(k!), built once as a running sum.
+        let mut lnfact = vec![0.0f64; (n + 1) as usize];
+        for k in 1..=n as usize {
+            lnfact[k] = lnfact[k - 1] + (k as f64).ln();
+        }
+        let mut emi = 0.0;
+        for &a in self.cluster_totals.iter().filter(|&&a| a > 0) {
+            for &b in self.class_totals.iter().filter(|&&b| b > 0) {
+                let lo = 1.max((a + b).saturating_sub(n));
+                let hi = a.min(b);
+                for nij in lo..=hi {
+                    let term = nij as f64 / nf * (nf * nij as f64 / (a as f64 * b as f64)).ln();
+                    let ln_p = lnfact[a as usize]
+                        + lnfact[b as usize]
+                        + lnfact[(n - a) as usize]
+                        + lnfact[(n - b) as usize]
+                        - lnfact[n as usize]
+                        - lnfact[nij as usize]
+                        - lnfact[(a - nij) as usize]
+                        - lnfact[(b - nij) as usize]
+                        - lnfact[(n + nij - a - b) as usize];
+                    emi += term * ln_p.exp();
+                }
+            }
+        }
+        emi
+    }
+
     fn conditional_entropy_class_given_cluster(&self) -> f64 {
         let n = self.n as f64;
         let mut h = 0.0;
@@ -171,6 +258,20 @@ fn entropy(totals: &[u64], n: u64) -> f64 {
         .map(|&t| {
             let p = t as f64 / n;
             -p * p.log2()
+        })
+        .sum()
+}
+
+/// Entropy in nats (the base [`Contingency::mutual_information`] and
+/// its expectation share, so the AMI normalizer is consistent).
+fn entropy_nats(totals: &[u64], n: u64) -> f64 {
+    let n = n as f64;
+    totals
+        .iter()
+        .filter(|&&t| t > 0)
+        .map(|&t| {
+            let p = t as f64 / n;
+            -p * p.ln()
         })
         .sum()
 }
@@ -229,6 +330,112 @@ mod tests {
         let single = Contingency::from_clusters(&[vec!["x"]]);
         assert_eq!(single.len(), 1);
         assert_eq!(single.adjusted_rand_index(), 1.0);
+    }
+
+    /// Builds the contingency from two parallel label vectors: items
+    /// are grouped by their `u` label, members carry their `v` label.
+    fn from_labels(u: &[usize], v: &[usize]) -> Contingency {
+        assert_eq!(u.len(), v.len());
+        let max_u = u.iter().copied().max().map_or(0, |m| m + 1);
+        let mut clusters = vec![Vec::new(); max_u];
+        for (i, &cu) in u.iter().enumerate() {
+            clusters[cu].push(v[i]);
+        }
+        Contingency::from_clusters(&clusters)
+    }
+
+    #[test]
+    fn ami_is_one_for_identical_partitions() {
+        let u = [0, 0, 1, 1, 2, 2];
+        let t = from_labels(&u, &u);
+        assert!((t.adjusted_mutual_information() - 1.0).abs() < 1e-12);
+        // Renaming labels must not matter.
+        let renamed = [2, 2, 0, 0, 1, 1];
+        let t = from_labels(&u, &renamed);
+        assert!((t.adjusted_mutual_information() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ami_degenerate_cases() {
+        // Both trivial (one cluster, one class): perfect agreement.
+        let t = from_labels(&[0, 0, 0], &[0, 0, 0]);
+        assert_eq!(t.adjusted_mutual_information(), 1.0);
+        // Fewer than two items.
+        let t = from_labels(&[0], &[0]);
+        assert_eq!(t.adjusted_mutual_information(), 1.0);
+        let empty: Vec<Vec<usize>> = vec![];
+        assert_eq!(
+            Contingency::from_clusters(&empty).adjusted_mutual_information(),
+            1.0
+        );
+        // One trivial side against structure: no information, AMI = 0.
+        let t = from_labels(&[0, 0, 0, 0], &[0, 0, 1, 1]);
+        assert!(t.adjusted_mutual_information().abs() < 1e-12);
+        let t = from_labels(&[0, 1, 2, 3], &[0, 0, 0, 0]);
+        assert!(t.adjusted_mutual_information().abs() < 1e-12);
+    }
+
+    #[test]
+    fn ami_is_symmetric() {
+        let u = [0, 0, 1, 1, 2];
+        let v = [0, 1, 1, 2, 2];
+        let a = from_labels(&u, &v).adjusted_mutual_information();
+        let b = from_labels(&v, &u).adjusted_mutual_information();
+        assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        assert!(a < 1.0);
+    }
+
+    /// Pins the closed-form E[MI] against its definition: the mean
+    /// mutual information over *every* permutation of one labeling
+    /// (both marginals fixed). Exact enumeration at n = 5.
+    #[test]
+    fn expected_mi_matches_permutation_enumeration() {
+        let u = [0usize, 0, 1, 1, 2];
+        let v = [0usize, 1, 1, 2, 2];
+        let n = u.len();
+        // Heap's-algorithm-free enumeration: index permutations by
+        // factorial number system.
+        let mut total = 0.0;
+        let mut count = 0usize;
+        let mut perm: Vec<usize> = (0..n).collect();
+        loop {
+            let shuffled: Vec<usize> = perm.iter().map(|&i| v[i]).collect();
+            total += from_labels(&u, &shuffled).mutual_information();
+            count += 1;
+            // Next lexicographic permutation.
+            let Some(i) = (0..n - 1).rev().find(|&i| perm[i] < perm[i + 1]) else {
+                break;
+            };
+            let j = (i + 1..n).rev().find(|&j| perm[j] > perm[i]).unwrap();
+            perm.swap(i, j);
+            perm[i + 1..].reverse();
+        }
+        assert_eq!(count, 120);
+        let empirical = total / count as f64;
+        let closed_form = from_labels(&u, &v).expected_mutual_information();
+        assert!(
+            (empirical - closed_form).abs() < 1e-10,
+            "enumerated {empirical} vs closed-form {closed_form}"
+        );
+    }
+
+    #[test]
+    fn ami_punishes_independent_partitions() {
+        // A balanced 2×2 product structure: knowing u says nothing
+        // about v, so MI = 0 — *below* the permutation-model mean, so
+        // the adjusted index goes negative (chance-level or worse),
+        // while staying bounded.
+        let u = [0, 0, 1, 1, 0, 0, 1, 1];
+        let v = [0, 1, 0, 1, 0, 1, 0, 1];
+        let t = from_labels(&u, &v);
+        assert!(t.mutual_information().abs() < 1e-12);
+        let ami = t.adjusted_mutual_information();
+        assert!(ami < 0.0, "ami = {ami}");
+        assert!(ami > -1.5, "ami = {ami}");
+        // A partial agreement stays strictly between chance and 1.
+        let v2 = [0, 0, 0, 1, 0, 0, 1, 1];
+        let ami = from_labels(&u, &v2).adjusted_mutual_information();
+        assert!(ami > 0.0 && ami < 1.0, "ami = {ami}");
     }
 
     #[test]

@@ -1,0 +1,545 @@
+//! Cluster-drift tracking across incremental re-clusterings.
+//!
+//! Each streamed batch re-clusters the admitted trace; the interesting
+//! question is how the *partition* moved, not just what it is now. The
+//! tracker keeps the previous clustering as a value → label snapshot
+//! and, on every new clustering, computes agreement indices (ARI and
+//! AMI via `evalkit`, over the segment values present in both
+//! snapshots, with noise modelled as one special cluster) plus
+//! structural events by overlap matching:
+//!
+//! - **birth**: a new cluster sharing no value with any previous
+//!   cluster (all members are new values or were noise),
+//! - **death**: a previous cluster sharing no value with any new
+//!   cluster,
+//! - **split**: a previous cluster that is the plurality origin of two
+//!   or more new clusters,
+//! - **merge**: a new cluster that is the plurality destination of two
+//!   or more previous clusters.
+//!
+//! Plurality ties break toward the smaller cluster id, so every number
+//! in a [`DriftRecord`] is deterministic and hand-pinnable — the unit
+//! tests below fix them on constructed partitions, including the
+//! degenerate one-cluster and all-noise cases.
+
+use std::collections::HashMap;
+
+use cluster::Label;
+use evalkit::indices::Contingency;
+use fieldclust::PseudoTypeClustering;
+use store::codec::{Reader, Writer};
+
+/// Label of a segment value in a snapshot: dense cluster id, or -1 for
+/// noise. i64 keeps the noise sentinel out of the cluster id space.
+type SnapLabel = i64;
+
+const NOISE: SnapLabel = -1;
+
+/// A value → cluster-label map taken from one clustering run.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterSnapshot {
+    labels: HashMap<Vec<u8>, SnapLabel>,
+    n_clusters: u32,
+}
+
+impl ClusterSnapshot {
+    /// Snapshots a finished pipeline result: every clustered unique
+    /// segment value maps to its cluster id, noise values to -1.
+    pub fn from_result(result: &PseudoTypeClustering) -> Self {
+        let mut labels = HashMap::with_capacity(result.store.segments.len());
+        for (seg, label) in result.store.segments.iter().zip(result.clustering.labels()) {
+            let l = match label {
+                Label::Cluster(id) => *id as SnapLabel,
+                Label::Noise => NOISE,
+            };
+            labels.insert(seg.value.clone(), l);
+        }
+        ClusterSnapshot {
+            labels,
+            n_clusters: result.clustering.n_clusters(),
+        }
+    }
+
+    /// Builds a snapshot from explicit (value, label) pairs; label -1
+    /// is noise. Test/bench constructor.
+    pub fn from_pairs(pairs: &[(&[u8], SnapLabel)]) -> Self {
+        let mut labels = HashMap::with_capacity(pairs.len());
+        let mut max_id = -1;
+        for (v, l) in pairs {
+            labels.insert(v.to_vec(), *l);
+            max_id = max_id.max(*l);
+        }
+        ClusterSnapshot {
+            labels,
+            n_clusters: (max_id + 1) as u32,
+        }
+    }
+
+    /// Number of distinct values in the snapshot.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the snapshot holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of proper clusters (noise excluded).
+    pub fn n_clusters(&self) -> u32 {
+        self.n_clusters
+    }
+
+    /// Number of values labelled noise.
+    pub fn n_noise(&self) -> usize {
+        self.labels.values().filter(|&&l| l == NOISE).count()
+    }
+}
+
+/// Agreement and structural change between two consecutive snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftDelta {
+    /// Adjusted Rand index over values present in both snapshots
+    /// (noise as one cluster); 1.0 when the intersection is empty or
+    /// this is the first snapshot.
+    pub ari: f64,
+    /// Adjusted mutual information, same universe and conventions.
+    pub ami: f64,
+    /// New clusters with zero overlap with every previous cluster.
+    pub births: u32,
+    /// Previous clusters with zero overlap with every new cluster.
+    pub deaths: u32,
+    /// Previous clusters that are the plurality origin of ≥ 2 new
+    /// clusters.
+    pub splits: u32,
+    /// New clusters that are the plurality destination of ≥ 2 previous
+    /// clusters.
+    pub merges: u32,
+}
+
+/// Compares two snapshots; `prev = None` means "first batch", which
+/// reports perfect agreement and one birth per cluster.
+pub fn drift_between(prev: Option<&ClusterSnapshot>, next: &ClusterSnapshot) -> DriftDelta {
+    let Some(prev) = prev else {
+        return DriftDelta {
+            ari: 1.0,
+            ami: 1.0,
+            births: next.n_clusters(),
+            deaths: 0,
+            splits: 0,
+            merges: 0,
+        };
+    };
+
+    // Overlap counts over the intersection of value universes, proper
+    // clusters only (noise handled separately for the indices).
+    let mut overlap: HashMap<(SnapLabel, SnapLabel), u64> = HashMap::new();
+    // Per-cluster totals *within the intersection*, including flows to
+    // and from noise — a previous cluster whose values all became noise
+    // overlaps nothing and counts as dead.
+    let mut agreement: Vec<Vec<SnapLabel>> = Vec::new();
+    let mut by_next: HashMap<SnapLabel, Vec<SnapLabel>> = HashMap::new();
+    for (value, &p) in &prev.labels {
+        let Some(&n) = next.labels.get(value) else {
+            continue;
+        };
+        by_next.entry(n).or_default().push(p);
+        if p != NOISE && n != NOISE {
+            *overlap.entry((p, n)).or_insert(0) += 1;
+        }
+    }
+    let (ari, ami) = if by_next.is_empty() {
+        (1.0, 1.0)
+    } else {
+        // Deterministic grouping order does not matter for the indices,
+        // but build it sorted anyway so debugging output is stable.
+        let mut keys: Vec<SnapLabel> = by_next.keys().copied().collect();
+        keys.sort_unstable();
+        for k in keys {
+            agreement.push(by_next.remove(&k).expect("key from map"));
+        }
+        let c = Contingency::from_clusters(&agreement);
+        (c.adjusted_rand_index(), c.adjusted_mutual_information())
+    };
+
+    // Plurality mappings in both directions, ties toward smaller id.
+    let mut forward: HashMap<SnapLabel, (u64, SnapLabel)> = HashMap::new(); // prev -> best next
+    let mut backward: HashMap<SnapLabel, (u64, SnapLabel)> = HashMap::new(); // next -> best prev
+    for (&(p, n), &c) in &overlap {
+        let f = forward.entry(p).or_insert((0, SnapLabel::MAX));
+        if c > f.0 || (c == f.0 && n < f.1) {
+            *f = (c, n);
+        }
+        let b = backward.entry(n).or_insert((0, SnapLabel::MAX));
+        if c > b.0 || (c == b.0 && p < b.1) {
+            *b = (c, p);
+        }
+    }
+
+    let mut births = 0;
+    let mut merges = 0;
+    for n in 0..SnapLabel::from(next.n_clusters()) {
+        match backward.get(&n) {
+            None => births += 1,
+            Some(_) => {
+                let origins = forward.values().filter(|(_, tgt)| *tgt == n).count();
+                if origins >= 2 {
+                    merges += 1;
+                }
+            }
+        }
+    }
+    let mut deaths = 0;
+    let mut splits = 0;
+    for p in 0..SnapLabel::from(prev.n_clusters()) {
+        match forward.get(&p) {
+            None => deaths += 1,
+            Some(_) => {
+                let descendants = backward.values().filter(|(_, src)| *src == p).count();
+                if descendants >= 2 {
+                    splits += 1;
+                }
+            }
+        }
+    }
+
+    DriftDelta {
+        ari,
+        ami,
+        births,
+        deaths,
+        splits,
+        merges,
+    }
+}
+
+/// One line of the drift log: what a single batch re-cluster did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftRecord {
+    /// 0-based batch index.
+    pub batch: u64,
+    /// Messages admitted into the analysis after sampling.
+    pub messages: u64,
+    /// Messages observed on the source so far (≥ `messages` when
+    /// sampling is on).
+    pub seen: u64,
+    /// Unique clusterable segment values in this batch's store.
+    pub unique_segments: u64,
+    /// Proper clusters in this batch's result.
+    pub clusters: u64,
+    /// Noise values in this batch's result.
+    pub noise: u64,
+    /// Agreement and structural change vs the previous batch.
+    pub delta: DriftDelta,
+    /// Per-stage wall clock for this batch, microseconds.
+    pub stage_walls_us: Vec<(String, u64)>,
+    /// Whole-batch wall clock, microseconds.
+    pub wall_us: u64,
+    /// Cumulative artifact-store hits after this batch (0 if no store).
+    pub store_hits: u64,
+    /// Cumulative artifact-store misses after this batch.
+    pub store_misses: u64,
+}
+
+impl DriftRecord {
+    /// Renders the record as one JSON object on a single line — the
+    /// drift log is JSONL so `follow` output can be tailed and grepped.
+    pub fn to_json_line(&self) -> String {
+        let mut walls = String::new();
+        for (i, (name, us)) in self.stage_walls_us.iter().enumerate() {
+            if i > 0 {
+                walls.push(',');
+            }
+            walls.push_str(&format!("\"{name}\":{us}"));
+        }
+        format!(
+            "{{\"batch\":{},\"messages\":{},\"seen\":{},\"unique_segments\":{},\
+             \"clusters\":{},\"noise\":{},\"ari\":{:.6},\"ami\":{:.6},\
+             \"births\":{},\"deaths\":{},\"splits\":{},\"merges\":{},\
+             \"stage_walls_us\":{{{walls}}},\"wall_us\":{},\
+             \"store_hits\":{},\"store_misses\":{}}}",
+            self.batch,
+            self.messages,
+            self.seen,
+            self.unique_segments,
+            self.clusters,
+            self.noise,
+            self.delta.ari,
+            self.delta.ami,
+            self.delta.births,
+            self.delta.deaths,
+            self.delta.splits,
+            self.delta.merges,
+            self.wall_us,
+            self.store_hits,
+            self.store_misses,
+        )
+    }
+
+    /// Serializes the record for the wire (`DriftHistory` responses).
+    pub fn encode(&self, w: &mut Writer) {
+        w.u64(self.batch);
+        w.u64(self.messages);
+        w.u64(self.seen);
+        w.u64(self.unique_segments);
+        w.u64(self.clusters);
+        w.u64(self.noise);
+        w.f64(self.delta.ari);
+        w.f64(self.delta.ami);
+        w.u32(self.delta.births);
+        w.u32(self.delta.deaths);
+        w.u32(self.delta.splits);
+        w.u32(self.delta.merges);
+        w.usize(self.stage_walls_us.len());
+        for (name, us) in &self.stage_walls_us {
+            w.bytes(name.as_bytes());
+            w.u64(*us);
+        }
+        w.u64(self.wall_us);
+        w.u64(self.store_hits);
+        w.u64(self.store_misses);
+    }
+
+    /// Deserializes a record written by [`encode`](Self::encode).
+    /// `None` when the buffer is truncated or malformed.
+    pub fn decode(r: &mut Reader) -> Option<Self> {
+        let batch = r.u64()?;
+        let messages = r.u64()?;
+        let seen = r.u64()?;
+        let unique_segments = r.u64()?;
+        let clusters = r.u64()?;
+        let noise = r.u64()?;
+        let ari = r.f64()?;
+        let ami = r.f64()?;
+        let births = r.u32()?;
+        let deaths = r.u32()?;
+        let splits = r.u32()?;
+        let merges = r.u32()?;
+        let n_walls = r.count(16)?; // 8-byte name length + 8-byte wall
+        let mut stage_walls_us = Vec::with_capacity(n_walls);
+        for _ in 0..n_walls {
+            let name = String::from_utf8(r.bytes()?.to_vec()).ok()?;
+            stage_walls_us.push((name, r.u64()?));
+        }
+        Some(DriftRecord {
+            batch,
+            messages,
+            seen,
+            unique_segments,
+            clusters,
+            noise,
+            delta: DriftDelta {
+                ari,
+                ami,
+                births,
+                deaths,
+                splits,
+                merges,
+            },
+            stage_walls_us,
+            wall_us: r.u64()?,
+            store_hits: r.u64()?,
+            store_misses: r.u64()?,
+        })
+    }
+}
+
+/// Keeps the previous snapshot between batches and stamps each new
+/// clustering into a [`DriftDelta`].
+#[derive(Debug, Default)]
+pub struct DriftTracker {
+    prev: Option<ClusterSnapshot>,
+    batches: u64,
+}
+
+impl DriftTracker {
+    /// A tracker that has seen nothing.
+    pub fn new() -> Self {
+        DriftTracker::default()
+    }
+
+    /// Number of snapshots observed so far.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Observes the next clustering and returns the delta vs the
+    /// previous one (perfect-agreement semantics for the first).
+    pub fn observe(&mut self, next: ClusterSnapshot) -> DriftDelta {
+        let delta = drift_between(self.prev.as_ref(), &next);
+        self.prev = Some(next);
+        self.batches += 1;
+        delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(pairs: &[(&[u8], i64)]) -> ClusterSnapshot {
+        ClusterSnapshot::from_pairs(pairs)
+    }
+
+    #[test]
+    fn first_batch_is_all_births() {
+        let mut t = DriftTracker::new();
+        let d = t.observe(snap(&[(b"a", 0), (b"b", 0), (b"c", 1), (b"n", -1)]));
+        assert_eq!(
+            d,
+            DriftDelta {
+                ari: 1.0,
+                ami: 1.0,
+                births: 2,
+                deaths: 0,
+                splits: 0,
+                merges: 0
+            }
+        );
+        assert_eq!(t.batches(), 1);
+    }
+
+    #[test]
+    fn identical_partitions_do_not_drift() {
+        let pairs: &[(&[u8], i64)] = &[(b"a", 0), (b"b", 0), (b"c", 1), (b"d", 1), (b"n", -1)];
+        let mut t = DriftTracker::new();
+        t.observe(snap(pairs));
+        let d = t.observe(snap(pairs));
+        assert_eq!(d.ari, 1.0);
+        assert_eq!(d.ami, 1.0);
+        assert_eq!((d.births, d.deaths, d.splits, d.merges), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn relabelled_partition_is_still_identical() {
+        let mut t = DriftTracker::new();
+        t.observe(snap(&[(b"a", 0), (b"b", 0), (b"c", 1), (b"d", 1)]));
+        // Same partition, cluster ids swapped.
+        let d = t.observe(snap(&[(b"a", 1), (b"b", 1), (b"c", 0), (b"d", 0)]));
+        assert_eq!(d.ari, 1.0);
+        assert_eq!(d.ami, 1.0);
+        assert_eq!((d.births, d.deaths, d.splits, d.merges), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn split_detected() {
+        let mut t = DriftTracker::new();
+        t.observe(snap(&[(b"a", 0), (b"b", 0), (b"c", 0), (b"d", 0)]));
+        // Cluster 0 breaks into two halves.
+        let d = t.observe(snap(&[(b"a", 0), (b"b", 0), (b"c", 1), (b"d", 1)]));
+        assert_eq!((d.births, d.deaths, d.splits, d.merges), (0, 0, 1, 0));
+        assert!(d.ari < 1.0);
+    }
+
+    #[test]
+    fn merge_detected() {
+        let mut t = DriftTracker::new();
+        t.observe(snap(&[(b"a", 0), (b"b", 0), (b"c", 1), (b"d", 1)]));
+        let d = t.observe(snap(&[(b"a", 0), (b"b", 0), (b"c", 0), (b"d", 0)]));
+        assert_eq!((d.births, d.deaths, d.splits, d.merges), (0, 0, 0, 1));
+        assert!(d.ari < 1.0);
+    }
+
+    #[test]
+    fn birth_and_death_detected() {
+        let mut t = DriftTracker::new();
+        t.observe(snap(&[(b"a", 0), (b"b", 0), (b"x", 1), (b"y", 1)]));
+        // Cluster 1's values go to noise (death); brand-new values form
+        // cluster 1 (birth); cluster 0 persists.
+        let d = t.observe(snap(&[
+            (b"a", 0),
+            (b"b", 0),
+            (b"x", -1),
+            (b"y", -1),
+            (b"p", 1),
+            (b"q", 1),
+        ]));
+        assert_eq!((d.births, d.deaths, d.splits, d.merges), (1, 1, 0, 0));
+    }
+
+    #[test]
+    fn one_cluster_to_all_noise_is_a_death() {
+        let mut t = DriftTracker::new();
+        t.observe(snap(&[(b"a", 0), (b"b", 0), (b"c", 0)]));
+        let d = t.observe(snap(&[(b"a", -1), (b"b", -1), (b"c", -1)]));
+        assert_eq!((d.births, d.deaths, d.splits, d.merges), (0, 1, 0, 0));
+        // With noise modelled as one cluster, both sides are the same
+        // trivial single-group partition, so the agreement indices read
+        // 1.0 — the collapse is reported by the death event, not ARI.
+        assert_eq!(d.ari, 1.0);
+        assert_eq!(d.ami, 1.0);
+    }
+
+    #[test]
+    fn all_noise_to_all_noise_is_quiet() {
+        let mut t = DriftTracker::new();
+        t.observe(snap(&[(b"a", -1), (b"b", -1)]));
+        let d = t.observe(snap(&[(b"a", -1), (b"b", -1)]));
+        assert_eq!((d.births, d.deaths, d.splits, d.merges), (0, 0, 0, 0));
+        assert_eq!(d.ari, 1.0);
+        assert_eq!(d.ami, 1.0);
+    }
+
+    #[test]
+    fn disjoint_universes_report_perfect_agreement() {
+        let mut t = DriftTracker::new();
+        t.observe(snap(&[(b"a", 0), (b"b", 0)]));
+        let d = t.observe(snap(&[(b"p", 0), (b"q", 0)]));
+        assert_eq!(d.ari, 1.0);
+        assert_eq!(d.ami, 1.0);
+        // Old cluster gone, new cluster unseen before.
+        assert_eq!((d.births, d.deaths, d.splits, d.merges), (1, 1, 0, 0));
+    }
+
+    #[test]
+    fn snapshot_counts() {
+        let s = snap(&[(b"a", 0), (b"b", 2), (b"n", -1)]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.n_clusters(), 3); // dense ids assumed: max id + 1
+        assert_eq!(s.n_noise(), 1);
+        assert!(!s.is_empty());
+        assert!(snap(&[]).is_empty());
+    }
+
+    #[test]
+    fn record_json_and_codec_roundtrip() {
+        let rec = DriftRecord {
+            batch: 2,
+            messages: 120,
+            seen: 400,
+            unique_segments: 77,
+            clusters: 9,
+            noise: 4,
+            delta: DriftDelta {
+                ari: 0.875,
+                ami: 0.75,
+                births: 1,
+                deaths: 0,
+                splits: 2,
+                merges: 0,
+            },
+            stage_walls_us: vec![("segment".into(), 1200), ("cluster".into(), 300)],
+            wall_us: 2500,
+            store_hits: 31,
+            store_misses: 7,
+        };
+        let line = rec.to_json_line();
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"batch\":2"));
+        assert!(line.contains("\"ari\":0.875000"));
+        assert!(line.contains("\"segment\":1200"));
+        assert!(!line.contains('\n'));
+
+        let mut w = Writer::new();
+        rec.encode(&mut w);
+        let buf = w.into_inner();
+        let mut r = Reader::new(&buf);
+        let back = DriftRecord::decode(&mut r).unwrap();
+        assert_eq!(back, rec);
+        assert!(r.is_at_end());
+
+        // Truncation fails cleanly.
+        let mut short = Reader::new(&buf[..buf.len() - 1]);
+        assert!(DriftRecord::decode(&mut short).is_none());
+    }
+}

@@ -1,0 +1,34 @@
+//! Continuous streaming ingestion for field type clustering.
+//!
+//! The paper analyzes a static trace; this crate closes the loop for
+//! live traffic. Messages arrive from a capture source (a growing
+//! capture file under [`source::FollowFile`], a loopback socket feed
+//! under [`source::SocketFeed`], or chunked wire submission via the
+//! `serve` daemon), are optionally capped by a deterministic
+//! stratified reservoir ([`sample`]) so memory stays bounded, and each
+//! bounded batch is re-clustered incrementally through a warm
+//! `AnalysisSession` over the shared artifact store ([`stream`]). Every
+//! batch yields a [`drift::DriftRecord`]: ARI/AMI agreement with the
+//! previous clustering plus cluster births, deaths, splits and merges
+//! by segment-overlap matching.
+//!
+//! The crate also owns the trace-preparation path ([`prep`]) shared by
+//! the offline CLI, the daemon and the streaming pipeline — one loader,
+//! so every frontend derives the identical trace (and hence identical
+//! reports) from the same capture bytes.
+//!
+//! Layering: `ingest` sits on `fieldclust` (and friends) and knows
+//! nothing about the wire protocol; `serve` depends on `ingest` to
+//! drive streaming jobs and re-exports [`prep`] for compatibility.
+
+pub mod drift;
+pub mod prep;
+pub mod sample;
+pub mod source;
+pub mod stream;
+
+pub use drift::{drift_between, ClusterSnapshot, DriftDelta, DriftRecord, DriftTracker};
+pub use prep::{build_segmenter, peak_rss_bytes, prepare_trace, preprocess, PrepareOpts};
+pub use sample::{SampleConfig, StratifiedReservoir};
+pub use source::{FollowFile, MessageSource, SocketFeed};
+pub use stream::{StreamConfig, StreamSession};

@@ -1,0 +1,377 @@
+//! Deterministic stratified reservoir sampling for bounded-memory
+//! streaming ingestion.
+//!
+//! A live capture can outgrow any analysis budget, so the streaming
+//! pipeline admits at most `max` messages per analysis. A plain
+//! reservoir would keep a uniform sample but let rare message lengths
+//! vanish — and length is the strongest prior on message *type* in a
+//! binary protocol — so the reservoir stratifies by payload-length
+//! bucket (log₂ of the length) and allocates the cap across strata
+//! proportionally, with every non-empty stratum guaranteed one slot
+//! while slots last.
+//!
+//! Determinism matters more than randomness here: the acceptance
+//! criteria pin that the same capture yields the same reservoir no
+//! matter how its messages were interleaved across batches. A classic
+//! Vitter reservoir is order-*dependent*, so instead each message gets
+//! a priority from a seeded hash of its content, and each stratum keeps
+//! its bottom-`k` by that priority. Priorities depend only on (seed,
+//! message content), hence the kept *set* is invariant under input
+//! permutation — the property `reservoir_is_order_invariant` pins.
+
+use trace::Message;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Sampling policy for a streaming session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SampleConfig {
+    /// Hard cap on admitted messages; 0 disables sampling entirely
+    /// (every message is kept and the reservoir is a passthrough).
+    pub max: usize,
+    /// Seed mixed into every priority hash. Two reservoirs with the
+    /// same seed and the same observed multiset are identical.
+    pub seed: u64,
+}
+
+/// splitmix64 finalizer: spreads the FNV hash so bottom-k selection is
+/// unbiased across strata even for near-identical payloads.
+fn avalanche(mut h: u64) -> u64 {
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// Seeded FNV-64 priority of a message: content-only, so it is the same
+/// no matter when or in which batch the message arrived.
+fn priority(seed: u64, msg: &Message) -> u64 {
+    let mut h = FNV_OFFSET ^ avalanche(seed);
+    for &b in msg.payload().as_slice() {
+        h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    // Fold the timestamp in *after* the payload so duplicate payloads
+    // (distinct observations) still get distinct priorities.
+    for b in msg.timestamp_micros().to_le_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    avalanche(h)
+}
+
+/// Stratum id: log₂ bucket of the payload length (0, 1, 2–3, 4–7, …).
+/// At most 65 strata exist, which bounds reservoir memory at
+/// `max × 65` candidates regardless of stream size.
+fn stratum_of(msg: &Message) -> usize {
+    let len = msg.payload().len();
+    if len == 0 {
+        0
+    } else {
+        (usize::BITS - len.leading_zeros()) as usize
+    }
+}
+
+#[derive(Debug)]
+struct Stratum {
+    /// Stratum id (log₂ length bucket) — kept for quota ordering.
+    id: usize,
+    /// Messages seen in this stratum over the whole stream.
+    seen: u64,
+    /// Bottom-`max` candidates by (priority, timestamp, payload):
+    /// enough to answer any quota ≤ `max` exactly.
+    kept: Vec<(u64, Message)>,
+}
+
+impl Stratum {
+    /// Total order on candidates that depends only on message content,
+    /// never on arrival order.
+    fn key(p: u64, m: &Message) -> (u64, u64, Vec<u8>) {
+        (p, m.timestamp_micros(), m.payload().to_vec())
+    }
+
+    fn offer(&mut self, cap: usize, prio: u64, msg: Message) {
+        self.seen += 1;
+        self.kept.push((prio, msg));
+        if self.kept.len() > cap {
+            // Evict the max-key candidate; cap is small enough that a
+            // linear scan beats maintaining a heap with owned payloads.
+            let worst = self
+                .kept
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, (p, m))| Self::key(*p, m))
+                .map(|(i, _)| i)
+                .expect("non-empty kept");
+            self.kept.swap_remove(worst);
+        }
+    }
+}
+
+/// A deterministic, order-invariant stratified reservoir.
+///
+/// Feed every streamed message through [`offer`](Self::offer); read the
+/// current sample back with [`sampled`](Self::sampled). With
+/// `max == 0` the reservoir keeps everything.
+#[derive(Debug)]
+pub struct StratifiedReservoir {
+    config: SampleConfig,
+    strata: Vec<Stratum>,
+    seen: u64,
+}
+
+impl StratifiedReservoir {
+    /// Creates an empty reservoir under `config`.
+    pub fn new(config: SampleConfig) -> Self {
+        StratifiedReservoir {
+            config,
+            strata: Vec::new(),
+            seen: 0,
+        }
+    }
+
+    /// Whether a cap is in force (`max > 0`).
+    pub fn is_sampling(&self) -> bool {
+        self.config.max > 0
+    }
+
+    /// Messages observed over the lifetime of the reservoir.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Observes one message.
+    pub fn offer(&mut self, msg: Message) {
+        self.seen += 1;
+        let sid = stratum_of(&msg);
+        let cap = if self.config.max == 0 {
+            usize::MAX
+        } else {
+            self.config.max
+        };
+        let prio = priority(self.config.seed, &msg);
+        let stratum = match self.strata.iter_mut().find(|s| s.id == sid) {
+            Some(s) => s,
+            None => {
+                self.strata.push(Stratum {
+                    id: sid,
+                    seen: 0,
+                    kept: Vec::new(),
+                });
+                self.strata.sort_by_key(|s| s.id);
+                self.strata
+                    .iter_mut()
+                    .find(|s| s.id == sid)
+                    .expect("just inserted")
+            }
+        };
+        stratum.offer(cap, prio, msg);
+    }
+
+    /// Per-stratum quotas for the current population: everything when
+    /// under the cap; otherwise largest-remainder apportionment of the
+    /// cap by stratum population, then one guaranteed slot for every
+    /// non-empty stratum while the cap allows (taken from the largest
+    /// quota). Quotas depend only on per-stratum counts, so they are
+    /// invariant under input permutation.
+    fn quotas(&self) -> Vec<(usize, usize)> {
+        let total: u64 = self.strata.iter().map(|s| s.seen).sum();
+        let max = self.config.max as u64;
+        if max == 0 || total <= max {
+            return self
+                .strata
+                .iter()
+                .map(|s| (s.id, s.seen as usize))
+                .collect();
+        }
+        let mut quota: Vec<u64> = Vec::with_capacity(self.strata.len());
+        let mut rem: Vec<(usize, u64)> = Vec::with_capacity(self.strata.len());
+        for (i, s) in self.strata.iter().enumerate() {
+            let exact = s.seen * max; // numerator of seen/total × max
+            quota.push(exact / total);
+            rem.push((i, exact % total));
+        }
+        let assigned: u64 = quota.iter().sum();
+        // Remainder ties broken by smaller stratum id: fully determined
+        // by counts, never by arrival order. The floor quotas leave
+        // `max - assigned` slots, one per largest remainder.
+        rem.sort_by(|a, b| {
+            b.1.cmp(&a.1)
+                .then(self.strata[a.0].id.cmp(&self.strata[b.0].id))
+        });
+        for (i, _) in rem.into_iter().take((max - assigned) as usize) {
+            quota[i] += 1;
+        }
+        // Stratification guarantee: rare length buckets keep one slot,
+        // funded by the fattest bucket, as long as strata fit the cap.
+        if max >= self.strata.len() as u64 {
+            for i in 0..quota.len() {
+                if quota[i] == 0 {
+                    let donor = (0..quota.len())
+                        .max_by_key(|&j| (quota[j], std::cmp::Reverse(self.strata[j].id)))
+                        .expect("strata non-empty here");
+                    if quota[donor] > 1 {
+                        quota[donor] -= 1;
+                        quota[i] = 1;
+                    }
+                }
+            }
+        }
+        self.strata
+            .iter()
+            .zip(quota)
+            .map(|(s, q)| (s.id, q as usize))
+            .collect()
+    }
+
+    /// The current sample: each stratum's bottom-quota candidates by
+    /// priority, concatenated in ascending (stratum, key) order. The
+    /// returned multiset — and its order — depend only on (seed,
+    /// observed message multiset).
+    pub fn sampled(&self) -> Vec<Message> {
+        let quotas = self.quotas();
+        let mut out = Vec::new();
+        for (sid, quota) in quotas {
+            let stratum = self
+                .strata
+                .iter()
+                .find(|s| s.id == sid)
+                .expect("quota for existing stratum");
+            let mut kept: Vec<&(u64, Message)> = stratum.kept.iter().collect();
+            kept.sort_by_key(|(p, m)| Stratum::key(*p, m));
+            out.extend(kept.into_iter().take(quota).map(|(_, m)| m.clone()));
+        }
+        out
+    }
+
+    /// Number of messages the current sample would contain.
+    pub fn sampled_len(&self) -> usize {
+        self.quotas().iter().map(|(_, q)| *q).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use trace::Message;
+
+    fn msg(len: usize, fill: u8, ts: u64) -> Message {
+        Message::builder(Bytes::from(vec![fill; len]))
+            .timestamp_micros(ts)
+            .build()
+    }
+
+    fn corpus() -> Vec<Message> {
+        let mut v = Vec::new();
+        for i in 0..40u64 {
+            v.push(msg(4, i as u8, i));
+            v.push(msg(16, i as u8, 1000 + i));
+            v.push(msg(64, i as u8, 2000 + i));
+        }
+        for i in 0..3u64 {
+            v.push(msg(300, 0xEE, 3000 + i)); // rare long stratum
+        }
+        v
+    }
+
+    fn digest(msgs: &[Message]) -> Vec<(u64, usize, u8)> {
+        msgs.iter()
+            .map(|m| {
+                (
+                    m.timestamp_micros(),
+                    m.payload().len(),
+                    m.payload().as_slice().first().copied().unwrap_or(0),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn passthrough_without_cap() {
+        let mut r = StratifiedReservoir::new(SampleConfig::default());
+        for m in corpus() {
+            r.offer(m);
+        }
+        assert!(!r.is_sampling());
+        assert_eq!(r.seen(), 123);
+        assert_eq!(r.sampled().len(), 123);
+    }
+
+    #[test]
+    fn cap_is_respected_and_rare_strata_survive() {
+        let mut r = StratifiedReservoir::new(SampleConfig { max: 24, seed: 7 });
+        for m in corpus() {
+            r.offer(m);
+        }
+        let sample = r.sampled();
+        assert_eq!(sample.len(), 24);
+        assert_eq!(r.sampled_len(), 24);
+        // The 3-message long stratum must keep at least its guaranteed
+        // slot despite being ~2% of the population.
+        assert!(sample.iter().any(|m| m.payload().len() == 300));
+    }
+
+    #[test]
+    fn reservoir_is_order_invariant() {
+        let base = corpus();
+        let mut forward = StratifiedReservoir::new(SampleConfig { max: 20, seed: 42 });
+        for m in base.clone() {
+            forward.offer(m);
+        }
+        // A deterministic "shuffle": reversed, then odd indices first.
+        let mut permuted: Vec<Message> = base.iter().rev().cloned().collect();
+        let odds: Vec<Message> = permuted.iter().skip(1).step_by(2).cloned().collect();
+        let evens: Vec<Message> = permuted.iter().step_by(2).cloned().collect();
+        permuted = odds.into_iter().chain(evens).collect();
+        let mut shuffled = StratifiedReservoir::new(SampleConfig { max: 20, seed: 42 });
+        for m in permuted {
+            shuffled.offer(m);
+        }
+        assert_eq!(digest(&forward.sampled()), digest(&shuffled.sampled()));
+    }
+
+    #[test]
+    fn seed_changes_the_sample() {
+        let mut a = StratifiedReservoir::new(SampleConfig { max: 20, seed: 1 });
+        let mut b = StratifiedReservoir::new(SampleConfig { max: 20, seed: 2 });
+        for m in corpus() {
+            a.offer(m.clone());
+            b.offer(m);
+        }
+        assert_ne!(digest(&a.sampled()), digest(&b.sampled()));
+        // Same seed twice: identical.
+        let mut c = StratifiedReservoir::new(SampleConfig { max: 20, seed: 1 });
+        for m in corpus() {
+            c.offer(m);
+        }
+        assert_eq!(digest(&a.sampled()), digest(&c.sampled()));
+    }
+
+    #[test]
+    fn quotas_are_proportional_under_pressure() {
+        let mut r = StratifiedReservoir::new(SampleConfig { max: 10, seed: 3 });
+        // 90 short + 10 long: proportional split of 10 slots is 9/1.
+        for i in 0..90u64 {
+            r.offer(msg(8, i as u8, i));
+        }
+        for i in 0..10u64 {
+            r.offer(msg(128, i as u8, 500 + i));
+        }
+        let sample = r.sampled();
+        let short = sample.iter().filter(|m| m.payload().len() == 8).count();
+        let long = sample.iter().filter(|m| m.payload().len() == 128).count();
+        assert_eq!((short, long), (9, 1));
+    }
+
+    #[test]
+    fn tiny_cap_gives_each_stratum_at_most_one() {
+        let mut r = StratifiedReservoir::new(SampleConfig { max: 2, seed: 9 });
+        for m in corpus() {
+            r.offer(m);
+        }
+        // Four non-empty strata but only two slots: exactly two kept,
+        // deterministic which (ascending stratum id gets the floor).
+        assert_eq!(r.sampled().len(), 2);
+    }
+}

@@ -3,7 +3,7 @@
 //! ```text
 //! ftcd [--addr A] [--port-file F] [--workers N] [--queue N]
 //!      [--threads N] [--cache-dir D] [--job-history N]
-//!      [--neighbor-backend B] [--no-mmap]
+//!      [--sessions N] [--neighbor-backend B] [--no-mmap]
 //! ```
 //!
 //! Binds loopback by default, prints the resolved address, serves until
@@ -16,7 +16,7 @@ ftcd — field type clustering analysis daemon
 
 USAGE:
   ftcd [--addr A] [--port-file F] [--workers N] [--queue N] [--threads N] [--cache-dir D]
-       [--job-history N] [--neighbor-backend B] [--no-mmap]
+       [--job-history N] [--sessions N] [--neighbor-backend B] [--no-mmap]
 
 OPTIONS:
   --addr A         listen address (default 127.0.0.1:4747; port 0 = ephemeral)
@@ -26,6 +26,8 @@ OPTIONS:
   --threads N      threads per analysis stage, 0 = auto (never affects results)
   --cache-dir D    persist stage artifacts under D and warm-start from them
   --job-history N  finished job records (and reports) kept queryable (default 256)
+  --sessions N     warm analysis sessions kept in memory, floor 1 (default 16;
+                   never affects results, only re-analysis cost after eviction)
   --no-mmap        read cache artifacts via heap reads instead of memory
                    mappings (never affects results, only copies)
   --neighbor-backend B
@@ -85,6 +87,12 @@ fn main() {
                 config.job_history = value_for("--job-history")
                     .parse()
                     .unwrap_or_else(|_| fail_usage("--job-history needs a number"))
+            }
+            "--sessions" => {
+                config.sessions = value_for("--sessions")
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| fail_usage("--sessions needs a number"))
+                    .max(1)
             }
             "--help" | "-h" => {
                 println!("{USAGE}");

@@ -6,9 +6,29 @@
 //! escape hatch the CLI's `submit`/`query`/`stats` commands build on.
 
 use crate::proto::{JobState, Request, Response, ServerStats};
-use crate::wire::{read_frame, write_frame, WireError};
+use crate::wire::{read_frame, write_frame, WireError, MAX_FRAME};
 use std::net::TcpStream;
 use std::time::Duration;
+
+/// Capture bytes sent per [`Client::stream_capture`] chunk: well under
+/// [`MAX_FRAME`] so the request frame (chunk + label + segmenter +
+/// framing overhead) always fits.
+pub const STREAM_CHUNK_BYTES: usize = (MAX_FRAME as usize) / 4;
+
+/// Progress of a capture stream, as acknowledged by the daemon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamProgress {
+    /// The stream's handle; pass it back to continue the stream.
+    pub stream_id: u64,
+    /// The stream's trace, 0 until the first commit creates it.
+    pub trace_id: u64,
+    /// Capture bytes buffered server-side, after this request.
+    pub buffered: u64,
+    /// Batches committed so far on this stream.
+    pub batches: u64,
+    /// Job admitted by this commit, 0 when none was.
+    pub job_id: u64,
+}
 
 /// A client-side failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -208,6 +228,86 @@ impl Client {
     pub fn shutdown(&mut self) -> Result<u64, ClientError> {
         match self.expect(&Request::Shutdown, "ShuttingDown")? {
             Response::ShuttingDown { drained } => Ok(drained),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Sends one stream request: buffers `chunk` on `stream_id`
+    /// (0 opens a new stream) and, when `commit` is set, closes the
+    /// batch and enqueues its analysis.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on rejection, daemon error, or wire failure.
+    pub fn stream(
+        &mut self,
+        stream_id: u64,
+        label: &str,
+        chunk: Vec<u8>,
+        commit: bool,
+        segmenter: &str,
+    ) -> Result<StreamProgress, ClientError> {
+        match self.expect(
+            &Request::StreamTrace {
+                stream_id,
+                label: label.to_string(),
+                chunk,
+                commit,
+                segmenter: segmenter.to_string(),
+            },
+            "StreamAccepted",
+        )? {
+            Response::StreamAccepted {
+                stream_id,
+                trace_id,
+                buffered,
+                batches,
+                job_id,
+            } => Ok(StreamProgress {
+                stream_id,
+                trace_id,
+                buffered,
+                batches,
+                job_id,
+            }),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Streams one capture batch in [`STREAM_CHUNK_BYTES`] chunks and
+    /// commits it, so a batch is never bounded by a single frame.
+    /// Returns the final progress (its `job_id` is the admitted
+    /// analysis, or 0 when admission declined the batch).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on rejection, daemon error, or wire failure.
+    pub fn stream_capture(
+        &mut self,
+        stream_id: u64,
+        label: &str,
+        pcap: &[u8],
+        segmenter: &str,
+    ) -> Result<StreamProgress, ClientError> {
+        let mut sid = stream_id;
+        let mut chunks = pcap.chunks(STREAM_CHUNK_BYTES);
+        let mut last = chunks.next_back().map(<[u8]>::to_vec).unwrap_or_default();
+        for chunk in chunks {
+            sid = self
+                .stream(sid, label, chunk.to_vec(), false, segmenter)?
+                .stream_id;
+        }
+        self.stream(sid, label, std::mem::take(&mut last), true, segmenter)
+    }
+
+    /// Fetches the per-batch drift history of a streamed trace.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on daemon error or wire failure.
+    pub fn drift_report(&mut self, trace_id: u64) -> Result<Vec<ingest::DriftRecord>, ClientError> {
+        match self.expect(&Request::DriftReport { trace_id }, "DriftHistory")? {
+            Response::DriftHistory { records, .. } => Ok(records),
             other => Err(ClientError::Unexpected(format!("{other:?}"))),
         }
     }

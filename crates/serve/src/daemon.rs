@@ -87,6 +87,11 @@ pub struct ServerConfig {
     /// vptree, or auto). Never affects results, only memory and wall
     /// time.
     pub neighbor_backend: NeighborBackend,
+    /// Warm sessions parked at once, across all traces (floor 1).
+    /// Beyond this the least recently used session is dropped — its
+    /// artifacts survive in the shared store, so eviction costs a warm
+    /// start, not a recompute.
+    pub sessions: usize,
 }
 
 impl Default for ServerConfig {
@@ -100,6 +105,7 @@ impl Default for ServerConfig {
             job_history: 256,
             worker_delay_ms: 0,
             neighbor_backend: NeighborBackend::default(),
+            sessions: 16,
         }
     }
 }
@@ -135,6 +141,10 @@ struct TraceEntry {
     /// in-memory artifacts describe the pre-append trace, so it must
     /// never serve a post-append analysis.
     generation: u64,
+    /// Previous-clustering snapshot for drift-tracked (streamed) jobs.
+    drift: ingest::DriftTracker,
+    /// One record per completed drift-tracked analysis, oldest first.
+    drift_history: Vec<ingest::DriftRecord>,
 }
 
 /// A parked warm session plus a recency stamp for eviction.
@@ -145,20 +155,29 @@ struct WarmSession {
     last_used: u64,
 }
 
+/// An open chunked-ingestion stream (`Request::StreamTrace`).
+struct StreamEntry {
+    /// The trace the stream feeds; 0 until the first commit creates it.
+    trace_id: u64,
+    /// Display label for the trace created by the first commit.
+    label: String,
+    /// Capture bytes buffered since the last commit.
+    buffer: Vec<u8>,
+    /// Batches committed on this stream.
+    batches: u64,
+}
+
 /// Everything behind the manager lock.
 struct Core {
     traces: HashMap<u64, TraceEntry>,
     sessions: HashMap<(u64, String), WarmSession>,
     jobs: HashMap<u64, JobRecord>,
+    streams: HashMap<u64, StreamEntry>,
     next_trace_id: u64,
     next_job_id: u64,
+    next_stream_id: u64,
     use_counter: u64,
 }
-
-/// Warm sessions parked at once, across all traces. Beyond this the
-/// least recently used session is dropped (its artifacts survive in
-/// the shared store, so eviction costs a warm start, not a recompute).
-const MAX_WARM_SESSIONS: usize = 16;
 
 #[derive(Default)]
 struct Counters {
@@ -169,6 +188,8 @@ struct Counters {
     failed: AtomicU64,
     job_wall_ns: AtomicU64,
     job_count: AtomicU64,
+    session_evictions: AtomicU64,
+    stream_batches: AtomicU64,
 }
 
 struct Shared {
@@ -214,8 +235,10 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
             traces: HashMap::new(),
             sessions: HashMap::new(),
             jobs: HashMap::new(),
+            streams: HashMap::new(),
             next_trace_id: 1,
             next_job_id: 1,
+            next_stream_id: 1,
             use_counter: 0,
         }),
         counters: Counters::default(),
@@ -322,11 +345,19 @@ fn serve_request(request: Request, shared: &Arc<Shared>) -> Response {
             trace_id,
             segmenter,
             deadline_ms,
-        } => admit_job(shared, trace_id, segmenter, deadline_ms),
+        } => admit_job(shared, trace_id, segmenter, deadline_ms, false),
         Request::QueryReport { job_id } => query_report(shared, job_id),
         Request::CancelJob { job_id } => cancel_job(shared, job_id),
         Request::Stats => Response::StatsReport(stats(shared)),
         Request::Shutdown => shutdown(shared),
+        Request::StreamTrace {
+            stream_id,
+            label,
+            chunk,
+            commit,
+            segmenter,
+        } => stream_trace(shared, stream_id, label, &chunk, commit, &segmenter),
+        Request::DriftReport { trace_id } => drift_report(shared, trace_id),
     }
 }
 
@@ -383,6 +414,8 @@ fn submit_trace(
             opts,
             prepared,
             generation: 0,
+            drift: ingest::DriftTracker::new(),
+            drift_history: Vec::new(),
         },
     );
     Response::TraceAccepted { trace_id, messages }
@@ -437,9 +470,147 @@ fn append_messages(shared: &Arc<Shared>, trace_id: u64, pcap: &[u8]) -> Response
     Response::TraceAccepted { trace_id, messages }
 }
 
+/// Chunked streaming ingestion: buffer capture bytes per stream; on
+/// commit, create the stream's trace (first batch) or append to it
+/// (later batches — the warm-growth path `AppendMessages` uses), then
+/// admit a drift-tracked analysis through normal admission control.
+/// Chunking keeps any single frame under `MAX_FRAME` while the stream
+/// itself is unbounded.
+fn stream_trace(
+    shared: &Arc<Shared>,
+    stream_id: u64,
+    label: String,
+    chunk: &[u8],
+    commit: bool,
+    segmenter: &str,
+) -> Response {
+    if !shared.accepting.load(Ordering::Acquire) {
+        return Response::Rejected {
+            retry_after_ms: 0,
+            reason: "shutting down".to_string(),
+        };
+    }
+    // Buffer the chunk (creating the stream when asked to).
+    let (sid, batch_bytes, trace_id) = {
+        let mut core = shared.core.lock().expect("core lock");
+        let sid = if stream_id == 0 {
+            let sid = core.next_stream_id;
+            core.next_stream_id += 1;
+            core.streams.insert(
+                sid,
+                StreamEntry {
+                    trace_id: 0,
+                    label,
+                    buffer: Vec::new(),
+                    batches: 0,
+                },
+            );
+            sid
+        } else {
+            stream_id
+        };
+        let Some(entry) = core.streams.get_mut(&sid) else {
+            return Response::Error {
+                message: format!("unknown stream {stream_id}"),
+            };
+        };
+        entry.buffer.extend_from_slice(chunk);
+        if !commit {
+            return Response::StreamAccepted {
+                stream_id: sid,
+                trace_id: entry.trace_id,
+                buffered: entry.buffer.len() as u64,
+                batches: entry.batches,
+                job_id: 0,
+            };
+        }
+        // Commit: hand the buffered capture to the submit/append path
+        // outside this lock. The buffer is only cleared on success, so
+        // a failed commit (parse error, filtered-to-empty) loses
+        // nothing — the client can send more bytes and commit again.
+        (sid, entry.buffer.clone(), entry.trace_id)
+    };
+    if batch_bytes.is_empty() {
+        return Response::Error {
+            message: "commit with no buffered capture bytes".to_string(),
+        };
+    }
+    let accepted = if trace_id == 0 {
+        let label = {
+            let core = shared.core.lock().expect("core lock");
+            core.streams.get(&sid).map(|e| e.label.clone())
+        };
+        let Some(label) = label else {
+            return Response::Error {
+                message: format!("unknown stream {sid}"),
+            };
+        };
+        submit_trace(shared, label, &batch_bytes, None, None, false)
+    } else {
+        append_messages(shared, trace_id, &batch_bytes)
+    };
+    let Response::TraceAccepted { trace_id, .. } = accepted else {
+        return accepted; // Error or Rejected from the submit/append path
+    };
+    let batches = {
+        let mut core = shared.core.lock().expect("core lock");
+        let Some(entry) = core.streams.get_mut(&sid) else {
+            return Response::Error {
+                message: format!("unknown stream {sid}"),
+            };
+        };
+        entry.trace_id = trace_id;
+        entry.buffer.clear();
+        entry.batches += 1;
+        entry.batches
+    };
+    shared
+        .counters
+        .stream_batches
+        .fetch_add(1, Ordering::Relaxed);
+    // Queue the batch's re-cluster. An admission rejection still leaves
+    // the batch committed — the messages are in the trace — so it is
+    // surfaced as job_id 0 and a later `Analyze` (or the next commit)
+    // picks the data up.
+    let job_id = match admit_job(shared, trace_id, segmenter.to_string(), 0, true) {
+        Response::JobAccepted { job_id } => job_id,
+        Response::Rejected { .. } => 0,
+        other => return other,
+    };
+    Response::StreamAccepted {
+        stream_id: sid,
+        trace_id,
+        buffered: 0,
+        batches,
+        job_id,
+    }
+}
+
+/// Serves a streamed trace's per-batch drift history.
+fn drift_report(shared: &Arc<Shared>, trace_id: u64) -> Response {
+    let core = shared.core.lock().expect("core lock");
+    let Some(entry) = core.traces.get(&trace_id) else {
+        return Response::Error {
+            message: format!("unknown trace {trace_id}"),
+        };
+    };
+    Response::DriftHistory {
+        trace_id,
+        records: entry.drift_history.clone(),
+    }
+}
+
 /// Admission control: reserve a slot or reject with a backoff hint
 /// derived from observed job wall times and the current depth.
-fn admit_job(shared: &Arc<Shared>, trace_id: u64, segmenter: String, deadline_ms: u64) -> Response {
+/// `drift` marks streamed jobs whose completed clusterings feed the
+/// trace's drift history.
+fn admit_job(
+    shared: &Arc<Shared>,
+    trace_id: u64,
+    segmenter: String,
+    deadline_ms: u64,
+    drift: bool,
+) -> Response {
     if !shared.accepting.load(Ordering::Acquire) {
         shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
         return Response::Rejected {
@@ -495,7 +666,7 @@ fn admit_job(shared: &Arc<Shared>, trace_id: u64, segmenter: String, deadline_ms
     let job_shared = Arc::clone(shared);
     let submitted = shared
         .pool
-        .execute(move || run_job(&job_shared, job_id, trace_id, &segmenter, &token));
+        .execute(move || run_job(&job_shared, job_id, trace_id, &segmenter, &token, drift));
     if !submitted {
         // Pool already shutting down (race with shutdown): undo.
         finish_job(shared, job_id, JobPhase::Cancelled);
@@ -583,7 +754,14 @@ fn prune_job_history(core: &mut Core, history: usize) {
 /// The analysis worker body: check out (or create) the warm session,
 /// drive the stages under per-stage timing, render the canonical
 /// report, check the session back in.
-fn run_job(shared: &Arc<Shared>, job_id: u64, trace_id: u64, segmenter: &str, token: &CancelToken) {
+fn run_job(
+    shared: &Arc<Shared>,
+    job_id: u64,
+    trace_id: u64,
+    segmenter: &str,
+    token: &CancelToken,
+    drift: bool,
+) {
     let started = Instant::now();
     let session_key = (trace_id, segmenter.to_string());
     // One critical section: Queued → Running (unless the job was
@@ -638,7 +816,38 @@ fn run_job(shared: &Arc<Shared>, job_id: u64, trace_id: u64, segmenter: &str, to
         std::thread::sleep(Duration::from_millis(shared.config.worker_delay_ms));
     }
     session.set_cancel_token(token.clone());
-    let phase = drive_stages(shared, &mut session, segmenter);
+    let mut local_wall: Vec<(String, u64)> = Vec::new();
+    let phase = drive_stages(shared, &mut session, segmenter, &mut local_wall);
+    // A streamed batch that produced a report also feeds the trace's
+    // drift history: snapshot the clustering (cached — `finish` after
+    // `drive_stages` re-reads staged artifacts) and compare it to the
+    // previous batch's.
+    if drift && matches!(phase, JobPhase::Done(_)) {
+        if let Ok(result) = session.finish() {
+            let snapshot = ingest::ClusterSnapshot::from_result(&result);
+            let store_stats = shared.store.as_ref().map(|s| s.stats());
+            let mut core = shared.core.lock().expect("core lock");
+            if let Some(entry) = core.traces.get_mut(&trace_id) {
+                let delta = entry.drift.observe(snapshot);
+                entry.drift_history.push(ingest::DriftRecord {
+                    batch: entry.drift_history.len() as u64,
+                    messages: entry.prepared.len() as u64,
+                    seen: entry.raw.len() as u64,
+                    unique_segments: result.store.segments.len() as u64,
+                    clusters: u64::from(result.clustering.n_clusters()),
+                    noise: result.clustering.noise().len() as u64,
+                    delta,
+                    stage_walls_us: local_wall
+                        .iter()
+                        .map(|(name, ns)| (name.clone(), ns / 1_000))
+                        .collect(),
+                    wall_us: started.elapsed().as_micros() as u64,
+                    store_hits: store_stats.as_ref().map_or(0, |s| s.hits),
+                    store_misses: store_stats.as_ref().map_or(0, |s| s.misses),
+                });
+            }
+        }
+    }
     // Check the session back in whatever happened: cached artifacts
     // make the retry (or the next job) cheap. Unless the trace grew
     // while we ran — a re-parked pre-append session would silently
@@ -658,7 +867,7 @@ fn run_job(shared: &Arc<Shared>, job_id: u64, trace_id: u64, segmenter: &str, to
                     last_used: stamp,
                 },
             );
-            if core.sessions.len() > MAX_WARM_SESSIONS {
+            if core.sessions.len() > shared.config.sessions.max(1) {
                 if let Some(oldest) = core
                     .sessions
                     .iter()
@@ -666,6 +875,10 @@ fn run_job(shared: &Arc<Shared>, job_id: u64, trace_id: u64, segmenter: &str, to
                     .map(|(k, _)| k.clone())
                 {
                     core.sessions.remove(&oldest);
+                    shared
+                        .counters
+                        .session_evictions
+                        .fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
@@ -685,10 +898,15 @@ fn drive_stages(
     shared: &Arc<Shared>,
     session: &mut AnalysisSession<'static>,
     segmenter: &str,
+    local_wall: &mut Vec<(String, u64)>,
 ) -> JobPhase {
-    let timed = |name: &str, elapsed: Duration| {
-        let mut wall = shared.stage_wall.lock().expect("stage wall lock");
+    // Each stage lands in two buckets: the daemon-wide cumulative wall
+    // (served by `Stats`) and the caller's per-job vector (drift
+    // records need this batch's walls, not the lifetime totals).
+    let mut timed = |name: &str, elapsed: Duration| {
         let ns = elapsed.as_nanos() as u64;
+        local_wall.push((name.to_string(), ns));
+        let mut wall = shared.stage_wall.lock().expect("stage wall lock");
         match wall.iter_mut().find(|(s, _)| s == name) {
             Some((_, total)) => *total += ns,
             None => wall.push((name.to_string(), ns)),
@@ -847,6 +1065,9 @@ fn stats(shared: &Arc<Shared>) -> ServerStats {
         cache_writes,
         cache_mmap_reads,
         peak_rss_bytes: peak_rss_bytes(),
+        session_capacity: shared.config.sessions.max(1) as u64,
+        session_evictions: shared.counters.session_evictions.load(Ordering::Relaxed),
+        stream_batches: shared.counters.stream_batches.load(Ordering::Relaxed),
         stage_wall_ns: shared.stage_wall.lock().expect("stage wall lock").clone(),
     }
 }

@@ -12,7 +12,9 @@
 //!   fnv64`, reusing the store's codec and checksum conventions.
 //! * [`proto`] — the request/response vocabulary: `SubmitTrace`,
 //!   `AppendMessages`, `Analyze`, `QueryReport`, `CancelJob`, `Stats`,
-//!   `Shutdown`.
+//!   `Shutdown`, plus the streaming pair `StreamTrace`/`DriftReport`
+//!   whose chunked uploads keep a batch from being bounded by one
+//!   frame.
 //! * [`prepare`] — the single trace-loading path shared with the
 //!   offline CLI, which is what makes daemon reports **byte-identical**
 //!   to `fieldclust analyze --report` on the same capture.
@@ -30,7 +32,7 @@ pub mod prepare;
 pub mod proto;
 pub mod wire;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, StreamProgress, STREAM_CHUNK_BYTES};
 pub use daemon::{start, ServerConfig, ServerHandle};
 pub use prepare::{build_segmenter, peak_rss_bytes, prepare_trace, preprocess, PrepareOpts};
 pub use proto::{JobState, Request, Response, ServerStats};

@@ -1,190 +1,8 @@
-//! The one trace-preparation and segmenter-construction path shared by
-//! the offline CLI and the daemon.
-//!
-//! Byte-identical daemon reports hinge on both frontends running the
-//! *same* loader: sniffed pcap/pcapng parsing under the same trace name
-//! (`capture`), the same optional NBSS reassembly, the same
-//! preprocessor order (de-duplicate, port filter, truncate). The CLI's
-//! `load_trace` delegates here, and the daemon calls the same functions
-//! on submitted bytes — so there is exactly one place where the answer
-//! to "what trace does this capture produce?" lives.
+//! Compatibility shim: the shared trace-preparation path moved to
+//! [`ingest::prep`] so the streaming pipeline can use it without a
+//! dependency cycle (`serve` depends on `ingest`, not the other way
+//! around). Everything here is a re-export; `serve::prepare_trace` and
+//! friends — and the tests that moved with the module — keep working
+//! unchanged for the CLI, the daemon and downstream crates.
 
-use segment::csp::Csp;
-use segment::fixed::FixedChunks;
-use segment::nemesys::Nemesys;
-use segment::netzob::Netzob;
-use segment::Segmenter;
-use trace::reassembly::{reassemble, NbssFramer, ReassemblyStats};
-use trace::{pcapng, Preprocessor, Trace};
-
-/// Preprocessing options applied to a raw capture, mirroring the CLI's
-/// `--port`, `--max` and `--reassemble` flags.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct PrepareOpts {
-    /// Keep only messages with this source or destination port.
-    pub port: Option<u16>,
-    /// Truncate to this many messages after preprocessing.
-    pub max: Option<usize>,
-    /// Reassemble TCP streams with NBSS framing before preprocessing.
-    pub reassemble: bool,
-}
-
-/// Parses and preprocesses capture bytes exactly like the offline CLI:
-/// format sniffing, trace name `capture`, optional reassembly, then
-/// de-duplication plus the optional port filter and truncation. Returns
-/// the prepared trace and the reassembly statistics when reassembly
-/// ran (the CLI prints them; the daemon drops them).
-///
-/// # Errors
-///
-/// A human-readable message when the capture does not parse or no
-/// messages survive preprocessing.
-pub fn prepare_trace(
-    pcap: &[u8],
-    opts: &PrepareOpts,
-) -> Result<(Trace, Option<ReassemblyStats>), String> {
-    let mut raw = pcapng::read_any(pcap, "capture").map_err(|e| format!("parsing capture: {e}"))?;
-    let mut stats = None;
-    if opts.reassemble {
-        let (rebuilt, s) = reassemble(&raw, &NbssFramer);
-        stats = Some(s);
-        raw = rebuilt;
-    }
-    let trace = preprocess(&raw, opts)?;
-    Ok((trace, stats))
-}
-
-/// The preprocessing half of [`prepare_trace`], for callers that
-/// already hold parsed (and, if requested, reassembled) messages — the
-/// daemon keeps the raw trace around so appends can re-preprocess the
-/// concatenation without re-parsing capture bytes.
-///
-/// # Errors
-///
-/// A human-readable message when no messages survive preprocessing.
-pub fn preprocess(raw: &Trace, opts: &PrepareOpts) -> Result<Trace, String> {
-    let mut pre = Preprocessor::new().deduplicate(true);
-    if let Some(p) = opts.port {
-        pre = pre.filter_port(p);
-    }
-    if let Some(n) = opts.max {
-        pre = pre.truncate(n);
-    }
-    let trace = pre.apply(raw);
-    if trace.is_empty() {
-        return Err("no messages left after preprocessing".to_string());
-    }
-    Ok(trace)
-}
-
-/// Instantiates a segmenter from its CLI spec string. Default
-/// configurations only — the spec is part of analysis identity (it
-/// feeds cache keys via the segmenter's `cache_fingerprint`), so both
-/// frontends must construct identically.
-///
-/// # Errors
-///
-/// A usage message listing the valid specs.
-pub fn build_segmenter(spec: &str) -> Result<Box<dyn Segmenter>, String> {
-    match spec {
-        "nemesys" => Ok(Box::new(Nemesys::default())),
-        "netzob" => Ok(Box::new(Netzob::default())),
-        "csp" => Ok(Box::new(Csp::default())),
-        "fixed" => Ok(Box::new(FixedChunks::default())),
-        other => Err(format!(
-            "unknown segmenter `{other}` (nemesys|netzob|csp|fixed)"
-        )),
-    }
-}
-
-/// Peak resident set size of this process in bytes (`VmHWM` from
-/// `/proc/self/status`), or 0 where procfs is unavailable.
-pub fn peak_rss_bytes() -> u64 {
-    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
-        return 0;
-    };
-    for line in status.lines() {
-        if let Some(rest) = line.strip_prefix("VmHWM:") {
-            let kb: u64 = rest
-                .trim()
-                .trim_end_matches("kB")
-                .trim()
-                .parse()
-                .unwrap_or(0);
-            return kb * 1024;
-        }
-    }
-    0
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use protocols::{corpus, Protocol};
-    use trace::pcap;
-
-    fn capture_bytes(n: usize, seed: u64) -> Vec<u8> {
-        pcap::write_to_vec(&corpus::build_trace(Protocol::Ntp, n, seed)).expect("write capture")
-    }
-
-    #[test]
-    fn prepare_matches_manual_pipeline() {
-        let bytes = capture_bytes(30, 3);
-        let (prepared, stats) = prepare_trace(&bytes, &PrepareOpts::default()).unwrap();
-        let raw = pcapng::read_any(&bytes, "capture").unwrap();
-        let expected = Preprocessor::new().deduplicate(true).apply(&raw);
-        assert_eq!(prepared.len(), expected.len());
-        assert_eq!(prepared.name(), "capture");
-        assert!(stats.is_none());
-    }
-
-    #[test]
-    fn truncation_applies_after_dedup() {
-        let bytes = capture_bytes(30, 4);
-        let opts = PrepareOpts {
-            max: Some(5),
-            ..PrepareOpts::default()
-        };
-        let (prepared, _) = prepare_trace(&bytes, &opts).unwrap();
-        assert_eq!(prepared.len(), 5);
-    }
-
-    #[test]
-    fn empty_result_is_an_error() {
-        let bytes = capture_bytes(10, 5);
-        let opts = PrepareOpts {
-            port: Some(1), // nothing uses port 1
-            ..PrepareOpts::default()
-        };
-        assert!(prepare_trace(&bytes, &opts).is_err());
-        assert!(prepare_trace(b"not a capture", &PrepareOpts::default()).is_err());
-    }
-
-    #[test]
-    fn preprocess_matches_prepare_and_rejects_empty() {
-        let bytes = capture_bytes(20, 6);
-        let raw = pcapng::read_any(&bytes, "capture").unwrap();
-        let opts = PrepareOpts::default();
-        let direct = preprocess(&raw, &opts).unwrap();
-        let (via_bytes, _) = prepare_trace(&bytes, &opts).unwrap();
-        assert_eq!(direct.len(), via_bytes.len());
-        let filtered = PrepareOpts {
-            port: Some(1),
-            ..PrepareOpts::default()
-        };
-        assert!(preprocess(&raw, &filtered).is_err());
-    }
-
-    #[test]
-    fn segmenter_specs() {
-        for spec in ["nemesys", "netzob", "csp", "fixed"] {
-            assert_eq!(build_segmenter(spec).unwrap().name(), spec);
-        }
-        assert!(build_segmenter("magic").is_err());
-    }
-
-    #[test]
-    fn rss_is_positive_on_linux() {
-        assert!(peak_rss_bytes() > 0);
-    }
-}
+pub use ingest::prep::{build_segmenter, peak_rss_bytes, prepare_trace, preprocess, PrepareOpts};

@@ -70,6 +70,29 @@ pub enum Request {
     Stats,
     /// Stop accepting work, drain in-flight jobs, exit.
     Shutdown,
+    /// Chunked streaming ingestion. Capture bytes arrive in chunks so a
+    /// long-running stream is never bounded by one `MAX_FRAME` buffer;
+    /// a chunk with `commit` set closes the batch: the daemon parses
+    /// the buffered capture, creates the stream's trace (first batch)
+    /// or appends to it (warm growth), and admits a drift-tracked
+    /// analysis under `segmenter` through normal admission control.
+    StreamTrace {
+        /// Stream to continue, or 0 to open a new stream.
+        stream_id: u64,
+        /// Display label (used when the first batch creates the trace).
+        label: String,
+        /// Capture bytes to buffer (may be empty on a bare commit).
+        chunk: Vec<u8>,
+        /// Close the batch and enqueue its analysis.
+        commit: bool,
+        /// Segmenter spec for the committed batch's analysis.
+        segmenter: String,
+    },
+    /// Fetch the per-batch drift history of a streamed trace.
+    DriftReport {
+        /// Trace whose drift history to return.
+        trace_id: u64,
+    },
 }
 
 /// Where a job currently is.
@@ -97,7 +120,7 @@ pub enum JobState {
 }
 
 /// A daemon-to-client response.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     /// The submitted or grown trace, after preprocessing.
     TraceAccepted {
@@ -137,6 +160,26 @@ pub enum Response {
         /// Human-readable reason.
         message: String,
     },
+    /// A `StreamTrace` chunk (or commit) was applied.
+    StreamAccepted {
+        /// The stream's handle (fresh on open).
+        stream_id: u64,
+        /// The stream's trace, 0 until the first commit creates it.
+        trace_id: u64,
+        /// Capture bytes currently buffered, after this chunk.
+        buffered: u64,
+        /// Batches committed so far on this stream.
+        batches: u64,
+        /// Job admitted by this commit, 0 when none was.
+        job_id: u64,
+    },
+    /// Per-batch drift records of a streamed trace, oldest first.
+    DriftHistory {
+        /// The queried trace.
+        trace_id: u64,
+        /// One record per committed batch.
+        records: Vec<ingest::DriftRecord>,
+    },
 }
 
 /// A snapshot of the daemon's counters, served by [`Request::Stats`].
@@ -170,6 +213,12 @@ pub struct ServerStats {
     pub cache_mmap_reads: u64,
     /// Peak resident set size of the daemon process, in bytes.
     pub peak_rss_bytes: u64,
+    /// Configured warm-session capacity (`ftcd --sessions`).
+    pub session_capacity: u64,
+    /// Warm sessions evicted to stay under capacity.
+    pub session_evictions: u64,
+    /// Streamed batches committed across all streams.
+    pub stream_batches: u64,
     /// Cumulative wall time per pipeline stage, nanoseconds.
     pub stage_wall_ns: Vec<(String, u64)>,
 }
@@ -188,14 +237,17 @@ impl std::fmt::Display for ServerStats {
         )?;
         writeln!(
             f,
-            "sessions: traces={} warm={} cache: hits={} misses={} writes={} mmap_reads={}",
+            "sessions: traces={} warm={} capacity={} evictions={} cache: hits={} misses={} writes={} mmap_reads={}",
             self.traces,
             self.warm_sessions,
+            self.session_capacity,
+            self.session_evictions,
             self.cache_hits,
             self.cache_misses,
             self.cache_writes,
             self.cache_mmap_reads,
         )?;
+        writeln!(f, "stream_batches={}", self.stream_batches)?;
         writeln!(f, "peak_rss_bytes={}", self.peak_rss_bytes)?;
         for (stage, ns) in &self.stage_wall_ns {
             writeln!(f, "stage {stage}: {:.3}s", *ns as f64 / 1e9)?;
@@ -259,6 +311,8 @@ impl Request {
             Request::CancelJob { .. } => 0x05,
             Request::Stats => 0x06,
             Request::Shutdown => 0x07,
+            Request::StreamTrace { .. } => 0x08,
+            Request::DriftReport { .. } => 0x09,
         }
     }
 
@@ -296,6 +350,20 @@ impl Request {
                 w.u64(*job_id);
             }
             Request::Stats | Request::Shutdown => {}
+            Request::StreamTrace {
+                stream_id,
+                label,
+                chunk,
+                commit,
+                segmenter,
+            } => {
+                w.u64(*stream_id);
+                string(&mut w, label);
+                w.bytes(chunk);
+                w.u8(u8::from(*commit));
+                string(&mut w, segmenter);
+            }
+            Request::DriftReport { trace_id } => w.u64(*trace_id),
         }
         w.into_inner()
     }
@@ -338,6 +406,20 @@ impl Request {
             },
             0x06 => Request::Stats,
             0x07 => Request::Shutdown,
+            0x08 => Request::StreamTrace {
+                stream_id: r.u64().ok_or(malformed.clone())?,
+                label: read_string(&mut r).ok_or(malformed.clone())?,
+                chunk: r.bytes().ok_or(malformed.clone())?.to_vec(),
+                commit: match r.u8().ok_or(malformed.clone())? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(malformed),
+                },
+                segmenter: read_string(&mut r).ok_or(malformed.clone())?,
+            },
+            0x09 => Request::DriftReport {
+                trace_id: r.u64().ok_or(malformed.clone())?,
+            },
             other => return Err(WireError::UnknownKind { kind: other }),
         };
         if !r.is_at_end() {
@@ -394,6 +476,8 @@ impl Response {
             Response::StatsReport(_) => 0x85,
             Response::ShuttingDown { .. } => 0x86,
             Response::Error { .. } => 0x87,
+            Response::StreamAccepted { .. } => 0x88,
+            Response::DriftHistory { .. } => 0x89,
         }
     }
 
@@ -431,6 +515,9 @@ impl Response {
                 w.u64(stats.cache_writes);
                 w.u64(stats.cache_mmap_reads);
                 w.u64(stats.peak_rss_bytes);
+                w.u64(stats.session_capacity);
+                w.u64(stats.session_evictions);
+                w.u64(stats.stream_batches);
                 w.usize(stats.stage_wall_ns.len());
                 for (stage, ns) in &stats.stage_wall_ns {
                     string(&mut w, stage);
@@ -439,6 +526,26 @@ impl Response {
             }
             Response::ShuttingDown { drained } => w.u64(*drained),
             Response::Error { message } => string(&mut w, message),
+            Response::StreamAccepted {
+                stream_id,
+                trace_id,
+                buffered,
+                batches,
+                job_id,
+            } => {
+                w.u64(*stream_id);
+                w.u64(*trace_id);
+                w.u64(*buffered);
+                w.u64(*batches);
+                w.u64(*job_id);
+            }
+            Response::DriftHistory { trace_id, records } => {
+                w.u64(*trace_id);
+                w.usize(records.len());
+                for rec in records {
+                    rec.encode(&mut w);
+                }
+            }
         }
         w.into_inner()
     }
@@ -483,6 +590,9 @@ impl Response {
                 let cache_writes = next().ok_or(malformed.clone())?;
                 let cache_mmap_reads = next().ok_or(malformed.clone())?;
                 let peak_rss_bytes = next().ok_or(malformed.clone())?;
+                let session_capacity = next().ok_or(malformed.clone())?;
+                let session_evictions = next().ok_or(malformed.clone())?;
+                let stream_batches = next().ok_or(malformed.clone())?;
                 let n = r.count(9).ok_or(malformed.clone())?;
                 let mut stage_wall_ns = Vec::with_capacity(n);
                 for _ in 0..n {
@@ -504,6 +614,9 @@ impl Response {
                     cache_writes,
                     cache_mmap_reads,
                     peak_rss_bytes,
+                    session_capacity,
+                    session_evictions,
+                    stream_batches,
                     stage_wall_ns,
                 })
             }
@@ -513,6 +626,22 @@ impl Response {
             0x87 => Response::Error {
                 message: read_string(&mut r).ok_or(malformed.clone())?,
             },
+            0x88 => Response::StreamAccepted {
+                stream_id: r.u64().ok_or(malformed.clone())?,
+                trace_id: r.u64().ok_or(malformed.clone())?,
+                buffered: r.u64().ok_or(malformed.clone())?,
+                batches: r.u64().ok_or(malformed.clone())?,
+                job_id: r.u64().ok_or(malformed.clone())?,
+            },
+            0x89 => {
+                let trace_id = r.u64().ok_or(malformed.clone())?;
+                let n = r.count(100).ok_or(malformed.clone())?;
+                let mut records = Vec::with_capacity(n);
+                for _ in 0..n {
+                    records.push(ingest::DriftRecord::decode(&mut r).ok_or(malformed.clone())?);
+                }
+                Response::DriftHistory { trace_id, records }
+            }
             other => return Err(WireError::UnknownKind { kind: other }),
         };
         if !r.is_at_end() {
@@ -558,6 +687,14 @@ mod tests {
         roundtrip_request(Request::CancelJob { job_id: 9 });
         roundtrip_request(Request::Stats);
         roundtrip_request(Request::Shutdown);
+        roundtrip_request(Request::StreamTrace {
+            stream_id: 0,
+            label: "live feed".into(),
+            chunk: vec![9, 9, 9],
+            commit: true,
+            segmenter: "nemesys".into(),
+        });
+        roundtrip_request(Request::DriftReport { trace_id: 3 });
     }
 
     #[test]
@@ -593,6 +730,42 @@ mod tests {
         roundtrip_response(Response::Error {
             message: "unknown trace 9".into(),
         });
+        roundtrip_response(Response::StreamAccepted {
+            stream_id: 1,
+            trace_id: 2,
+            buffered: 4096,
+            batches: 3,
+            job_id: 0,
+        });
+        roundtrip_response(Response::DriftHistory {
+            trace_id: 2,
+            records: vec![ingest::DriftRecord {
+                batch: 1,
+                messages: 80,
+                seen: 80,
+                unique_segments: 44,
+                clusters: 7,
+                noise: 2,
+                delta: ingest::DriftDelta {
+                    ari: 0.5,
+                    ami: 0.25,
+                    births: 1,
+                    deaths: 0,
+                    splits: 1,
+                    merges: 0,
+                },
+                stage_walls_us: vec![("segment".into(), 10)],
+                wall_us: 99,
+                store_hits: 5,
+                store_misses: 1,
+            }],
+        });
+        roundtrip_response(Response::StatsReport(ServerStats {
+            session_capacity: 4,
+            session_evictions: 2,
+            stream_batches: 6,
+            ..ServerStats::default()
+        }));
     }
 
     #[test]

@@ -429,6 +429,178 @@ fn terminal_job_records_expire_beyond_the_history_cap() {
     handle.wait();
 }
 
+/// The offline reference for a trace built from several capture
+/// batches: all captures parsed, messages concatenated in arrival
+/// order, then the shared preprocessing and analysis path — what a
+/// fully committed stream must converge to.
+fn offline_batched_report(batches: &[Vec<u8>], segmenter: &str) -> String {
+    let mut messages = Vec::new();
+    let mut name = String::new();
+    for bytes in batches {
+        let t = trace::pcapng::read_any(bytes, "capture").expect("parse batch");
+        name = t.name().to_string();
+        messages.extend(t.messages().iter().cloned());
+    }
+    let merged = trace::Trace::new(&name, messages);
+    let prepared = serve::preprocess(&merged, &PrepareOpts::default()).expect("preprocess merged");
+    let mut session = AnalysisSession::from_owned(prepared, FieldTypeClusterer::default());
+    let seg = build_segmenter(segmenter).expect("segmenter");
+    session
+        .segment_with(seg.as_ref())
+        .expect("batched segmentation");
+    let trace = session.trace().clone();
+    standard_report(&trace, &mut session).expect("batched report")
+}
+
+#[test]
+fn streamed_batches_converge_to_the_one_shot_report() {
+    let handle = start(ServerConfig {
+        workers: 1,
+        queue_capacity: 8,
+        ..ServerConfig::default()
+    })
+    .expect("start daemon");
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+
+    let batches: Vec<Vec<u8>> = [(16usize, 71u64), (12, 72), (16, 73)]
+        .iter()
+        .map(|&(n, seed)| capture_bytes(Protocol::Ntp, n, seed))
+        .collect();
+
+    // Batch 1 goes up in deliberately tiny chunks: two buffering
+    // requests, then a commit — the wire path a capture bigger than
+    // one frame would take.
+    let mid = batches[0].len() / 3;
+    let (a, rest) = batches[0].split_at(mid);
+    let (b, c) = rest.split_at(mid);
+    let opened = client
+        .stream(0, "ntp-stream", a.to_vec(), false, "nemesys")
+        .expect("open stream");
+    assert!(opened.stream_id > 0, "open assigns a stream handle");
+    assert_eq!(opened.trace_id, 0, "no trace before the first commit");
+    assert_eq!(opened.buffered, a.len() as u64);
+    let more = client
+        .stream(opened.stream_id, "ntp-stream", b.to_vec(), false, "nemesys")
+        .expect("buffer more");
+    assert_eq!(more.buffered, (a.len() + b.len()) as u64);
+    let committed = client
+        .stream(opened.stream_id, "ntp-stream", c.to_vec(), true, "nemesys")
+        .expect("commit batch 1");
+    assert!(committed.trace_id > 0, "first commit creates the trace");
+    assert_eq!(committed.batches, 1);
+    assert_eq!(committed.buffered, 0, "commit drains the buffer");
+    assert!(committed.job_id > 0, "commit admits an analysis");
+    let trace_id = committed.trace_id;
+    client
+        .wait_for(committed.job_id, Duration::from_millis(20))
+        .expect("batch 1 job");
+
+    // Batches 2 and 3 use the chunking helper end-to-end.
+    for (i, bytes) in batches[1..].iter().enumerate() {
+        let progress = client
+            .stream_capture(opened.stream_id, "ntp-stream", bytes, "nemesys")
+            .expect("stream batch");
+        assert_eq!(progress.trace_id, trace_id, "stream stays on its trace");
+        assert_eq!(progress.batches, 2 + i as u64);
+        assert!(progress.job_id > 0);
+        client
+            .wait_for(progress.job_id, Duration::from_millis(20))
+            .expect("batch job");
+    }
+
+    // The drift history has one record per committed batch, in order,
+    // and the first batch reports every cluster as a birth.
+    let records = client.drift_report(trace_id).expect("drift history");
+    assert_eq!(records.len(), 3, "one drift record per batch");
+    for (i, r) in records.iter().enumerate() {
+        assert_eq!(r.batch as usize, i);
+        assert!(r.clusters > 0, "batch {i} found clusters");
+        assert!(r.wall_us > 0);
+    }
+    assert_eq!(
+        u64::from(records[0].delta.births),
+        records[0].clusters,
+        "first batch: every cluster is a birth"
+    );
+    let monotone = records.windows(2).all(|w| w[1].messages >= w[0].messages);
+    assert!(monotone, "admitted messages grow batch over batch");
+
+    // The fully streamed trace renders byte-identically to one offline
+    // analysis of all batches concatenated.
+    let job = client
+        .analyze(trace_id, "nemesys", 0)
+        .expect("final analyze");
+    let JobState::Done { report } = client
+        .wait_for(job, Duration::from_millis(20))
+        .expect("final wait")
+    else {
+        panic!("final analysis must finish");
+    };
+    assert_eq!(
+        String::from_utf8(report).expect("utf8"),
+        offline_batched_report(&batches, "nemesys"),
+        "streamed trace must converge to the one-shot report"
+    );
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.stream_batches, 3);
+    client.shutdown().expect("shutdown");
+    handle.wait();
+}
+
+#[test]
+fn session_capacity_evicts_warm_sessions_but_keeps_results_exact() {
+    let handle = start(ServerConfig {
+        sessions: 1,
+        ..ServerConfig::default()
+    })
+    .expect("start daemon");
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+
+    let ntp = capture_bytes(Protocol::Ntp, 12, 81);
+    let dns = capture_bytes(Protocol::Dns, 12, 82);
+    let (ntp_id, _) = client
+        .submit_trace("ntp", ntp.clone(), None, None, false)
+        .expect("submit ntp");
+    let (dns_id, _) = client
+        .submit_trace("dns", dns.clone(), None, None, false)
+        .expect("submit dns");
+
+    // Analyzing both traces alternately forces the single-slot warm
+    // cache to evict on every switch.
+    for (trace_id, bytes) in [(ntp_id, &ntp), (dns_id, &dns), (ntp_id, &ntp)] {
+        let job = client.analyze(trace_id, "nemesys", 0).expect("analyze");
+        let JobState::Done { report } = client
+            .wait_for(job, Duration::from_millis(20))
+            .expect("wait")
+        else {
+            panic!("job must finish");
+        };
+        assert_eq!(
+            String::from_utf8(report).expect("utf8"),
+            offline_report(bytes, "nemesys"),
+            "eviction must never change results, only warmth"
+        );
+    }
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.session_capacity, 1);
+    assert!(
+        stats.session_evictions >= 2,
+        "each trace switch evicts the other session, got {}",
+        stats.session_evictions
+    );
+    assert!(
+        stats.warm_sessions <= 1,
+        "never more warm sessions than capacity"
+    );
+
+    client.shutdown().expect("shutdown");
+    handle.wait();
+}
+
 #[test]
 fn deadline_cancels_a_job_cooperatively() {
     let handle = start(ServerConfig {

@@ -101,3 +101,33 @@ grep -q 'accepted=1 rejected=0 cancelled=0 completed=1 failed=0 queued=0' "$tmp/
 cargo run --release -q -p cli -- shutdown --addr "$addr"
 wait "$ftcd_pid"
 echo "daemon smoke test: ftcd report matched the offline CLI byte for byte and drained cleanly"
+
+# Streaming smoke test: a capture appended in 3 slices under `follow`
+# must produce one drift record per slice and a final report
+# byte-identical to a one-shot `analyze` of the full capture. The
+# generator is sequentially seeded, so the 40-message capture is an
+# exact prefix of the 80- and 120-message ones; `mv` swaps each larger
+# version into place atomically, exactly how the follow-mode docs tell
+# writers to grow a capture.
+for n in 40 80 120; do
+    cargo run --release -q -p cli -- generate ntp "$n" "$tmp/slice$n.pcap" --seed 31
+done
+cargo run --release -q -p cli -- follow "$tmp/grow.pcap" \
+    --batches 3 --batch-msgs 40 --batch-interval 100 --idle-exit 30000 \
+    --drift-log "$tmp/drift.jsonl" --report "$tmp/follow.md" &
+follow_pid=$!
+for n in 40 80 120; do
+    sleep 0.7
+    mv "$tmp/slice$n.pcap" "$tmp/grow.pcap"
+done
+wait "$follow_pid"
+drift_records=$(wc -l <"$tmp/drift.jsonl")
+if [ "$drift_records" -lt 3 ]; then
+    echo "follow produced $drift_records drift records, expected >= 3" >&2
+    exit 1
+fi
+grep -q '"batch":0' "$tmp/drift.jsonl"
+cargo run --release -q -p cli -- generate ntp 120 "$tmp/full.pcap" --seed 31
+cargo run --release -q -p cli -- analyze "$tmp/full.pcap" --report "$tmp/oneshot.md"
+cmp "$tmp/follow.md" "$tmp/oneshot.md"
+echo "streaming smoke test: 3 follow batches drifted and converged to the one-shot report byte for byte"
