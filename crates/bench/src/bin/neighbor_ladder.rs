@@ -14,17 +14,40 @@
 //!   segments (the 50k triangle alone would be ~10 GB; the sorted index
 //!   doubles that).
 //!
-//! The corpus is uniform-length (8-byte segments), so the Canberra
-//! dissimilarity is a true metric and the vp-tree runs its pruned
-//! search rather than the exact linear fallback. Query checksums are
-//! order-normalized and asserted bit-identical across backends wherever
-//! more than one ran — including a `vptree+batch` pass that answers the
-//! identical workload through the provider's batched parallel query API
-//! ([`NeighborProvider::neighbors_within_batch`] / `knn_batch`) — and
-//! every rung appends a `neighbor_ladder_u{u}_{backend}` record (wall
-//! time + peak RSS) to `BENCH_trajectory.json`. The matrix/vptree
-//! crossover is read off the wall-time columns, and the top rungs' RSS
-//! documents that u=1M completes without the triangle.
+//! The classic ladder's corpus is uniform-length (8-byte segments), so
+//! the Canberra dissimilarity is a true metric and the vp-tree runs its
+//! pruned search rather than the exact linear fallback. Query checksums
+//! are order-normalized and asserted bit-identical across backends
+//! wherever more than one ran — including a `vptree+batch` pass that
+//! answers the identical workload through the provider's batched
+//! parallel query API ([`NeighborProvider::neighbors_within_batch`] /
+//! `knn_batch`) — and every rung appends a
+//! `neighbor_ladder_u{u}_{backend}` record (wall time + peak RSS) to
+//! `BENCH_trajectory.json`. The matrix/vptree crossover is read off the
+//! wall-time columns, and the top rungs' RSS documents that u=1M
+//! completes without the triangle.
+//!
+//! A second, *mixed-length* ladder ([`MIXED_LADDER`]) covers the
+//! corpora the classic rungs deliberately avoid: NEMESYS-like segment
+//! sets whose lengths differ, where the length penalty breaks the
+//! triangle inequality and the plain vp-forest degrades to an exact
+//! O(u) linear scan per query. There the contenders are
+//!
+//! - `stratified` — [`StrataIndex`] + [`StratifiedProvider`]: per-length
+//!   strata searched through in-stratum vp-trees, whole strata skipped
+//!   through the penalty-aware length lower bound;
+//! - `stratified+batch` — the same index through the batched query API;
+//! - `vptree-linear` — the metricity-gated forest's exact linear
+//!   fallback, i.e. the status quo this backend replaces;
+//! - `matrix` — the condensed-triangle oracle, under [`MATRIX_CAP`].
+//!
+//! All are pinned bit-identical per rung; the printed
+//! `stratified_speedup_vs_linear` is the headline number, and the
+//! stratified prune counters (kernel evaluations, pruned candidates,
+//! skipped strata) are printed so the mechanism — not just the wall
+//! time — is visible. Three real NEMESYS-segmented protocol corpora
+//! (ntp/nbns/smb, deduplicated segment values) run the same
+//! stratified-vs-linear comparison.
 //!
 //! Run with:
 //! `cargo run --release -p bench --bin neighbor_ladder -- [max_u] [samples] [budget_bytes]
@@ -46,10 +69,14 @@
 use cluster::autoconf::required_k_max;
 use dissim::vptree::DEFAULT_CHUNK;
 use dissim::{
-    CondensedMatrix, DissimParams, IndexedProvider, NeighborIndex, NeighborProvider, VpForest,
-    VpProvider, VpTree,
+    CondensedMatrix, DissimParams, IndexedProvider, NeighborIndex, NeighborProvider, QueryCounters,
+    StrataIndex, StratifiedProvider, VpForest, VpProvider, VpTree,
 };
+use protocols::{corpus, Protocol};
 use rand::{Rng, SeedableRng, StdRng};
+use segment::nemesys::Nemesys;
+use segment::Segmenter;
+use std::sync::Arc;
 use std::time::Instant;
 use store::{ArtifactStore, Key, KeyDigest, Kind};
 
@@ -69,6 +96,16 @@ const LADDER: [usize; 9] = [
 /// `(u, CORPUS_SEED)`, which is what makes the on-disk forest keys
 /// sound).
 const CORPUS_SEED: u64 = 11;
+
+/// The mixed-length rungs; trimmed by `max_u` like the classic ladder.
+/// The 2k rung exists so the budget-mode RSS smoke exercises the
+/// stratified path too; 250k is opt-in (pass a larger `max_u`) because
+/// its linear-fallback baseline alone is tens of seconds.
+const MIXED_LADDER: [usize; 4] = [2_000, 5_000, 50_000, 250_000];
+
+/// Seed for the mixed-length corpus — distinct from [`CORPUS_SEED`] so
+/// the two generators can never be confused in cache keys.
+const MIXED_SEED: u64 = 12;
 
 /// Uniform-length corpus (8-byte segments) drawn from a few field-type
 /// templates, so dense ε-neighborhoods exist and the metric-eligibility
@@ -107,6 +144,34 @@ fn uniform_segments(u: usize, seed: u64) -> Vec<Vec<u8>> {
                 }
             }
             seg
+        })
+        .collect()
+}
+
+/// Mixed-length corpus shaped like a NEMESYS segmentation of a real
+/// binary protocol: one-byte flags, two-byte type/length words,
+/// four-byte timestamps and addresses, variable-length text, and
+/// eight-byte opaque payload — so segment lengths differ, the length
+/// penalty is live, and the dissimilarity is provably non-metric.
+fn mixed_segments(u: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..u)
+        .map(|_| match rng.gen_range(0usize..6) {
+            // Flags byte: a handful of hot values.
+            0 => vec![rng.gen_range(0u8..4)],
+            // Big-endian type/length word: small values.
+            1 => vec![0, rng.gen_range(0u8..64)],
+            // Timestamp: shared epoch prefix, random low bytes.
+            2 => vec![0xD2, 0x3D, rng.gen(), rng.gen()],
+            // Address-ish: 10.x.y.z.
+            3 => vec![10, rng.gen_range(0u8..4), rng.gen(), rng.gen()],
+            // ASCII text, 6..=11 bytes.
+            4 => {
+                let len = rng.gen_range(6usize..12);
+                (0..len).map(|_| rng.gen_range(b'a'..=b'z')).collect()
+            }
+            // Opaque payload bytes.
+            _ => (0..8).map(|_| rng.gen()).collect(),
         })
         .collect()
 }
@@ -228,6 +293,41 @@ fn build_forest(
     )
 }
 
+/// Content key for one mixed rung's persisted [`StrataIndex`] — a
+/// single whole-index artifact, keyed (like the forest chunk trees) by
+/// the generator inputs rather than the segment bytes.
+fn ladder_strata_key(u: usize, chunk: usize) -> Key {
+    let mut digest = KeyDigest::new(Kind::STRATA);
+    digest.frame(b"neighbor_ladder_mixed");
+    digest.u64(MIXED_SEED);
+    digest.usize(u);
+    digest.usize(chunk);
+    digest.finish()
+}
+
+/// Builds the mixed rung's stratified index, faulting it in from (and
+/// persisting it to) the on-disk store when one is attached. A stale or
+/// damaged artifact fails the `matches` check and degrades to a plain
+/// build.
+fn build_strata(
+    values: &[&[u8]],
+    params: &DissimParams,
+    store: Option<&ArtifactStore>,
+) -> StrataIndex {
+    let Some(store) = store else {
+        return StrataIndex::build(values, params, DEFAULT_CHUNK);
+    };
+    let key = ladder_strata_key(values.len(), DEFAULT_CHUNK);
+    if let Some(index) = store.get::<StrataIndex>(&key) {
+        if index.chunk() == DEFAULT_CHUNK && index.matches(values) {
+            return index;
+        }
+    }
+    let index = StrataIndex::build(values, params, DEFAULT_CHUNK);
+    store.put(&key, &index);
+    index
+}
+
 /// Projected footprint of the matrix oracle at `u` segments: the
 /// condensed triangle (`u(u-1)/2` f64s) plus the sorted neighbor index
 /// (both directions of every pair as padded `(f64, u32)` entries).
@@ -243,6 +343,103 @@ fn rung_line(u: usize, backend: &str, wall: std::time::Duration, eps: f64, count
         wall.as_secs_f64() * 1e3,
         bench::peak_rss_bytes()
     );
+}
+
+/// Like [`rung_line`], for the mixed-length and protocol rungs: tagged
+/// with the corpus name so the two ladders never collide in greps.
+fn corpus_line(
+    name: &str,
+    u: usize,
+    backend: &str,
+    wall: std::time::Duration,
+    eps: f64,
+    count: usize,
+) {
+    println!(
+        "neighbor_ladder: corpus={name} u={u} backend={backend} wall_ms={:.1} eps={eps:.6} \
+         neighbors={count} peak_rss_bytes={}",
+        wall.as_secs_f64() * 1e3,
+        bench::peak_rss_bytes()
+    );
+}
+
+/// Runs the full stratified-vs-linear-fallback comparison (plus the
+/// batched stratified pass) on one mixed-length corpus, pinning every
+/// backend bit-identical and reporting the prune counters and the
+/// speedup. Returns `(eps, checksum, count)` so callers can extend the
+/// comparison (e.g. with the matrix oracle).
+fn run_mixed_corpus(
+    name: &str,
+    trajectory: &str,
+    values: &[&[u8]],
+    params: &DissimParams,
+    samples: usize,
+    threads: usize,
+    store: Option<&ArtifactStore>,
+) -> (f64, f64, usize) {
+    let u = values.len();
+    let k_max = required_k_max(u);
+    let sample = sample_indices(u, samples);
+
+    // stratified: per-length strata + penalty-aware lower bound. This
+    // pass defines ε for the others.
+    let counters = Arc::new(QueryCounters::default());
+    let start = Instant::now();
+    let index = build_strata(values, params, store);
+    let strat =
+        StratifiedProvider::new(values, params, &index).with_counters(Arc::clone(&counters));
+    let (eps, s_sum, s_count) = run_queries(&strat, &sample, k_max, None);
+    let strat_wall = start.elapsed();
+    corpus_line(name, u, "stratified", strat_wall, eps, s_count);
+    let (kernel_evals, pruned, skipped) = counters.snapshot();
+    println!(
+        "neighbor_ladder: corpus={name} u={u} stratified_counters kernel_evals={kernel_evals} \
+         pruned={pruned} strata_skipped={skipped}"
+    );
+    assert!(
+        pruned > 0,
+        "stratified backend must prune on the mixed corpus {name} (u={u})"
+    );
+    bench::append_trajectory(&format!("{trajectory}_stratified"), strat_wall);
+
+    // stratified + batched parallel queries: identical workload through
+    // the batch API, pinned bit-identical regardless of worker count.
+    let start = Instant::now();
+    let (b_sum, b_count) = run_queries_batch(&strat, &sample, k_max, eps, threads);
+    let wall = start.elapsed();
+    assert_eq!(
+        (s_sum.to_bits(), s_count),
+        (b_sum.to_bits(), b_count),
+        "batched stratified queries diverged from scalar on {name} (u={u})"
+    );
+    corpus_line(name, u, "stratified+batch", wall, eps, b_count);
+    bench::append_trajectory(&format!("{trajectory}_stratified_batch"), wall);
+
+    // vptree-linear: the metricity gate sees mixed lengths and refuses
+    // to prune, so this is the exact O(u)-per-query status quo the
+    // stratified backend replaces.
+    let start = Instant::now();
+    let forest = VpForest::build(values, params, DEFAULT_CHUNK);
+    let vp = VpProvider::new(values, params, &forest);
+    assert!(
+        !vp.prunable(),
+        "mixed corpus {name} must force the linear fallback (u={u})"
+    );
+    let (_, l_sum, l_count) = run_queries(&vp, &sample, k_max, Some(eps));
+    let linear_wall = start.elapsed();
+    assert_eq!(
+        (s_sum.to_bits(), s_count),
+        (l_sum.to_bits(), l_count),
+        "stratified diverged from the linear fallback on {name} (u={u})"
+    );
+    corpus_line(name, u, "vptree-linear", linear_wall, eps, l_count);
+    bench::append_trajectory(&format!("{trajectory}_linear"), linear_wall);
+    println!(
+        "neighbor_ladder: corpus={name} u={u} stratified_speedup_vs_linear={:.1}x",
+        linear_wall.as_secs_f64() / strat_wall.as_secs_f64().max(1e-9)
+    );
+
+    (eps, s_sum, s_count)
 }
 
 fn fail_usage(message: &str) -> ! {
@@ -365,6 +562,99 @@ fn main() {
             println!("neighbor_ladder: u={u} backend=matrix skipped (cap {MATRIX_CAP})");
         }
     }
+
+    // Mixed-length ladder: the corpora where the penalized dissimilarity
+    // is non-metric and the classic forest degrades to a linear scan.
+    for &u in MIXED_LADDER.iter().filter(|&&u| u <= max_u) {
+        let segments = mixed_segments(u, MIXED_SEED);
+        let values: Vec<&[u8]> = segments.iter().map(|s| &s[..]).collect();
+        let (eps, s_sum, s_count) = run_mixed_corpus(
+            "mixed",
+            &format!("neighbor_ladder_mixed_u{u}"),
+            &values,
+            &params,
+            samples,
+            threads,
+            store.as_ref(),
+        );
+
+        // matrix oracle: same guards as the classic ladder — never in
+        // budget mode, never past the cap or a projected-memory limit.
+        let projected = projected_matrix_bytes(u);
+        if max_memory.is_some_and(|cap| projected > cap) {
+            println!(
+                "neighbor_ladder: corpus=mixed u={u} backend=matrix skipped (projected \
+                 {projected} bytes exceeds --max-memory {})",
+                max_memory.unwrap_or(0)
+            );
+        } else if u <= MATRIX_CAP && budget.is_none() {
+            let k_max = required_k_max(u);
+            let sample = sample_indices(u, samples);
+            let start = Instant::now();
+            let matrix = CondensedMatrix::build_segments(&values, &params, threads);
+            let index = NeighborIndex::build_parallel(&matrix, threads);
+            let indexed = IndexedProvider::new(&matrix, &index);
+            let (_, m_sum, m_count) = run_queries(&indexed, &sample, k_max, Some(eps));
+            let wall = start.elapsed();
+            assert_eq!(
+                (s_sum.to_bits(), s_count),
+                (m_sum.to_bits(), m_count),
+                "stratified diverged from the matrix oracle at mixed u={u}"
+            );
+            corpus_line("mixed", u, "matrix", wall, eps, m_count);
+            bench::append_trajectory(&format!("neighbor_ladder_mixed_u{u}_matrix"), wall);
+        } else {
+            println!(
+                "neighbor_ladder: corpus=mixed u={u} backend=matrix skipped (cap {MATRIX_CAP})"
+            );
+        }
+    }
+
+    // Real NEMESYS-segmented protocol corpora: the deduplicated segment
+    // values of three generated traces, run through the same
+    // stratified-vs-linear comparison. Skipped in budget mode — the
+    // budget pins the synthetic ladder's footprint, not trace
+    // generation and segmentation.
+    if budget.is_none() {
+        for proto in [Protocol::Ntp, Protocol::Nbns, Protocol::Smb] {
+            let name = proto.to_string();
+            let trace = corpus::build_trace(proto, 400, MIXED_SEED);
+            let segmentation = match Nemesys::default().segment_trace(&trace) {
+                Ok(s) => s,
+                Err(e) => {
+                    println!("neighbor_ladder: corpus={name} skipped ({e})");
+                    continue;
+                }
+            };
+            // First-occurrence dedup, mirroring the pipeline's global
+            // segment de-duplication.
+            let mut seen = std::collections::HashSet::new();
+            let mut segments: Vec<Vec<u8>> = Vec::new();
+            for (msg, segs) in trace.messages().iter().zip(&segmentation.messages) {
+                for r in segs.ranges() {
+                    let v = msg.payload()[r.clone()].to_vec();
+                    if seen.insert(v.clone()) {
+                        segments.push(v);
+                    }
+                }
+            }
+            let values: Vec<&[u8]> = segments.iter().map(|s| &s[..]).collect();
+            if values.len() < 2 {
+                println!("neighbor_ladder: corpus={name} skipped (too few unique segments)");
+                continue;
+            }
+            run_mixed_corpus(
+                &name,
+                &format!("neighbor_ladder_{name}"),
+                &values,
+                &params,
+                samples,
+                threads,
+                None,
+            );
+        }
+    }
+
     if let Some(store) = &store {
         println!("neighbor_ladder: cache {}", store.stats());
     }

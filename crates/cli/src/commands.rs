@@ -85,6 +85,18 @@ fn emit_cache_stats(store: Option<&ArtifactStore>) {
     }
 }
 
+/// Prints the greppable neighbor-query counter line to stderr. Only
+/// the stratified backend moves these counters; other backends stay
+/// silent so their diagnostics are unchanged.
+fn emit_neighbor_counters(session: &AnalysisSession<'_>) {
+    let (kernel_evals, pruned, strata_skipped) = session.neighbor_counters();
+    if kernel_evals > 0 || pruned > 0 || strata_skipped > 0 {
+        eprintln!(
+            "neighbors: kernel_evals={kernel_evals} pruned={pruned} strata_skipped={strata_skipped}"
+        );
+    }
+}
+
 /// `fieldclust analyze <pcap>`: cluster, interpret, report.
 pub fn analyze(args: &[String]) -> Result<(), CliError> {
     let opts = CommonOpts::parse(args)?;
@@ -110,6 +122,7 @@ pub fn analyze(args: &[String]) -> Result<(), CliError> {
             .map_err(|e| CliError::runtime(format!("clustering failed: {e}")))?;
         std::fs::write(path, md).map_err(|e| CliError::runtime(format!("writing {path}: {e}")))?;
         println!("report written to {path}");
+        emit_neighbor_counters(&session);
         emit_cache_stats(store.as_ref());
         return Ok(());
     }
@@ -175,6 +188,7 @@ pub fn analyze(args: &[String]) -> Result<(), CliError> {
             "{}",
             serde_json::to_string_pretty(&report).map_err(|e| CliError::runtime(e.to_string()))?
         );
+        emit_neighbor_counters(&session);
         emit_cache_stats(store.as_ref());
         return Ok(());
     }
@@ -220,6 +234,7 @@ pub fn analyze(args: &[String]) -> Result<(), CliError> {
             println!("           e.g. [{}]", samples.join(", "));
         }
     }
+    emit_neighbor_counters(&session);
     emit_cache_stats(store.as_ref());
     Ok(())
 }

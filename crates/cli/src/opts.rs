@@ -40,11 +40,12 @@ OPTIONS:
   --max-memory B  byte budget for the dissimilarity build, with an optional
                   K/M/G suffix (e.g. 512M); translated into a tile height
   --neighbor-backend B
-                  neighbor queries: auto (default) | matrix | tiled | vptree;
-                  vptree never materializes the O(u²) matrix (never affects
-                  results, only memory and wall time)
-  --swar          opt-in SWAR kernel fast path for vptree distance
-                  evaluations (bit-identical)
+                  neighbor queries: auto (default) | matrix | tiled | vptree
+                  | stratified; vptree and stratified never materialize the
+                  O(u²) matrix (never affects results, only memory and wall
+                  time); auto picks stratified on mixed-length corpora
+  --swar          opt-in SWAR kernel fast path for vptree/stratified
+                  distance evaluations (bit-identical)
   --threads N     threads for parallel stages, 0 = auto (never affects results)
   --addr A        a running ftcd daemon (e.g. 127.0.0.1:4747); `submit` sends
                   the capture there and waits for the identical report
@@ -381,6 +382,8 @@ mod tests {
         let o = parse(&["a.pcap", "--neighbor-backend", "vptree", "--swar"]).unwrap();
         assert_eq!(o.neighbor_backend, NeighborBackend::Vptree);
         assert!(o.swar);
+        let o = parse(&["a.pcap", "--neighbor-backend", "stratified"]).unwrap();
+        assert_eq!(o.neighbor_backend, NeighborBackend::Stratified);
         let o = parse(&["a.pcap"]).unwrap();
         assert_eq!(o.neighbor_backend, NeighborBackend::Auto);
         assert!(!o.swar);

@@ -476,6 +476,145 @@ fn windowed_min_sum4(keys: &[usize], long: &[u8], lut: &CanberraLut) -> f64 {
     best_sum
 }
 
+/// Minimum window *sum* of a short segment slid over a long one given
+/// as LUT row keys — the transpose of [`windowed_min_sum4`], for the
+/// case where the *long* side's keys are the precomputed ones. Window
+/// `o` accumulates `term_key(long_keys[o + k], short[k])` left to right
+/// in ascending `k`; the per-byte LUT term is symmetric bit-for-bit
+/// (`|x − y| = |y − x|` exactly), so each completed sum equals the
+/// scalar sweep's `Σ term(short[k], long[o + k])` bit by bit, and the
+/// minimum over complete sums is order-independent. Four adjacent
+/// windows accumulate concurrently, exactly as in
+/// [`windowed_min_sum4`].
+fn windowed_min_sum_long_keys(long_keys: &[usize], short: &[u8], lut: &CanberraLut) -> f64 {
+    let s = short.len();
+    debug_assert!(s >= 1 && s < long_keys.len());
+    let nw = long_keys.len() - s + 1;
+    let mut best_sum = f64::INFINITY;
+    let mut o = 0usize;
+    while o + 4 <= nw {
+        // Four shifted key views of the long side: lane t sums window o + t.
+        let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        let k0 = &long_keys[o..o + s];
+        let k1 = &long_keys[o + 1..o + 1 + s];
+        let k2 = &long_keys[o + 2..o + 2 + s];
+        let k3 = &long_keys[o + 3..o + 3 + s];
+        for ((((&y, &key0), &key1), &key2), &key3) in short.iter().zip(k0).zip(k1).zip(k2).zip(k3) {
+            a0 += lut.term_key(key0, y);
+            a1 += lut.term_key(key1, y);
+            a2 += lut.term_key(key2, y);
+            a3 += lut.term_key(key3, y);
+        }
+        best_sum = best_sum.min(a0).min(a1).min(a2).min(a3);
+        if best_sum == 0.0 {
+            return 0.0;
+        }
+        o += 4;
+    }
+    while o < nw {
+        let sum: f64 = long_keys[o..o + s]
+            .iter()
+            .zip(short)
+            .map(|(&key, &y)| lut.term_key(key, y))
+            .sum();
+        if sum < best_sum {
+            best_sum = sum;
+            if best_sum == 0.0 {
+                return 0.0;
+            }
+        }
+        o += 1;
+    }
+    best_sum
+}
+
+/// A per-query kernel configuration: the query segment's LUT row keys,
+/// the hoisted penalty, and the kernel-variant choice, computed **once
+/// per query** so a scan over thousands of candidates stops redoing the
+/// per-pair setup (`effective_penalty`, the `byte << 8` key shifts)
+/// that [`dissimilarity_kernel`] performs on every call.
+///
+/// [`dist`](Self::dist) is bit-identical to
+/// `dissimilarity_kernel(query, other, ..)` (or, with `swar` enabled,
+/// `dissimilarity_swar`): equal-length pairs take the same strict
+/// left-to-right LUT accumulation, a shorter query takes the same
+/// sum-domain windowed minimum ([`windowed_min_sum4`], pinned against
+/// the scalar sweep by the matrix-build tests), and a longer query
+/// takes the key-transposed sweep [`windowed_min_sum_long_keys`], equal
+/// bit for bit by LUT-term symmetry. Pinned against the plain kernel by
+/// `query_dist_matches_kernel_bitwise`.
+#[derive(Debug)]
+pub struct QueryDist<'a> {
+    query: &'a [u8],
+    keys: Vec<usize>,
+    params: DissimParams,
+    penalty: f64,
+    lut: &'static CanberraLut,
+    swar: bool,
+}
+
+impl<'a> QueryDist<'a> {
+    /// Hoists the per-query kernel setup for `query`.
+    pub fn new(query: &'a [u8], params: &DissimParams, swar: bool) -> Self {
+        Self {
+            query,
+            keys: query.iter().map(|&b| usize::from(b) << 8).collect(),
+            params: *params,
+            penalty: params.effective_penalty(),
+            lut: CanberraLut::global(),
+            swar,
+        }
+    }
+
+    /// Re-targets the configuration at a new query, reusing the key
+    /// buffer — for batch loops that answer many queries with one
+    /// scratch allocation.
+    pub fn set_query(&mut self, query: &'a [u8]) {
+        self.query = query;
+        self.keys.clear();
+        self.keys.extend(query.iter().map(|&b| usize::from(b) << 8));
+    }
+
+    /// The query segment this configuration is targeted at.
+    pub fn query(&self) -> &'a [u8] {
+        self.query
+    }
+
+    /// The dissimilarity of the query to `other`; bit-identical to
+    /// [`dissimilarity_kernel`] (or [`dissimilarity_swar`] when the
+    /// SWAR path was requested) of the pair.
+    #[inline]
+    pub fn dist(&self, other: &[u8]) -> f64 {
+        if self.swar {
+            return dissimilarity_swar(self.query, other, &self.params, self.lut);
+        }
+        let lq = self.query.len();
+        let lo = other.len();
+        if lq.max(lo) == 0 {
+            return 0.0;
+        }
+        if lq.min(lo) == 0 {
+            return 1.0;
+        }
+        if lq == lo {
+            let sum: f64 = self
+                .keys
+                .iter()
+                .zip(other)
+                .map(|(&key, &y)| self.lut.term_key(key, y))
+                .sum();
+            return sum / lq as f64;
+        }
+        if lq < lo {
+            let best = windowed_min_sum4(&self.keys, other, self.lut) / lq as f64;
+            mixed_length(lq, lo, best, self.penalty)
+        } else {
+            let best = windowed_min_sum_long_keys(&self.keys, other, self.lut) / lo as f64;
+            mixed_length(lo, lq, best, self.penalty)
+        }
+    }
+}
+
 /// Fills row `i` of the condensed matrix (`row[c] = D(segments[i],
 /// segments[i + 1 + c])`), walking the length buckets so every bucket's
 /// column run shares one kernel configuration.
@@ -973,6 +1112,34 @@ mod tests {
                 "len {len}"
             );
             assert_eq!(canberra_distance_swar(&a, &a, lut), 0.0, "len {len}");
+        }
+    }
+
+    #[test]
+    fn query_dist_matches_kernel_bitwise() {
+        // Every (query, candidate) pair over a mixed-length corpus —
+        // equal-length, query-shorter and query-longer paths all hit —
+        // plus empty segments for the trivial cases, against both
+        // kernel variants.
+        let lut = CanberraLut::global();
+        let segs = corpus(40);
+        for swar in [false, true] {
+            let mut qd = QueryDist::new(&segs[0], &P, swar);
+            for q in &segs {
+                qd.set_query(q);
+                for c in &segs {
+                    let want = if swar {
+                        dissimilarity_swar(q, c, &P, lut)
+                    } else {
+                        dissimilarity_kernel(q, c, &P, lut)
+                    };
+                    assert_eq!(
+                        qd.dist(c).to_bits(),
+                        want.to_bits(),
+                        "swar={swar} {q:?} {c:?}"
+                    );
+                }
+            }
         }
     }
 

@@ -35,14 +35,16 @@ pub mod kernel;
 pub mod matrix;
 pub mod neighbor;
 pub mod provider;
+pub mod strata;
 pub mod tiled;
 pub mod vptree;
 
 pub use artifact::DissimArtifact;
 pub use canberra::{canberra_distance, dissimilarity, DissimParams, InvalidLengthPenalty};
-pub use kernel::CanberraLut;
+pub use kernel::{CanberraLut, QueryDist};
 pub use matrix::CondensedMatrix;
 pub use neighbor::NeighborIndex;
 pub use provider::{IndexProvider, IndexedProvider, MatrixProvider, NeighborProvider};
+pub use strata::{length_lower_bound, QueryCounters, StrataIndex, StratifiedProvider, Stratum};
 pub use tiled::{KnnAccumulator, KnnTable, MatrixTile, TiledMatrix};
 pub use vptree::{VpForest, VpProvider, VpTree};

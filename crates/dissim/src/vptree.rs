@@ -46,7 +46,7 @@ use std::collections::BinaryHeap;
 use std::ops::Range;
 
 use crate::canberra::DissimParams;
-use crate::kernel::{dissimilarity_kernel, dissimilarity_swar, CanberraLut};
+use crate::kernel::{dissimilarity_kernel, dissimilarity_swar, CanberraLut, QueryDist};
 use crate::provider::{NeighborProvider, SendSlotPtr, BATCH_MIN_CHUNK};
 
 /// Sentinel child index: no subtree.
@@ -64,14 +64,14 @@ pub const PRUNE_SLACK: f64 = 1e-9;
 
 /// FNV-1a 64 over a little-endian byte stream — the same checksum
 /// primitive the tiles and the artifact store use.
-struct Fnv64(u64);
+pub(crate) struct Fnv64(pub(crate) u64);
 
 impl Fnv64 {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self(0xcbf2_9ce4_8422_2325)
     }
 
-    fn eat(&mut self, bytes: &[u8]) {
+    pub(crate) fn eat(&mut self, bytes: &[u8]) {
         const PRIME: u64 = 0x100_0000_01b3;
         for &b in bytes {
             self.0 ^= u64::from(b);
@@ -392,7 +392,7 @@ pub fn metric_eligible(values: &[&[u8]]) -> bool {
 
 /// A non-NaN f64 with a total order, for the bounded k-NN max-heap.
 #[derive(PartialEq)]
-struct Cand(f64);
+pub(crate) struct Cand(pub(crate) f64);
 
 impl Eq for Cand {}
 
@@ -564,11 +564,15 @@ impl<'a> VpProvider<'a> {
                 self.range_tree(tree, i, eps, out, stack);
             }
         } else {
-            for j in 0..self.values.len() {
+            // Hoist the per-query kernel setup (penalty, LUT row keys)
+            // out of the candidate loop; `QueryDist::dist` is
+            // bit-identical to the per-pair kernel call.
+            let qd = QueryDist::new(self.values[i], &self.params, self.swar);
+            for (j, v) in self.values.iter().enumerate() {
                 if j == i {
                     continue;
                 }
-                let d = self.dist(i, j);
+                let d = qd.dist(v);
                 if d <= eps {
                     out.push((d, j as u32));
                 }
@@ -598,9 +602,13 @@ impl<'a> VpProvider<'a> {
             }
             heap.peek().expect("k >= 1 and n >= 2").0
         } else {
-            let mut dists: Vec<f64> = (0..self.values.len())
-                .filter(|&j| j != i)
-                .map(|j| self.dist(i, j))
+            let qd = QueryDist::new(self.values[i], &self.params, self.swar);
+            let mut dists: Vec<f64> = self
+                .values
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, v)| qd.dist(v))
                 .collect();
             let (_, kth, _) = dists.select_nth_unstable_by(k - 1, |a, b| {
                 a.partial_cmp(b).expect("dissimilarities are not NaN")

@@ -158,6 +158,58 @@ pub(crate) fn vptree_keys(values: &[&[u8]], params: &DissimParams, chunk: usize)
     keys
 }
 
+/// Keys of the whole length-stratified index over each prefix
+/// `values[..u]`, one per requested `u` (ascending), from a single
+/// chained pass — the strata analog of [`dissim_keys_at`]. Unlike the
+/// per-chunk tile and vptree keys, the index is persisted as one
+/// artifact (its strata partition the whole prefix, so no part is a
+/// pure function of a shorter prefix); growth reuse happens inside
+/// `StrataIndex::extend_from` after the longest matching prefix is
+/// faulted in through the family manifest.
+pub(crate) fn strata_keys_at(
+    values: &[&[u8]],
+    params: &DissimParams,
+    chunk: usize,
+    at: &[usize],
+) -> Vec<Key> {
+    debug_assert!(at.windows(2).all(|w| w[0] < w[1]), "prefixes must ascend");
+    debug_assert!(at.last().is_none_or(|&u| u <= values.len()));
+    let mut d = KeyDigest::new(Kind::STRATA);
+    digest_dissim_params(&mut d, params);
+    d.usize(chunk);
+    let mut keys = Vec::with_capacity(at.len());
+    let mut fed = 0usize;
+    for &u in at {
+        for v in &values[fed..u] {
+            d.frame(v);
+        }
+        fed = u;
+        let mut snap = d.clone();
+        snap.usize(u);
+        keys.push(snap.finish());
+    }
+    keys
+}
+
+/// Key of the length-stratified index over all of `values`.
+pub(crate) fn strata_key(values: &[&[u8]], params: &DissimParams, chunk: usize) -> Key {
+    strata_keys_at(values, params, chunk, &[values.len()])
+        .pop()
+        .expect("one prefix requested")
+}
+
+/// Manifest family for stratified indexes: like [`vptree_family_key`]
+/// but tagged for strata, so the artifact families never mix.
+pub(crate) fn strata_family_key(values: &[&[u8]], params: &DissimParams) -> Key {
+    let mut d = KeyDigest::new(Kind::MANIFEST);
+    d.u64(u64::from(Kind::STRATA.tag()));
+    digest_dissim_params(&mut d, params);
+    for v in values.iter().take(4) {
+        d.frame(v);
+    }
+    d.finish()
+}
+
 /// Manifest family for vantage-point chunk trees: like
 /// [`tile_family_key`] but tagged for vptrees, so the three artifact
 /// families never mix.
@@ -552,6 +604,31 @@ mod tests {
     }
 
     #[test]
+    fn strata_prefix_keys_chain() {
+        let values: Vec<&[u8]> = vec![b"a", b"bb", b"cc", b"ddd", b"ee", b"f", b"ggg"];
+        let params = DissimParams::default();
+        let keys = strata_keys_at(&values, &params, 3, &[2, 5, 7]);
+        // Snapshot keys equal the from-scratch key of each prefix.
+        assert_eq!(keys[0], strata_key(&values[..2], &params, 3));
+        assert_eq!(keys[1], strata_key(&values[..5], &params, 3));
+        assert_eq!(keys[2], strata_key(&values, &params, 3));
+        // Different geometry, parameters, or values move the key.
+        assert_ne!(strata_key(&values, &params, 4), keys[2]);
+        let other = DissimParams {
+            length_penalty: params.length_penalty + 0.25,
+        };
+        assert_ne!(strata_key(&values, &other, 3), keys[2]);
+        let shuffled: Vec<&[u8]> = vec![b"a", b"bb", b"cc", b"ddd", b"ee", b"f", b"xxx"];
+        assert_ne!(strata_key(&shuffled, &params, 3), keys[2]);
+        // Strata keys and families never collide with the vptree ones.
+        assert_ne!(keys[0], vptree_keys(&values, &params, 3)[0]);
+        assert_ne!(
+            strata_family_key(&values, &params),
+            vptree_family_key(&values, &params)
+        );
+    }
+
+    #[test]
     fn config_changes_move_stage_keys() {
         let input = Key([7; 16]);
         let base = FieldTypeClusterer::default();
@@ -573,6 +650,9 @@ mod tests {
         vptree.neighbor_backend = crate::pipeline::NeighborBackend::Vptree;
         vptree.swar = true;
         assert_eq!(k0, stage_key(Kind::SELECTION, &input, &vptree));
+        let mut stratified = base.clone();
+        stratified.neighbor_backend = crate::pipeline::NeighborBackend::Stratified;
+        assert_eq!(k0, stage_key(Kind::SELECTION, &input, &stratified));
         // ...while every bit-affecting parameter must.
         let mut other = base.clone();
         other.autoconf.sensitivity += 0.5;

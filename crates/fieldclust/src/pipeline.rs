@@ -24,8 +24,9 @@ pub const DEFAULT_TILE_ROWS: usize = 256;
 pub enum NeighborBackend {
     /// Pick per trace: the tiled matrix when a tile geometry is
     /// configured ([`tile_rows`](FieldTypeClusterer::tile_rows) or
-    /// [`max_memory`](FieldTypeClusterer::max_memory)), the monolithic
-    /// matrix otherwise.
+    /// [`max_memory`](FieldTypeClusterer::max_memory)), the
+    /// length-stratified index when segment lengths are mixed, the
+    /// monolithic matrix otherwise.
     #[default]
     Auto,
     /// The monolithic in-memory condensed matrix plus a sorted
@@ -36,13 +37,18 @@ pub enum NeighborBackend {
     Tiled,
     /// A vantage-point tree forest answering queries directly from
     /// segment values — no condensed matrix is ever materialized
-    /// (O(u) memory).
+    /// (O(u) memory). On mixed-length corpora the metric pruning is
+    /// unsound and queries fall back to exact linear scans.
     Vptree,
+    /// Length-stratified search: per-length vantage-point forests plus
+    /// penalty-aware lower bounds and LAESA pivots across strata —
+    /// pruned queries on mixed-length corpora, still O(u) memory.
+    Stratified,
 }
 
 impl NeighborBackend {
     /// All selectable backends, for usage strings and error messages.
-    pub const NAMES: &'static [&'static str] = &["auto", "matrix", "tiled", "vptree"];
+    pub const NAMES: &'static [&'static str] = &["auto", "matrix", "tiled", "vptree", "stratified"];
 }
 
 impl FromStr for NeighborBackend {
@@ -54,6 +60,7 @@ impl FromStr for NeighborBackend {
             "matrix" => Ok(Self::Matrix),
             "tiled" => Ok(Self::Tiled),
             "vptree" => Ok(Self::Vptree),
+            "stratified" => Ok(Self::Stratified),
             other => Err(format!(
                 "unknown neighbor backend '{other}' (expected one of: {})",
                 Self::NAMES.join(", ")
@@ -69,6 +76,7 @@ impl std::fmt::Display for NeighborBackend {
             Self::Matrix => "matrix",
             Self::Tiled => "tiled",
             Self::Vptree => "vptree",
+            Self::Stratified => "stratified",
         })
     }
 }
@@ -269,11 +277,28 @@ impl FieldTypeClusterer {
     /// of `n` unique segments: `Auto` becomes `Tiled` when a tile
     /// geometry is configured and `Matrix` otherwise; explicit choices
     /// pass through. Never returns [`NeighborBackend::Auto`].
+    ///
+    /// This length-agnostic form resolves `Auto` as if segment lengths
+    /// were uniform; callers that know whether the corpus is
+    /// mixed-length should use
+    /// [`resolved_backend_mixed`](Self::resolved_backend_mixed).
     pub fn resolved_backend(&self, n: usize) -> NeighborBackend {
+        self.resolved_backend_mixed(n, false)
+    }
+
+    /// Resolves [`neighbor_backend`](Self::neighbor_backend) with the
+    /// corpus's length profile in hand: `Auto` becomes `Tiled` when a
+    /// tile geometry is configured, else `Stratified` when `mixed` (the
+    /// segments vary in length, so the plain vp-forest would degrade to
+    /// linear scans), else `Matrix`. Explicit choices pass through.
+    /// Never returns [`NeighborBackend::Auto`].
+    pub fn resolved_backend_mixed(&self, n: usize, mixed: bool) -> NeighborBackend {
         match self.neighbor_backend {
             NeighborBackend::Auto => {
                 if self.effective_tile_rows(n).is_some() {
                     NeighborBackend::Tiled
+                } else if mixed {
+                    NeighborBackend::Stratified
                 } else {
                     NeighborBackend::Matrix
                 }
@@ -449,6 +474,34 @@ mod tests {
         c.neighbor_backend = NeighborBackend::Tiled;
         c.tile_rows = None;
         assert_eq!(c.tiled_rows(100), Some(DEFAULT_TILE_ROWS));
+    }
+
+    #[test]
+    fn auto_backend_follows_length_profile() {
+        let mut c = FieldTypeClusterer::default();
+        // Uniform lengths keep the monolithic matrix default.
+        assert_eq!(
+            c.resolved_backend_mixed(100, false),
+            NeighborBackend::Matrix
+        );
+        // Mixed lengths pick the stratified index.
+        assert_eq!(
+            c.resolved_backend_mixed(100, true),
+            NeighborBackend::Stratified
+        );
+        // A configured tile geometry still wins over the length profile.
+        c.tile_rows = Some(16);
+        assert_eq!(c.resolved_backend_mixed(100, true), NeighborBackend::Tiled);
+        // Explicit choices pass through regardless of lengths.
+        c.tile_rows = None;
+        c.neighbor_backend = NeighborBackend::Stratified;
+        assert_eq!(
+            c.resolved_backend_mixed(100, false),
+            NeighborBackend::Stratified
+        );
+        assert_eq!(c.tiled_rows(100), None);
+        c.neighbor_backend = NeighborBackend::Vptree;
+        assert_eq!(c.resolved_backend_mixed(100, true), NeighborBackend::Vptree);
     }
 
     #[test]

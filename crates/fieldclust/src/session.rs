@@ -62,6 +62,7 @@
 
 use std::borrow::Cow;
 use std::path::Path;
+use std::sync::Arc;
 
 use crate::cache::{self, ClusterStageArtifact, RefinedArtifact, SelectionArtifact};
 use crate::cancel::CancelToken;
@@ -79,7 +80,8 @@ use cluster::refine::{merge_clusters_parallel, merge_clusters_with_provider, spl
 use dissim::kernel::pairwise_mean;
 use dissim::{
     CondensedMatrix, DissimArtifact, IndexedProvider, KnnTable, MatrixTile, NeighborIndex,
-    NeighborProvider, TiledMatrix, VpForest, VpProvider, VpTree,
+    NeighborProvider, QueryCounters, StrataIndex, StratifiedProvider, TiledMatrix, VpForest,
+    VpProvider, VpTree,
 };
 use segment::{SegmentError, Segmenter, TraceSegmentation};
 use store::{ArtifactStore, Key, Kind, StoreStats};
@@ -104,6 +106,16 @@ pub struct AnalysisSession<'t> {
     // backend is resolved. Replaces the matrix + index entirely: no
     // O(u²) structure is built on this path.
     vpforest: Option<VpForest>,
+    // The length-stratified neighbor index; present only when the
+    // stratified backend is resolved. Like the forest it replaces the
+    // matrix + index: per-length VP forests plus LAESA pivot tables,
+    // O(u) memory.
+    strata: Option<StrataIndex>,
+    // Cumulative neighbor-query counters (kernel evaluations, pruned
+    // candidates, skipped strata), shared with every stratified
+    // provider the session builds. Clones of the session share the
+    // same counters.
+    neighbor_counters: Arc<QueryCounters>,
     selection: Option<(SelectedParams, EpsilonSource)>,
     clustering: Option<Clustering>,
     refined: Option<Clustering>,
@@ -151,6 +163,8 @@ impl<'t> AnalysisSession<'t> {
             dissim: None,
             knn: None,
             vpforest: None,
+            strata: None,
+            neighbor_counters: Arc::new(QueryCounters::new()),
             selection: None,
             clustering: None,
             refined: None,
@@ -279,6 +293,7 @@ impl<'t> AnalysisSession<'t> {
         self.dissim = None;
         self.knn = None;
         self.vpforest = None;
+        self.strata = None;
         self.selection = None;
         self.clustering = None;
         self.refined = None;
@@ -353,9 +368,9 @@ impl<'t> AnalysisSession<'t> {
     pub fn ensure_neighbors(&mut self) -> Result<(), PipelineError> {
         self.check_cancelled()?;
         self.ensure_store()?;
-        let n = self.store.as_ref().expect("ensured").segments.len();
-        match self.config.resolved_backend(n) {
+        match self.session_backend() {
             NeighborBackend::Vptree => self.ensure_vpforest(),
+            NeighborBackend::Stratified => self.ensure_strata(),
             _ => {
                 self.ensure_dissim()?;
                 self.ensure_index();
@@ -364,11 +379,56 @@ impl<'t> AnalysisSession<'t> {
         }
     }
 
+    /// The neighbor backend this session resolves for its current
+    /// segment store: [`FieldTypeClusterer::resolved_backend_mixed`]
+    /// over the store's actual size and length profile (mixed-length
+    /// corpora steer `auto` to the stratified backend). Only called
+    /// with the store ensured.
+    fn session_backend(&self) -> NeighborBackend {
+        let store = self.store.as_ref().expect("ensured");
+        let mut lens = store.segments.iter().map(|s| s.value.len());
+        let mixed = match lens.next() {
+            None => false,
+            Some(first) => lens.any(|len| len != first),
+        };
+        self.config
+            .resolved_backend_mixed(store.segments.len(), mixed)
+    }
+
+    /// The neighbor backend the session resolves for its deduplicated
+    /// segment store, ensuring the store first. Unlike
+    /// [`FieldTypeClusterer::resolved_backend`] this sees the corpus's
+    /// actual length profile, so `auto` resolution is exact.
+    ///
+    /// # Errors
+    ///
+    /// See [`store`](Self::store).
+    pub fn resolved_neighbor_backend(&mut self) -> Result<NeighborBackend, PipelineError> {
+        self.ensure_store()?;
+        Ok(self.session_backend())
+    }
+
     /// The vantage-point tree forest, if the vptree backend has built
     /// one ([`ensure_neighbors`](Self::ensure_neighbors) under
     /// [`NeighborBackend::Vptree`]).
     pub fn vp_forest(&self) -> Option<&VpForest> {
         self.vpforest.as_ref()
+    }
+
+    /// The length-stratified neighbor index, if the stratified backend
+    /// has built one ([`ensure_neighbors`](Self::ensure_neighbors)
+    /// under [`NeighborBackend::Stratified`]).
+    pub fn strata_index(&self) -> Option<&StrataIndex> {
+        self.strata.as_ref()
+    }
+
+    /// Cumulative neighbor-query counters as `(kernel_evals,
+    /// pruned_candidates, strata_skipped)`. Only the stratified backend
+    /// moves them; every other backend leaves them at zero. The totals
+    /// are deterministic for a given query sequence regardless of the
+    /// thread count.
+    pub fn neighbor_counters(&self) -> (u64, u64, u64) {
+        self.neighbor_counters.snapshot()
     }
 
     /// The merged per-tile k-NN table, if the tiled dissimilarity build
@@ -749,6 +809,93 @@ impl<'t> AnalysisSession<'t> {
         Ok(())
     }
 
+    /// Builds (or fetches, or incrementally extends from a cached
+    /// prefix) the length-stratified neighbor index over `values`.
+    /// The index is persisted whole under a chained-prefix key
+    /// (`cache::strata_key`) — strata partition the entire prefix, so
+    /// no stratum is a pure function of a shorter one; growth instead
+    /// finds the largest cached prefix through the per-family manifest
+    /// and extends it ([`StrataIndex::extend_from`] reuses complete
+    /// chunk trees and pivot rows, bit-identical to a cold build). A
+    /// damaged artifact degrades to recompute.
+    fn build_strata_cached(&self, values: &[&[u8]]) -> StrataIndex {
+        let params = &self.config.dissim;
+        let chunk = dissim::vptree::DEFAULT_CHUNK;
+        let Some(cache) = self.cache.as_ref() else {
+            return StrataIndex::build(values, params, chunk);
+        };
+        let n = values.len();
+        let key = cache::strata_key(values, params, chunk);
+        if let Some(index) = cache.get::<StrataIndex>(&key) {
+            if index.matches(values) {
+                return index;
+            }
+        }
+        let family = cache::strata_family_key(values, params);
+        let index = self
+            .extend_strata_from_prefix(cache, &family, values, chunk, n)
+            .unwrap_or_else(|| StrataIndex::build(values, params, chunk));
+        cache.put(&key, &index);
+        cache.manifest_add(&family, n, &key);
+        index
+    }
+
+    /// The stratified analogue of [`extend_from_prefix`]
+    /// (Self::extend_from_prefix): the largest manifest entry whose
+    /// recorded key matches the recomputed key of our own value prefix
+    /// is a cached index over exactly `values[..u]`; extend it with the
+    /// appended values.
+    fn extend_strata_from_prefix(
+        &self,
+        cache: &ArtifactStore,
+        family: &Key,
+        values: &[&[u8]],
+        chunk: usize,
+        n: usize,
+    ) -> Option<StrataIndex> {
+        let params = &self.config.dissim;
+        let entries = cache.manifest_entries(family);
+        let mut candidates: Vec<usize> = entries
+            .iter()
+            .map(|&(u, _)| u)
+            .filter(|&u| u >= 1 && u < n)
+            .collect();
+        candidates.dedup(); // entries are sorted by u
+        let expected = cache::strata_keys_at(values, params, chunk, &candidates);
+        for (i, &u) in candidates.iter().enumerate().rev() {
+            if !entries.iter().any(|&(eu, ek)| eu == u && ek == expected[i]) {
+                continue;
+            }
+            let Some(prev) = cache.get_quiet::<StrataIndex>(&expected[i]) else {
+                continue;
+            };
+            if prev.chunk() != chunk || !prev.matches(&values[..u]) {
+                continue;
+            }
+            cache.record_extension();
+            return Some(StrataIndex::extend_from(&prev, values, params));
+        }
+        None
+    }
+
+    /// The stratified arm of the neighbors stage: builds (or faults
+    /// in, or extends) the per-length forests and pivot tables. No
+    /// matrix, index, or other O(u²) structure is touched.
+    fn ensure_strata(&mut self) -> Result<(), PipelineError> {
+        self.check_cancelled()?;
+        if self.strata.is_some() {
+            return Ok(());
+        }
+        self.ensure_store()?;
+        let index = {
+            let store = self.store.as_ref().expect("ensured");
+            let values: Vec<&[u8]> = store.segments.iter().map(|s| &s.value[..]).collect();
+            self.build_strata_cached(&values)
+        };
+        self.strata = Some(index);
+        Ok(())
+    }
+
     /// The matrix-backed arm of the neighbors stage: builds the sorted
     /// [`NeighborIndex`] over the present dissimilarity artifact if it
     /// is missing, and re-persists monolithic artifacts with the index
@@ -857,13 +1004,28 @@ impl<'t> AnalysisSession<'t> {
         // bit-identical to the matrix scan. The fallback mean likewise
         // comes from the matrix or (vptree) a pairwise kernel pass —
         // pinned bit-identical.
-        let (selection, fallback_mean) = match self.config.resolved_backend(n) {
+        let (selection, fallback_mean) = match self.session_backend() {
             NeighborBackend::Vptree => {
                 let store = self.store.as_ref().expect("ensured");
                 let values: Vec<&[u8]> = store.segments.iter().map(|s| &s.value[..]).collect();
                 let forest = self.vpforest.as_ref().expect("ensured");
                 let provider = VpProvider::new(&values, &self.config.dissim, forest)
                     .with_swar(self.config.swar);
+                let selection =
+                    auto_configure_parallel(&provider, &self.config.autoconf, self.config.threads);
+                let mean = selection
+                    .is_err()
+                    .then(|| pairwise_mean(&values, &self.config.dissim))
+                    .flatten();
+                (selection, mean)
+            }
+            NeighborBackend::Stratified => {
+                let store = self.store.as_ref().expect("ensured");
+                let values: Vec<&[u8]> = store.segments.iter().map(|s| &s.value[..]).collect();
+                let index = self.strata.as_ref().expect("ensured");
+                let provider = StratifiedProvider::new(&values, &self.config.dissim, index)
+                    .with_swar(self.config.swar)
+                    .with_counters(Arc::clone(&self.neighbor_counters));
                 let selection =
                     auto_configure_parallel(&provider, &self.config.autoconf, self.config.threads);
                 let mean = selection
@@ -939,12 +1101,20 @@ impl<'t> AnalysisSession<'t> {
         let (selected, _) = self.selection.clone().expect("ensured");
         let (clustering, reselected) = {
             let store = self.store.as_ref().expect("ensured");
-            match self.config.resolved_backend(store.segments.len()) {
+            match self.session_backend() {
                 NeighborBackend::Vptree => {
                     let values: Vec<&[u8]> = store.segments.iter().map(|s| &s.value[..]).collect();
                     let forest = self.vpforest.as_ref().expect("ensured");
                     let provider = VpProvider::new(&values, &self.config.dissim, forest)
                         .with_swar(self.config.swar);
+                    cluster_with_provider(&self.config, &provider, None, &selected, &weights)
+                }
+                NeighborBackend::Stratified => {
+                    let values: Vec<&[u8]> = store.segments.iter().map(|s| &s.value[..]).collect();
+                    let index = self.strata.as_ref().expect("ensured");
+                    let provider = StratifiedProvider::new(&values, &self.config.dissim, index)
+                        .with_swar(self.config.swar)
+                        .with_counters(Arc::clone(&self.neighbor_counters));
                     cluster_with_provider(&self.config, &provider, None, &selected, &weights)
                 }
                 _ => {
@@ -1002,12 +1172,25 @@ impl<'t> AnalysisSession<'t> {
         let refined = {
             let store = self.store.as_ref().expect("ensured");
             let clustering = self.clustering.as_ref().expect("ensured");
-            let merged = match self.config.resolved_backend(store.segments.len()) {
+            let merged = match self.session_backend() {
                 NeighborBackend::Vptree => {
                     let values: Vec<&[u8]> = store.segments.iter().map(|s| &s.value[..]).collect();
                     let forest = self.vpforest.as_ref().expect("ensured");
                     let provider = VpProvider::new(&values, &self.config.dissim, forest)
                         .with_swar(self.config.swar);
+                    merge_clusters_with_provider(
+                        clustering,
+                        &provider,
+                        &self.config.refine,
+                        self.config.threads,
+                    )
+                }
+                NeighborBackend::Stratified => {
+                    let values: Vec<&[u8]> = store.segments.iter().map(|s| &s.value[..]).collect();
+                    let index = self.strata.as_ref().expect("ensured");
+                    let provider = StratifiedProvider::new(&values, &self.config.dissim, index)
+                        .with_swar(self.config.swar)
+                        .with_counters(Arc::clone(&self.neighbor_counters));
                     merge_clusters_with_provider(
                         clustering,
                         &provider,

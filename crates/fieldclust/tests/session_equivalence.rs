@@ -565,14 +565,35 @@ fn all_neighbor_backends_are_bit_identical() {
                 swar: true,
                 ..FieldTypeClusterer::default()
             },
+            FieldTypeClusterer {
+                neighbor_backend: NeighborBackend::Stratified,
+                ..FieldTypeClusterer::default()
+            },
+            FieldTypeClusterer {
+                neighbor_backend: NeighborBackend::Stratified,
+                swar: true,
+                ..FieldTypeClusterer::default()
+            },
+            FieldTypeClusterer {
+                neighbor_backend: NeighborBackend::Stratified,
+                threads: 1,
+                ..FieldTypeClusterer::default()
+            },
+            FieldTypeClusterer {
+                neighbor_backend: NeighborBackend::Stratified,
+                threads: 4,
+                ..FieldTypeClusterer::default()
+            },
         ];
         for config in backends {
             let tag = format!(
-                "{label}/{}{}",
+                "{label}/{}{}/t{}",
                 config.neighbor_backend,
-                if config.swar { "+swar" } else { "" }
+                if config.swar { "+swar" } else { "" },
+                config.threads,
             );
             let vptree = config.neighbor_backend == NeighborBackend::Vptree;
+            let stratified = config.neighbor_backend == NeighborBackend::Stratified;
             let (result, session) = run(config);
             if vptree {
                 assert!(
@@ -583,6 +604,18 @@ fn all_neighbor_backends_are_bit_identical() {
                     session.knn_table().is_none(),
                     "{tag}: vptree backend must not build a k-NN table"
                 );
+            }
+            if stratified {
+                assert!(
+                    session.strata_index().is_some(),
+                    "{tag}: stratified backend must build its index"
+                );
+                assert!(
+                    session.knn_table().is_none(),
+                    "{tag}: stratified backend must not build a k-NN table"
+                );
+                let (evals, _, _) = session.neighbor_counters();
+                assert!(evals > 0, "{tag}: stratified queries must count evals");
             }
             assert_eq!(
                 result.params.epsilon.to_bits(),
@@ -660,6 +693,90 @@ fn vptree_warm_run_faults_the_forest_back_in() {
     );
 }
 
+#[test]
+fn stratified_warm_and_grown_runs_reuse_the_index() {
+    use fieldclust::NeighborBackend;
+    let dir = cache_dir("strata-warm");
+    let full = corpus::build_trace(Protocol::Dns, 120, 29);
+    let prefix = Trace::new("prefix", full.messages()[..80].to_vec());
+    let config = FieldTypeClusterer {
+        neighbor_backend: NeighborBackend::Stratified,
+        ..FieldTypeClusterer::default()
+    };
+
+    // Cold stratified run persists the index + stage artifacts — and
+    // no condensed matrix (no O(u²) structure is ever built).
+    let mut cold = truth_session_with(&prefix, config.clone())
+        .with_store(&dir)
+        .expect("open store");
+    let cold_result = cold.finish().expect("cold pipeline");
+    assert!(cold.strata_index().is_some());
+    let names = || -> Vec<String> {
+        std::fs::read_dir(&dir)
+            .expect("read cache dir")
+            .map(|e| e.expect("entry").file_name().to_string_lossy().to_string())
+            .collect()
+    };
+    assert!(
+        names().iter().any(|n| n.starts_with("strata-")),
+        "the stratified index must be persisted on disk"
+    );
+    assert!(
+        !names().iter().any(|n| n.starts_with("dissim-")),
+        "the stratified path must not persist a condensed matrix"
+    );
+
+    // Fully warm rerun: stage artifacts hit; explicitly rebuilding the
+    // neighbors stage faults the index in — no misses, no writes.
+    let mut warm = truth_session_with(&prefix, config.clone())
+        .with_store(&dir)
+        .expect("open store");
+    let warm_result = warm.finish().expect("warm pipeline");
+    warm.ensure_neighbors().expect("fault the index in");
+    assert!(warm.strata_index().is_some());
+    let stats = warm.cache_stats().expect("stats");
+    assert_eq!(
+        stats.misses, 0,
+        "fully warm stratified run must not miss: {stats}"
+    );
+    assert_eq!(
+        stats.writes, 0,
+        "fully warm stratified run must not write: {stats}"
+    );
+    assert_eq!(warm_result.clustering, cold_result.clustering);
+    assert_eq!(
+        warm_result.params.epsilon.to_bits(),
+        cold_result.params.epsilon.to_bits()
+    );
+
+    // Growing the trace extends the cached prefix index instead of
+    // rebuilding it — and the grown session equals a cache-less cold
+    // one bit for bit.
+    let mut grown = truth_session_with(&full, config.clone())
+        .with_store(&dir)
+        .expect("open store");
+    let grown_result = grown.finish().expect("grown pipeline");
+    let stats = grown.cache_stats().expect("stats");
+    assert_eq!(
+        stats.extended, 1,
+        "the index must come from a prefix extension: {stats}"
+    );
+    let mut no_cache = truth_session_with(&full, config);
+    let cold_full = no_cache.finish().expect("cold full pipeline");
+    assert_eq!(grown_result.clustering, cold_full.clustering);
+    assert_eq!(
+        grown_result.params.epsilon.to_bits(),
+        cold_full.params.epsilon.to_bits()
+    );
+    // Counter totals are thread-count independent for the same query
+    // sequence.
+    assert_eq!(
+        grown.neighbor_counters(),
+        no_cache.neighbor_counters(),
+        "grown-vs-cold counter totals"
+    );
+}
+
 // ----- mmap read-path equivalence: mapped vs heap warm reads -----
 //
 // The store's zero-copy mmap read path is an I/O strategy, never a
@@ -673,9 +790,11 @@ fn mmap_and_heap_warm_sessions_produce_identical_reports() {
     let dir = cache_dir("mmap-eq");
     let trace = corpus::build_trace(Protocol::Dns, 100, 28);
 
-    // Cold run populates the cache.
+    // Cold run populates the cache — through the full report path, so
+    // the message-type artifacts are warm too and the two compared
+    // runs read everything from the store.
     let mut cold = truth_session(&trace).with_store(&dir).expect("open store");
-    cold.finish().expect("cold pipeline");
+    standard_report(&trace, &mut cold).expect("cold report");
 
     let run_warm = |mmap_on: bool| {
         store::mmap::set_enabled(mmap_on);
@@ -700,6 +819,8 @@ fn mmap_and_heap_warm_sessions_produce_identical_reports() {
         result_heap.params.epsilon.to_bits()
     );
     assert_eq!(stats_mmap.hits, stats_heap.hits, "same artifacts served");
+    assert_eq!(stats_mmap.misses, 0, "fully warm mapped run must not miss");
+    assert_eq!(stats_heap.misses, 0, "fully warm heap run must not miss");
     assert_eq!(stats_heap.mmap_reads, 0, "disabled path must never map");
 
     // And both warm runs equal a cache-less cold session bit for bit.

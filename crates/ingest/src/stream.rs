@@ -169,12 +169,16 @@ impl StreamSession {
             .map_err(|e| format!("segmentation failed: {e}"))?;
         timed("segment", t);
         let t = Instant::now();
-        let n = session.store().map_err(err)?.segments.len();
+        session.store().map_err(err)?;
         timed("dedup", t);
-        // Same bucket split as the daemon: under the vptree backend no
-        // pairwise matrix exists, so that wall stays empty and the
-        // build cost lands under "neighbors".
-        if session.config().resolved_backend(n) != NeighborBackend::Vptree {
+        // Same bucket split as the daemon: under the vptree and
+        // stratified backends no pairwise matrix exists, so that wall
+        // stays empty and the build cost lands under "neighbors".
+        let backend = session.resolved_neighbor_backend().map_err(err)?;
+        if !matches!(
+            backend,
+            NeighborBackend::Vptree | NeighborBackend::Stratified
+        ) {
             let t = Instant::now();
             session.matrix().map_err(err)?;
             timed("matrix", t);

@@ -190,6 +190,9 @@ struct Counters {
     job_count: AtomicU64,
     session_evictions: AtomicU64,
     stream_batches: AtomicU64,
+    kernel_evals: AtomicU64,
+    pruned_candidates: AtomicU64,
+    strata_skipped: AtomicU64,
 }
 
 struct Shared {
@@ -817,7 +820,18 @@ fn run_job(
     }
     session.set_cancel_token(token.clone());
     let mut local_wall: Vec<(String, u64)> = Vec::new();
+    // Session counters are cumulative (warm sessions serve many jobs);
+    // the daemon totals accumulate per-job deltas.
+    let (evals0, pruned0, skipped0) = session.neighbor_counters();
     let phase = drive_stages(shared, &mut session, segmenter, &mut local_wall);
+    let (evals1, pruned1, skipped1) = session.neighbor_counters();
+    let c = &shared.counters;
+    c.kernel_evals
+        .fetch_add(evals1.saturating_sub(evals0), Ordering::Relaxed);
+    c.pruned_candidates
+        .fetch_add(pruned1.saturating_sub(pruned0), Ordering::Relaxed);
+    c.strata_skipped
+        .fetch_add(skipped1.saturating_sub(skipped0), Ordering::Relaxed);
     // A streamed batch that produced a report also feeds the trace's
     // drift history: snapshot the clustering (cached — `finish` after
     // `drive_stages` re-reads staged artifacts) and compare it to the
@@ -935,14 +949,18 @@ fn drive_stages(
     timed("dedup", t.elapsed());
     // The matrix and neighbor builds get separate wall buckets: the
     // matrix stage is the O(u²) pairwise build, the neighbors stage the
-    // backend's acceleration structure (index sort or vptree forest).
-    // Under the vptree backend no matrix exists, so that bucket stays
-    // untouched and the whole build cost lands under "neighbors".
-    let n = match session.store() {
-        Ok(store) => store.segments.len(),
+    // backend's acceleration structure (index sort, vptree forest, or
+    // stratified per-length forests). Under the vptree and stratified
+    // backends no matrix exists, so that bucket stays untouched and the
+    // whole build cost lands under "neighbors".
+    let backend = match session.resolved_neighbor_backend() {
+        Ok(b) => b,
         Err(e) => return phase_of(e),
     };
-    if session.config().resolved_backend(n) != NeighborBackend::Vptree {
+    if !matches!(
+        backend,
+        NeighborBackend::Vptree | NeighborBackend::Stratified
+    ) {
         let t = Instant::now();
         if let Err(e) = session.matrix().map(|_| ()) {
             return phase_of(e);
@@ -1068,6 +1086,9 @@ fn stats(shared: &Arc<Shared>) -> ServerStats {
         session_capacity: shared.config.sessions.max(1) as u64,
         session_evictions: shared.counters.session_evictions.load(Ordering::Relaxed),
         stream_batches: shared.counters.stream_batches.load(Ordering::Relaxed),
+        kernel_evals: shared.counters.kernel_evals.load(Ordering::Relaxed),
+        pruned_candidates: shared.counters.pruned_candidates.load(Ordering::Relaxed),
+        strata_skipped: shared.counters.strata_skipped.load(Ordering::Relaxed),
         stage_wall_ns: shared.stage_wall.lock().expect("stage wall lock").clone(),
     }
 }

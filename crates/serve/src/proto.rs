@@ -219,6 +219,14 @@ pub struct ServerStats {
     pub session_evictions: u64,
     /// Streamed batches committed across all streams.
     pub stream_batches: u64,
+    /// Exact dissimilarity-kernel evaluations performed by stratified
+    /// neighbor queries (0 on the matrix/tiled/vptree backends).
+    pub kernel_evals: u64,
+    /// Candidates skipped by the stratified backend's lower bounds
+    /// without a kernel evaluation.
+    pub pruned_candidates: u64,
+    /// Whole length-strata skipped by the penalty-aware lower bound.
+    pub strata_skipped: u64,
     /// Cumulative wall time per pipeline stage, nanoseconds.
     pub stage_wall_ns: Vec<(String, u64)>,
 }
@@ -248,6 +256,11 @@ impl std::fmt::Display for ServerStats {
             self.cache_mmap_reads,
         )?;
         writeln!(f, "stream_batches={}", self.stream_batches)?;
+        writeln!(
+            f,
+            "neighbors: kernel_evals={} pruned={} strata_skipped={}",
+            self.kernel_evals, self.pruned_candidates, self.strata_skipped,
+        )?;
         writeln!(f, "peak_rss_bytes={}", self.peak_rss_bytes)?;
         for (stage, ns) in &self.stage_wall_ns {
             writeln!(f, "stage {stage}: {:.3}s", *ns as f64 / 1e9)?;
@@ -518,6 +531,9 @@ impl Response {
                 w.u64(stats.session_capacity);
                 w.u64(stats.session_evictions);
                 w.u64(stats.stream_batches);
+                w.u64(stats.kernel_evals);
+                w.u64(stats.pruned_candidates);
+                w.u64(stats.strata_skipped);
                 w.usize(stats.stage_wall_ns.len());
                 for (stage, ns) in &stats.stage_wall_ns {
                     string(&mut w, stage);
@@ -593,6 +609,9 @@ impl Response {
                 let session_capacity = next().ok_or(malformed.clone())?;
                 let session_evictions = next().ok_or(malformed.clone())?;
                 let stream_batches = next().ok_or(malformed.clone())?;
+                let kernel_evals = next().ok_or(malformed.clone())?;
+                let pruned_candidates = next().ok_or(malformed.clone())?;
+                let strata_skipped = next().ok_or(malformed.clone())?;
                 let n = r.count(9).ok_or(malformed.clone())?;
                 let mut stage_wall_ns = Vec::with_capacity(n);
                 for _ in 0..n {
@@ -617,6 +636,9 @@ impl Response {
                     session_capacity,
                     session_evictions,
                     stream_batches,
+                    kernel_evals,
+                    pruned_candidates,
+                    strata_skipped,
                     stage_wall_ns,
                 })
             }
@@ -764,6 +786,9 @@ mod tests {
             session_capacity: 4,
             session_evictions: 2,
             stream_batches: 6,
+            kernel_evals: 1000,
+            pruned_candidates: 420,
+            strata_skipped: 7,
             ..ServerStats::default()
         }));
     }

@@ -106,16 +106,24 @@ fn concurrent_clients_get_byte_identical_reports() {
         .iter()
         .map(|(s, _)| s.as_str())
         .collect();
-    for stage in [
-        "segment",
-        "matrix",
-        "neighbors",
-        "autoconf",
-        "cluster",
-        "report",
-    ] {
+    // NEMESYS-segmented corpora are mixed-length, so `auto` resolves
+    // the stratified backend: no matrix stage exists — the build cost
+    // lands under "neighbors" and the prune counters must move.
+    for stage in ["segment", "neighbors", "autoconf", "cluster", "report"] {
         assert!(stages.contains(&stage), "stage {stage} must be timed");
     }
+    assert!(
+        !stages.contains(&"matrix"),
+        "stratified jobs must not build a matrix"
+    );
+    assert!(
+        stats.kernel_evals > 0,
+        "stratified queries must count kernel evaluations"
+    );
+    assert!(
+        stats.pruned_candidates > 0,
+        "stratified queries must prune candidates"
+    );
 
     client.shutdown().expect("shutdown");
     handle.wait();

@@ -10,8 +10,12 @@
 
 use crate::codec::{Reader, Writer};
 use cluster::{Clustering, Label, SelectedParams};
+use dissim::strata::DEFAULT_PIVOTS;
 use dissim::vptree::VpNode;
-use dissim::{CondensedMatrix, DissimArtifact, MatrixTile, NeighborIndex, VpTree};
+use dissim::{
+    CondensedMatrix, DissimArtifact, MatrixTile, NeighborIndex, StrataIndex, Stratum, VpForest,
+    VpTree,
+};
 use segment::{MessageSegments, TraceSegmentation};
 
 /// An artifact kind: a stable one-byte tag plus a file-name prefix.
@@ -73,6 +77,12 @@ impl Kind {
     pub const VPTREE: Kind = Kind {
         tag: 10,
         name: "vptree",
+    };
+    /// A length-stratified neighbor index ([`StrataIndex`]): per-length
+    /// strata with local vantage-point forests and LAESA pivot rows.
+    pub const STRATA: Kind = Kind {
+        tag: 11,
+        name: "strata",
     };
 
     /// The one-byte tag written into file frames and fed into keys.
@@ -332,6 +342,73 @@ impl Persist for VpTree {
     }
 }
 
+impl Persist for StrataIndex {
+    const KIND: Kind = Kind::STRATA;
+
+    fn encode(&self, w: &mut Writer) {
+        w.usize(self.len());
+        w.usize(self.chunk());
+        w.u64(self.checksum());
+        w.usize(self.strata().len());
+        for s in self.strata() {
+            w.usize(s.value_len());
+            w.usize(s.items().len());
+            for &g in s.items() {
+                w.u32(g);
+            }
+            // The tree count is implied by the member count and chunk.
+            for tree in s.forest().trees() {
+                tree.encode(w);
+            }
+            // The pivot-row count is implied by the member count.
+            for &d in s.pivot_rows() {
+                w.f64(d);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader) -> Option<Self> {
+        let n = r.usize()?;
+        let chunk = r.usize()?;
+        if chunk == 0 {
+            return None;
+        }
+        let checksum = r.u64()?;
+        let n_strata = r.count(16)?;
+        let mut strata = Vec::with_capacity(n_strata);
+        for _ in 0..n_strata {
+            let len = r.usize()?;
+            let size = r.count(4)?;
+            let mut items = Vec::with_capacity(size);
+            for _ in 0..size {
+                items.push(r.u32()?);
+            }
+            let n_trees = VpForest::chunk_count(size, chunk);
+            let mut trees = Vec::with_capacity(n_trees);
+            for _ in 0..n_trees {
+                trees.push(VpTree::decode(r)?);
+            }
+            let forest = VpForest::from_trees(size, chunk, trees)?;
+            let m = DEFAULT_PIVOTS.min(size);
+            let n_rows = m.checked_mul(size)?;
+            if n_rows.checked_mul(8)? > r.remaining() {
+                return None;
+            }
+            let mut pivot_rows = Vec::with_capacity(n_rows);
+            for _ in 0..n_rows {
+                pivot_rows.push(r.f64()?);
+            }
+            // `from_parts` re-validates the stratum shape (forest item
+            // count, ascending members, pivot-row shape, NaN-freedom).
+            strata.push(Stratum::from_parts(len, items, forest, pivot_rows)?);
+        }
+        // The index-level `from_parts` re-validates the partition of
+        // `0..n` and the whole-index checksum, so hostile or bit-flipped
+        // payloads decode as a miss.
+        StrataIndex::from_parts(n, chunk, strata, checksum)
+    }
+}
+
 impl Persist for SelectedParams {
     const KIND: Kind = Kind::SELECTION;
 
@@ -562,6 +639,54 @@ mod tests {
         w.u32(0);
         w.u64(0);
         assert!(decode_payload::<VpTree>(&w.into_inner()).is_none());
+    }
+
+    fn mixed_values() -> Vec<Vec<u8>> {
+        (0..40usize)
+            .map(|i| {
+                let len = [1usize, 2, 3, 4, 4, 7, 8, 12][i % 8];
+                (0..len)
+                    .map(|k| ((i * 31 + k * 17 + i * k) % 256) as u8)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strata_index_roundtrip_is_exact() {
+        let params = dissim::DissimParams::default();
+        let segs = mixed_values();
+        let vals: Vec<&[u8]> = segs.iter().map(|s| &s[..]).collect();
+        let index = StrataIndex::build(&vals, &params, 4);
+        assert!(index.strata().len() > 1, "want multiple strata");
+        let back = roundtrip(&index);
+        assert_eq!(back.checksum(), index.checksum());
+        assert!(back.matches(&vals));
+    }
+
+    #[test]
+    fn strata_index_corruption_is_a_miss() {
+        let params = dissim::DissimParams::default();
+        let segs = mixed_values();
+        let vals: Vec<&[u8]> = segs.iter().map(|s| &s[..]).collect();
+        let index = StrataIndex::build(&vals, &params, 4);
+        let good = encode_payload(&index);
+        assert!(decode_payload::<StrataIndex>(&good).is_some());
+        // Flip one bit in a pivot-row entry: the index checksum
+        // catches it.
+        let mut bad = good.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x20;
+        assert!(decode_payload::<StrataIndex>(&bad).is_none());
+        // Truncation.
+        assert!(decode_payload::<StrataIndex>(&good[..good.len() - 8]).is_none());
+        // Hostile stratum count claiming more data than present.
+        let mut w = Writer::new();
+        w.usize(4);
+        w.usize(4);
+        w.u64(0);
+        w.usize(usize::MAX / 64);
+        assert!(decode_payload::<StrataIndex>(&w.into_inner()).is_none());
     }
 
     #[test]

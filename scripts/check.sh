@@ -35,9 +35,12 @@ echo "mmap smoke test: heap-read warm run reproduced the mmap warm report byte f
 
 # Neighbor-backend equivalence smoke test: the same capture analyzed
 # through every neighbor backend (matrix row scans, tiled + sorted
-# index, vantage-point forest, vptree + SWAR kernel) must produce
-# byte-identical reports — the backend is a performance knob, never a
-# result knob.
+# index, vantage-point forest, vptree + SWAR kernel, length-stratified
+# forest) must produce byte-identical reports — the backend is a
+# performance knob, never a result knob. The NTP capture's NEMESYS
+# segments are mixed-length, so the stratified run must also report
+# nonzero prune counters: its speed comes from skipping work, and the
+# counters prove the skipping actually happened.
 cargo run --release -q -p cli -- analyze "$tmp/smoke.pcap" --neighbor-backend matrix \
     --report "$tmp/backend-matrix.md"
 cargo run --release -q -p cli -- analyze "$tmp/smoke.pcap" --neighbor-backend tiled --tile-rows 64 \
@@ -46,10 +49,14 @@ cargo run --release -q -p cli -- analyze "$tmp/smoke.pcap" --neighbor-backend vp
     --report "$tmp/backend-vptree.md"
 cargo run --release -q -p cli -- analyze "$tmp/smoke.pcap" --neighbor-backend vptree --swar \
     --report "$tmp/backend-swar.md"
+cargo run --release -q -p cli -- analyze "$tmp/smoke.pcap" --neighbor-backend stratified \
+    --report "$tmp/backend-stratified.md" 2>"$tmp/backend-stratified.err"
 cmp "$tmp/backend-matrix.md" "$tmp/backend-tiled.md"
 cmp "$tmp/backend-matrix.md" "$tmp/backend-vptree.md"
 cmp "$tmp/backend-matrix.md" "$tmp/backend-swar.md"
-echo "backend smoke test: matrix, tiled, vptree and vptree+swar reports are byte-identical"
+cmp "$tmp/backend-matrix.md" "$tmp/backend-stratified.md"
+grep -Eq 'neighbors: kernel_evals=[1-9][0-9]* pruned=[1-9][0-9]*' "$tmp/backend-stratified.err"
+echo "backend smoke test: matrix, tiled, vptree, vptree+swar and stratified reports are byte-identical"
 
 # Peak-RSS smoke test: the tiled out-of-core build at u=2000 must stay
 # under a fixed 16 MiB budget — below what materializing the full
@@ -78,7 +85,9 @@ echo "rss smoke test: tiled build at u=2000 stayed under $rss_budget bytes"
 cargo build --release -q -p bench --bin neighbor_ladder
 ./target/release/neighbor_ladder 2000 128 "$rss_budget" >"$tmp/ladder.out"
 grep -q 'u=2000 backend=vptree+batch' "$tmp/ladder.out"
-echo "rss smoke test: vptree scalar+batch search at u=2000 stayed under $rss_budget bytes"
+grep -q 'corpus=mixed u=2000 backend=stratified+batch' "$tmp/ladder.out"
+grep -q 'corpus=mixed u=2000 stratified_speedup_vs_linear' "$tmp/ladder.out"
+echo "rss smoke test: vptree and stratified search at u=2000 stayed under $rss_budget bytes"
 
 # Daemon smoke test: ftcd on an ephemeral port must serve a report
 # byte-identical to the offline CLI's, report sane stats, and exit 0
