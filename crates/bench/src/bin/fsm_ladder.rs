@@ -1,0 +1,94 @@
+//! State-machine inference ladder: wall clock and peak RSS of
+//! [`statemachine::infer`] over growing synthetic flow corpora.
+//!
+//! Each rung builds `u` total messages worth of flows drawn from a
+//! fixed ground-truth protocol (handshake, query/reply rounds with
+//! occasional errors, teardown) under a deterministic LCG, then runs
+//! the full prefix-tree + Alergia merge. This isolates the inference
+//! cost itself — flows go in as label sequences, bypassing the
+//! segmentation/clustering pipeline that produces them in production —
+//! so the rung scales to corpus sizes the ladder's CI budget allows.
+//! Every rung asserts the recovered machine is non-trivial and is
+//! upserted into `BENCH_trajectory.json` as `fsm_ladder{u=..}`.
+//!
+//! Run with:
+//! `cargo run --release -p bench --bin fsm_ladder -- [messages_csv]`
+//! (default: `2000,10000,50000`)
+
+use bench::{append_trajectory, peak_rss_bytes};
+use statemachine::{infer, FsmConfig};
+use std::time::Instant;
+
+fn csv_arg(args: &[String], i: usize, default: &[usize]) -> Vec<usize> {
+    match args.get(i) {
+        None => default.to_vec(),
+        Some(raw) => raw
+            .split(',')
+            .map(|s| s.trim().parse().expect("ladder values are numbers"))
+            .collect(),
+    }
+}
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// Flows from a five-symbol ground truth: hello, then 1–6 query/reply
+/// rounds (one in eight replies is an error), then bye. Total message
+/// count reaches at least `total`.
+fn synth_flows(total: usize, seed: u64) -> Vec<Vec<u32>> {
+    let mut rng = seed;
+    let mut flows = Vec::new();
+    let mut emitted = 0;
+    while emitted < total {
+        let mut flow = vec![0u32];
+        for _ in 0..=(lcg(&mut rng) % 6) {
+            flow.push(1);
+            flow.push(if lcg(&mut rng).is_multiple_of(8) {
+                3
+            } else {
+                2
+            });
+        }
+        flow.push(4);
+        emitted += flow.len();
+        flows.push(flow);
+    }
+    flows
+}
+
+fn run_rung(u: usize) -> std::time::Duration {
+    let flows = synth_flows(u, 0x5eed ^ u as u64);
+    let symbols: Vec<String> = ["hello", "query", "reply", "error", "bye"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let start = Instant::now();
+    let machine = infer(&flows, symbols, &FsmConfig::default());
+    let wall = start.elapsed();
+    println!(
+        "  u={u}: {:.3}s, {} flows -> {} states, {} transitions, peak rss {} MiB",
+        wall.as_secs_f64(),
+        machine.flows,
+        machine.n_states,
+        machine.n_transitions(),
+        peak_rss_bytes() >> 20,
+    );
+    assert!(machine.n_states >= 2, "ground truth has structure");
+    assert_eq!(machine.flows as usize, flows.len());
+    wall
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let messages = csv_arg(&args, 0, &[2_000, 10_000, 50_000]);
+    println!("fsm_ladder: total messages {messages:?}");
+    assert!(peak_rss_bytes() > 0, "VmHWM must be readable");
+    for &u in &messages {
+        let wall = run_rung(u);
+        append_trajectory(&format!("fsm_ladder{{u={u}}}"), wall);
+    }
+}

@@ -45,6 +45,7 @@ fn run_rung(batches: usize, batch_msgs: usize, sample: usize) -> std::time::Dura
                 max: sample,
                 seed: 1,
             },
+            fsm: false,
         },
         Some(store),
     );

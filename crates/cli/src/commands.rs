@@ -277,6 +277,73 @@ pub fn msgtype(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `fieldclust statemachine <pcap>`: infer the protocol state machine
+/// over message-type-labelled flows.
+pub fn statemachine(args: &[String]) -> Result<(), CliError> {
+    let opts = CommonOpts::parse(args)?;
+    let trace = load_trace(&opts)?;
+    let segmenter = opts.build_segmenter()?;
+    let store = open_store(&opts)?;
+    // Through the session: the machine — and every clustering artifact
+    // under it — hits the store with `--cache-dir`, so a warm run
+    // serves the persisted machine without re-clustering anything.
+    let mut session = AnalysisSession::new(&trace, build_clusterer(&opts));
+    if let Some(s) = &store {
+        session.set_store(s.clone());
+    }
+    session
+        .segment_with(segmenter.as_ref())
+        .map_err(|e| CliError::runtime(format!("segmentation failed: {e}")))?;
+    let machine = session
+        .state_machine(&fieldclust::StateMachineConfig::default())
+        .map_err(|e| CliError::runtime(format!("state machine inference failed: {e}")))?;
+
+    if let Some(path) = &opts.dot {
+        std::fs::write(path, machine.to_dot())
+            .map_err(|e| CliError::runtime(format!("writing {path}: {e}")))?;
+        println!("state machine written to {path}");
+        emit_cache_stats(store.as_ref());
+        return Ok(());
+    }
+    if opts.json {
+        // The machine's own canonical rendering — byte-identical to the
+        // daemon's `InferStateMachine` response for the same capture.
+        println!("{}", machine.to_json());
+        emit_cache_stats(store.as_ref());
+        return Ok(());
+    }
+
+    println!(
+        "{} messages in {} flows -> {} states, {} transitions ({} symbols)",
+        trace.len(),
+        machine.flows,
+        machine.n_states,
+        machine.n_transitions(),
+        machine.symbols.len()
+    );
+    for state in (0..machine.n_states).take(opts.limit) {
+        let term = machine.terminations[state as usize];
+        let edges: Vec<String> = machine
+            .emissions(state)
+            .iter()
+            .map(|&(symbol, to, count)| {
+                format!("{} -> s{to} ({count})", machine.symbol_name(symbol))
+            })
+            .collect();
+        println!(
+            "  s{state}: {:5} visits, {term:4} ends | {}",
+            machine.visits[state as usize],
+            if edges.is_empty() {
+                "(no outgoing)".to_string()
+            } else {
+                edges.join(", ")
+            }
+        );
+    }
+    emit_cache_stats(store.as_ref());
+    Ok(())
+}
+
 /// `fieldclust segment <pcap>`: print inferred boundaries per message.
 pub fn segment(args: &[String]) -> Result<(), CliError> {
     let opts = CommonOpts::parse(args)?;
@@ -642,6 +709,7 @@ pub fn follow(args: &[String]) -> Result<(), CliError> {
                 max: opts.sample,
                 seed: opts.seed,
             },
+            fsm: opts.fsm,
         },
         store.clone(),
     );

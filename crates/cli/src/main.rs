@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! fieldclust analyze  <capture.pcap> [--segmenter S] [--port P] [--max N] [--cache-dir D] [--json]
+//! fieldclust statemachine <capture.pcap> [--segmenter S] [--json | --dot F]
 //! fieldclust segment  <capture.pcap> [--segmenter S] [--max N] [--limit M]
 //! fieldclust fuzz     <capture.pcap> [--segmenter S] [--count N] [--seed X]
 //! fieldclust generate <protocol> <messages> <out.pcap> [--seed X]
@@ -27,6 +28,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "analyze" => commands::analyze(rest),
         "msgtype" => commands::msgtype(rest),
+        "statemachine" => commands::statemachine(rest),
         "stats" => commands::stats(rest),
         "compare" => commands::compare(rest),
         "segment" => commands::segment(rest),

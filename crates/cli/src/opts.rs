@@ -11,6 +11,8 @@ fieldclust — field data type clustering for unknown binary protocols
 USAGE:
   fieldclust analyze  <capture.pcap> [--segmenter S] [--port P] [--max N] [--cache-dir D] [--tile-rows R | --max-memory B] [--neighbor-backend B] [--json | --report out.md]
   fieldclust msgtype  <capture.pcap> [--segmenter S] [--port P] [--max N] [--cache-dir D]
+  fieldclust statemachine <capture.pcap> [--segmenter S] [--port P] [--max N] [--cache-dir D]
+                      [--json | --dot out.dot]
   fieldclust stats    <capture.pcap> [--port P] [--max N]
   fieldclust compare  <a.pcap> <b.pcap> [--segmenter S] [--cache-dir D]
   fieldclust segment  <capture.pcap> [--segmenter S] [--max N] [--limit M]
@@ -18,7 +20,7 @@ USAGE:
   fieldclust generate <protocol> <messages> <out.pcap> [--seed X]
   fieldclust follow   <capture.pcap | --listen A> [--batch-msgs N] [--batch-interval MS]
                       [--batches N] [--sample N] [--seed X] [--idle-exit MS]
-                      [--drift-log F] [--segmenter S] [--cache-dir D] [--report F]
+                      [--drift-log F] [--segmenter S] [--cache-dir D] [--report F] [--fsm]
   fieldclust protocols
   fieldclust submit   <capture.pcap> --addr A [--segmenter S] [--port P] [--max N] [--report out.md]
   fieldclust query    <job-id> --addr A [--report out.md]
@@ -35,6 +37,7 @@ OPTIONS:
   --seed X        generation / sampling seed (default 1)
   --json          machine-readable output
   --report F      write a full Markdown analysis report to F
+  --dot F         write the inferred state machine as Graphviz DOT to F
   --cache-dir D   persist stage artifacts under D and warm-start from them
   --tile-rows R   tiled dissimilarity build with R-row tiles (cached per tile)
   --max-memory B  byte budget for the dissimilarity build, with an optional
@@ -64,6 +67,8 @@ FOLLOW OPTIONS (streaming ingestion):
                   (0 = never)
   --drift-log F   append per-batch drift records to F as JSON lines
                   (default: stdout)
+  --fsm           infer a protocol state machine per batch and add its
+                  drift (states/transitions born/died) to each record
 
 EXIT CODES:
   0  success    1  runtime failure    2  bad usage";
@@ -91,6 +96,8 @@ pub struct CommonOpts {
     pub reassemble: bool,
     /// `--report`.
     pub report: Option<String>,
+    /// `--dot`: DOT sink for `statemachine`.
+    pub dot: Option<String>,
     /// `--cache-dir`.
     pub cache_dir: Option<String>,
     /// `--tile-rows`.
@@ -122,6 +129,8 @@ pub struct CommonOpts {
     pub idle_exit_ms: u64,
     /// `--drift-log`: JSONL drift-record sink for `follow`.
     pub drift_log: Option<String>,
+    /// `--fsm`: per-batch state-machine drift for `follow`.
+    pub fsm: bool,
 }
 
 /// Parses a byte count with an optional `K`/`M`/`G` suffix (powers of
@@ -152,6 +161,7 @@ impl CommonOpts {
             json: false,
             reassemble: false,
             report: None,
+            dot: None,
             cache_dir: None,
             tile_rows: None,
             max_memory: None,
@@ -166,6 +176,7 @@ impl CommonOpts {
             sample: 0,
             idle_exit_ms: 0,
             drift_log: None,
+            fsm: false,
         };
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -208,6 +219,7 @@ impl CommonOpts {
                 "--json" => opts.json = true,
                 "--reassemble" => opts.reassemble = true,
                 "--report" => opts.report = Some(value_for("--report")?),
+                "--dot" => opts.dot = Some(value_for("--dot")?),
                 "--cache-dir" => opts.cache_dir = Some(value_for("--cache-dir")?),
                 "--tile-rows" => {
                     opts.tile_rows = Some(
@@ -263,6 +275,7 @@ impl CommonOpts {
                         .map_err(|_| CliError::usage("--idle-exit needs milliseconds"))?
                 }
                 "--drift-log" => opts.drift_log = Some(value_for("--drift-log")?),
+                "--fsm" => opts.fsm = true,
                 flag if flag.starts_with("--") => {
                     return Err(CliError::usage(format!("unknown flag `{flag}`")))
                 }
@@ -340,6 +353,14 @@ mod tests {
     }
 
     #[test]
+    fn dot_flag_is_parsed() {
+        let o = parse(&["a.pcap", "--dot", "machine.dot"]).unwrap();
+        assert_eq!(o.dot.as_deref(), Some("machine.dot"));
+        assert!(parse(&["a.pcap"]).unwrap().dot.is_none());
+        assert_eq!(parse(&["--dot"]).unwrap_err().exit_code(), 2);
+    }
+
+    #[test]
     fn cache_dir_is_parsed() {
         let o = parse(&["a.pcap", "--cache-dir", "/tmp/cache"]).unwrap();
         assert_eq!(o.cache_dir.as_deref(), Some("/tmp/cache"));
@@ -413,6 +434,7 @@ mod tests {
             "drift.jsonl",
             "--listen",
             "127.0.0.1:0",
+            "--fsm",
         ])
         .unwrap();
         assert_eq!(o.batch_msgs, 40);
@@ -422,6 +444,7 @@ mod tests {
         assert_eq!(o.idle_exit_ms, 2000);
         assert_eq!(o.drift_log.as_deref(), Some("drift.jsonl"));
         assert_eq!(o.listen.as_deref(), Some("127.0.0.1:0"));
+        assert!(o.fsm);
     }
 
     #[test]
@@ -434,6 +457,7 @@ mod tests {
         assert_eq!(o.idle_exit_ms, 0);
         assert!(o.drift_log.is_none());
         assert!(o.listen.is_none());
+        assert!(!o.fsm);
         for bad in [
             parse(&["--batch-msgs", "0"]), // a zero boundary never flushes
             parse(&["--batch-msgs", "many"]),

@@ -98,6 +98,85 @@ fn query_needs_a_numeric_job_id() {
 }
 
 #[test]
+fn statemachine_runtime_failure_exits_1_and_bad_flag_exits_2() {
+    let out = run(&["statemachine", "/nonexistent/capture.pcap"]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("error: statemachine:"));
+
+    let out = run(&["statemachine", "x.pcap", "--dot"]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("--dot"), "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn statemachine_warm_run_rebuilds_nothing_and_dot_is_thread_invariant() {
+    let pcap = tmp("fsm.pcap");
+    let cache = tmp("fsm-cache");
+    let dot_a = tmp("fsm-a.dot");
+    let dot_b = tmp("fsm-b.dot");
+    let out = run(&[
+        "generate",
+        "ntp",
+        "40",
+        pcap.to_str().unwrap(),
+        "--seed",
+        "12",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+
+    let infer = |dot: &PathBuf, threads: &str| {
+        run(&[
+            "statemachine",
+            pcap.to_str().unwrap(),
+            "--cache-dir",
+            cache.to_str().unwrap(),
+            "--threads",
+            threads,
+            "--dot",
+            dot.to_str().unwrap(),
+        ])
+    };
+    let cold = infer(&dot_a, "1");
+    assert_eq!(cold.status.code(), Some(0), "stderr: {}", stderr(&cold));
+    assert!(stderr(&cold).contains("cache: hits=0"));
+
+    // Warm, different thread count: byte-identical DOT and nothing
+    // rebuilt — the persisted machine is served straight from the
+    // store.
+    let warm = infer(&dot_b, "4");
+    assert_eq!(warm.status.code(), Some(0), "stderr: {}", stderr(&warm));
+    let warm_err = stderr(&warm);
+    assert!(warm_err.contains("misses=0"), "stderr: {warm_err}");
+    assert!(warm_err.contains("writes=0"), "stderr: {warm_err}");
+    let a = std::fs::read(&dot_a).expect("read cold dot");
+    let b = std::fs::read(&dot_b).expect("read warm dot");
+    assert!(!a.is_empty() && a.starts_with(b"digraph"), "dot rendering");
+    assert_eq!(a, b, "DOT must be byte-identical across thread counts");
+
+    // The JSON rendering is deterministic too.
+    let json = |threads: &str| {
+        run(&[
+            "statemachine",
+            pcap.to_str().unwrap(),
+            "--cache-dir",
+            cache.to_str().unwrap(),
+            "--threads",
+            threads,
+            "--json",
+        ])
+    };
+    let j1 = json("1");
+    let j4 = json("4");
+    assert_eq!(j1.status.code(), Some(0), "stderr: {}", stderr(&j1));
+    assert_eq!(j1.stdout, j4.stdout, "JSON identical across thread counts");
+
+    std::fs::remove_file(&pcap).ok();
+    std::fs::remove_file(&dot_a).ok();
+    std::fs::remove_file(&dot_b).ok();
+    std::fs::remove_dir_all(&cache).ok();
+}
+
+#[test]
 fn cache_dir_warm_run_reports_hits_and_identical_output() {
     let pcap = tmp("cached.pcap");
     let cache = tmp("cache");

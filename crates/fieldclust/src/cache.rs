@@ -258,6 +258,38 @@ pub(crate) fn stage_key(kind: Kind, input: &Key, config: &FieldTypeClusterer) ->
     d.finish()
 }
 
+/// Key for the inferred protocol state machine. Digests everything the
+/// machine is a pure function of: the session input (payloads + cuts),
+/// the message-clustering parameters (dissim, gap penalty, autoconf)
+/// that produce the msgtype labels, the merge thresholds, and — because
+/// `input_key` covers payloads and cuts but *not* endpoints or
+/// timestamps — the flow partition itself (per-flow message index
+/// lists), so re-pairing the same payloads into different flows moves
+/// the key.
+pub(crate) fn fsm_key(
+    input: &Key,
+    trace: &Trace,
+    params: &DissimParams,
+    config: &crate::fsm::StateMachineConfig,
+) -> Key {
+    let mut d = KeyDigest::new(Kind::FSM);
+    d.key(input);
+    digest_dissim_params(&mut d, params);
+    d.f64(config.msgtype.gap_penalty);
+    digest_autoconf(&mut d, &config.msgtype.autoconf);
+    d.f64(config.fsm.alpha);
+    d.u64(config.fsm.min_evidence);
+    let flows = trace.flows();
+    d.usize(flows.len());
+    for flow in &flows {
+        d.usize(flow.len());
+        for &i in flow {
+            d.usize(i);
+        }
+    }
+    d.finish()
+}
+
 /// Key for the message-alignment dissimilarity artifact (gap penalty on
 /// top of the segment dissimilarities over the full store).
 pub(crate) fn message_dissim_key(input: &Key, params: &DissimParams, gap_penalty: f64) -> Key {

@@ -1,0 +1,74 @@
+//! Session-level protocol state-machine inference (the glue between
+//! message typing and the [`statemachine`] crate).
+//!
+//! The pipeline clusters messages into pseudo message types
+//! ([`crate::msgtype`]); this module turns those labels into the
+//! symbols of a protocol state machine: noise maps to symbol 0
+//! (`"noise"`), cluster `c` maps to symbol `c + 1` (`"type{c}"`), and
+//! [`AnalysisSession::state_machine`](crate::AnalysisSession::state_machine)
+//! feeds the per-flow symbol sequences through [`statemachine::infer`].
+//! The machine is persisted under a key that covers the flow partition
+//! as well as the clustering inputs (`cache::fsm_key`), so warm runs
+//! serve the artifact without re-clustering anything.
+
+use crate::msgtype::MessageTypeConfig;
+use cluster::dbscan::{Clustering, Label};
+use statemachine::FsmConfig;
+
+/// Configuration of [`AnalysisSession::state_machine`]
+/// (crate::AnalysisSession::state_machine): the message-type clustering
+/// that produces the symbols plus the merge thresholds.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StateMachineConfig {
+    /// How messages are clustered into the machine's symbols.
+    pub msgtype: MessageTypeConfig,
+    /// Alergia-style merge thresholds.
+    pub fsm: FsmConfig,
+}
+
+/// Maps a message-type clustering to per-message symbol ids plus the
+/// symbol table: noise is symbol 0 (`"noise"`), cluster `c` is symbol
+/// `c + 1` (`"type{c}"`).
+pub fn symbol_labels(clustering: &Clustering) -> (Vec<u32>, Vec<String>) {
+    let labels = clustering
+        .labels()
+        .iter()
+        .map(|l| match l {
+            Label::Noise => 0,
+            Label::Cluster(c) => c + 1,
+        })
+        .collect();
+    let mut symbols = Vec::with_capacity(clustering.n_clusters() as usize + 1);
+    symbols.push("noise".to_string());
+    symbols.extend((0..clustering.n_clusters()).map(|c| format!("type{c}")));
+    (labels, symbols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_table_line_up() {
+        let clustering = Clustering::from_labels(vec![
+            Label::Cluster(1),
+            Label::Noise,
+            Label::Cluster(0),
+            Label::Cluster(1),
+        ]);
+        let (labels, symbols) = symbol_labels(&clustering);
+        // `from_labels` renumbers clusters by first occurrence, so the
+        // cluster first seen becomes type0 / symbol 1.
+        assert_eq!(labels, vec![1, 0, 2, 1]);
+        assert_eq!(symbols, vec!["noise", "type0", "type1"]);
+        // Every label indexes the table.
+        assert!(labels.iter().all(|&l| (l as usize) < symbols.len()));
+    }
+
+    #[test]
+    fn default_config_is_consistent() {
+        let c = StateMachineConfig::default();
+        assert_eq!(c.msgtype, MessageTypeConfig::default());
+        assert_eq!(c.fsm, FsmConfig::default());
+    }
+}

@@ -10,9 +10,20 @@
 //! chain with Laplace smoothing. The model both *generates* plausible
 //! new field values (fuzzing) and *scores* observed values
 //! (misbehavior detection).
+//!
+//! The [`StateAwareFuzzer`] closes the loop with the inferred protocol
+//! state machine ([`statemachine`]): instead of sampling message types
+//! independently, it walks the machine's count-weighted transitions, so
+//! the symbol sequences it emits follow the protocol's actual session
+//! structure and reach deep states a stateless i.i.d. sampler
+//! practically never hits. Responses are scored with the existing
+//! [`MisbehaviorDetector`].
 
 use crate::pipeline::PseudoTypeClustering;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use statemachine::StateMachine;
+use std::collections::BTreeSet;
 
 /// A generative model of one pseudo data type's value domain.
 #[derive(Debug, Clone)]
@@ -219,6 +230,149 @@ impl MisbehaviorDetector {
     }
 }
 
+/// A state-aware fuzzing driver: seeded weighted random walks over an
+/// inferred [`StateMachine`], choosing each step in proportion to the
+/// observed transition counts (and stopping in proportion to the
+/// observed termination counts). The emitted symbol sequence names the
+/// message type to mutate at every step; the visited states are the
+/// fuzzer's coverage.
+#[derive(Debug)]
+pub struct StateAwareFuzzer<'m> {
+    machine: &'m StateMachine,
+    rng: StdRng,
+    max_depth: usize,
+}
+
+impl<'m> StateAwareFuzzer<'m> {
+    /// A fuzzer over `machine`, deterministic per `seed`.
+    pub fn new(machine: &'m StateMachine, seed: u64) -> Self {
+        Self {
+            machine,
+            rng: StdRng::seed_from_u64(seed),
+            max_depth: 64,
+        }
+    }
+
+    /// Caps the walk length (default 64 symbols) — a guard against
+    /// machines whose loops rarely terminate.
+    pub fn with_max_depth(mut self, max_depth: usize) -> Self {
+        self.max_depth = max_depth;
+        self
+    }
+
+    /// The machine being walked.
+    pub fn machine(&self) -> &StateMachine {
+        self.machine
+    }
+
+    /// One walk from the initial state: returns the emitted symbols and
+    /// the visited states (starting with state 0, one longer than the
+    /// symbols). At every state the walk stops with probability
+    /// `terminations / visits` and otherwise follows an outgoing
+    /// transition in proportion to its count.
+    pub fn walk(&mut self) -> (Vec<u32>, Vec<u32>) {
+        let mut at = 0u32;
+        let mut symbols = Vec::new();
+        let mut states = vec![at];
+        while symbols.len() < self.max_depth {
+            let term = self.machine.terminations[at as usize];
+            let out = self.machine.emissions(at);
+            let total = term + out.iter().map(|&(_, _, c)| c).sum::<u64>();
+            if total == 0 {
+                break;
+            }
+            let mut pick = self.rng.gen_range(0..total);
+            if pick < term {
+                break;
+            }
+            pick -= term;
+            let step = out
+                .into_iter()
+                .find(|&(_, _, count)| {
+                    if pick < count {
+                        true
+                    } else {
+                        pick -= count;
+                        false
+                    }
+                })
+                .expect("pick < total - term = sum of counts");
+            symbols.push(step.0);
+            states.push(step.1);
+            at = step.1;
+        }
+        (symbols, states)
+    }
+
+    /// Distinct states visited across `walks` walks — the coverage a
+    /// stateless sampler lacks on deep protocols.
+    pub fn coverage(&mut self, walks: usize) -> BTreeSet<u32> {
+        let mut seen = BTreeSet::from([0u32]);
+        for _ in 0..walks {
+            seen.extend(self.walk().1);
+        }
+        seen
+    }
+
+    /// Scores a peer response observed after a fuzzed message with the
+    /// per-data-type models: low scores flag responses whose fields fit
+    /// no known data type (misbehavior).
+    pub fn score_response(
+        &self,
+        detector: &MisbehaviorDetector,
+        payload: &[u8],
+        segments: &segment::MessageSegments,
+    ) -> f64 {
+        detector.score_message(payload, segments)
+    }
+}
+
+/// The stateless baseline the state-aware fuzzer is measured against:
+/// each symbol is drawn i.i.d. from the machine's aggregate symbol
+/// frequency (ignoring the current state) and the sequence is replayed
+/// on the machine. Returns the distinct states reached across `walks`
+/// sequences of length `depth`.
+pub fn stateless_coverage(
+    machine: &StateMachine,
+    seed: u64,
+    walks: usize,
+    depth: usize,
+) -> BTreeSet<u32> {
+    let mut hist: Vec<(u32, u64)> = Vec::new();
+    for t in &machine.transitions {
+        match hist.iter_mut().find(|(s, _)| *s == t.symbol) {
+            Some((_, c)) => *c += t.count,
+            None => hist.push((t.symbol, t.count)),
+        }
+    }
+    let mut seen = BTreeSet::from([0u32]);
+    let total: u64 = hist.iter().map(|&(_, c)| c).sum();
+    if total == 0 {
+        return seen;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..walks {
+        let seq: Vec<u32> = (0..depth)
+            .map(|_| {
+                let mut pick = rng.gen_range(0..total);
+                hist.iter()
+                    .find(|&&(_, c)| {
+                        if pick < c {
+                            true
+                        } else {
+                            pick -= c;
+                            false
+                        }
+                    })
+                    .expect("pick < total")
+                    .0
+            })
+            .collect();
+        seen.extend(machine.run_sequence(&seq));
+    }
+    seen
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -335,5 +489,140 @@ mod tests {
     #[should_panic(expected = "empty cluster")]
     fn learn_rejects_empty_input() {
         ValueModel::learn(&[]);
+    }
+
+    /// A deep handshake chain: hello → auth → open → use → close →
+    /// bye. Every observed flow runs the full chain, so the inferred
+    /// machine is a 7-state corridor whose last state is only reachable
+    /// via the exact 6-symbol prefix.
+    fn corridor_machine() -> StateMachine {
+        let seqs: Vec<Vec<u32>> = vec![vec![0, 1, 2, 3, 4, 5]; 30];
+        let names: Vec<String> = ["hello", "auth", "open", "use", "close", "bye"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        statemachine::infer(&seqs, names, &statemachine::FsmConfig::default())
+    }
+
+    #[test]
+    fn state_aware_walks_reach_states_the_stateless_sampler_misses() {
+        let machine = corridor_machine();
+        assert_eq!(machine.n_states, 7, "the corridor must not collapse");
+        let deep = machine.run_sequence(&[0, 1, 2, 3, 4, 5]);
+        let deepest = *deep.last().expect("non-empty");
+
+        // The stateless i.i.d. sampler has a (1/6)^6 chance per walk of
+        // producing the exact prefix; across 200 walks (seeded) it
+        // never reaches the deep end of the corridor.
+        let stateless = stateless_coverage(&machine, 42, 200, 8);
+        assert!(
+            !stateless.contains(&deepest),
+            "stateless sampler reached the deep state by luck; pick another seed"
+        );
+
+        // The state-aware walker follows the machine's transitions, so
+        // a handful of walks cover the whole corridor.
+        let mut fuzzer = StateAwareFuzzer::new(&machine, 42);
+        let covered = fuzzer.coverage(5);
+        assert!(
+            covered.contains(&deepest),
+            "walker must reach the deep state"
+        );
+        assert_eq!(covered.len(), machine.n_states as usize, "full coverage");
+        assert!(
+            covered.len() > stateless.len(),
+            "state-aware coverage {} must beat stateless {}",
+            covered.len(),
+            stateless.len()
+        );
+    }
+
+    #[test]
+    fn walks_are_deterministic_per_seed_and_respect_the_machine() {
+        let machine = corridor_machine();
+        let a: Vec<_> = {
+            let mut f = StateAwareFuzzer::new(&machine, 7);
+            (0..5).map(|_| f.walk()).collect()
+        };
+        let b: Vec<_> = {
+            let mut f = StateAwareFuzzer::new(&machine, 7);
+            (0..5).map(|_| f.walk()).collect()
+        };
+        assert_eq!(a, b);
+        for (symbols, states) in a {
+            assert_eq!(states.len(), symbols.len() + 1);
+            assert_eq!(states[0], 0);
+            // Every step is a real transition of the machine.
+            for (i, &s) in symbols.iter().enumerate() {
+                assert_eq!(machine.step(states[i], s), Some(states[i + 1]));
+            }
+        }
+    }
+
+    #[test]
+    fn max_depth_caps_looping_walks() {
+        // A machine that loops forever (no terminations observed at the
+        // loop state would mean infinite walks without the cap).
+        let seqs: Vec<Vec<u32>> = (1..5)
+            .flat_map(|reps| std::iter::repeat_n(vec![0u32; reps], 8))
+            .collect();
+        let machine = statemachine::infer(
+            &seqs,
+            vec!["ping".into()],
+            &statemachine::FsmConfig::default(),
+        );
+        let mut fuzzer = StateAwareFuzzer::new(&machine, 3).with_max_depth(4);
+        for _ in 0..20 {
+            let (symbols, _) = fuzzer.walk();
+            assert!(symbols.len() <= 4);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn training_set() -> impl Strategy<Value = Vec<(Vec<u8>, usize)>> {
+        prop::collection::vec((prop::collection::vec(any::<u8>(), 1..16), 1usize..5), 1..8)
+    }
+
+    proptest! {
+        /// Sampled values always take a length observed in training —
+        /// the model never invents lengths.
+        #[test]
+        fn sample_lengths_come_from_training(values in training_set(), seed in any::<u64>()) {
+            let refs: Vec<(&[u8], usize)> =
+                values.iter().map(|(v, w)| (&v[..], *w)).collect();
+            let model = ValueModel::learn(&refs);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            for _ in 0..8 {
+                let sample = model.sample(&mut rng);
+                prop_assert!(
+                    model.lengths().iter().any(|&(l, _)| l == sample.len()),
+                    "sampled length {} not in {:?}",
+                    sample.len(),
+                    model.lengths()
+                );
+            }
+        }
+
+        /// The likelihood of any non-empty byte slice is finite
+        /// (Laplace smoothing leaves no zero-probability event), and
+        /// only the empty slice scores negative infinity.
+        #[test]
+        fn log_likelihood_is_finite_on_arbitrary_input(
+            values in training_set(),
+            probe in prop::collection::vec(any::<u8>(), 1..64),
+        ) {
+            let refs: Vec<(&[u8], usize)> =
+                values.iter().map(|(v, w)| (&v[..], *w)).collect();
+            let model = ValueModel::learn(&refs);
+            let ll = model.log_likelihood(&probe);
+            prop_assert!(ll.is_finite(), "ll = {ll} for {probe:?}");
+            prop_assert!(ll < 0.0, "smoothed likelihoods are strictly below certainty");
+            prop_assert_eq!(model.log_likelihood(&[]), f64::NEG_INFINITY);
+        }
     }
 }

@@ -54,6 +54,7 @@ pub(crate) mod cache;
 pub mod cancel;
 pub mod compare;
 pub mod eval;
+pub mod fsm;
 pub mod fuzzgen;
 pub mod msgtype;
 pub mod pipeline;
@@ -66,6 +67,7 @@ pub mod truth;
 pub use cancel::CancelToken;
 pub use compare::{compare_clusterings, ClusteringDiff};
 pub use eval::{evaluate, label_segments, Evaluation};
+pub use fsm::{symbol_labels, StateMachineConfig};
 pub use msgtype::{identify_message_types, MessageTypeConfig, MessageTypes};
 pub use pipeline::{
     EpsilonSource, FieldTypeClusterer, NeighborBackend, PipelineError, PseudoTypeClustering,

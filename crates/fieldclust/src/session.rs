@@ -66,6 +66,7 @@ use std::sync::Arc;
 
 use crate::cache::{self, ClusterStageArtifact, RefinedArtifact, SelectionArtifact};
 use crate::cancel::CancelToken;
+use crate::fsm::{self, StateMachineConfig};
 use crate::msgtype::{self, MessageTypeConfig, MessageTypeError, MessageTypes};
 use crate::pipeline::{
     EpsilonSource, FieldTypeClusterer, NeighborBackend, PipelineError, PseudoTypeClustering,
@@ -603,6 +604,52 @@ impl<'t> AnalysisSession<'t> {
             epsilon,
             min_samples,
         })
+    }
+
+    /// Infers the protocol state machine over msgtype-labelled flows:
+    /// messages are clustered into message types
+    /// ([`message_types`](Self::message_types)), grouped into flows
+    /// ([`Trace::flows`]), and the per-flow label sequences are merged
+    /// into a deterministic automaton ([`statemachine::infer`]).
+    ///
+    /// With a store attached the machine is probed *before* the
+    /// message-type clustering runs (its key covers the clustering
+    /// inputs and the flow partition), so a warm run serves the
+    /// artifact without rebuilding anything — `misses=0 writes=0`.
+    ///
+    /// # Errors
+    ///
+    /// See [`segment_matrix`](Self::segment_matrix).
+    pub fn state_machine(
+        &mut self,
+        config: &StateMachineConfig,
+    ) -> Result<statemachine::StateMachine, MessageTypeError> {
+        self.check_cancelled_msg()?;
+        let n = self.trace.len();
+        // Gated on the same preconditions the compute path errors on,
+        // so a hit can never mask a MissingSegmentation/TooFewMessages
+        // error (mirrors message_matrix).
+        let fsm_key = (self.cache.is_some() && self.segmentation.is_some() && n >= 4).then(|| {
+            let input = self.session_input_key();
+            cache::fsm_key(&input, &self.trace, &self.config.dissim, config)
+        });
+        if let (Some(cache), Some(key)) = (self.cache.as_ref(), &fsm_key) {
+            if let Some(machine) = cache.get::<statemachine::StateMachine>(key) {
+                // Shape check on top of the content key: the machine
+                // must cover exactly this trace's flows.
+                if machine.flows == self.trace.flows().len() as u64 {
+                    return Ok(machine);
+                }
+            }
+        }
+        let types = self.message_types(&config.msgtype)?;
+        let (labels, symbols) = fsm::symbol_labels(&types.clustering);
+        let sequences = statemachine::flow_sequences(&self.trace, &labels);
+        let machine = statemachine::infer(&sequences, symbols, &config.fsm);
+        if let (Some(cache), Some(key)) = (self.cache.as_ref(), &fsm_key) {
+            cache.put(key, &machine);
+        }
+        Ok(machine)
     }
 
     // ----- stage internals -----
@@ -1446,6 +1493,38 @@ mod tests {
         let (_, mut s) = session_for(Protocol::Ntp, 40, 10);
         s.set_cancel_token(CancelToken::with_deadline(Instant::now()));
         assert!(matches!(s.finish(), Err(PipelineError::Cancelled)));
+    }
+
+    #[test]
+    fn state_machine_infers_and_memoizes_through_the_store() {
+        use crate::fsm::StateMachineConfig;
+        let dir =
+            std::env::temp_dir().join(format!("fieldclust-fsm-session-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = StateMachineConfig::default();
+
+        let (trace, mut cold) = session_for(Protocol::Ntp, 40, 12);
+        cold.set_store(ArtifactStore::open(&dir).expect("open store"));
+        let m1 = cold.state_machine(&config).unwrap();
+        assert!(m1.n_states >= 1);
+        assert_eq!(m1.flows as usize, trace.flows().len());
+
+        // A fresh session over the same trace serves the machine from
+        // the store without rebuilding anything: zero misses, zero
+        // writes — and bit-identical exports.
+        let gt = corpus::ground_truth(Protocol::Ntp, &trace);
+        let seg = truth_segmentation(&trace, &gt);
+        let mut warm = AnalysisSession::from_owned(trace, FieldTypeClusterer::default());
+        warm.set_segmentation(seg);
+        warm.set_store(ArtifactStore::open(&dir).expect("open store"));
+        let m2 = warm.state_machine(&config).unwrap();
+        assert_eq!(m1, m2);
+        assert_eq!(m1.to_dot(), m2.to_dot());
+        assert_eq!(m1.to_json(), m2.to_json());
+        let stats = warm.cache_stats().expect("store attached");
+        assert_eq!(stats.misses, 0, "warm run must rebuild nothing: {stats}");
+        assert_eq!(stats.writes, 0, "warm run must write nothing: {stats}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -239,6 +239,10 @@ pub struct DriftRecord {
     pub store_hits: u64,
     /// Cumulative artifact-store misses after this batch.
     pub store_misses: u64,
+    /// State-machine drift vs the previous batch, when FSM tracking is
+    /// enabled ([`StreamConfig::fsm`](crate::StreamConfig)); `None`
+    /// when the batch did not infer a machine.
+    pub fsm: Option<statemachine::FsmDelta>,
 }
 
 impl DriftRecord {
@@ -252,12 +256,26 @@ impl DriftRecord {
             }
             walls.push_str(&format!("\"{name}\":{us}"));
         }
+        let fsm = match &self.fsm {
+            None => String::new(),
+            Some(d) => format!(
+                ",\"fsm\":{{\"states\":{},\"transitions\":{},\
+                 \"states_born\":{},\"states_died\":{},\
+                 \"transitions_born\":{},\"transitions_died\":{}}}",
+                d.states,
+                d.transitions,
+                d.states_born,
+                d.states_died,
+                d.transitions_born,
+                d.transitions_died,
+            ),
+        };
         format!(
             "{{\"batch\":{},\"messages\":{},\"seen\":{},\"unique_segments\":{},\
              \"clusters\":{},\"noise\":{},\"ari\":{:.6},\"ami\":{:.6},\
              \"births\":{},\"deaths\":{},\"splits\":{},\"merges\":{},\
              \"stage_walls_us\":{{{walls}}},\"wall_us\":{},\
-             \"store_hits\":{},\"store_misses\":{}}}",
+             \"store_hits\":{},\"store_misses\":{}{fsm}}}",
             self.batch,
             self.messages,
             self.seen,
@@ -298,6 +316,20 @@ impl DriftRecord {
         w.u64(self.wall_us);
         w.u64(self.store_hits);
         w.u64(self.store_misses);
+        // Presence tag keeps old FSM-less records one byte longer, not
+        // a new wire format.
+        match &self.fsm {
+            None => w.u8(0),
+            Some(d) => {
+                w.u8(1);
+                w.u32(d.states);
+                w.u32(d.transitions);
+                w.u32(d.states_born);
+                w.u32(d.states_died);
+                w.u32(d.transitions_born);
+                w.u32(d.transitions_died);
+            }
+        }
     }
 
     /// Deserializes a record written by [`encode`](Self::encode).
@@ -321,6 +353,21 @@ impl DriftRecord {
             let name = String::from_utf8(r.bytes()?.to_vec()).ok()?;
             stage_walls_us.push((name, r.u64()?));
         }
+        let wall_us = r.u64()?;
+        let store_hits = r.u64()?;
+        let store_misses = r.u64()?;
+        let fsm = match r.u8()? {
+            0 => None,
+            1 => Some(statemachine::FsmDelta {
+                states: r.u32()?,
+                transitions: r.u32()?,
+                states_born: r.u32()?,
+                states_died: r.u32()?,
+                transitions_born: r.u32()?,
+                transitions_died: r.u32()?,
+            }),
+            _ => return None,
+        };
         Some(DriftRecord {
             batch,
             messages,
@@ -337,9 +384,10 @@ impl DriftRecord {
                 merges,
             },
             stage_walls_us,
-            wall_us: r.u64()?,
-            store_hits: r.u64()?,
-            store_misses: r.u64()?,
+            wall_us,
+            store_hits,
+            store_misses,
+            fsm,
         })
     }
 }
@@ -503,7 +551,7 @@ mod tests {
 
     #[test]
     fn record_json_and_codec_roundtrip() {
-        let rec = DriftRecord {
+        let mut rec = DriftRecord {
             batch: 2,
             messages: 120,
             seen: 400,
@@ -522,12 +570,14 @@ mod tests {
             wall_us: 2500,
             store_hits: 31,
             store_misses: 7,
+            fsm: None,
         };
         let line = rec.to_json_line();
         assert!(line.starts_with('{') && line.ends_with('}'));
         assert!(line.contains("\"batch\":2"));
         assert!(line.contains("\"ari\":0.875000"));
         assert!(line.contains("\"segment\":1200"));
+        assert!(!line.contains("\"fsm\""), "absent tracker stays absent");
         assert!(!line.contains('\n'));
 
         let mut w = Writer::new();
@@ -539,6 +589,31 @@ mod tests {
         assert!(r.is_at_end());
 
         // Truncation fails cleanly.
+        let mut short = Reader::new(&buf[..buf.len() - 1]);
+        assert!(DriftRecord::decode(&mut short).is_none());
+
+        // With the FSM delta present: JSON grows an `fsm` object and
+        // the codec roundtrips the six counters.
+        rec.fsm = Some(statemachine::FsmDelta {
+            states: 5,
+            transitions: 8,
+            states_born: 2,
+            states_died: 1,
+            transitions_born: 3,
+            transitions_died: 0,
+        });
+        let line = rec.to_json_line();
+        assert!(line.ends_with('}') && !line.contains('\n'));
+        assert!(line.contains("\"fsm\":{\"states\":5,\"transitions\":8"));
+        assert!(line.contains("\"states_born\":2,\"states_died\":1"));
+
+        let mut w = Writer::new();
+        rec.encode(&mut w);
+        let buf = w.into_inner();
+        let mut r = Reader::new(&buf);
+        let back = DriftRecord::decode(&mut r).unwrap();
+        assert_eq!(back, rec);
+        assert!(r.is_at_end());
         let mut short = Reader::new(&buf[..buf.len() - 1]);
         assert!(DriftRecord::decode(&mut short).is_none());
     }

@@ -31,4 +31,7 @@ pub use drift::{drift_between, ClusterSnapshot, DriftDelta, DriftRecord, DriftTr
 pub use prep::{build_segmenter, peak_rss_bytes, prepare_trace, preprocess, PrepareOpts};
 pub use sample::{SampleConfig, StratifiedReservoir};
 pub use source::{FollowFile, MessageSource, SocketFeed};
+// The FSM drift counters a `DriftRecord` optionally carries; re-exported
+// so consumers of the record need not name the statemachine crate.
+pub use statemachine::FsmDelta;
 pub use stream::{StreamConfig, StreamSession};

@@ -41,6 +41,10 @@ pub struct StreamConfig {
     pub clusterer: FieldTypeClusterer,
     /// Sampling policy; `max == 0` admits everything.
     pub sample: SampleConfig,
+    /// Infer a protocol state machine per batch and report its drift
+    /// (states/transitions born and died) alongside ARI/AMI. Costs one
+    /// msgtype + FSM inference per flush, so it is opt-in.
+    pub fsm: bool,
 }
 
 /// A continuous analysis over an unbounded message stream.
@@ -54,6 +58,7 @@ pub struct StreamSession {
     /// Messages pushed since the last flush.
     pending: usize,
     tracker: DriftTracker,
+    fsm_tracker: statemachine::FsmTracker,
     records: Vec<DriftRecord>,
     /// The last batch's warm session, kept for the final report.
     last: Option<AnalysisSession<'static>>,
@@ -72,6 +77,7 @@ impl StreamSession {
             reservoir,
             pending: 0,
             tracker: DriftTracker::new(),
+            fsm_tracker: statemachine::FsmTracker::new(),
             records: Vec::new(),
             last: None,
         }
@@ -193,6 +199,22 @@ impl StreamSession {
         let result = session.finish().map_err(err)?;
         timed("cluster", t);
 
+        // Optional state-machine drift: the machine rides on the
+        // msgtype labels of the batch just clustered, so it is inferred
+        // here (warm — segmentation and clustering are staged) and
+        // compared by access-string signature against the previous
+        // batch's machine.
+        let fsm = if self.config.fsm {
+            let t = Instant::now();
+            let machine = session
+                .state_machine(&fieldclust::StateMachineConfig::default())
+                .map_err(|e| format!("state machine inference failed: {e}"))?;
+            timed("fsm", t);
+            Some(self.fsm_tracker.observe(&machine))
+        } else {
+            None
+        };
+
         let delta = self.tracker.observe(ClusterSnapshot::from_result(&result));
         let stats = session.cache_stats();
         let record = DriftRecord {
@@ -207,6 +229,7 @@ impl StreamSession {
             wall_us: batch_start.elapsed().as_micros() as u64,
             store_hits: stats.as_ref().map_or(0, |s| s.hits),
             store_misses: stats.as_ref().map_or(0, |s| s.misses),
+            fsm,
         };
         self.last = Some(session);
         self.records.push(record.clone());
@@ -245,6 +268,7 @@ mod tests {
             segmenter: "nemesys".to_string(),
             clusterer: FieldTypeClusterer::default(),
             sample,
+            fsm: false,
         }
     }
 
@@ -268,6 +292,7 @@ mod tests {
         assert!(r0.delta.births >= 1);
         assert!(r0.stage_walls_us.iter().any(|(n, _)| n == "segment"));
         assert!(r0.stage_walls_us.iter().any(|(n, _)| n == "cluster"));
+        assert!(r0.fsm.is_none(), "FSM drift is opt-in");
 
         // No new messages: flush declines to re-analyze.
         assert!(s.flush().unwrap().is_none());
@@ -279,6 +304,28 @@ mod tests {
         assert_eq!(r1.seen, 60);
         assert_eq!(s.batches(), 2);
         assert!(s.final_report().unwrap().contains("Field type analysis"));
+    }
+
+    #[test]
+    fn fsm_opt_in_reports_state_machine_drift() {
+        let trace = corpus::build_trace(Protocol::Ntp, 60, 5);
+        let msgs = trace.messages().to_vec();
+        let mut cfg = config(SampleConfig::default());
+        cfg.fsm = true;
+        let mut s = StreamSession::new(cfg, None);
+        s.push(msgs[..30].to_vec());
+        let r0 = s.flush().unwrap().expect("first batch");
+        let d0 = r0.fsm.expect("fsm delta present when opted in");
+        assert!(d0.states >= 1);
+        assert_eq!(d0.states_born, d0.states, "first machine: all born");
+        assert_eq!(d0.states_died, 0);
+        assert!(r0.stage_walls_us.iter().any(|(n, _)| n == "fsm"));
+        assert!(r0.to_json_line().contains("\"fsm\":{"));
+
+        s.push(msgs[30..].to_vec());
+        let r1 = s.flush().unwrap().expect("second batch");
+        let d1 = r1.fsm.expect("fsm delta on every opted-in batch");
+        assert!(d1.states >= 1);
     }
 
     #[test]

@@ -31,6 +31,7 @@ fn stream_config(backend: NeighborBackend, sample: SampleConfig) -> StreamConfig
         segmenter: "nemesys".to_string(),
         clusterer: clusterer(backend),
         sample,
+        fsm: false,
     }
 }
 
@@ -108,6 +109,7 @@ fn warm_batches_reuse_the_store_instead_of_rebuilding() {
                 segmenter: "nemesys".to_string(),
                 clusterer,
                 sample: SampleConfig::default(),
+                fsm: false,
             },
             Some(store),
         );

@@ -30,6 +30,24 @@ pub struct StreamProgress {
     pub job_id: u64,
 }
 
+/// An inferred state machine as served by the daemon, with the
+/// daemon's canonical renderings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateMachineReport {
+    /// The queried trace.
+    pub trace_id: u64,
+    /// States of the machine.
+    pub states: u64,
+    /// Transitions of the machine.
+    pub transitions: u64,
+    /// Flows the machine was inferred from.
+    pub flows: u64,
+    /// Deterministic Graphviz DOT rendering (UTF-8).
+    pub dot: Vec<u8>,
+    /// Deterministic JSON rendering (UTF-8).
+    pub json: Vec<u8>,
+}
+
 /// A client-side failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ClientError {
@@ -308,6 +326,47 @@ impl Client {
     pub fn drift_report(&mut self, trace_id: u64) -> Result<Vec<ingest::DriftRecord>, ClientError> {
         match self.expect(&Request::DriftReport { trace_id }, "DriftHistory")? {
             Response::DriftHistory { records, .. } => Ok(records),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Infers (or fetches the cached) protocol state machine of a
+    /// submitted trace. `deadline_ms` bounds a cold inference; 0 means
+    /// none.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on daemon error (including a tripped deadline)
+    /// or wire failure.
+    pub fn infer_statemachine(
+        &mut self,
+        trace_id: u64,
+        segmenter: &str,
+        deadline_ms: u64,
+    ) -> Result<StateMachineReport, ClientError> {
+        match self.expect(
+            &Request::InferStateMachine {
+                trace_id,
+                segmenter: segmenter.to_string(),
+                deadline_ms,
+            },
+            "StateMachine",
+        )? {
+            Response::StateMachine {
+                trace_id,
+                states,
+                transitions,
+                flows,
+                dot,
+                json,
+            } => Ok(StateMachineReport {
+                trace_id,
+                states,
+                transitions,
+                flows,
+                dot,
+                json,
+            }),
             other => Err(ClientError::Unexpected(format!("{other:?}"))),
         }
     }

@@ -47,7 +47,10 @@ use crate::proto::{JobState, Request, Response, ServerStats};
 use crate::wire::{read_frame, write_frame, WireError};
 use fieldclust::report::standard_report;
 use fieldclust::session::AnalysisSession;
-use fieldclust::{ArtifactStore, CancelToken, FieldTypeClusterer, NeighborBackend, PipelineError};
+use fieldclust::{
+    ArtifactStore, CancelToken, FieldTypeClusterer, NeighborBackend, PipelineError,
+    StateMachineConfig,
+};
 use std::collections::HashMap;
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -361,6 +364,11 @@ fn serve_request(request: Request, shared: &Arc<Shared>) -> Response {
             segmenter,
         } => stream_trace(shared, stream_id, label, &chunk, commit, &segmenter),
         Request::DriftReport { trace_id } => drift_report(shared, trace_id),
+        Request::InferStateMachine {
+            trace_id,
+            segmenter,
+            deadline_ms,
+        } => infer_statemachine(shared, trace_id, &segmenter, deadline_ms),
     }
 }
 
@@ -600,6 +608,91 @@ fn drift_report(shared: &Arc<Shared>, trace_id: u64) -> Response {
     Response::DriftHistory {
         trace_id,
         records: entry.drift_history.clone(),
+    }
+}
+
+/// Infers (or serves) a trace's protocol state machine.
+///
+/// Unlike `Analyze` this answers in-line on the handler thread: the
+/// response *is* the artifact, and the expensive path — message-type
+/// clustering — runs at most once per trace because the session parks
+/// warm between requests and the machine persists in the shared store
+/// under a key covering the clustering inputs and the flow partition.
+/// A warm repeat therefore rebuilds nothing; the first inference on a
+/// large cold trace is bounded by `deadline_ms` (0 = none), which trips
+/// the session's cancel token between stages.
+fn infer_statemachine(
+    shared: &Arc<Shared>,
+    trace_id: u64,
+    segmenter: &str,
+    deadline_ms: u64,
+) -> Response {
+    let seg = match build_segmenter(segmenter) {
+        Ok(s) => s,
+        Err(message) => return Response::Error { message },
+    };
+    // Same checkout pattern as `run_job`: take the warm session (when
+    // its generation matches) or warm-start a fresh one on the store.
+    let session_key = (trace_id, segmenter.to_string());
+    let (mut session, generation) = {
+        let mut core = shared.core.lock().expect("core lock");
+        let checked_out = core.sessions.remove(&session_key);
+        let Some(entry) = core.traces.get(&trace_id) else {
+            return Response::Error {
+                message: format!("unknown trace {trace_id}"),
+            };
+        };
+        let generation = entry.generation;
+        let session = match checked_out {
+            Some(warm) if warm.generation == generation => warm.session,
+            _ => {
+                let mut config = FieldTypeClusterer::default();
+                if shared.config.threads > 0 {
+                    config.threads = shared.config.threads;
+                }
+                config.neighbor_backend = shared.config.neighbor_backend;
+                let mut s = AnalysisSession::from_owned(entry.prepared.clone(), config);
+                if let Some(store) = &shared.store {
+                    s.set_store(store.clone());
+                }
+                s
+            }
+        };
+        (session, generation)
+    };
+    let token = if deadline_ms > 0 {
+        CancelToken::with_deadline(Instant::now() + Duration::from_millis(deadline_ms))
+    } else {
+        CancelToken::new()
+    };
+    session.set_cancel_token(token);
+    let result = if session.segmentation().is_none() {
+        session
+            .segment_with(seg.as_ref())
+            .map(|_| ())
+            .map_err(|e| format!("segmentation failed: {e}"))
+    } else {
+        Ok(())
+    }
+    .and_then(|()| {
+        session
+            .state_machine(&StateMachineConfig::default())
+            .map_err(|e| e.to_string())
+    });
+    // Check the session back in (unless the trace grew while we ran,
+    // same staleness rule as `run_job`); even a failed inference keeps
+    // its completed stage artifacts warm for the retry.
+    check_in_session(shared, session_key, session, generation);
+    match result {
+        Ok(machine) => Response::StateMachine {
+            trace_id,
+            states: u64::from(machine.n_states),
+            transitions: machine.n_transitions() as u64,
+            flows: machine.flows,
+            dot: machine.to_dot().into_bytes(),
+            json: machine.to_json().into_bytes(),
+        },
+        Err(message) => Response::Error { message },
     }
 }
 
@@ -858,6 +951,10 @@ fn run_job(
                     wall_us: started.elapsed().as_micros() as u64,
                     store_hits: store_stats.as_ref().map_or(0, |s| s.hits),
                     store_misses: store_stats.as_ref().map_or(0, |s| s.misses),
+                    // FSM drift is the streaming frontend's concern
+                    // (`StreamSession` with `fsm: true`); daemon drift
+                    // history tracks the clustering partition only.
+                    fsm: None,
                 });
             }
         }
@@ -867,42 +964,54 @@ fn run_job(
     // while we ran — a re-parked pre-append session would silently
     // serve reports missing the appended messages, so it is dropped
     // (its artifacts survive in the shared store).
-    {
-        let mut core = shared.core.lock().expect("core lock");
-        let current = core.traces.get(&trace_id).map(|e| e.generation);
-        if current == Some(generation) {
-            core.use_counter += 1;
-            let stamp = core.use_counter;
-            core.sessions.insert(
-                session_key,
-                WarmSession {
-                    session,
-                    generation,
-                    last_used: stamp,
-                },
-            );
-            if core.sessions.len() > shared.config.sessions.max(1) {
-                if let Some(oldest) = core
-                    .sessions
-                    .iter()
-                    .min_by_key(|(_, w)| w.last_used)
-                    .map(|(k, _)| k.clone())
-                {
-                    core.sessions.remove(&oldest);
-                    shared
-                        .counters
-                        .session_evictions
-                        .fetch_add(1, Ordering::Relaxed);
-                }
-            }
-        }
-    }
+    check_in_session(shared, session_key, session, generation);
     finish_job(shared, job_id, phase);
     shared
         .counters
         .job_wall_ns
         .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
     shared.counters.job_count.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Parks a session for reuse, unless the trace's generation moved while
+/// it was checked out (a stale session must never serve a post-append
+/// request), then evicts the least recently used session beyond the
+/// configured capacity.
+fn check_in_session(
+    shared: &Arc<Shared>,
+    session_key: (u64, String),
+    session: AnalysisSession<'static>,
+    generation: u64,
+) {
+    let mut core = shared.core.lock().expect("core lock");
+    let current = core.traces.get(&session_key.0).map(|e| e.generation);
+    if current != Some(generation) {
+        return;
+    }
+    core.use_counter += 1;
+    let stamp = core.use_counter;
+    core.sessions.insert(
+        session_key,
+        WarmSession {
+            session,
+            generation,
+            last_used: stamp,
+        },
+    );
+    if core.sessions.len() > shared.config.sessions.max(1) {
+        if let Some(oldest) = core
+            .sessions
+            .iter()
+            .min_by_key(|(_, w)| w.last_used)
+            .map(|(k, _)| k.clone())
+        {
+            core.sessions.remove(&oldest);
+            shared
+                .counters
+                .session_evictions
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
 }
 
 /// Runs each pipeline stage under its own wall-time bucket, then the

@@ -32,7 +32,7 @@ pub mod prepare;
 pub mod proto;
 pub mod wire;
 
-pub use client::{Client, ClientError, StreamProgress, STREAM_CHUNK_BYTES};
+pub use client::{Client, ClientError, StateMachineReport, StreamProgress, STREAM_CHUNK_BYTES};
 pub use daemon::{start, ServerConfig, ServerHandle};
 pub use prepare::{build_segmenter, peak_rss_bytes, prepare_trace, preprocess, PrepareOpts};
 pub use proto::{JobState, Request, Response, ServerStats};

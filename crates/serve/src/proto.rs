@@ -93,6 +93,20 @@ pub enum Request {
         /// Trace whose drift history to return.
         trace_id: u64,
     },
+    /// Infer the protocol state machine of a submitted trace: cluster
+    /// its messages into pseudo message types, group them into flows,
+    /// and merge the per-flow label sequences into a deterministic
+    /// automaton. Served from the warm session / artifact store when
+    /// the machine was inferred before — warm runs rebuild nothing.
+    InferStateMachine {
+        /// Trace whose state machine to infer.
+        trace_id: u64,
+        /// Segmenter spec (`nemesys` | `netzob` | `csp` | `fixed`).
+        segmenter: String,
+        /// Cooperative deadline in milliseconds from acceptance;
+        /// `0` means none.
+        deadline_ms: u64,
+    },
 }
 
 /// Where a job currently is.
@@ -179,6 +193,23 @@ pub enum Response {
         trace_id: u64,
         /// One record per committed batch.
         records: Vec<ingest::DriftRecord>,
+    },
+    /// The inferred protocol state machine of a trace, carrying the
+    /// daemon's canonical renderings so every frontend emits
+    /// byte-identical exports.
+    StateMachine {
+        /// The queried trace.
+        trace_id: u64,
+        /// States of the machine.
+        states: u64,
+        /// Transitions of the machine.
+        transitions: u64,
+        /// Flows the machine was inferred from.
+        flows: u64,
+        /// Deterministic Graphviz DOT rendering (UTF-8).
+        dot: Vec<u8>,
+        /// Deterministic JSON rendering (UTF-8).
+        json: Vec<u8>,
     },
 }
 
@@ -326,6 +357,7 @@ impl Request {
             Request::Shutdown => 0x07,
             Request::StreamTrace { .. } => 0x08,
             Request::DriftReport { .. } => 0x09,
+            Request::InferStateMachine { .. } => 0x0a,
         }
     }
 
@@ -377,6 +409,15 @@ impl Request {
                 string(&mut w, segmenter);
             }
             Request::DriftReport { trace_id } => w.u64(*trace_id),
+            Request::InferStateMachine {
+                trace_id,
+                segmenter,
+                deadline_ms,
+            } => {
+                w.u64(*trace_id);
+                string(&mut w, segmenter);
+                w.u64(*deadline_ms);
+            }
         }
         w.into_inner()
     }
@@ -432,6 +473,11 @@ impl Request {
             },
             0x09 => Request::DriftReport {
                 trace_id: r.u64().ok_or(malformed.clone())?,
+            },
+            0x0a => Request::InferStateMachine {
+                trace_id: r.u64().ok_or(malformed.clone())?,
+                segmenter: read_string(&mut r).ok_or(malformed.clone())?,
+                deadline_ms: r.u64().ok_or(malformed.clone())?,
             },
             other => return Err(WireError::UnknownKind { kind: other }),
         };
@@ -491,6 +537,7 @@ impl Response {
             Response::Error { .. } => 0x87,
             Response::StreamAccepted { .. } => 0x88,
             Response::DriftHistory { .. } => 0x89,
+            Response::StateMachine { .. } => 0x8a,
         }
     }
 
@@ -561,6 +608,21 @@ impl Response {
                 for rec in records {
                     rec.encode(&mut w);
                 }
+            }
+            Response::StateMachine {
+                trace_id,
+                states,
+                transitions,
+                flows,
+                dot,
+                json,
+            } => {
+                w.u64(*trace_id);
+                w.u64(*states);
+                w.u64(*transitions);
+                w.u64(*flows);
+                w.bytes(dot);
+                w.bytes(json);
             }
         }
         w.into_inner()
@@ -664,6 +726,14 @@ impl Response {
                 }
                 Response::DriftHistory { trace_id, records }
             }
+            0x8a => Response::StateMachine {
+                trace_id: r.u64().ok_or(malformed.clone())?,
+                states: r.u64().ok_or(malformed.clone())?,
+                transitions: r.u64().ok_or(malformed.clone())?,
+                flows: r.u64().ok_or(malformed.clone())?,
+                dot: r.bytes().ok_or(malformed.clone())?.to_vec(),
+                json: r.bytes().ok_or(malformed.clone())?.to_vec(),
+            },
             other => return Err(WireError::UnknownKind { kind: other }),
         };
         if !r.is_at_end() {
@@ -717,6 +787,11 @@ mod tests {
             segmenter: "nemesys".into(),
         });
         roundtrip_request(Request::DriftReport { trace_id: 3 });
+        roundtrip_request(Request::InferStateMachine {
+            trace_id: 3,
+            segmenter: "nemesys".into(),
+            deadline_ms: 1500,
+        });
     }
 
     #[test]
@@ -780,6 +855,14 @@ mod tests {
                 wall_us: 99,
                 store_hits: 5,
                 store_misses: 1,
+                fsm: Some(ingest::FsmDelta {
+                    states: 4,
+                    transitions: 6,
+                    states_born: 1,
+                    states_died: 0,
+                    transitions_born: 2,
+                    transitions_died: 1,
+                }),
             }],
         });
         roundtrip_response(Response::StatsReport(ServerStats {
@@ -791,6 +874,14 @@ mod tests {
             strata_skipped: 7,
             ..ServerStats::default()
         }));
+        roundtrip_response(Response::StateMachine {
+            trace_id: 3,
+            states: 7,
+            transitions: 9,
+            flows: 30,
+            dot: b"digraph fsm {}".to_vec(),
+            json: b"{\"states\":7}".to_vec(),
+        });
     }
 
     #[test]

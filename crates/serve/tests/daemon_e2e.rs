@@ -4,7 +4,7 @@
 //! and a draining shutdown.
 
 use fieldclust::report::standard_report;
-use fieldclust::{AnalysisSession, FieldTypeClusterer};
+use fieldclust::{AnalysisSession, FieldTypeClusterer, StateMachineConfig};
 use protocols::{corpus, Protocol};
 use serve::daemon::{start, ServerConfig};
 use serve::{build_segmenter, prepare_trace, Client, ClientError, JobState, PrepareOpts};
@@ -605,6 +605,116 @@ fn session_capacity_evicts_warm_sessions_but_keeps_results_exact() {
         "never more warm sessions than capacity"
     );
 
+    client.shutdown().expect("shutdown");
+    handle.wait();
+}
+
+/// The offline reference for `InferStateMachine`: the exact shared code
+/// path (prepare → segment → message types → flow sequences → merge),
+/// rendered with the machine's own canonical exports.
+fn offline_statemachine(pcap: &[u8], segmenter: &str) -> (String, String) {
+    let (trace, _) = prepare_trace(pcap, &PrepareOpts::default()).expect("prepare offline");
+    let mut session = AnalysisSession::from_owned(trace, FieldTypeClusterer::default());
+    let seg = build_segmenter(segmenter).expect("segmenter");
+    session
+        .segment_with(seg.as_ref())
+        .expect("offline segmentation");
+    let machine = session
+        .state_machine(&StateMachineConfig::default())
+        .expect("offline machine");
+    (machine.to_dot(), machine.to_json())
+}
+
+#[test]
+fn state_machine_requests_match_offline_and_warm_runs_rebuild_nothing() {
+    let cache = temp_dir("fsm");
+    let handle = start(ServerConfig {
+        cache_dir: Some(cache.to_string_lossy().into_owned()),
+        ..ServerConfig::default()
+    })
+    .expect("start daemon");
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+    let bytes = capture_bytes(Protocol::Ntp, 16, 91);
+    let (expected_dot, expected_json) = offline_statemachine(&bytes, "nemesys");
+    let (trace_id, _) = client
+        .submit_trace("ntp", bytes, None, None, false)
+        .expect("submit");
+
+    // Cold: the daemon clusters, infers, persists — and its renderings
+    // are byte-identical to the offline pipeline's.
+    let cold = client
+        .infer_statemachine(trace_id, "nemesys", 0)
+        .expect("cold inference");
+    assert_eq!(cold.trace_id, trace_id);
+    assert!(cold.states >= 1, "a machine always has its initial state");
+    assert!(cold.flows >= 1, "ntp corpus has at least one flow");
+    assert_eq!(String::from_utf8(cold.dot.clone()).unwrap(), expected_dot);
+    assert_eq!(String::from_utf8(cold.json.clone()).unwrap(), expected_json);
+    let stats_after_cold = client.stats().expect("stats after cold");
+    assert!(
+        stats_after_cold.cache_writes > 0,
+        "cold inference persists artifacts"
+    );
+
+    // Warm: the parked session + store serve the machine without a
+    // single store miss or write — nothing is rebuilt.
+    let warm = client
+        .infer_statemachine(trace_id, "nemesys", 0)
+        .expect("warm inference");
+    assert_eq!(warm.dot, cold.dot, "warm run is byte-identical");
+    assert_eq!(warm.json, cold.json);
+    let stats_after_warm = client.stats().expect("stats after warm");
+    assert_eq!(
+        stats_after_warm.cache_misses, stats_after_cold.cache_misses,
+        "warm inference misses nothing"
+    );
+    assert_eq!(
+        stats_after_warm.cache_writes, stats_after_cold.cache_writes,
+        "warm inference writes nothing"
+    );
+
+    // Unknown traces and unknown segmenters decline with structured
+    // errors, not hangs or panics.
+    assert!(matches!(
+        client.infer_statemachine(9999, "nemesys", 0),
+        Err(ClientError::Daemon(ref m)) if m.contains("unknown trace")
+    ));
+    assert!(matches!(
+        client.infer_statemachine(trace_id, "no-such-segmenter", 0),
+        Err(ClientError::Daemon(ref m)) if m.contains("unknown segmenter")
+    ));
+
+    client.shutdown().expect("shutdown");
+    handle.wait();
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+#[test]
+fn state_machine_deadline_cancels_between_stages_and_retry_resumes() {
+    let handle = start(ServerConfig::default()).expect("start daemon");
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+    // Big enough that segmentation alone outlives a 1 ms deadline, so
+    // the cancel check between the segment and clustering stages
+    // observes the tripped token deterministically.
+    let bytes = capture_bytes(Protocol::Ntp, 150, 92);
+    let (trace_id, _) = client
+        .submit_trace("ntp", bytes, None, None, false)
+        .expect("submit");
+    match client.infer_statemachine(trace_id, "nemesys", 1) {
+        Err(ClientError::Daemon(m)) => {
+            assert!(m.contains("cancelled"), "expected a cancel, got: {m}")
+        }
+        other => panic!("1 ms deadline must cancel the cold inference, got {other:?}"),
+    }
+    // The cancelled session was checked back in with its completed
+    // stages warm; an undeadlined retry resumes and succeeds.
+    let retry = client
+        .infer_statemachine(trace_id, "nemesys", 0)
+        .expect("retry without deadline");
+    assert!(retry.states >= 1);
+    assert!(!retry.dot.is_empty() && !retry.json.is_empty());
     client.shutdown().expect("shutdown");
     handle.wait();
 }

@@ -84,6 +84,11 @@ fn every_byte_flip_and_truncation_of_request_frames_rejected() {
             deadline_ms: 2500,
         },
         Request::Stats,
+        Request::InferStateMachine {
+            trace_id: 3,
+            segmenter: "nemesys".into(),
+            deadline_ms: 750,
+        },
     ];
     for request in requests {
         let frame = encode_frame(request.kind(), &request.encode());
@@ -115,6 +120,14 @@ fn every_byte_flip_and_truncation_of_response_frames_rejected() {
             stage_wall_ns: vec![("matrix".into(), 7_000_000), ("cluster".into(), 9)],
             ..ServerStats::default()
         }),
+        Response::StateMachine {
+            trace_id: 3,
+            states: 7,
+            transitions: 9,
+            flows: 30,
+            dot: b"digraph fsm {\n  0 -> 1 [label=\"type0 (30)\"];\n}\n".to_vec(),
+            json: b"{\"states\":7,\"flows\":30}".to_vec(),
+        },
     ];
     for response in responses {
         let frame = encode_frame(response.kind(), &response.encode());

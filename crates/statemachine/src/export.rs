@@ -1,0 +1,140 @@
+//! Deterministic DOT and JSON renderings of a [`StateMachine`].
+//!
+//! Both exports are pure functions of the machine — integer counts
+//! only, no floats, no timestamps — so the CLI and the daemon render
+//! byte-identical artifacts for the same machine, which check.sh and
+//! the e2e suite compare with `cmp`.
+
+use crate::machine::StateMachine;
+
+impl StateMachine {
+    /// Renders the machine as a Graphviz digraph. States are labelled
+    /// with their visit/termination counts, edges with the symbol name
+    /// and traversal count; everything is emitted in canonical order.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph fsm {\n  rankdir=LR;\n  node [shape=circle];\n");
+        for state in 0..self.n_states {
+            let shape = if self.terminations[state as usize] > 0 {
+                " shape=doublecircle"
+            } else {
+                ""
+            };
+            out.push_str(&format!(
+                "  s{state} [label=\"{state}\\nn={} t={}\"{shape}];\n",
+                self.visits[state as usize], self.terminations[state as usize]
+            ));
+        }
+        for t in &self.transitions {
+            out.push_str(&format!(
+                "  s{} -> s{} [label=\"{} ({})\"];\n",
+                t.from,
+                t.to,
+                self.symbol_name(t.symbol),
+                t.count
+            ));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Renders the machine as one deterministic JSON object
+    /// (hand-rolled: integer counts and escaped names only, so the
+    /// bytes are reproducible across frontends).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"states\":{},\"initial\":0,\"flows\":{},\"symbols\":[",
+            self.n_states, self.flows
+        ));
+        for (i, s) in self.symbols.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\"", escape_json(s)));
+        }
+        out.push_str("],\"visits\":[");
+        push_u64s(&mut out, &self.visits);
+        out.push_str("],\"terminations\":[");
+        push_u64s(&mut out, &self.terminations);
+        out.push_str("],\"transitions\":[");
+        for (i, t) in self.transitions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"from\":{},\"symbol\":\"{}\",\"to\":{},\"count\":{}}}",
+                t.from,
+                escape_json(self.symbol_name(t.symbol)),
+                t.to,
+                t.count
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// The name of `symbol`, or a stable fallback for out-of-table ids.
+    pub fn symbol_name(&self, symbol: u32) -> &str {
+        self.symbols
+            .get(symbol as usize)
+            .map_or("?", String::as_str)
+    }
+}
+
+fn push_u64s(out: &mut String, values: &[u64]) {
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&v.to_string());
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{infer, FsmConfig};
+
+    fn sample() -> crate::StateMachine {
+        let seqs = vec![vec![1u32, 2], vec![1, 2], vec![1, 3]];
+        infer(
+            &seqs,
+            vec!["noise".into(), "req".into(), "ok".into(), "err".into()],
+            &FsmConfig::default(),
+        )
+    }
+
+    #[test]
+    fn dot_is_stable_and_wellformed() {
+        let m = sample();
+        let dot = m.to_dot();
+        assert_eq!(dot, m.to_dot(), "rendering must be deterministic");
+        assert!(dot.starts_with("digraph fsm {"));
+        assert!(dot.ends_with("}\n"));
+        assert!(dot.contains("s0 ->"), "root has outgoing edges");
+        assert!(dot.contains("req"), "edges carry symbol names");
+    }
+
+    #[test]
+    fn json_is_stable_and_carries_structure() {
+        let m = sample();
+        let json = m.to_json();
+        assert_eq!(json, m.to_json());
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"initial\":0"));
+        assert!(json.contains("\"flows\":3"));
+        assert!(json.contains("\"symbol\":\"req\""));
+        assert!(!json.contains('\n'));
+    }
+
+    #[test]
+    fn names_escape_and_fall_back() {
+        let seqs = vec![vec![0u32]];
+        let m = infer(&seqs, vec!["qu\"ote".into()], &FsmConfig::default());
+        assert!(m.to_json().contains("qu\\\"ote"));
+        assert_eq!(m.symbol_name(99), "?");
+    }
+}

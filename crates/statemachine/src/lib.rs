@@ -1,0 +1,188 @@
+//! Protocol state-machine inference over message-type-labelled flows.
+//!
+//! The field-type pipeline clusters messages into pseudo message types;
+//! this crate closes the reverse-engineering loop by inferring the
+//! protocol's *session structure* from those labels. Messages are
+//! grouped into flows (endpoint-pair + timestamp ordering, see
+//! [`trace::Trace::flows`]), each flow becomes a sequence of cluster
+//! labels, and the sequences are folded into a prefix tree acceptor
+//! that an Alergia-style evidence-threshold merge compacts into a
+//! deterministic finite automaton ([`StateMachine`]).
+//!
+//! Determinism is structural, not seeded: the PTA is order-invariant,
+//! merging scans states in canonical order over `BTreeMap`s, and the
+//! final machine is renumbered breadth-first — so the same flows and
+//! thresholds reproduce the same machine bit for bit, across thread
+//! counts and frontends. The machine persists in the artifact store as
+//! [`store::artifacts::Kind::FSM`] and exports deterministic DOT/JSON.
+
+mod export;
+mod machine;
+mod merge;
+mod pta;
+
+pub use machine::{fsm_drift, FsmDelta, FsmSignature, FsmTracker, StateMachine, Transition};
+
+use trace::Trace;
+
+/// Thresholds of the Alergia-style merge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FsmConfig {
+    /// Significance of the Hoeffding frequency test: two states merge
+    /// only when every emission/termination frequency difference stays
+    /// within the bound for this alpha. Smaller alpha merges more.
+    pub alpha: f64,
+    /// States visited by fewer flows than this are considered
+    /// compatible by default — too little evidence to distinguish.
+    pub min_evidence: u64,
+}
+
+impl Default for FsmConfig {
+    fn default() -> Self {
+        FsmConfig {
+            alpha: 0.05,
+            min_evidence: 3,
+        }
+    }
+}
+
+/// Infers a [`StateMachine`] from symbol sequences (one per flow).
+///
+/// `symbols` names each symbol id; every id used in `sequences` must be
+/// `< symbols.len()`. The result is a pure function of the multiset of
+/// sequences and the config — input order never matters.
+///
+/// # Panics
+///
+/// When a sequence uses a symbol id outside `symbols`.
+pub fn infer(sequences: &[Vec<u32>], symbols: Vec<String>, config: &FsmConfig) -> StateMachine {
+    for seq in sequences {
+        for &s in seq {
+            assert!(
+                (s as usize) < symbols.len(),
+                "symbol id {s} outside the {}-entry symbol table",
+                symbols.len()
+            );
+        }
+    }
+    let mut auto = pta::build_pta(sequences);
+    merge::merge(&mut auto, config);
+    machine::canonicalize(&auto, symbols, sequences.len() as u64)
+}
+
+/// Maps a trace plus per-message symbol ids into per-flow sequences,
+/// using the canonical flow grouping from [`Trace::flows`].
+///
+/// # Panics
+///
+/// When `labels` is shorter than the trace.
+pub fn flow_sequences(trace: &Trace, labels: &[u32]) -> Vec<Vec<u32>> {
+    assert!(
+        labels.len() >= trace.len(),
+        "need one label per message: {} labels for {} messages",
+        labels.len(),
+        trace.len()
+    );
+    trace
+        .flows()
+        .into_iter()
+        .map(|flow| flow.into_iter().map(|i| labels[i]).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use trace::{Direction, Endpoint, Message};
+
+    #[test]
+    fn inference_is_order_invariant() {
+        let mut seqs: Vec<Vec<u32>> = Vec::new();
+        for i in 0..40u32 {
+            seqs.push(vec![1, 2, 1 + (i % 3), 3]);
+            seqs.push(vec![2]);
+        }
+        let names: Vec<String> = (0..5).map(|i| format!("type{i}")).collect();
+        let forward = infer(&seqs, names.clone(), &FsmConfig::default());
+        seqs.reverse();
+        let backward = infer(&seqs, names, &FsmConfig::default());
+        assert_eq!(forward, backward);
+        assert_eq!(forward.to_dot(), backward.to_dot());
+        assert_eq!(forward.to_json(), backward.to_json());
+    }
+
+    #[test]
+    fn empty_input_yields_the_trivial_machine() {
+        let m = infer(&[], vec!["noise".into()], &FsmConfig::default());
+        assert_eq!(m.n_states, 1);
+        assert_eq!(m.n_transitions(), 0);
+        assert_eq!(m.flows, 0);
+        assert_eq!(m.run_sequence(&[0, 0]), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "symbol id")]
+    fn out_of_table_symbols_panic() {
+        infer(&[vec![7]], vec!["only".into()], &FsmConfig::default());
+    }
+
+    #[test]
+    fn flow_sequences_follow_the_flow_grouping() {
+        let a = Endpoint::udp([10, 0, 0, 1], 1000);
+        let b = Endpoint::udp([10, 0, 0, 2], 53);
+        let c = Endpoint::udp([10, 0, 0, 3], 2000);
+        let msg = |src: Endpoint, dst: Endpoint, ts: u64| {
+            Message::builder(Bytes::from_static(b"x"))
+                .timestamp_micros(ts)
+                .source(src)
+                .destination(dst)
+                .direction(Direction::Request)
+                .build()
+        };
+        // Two flows interleaved in capture order.
+        let trace = Trace::new(
+            "t",
+            vec![
+                msg(a, b, 10), // flow ab, label 1
+                msg(c, b, 11), // flow cb, label 2
+                msg(b, a, 12), // flow ab (reverse direction), label 3
+                msg(b, c, 13), // flow cb, label 4
+            ],
+        );
+        let seqs = flow_sequences(&trace, &[1, 2, 3, 4]);
+        assert_eq!(seqs.len(), 2);
+        assert!(seqs.contains(&vec![1, 3]), "flow a<->b in time order");
+        assert!(seqs.contains(&vec![2, 4]), "flow c<->b in time order");
+    }
+
+    #[test]
+    fn repeated_request_response_compacts_into_a_small_machine() {
+        // The canonical multi-state protocol: hello, then (req, resp)*,
+        // then bye. The PTA has O(total messages) states; the merged
+        // machine must collapse the repetition into a bounded loop.
+        let mut seqs = Vec::new();
+        for reps in 1..6usize {
+            for _ in 0..6 {
+                let mut s = vec![0u32];
+                for _ in 0..reps {
+                    s.push(1);
+                    s.push(2);
+                }
+                s.push(3);
+                seqs.push(s);
+            }
+        }
+        let names = vec!["hello".into(), "req".into(), "resp".into(), "bye".into()];
+        let pta_states: usize = 2 + 2 * 5 + 5; // rough lower bound of distinct prefixes
+        let m = infer(&seqs, names, &FsmConfig::default());
+        assert!(
+            (m.n_states as usize) < pta_states,
+            "{} states did not compact below {pta_states}",
+            m.n_states
+        );
+        // The machine still accepts a deep run it was trained on.
+        let walk = m.run_sequence(&[0, 1, 2, 1, 2, 1, 2, 3]);
+        assert_eq!(walk.len(), 9, "trained sequence fully accepted");
+    }
+}

@@ -1,0 +1,448 @@
+//! The immutable [`StateMachine`] artifact: canonical numbering,
+//! transition table, execution, drift signatures and the store codec.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use store::artifacts::{Kind, Persist};
+use store::codec::{Reader, Writer};
+
+use crate::pta::Automaton;
+
+/// One transition of the inferred machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// Source state.
+    pub from: u32,
+    /// Emitted/consumed symbol.
+    pub symbol: u32,
+    /// Destination state.
+    pub to: u32,
+    /// Flows that traversed this transition.
+    pub count: u64,
+}
+
+/// An inferred protocol state machine.
+///
+/// States are numbered canonically: breadth-first from the initial
+/// state 0, expanding transitions in symbol order — so two inferences
+/// over the same flows produce bit-identical machines regardless of
+/// thread count or insertion order. `transitions` is sorted by
+/// `(from, symbol)` and the machine is deterministic (at most one
+/// destination per pair).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateMachine {
+    /// Human-readable symbol names; index = symbol id. Baked into the
+    /// artifact so every frontend renders identical exports.
+    pub symbols: Vec<String>,
+    /// Number of states; state ids are `0..n_states`, initial is 0.
+    pub n_states: u32,
+    /// Sorted transition table.
+    pub transitions: Vec<Transition>,
+    /// Per-state visit counts (flows that passed through the state).
+    pub visits: Vec<u64>,
+    /// Per-state termination counts (flows that ended at the state).
+    pub terminations: Vec<u64>,
+    /// Flows the machine was inferred from.
+    pub flows: u64,
+}
+
+impl StateMachine {
+    /// Total number of transitions.
+    pub fn n_transitions(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// The destination of `(state, symbol)`, or `None` when undefined.
+    pub fn step(&self, state: u32, symbol: u32) -> Option<u32> {
+        self.transitions
+            .binary_search_by_key(&(state, symbol), |t| (t.from, t.symbol))
+            .ok()
+            .map(|i| self.transitions[i].to)
+    }
+
+    /// Outgoing transitions of `state` — its emission distribution,
+    /// as `(symbol, destination, count)` in symbol order.
+    pub fn emissions(&self, state: u32) -> Vec<(u32, u32, u64)> {
+        let start = self.transitions.partition_point(|t| t.from < state);
+        self.transitions[start..]
+            .iter()
+            .take_while(|t| t.from == state)
+            .map(|t| (t.symbol, t.to, t.count))
+            .collect()
+    }
+
+    /// Runs `symbols` from the initial state, returning the visited
+    /// states (starting with 0). Stops at the first undefined
+    /// transition, so the result length is `accepted prefix + 1`.
+    pub fn run_sequence(&self, symbols: &[u32]) -> Vec<u32> {
+        let mut at = 0u32;
+        let mut visited = vec![at];
+        for &s in symbols {
+            match self.step(at, s) {
+                Some(next) => {
+                    at = next;
+                    visited.push(next);
+                }
+                None => break,
+            }
+        }
+        visited
+    }
+
+    /// The shortest access string of every state (lexicographically
+    /// least among shortest, by symbol order): a stable identity for
+    /// drift comparison across re-inferences, where raw state numbers
+    /// are meaningless.
+    pub fn access_strings(&self) -> Vec<Vec<u32>> {
+        let mut access: Vec<Option<Vec<u32>>> = vec![None; self.n_states as usize];
+        access[0] = Some(Vec::new());
+        let mut queue = VecDeque::from([0u32]);
+        while let Some(state) = queue.pop_front() {
+            let prefix = access[state as usize]
+                .clone()
+                .expect("queued means reached");
+            for (symbol, to, _) in self.emissions(state) {
+                if access[to as usize].is_none() {
+                    let mut p = prefix.clone();
+                    p.push(symbol);
+                    access[to as usize] = Some(p);
+                    queue.push_back(to);
+                }
+            }
+        }
+        access
+            .into_iter()
+            .map(|a| a.expect("all states reachable by construction"))
+            .collect()
+    }
+
+    /// The drift signature: the set of state access strings and the set
+    /// of `(access string, symbol)` transition identities.
+    pub fn signature(&self) -> FsmSignature {
+        let access = self.access_strings();
+        let states: BTreeSet<Vec<u32>> = access.iter().cloned().collect();
+        let transitions: BTreeSet<(Vec<u32>, u32)> = self
+            .transitions
+            .iter()
+            .map(|t| (access[t.from as usize].clone(), t.symbol))
+            .collect();
+        FsmSignature {
+            states,
+            transitions,
+        }
+    }
+}
+
+/// Builds the canonical [`StateMachine`] from a merged automaton:
+/// breadth-first renumbering from the root with transitions expanded in
+/// symbol order.
+pub(crate) fn canonicalize(auto: &Automaton, symbols: Vec<String>, flows: u64) -> StateMachine {
+    let mut id_of: BTreeMap<usize, u32> = BTreeMap::new();
+    let mut order: Vec<usize> = Vec::new();
+    let mut queue = VecDeque::from([0usize]);
+    id_of.insert(0, 0);
+    while let Some(node) = queue.pop_front() {
+        order.push(node);
+        for edge in auto.nodes[node].trans.values() {
+            if !id_of.contains_key(&edge.child) {
+                let next = id_of.len() as u32;
+                id_of.insert(edge.child, next);
+                queue.push_back(edge.child);
+            }
+        }
+    }
+    let mut transitions = Vec::new();
+    let mut visits = Vec::with_capacity(order.len());
+    let mut terminations = Vec::with_capacity(order.len());
+    for (new_id, &node) in order.iter().enumerate() {
+        let n = &auto.nodes[node];
+        visits.push(n.visits);
+        terminations.push(n.term);
+        for (&symbol, edge) in &n.trans {
+            transitions.push(Transition {
+                from: new_id as u32,
+                symbol,
+                to: id_of[&edge.child],
+                count: edge.count,
+            });
+        }
+    }
+    StateMachine {
+        symbols,
+        n_states: order.len() as u32,
+        transitions,
+        visits,
+        terminations,
+        flows,
+    }
+}
+
+/// The stable identity of a machine for drift comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FsmSignature {
+    /// Shortest access string of every state.
+    pub states: BTreeSet<Vec<u32>>,
+    /// `(state access string, symbol)` per transition.
+    pub transitions: BTreeSet<(Vec<u32>, u32)>,
+}
+
+/// Structural change between two consecutively inferred machines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FsmDelta {
+    /// States of the new machine (by access string).
+    pub states: u32,
+    /// Transitions of the new machine.
+    pub transitions: u32,
+    /// Access strings present now but not before.
+    pub states_born: u32,
+    /// Access strings present before but not now.
+    pub states_died: u32,
+    /// Transition identities present now but not before.
+    pub transitions_born: u32,
+    /// Transition identities present before but not now.
+    pub transitions_died: u32,
+}
+
+/// Compares two signatures; `prev = None` means "first machine", which
+/// reports every state and transition as born.
+pub fn fsm_drift(prev: Option<&FsmSignature>, next: &FsmSignature) -> FsmDelta {
+    let states = next.states.len() as u32;
+    let transitions = next.transitions.len() as u32;
+    match prev {
+        None => FsmDelta {
+            states,
+            transitions,
+            states_born: states,
+            states_died: 0,
+            transitions_born: transitions,
+            transitions_died: 0,
+        },
+        Some(prev) => FsmDelta {
+            states,
+            transitions,
+            states_born: next.states.difference(&prev.states).count() as u32,
+            states_died: prev.states.difference(&next.states).count() as u32,
+            transitions_born: next.transitions.difference(&prev.transitions).count() as u32,
+            transitions_died: prev.transitions.difference(&next.transitions).count() as u32,
+        },
+    }
+}
+
+/// Keeps the previous machine's signature between batches and stamps
+/// each new machine into an [`FsmDelta`].
+#[derive(Debug, Default)]
+pub struct FsmTracker {
+    prev: Option<FsmSignature>,
+}
+
+impl FsmTracker {
+    /// A tracker that has seen nothing.
+    pub fn new() -> Self {
+        FsmTracker::default()
+    }
+
+    /// Observes the next machine and returns the delta vs the previous
+    /// one (everything-born semantics for the first).
+    pub fn observe(&mut self, machine: &StateMachine) -> FsmDelta {
+        let sig = machine.signature();
+        let delta = fsm_drift(self.prev.as_ref(), &sig);
+        self.prev = Some(sig);
+        delta
+    }
+}
+
+impl Persist for StateMachine {
+    const KIND: Kind = Kind::FSM;
+
+    fn encode(&self, w: &mut Writer) {
+        w.usize(self.symbols.len());
+        for s in &self.symbols {
+            w.bytes(s.as_bytes());
+        }
+        w.u32(self.n_states);
+        w.u64(self.flows);
+        for &v in &self.visits {
+            w.u64(v);
+        }
+        for &t in &self.terminations {
+            w.u64(t);
+        }
+        w.usize(self.transitions.len());
+        for t in &self.transitions {
+            w.u32(t.from);
+            w.u32(t.symbol);
+            w.u32(t.to);
+            w.u64(t.count);
+        }
+    }
+
+    fn decode(r: &mut Reader) -> Option<Self> {
+        let n_symbols = r.count(1)?;
+        let mut symbols = Vec::with_capacity(n_symbols);
+        for _ in 0..n_symbols {
+            symbols.push(String::from_utf8(r.bytes()?.to_vec()).ok()?);
+        }
+        let n_states = r.u32()?;
+        if n_states == 0 {
+            return None;
+        }
+        let flows = r.u64()?;
+        let mut visits = Vec::with_capacity(n_states as usize);
+        for _ in 0..n_states {
+            visits.push(r.u64()?);
+        }
+        let mut terminations = Vec::with_capacity(n_states as usize);
+        for _ in 0..n_states {
+            terminations.push(r.u64()?);
+        }
+        let n_transitions = r.count(20)?;
+        let mut transitions: Vec<Transition> = Vec::with_capacity(n_transitions);
+        for _ in 0..n_transitions {
+            let t = Transition {
+                from: r.u32()?,
+                symbol: r.u32()?,
+                to: r.u32()?,
+                count: r.u64()?,
+            };
+            // Structural validation: ids in range, strict (from, symbol)
+            // ordering (which also guarantees determinism).
+            if t.from >= n_states || t.to >= n_states || t.symbol as usize >= symbols.len() {
+                return None;
+            }
+            if let Some(prev) = transitions.last() {
+                if (t.from, t.symbol) <= (prev.from, prev.symbol) {
+                    return None;
+                }
+            }
+            transitions.push(t);
+        }
+        // Counting invariant: visits = term + Σ outgoing edge counts.
+        let mut outgoing = vec![0u64; n_states as usize];
+        for t in &transitions {
+            outgoing[t.from as usize] = outgoing[t.from as usize].checked_add(t.count)?;
+        }
+        for s in 0..n_states as usize {
+            if visits[s] != terminations[s].checked_add(outgoing[s])? {
+                return None;
+            }
+        }
+        Some(StateMachine {
+            symbols,
+            n_states,
+            transitions,
+            visits,
+            terminations,
+            flows,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{infer, FsmConfig};
+    use store::artifacts::{decode_payload, encode_payload};
+
+    fn machine_from(seqs: Vec<Vec<u32>>) -> StateMachine {
+        let names = vec!["a".into(), "b".into(), "c".into(), "d".into(), "e".into()];
+        infer(&seqs, names, &FsmConfig::default())
+    }
+
+    fn machine(raw: &[&[u32]]) -> StateMachine {
+        machine_from(raw.iter().map(|s| s.to_vec()).collect())
+    }
+
+    #[test]
+    fn run_sequence_walks_and_stops() {
+        let m = machine(&[&[1, 2, 3], &[1, 2, 3], &[1, 2, 3]]);
+        let visited = m.run_sequence(&[1, 2, 3]);
+        assert_eq!(visited[0], 0);
+        assert_eq!(visited.len(), 4);
+        // An undefined symbol stops the walk at the accepted prefix.
+        let partial = m.run_sequence(&[1, 4, 3]);
+        assert_eq!(partial.len(), 2);
+    }
+
+    #[test]
+    fn access_strings_are_shortest_and_unique_roots() {
+        let m = machine(&[&[1, 2], &[1, 3], &[4]]);
+        let access = m.access_strings();
+        assert_eq!(access[0], Vec::<u32>::new());
+        assert_eq!(access.len(), m.n_states as usize);
+        // Every access string actually reaches its state.
+        for (state, a) in access.iter().enumerate() {
+            let visited = m.run_sequence(a);
+            assert_eq!(visited.last().copied(), Some(state as u32));
+        }
+    }
+
+    #[test]
+    fn drift_detects_birth_and_death() {
+        // Enough flows that the 1->2 and 1->3 paths survive merging as
+        // distinct structure instead of collapsing for lack of evidence.
+        let a = machine_from(vec![vec![1, 2]; 20]);
+        let b = machine_from(vec![vec![1, 3]; 20]);
+        let mut tracker = FsmTracker::new();
+        let first = tracker.observe(&a);
+        assert_eq!(first.states_born, a.n_states);
+        assert_eq!(first.transitions_born as usize, a.n_transitions());
+        assert_eq!(first.states_died, 0);
+        let second = tracker.observe(&b);
+        assert!(second.states_born >= 1, "state via symbol 3 is new");
+        assert!(second.states_died >= 1, "state via symbol 2 is gone");
+        assert!(second.transitions_born >= 1);
+        assert!(second.transitions_died >= 1);
+    }
+
+    #[test]
+    fn identical_machines_do_not_drift() {
+        let a = machine(&[&[1, 2, 3], &[1, 2], &[4]]);
+        let mut tracker = FsmTracker::new();
+        tracker.observe(&a);
+        let delta = tracker.observe(&a);
+        assert_eq!(delta.states_born, 0);
+        assert_eq!(delta.states_died, 0);
+        assert_eq!(delta.transitions_born, 0);
+        assert_eq!(delta.transitions_died, 0);
+        assert_eq!(delta.states, a.n_states);
+    }
+
+    #[test]
+    fn persist_roundtrips_and_rejects_corruption() {
+        let m = machine(&[&[1, 2, 3], &[1, 2], &[1, 4], &[2]]);
+        let payload = encode_payload(&m);
+        let back: StateMachine = decode_payload(&payload).expect("roundtrip");
+        assert_eq!(back, m);
+
+        // Every truncation is a miss, never a panic.
+        for cut in 0..payload.len() {
+            assert!(
+                decode_payload::<StateMachine>(&payload[..cut]).is_none(),
+                "truncation to {cut} must miss"
+            );
+        }
+        // Trailing garbage is a miss.
+        let mut long = payload.clone();
+        long.push(0);
+        assert!(decode_payload::<StateMachine>(&long).is_none());
+        // A corrupted transition count breaks the counting invariant.
+        let mut bad = payload;
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        assert!(decode_payload::<StateMachine>(&bad).is_none());
+    }
+
+    #[test]
+    fn emissions_list_outgoing_in_symbol_order() {
+        let mut seqs = vec![vec![2u32, 1]; 20];
+        seqs.extend(vec![vec![2, 3]; 10]);
+        let m = machine_from(seqs);
+        let at_root = m.emissions(0);
+        assert_eq!(at_root.len(), 1);
+        assert_eq!(at_root[0].0, 2);
+        assert_eq!(at_root[0].2, 30);
+        let next = m.step(0, 2).unwrap();
+        let symbols: Vec<u32> = m.emissions(next).iter().map(|e| e.0).collect();
+        assert!(symbols.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,227 @@
+//! Deterministic Alergia-style state merging on the PTA.
+//!
+//! The classic red-blue framework: red states form the consolidated
+//! automaton, blue states are the fringe (children of red that are not
+//! red). Each round takes the canonically first blue state and either
+//! folds it into the first compatible red state or promotes it to red.
+//! Compatibility is the Hoeffding frequency test over termination and
+//! per-symbol emission frequencies, applied recursively along common
+//! symbols.
+//!
+//! Determinism needs no seed: the PTA is order-invariant, red states
+//! are scanned in promotion order, blue states in (red, symbol) order,
+//! and transitions live in `BTreeMap`s — so the merged automaton is a
+//! pure function of the multiset of input sequences and the
+//! [`FsmConfig`] thresholds, reproducible bit for bit.
+
+use std::collections::BTreeSet;
+
+use crate::pta::Automaton;
+use crate::FsmConfig;
+
+/// Two observed frequencies are compatible when their difference is
+/// within the Hoeffding bound for significance `alpha`:
+/// `|f1/n1 - f2/n2| <= sqrt(ln(2/alpha)/2) * (1/sqrt(n1) + 1/sqrt(n2))`.
+fn hoeffding_ok(f1: u64, n1: u64, f2: u64, n2: u64, alpha: f64) -> bool {
+    if n1 == 0 || n2 == 0 {
+        return true;
+    }
+    let gamma = (f1 as f64 / n1 as f64 - f2 as f64 / n2 as f64).abs();
+    let bound =
+        ((2.0 / alpha).ln() / 2.0).sqrt() * (1.0 / (n1 as f64).sqrt() + 1.0 / (n2 as f64).sqrt());
+    gamma <= bound
+}
+
+/// Whether states `a` and `b` are Alergia-compatible: the frequency
+/// test holds at the pair and recursively at every pair of children
+/// reached by a common symbol. States with fewer than `min_evidence`
+/// visits are compatible by default — too little data to reject.
+/// Iterative with a visited set because the red side may contain
+/// cycles after earlier merges.
+fn compatible(auto: &Automaton, a: usize, b: usize, config: &FsmConfig) -> bool {
+    let mut work = vec![(a, b)];
+    let mut seen = BTreeSet::new();
+    while let Some((a, b)) = work.pop() {
+        if a == b || !seen.insert((a, b)) {
+            continue;
+        }
+        let (na, nb) = (&auto.nodes[a], &auto.nodes[b]);
+        if na.visits < config.min_evidence || nb.visits < config.min_evidence {
+            continue;
+        }
+        if !hoeffding_ok(na.term, na.visits, nb.term, nb.visits, config.alpha) {
+            return false;
+        }
+        let symbols: BTreeSet<u32> = na.trans.keys().chain(nb.trans.keys()).copied().collect();
+        for s in symbols {
+            let ea = na.trans.get(&s);
+            let eb = nb.trans.get(&s);
+            let fa = ea.map_or(0, |e| e.count);
+            let fb = eb.map_or(0, |e| e.count);
+            if !hoeffding_ok(fa, na.visits, fb, nb.visits, config.alpha) {
+                return false;
+            }
+            if let (Some(ea), Some(eb)) = (ea, eb) {
+                work.push((ea.child, eb.child));
+            }
+        }
+    }
+    true
+}
+
+/// Folds the blue subtree rooted at `source` into `target`, adding
+/// visit, termination and edge counts. Iterative: the recursion is
+/// driven by the source side, which is a tree, so the worklist is
+/// finite even though the target side may have cycles.
+fn fold(auto: &mut Automaton, target: usize, source: usize) {
+    let mut work = vec![(target, source)];
+    while let Some((target, source)) = work.pop() {
+        if target == source {
+            continue;
+        }
+        auto.nodes[source].alive = false;
+        auto.nodes[target].visits += auto.nodes[source].visits;
+        auto.nodes[target].term += auto.nodes[source].term;
+        let kids: Vec<(u32, crate::pta::Edge)> = auto.nodes[source]
+            .trans
+            .iter()
+            .map(|(s, e)| (*s, *e))
+            .collect();
+        for (s, edge) in kids {
+            match auto.nodes[target].trans.get_mut(&s) {
+                Some(existing) => {
+                    existing.count += edge.count;
+                    work.push((existing.child, edge.child));
+                }
+                None => {
+                    auto.nodes[target].trans.insert(s, edge);
+                }
+            }
+        }
+    }
+}
+
+/// The canonically first blue state: scanning red states in promotion
+/// order and their transitions in symbol order, the first child that is
+/// not itself red. Returns `(parent, symbol, blue)` so the parent edge
+/// can be redirected on a merge.
+fn first_blue(auto: &Automaton, red: &[usize]) -> Option<(usize, u32, usize)> {
+    let red_set: BTreeSet<usize> = red.iter().copied().collect();
+    for &r in red {
+        for (&s, edge) in &auto.nodes[r].trans {
+            if !red_set.contains(&edge.child) {
+                return Some((r, s, edge.child));
+            }
+        }
+    }
+    None
+}
+
+/// Runs red-blue Alergia merging in place. On return, the automaton
+/// reachable from node 0 is the merged machine (dead nodes remain in
+/// the arena but are unreachable).
+pub(crate) fn merge(auto: &mut Automaton, config: &FsmConfig) {
+    let mut red = vec![0usize];
+    while let Some((parent, symbol, blue)) = first_blue(auto, &red) {
+        match red
+            .iter()
+            .copied()
+            .find(|&r| compatible(auto, r, blue, config))
+        {
+            Some(target) => {
+                // Redirect the unique incoming edge of the blue subtree
+                // root, then fold its counts into the target.
+                auto.nodes[parent]
+                    .trans
+                    .get_mut(&symbol)
+                    .expect("blue was found via this edge")
+                    .child = target;
+                fold(auto, target, blue);
+            }
+            None => red.push(blue),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pta::build_pta;
+
+    fn reachable(auto: &Automaton) -> Vec<usize> {
+        let mut seen = BTreeSet::new();
+        let mut work = vec![0usize];
+        while let Some(n) = work.pop() {
+            if seen.insert(n) {
+                work.extend(auto.nodes[n].trans.values().map(|e| e.child));
+            }
+        }
+        seen.into_iter().collect()
+    }
+
+    #[test]
+    fn identical_suffixes_merge_into_a_loop_or_shared_state() {
+        // Many flows of the shape 1 (2)* 3: with enough evidence the
+        // repeated 2-states are statistically identical and collapse.
+        let mut flows = Vec::new();
+        for reps in 0..4usize {
+            for _ in 0..8 {
+                let mut s = vec![1u32];
+                s.extend(std::iter::repeat_n(2, reps));
+                s.push(3);
+                flows.push(s);
+            }
+        }
+        let mut auto = build_pta(&flows);
+        let before = reachable(&auto).len();
+        merge(&mut auto, &FsmConfig::default());
+        let after = reachable(&auto).len();
+        assert!(
+            after < before,
+            "merging must shrink the PTA: {after} >= {before}"
+        );
+    }
+
+    #[test]
+    fn counting_invariant_survives_merging() {
+        let mut flows = Vec::new();
+        for i in 0..30u32 {
+            flows.push(vec![1, 2, 1 + (i % 2), 3]);
+        }
+        let mut auto = build_pta(&flows);
+        merge(&mut auto, &FsmConfig::default());
+        for n in reachable(&auto) {
+            let node = &auto.nodes[n];
+            let outgoing: u64 = node.trans.values().map(|e| e.count).sum();
+            assert_eq!(node.visits, node.term + outgoing, "node {n}");
+        }
+    }
+
+    #[test]
+    fn distinct_behaviours_stay_separate() {
+        // Flows either terminate after 1 or always continue 1 -> 2;
+        // with alpha tight these must not merge into one state.
+        let mut flows = Vec::new();
+        for _ in 0..20 {
+            flows.push(vec![1u32]);
+            flows.push(vec![2, 2, 2, 2]);
+        }
+        let mut auto = build_pta(&flows);
+        merge(&mut auto, &FsmConfig::default());
+        let root = &auto.nodes[0];
+        assert!(
+            root.trans.len() == 2,
+            "both behaviours reachable from the root"
+        );
+    }
+
+    #[test]
+    fn hoeffding_bound_behaves() {
+        // Identical frequencies always pass.
+        assert!(hoeffding_ok(5, 10, 50, 100, 0.05));
+        // Wildly different frequencies with strong evidence fail.
+        assert!(!hoeffding_ok(0, 1000, 1000, 1000, 0.05));
+        // No evidence: cannot reject.
+        assert!(hoeffding_ok(0, 0, 1000, 1000, 0.05));
+    }
+}

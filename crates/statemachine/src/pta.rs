@@ -1,0 +1,131 @@
+//! The mutable automaton the inference pipeline works on: a prefix
+//! tree acceptor (PTA) built from symbol sequences, later destructively
+//! merged by [`crate::merge`].
+//!
+//! Everything here is deliberately order-invariant: the PTA is defined
+//! by prefix counts alone, so any permutation of the input sequences
+//! builds the identical structure, and transitions live in `BTreeMap`s
+//! so every iteration over them is in symbol order.
+
+use std::collections::BTreeMap;
+
+/// One outgoing edge: the child node plus how many sequences traversed
+/// the edge. Edge counts are kept separately from child visit counts
+/// because a merged child aggregates several incoming edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Edge {
+    pub child: usize,
+    pub count: u64,
+}
+
+/// One automaton node. The counting invariant
+/// `visits == term + Σ outgoing edge counts` holds in the fresh PTA and
+/// is preserved by merging (both sides of every fold add).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Node {
+    /// Outgoing edges in symbol order.
+    pub trans: BTreeMap<u32, Edge>,
+    /// Sequences that visited this node.
+    pub visits: u64,
+    /// Sequences that ended at this node.
+    pub term: u64,
+    /// False once the node was folded into another.
+    pub alive: bool,
+}
+
+/// A mutable automaton; node 0 is the root/initial state.
+#[derive(Debug, Clone)]
+pub(crate) struct Automaton {
+    pub nodes: Vec<Node>,
+}
+
+impl Automaton {
+    fn fresh_node(&mut self) -> usize {
+        self.nodes.push(Node {
+            alive: true,
+            ..Node::default()
+        });
+        self.nodes.len() - 1
+    }
+}
+
+/// Builds the prefix tree acceptor of `sequences`: one node per
+/// distinct prefix, with visit, termination and edge counts.
+pub(crate) fn build_pta(sequences: &[Vec<u32>]) -> Automaton {
+    let mut auto = Automaton { nodes: Vec::new() };
+    let root = auto.fresh_node();
+    debug_assert_eq!(root, 0);
+    for seq in sequences {
+        let mut at = root;
+        auto.nodes[at].visits += 1;
+        for &symbol in seq {
+            let next = match auto.nodes[at].trans.get_mut(&symbol) {
+                Some(edge) => {
+                    edge.count += 1;
+                    edge.child
+                }
+                None => {
+                    let child = auto.fresh_node();
+                    auto.nodes[at]
+                        .trans
+                        .insert(symbol, Edge { child, count: 1 });
+                    child
+                }
+            };
+            auto.nodes[next].visits += 1;
+            at = next;
+        }
+        auto.nodes[at].term += 1;
+    }
+    auto
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seqs(raw: &[&[u32]]) -> Vec<Vec<u32>> {
+        raw.iter().map(|s| s.to_vec()).collect()
+    }
+
+    #[test]
+    fn pta_counts_prefixes() {
+        let auto = build_pta(&seqs(&[&[1, 2], &[1, 3], &[1, 2]]));
+        let root = &auto.nodes[0];
+        assert_eq!(root.visits, 3);
+        assert_eq!(root.term, 0);
+        let e1 = root.trans.get(&1).unwrap();
+        assert_eq!(e1.count, 3);
+        let after1 = &auto.nodes[e1.child];
+        assert_eq!(after1.visits, 3);
+        assert_eq!(after1.trans.get(&2).unwrap().count, 2);
+        assert_eq!(after1.trans.get(&3).unwrap().count, 1);
+    }
+
+    #[test]
+    fn pta_is_order_invariant() {
+        let a = build_pta(&seqs(&[&[1, 2], &[1, 3], &[2]]));
+        let b = build_pta(&seqs(&[&[2], &[1, 3], &[1, 2]]));
+        // Node identity may differ, but the counting structure at the
+        // root (and recursively, by construction) cannot.
+        assert_eq!(a.nodes.len(), b.nodes.len());
+        assert_eq!(a.nodes[0].visits, b.nodes[0].visits);
+        let counts = |auto: &Automaton| -> Vec<(u32, u64)> {
+            auto.nodes[0]
+                .trans
+                .iter()
+                .map(|(s, e)| (*s, e.count))
+                .collect()
+        };
+        assert_eq!(counts(&a), counts(&b));
+    }
+
+    #[test]
+    fn counting_invariant_holds() {
+        let auto = build_pta(&seqs(&[&[1, 2, 3], &[1, 2], &[], &[4]]));
+        for node in &auto.nodes {
+            let outgoing: u64 = node.trans.values().map(|e| e.count).sum();
+            assert_eq!(node.visits, node.term + outgoing);
+        }
+    }
+}

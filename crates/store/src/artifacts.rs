@@ -84,6 +84,13 @@ impl Kind {
         tag: 11,
         name: "strata",
     };
+    /// An inferred protocol state machine (`statemachine::StateMachine`),
+    /// keyed on the message-type clustering inputs so trace growth
+    /// invalidates correctly.
+    pub const FSM: Kind = Kind {
+        tag: 12,
+        name: "fsm",
+    };
 
     /// The one-byte tag written into file frames and fed into keys.
     pub fn tag(self) -> u8 {

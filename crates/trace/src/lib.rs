@@ -107,6 +107,37 @@ impl Trace {
     pub fn into_messages(self) -> Vec<Message> {
         self.messages
     }
+
+    /// Groups messages into flows by their direction-independent
+    /// endpoint pair ([`Message::flow_key`]).
+    ///
+    /// Returns one `Vec<usize>` of message indices per flow. Flows are
+    /// ordered by flow key; within a flow, messages are ordered by
+    /// `(timestamp_micros, capture index)` — a stable sort, so the
+    /// grouping is a pure function of the message set and identical
+    /// regardless of capture interleaving. This is the canonical flow
+    /// extraction every consumer (state-machine inference, FieldHunter
+    /// style baselines) should share instead of re-deriving ordering
+    /// ad hoc.
+    pub fn flows(&self) -> Vec<Vec<usize>> {
+        let mut keyed: Vec<((Endpoint, Endpoint), u64, usize)> = self
+            .messages
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (m.flow_key(), m.timestamp_micros(), i))
+            .collect();
+        keyed.sort();
+        let mut flows: Vec<Vec<usize>> = Vec::new();
+        let mut current_key = None;
+        for (key, _, i) in keyed {
+            if current_key != Some(key) {
+                current_key = Some(key);
+                flows.push(Vec::new());
+            }
+            flows.last_mut().expect("pushed above").push(i);
+        }
+        flows
+    }
 }
 
 impl IntoIterator for Trace {
@@ -162,5 +193,82 @@ mod tests {
         let mut t = Trace::new("t", vec![msg(b"a")]);
         t.extend(vec![msg(b"b")]);
         assert_eq!(t.len(), 2);
+    }
+
+    fn flow_msg(src: Endpoint, dst: Endpoint, ts: u64) -> Message {
+        Message::builder(Bytes::from_static(b"p"))
+            .timestamp_micros(ts)
+            .source(src)
+            .destination(dst)
+            .build()
+    }
+
+    #[test]
+    fn flows_group_by_endpoint_pair_and_sort_by_time() {
+        let a = Endpoint::udp([10, 0, 0, 1], 1000);
+        let b = Endpoint::udp([10, 0, 0, 2], 53);
+        let c = Endpoint::udp([10, 0, 0, 3], 2000);
+        // Two interleaved flows, with one out-of-order timestamp and
+        // both directions present in each flow.
+        let t = Trace::new(
+            "t",
+            vec![
+                flow_msg(a, b, 20), // 0: flow ab, second in time
+                flow_msg(c, b, 5),  // 1: flow bc
+                flow_msg(b, a, 10), // 2: flow ab (reverse dir), first in time
+                flow_msg(b, c, 6),  // 3: flow bc
+            ],
+        );
+        let flows = t.flows();
+        assert_eq!(flows.len(), 2);
+        assert!(flows.contains(&vec![2, 0]), "flow a<->b in time order");
+        assert!(flows.contains(&vec![1, 3]), "flow b<->c in time order");
+    }
+
+    #[test]
+    fn flows_are_stable_for_equal_timestamps() {
+        let a = Endpoint::udp([1, 1, 1, 1], 1);
+        let b = Endpoint::udp([2, 2, 2, 2], 2);
+        let t = Trace::new(
+            "t",
+            vec![flow_msg(a, b, 7), flow_msg(a, b, 7), flow_msg(b, a, 7)],
+        );
+        // Equal timestamps fall back to capture order.
+        assert_eq!(t.flows(), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn flows_of_empty_trace_are_empty() {
+        assert!(Trace::new("e", vec![]).flows().is_empty());
+    }
+
+    #[test]
+    fn flow_order_is_capture_order_invariant() {
+        let a = Endpoint::udp([10, 0, 0, 1], 1);
+        let b = Endpoint::udp([10, 0, 0, 2], 2);
+        let c = Endpoint::udp([10, 0, 0, 3], 3);
+        let msgs = vec![
+            flow_msg(a, b, 1),
+            flow_msg(c, b, 2),
+            flow_msg(a, b, 3),
+            flow_msg(b, c, 4),
+        ];
+        let mut rev = msgs.clone();
+        rev.reverse();
+        let fwd = Trace::new("f", msgs);
+        let bwd = Trace::new("b", rev);
+        // Indices differ (the messages moved), but the flow *contents*
+        // in flow order must be identical.
+        let payload_flows = |t: &Trace| -> Vec<Vec<u64>> {
+            t.flows()
+                .into_iter()
+                .map(|f| {
+                    f.into_iter()
+                        .map(|i| t.messages()[i].timestamp_micros())
+                        .collect()
+                })
+                .collect()
+        };
+        assert_eq!(payload_flows(&fwd), payload_flows(&bwd));
     }
 }

@@ -140,3 +140,18 @@ cargo run --release -q -p cli -- generate ntp 120 "$tmp/full.pcap" --seed 31
 cargo run --release -q -p cli -- analyze "$tmp/full.pcap" --report "$tmp/oneshot.md"
 cmp "$tmp/follow.md" "$tmp/oneshot.md"
 echo "streaming smoke test: 3 follow batches drifted and converged to the one-shot report byte for byte"
+
+# State-machine smoke test: inferring a machine from a multi-flow
+# capture must emit byte-identical DOT across thread counts, and the
+# warm run must serve the persisted machine without rebuilding anything
+# (no misses, no writes).
+cargo run --release -q -p cli -- generate ntp 60 "$tmp/fsm.pcap" --seed 41
+cargo run --release -q -p cli -- statemachine "$tmp/fsm.pcap" --cache-dir "$tmp/fsm-cache" \
+    --threads 1 --dot "$tmp/fsm-t1.dot" 2>"$tmp/fsm-cold.err"
+cargo run --release -q -p cli -- statemachine "$tmp/fsm.pcap" --cache-dir "$tmp/fsm-cache" \
+    --threads 4 --dot "$tmp/fsm-t4.dot" 2>"$tmp/fsm-warm.err"
+cmp "$tmp/fsm-t1.dot" "$tmp/fsm-t4.dot"
+grep -q '^digraph' "$tmp/fsm-t1.dot"
+grep -q 'cache: hits=0' "$tmp/fsm-cold.err"
+grep -Eq 'cache: hits=[1-9][0-9]* misses=0 writes=0' "$tmp/fsm-warm.err"
+echo "fsm smoke test: DOT is thread-invariant and the warm run rebuilt nothing"
